@@ -1,0 +1,78 @@
+// Ablation for §4.3's open research question ("how to automatically find
+// accidental vs real FDs"): approximate (g3) FD mining vs exact mining,
+// and the plausibility scorer's separation of witnessed semantic rules
+// from vacuous dependencies.
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "fd/approximate_fd.h"
+#include "fd/fd_miner.h"
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundle = core::MakePortalBundle(corpus::CaPortalProfile(),
+                                       bench::ScaleFromEnv(0.15));
+  auto sample = core::SelectFdSample(bundle.ingest.tables);
+
+  size_t exact_lhs1 = 0;
+  size_t approx_001 = 0;
+  size_t approx_005 = 0;
+  std::vector<double> plausibility;
+  size_t analyzed = 0;
+  for (size_t i : sample) {
+    if (analyzed >= 120) break;
+    const table::Table& t = bundle.ingest.tables[i];
+    ++analyzed;
+
+    fd::ApproxFdOptions a1;
+    a1.max_error = 0.0;
+    a1.max_lhs = 1;
+    auto exact = fd::MineApproximateFds(t, a1);
+    if (exact.ok()) {
+      exact_lhs1 += exact->size();
+      for (const auto& af : *exact) {
+        plausibility.push_back(fd::ScoreFdPlausibility(t, af.fd));
+      }
+    }
+    fd::ApproxFdOptions a2 = a1;
+    a2.max_error = 0.01;
+    auto e001 = fd::MineApproximateFds(t, a2);
+    if (e001.ok()) approx_001 += e001->size();
+    a2.max_error = 0.05;
+    auto e005 = fd::MineApproximateFds(t, a2);
+    if (e005.ok()) approx_005 += e005->size();
+  }
+
+  core::TextTable t({"approx-FD ablation (|LHS|=1)", "count"});
+  t.AddRow({"tables analyzed", FormatCount(analyzed)});
+  t.AddRow({"exact FDs (g3 = 0)", FormatCount(exact_lhs1)});
+  t.AddRow({"approx FDs (g3 <= 0.01)", FormatCount(approx_001)});
+  t.AddRow({"approx FDs (g3 <= 0.05)", FormatCount(approx_005)});
+  std::printf("%s\n", t.Render().c_str());
+
+  if (!plausibility.empty()) {
+    size_t real = 0, vacuous = 0;
+    for (double p : plausibility) {
+      if (p >= 0.6) ++real;
+      if (p <= 0.3) ++vacuous;
+    }
+    std::printf("plausibility of exact FDs: n=%zu median=%s  >=0.6 "
+                "(likely real): %s  <=0.3 (likely accidental): %s\n",
+                plausibility.size(),
+                FormatDouble(stats::Median(plausibility), 3).c_str(),
+                FormatPercent(static_cast<double>(real) /
+                              static_cast<double>(plausibility.size()))
+                    .c_str(),
+                FormatPercent(static_cast<double>(vacuous) /
+                              static_cast<double>(plausibility.size()))
+                    .c_str());
+  }
+  std::printf(
+      "\nShape check: tolerating a little g3 error surfaces strictly more\n"
+      "dependencies (dirty rows hide real rules from exact miners), and\n"
+      "the plausibility score splits the exact FDs into a well-witnessed\n"
+      "'real' group and a vacuous tail.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: exact prefix-filtered joinability search vs MinHash/LSH
+// approximation (the LSH-Ensemble-style technique the paper cites [35]).
+// Reports recall/output size at matched thresholds plus timing.
+
+#include <set>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "join/minhash.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ogdp;
+
+std::vector<table::Table>* g_tables = nullptr;
+
+void BM_ExactSearch(benchmark::State& state) {
+  join::JoinablePairFinder finder(*g_tables);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.FindAllPairs().size());
+  }
+}
+BENCHMARK(BM_ExactSearch)->Unit(benchmark::kMillisecond);
+
+void BM_MinHashSearch(benchmark::State& state) {
+  join::JoinablePairFinder finder(*g_tables);
+  join::MinHashIndex index(finder);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.FindCandidatePairs(0.85).size());
+  }
+}
+BENCHMARK(BM_MinHashSearch)->Unit(benchmark::kMillisecond);
+
+void BM_MinHashIndexBuild(benchmark::State& state) {
+  join::JoinablePairFinder finder(*g_tables);
+  for (auto _ : state) {
+    join::MinHashIndex index(finder);
+    benchmark::DoNotOptimize(&index);
+  }
+}
+BENCHMARK(BM_MinHashIndexBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ogdp;
+  auto bundle = core::MakePortalBundle(corpus::UkPortalProfile(),
+                                       bench::ScaleFromEnv(0.1));
+  g_tables = &bundle.ingest.tables;
+
+  join::JoinablePairFinder finder(*g_tables);
+  auto exact = finder.FindAllPairs();
+  std::set<std::pair<join::ColumnRef, join::ColumnRef>> exact_set;
+  for (const auto& p : exact) exact_set.insert({p.a, p.b});
+
+  core::TextTable t({"estimate threshold", "candidates", "recall of exact",
+                     "precision vs exact"});
+  join::MinHashIndex index(finder);
+  for (double threshold : {0.80, 0.85, 0.90}) {
+    auto approx = index.FindCandidatePairs(threshold);
+    size_t hits = 0;
+    for (const auto& p : approx) {
+      hits += exact_set.count({p.a, p.b});
+    }
+    t.AddRow({FormatDouble(threshold, 2), FormatCount(approx.size()),
+              FormatPercent(exact.empty()
+                                ? 0
+                                : static_cast<double>(hits) /
+                                      static_cast<double>(exact.size())),
+              FormatPercent(approx.empty()
+                                ? 0
+                                : static_cast<double>(hits) /
+                                      static_cast<double>(approx.size()))});
+  }
+  std::printf("exact pairs at 0.9: %zu\n%s\n", exact.size(),
+              t.Render().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Figure 1: for each percentile of tables (ascending size), the
+// cut-off table size and the cumulative portal size up to that percentile.
+//
+// Expected shape: extreme skew — dropping the top 10% of tables removes
+// the overwhelming majority of each portal's bytes.
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundles = bench::AllBundles(bench::ScaleFromEnv());
+
+  for (const auto& bundle : bundles) {
+    core::SizeReport r = core::ComputeSizeReport(bundle, /*compress=*/false);
+    const auto& sizes = r.table_bytes_sorted;
+    if (sizes.empty()) continue;
+    core::TextTable t({"Fig 1 [" + bundle.name + "] percentile",
+                       "cut-off table size", "cumulative size",
+                       "% of total bytes"});
+    double cumulative = 0;
+    size_t next_row = 0;
+    for (int pct = 10; pct <= 100; pct += 10) {
+      const size_t upto =
+          static_cast<size_t>(sizes.size() * pct / 100.0 + 0.5);
+      for (; next_row < upto && next_row < sizes.size(); ++next_row) {
+        cumulative += sizes[next_row];
+      }
+      const double cutoff = sizes[std::min(upto, sizes.size()) - 1];
+      t.AddRow({"p" + std::to_string(pct),
+                FormatBytes(static_cast<uint64_t>(cutoff)),
+                FormatBytes(static_cast<uint64_t>(cumulative)),
+                FormatPercent(cumulative / static_cast<double>(r.total_bytes))});
+    }
+    std::printf("%s\n", t.Render().c_str());
+  }
+  std::printf(
+      "Paper shape check: the p90 cumulative size is a small fraction of\n"
+      "p100 — a few huge tables dominate every portal.\n");
+  return 0;
+}

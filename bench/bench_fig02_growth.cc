@@ -1,0 +1,29 @@
+// Reproduces Figure 2: annual growth of the cumulative portal size. The
+// paper could do this satisfactorily only for UK (other portals show bulk
+// ingest steps); we print all four so the contrast is visible.
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundles = bench::AllBundles(bench::ScaleFromEnv());
+
+  for (const auto& bundle : bundles) {
+    core::SizeReport r = core::ComputeSizeReport(bundle, /*compress=*/false);
+    core::TextTable t({"Fig 2 [" + bundle.name + "] year", "added",
+                       "cumulative"});
+    uint64_t cumulative = 0;
+    for (const auto& [year, bytes] : r.bytes_by_year) {
+      cumulative += bytes;
+      t.AddRow({std::to_string(year), FormatBytes(bytes),
+                FormatBytes(cumulative)});
+    }
+    std::printf("%s\n", t.Render().c_str());
+  }
+  std::printf(
+      "Paper shape check: UK grows near-linearly year over year; SG, CA\n"
+      "and US show step-function bulk-ingest years.\n");
+  return 0;
+}

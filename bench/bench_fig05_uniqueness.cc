@@ -1,0 +1,51 @@
+// Reproduces Figure 5: distributions of unique-value counts and
+// uniqueness scores across columns, per portal.
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "profile/portal_stats.h"
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundles = bench::AllBundles(bench::ScaleFromEnv());
+
+  core::TextTable t({"Fig 5 / sec 4.1 uniqueness", "SG", "CA", "UK", "US"});
+  std::vector<profile::UniquenessStats> stats;
+  for (const auto& b : bundles) {
+    stats.push_back(profile::ComputeUniquenessStats(b.ingest.tables));
+  }
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const auto& s : stats) cells.push_back(getter(s));
+    t.AddRow(cells);
+  };
+  row("median unique values per column",
+      [](const profile::UniquenessStats& s) {
+        return FormatDouble(s.all.median_unique, 4);
+      });
+  row("median uniqueness score", [](const profile::UniquenessStats& s) {
+    return FormatDouble(s.all.median_score, 3);
+  });
+  row("% columns with score < 0.1", [](const profile::UniquenessStats& s) {
+    return FormatPercent(s.frac_score_below_01);
+  });
+  row("% tables with a single-column key",
+      [](const profile::UniquenessStats& s) {
+        return FormatPercent(s.frac_tables_with_key);
+      });
+  std::printf("%s\n", t.Render().c_str());
+
+  for (size_t i = 0; i < bundles.size(); ++i) {
+    std::printf("Fig 5 [%s] uniqueness score deciles: %s\n",
+                bundles[i].name.c_str(),
+                stats::DecileString(stats[i].scores).c_str());
+  }
+  std::printf(
+      "\nPaper shape check: heavy value repetition — median unique counts\n"
+      "far below median row counts, a large share of columns repeating\n"
+      "values >10x, and 1/3 to over 1/2 of tables lacking any single-\n"
+      "column key.\n");
+  return 0;
+}

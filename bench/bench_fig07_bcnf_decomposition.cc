@@ -1,0 +1,33 @@
+// Reproduces Figure 7: the distribution of the number of sub-tables after
+// BCNF decomposition (1 = already in BCNF).
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundles = bench::AllBundles(bench::ScaleFromEnv());
+
+  for (const auto& bundle : bundles) {
+    auto sample = core::SelectFdSample(bundle.ingest.tables);
+    core::FdReport r = core::ComputeFdReport(bundle.ingest.tables, sample);
+    std::map<size_t, size_t> histogram;
+    for (size_t c : r.decomposition_counts) ++histogram[c];
+    core::TextTable t({"Fig 7 [" + bundle.name + "] # decomposed tables",
+                       "tables", "%"});
+    for (const auto& [count, freq] : histogram) {
+      t.AddRow({std::to_string(count), FormatCount(freq),
+                FormatPercent(static_cast<double>(freq) /
+                              std::max<size_t>(1, r.sample_tables))});
+    }
+    std::printf("%s\n", t.Render().c_str());
+  }
+  std::printf(
+      "Paper shape check: a substantial share of tables decompose into 3+\n"
+      "sub-tables; the '1' bucket (already in BCNF) is the minority in\n"
+      "most portals.\n");
+  return 0;
+}

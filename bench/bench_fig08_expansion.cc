@@ -1,0 +1,35 @@
+// Reproduces Figure 8: letter-value ("boxen") summaries of the join
+// expansion ratio distribution per portal, at the paper's 0.9 threshold
+// and the supplement's 0.7 variant.
+
+#include "bench/bench_common.h"
+#include "join/joinable_pair_finder.h"
+#include "stats/letter_values.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundles = bench::AllBundles(bench::ScaleFromEnv());
+
+  for (double threshold : {0.9, 0.7}) {
+    std::printf("=== Jaccard threshold %.1f %s===\n", threshold,
+                threshold < 0.9 ? "(supplement variant) " : "");
+    for (const auto& bundle : bundles) {
+      join::JoinFinderOptions options;
+      options.jaccard_threshold = threshold;
+      join::JoinablePairFinder finder(bundle.ingest.tables, options);
+      auto pairs = finder.FindAllPairs();
+      core::JoinReport r =
+          core::ComputeJoinReport(bundle.ingest.tables, finder, pairs);
+      stats::LetterValueSummary lv =
+          stats::ComputeLetterValues(r.expansion_ratios);
+      std::printf("Fig 8 [%s] expansion ratios: %s\n", bundle.name.c_str(),
+                  lv.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape check: CA/UK medians sit near 1-3 while US joins grow\n"
+      "past 20x at the median with a >100x upper tail; lowering the\n"
+      "threshold to 0.7 preserves the picture (supplement).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table 5: FD prevalence and BCNF-decomposition statistics
+// over the FD-analysis sample (FUN algorithm, LHS <= 4).
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundles = bench::AllBundles(bench::ScaleFromEnv());
+
+  core::TextTable t({"Table 5: FD & decomposition", "SG", "CA", "UK", "US"});
+  std::vector<core::FdReport> reports;
+  for (const auto& b : bundles) {
+    auto sample = core::SelectFdSample(b.ingest.tables);
+    reports.push_back(core::ComputeFdReport(b.ingest.tables, sample));
+  }
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const auto& r : reports) cells.push_back(getter(r));
+    t.AddRow(cells);
+  };
+  row("total # tables", [](const core::FdReport& r) {
+    return FormatCount(r.sample_tables);
+  });
+  row("total # columns", [](const core::FdReport& r) {
+    return FormatCount(r.sample_columns);
+  });
+  row("avg # columns per table", [](const core::FdReport& r) {
+    return FormatDouble(r.avg_cols_per_table, 4);
+  });
+  row("# tables with a non-trivial FD", [](const core::FdReport& r) {
+    return FormatCount(r.tables_with_fd);
+  });
+  row("% tables with a non-trivial FD", [](const core::FdReport& r) {
+    return FormatPercent(static_cast<double>(r.tables_with_fd) /
+                         std::max<size_t>(1, r.sample_tables));
+  });
+  row("% tables with a |LHS|=1 FD", [](const core::FdReport& r) {
+    return FormatPercent(static_cast<double>(r.tables_with_lhs1_fd) /
+                         std::max<size_t>(1, r.sample_tables));
+  });
+  row("avg # tables after decomposition", [](const core::FdReport& r) {
+    return FormatDouble(r.avg_tables_after_decomp, 3);
+  });
+  row("avg # columns in partitions", [](const core::FdReport& r) {
+    return FormatDouble(r.avg_cols_in_partitions, 3);
+  });
+  row("avg uniqueness gain (unrepeated cols)", [](const core::FdReport& r) {
+    return FormatDouble(r.avg_uniqueness_gain, 3) + "x";
+  });
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "Paper shape check: the majority of sampled tables in every portal\n"
+      "have non-trivial FDs (i.e. are not in BCNF); most of those have a\n"
+      "single-attribute LHS; tables decompose into ~2.4-3.4 sub-tables on\n"
+      "average and unrepeated columns' uniqueness scores rise well above\n"
+      "1x.\n");
+  return 0;
+}

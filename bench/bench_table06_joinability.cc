@@ -1,0 +1,76 @@
+// Reproduces Table 6: main statistics of the joinable pairs (Jaccard >=
+// 0.9 over distinct values, columns with >= 10 unique values).
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "join/joinable_pair_finder.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundles = bench::AllBundles(bench::ScaleFromEnv());
+
+  core::TextTable t({"Table 6: joinable pairs", "SG", "CA", "UK", "US"});
+  std::vector<core::JoinReport> reports;
+  for (const auto& b : bundles) {
+    join::JoinablePairFinder finder(b.ingest.tables);
+    auto pairs = finder.FindAllPairs();
+    reports.push_back(core::ComputeJoinReport(b.ingest.tables, finder, pairs));
+  }
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const auto& r : reports) cells.push_back(getter(r));
+    t.AddRow(cells);
+  };
+  row("total # joinable pairs", [](const core::JoinReport& r) {
+    return FormatCount(r.total_pairs);
+  });
+  row("total # tables", [](const core::JoinReport& r) {
+    return FormatCount(r.total_tables);
+  });
+  row("# joinable tables", [](const core::JoinReport& r) {
+    return FormatCount(r.joinable_tables) + " (" +
+           FormatPercent(static_cast<double>(r.joinable_tables) /
+                         std::max<size_t>(1, r.total_tables)) +
+           ")";
+  });
+  row("median degree per joinable table", [](const core::JoinReport& r) {
+    return FormatDouble(r.median_table_degree, 4);
+  });
+  row("max degree per joinable table", [](const core::JoinReport& r) {
+    return FormatCount(r.max_table_degree);
+  });
+  row("total # columns", [](const core::JoinReport& r) {
+    return FormatCount(r.total_columns);
+  });
+  row("# joinable columns", [](const core::JoinReport& r) {
+    return FormatCount(r.joinable_columns) + " (" +
+           FormatPercent(static_cast<double>(r.joinable_columns) /
+                         std::max<size_t>(1, r.total_columns)) +
+           ")";
+  });
+  row("# key joinable columns", [](const core::JoinReport& r) {
+    return FormatCount(r.key_joinable_columns) + " (" +
+           FormatPercent(static_cast<double>(r.key_joinable_columns) /
+                         std::max<size_t>(1, r.joinable_columns)) +
+           ")";
+  });
+  row("# non-key joinable columns", [](const core::JoinReport& r) {
+    return FormatCount(r.nonkey_joinable_columns) + " (" +
+           FormatPercent(static_cast<double>(r.nonkey_joinable_columns) /
+                         std::max<size_t>(1, r.joinable_columns)) +
+           ")";
+  });
+  row("median degree per joinable column", [](const core::JoinReport& r) {
+    return FormatDouble(r.median_column_degree, 4);
+  });
+  row("max degree per joinable column", [](const core::JoinReport& r) {
+    return FormatCount(r.max_column_degree);
+  });
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "Paper shape check: roughly half to two-thirds of tables have a\n"
+      "high-overlap partner while only 12-18%% of columns do; joinable\n"
+      "columns are overwhelmingly (75-82%%) non-key.\n");
+  return 0;
+}

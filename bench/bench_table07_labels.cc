@@ -1,0 +1,45 @@
+// Reproduces Table 7: the distribution of accidental (U-Acc / R-Acc) vs
+// useful labels over the stratified sample of joinable pairs. The paper's
+// manual annotation is replaced by the corpus generator's ground truth
+// (see DESIGN.md); SG is shown although the paper dropped it after every
+// sampled SG pair turned out accidental.
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "join/join_labels.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundles = bench::AllBundles(bench::ScaleFromEnv());
+  auto samples = bench::LabeledSamples(bundles);
+
+  core::TextTable t({"Table 7: join labels", "n", "U-Acc", "R-Acc",
+                     "accidental total", "useful"});
+  for (const auto& portal : samples) {
+    size_t useful = 0, racc = 0, uacc = 0;
+    for (const auto& lp : portal.labeled) {
+      switch (lp.label) {
+        case join::JoinLabel::kUseful:
+          ++useful;
+          break;
+        case join::JoinLabel::kRelatedAccidental:
+          ++racc;
+          break;
+        case join::JoinLabel::kUnrelatedAccidental:
+          ++uacc;
+          break;
+      }
+    }
+    const double n = std::max<size_t>(1, portal.labeled.size());
+    t.AddRow({portal.name, FormatCount(portal.labeled.size()),
+              FormatPercent(uacc / n), FormatPercent(racc / n),
+              FormatPercent((uacc + racc) / n), FormatPercent(useful / n)});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "Paper shape check: the overwhelming majority (~80-90%%) of sampled\n"
+      "high-overlap pairs are accidental; useful pairs are 13-19%% in\n"
+      "CA/UK/US and essentially absent in SG.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces Table 11: unionability statistics (exact schema overlap) and
+// the 25-pairs-per-portal labeled sample of §6.
+
+#include "bench/bench_common.h"
+#include "core/report_format.h"
+#include "union/union_labels.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ogdp;
+  auto bundles = bench::AllBundles(bench::ScaleFromEnv());
+
+  std::vector<core::UnionReport> reports;
+  for (const auto& b : bundles) {
+    reports.push_back(core::ComputeUnionReport(b, /*sample_pairs=*/25));
+  }
+
+  core::TextTable t({"Table 11: unionability", "SG", "CA", "UK", "US"});
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const auto& r : reports) cells.push_back(getter(r));
+    t.AddRow(cells);
+  };
+  row("total # tables", [](const core::UnionReport& r) {
+    return FormatCount(r.total_tables);
+  });
+  row("# unionable tables", [](const core::UnionReport& r) {
+    return FormatCount(r.unionable_tables) + " (" +
+           FormatPercent(static_cast<double>(r.unionable_tables) /
+                         std::max<size_t>(1, r.total_tables)) +
+           ")";
+  });
+  row("median degree per unionable table", [](const core::UnionReport& r) {
+    return FormatDouble(r.median_degree, 3);
+  });
+  row("max degree per unionable table", [](const core::UnionReport& r) {
+    return FormatCount(r.max_degree);
+  });
+  row("# unique schemas (avg tables/schema)", [](const core::UnionReport& r) {
+    return FormatCount(r.unique_schemas) + " (" +
+           FormatDouble(r.avg_tables_per_schema, 3) + ")";
+  });
+  row("# unionable schemas", [](const core::UnionReport& r) {
+    return FormatCount(r.unionable_schemas) + " (" +
+           FormatPercent(static_cast<double>(r.unionable_schemas) /
+                         std::max<size_t>(1, r.unique_schemas)) +
+           ")";
+  });
+  row("unionable schemas w/ single dataset", [](const core::UnionReport& r) {
+    return FormatCount(r.single_dataset_schemas) + " (" +
+           FormatPercent(static_cast<double>(r.single_dataset_schemas) /
+                         std::max<size_t>(1, r.unionable_schemas)) +
+           ")";
+  });
+  std::printf("%s\n", t.Render().c_str());
+
+  core::TextTable labels({"sec 6 labeled sample (25/portal)", "useful",
+                          "accidental", "accidental patterns"});
+  for (size_t i = 0; i < bundles.size(); ++i) {
+    size_t useful = 0, accidental = 0;
+    std::string patterns;
+    for (const auto& lp : reports[i].labeled_sample) {
+      if (lp.label == tunion::UnionLabel::kUseful) {
+        ++useful;
+      } else {
+        ++accidental;
+        if (!patterns.empty()) patterns += ", ";
+        patterns += tunion::UnionPatternName(lp.pattern);
+      }
+    }
+    labels.AddRow({bundles[i].name, FormatCount(useful),
+                   FormatCount(accidental),
+                   patterns.empty() ? "-" : patterns});
+  }
+  std::printf("%s\n", labels.Render().c_str());
+  std::printf(
+      "Paper shape check: 50-80%% of tables are unionable with small\n"
+      "median set sizes; same-schema pairs are overwhelmingly useful —\n"
+      "the exceptions are SG's standardized cross-topic schemas and US's\n"
+      "re-published duplicate tables.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// normalize_table: discover the functional dependencies of a denormalized
+// table and decompose it into BCNF, recovering the hidden base tables —
+// the paper's §4.3 scenario (e.g. the Chicago budget table whose
+// FundCode -> FundDescription FD hides a fund dimension table).
+//
+//   ./normalize_table <file.csv>    analyze your own CSV
+//   ./normalize_table               demo: a built-in NSERC-style table
+
+#include <cstdio>
+#include <string>
+
+#include "csv/csv_reader.h"
+#include "csv/header_inference.h"
+#include "fd/bcnf.h"
+#include "fd/candidate_keys.h"
+#include "fd/fd_miner.h"
+#include "table/table.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ogdp;
+
+// A miniature pre-joined awards table: city -> province and
+// fund_code -> fund_desc hold; no single-column key exists.
+table::Table DemoTable() {
+  const std::vector<std::string> header = {"applicant", "city", "province",
+                                           "fund_code", "fund_desc",
+                                           "year", "amount"};
+  const std::vector<std::vector<std::string>> rows = {
+      {"A. Chen", "Waterloo", "ON", "F-01", "Discovery", "2020", "120000"},
+      {"B. Roy", "Montreal", "QC", "F-02", "Alliance", "2020", "80000"},
+      {"C. Diaz", "Waterloo", "ON", "F-02", "Alliance", "2021", "95000"},
+      {"A. Chen", "Waterloo", "ON", "F-01", "Discovery", "2021", "125000"},
+      {"D. Wong", "Victoria", "BC", "F-01", "Discovery", "2020", "60000"},
+      {"E. Kaur", "Montreal", "QC", "F-03", "Create", "2021", "150000"},
+      {"B. Roy", "Montreal", "QC", "F-01", "Discovery", "2021", "70000"},
+      {"F. Ali", "Victoria", "BC", "F-02", "Alliance", "2020", "88000"},
+  };
+  auto t = table::Table::FromRecords("awards_demo", header, rows);
+  return std::move(t).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ogdp;
+
+  table::Table table;
+  if (argc > 1) {
+    auto parsed = csv::CsvReader::ReadFile(argv[1]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    csv::HeaderInferenceResult inferred = csv::InferHeader(*parsed);
+    auto t = table::Table::FromRecords(argv[1], inferred.header,
+                                       inferred.rows);
+    if (!t.ok()) {
+      std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    table = std::move(t).value();
+  } else {
+    std::printf("no file given; using the built-in demo table\n");
+    table = DemoTable();
+  }
+  std::printf("table '%s': %zu rows x %zu columns\n\n",
+              table.name().c_str(), table.num_rows(), table.num_columns());
+
+  std::vector<std::string> names;
+  for (const auto& c : table.columns()) names.push_back(c.name());
+
+  // Candidate keys (sizes 1-3).
+  auto keys = fd::FindCandidateKeys(table);
+  if (keys.ok()) {
+    if (keys->minimal_keys.empty()) {
+      std::printf("no candidate key of size <= 3 (heavily denormalized)\n");
+    } else {
+      std::printf("minimal candidate keys:\n");
+      for (auto key : keys->minimal_keys) {
+        std::printf("  %s\n", fd::SetToString(key, names).c_str());
+      }
+    }
+  }
+
+  // Minimal non-trivial FDs via FUN (LHS <= 4).
+  auto mined = fd::MineFun(table);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "%s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nminimal non-trivial FDs (%zu):\n", mined->fds.size());
+  for (const auto& f : mined->fds) {
+    std::printf("  %s\n", f.ToString(names).c_str());
+  }
+  if (mined->fds.empty()) {
+    std::printf("  (none — table already in BCNF)\n");
+    return 0;
+  }
+
+  // BCNF decomposition.
+  auto decomposed = fd::DecomposeToBcnf(table);
+  if (!decomposed.ok()) {
+    std::fprintf(stderr, "%s\n", decomposed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nBCNF decomposition: %zu sub-tables (%zu steps)\n",
+              decomposed->tables.size(), decomposed->steps);
+  for (const auto& sub : decomposed->tables) {
+    std::printf("  %s: %zu rows x [", sub.name().c_str(), sub.num_rows());
+    for (size_t c = 0; c < sub.num_columns(); ++c) {
+      std::printf("%s%s", c ? ", " : "", sub.column(c).name().c_str());
+    }
+    std::printf("]\n");
+  }
+
+  auto gains = fd::UniquenessGains(table, *decomposed);
+  if (!gains.empty()) {
+    double avg = 0;
+    for (double g : gains) avg += g;
+    avg /= static_cast<double>(gains.size());
+    std::printf(
+        "\navg uniqueness gain for unrepeated columns: %sx — the recovered\n"
+        "sub-tables are far less redundant than the published table\n",
+        FormatDouble(avg, 3).c_str());
+  }
+  return 0;
+}

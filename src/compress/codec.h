@@ -1,0 +1,45 @@
+#ifndef OGDP_COMPRESS_CODEC_H_
+#define OGDP_COMPRESS_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace ogdp::compress {
+
+/// A lossless byte compressor.
+///
+/// The paper uses compression only as a *redundancy probe* (Table 1
+/// measures a ~1:5 average ratio via Bandizip, foreshadowing the FD
+/// analysis). These from-scratch codecs play that role here; they are not
+/// meant to compete with zstd.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Compresses `input` into a self-contained byte string.
+  virtual std::string Compress(std::string_view input) const = 0;
+
+  /// Inverse of Compress. Fails on corrupt input.
+  virtual Result<std::string> Decompress(std::string_view input) const = 0;
+
+  /// Stable codec name for reports.
+  virtual const char* name() const = 0;
+};
+
+/// uncompressed_size / compressed_size for `codec` on `input`
+/// (>= 1 means the codec saved space). Returns 1 for empty input.
+double CompressionRatio(const Codec& codec, std::string_view input);
+
+/// Byte-oriented run-length codec: cheap lower bound on redundancy.
+std::unique_ptr<Codec> MakeRleCodec();
+
+/// LZ77/LZSS with a 64 KiB window and hash-chain matching: the workhorse
+/// used for the Table 1 "compressed size" column.
+std::unique_ptr<Codec> MakeLz77Codec();
+
+}  // namespace ogdp::compress
+
+#endif  // OGDP_COMPRESS_CODEC_H_

@@ -1,0 +1,152 @@
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace ogdp::compress {
+
+namespace {
+
+// LZSS token stream.
+//
+//   control byte c:
+//     c < 0x80  : literal run of (c + 1) bytes follows (1..128)
+//     c >= 0x80 : match of length (c - 0x80 + kMinMatch) at the 16-bit
+//                 little-endian offset that follows (1..65535 back)
+//
+// Window 64 KiB, min match 4, max match 131. Matching uses a hash table
+// over 4-byte prefixes with short chains — the classic fast-LZ layout.
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 0x7f + kMinMatch;  // 131
+constexpr size_t kWindow = 65535;
+constexpr size_t kHashBits = 16;
+constexpr size_t kMaxChain = 32;
+
+uint32_t Hash4(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+class Lz77Codec : public Codec {
+ public:
+  std::string Compress(std::string_view input) const override {
+    std::string out;
+    out.reserve(input.size() / 3 + 16);
+    const size_t n = input.size();
+    const char* data = input.data();
+
+    // head[h] = most recent position with hash h; prev[i % window] = chain.
+    std::vector<int64_t> head(size_t{1} << kHashBits, -1);
+    std::vector<int64_t> prev(kWindow + 1, -1);
+
+    std::string literals;
+    auto flush_literals = [&]() {
+      size_t off = 0;
+      while (off < literals.size()) {
+        const size_t run = std::min<size_t>(128, literals.size() - off);
+        out.push_back(static_cast<char>(run - 1));
+        out.append(literals, off, run);
+        off += run;
+      }
+      literals.clear();
+    };
+
+    size_t i = 0;
+    while (i < n) {
+      size_t best_len = 0;
+      size_t best_dist = 0;
+      if (i + kMinMatch <= n) {
+        const uint32_t h = Hash4(data + i);
+        int64_t cand = head[h];
+        size_t chain = 0;
+        while (cand >= 0 && chain < kMaxChain) {
+          const size_t dist = i - static_cast<size_t>(cand);
+          if (dist > kWindow) break;
+          const size_t limit = std::min(kMaxMatch, n - i);
+          size_t len = 0;
+          const char* a = data + static_cast<size_t>(cand);
+          const char* b = data + i;
+          while (len < limit && a[len] == b[len]) ++len;
+          if (len >= kMinMatch && len > best_len) {
+            best_len = len;
+            best_dist = dist;
+            if (len == kMaxMatch) break;
+          }
+          cand = prev[static_cast<size_t>(cand) % (kWindow + 1)];
+          ++chain;
+        }
+      }
+
+      if (best_len >= kMinMatch) {
+        flush_literals();
+        out.push_back(
+            static_cast<char>(0x80 | (best_len - kMinMatch)));
+        out.push_back(static_cast<char>(best_dist & 0xff));
+        out.push_back(static_cast<char>((best_dist >> 8) & 0xff));
+        // Insert hash entries for every covered position so later matches
+        // can refer inside this one.
+        const size_t end = i + best_len;
+        while (i < end) {
+          if (i + kMinMatch <= n) {
+            const uint32_t h = Hash4(data + i);
+            prev[i % (kWindow + 1)] = head[h];
+            head[h] = static_cast<int64_t>(i);
+          }
+          ++i;
+        }
+      } else {
+        if (i + kMinMatch <= n) {
+          const uint32_t h = Hash4(data + i);
+          prev[i % (kWindow + 1)] = head[h];
+          head[h] = static_cast<int64_t>(i);
+        }
+        literals.push_back(data[i]);
+        ++i;
+      }
+    }
+    flush_literals();
+    return out;
+  }
+
+  Result<std::string> Decompress(std::string_view input) const override {
+    std::string out;
+    size_t i = 0;
+    const size_t n = input.size();
+    while (i < n) {
+      const auto c = static_cast<unsigned char>(input[i++]);
+      if (c < 0x80) {
+        const size_t run = static_cast<size_t>(c) + 1;
+        if (i + run > n) return Status::ParseError("lz77: truncated literals");
+        out.append(input.substr(i, run));
+        i += run;
+      } else {
+        if (i + 2 > n) return Status::ParseError("lz77: truncated match");
+        const size_t len = (c - 0x80) + kMinMatch;
+        const size_t dist = static_cast<unsigned char>(input[i]) |
+                            (static_cast<size_t>(
+                                 static_cast<unsigned char>(input[i + 1]))
+                             << 8);
+        i += 2;
+        if (dist == 0 || dist > out.size()) {
+          return Status::ParseError("lz77: bad match offset");
+        }
+        // Byte-by-byte copy: matches may overlap their own output.
+        size_t src = out.size() - dist;
+        for (size_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+      }
+    }
+    return out;
+  }
+
+  const char* name() const override { return "lz77"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> MakeLz77Codec() {
+  return std::make_unique<Lz77Codec>();
+}
+
+}  // namespace ogdp::compress

@@ -1,0 +1,59 @@
+#include <cstdint>
+
+#include "compress/codec.h"
+
+namespace ogdp::compress {
+
+namespace {
+
+// Format: a stream of (count, byte) pairs where count is one byte in
+// [1, 255]. Simple and always decodable; expands incompressible data by 2x,
+// which is fine for a redundancy probe.
+class RleCodec : public Codec {
+ public:
+  std::string Compress(std::string_view input) const override {
+    std::string out;
+    out.reserve(input.size() / 2 + 16);
+    size_t i = 0;
+    while (i < input.size()) {
+      const char b = input[i];
+      size_t run = 1;
+      while (i + run < input.size() && input[i + run] == b && run < 255) {
+        ++run;
+      }
+      out.push_back(static_cast<char>(static_cast<unsigned char>(run)));
+      out.push_back(b);
+      i += run;
+    }
+    return out;
+  }
+
+  Result<std::string> Decompress(std::string_view input) const override {
+    if (input.size() % 2 != 0) {
+      return Status::ParseError("rle: truncated pair");
+    }
+    std::string out;
+    for (size_t i = 0; i < input.size(); i += 2) {
+      const auto count = static_cast<unsigned char>(input[i]);
+      if (count == 0) return Status::ParseError("rle: zero run length");
+      out.append(count, input[i + 1]);
+    }
+    return out;
+  }
+
+  const char* name() const override { return "rle"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> MakeRleCodec() { return std::make_unique<RleCodec>(); }
+
+double CompressionRatio(const Codec& codec, std::string_view input) {
+  if (input.empty()) return 1.0;
+  const std::string compressed = codec.Compress(input);
+  if (compressed.empty()) return 1.0;
+  return static_cast<double>(input.size()) /
+         static_cast<double>(compressed.size());
+}
+
+}  // namespace ogdp::compress

@@ -1,0 +1,308 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "compress/codec.h"
+#include "fd/bcnf.h"
+#include "fd/candidate_keys.h"
+#include "fd/fd_miner.h"
+#include "join/expansion.h"
+#include "stats/descriptive.h"
+
+namespace ogdp::core {
+
+PortalBundle MakePortalBundle(const corpus::PortalProfile& profile,
+                              double scale) {
+  PortalBundle bundle;
+  bundle.name = profile.name;
+  corpus::CorpusGenerator generator(profile, scale);
+  corpus::GeneratedPortal generated = generator.Generate();
+  bundle.portal = std::move(generated.portal);
+  bundle.truth = std::move(generated.truth);
+  bundle.ingest = IngestPortal(bundle.portal);
+  return bundle;
+}
+
+SizeReport ComputeSizeReport(const PortalBundle& bundle, bool compress) {
+  SizeReport r;
+  r.total_datasets = bundle.portal.datasets.size();
+  size_t csv_resources = 0;
+  for (const Dataset& ds : bundle.portal.datasets) {
+    size_t in_dataset = 0;
+    for (const Resource& res : ds.resources) {
+      if (res.claimed_format == "CSV" || res.claimed_format == "csv") {
+        ++in_dataset;
+      }
+    }
+    csv_resources += in_dataset;
+    r.max_tables_per_dataset = std::max(r.max_tables_per_dataset, in_dataset);
+  }
+  r.total_tables = csv_resources;
+  r.avg_tables_per_dataset =
+      r.total_datasets == 0
+          ? 0
+          : static_cast<double>(csv_resources) /
+                static_cast<double>(r.total_datasets);
+  r.downloadable_tables = bundle.ingest.stats.downloadable_tables;
+  r.readable_tables = bundle.ingest.stats.readable_tables;
+
+  for (size_t i = 0; i < bundle.ingest.tables.size(); ++i) {
+    const table::Table& t = bundle.ingest.tables[i];
+    r.total_columns += t.num_columns();
+    const uint64_t bytes = t.csv_size_bytes();
+    r.total_bytes += bytes;
+    r.largest_table_bytes = std::max(r.largest_table_bytes, bytes);
+    r.table_bytes_sorted.push_back(static_cast<double>(bytes));
+    r.bytes_by_year[bundle.ingest.provenance[i].publication_year] += bytes;
+  }
+  std::sort(r.table_bytes_sorted.begin(), r.table_bytes_sorted.end());
+
+  if (compress) {
+    const auto codec = compress::MakeLz77Codec();
+    for (const Dataset& ds : bundle.portal.datasets) {
+      for (const Resource& res : ds.resources) {
+        if (!res.downloadable || res.content.empty()) continue;
+        r.compressed_bytes += codec->Compress(res.content).size();
+      }
+    }
+  }
+  return r;
+}
+
+MetadataReport ComputeMetadataReport(const Portal& portal) {
+  MetadataReport r;
+  for (const Dataset& ds : portal.datasets) {
+    ++r.counts[static_cast<int>(ds.metadata)];
+    ++r.total;
+  }
+  return r;
+}
+
+std::vector<size_t> SelectFdSample(const std::vector<table::Table>& tables,
+                                   size_t min_rows, size_t max_rows,
+                                   size_t min_cols, size_t max_cols) {
+  std::vector<size_t> sample;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const table::Table& t = tables[i];
+    if (t.num_rows() >= min_rows && t.num_rows() <= max_rows &&
+        t.num_columns() >= min_cols && t.num_columns() <= max_cols) {
+      sample.push_back(i);
+    }
+  }
+  return sample;
+}
+
+KeyReport ComputeKeyReport(const std::vector<table::Table>& tables,
+                           const std::vector<size_t>& sample) {
+  KeyReport r;
+  for (size_t i : sample) {
+    auto keys = fd::FindCandidateKeys(tables[i], 3);
+    if (!keys.ok()) continue;
+    ++r.total;
+    if (!keys->min_key_size.has_value()) {
+      ++r.none;
+    } else if (*keys->min_key_size == 1) {
+      ++r.size1;
+    } else if (*keys->min_key_size == 2) {
+      ++r.size2;
+    } else {
+      ++r.size3;
+    }
+  }
+  return r;
+}
+
+FdReport ComputeFdReport(const std::vector<table::Table>& tables,
+                         const std::vector<size_t>& sample, uint64_t seed) {
+  FdReport r;
+  double decomp_tables_sum = 0;
+  size_t decomposed = 0;
+  double partition_cols_sum = 0;
+  size_t partition_count = 0;
+  std::vector<double> gains;
+
+  for (size_t i : sample) {
+    const table::Table& t = tables[i];
+    fd::FdMinerOptions miner;
+    auto mined = fd::MineFun(t, miner);
+    if (!mined.ok()) continue;
+    ++r.sample_tables;
+    r.sample_columns += t.num_columns();
+    if (mined->fds.empty()) {
+      r.decomposition_counts.push_back(1);
+      continue;
+    }
+    ++r.tables_with_fd;
+    for (const auto& f : mined->fds) {
+      if (fd::SetSize(f.lhs) == 1) {
+        ++r.tables_with_lhs1_fd;
+        break;
+      }
+    }
+    fd::BcnfOptions bcnf;
+    bcnf.seed = seed ^ (i * 0x9e3779b97f4a7c15ULL);
+    auto decomp = fd::DecomposeToBcnf(t, bcnf);
+    if (!decomp.ok()) {
+      r.decomposition_counts.push_back(1);
+      continue;
+    }
+    r.decomposition_counts.push_back(decomp->tables.size());
+    if (decomp->tables.size() > 1) {
+      ++decomposed;
+      decomp_tables_sum += static_cast<double>(decomp->tables.size());
+      for (const table::Table& sub : decomp->tables) {
+        partition_cols_sum += static_cast<double>(sub.num_columns());
+        ++partition_count;
+      }
+      for (double g : fd::UniquenessGains(t, *decomp)) gains.push_back(g);
+    }
+  }
+  r.avg_cols_per_table =
+      r.sample_tables == 0 ? 0
+                           : static_cast<double>(r.sample_columns) /
+                                 static_cast<double>(r.sample_tables);
+  r.avg_tables_after_decomp =
+      decomposed == 0 ? 0 : decomp_tables_sum / static_cast<double>(decomposed);
+  r.avg_cols_in_partitions =
+      partition_count == 0
+          ? 0
+          : partition_cols_sum / static_cast<double>(partition_count);
+  r.avg_uniqueness_gain = stats::Mean(gains);
+  return r;
+}
+
+JoinReport ComputeJoinReport(const std::vector<table::Table>& tables,
+                             const join::JoinablePairFinder& finder,
+                             const std::vector<join::JoinablePair>& pairs,
+                             size_t expansion_cap) {
+  JoinReport r;
+  r.total_pairs = pairs.size();
+  r.total_tables = tables.size();
+  for (const table::Table& t : tables) r.total_columns += t.num_columns();
+
+  // Degrees: distinct partner tables per table, partner columns per column.
+  std::map<size_t, std::set<size_t>> table_partners;
+  std::map<join::ColumnRef, std::set<join::ColumnRef>> column_partners;
+  for (const auto& p : pairs) {
+    table_partners[p.a.table].insert(p.b.table);
+    table_partners[p.b.table].insert(p.a.table);
+    column_partners[p.a].insert(p.b);
+    column_partners[p.b].insert(p.a);
+  }
+  r.joinable_tables = table_partners.size();
+  std::vector<double> table_degrees;
+  for (const auto& [t, partners] : table_partners) {
+    table_degrees.push_back(static_cast<double>(partners.size()));
+    r.max_table_degree = std::max(r.max_table_degree, partners.size());
+  }
+  r.median_table_degree = stats::Median(std::move(table_degrees));
+
+  std::map<join::ColumnRef, bool> keyness;
+  for (const auto& s : finder.column_sets()) keyness[s.ref] = s.is_key;
+  r.joinable_columns = column_partners.size();
+  std::vector<double> col_degrees;
+  for (const auto& [c, partners] : column_partners) {
+    col_degrees.push_back(static_cast<double>(partners.size()));
+    r.max_column_degree = std::max(r.max_column_degree, partners.size());
+    if (keyness[c]) {
+      ++r.key_joinable_columns;
+    } else {
+      ++r.nonkey_joinable_columns;
+    }
+  }
+  r.median_column_degree = stats::Median(std::move(col_degrees));
+
+  // Expansion ratios (Fig. 8), capped for very dense corpora.
+  std::map<join::ColumnRef, const join::ColumnValueSet*> set_of;
+  for (const auto& s : finder.column_sets()) set_of[s.ref] = &s;
+  const size_t n = std::min(pairs.size(), expansion_cap);
+  r.expansion_ratios.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    r.expansion_ratios.push_back(
+        join::ExpansionRatio(*set_of[pairs[i].a], *set_of[pairs[i].b]));
+  }
+  return r;
+}
+
+std::vector<LabeledJoinPair> LabelJoinSample(
+    const PortalBundle& bundle, const join::JoinablePairFinder& finder,
+    const std::vector<join::JoinablePair>& pairs,
+    const join::JoinSamplerOptions& options) {
+  const auto& tables = bundle.ingest.tables;
+  std::vector<join::SampledJoinPair> sampled =
+      join::SampleJoinablePairs(tables, finder.column_sets(), pairs, options);
+
+  std::map<join::ColumnRef, const join::ColumnValueSet*> set_of;
+  for (const auto& s : finder.column_sets()) set_of[s.ref] = &s;
+
+  std::vector<LabeledJoinPair> out;
+  out.reserve(sampled.size());
+  for (const auto& s : sampled) {
+    LabeledJoinPair lp;
+    lp.sample = s;
+    const table::Table& ta = tables[s.pair.a.table];
+    const table::Table& tb = tables[s.pair.b.table];
+    lp.intra_dataset = ta.dataset_id() == tb.dataset_id();
+    const auto* truth_a = bundle.truth.Find(ta.dataset_id(), ta.name());
+    const auto* truth_b = bundle.truth.Find(tb.dataset_id(), tb.name());
+    if (truth_a != nullptr && truth_b != nullptr) {
+      lp.label = bundle.truth.LabelJoin(*truth_a, s.pair.a.column, *truth_b,
+                                        s.pair.b.column);
+    }
+    // The two sides share a value domain, so one inferred type stands for
+    // the pair; the incremental-integer signal wins when either side shows
+    // it (Table 10 buckets).
+    const table::DataType type_a = set_of[s.pair.a]->type;
+    const table::DataType type_b = set_of[s.pair.b]->type;
+    lp.join_type =
+        (type_a == table::DataType::kIncrementalInteger ||
+         type_b == table::DataType::kIncrementalInteger)
+            ? table::DataType::kIncrementalInteger
+            : type_a;
+    lp.expansion_ratio =
+        join::ExpansionRatio(*set_of[s.pair.a], *set_of[s.pair.b]);
+    out.push_back(std::move(lp));
+  }
+  return out;
+}
+
+UnionReport ComputeUnionReport(const PortalBundle& bundle,
+                               size_t sample_pairs, uint64_t seed) {
+  UnionReport r;
+  const auto& tables = bundle.ingest.tables;
+  r.total_tables = tables.size();
+  tunion::UnionableFinder finder(tables);
+  r.unionable_tables = finder.unionable_table_count();
+  r.unique_schemas = finder.unique_schema_count();
+  r.avg_tables_per_schema =
+      r.unique_schemas == 0 ? 0
+                            : static_cast<double>(r.total_tables) /
+                                  static_cast<double>(r.unique_schemas);
+  r.unionable_schemas = finder.unionable_sets().size();
+  std::vector<double> degrees;
+  for (const auto& set : finder.unionable_sets()) {
+    if (set.single_dataset) ++r.single_dataset_schemas;
+    for (size_t i = 0; i < set.tables.size(); ++i) {
+      degrees.push_back(static_cast<double>(set.tables.size()));
+    }
+    r.max_degree = std::max(r.max_degree, set.tables.size());
+  }
+  r.median_degree = stats::Median(std::move(degrees));
+
+  for (const auto& sample :
+       tunion::SampleUnionablePairs(finder, sample_pairs, seed)) {
+    const table::Table& ta = tables[sample.table_a];
+    const table::Table& tb = tables[sample.table_b];
+    const auto* truth_a = bundle.truth.Find(ta.dataset_id(), ta.name());
+    const auto* truth_b = bundle.truth.Find(tb.dataset_id(), tb.name());
+    UnionReport::LabeledPair lp;
+    if (truth_a != nullptr && truth_b != nullptr) {
+      lp.label = bundle.truth.LabelUnion(*truth_a, *truth_b, &lp.pattern);
+    }
+    r.labeled_sample.push_back(lp);
+  }
+  return r;
+}
+
+}  // namespace ogdp::core

@@ -1,0 +1,179 @@
+#ifndef OGDP_CORE_ANALYSIS_H_
+#define OGDP_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ingestion.h"
+#include "core/portal_model.h"
+#include "corpus/generator.h"
+#include "join/joinable_pair_finder.h"
+#include "join/pair_sampler.h"
+#include "profile/portal_stats.h"
+#include "table/data_type.h"
+#include "union/unionable_finder.h"
+#include "util/result.h"
+
+namespace ogdp::core {
+
+/// One portal's generated data plus its ingested tables: the unit every
+/// experiment below consumes.
+struct PortalBundle {
+  std::string name;
+  Portal portal;
+  corpus::GroundTruth truth;
+  IngestResult ingest;
+};
+
+/// Generates a portal at `scale` and runs the ingestion pipeline on it.
+PortalBundle MakePortalBundle(const corpus::PortalProfile& profile,
+                              double scale);
+
+// --------------------------------------------------------------- Table 1
+
+/// Portal size statistics (Table 1) + the inputs to Figs. 1 and 2.
+struct SizeReport {
+  size_t total_datasets = 0;
+  double avg_tables_per_dataset = 0;  // CSV resources per dataset
+  size_t max_tables_per_dataset = 0;
+  size_t total_tables = 0;
+  size_t downloadable_tables = 0;
+  size_t readable_tables = 0;
+  size_t total_columns = 0;
+  uint64_t total_bytes = 0;
+  uint64_t compressed_bytes = 0;  // 0 when compression disabled
+  uint64_t largest_table_bytes = 0;
+  /// Per-table CSV byte sizes, ascending (Fig. 1).
+  std::vector<double> table_bytes_sorted;
+  /// Cumulative readable bytes by publication year (Fig. 2).
+  std::map<int, uint64_t> bytes_by_year;
+};
+
+SizeReport ComputeSizeReport(const PortalBundle& bundle,
+                             bool compress = true);
+
+// --------------------------------------------------------------- Table 3
+
+/// Metadata presence distribution (Table 3).
+struct MetadataReport {
+  size_t counts[4] = {0, 0, 0, 0};  // indexed by MetadataPresence
+  size_t total = 0;
+  double Fraction(MetadataPresence p) const {
+    return total == 0 ? 0
+                      : static_cast<double>(counts[static_cast<int>(p)]) /
+                            static_cast<double>(total);
+  }
+};
+
+MetadataReport ComputeMetadataReport(const Portal& portal);
+
+// ------------------------------------------------------- Tables 5 / Fig 6-7
+
+/// The paper's FD-analysis sample (§4.2): tables with 10 <= rows <= 10000
+/// and 5 <= columns <= 20. Returns indices into `tables`.
+std::vector<size_t> SelectFdSample(const std::vector<table::Table>& tables,
+                                   size_t min_rows = 10,
+                                   size_t max_rows = 10000,
+                                   size_t min_cols = 5, size_t max_cols = 20);
+
+/// Minimum-candidate-key-size distribution (Fig. 6).
+struct KeyReport {
+  size_t size1 = 0;
+  size_t size2 = 0;
+  size_t size3 = 0;
+  size_t none = 0;  // no candidate key of size <= 3
+  size_t total = 0;
+};
+
+KeyReport ComputeKeyReport(const std::vector<table::Table>& tables,
+                           const std::vector<size_t>& sample);
+
+/// FD prevalence and BCNF decomposition statistics (Table 5, Fig. 7).
+struct FdReport {
+  size_t sample_tables = 0;
+  size_t sample_columns = 0;
+  double avg_cols_per_table = 0;
+  size_t tables_with_fd = 0;        // >= 1 minimal non-trivial FD
+  size_t tables_with_lhs1_fd = 0;   // >= 1 such FD with |LHS| = 1
+  /// Number of final sub-tables per sampled table (1 = already in BCNF);
+  /// the Fig. 7 distribution.
+  std::vector<size_t> decomposition_counts;
+  double avg_tables_after_decomp = 0;  // over tables not in BCNF
+  double avg_cols_in_partitions = 0;   // over sub-tables of decomposed
+  double avg_uniqueness_gain = 0;      // unrepeated columns, after/before
+};
+
+FdReport ComputeFdReport(const std::vector<table::Table>& tables,
+                         const std::vector<size_t>& sample,
+                         uint64_t seed = 7);
+
+// ------------------------------------------------------- Table 6 / Fig 8
+
+/// Joinability statistics (Table 6) plus expansion ratios (Fig. 8).
+struct JoinReport {
+  size_t total_pairs = 0;
+  size_t total_tables = 0;
+  size_t joinable_tables = 0;
+  double median_table_degree = 0;
+  size_t max_table_degree = 0;
+  size_t total_columns = 0;
+  size_t joinable_columns = 0;
+  size_t key_joinable_columns = 0;
+  size_t nonkey_joinable_columns = 0;
+  double median_column_degree = 0;
+  size_t max_column_degree = 0;
+  /// Expansion ratios of joinable pairs (capped sample; Fig. 8).
+  std::vector<double> expansion_ratios;
+};
+
+JoinReport ComputeJoinReport(const std::vector<table::Table>& tables,
+                             const join::JoinablePairFinder& finder,
+                             const std::vector<join::JoinablePair>& pairs,
+                             size_t expansion_cap = 300000);
+
+// ----------------------------------------------------------- Tables 7-10
+
+/// A sampled joinable pair with its ground-truth label and the properties
+/// the paper cross-tabulates (Tables 7, 8, 9, 10).
+struct LabeledJoinPair {
+  join::SampledJoinPair sample;
+  join::JoinLabel label = join::JoinLabel::kRelatedAccidental;
+  bool intra_dataset = false;
+  table::DataType join_type = table::DataType::kString;
+  double expansion_ratio = 0;
+};
+
+/// Runs the paper's stratified sampler and labels each sampled pair with
+/// the corpus ground truth (replacing manual annotation; see DESIGN.md).
+std::vector<LabeledJoinPair> LabelJoinSample(
+    const PortalBundle& bundle, const join::JoinablePairFinder& finder,
+    const std::vector<join::JoinablePair>& pairs,
+    const join::JoinSamplerOptions& options = {});
+
+// -------------------------------------------------------------- Table 11
+
+/// Unionability statistics and the labeled pair sample (Table 11 / §6).
+struct UnionReport {
+  size_t total_tables = 0;
+  size_t unionable_tables = 0;
+  double median_degree = 0;
+  size_t max_degree = 0;
+  size_t unique_schemas = 0;
+  double avg_tables_per_schema = 0;
+  size_t unionable_schemas = 0;
+  size_t single_dataset_schemas = 0;
+  struct LabeledPair {
+    tunion::UnionLabel label = tunion::UnionLabel::kUseful;
+    tunion::UnionPattern pattern = tunion::UnionPattern::kOther;
+  };
+  std::vector<LabeledPair> labeled_sample;
+};
+
+UnionReport ComputeUnionReport(const PortalBundle& bundle,
+                               size_t sample_pairs = 25, uint64_t seed = 11);
+
+}  // namespace ogdp::core
+
+#endif  // OGDP_CORE_ANALYSIS_H_

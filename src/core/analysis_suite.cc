@@ -1,0 +1,97 @@
+#include "core/analysis_suite.h"
+
+#include <map>
+
+#include "core/report_format.h"
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace ogdp::core {
+
+PortalAnalysis RunFullAnalysis(const PortalBundle& bundle,
+                               const AnalysisSuiteOptions& options) {
+  PortalAnalysis a;
+  a.portal_name = bundle.name;
+  a.size = ComputeSizeReport(bundle, options.compress);
+  a.metadata = ComputeMetadataReport(bundle.portal);
+  a.table_sizes = profile::ComputeTableSizeStats(bundle.ingest.tables);
+  a.nulls = profile::ComputeNullStats(bundle.ingest.tables);
+  a.uniqueness = profile::ComputeUniquenessStats(bundle.ingest.tables);
+
+  const auto sample = SelectFdSample(bundle.ingest.tables);
+  a.keys = ComputeKeyReport(bundle.ingest.tables, sample);
+  a.fds = ComputeFdReport(bundle.ingest.tables, sample);
+
+  join::JoinablePairFinder finder(bundle.ingest.tables);
+  const auto pairs = finder.FindAllPairs();
+  a.joins = ComputeJoinReport(bundle.ingest.tables, finder, pairs);
+  a.labeled_joins = LabelJoinSample(bundle, finder, pairs, options.sampler);
+
+  a.unions = ComputeUnionReport(bundle, options.union_sample_pairs);
+  return a;
+}
+
+std::string RenderPortalAnalysis(const PortalAnalysis& a) {
+  std::string out = "=== Portal " + a.portal_name + " ===\n";
+  TextTable t({"metric", "value"});
+  t.AddRow({"datasets", FormatCount(a.size.total_datasets)});
+  t.AddRow({"tables (advertised/downloadable/readable)",
+            FormatCount(a.size.total_tables) + " / " +
+                FormatCount(a.size.downloadable_tables) + " / " +
+                FormatCount(a.size.readable_tables)});
+  t.AddRow({"total size", FormatBytes(a.size.total_bytes)});
+  t.AddRow({"median rows x columns",
+            FormatDouble(a.table_sizes.rows.median, 4) + " x " +
+                FormatDouble(a.table_sizes.cols.median, 3)});
+  t.AddRow({"columns with nulls",
+            FormatPercent(static_cast<double>(a.nulls.columns_with_nulls) /
+                          std::max<size_t>(1, a.nulls.total_columns))});
+  t.AddRow({"median uniqueness score",
+            FormatDouble(a.uniqueness.all.median_score, 3)});
+  t.AddRow({"tables with single-column key",
+            FormatPercent(a.uniqueness.frac_tables_with_key)});
+  t.AddRow({"FD sample tables with a non-trivial FD",
+            FormatPercent(static_cast<double>(a.fds.tables_with_fd) /
+                          std::max<size_t>(1, a.fds.sample_tables))});
+  t.AddRow({"avg sub-tables after BCNF decomposition",
+            FormatDouble(a.fds.avg_tables_after_decomp, 3)});
+  t.AddRow({"joinable pairs (J >= 0.9)", FormatCount(a.joins.total_pairs)});
+  t.AddRow({"joinable tables",
+            FormatPercent(static_cast<double>(a.joins.joinable_tables) /
+                          std::max<size_t>(1, a.joins.total_tables))});
+  t.AddRow({"median expansion ratio",
+            FormatDouble(stats::Median(a.joins.expansion_ratios), 3)});
+  size_t useful = 0;
+  for (const auto& lp : a.labeled_joins) {
+    useful += lp.label == join::JoinLabel::kUseful;
+  }
+  t.AddRow({"sampled join pairs useful",
+            FormatCount(useful) + " / " +
+                FormatCount(a.labeled_joins.size())});
+  t.AddRow({"unionable tables",
+            FormatPercent(static_cast<double>(a.unions.unionable_tables) /
+                          std::max<size_t>(1, a.unions.total_tables))});
+  out += t.Render();
+  return out;
+}
+
+std::vector<DatasetLink> DetectSemiNormalizedLinks(
+    const std::vector<table::Table>& tables,
+    const join::JoinablePairFinder& finder,
+    const std::vector<join::JoinablePair>& pairs, double min_jaccard) {
+  std::map<join::ColumnRef, bool> keyness;
+  for (const auto& s : finder.column_sets()) keyness[s.ref] = s.is_key;
+
+  std::vector<DatasetLink> links;
+  for (const auto& p : pairs) {
+    if (p.jaccard + 1e-12 < min_jaccard) continue;
+    const std::string& ds = tables[p.a.table].dataset_id();
+    if (ds != tables[p.b.table].dataset_id()) continue;
+    const auto combo = join::CombineKeyness(keyness[p.a], keyness[p.b]);
+    if (combo == join::KeyCombination::kNonkeyNonkey) continue;
+    links.push_back(DatasetLink{p, ds, combo});
+  }
+  return links;
+}
+
+}  // namespace ogdp::core

@@ -1,0 +1,63 @@
+#ifndef OGDP_CORE_ANALYSIS_SUITE_H_
+#define OGDP_CORE_ANALYSIS_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+
+namespace ogdp::core {
+
+/// Options for the one-call full analysis.
+struct AnalysisSuiteOptions {
+  /// Compute compressed sizes (the slowest part of Table 1).
+  bool compress = false;
+  /// Union label sample size per the paper (25).
+  size_t union_sample_pairs = 25;
+  join::JoinSamplerOptions sampler;
+};
+
+/// Everything the paper computes for one portal, in one struct.
+struct PortalAnalysis {
+  std::string portal_name;
+  SizeReport size;
+  MetadataReport metadata;
+  profile::TableSizeStats table_sizes;
+  profile::NullStats nulls;
+  profile::UniquenessStats uniqueness;
+  KeyReport keys;
+  FdReport fds;
+  JoinReport joins;
+  std::vector<LabeledJoinPair> labeled_joins;
+  UnionReport unions;
+};
+
+/// Runs the complete analysis pipeline over an ingested portal: sizes,
+/// metadata, nulls, uniqueness, candidate keys, FDs + BCNF, joinability +
+/// the stratified labeled sample, and unionability.
+PortalAnalysis RunFullAnalysis(const PortalBundle& bundle,
+                               const AnalysisSuiteOptions& options = {});
+
+/// Renders the analysis as a compact multi-section plain-text report.
+std::string RenderPortalAnalysis(const PortalAnalysis& analysis);
+
+/// A designed link between two tables of one dataset: an intra-dataset
+/// high-overlap column pair with at least one key side — the
+/// "semi-normalized dataset" structure (§5.2) that systems like Governor
+/// surface to users as pre-computed joins.
+struct DatasetLink {
+  join::JoinablePair pair;
+  std::string dataset_id;
+  join::KeyCombination key_combo = join::KeyCombination::kKeyKey;
+};
+
+/// Detects semi-normalized link columns: pairs within one dataset whose
+/// Jaccard is >= `min_jaccard` and where at least one side is a key.
+std::vector<DatasetLink> DetectSemiNormalizedLinks(
+    const std::vector<table::Table>& tables,
+    const join::JoinablePairFinder& finder,
+    const std::vector<join::JoinablePair>& pairs, double min_jaccard = 0.95);
+
+}  // namespace ogdp::core
+
+#endif  // OGDP_CORE_ANALYSIS_SUITE_H_

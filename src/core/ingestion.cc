@@ -1,0 +1,79 @@
+#include "core/ingestion.h"
+
+#include "csv/cleaning.h"
+#include "csv/csv_reader.h"
+#include "csv/file_type_detector.h"
+#include "csv/header_inference.h"
+#include "util/string_util.h"
+
+namespace ogdp::core {
+
+IngestResult IngestPortal(const Portal& portal,
+                          const IngestOptions& options) {
+  IngestResult result;
+  result.stats.total_datasets = portal.datasets.size();
+
+  for (size_t d = 0; d < portal.datasets.size(); ++d) {
+    const Dataset& dataset = portal.datasets[d];
+    for (size_t r = 0; r < dataset.resources.size(); ++r) {
+      const Resource& res = dataset.resources[r];
+      // Stage 1: the paper selects resources whose *metadata* says CSV.
+      if (ToLower(res.claimed_format) != "csv") continue;
+      ++result.stats.total_tables;
+
+      // Stage 2: simulated HTTP fetch.
+      if (!res.downloadable) continue;
+      ++result.stats.downloadable_tables;
+
+      // Stage 3: content sniffing — portals frequently serve HTML error
+      // pages or PDFs under a CSV label.
+      if (!csv::FileTypeDetector::LooksLikeCsv(res.content)) {
+        ++result.stats.rejected_not_csv;
+        continue;
+      }
+
+      // Stage 4-5: header inference + parse.
+      csv::CsvReaderOptions reader_options;
+      auto parsed = csv::CsvReader::ParseString(res.content, reader_options);
+      if (!parsed.ok() || parsed->empty()) {
+        ++result.stats.rejected_parse;
+        continue;
+      }
+      csv::HeaderInferenceOptions header_options;
+      header_options.scan_rows = options.header_scan_rows;
+      csv::HeaderInferenceResult inferred =
+          csv::InferHeader(*parsed, header_options);
+      if (inferred.num_columns == 0) {
+        ++result.stats.rejected_parse;
+        continue;
+      }
+
+      // Stage 6: cleaning — trailing empty columns, then the wide-table
+      // cutoff.
+      result.stats.trailing_empty_columns_removed +=
+          csv::RemoveTrailingEmptyColumns(inferred);
+      if (csv::IsTooWide(inferred, options.max_columns)) {
+        ++result.stats.readable_tables;  // readable, but excluded
+        ++result.stats.removed_wide_tables;
+        continue;
+      }
+
+      auto table = table::Table::FromRecords(res.name, inferred.header,
+                                             inferred.rows);
+      if (!table.ok()) {
+        ++result.stats.rejected_parse;
+        continue;
+      }
+      ++result.stats.readable_tables;
+      result.stats.total_bytes += res.content.size();
+      table->set_dataset_id(dataset.id);
+      table->set_csv_size_bytes(res.content.size());
+      result.tables.push_back(std::move(table).value());
+      result.provenance.push_back(
+          TableProvenance{d, r, dataset.publication_year});
+    }
+  }
+  return result;
+}
+
+}  // namespace ogdp::core

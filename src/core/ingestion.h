@@ -1,0 +1,60 @@
+#ifndef OGDP_CORE_INGESTION_H_
+#define OGDP_CORE_INGESTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/portal_model.h"
+#include "table/table.h"
+
+namespace ogdp::core {
+
+/// Where each readable table came from.
+struct TableProvenance {
+  size_t dataset_index = 0;
+  size_t resource_index = 0;
+  int publication_year = 2020;
+};
+
+/// Counters for every stage of the paper's pipeline (§2.2 / Table 1).
+struct IngestStats {
+  size_t total_datasets = 0;
+  size_t total_tables = 0;         // resources advertised as CSV
+  size_t downloadable_tables = 0;  // HTTP 200
+  size_t readable_tables = 0;      // passed type check + header + parse
+  size_t rejected_not_csv = 0;     // libmagic-equivalent rejections
+  size_t rejected_parse = 0;       // unparsable content
+  size_t removed_wide_tables = 0;  // > max_columns cleaning cutoff
+  size_t trailing_empty_columns_removed = 0;
+  uint64_t total_bytes = 0;  // bytes of readable CSVs
+};
+
+/// Output of ingesting one portal: cleaned, typed tables + provenance.
+struct IngestResult {
+  std::vector<table::Table> tables;
+  std::vector<TableProvenance> provenance;  // parallel to `tables`
+  IngestStats stats;
+};
+
+/// Options mirroring the paper's pipeline parameters.
+struct IngestOptions {
+  /// Wide-table cleaning cutoff (§2.2: 100 columns).
+  size_t max_columns = 100;
+  /// Header inference scan window (§2.2: 500 rows).
+  size_t header_scan_rows = 500;
+};
+
+/// Runs the paper's ingestion pipeline (§2.2) over a portal:
+///
+///   CSV-format filter -> download -> content type detection (libmagic
+///   stand-in) -> header inference -> parse -> trailing-empty-column
+///   removal -> wide-table filter -> typed Table.
+///
+/// Tables keep their dataset id; provenance records the dataset/resource.
+IngestResult IngestPortal(const Portal& portal,
+                          const IngestOptions& options = {});
+
+}  // namespace ogdp::core
+
+#endif  // OGDP_CORE_INGESTION_H_

@@ -1,0 +1,19 @@
+#include "core/portal_model.h"
+
+namespace ogdp::core {
+
+const char* MetadataPresenceName(MetadataPresence presence) {
+  switch (presence) {
+    case MetadataPresence::kStructured:
+      return "structured";
+    case MetadataPresence::kUnstructured:
+      return "unstructured";
+    case MetadataPresence::kOutsidePortal:
+      return "outside_portal";
+    case MetadataPresence::kLacking:
+      return "lacking";
+  }
+  return "unknown";
+}
+
+}  // namespace ogdp::core

@@ -1,0 +1,52 @@
+#ifndef OGDP_CORE_PORTAL_MODEL_H_
+#define OGDP_CORE_PORTAL_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ogdp::core {
+
+/// Availability/structure of a dataset's metadata (data-dictionary) files,
+/// the four classes of the paper's Table 3.
+enum class MetadataPresence {
+  kStructured,     // machine-readable (CSV dictionary / consistent webpage)
+  kUnstructured,   // pdf or free-form webpage
+  kOutsidePortal,  // referenced but hosted elsewhere
+  kLacking,        // none
+};
+
+const char* MetadataPresenceName(MetadataPresence presence);
+
+/// One resource file of a dataset (CKAN sense, §2.1): raw bytes plus the
+/// portal-advertised format. `downloadable` simulates the HTTP fetch
+/// outcome the paper reports (e.g. only 41% of CA tables download).
+struct Resource {
+  std::string name;            // file name, e.g. "awards_2020.csv"
+  std::string claimed_format;  // format field from portal metadata
+  bool downloadable = true;
+  std::string content;         // raw file bytes (empty if not downloadable)
+};
+
+/// A dataset: a titled collection of resources published together.
+struct Dataset {
+  std::string id;
+  std::string title;
+  /// Topical domain (health, fisheries, budget, ...) used by the
+  /// ground-truth labeling oracle; real portals expose this via tags.
+  std::string topic;
+  MetadataPresence metadata = MetadataPresence::kLacking;
+  /// Publication year, for the growth analysis (Fig. 2).
+  int publication_year = 2020;
+  std::vector<Resource> resources;
+};
+
+/// An open government data portal: a named set of datasets.
+struct Portal {
+  std::string name;  // "SG", "CA", "UK", "US"
+  std::vector<Dataset> datasets;
+};
+
+}  // namespace ogdp::core
+
+#endif  // OGDP_CORE_PORTAL_MODEL_H_

@@ -1,0 +1,43 @@
+#include "core/report_format.h"
+
+#include <algorithm>
+
+namespace ogdp::core {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(rows_.front().size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  const size_t cols = rows_.front().size();
+  std::vector<size_t> widths(cols, 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < cols; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      out += rows_[r][c];
+      if (c + 1 < cols) {
+        out.append(widths[c] - rows_[r][c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < cols; ++c) total += widths[c] + (c + 1 < cols ? 2 : 0);
+      out.append(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace ogdp::core

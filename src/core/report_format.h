@@ -1,0 +1,27 @@
+#ifndef OGDP_CORE_REPORT_FORMAT_H_
+#define OGDP_CORE_REPORT_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+namespace ogdp::core {
+
+/// Column-aligned plain-text table used by every benchmark binary to print
+/// its paper table/figure.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string Render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+}  // namespace ogdp::core
+
+#endif  // OGDP_CORE_REPORT_FORMAT_H_

@@ -1,0 +1,92 @@
+#include "corpus/corpus_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "csv/cleaning.h"
+#include "csv/csv_reader.h"
+#include "csv/csv_writer.h"
+#include "csv/file_type_detector.h"
+#include "csv/header_inference.h"
+#include "table/table.h"
+
+namespace ogdp::corpus {
+
+namespace fs = std::filesystem;
+
+Status WritePortalToDirectory(const core::Portal& portal,
+                              const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
+
+  csv::CsvWriter catalog;
+  catalog.WriteRecord(
+      {"dataset_id", "title", "topic", "metadata", "publication_year",
+       "resources"});
+  for (const core::Dataset& ds : portal.datasets) {
+    const fs::path ds_dir = fs::path(dir) / ds.id;
+    fs::create_directories(ds_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create " + ds_dir.string() + ": " +
+                             ec.message());
+    }
+    std::string resource_names;
+    for (const core::Resource& res : ds.resources) {
+      if (!resource_names.empty()) resource_names += ';';
+      resource_names += res.name;
+      if (!res.downloadable || res.content.empty()) continue;
+      std::ofstream out(ds_dir / res.name, std::ios::binary);
+      if (!out) {
+        return Status::IoError("cannot write " +
+                               (ds_dir / res.name).string());
+      }
+      out.write(res.content.data(),
+                static_cast<std::streamsize>(res.content.size()));
+    }
+    catalog.WriteRecord({ds.id, ds.title, ds.topic,
+                         core::MetadataPresenceName(ds.metadata),
+                         std::to_string(ds.publication_year),
+                         resource_names});
+  }
+  return catalog.Flush((fs::path(dir) / "catalog.csv").string());
+}
+
+Result<std::vector<table::Table>> ReadCsvDirectory(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file() && it->path().extension() == ".csv" &&
+        it->path().filename() != "catalog.csv") {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<table::Table> tables;
+  for (const fs::path& path : files) {
+    auto content = csv::ReadFileToString(path.string());
+    if (!content.ok()) continue;
+    if (!csv::FileTypeDetector::LooksLikeCsv(*content)) continue;
+    auto parsed = csv::CsvReader::ParseString(*content);
+    if (!parsed.ok() || parsed->empty()) continue;
+    csv::HeaderInferenceResult inferred = csv::InferHeader(*parsed);
+    if (inferred.num_columns == 0) continue;
+    csv::RemoveTrailingEmptyColumns(inferred);
+    if (csv::IsTooWide(inferred)) continue;
+    auto table = table::Table::FromRecords(path.filename().string(),
+                                           inferred.header, inferred.rows);
+    if (!table.ok()) continue;
+    table->set_dataset_id(path.parent_path().filename().string());
+    table->set_csv_size_bytes(content->size());
+    tables.push_back(std::move(table).value());
+  }
+  return tables;
+}
+
+}  // namespace ogdp::corpus

@@ -1,0 +1,34 @@
+#ifndef OGDP_CORPUS_CORPUS_IO_H_
+#define OGDP_CORPUS_CORPUS_IO_H_
+
+#include <string>
+
+#include <vector>
+
+#include "core/portal_model.h"
+#include "table/table.h"
+#include "util/result.h"
+
+namespace ogdp::corpus {
+
+/// Writes a portal to disk as a CKAN-like directory tree:
+///
+///   <dir>/<dataset_id>/<resource_name>     (downloadable resources only)
+///   <dir>/catalog.csv                      (dataset id, title, topic,
+///                                           metadata presence, year,
+///                                           resource list)
+///
+/// Examples use this to demonstrate the analysis pipeline over real files
+/// on disk rather than in-memory tables.
+Status WritePortalToDirectory(const core::Portal& portal,
+                              const std::string& dir);
+
+/// Reads every *.csv file under `dir` (recursively) through the full
+/// ingestion pipeline (type sniffing, header inference, cleaning) and
+/// returns the readable tables. The dataset id of each table is its parent
+/// directory name.
+Result<std::vector<table::Table>> ReadCsvDirectory(const std::string& dir);
+
+}  // namespace ogdp::corpus
+
+#endif  // OGDP_CORPUS_CORPUS_IO_H_

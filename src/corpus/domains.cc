@@ -1,0 +1,215 @@
+#include "corpus/domains.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace ogdp::corpus {
+
+namespace {
+
+// NOLINTBEGIN: function-local statics of vector<string> are intentional
+// here; these vocabularies live for the program's lifetime.
+const std::vector<std::string>* NewStringList(
+    std::initializer_list<const char*> items) {
+  auto* v = new std::vector<std::string>();
+  for (const char* s : items) v->emplace_back(s);
+  return v;
+}
+
+constexpr std::array<const char*, 24> kAdjectives = {
+    "Harbour", "Maple",   "Granite", "Northern", "Crescent", "Silver",
+    "Summit",  "Pacific", "Atlantic", "Central", "Eastern",  "Western",
+    "Royal",   "Cedar",   "Lakeside", "Highland", "Valley",  "Prairie",
+    "Coastal", "Urban",   "Rural",    "Metro",    "Civic",   "Pioneer"};
+
+constexpr std::array<const char*, 24> kNouns = {
+    "Ridge",  "Institute", "Commons",  "Heights", "Centre",   "College",
+    "Bridge", "Harbour",   "District", "Park",    "Crossing", "Station",
+    "Point",  "Gardens",   "Mills",    "Field",   "Brook",    "Haven",
+    "Grove",  "Landing",   "Terrace",  "Bay",     "Falls",    "Junction"};
+
+}  // namespace
+
+const std::vector<std::string>& CanadianProvinces() {
+  static const auto* kList = NewStringList(
+      {"Alberta", "British Columbia", "Manitoba", "New Brunswick",
+       "Newfoundland and Labrador", "Northwest Territories", "Nova Scotia",
+       "Nunavut", "Ontario", "Prince Edward Island", "Quebec",
+       "Saskatchewan", "Yukon"});
+  return *kList;
+}
+
+const std::vector<std::string>& UsStates() {
+  static const auto* kList = NewStringList(
+      {"Alabama",      "Alaska",        "Arizona",       "Arkansas",
+       "California",   "Colorado",      "Connecticut",   "Delaware",
+       "Florida",      "Georgia",       "Hawaii",        "Idaho",
+       "Illinois",     "Indiana",       "Iowa",          "Kansas",
+       "Kentucky",     "Louisiana",     "Maine",         "Maryland",
+       "Massachusetts", "Michigan",     "Minnesota",     "Mississippi",
+       "Missouri",     "Montana",       "Nebraska",      "Nevada",
+       "New Hampshire", "New Jersey",   "New Mexico",    "New York",
+       "North Carolina", "North Dakota", "Ohio",         "Oklahoma",
+       "Oregon",       "Pennsylvania",  "Rhode Island",  "South Carolina",
+       "South Dakota", "Tennessee",     "Texas",         "Utah",
+       "Vermont",      "Virginia",      "Washington",    "West Virginia",
+       "Wisconsin",    "Wyoming"});
+  return *kList;
+}
+
+const std::vector<std::string>& UkRegions() {
+  static const auto* kList = NewStringList(
+      {"East Midlands", "East of England", "London", "North East",
+       "North West", "Northern Ireland", "Scotland", "South East",
+       "South West", "Wales", "West Midlands", "Yorkshire and the Humber"});
+  return *kList;
+}
+
+const std::vector<std::string>& SgDistricts() {
+  static const auto* kList = NewStringList(
+      {"Ang Mo Kio", "Bedok", "Bishan", "Bukit Batok", "Bukit Merah",
+       "Choa Chu Kang", "Clementi", "Geylang", "Hougang", "Jurong East",
+       "Jurong West", "Kallang", "Pasir Ris", "Punggol", "Queenstown",
+       "Sembawang", "Sengkang", "Serangoon", "Tampines", "Toa Payoh",
+       "Woodlands", "Yishun"});
+  return *kList;
+}
+
+const std::vector<std::string>& MonthNames() {
+  static const auto* kList = NewStringList(
+      {"January", "February", "March", "April", "May", "June", "July",
+       "August", "September", "October", "November", "December"});
+  return *kList;
+}
+
+std::vector<std::string> MakeNamePool(uint64_t seed, const std::string& tag,
+                                      size_t size) {
+  Rng rng(HashCombine(seed, Fnv1a64(tag)));
+  std::vector<std::string> pool;
+  pool.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    std::string name = kAdjectives[rng.NextBounded(kAdjectives.size())];
+    name += ' ';
+    name += kNouns[rng.NextBounded(kNouns.size())];
+    // Suffix guarantees uniqueness within the pool.
+    name += ' ';
+    name += std::to_string(i + 1);
+    pool.push_back(std::move(name));
+  }
+  return pool;
+}
+
+std::vector<std::string> MakeCodePool(uint64_t seed, const std::string& tag,
+                                      size_t size) {
+  Rng rng(HashCombine(seed, Fnv1a64(tag)) ^ 0x5eedc0deULL);
+  // Three-letter prefix derived from the tag keeps codes readable.
+  std::string prefix;
+  for (char c : tag) {
+    if (prefix.size() >= 3) break;
+    if (c >= 'a' && c <= 'z') prefix += static_cast<char>(c - 'a' + 'A');
+    if (c >= 'A' && c <= 'Z') prefix += c;
+  }
+  while (prefix.size() < 3) prefix += 'X';
+  // Tag-derived infix keeps pools from different domains disjoint even
+  // when they share a prefix and size.
+  const uint64_t tag_hash = HashCombine(seed, Fnv1a64(tag));
+  char infix[8];
+  std::snprintf(infix, sizeof(infix), "%03llX",
+                static_cast<unsigned long long>(tag_hash % 4096));
+  std::vector<std::string> pool;
+  pool.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "-%s-%04zu", infix, i + 1);
+    pool.push_back(prefix + buf);
+  }
+  (void)rng;
+  return pool;
+}
+
+Hierarchy MakeHierarchy(uint64_t seed, const std::string& tag,
+                        size_t num_parents, size_t min_children,
+                        size_t max_children) {
+  Rng rng(HashCombine(seed, Fnv1a64(tag)) ^ 0x41e2a7c9ULL);
+  Hierarchy h;
+  h.parents = MakeNamePool(seed ^ 0x9177, tag + ".parent", num_parents);
+  for (size_t p = 0; p < num_parents; ++p) {
+    const size_t kids =
+        min_children +
+        rng.NextBounded(max_children - min_children + 1);
+    for (size_t k = 0; k < kids; ++k) {
+      h.children.push_back(h.parents[p] + " / Sub " + std::to_string(k + 1));
+      h.parent_of.push_back(p);
+    }
+  }
+  return h;
+}
+
+std::string DateString(int year, size_t day_offset) {
+  // 12 months of 28 days keeps the arithmetic trivial and the strings
+  // valid; profiling cares about domains, not calendars.
+  const size_t wrapped = day_offset % (12 * 28);
+  const size_t month = wrapped / 28 + 1;
+  const size_t day = wrapped % 28 + 1;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02zu-%02zu", year, month, day);
+  return buf;
+}
+
+std::vector<std::string> MakeGeoPool(uint64_t seed, const std::string& tag,
+                                     size_t size) {
+  Rng rng(HashCombine(seed, Fnv1a64(tag)) ^ 0x6e0c0deULL);
+  std::vector<std::string> pool;
+  pool.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    const double lat = 42.0 + rng.NextDouble() * 12.0;
+    const double lon = -123.0 + rng.NextDouble() * 60.0;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.5f,%.5f", lat, lon);
+    pool.emplace_back(buf);
+  }
+  return pool;
+}
+
+const std::vector<std::string>& DomainLibrary::NamePool(
+    const std::string& domain, size_t size) {
+  auto it = pools_.find("name:" + domain);
+  if (it != pools_.end()) return it->second;
+  return pools_
+      .emplace("name:" + domain, MakeNamePool(seed_, domain, size))
+      .first->second;
+}
+
+const std::vector<std::string>& DomainLibrary::CodePool(
+    const std::string& domain, size_t size) {
+  auto it = pools_.find("code:" + domain);
+  if (it != pools_.end()) return it->second;
+  return pools_
+      .emplace("code:" + domain, MakeCodePool(seed_, domain, size))
+      .first->second;
+}
+
+const Hierarchy& DomainLibrary::HierarchyPool(const std::string& domain,
+                                              size_t num_parents,
+                                              size_t min_children,
+                                              size_t max_children) {
+  auto it = hierarchies_.find(domain);
+  if (it != hierarchies_.end()) return it->second;
+  return hierarchies_
+      .emplace(domain, MakeHierarchy(seed_, domain, num_parents,
+                                     min_children, max_children))
+      .first->second;
+}
+
+const std::vector<std::string>& DomainLibrary::GeoPool(
+    const std::string& domain, size_t size) {
+  auto it = pools_.find("geo:" + domain);
+  if (it != pools_.end()) return it->second;
+  return pools_
+      .emplace("geo:" + domain, MakeGeoPool(seed_, domain, size))
+      .first->second;
+}
+
+}  // namespace ogdp::corpus

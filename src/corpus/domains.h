@@ -1,0 +1,88 @@
+#ifndef OGDP_CORPUS_DOMAINS_H_
+#define OGDP_CORPUS_DOMAINS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ogdp::corpus {
+
+/// Fixed geographic vocabularies. Shared domains like these are what make
+/// unrelated tables joinable in real portals (§5.2 "common columns").
+const std::vector<std::string>& CanadianProvinces();
+const std::vector<std::string>& UsStates();
+const std::vector<std::string>& UkRegions();
+const std::vector<std::string>& SgDistricts();
+const std::vector<std::string>& MonthNames();
+
+/// A two-level categorical hierarchy (child -> parent is a functional
+/// dependency): industries, city/province, fund code/description, ...
+struct Hierarchy {
+  std::vector<std::string> parents;
+  std::vector<std::string> children;
+  /// parent_of[i] = index into `parents` for children[i].
+  std::vector<size_t> parent_of;
+};
+
+/// Deterministic pool of human-looking composite names ("Harbour Ridge
+/// Institute 27"). Same (seed, tag, size) -> same pool.
+std::vector<std::string> MakeNamePool(uint64_t seed, const std::string& tag,
+                                      size_t size);
+
+/// Deterministic pool of short alphanumeric codes ("FND-0137").
+std::vector<std::string> MakeCodePool(uint64_t seed, const std::string& tag,
+                                      size_t size);
+
+/// Deterministic hierarchy: `num_parents` parents, each with
+/// [min_children, max_children] children. Child names embed the tag.
+Hierarchy MakeHierarchy(uint64_t seed, const std::string& tag,
+                        size_t num_parents, size_t min_children,
+                        size_t max_children);
+
+/// "YYYY-MM-DD" for the given day offset within a year (offset wraps).
+std::string DateString(int year, size_t day_offset);
+
+/// Pool of "lat,lon" coordinate strings within a country-sized box.
+std::vector<std::string> MakeGeoPool(uint64_t seed, const std::string& tag,
+                                     size_t size);
+
+/// Registry of *shared* value domains. Pools are memoized by name, so two
+/// datasets that ask for the domain "species.atlantic" receive exactly the
+/// same vocabulary — the generative mechanism behind cross-dataset value
+/// overlap.
+class DomainLibrary {
+ public:
+  explicit DomainLibrary(uint64_t seed) : seed_(seed) {}
+
+  DomainLibrary(const DomainLibrary&) = delete;
+  DomainLibrary& operator=(const DomainLibrary&) = delete;
+
+  /// Returns (creating on first use) the named pool of entity names.
+  const std::vector<std::string>& NamePool(const std::string& domain,
+                                           size_t size);
+
+  /// Returns (creating on first use) the named pool of codes.
+  const std::vector<std::string>& CodePool(const std::string& domain,
+                                           size_t size);
+
+  /// Returns (creating on first use) the named hierarchy.
+  const Hierarchy& HierarchyPool(const std::string& domain,
+                                 size_t num_parents, size_t min_children,
+                                 size_t max_children);
+
+  /// Returns (creating on first use) the named pool of geo points.
+  const std::vector<std::string>& GeoPool(const std::string& domain,
+                                          size_t size);
+
+ private:
+  uint64_t seed_;
+  std::unordered_map<std::string, std::vector<std::string>> pools_;
+  std::unordered_map<std::string, Hierarchy> hierarchies_;
+};
+
+}  // namespace ogdp::corpus
+
+#endif  // OGDP_CORPUS_DOMAINS_H_

@@ -1,0 +1,1076 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/domains.h"
+#include "corpus/table_synth.h"
+#include "util/hash.h"
+
+namespace ogdp::corpus {
+
+namespace {
+
+using Role = ColumnTruth::Role;
+
+constexpr const char* kTopics[] = {
+    "health",    "fisheries", "budget",  "education", "transport",
+    "environment", "labour",  "housing", "justice",   "energy",
+    "agriculture", "tourism"};
+constexpr size_t kNumTopics = sizeof(kTopics) / sizeof(kTopics[0]);
+
+constexpr const char* kMeasureNames[] = {
+    "amount", "total",  "count", "rate",     "value_chg", "expenditure",
+    "cases",  "volume", "score", "quantity", "headcount", "emissions"};
+constexpr size_t kNumMeasureNames =
+    sizeof(kMeasureNames) / sizeof(kMeasureNames[0]);
+
+// The whole generator lives in this builder; CorpusGenerator::Generate
+// constructs one per call.
+class Builder {
+ public:
+  Builder(const PortalProfile& profile, double scale)
+      : profile_(profile),
+        rng_(profile.seed ^ 0x09dfULL),
+        domains_(profile.seed) {
+    portal_.name = profile.name;
+  }
+
+  GeneratedPortal Run(size_t num_datasets) {
+    for (size_t i = 0; i < num_datasets; ++i) {
+      // Zipf-skewed topics: real portals are dominated by a few domains,
+      // which is what makes related-but-accidental (R-Acc) overlaps common.
+      const std::string topic = kTopics[rng_.NextZipf(kNumTopics, 0.9)];
+      switch (PickStyle()) {
+        case Style::kPrejoined:
+          BuildPrejoined(topic);
+          break;
+        case Style::kSemiNormalized:
+          BuildSemiNormalized(topic);
+          break;
+        case Style::kPeriodic:
+          BuildPeriodic(topic);
+          break;
+        case Style::kPartitioned:
+          BuildPartitioned(topic);
+          break;
+        case Style::kStandardSchema:
+          BuildStandardSchema(topic);
+          break;
+        case Style::kEventStats:
+          BuildEventStats();
+          break;
+        case Style::kDuplicate:
+          BuildDuplicate(topic);
+          break;
+        case Style::kSimple:
+          BuildSimple(topic);
+          break;
+        case Style::kWideMalformed:
+          BuildWideMalformed(topic);
+          break;
+      }
+    }
+    return GeneratedPortal{std::move(portal_), std::move(truth_)};
+  }
+
+ private:
+  enum class Style {
+    kPrejoined,
+    kSemiNormalized,
+    kPeriodic,
+    kPartitioned,
+    kStandardSchema,
+    kEventStats,
+    kDuplicate,
+    kSimple,
+    kWideMalformed,
+  };
+
+  Style PickStyle() {
+    const StyleWeights& w = profile_.styles;
+    const std::vector<double> weights = {
+        w.prejoined,  w.semi_normalized, w.periodic,  w.partitioned,
+        w.standard_schema, w.event_stats, w.duplicate, w.simple,
+        w.wide_malformed};
+    double total = 0;
+    for (double x : weights) total += x;
+    if (total <= 0) return Style::kSimple;
+    return static_cast<Style>(rng_.NextCategorical(weights));
+  }
+
+  // ---------------------------------------------------------------- misc
+
+  size_t SampleRows() {
+    const double r =
+        rng_.NextLognormal(profile_.rows_log_mean, profile_.rows_log_sigma);
+    const double clamped =
+        std::clamp(r, static_cast<double>(profile_.min_rows),
+                   static_cast<double>(profile_.max_rows));
+    return static_cast<size_t>(clamped);
+  }
+
+  int SamplePublicationYear() {
+    return profile_.first_year +
+           static_cast<int>(rng_.NextCategorical(profile_.year_weights));
+  }
+
+  core::MetadataPresence SampleMetadata() {
+    const double r = rng_.NextDouble();
+    if (r < profile_.meta_structured) return core::MetadataPresence::kStructured;
+    if (r < profile_.meta_structured + profile_.meta_unstructured) {
+      return core::MetadataPresence::kUnstructured;
+    }
+    if (r < profile_.meta_structured + profile_.meta_unstructured +
+                profile_.meta_outside) {
+      return core::MetadataPresence::kOutsidePortal;
+    }
+    return core::MetadataPresence::kLacking;
+  }
+
+  core::Dataset& NewDataset(const std::string& title,
+                            const std::string& topic) {
+    core::Dataset ds;
+    ds.id = "ds-" + profile_.name + "-" + std::to_string(next_dataset_++);
+    ds.title = title;
+    ds.topic = topic;
+    ds.metadata = SampleMetadata();
+    ds.publication_year = SamplePublicationYear();
+    portal_.datasets.push_back(std::move(ds));
+    return portal_.datasets.back();
+  }
+
+  // Publication defects a publisher applies consistently to a whole
+  // series: an entirely empty "notes" column and trailing blank columns.
+  // Drawn once per series so series members keep identical schemas.
+  struct Decor {
+    bool notes_column = false;
+    size_t trailing = 0;
+  };
+
+  Decor DrawDecor() {
+    Decor d;
+    d.notes_column = rng_.NextBool(profile_.full_null_col_prob);
+    if (rng_.NextBool(profile_.trailing_empty_prob)) {
+      d.trailing = 1 + rng_.NextBounded(3);
+    }
+    return d;
+  }
+
+  // Applies the profile's null/junk model and publishes the table as a
+  // resource of `ds`, registering ground truth for downloadable copies.
+  void Publish(core::Dataset& ds, SynthTable table, const std::string& topic,
+               int semi_group = -1, int periodic_group = -1,
+               int partition_group = -1, int duplicate_group = -1,
+               bool standard_schema = false, bool allow_nulls = true,
+               bool pristine = false, const Decor* series_decor = nullptr) {
+    if (allow_nulls && !pristine) InjectTableNulls(table);
+    const Decor decor =
+        pristine ? Decor{} : (series_decor != nullptr ? *series_decor : DrawDecor());
+    if (decor.notes_column) {
+      SynthColumn blank;
+      blank.name = "notes";
+      blank.cells.assign(table.num_rows(), "");
+      blank.truth.domain = "none";
+      blank.truth.role = Role::kAttribute;
+      table.columns.push_back(std::move(blank));
+    }
+    const size_t trailing = decor.trailing;
+
+    core::Resource res;
+    res.name = table.name;
+    res.claimed_format = "CSV";
+    res.downloadable = rng_.NextBool(profile_.downloadable_rate);
+    if (res.downloadable) {
+      if (rng_.NextBool(profile_.non_csv_content_rate)) {
+        res.content =
+            "<!DOCTYPE html><html><body><h1>404 Not Found</h1>"
+            "<p>The resource you requested is unavailable.</p>"
+            "</body></html>";
+      } else {
+        std::string csv = table.ToCsv();
+        if (trailing > 0) csv = AppendTrailingEmptyColumns(csv, trailing);
+        res.content = std::move(csv);
+
+        TableTruth truth;
+        truth.dataset_id = ds.id;
+        truth.table_name = table.name;
+        truth.topic = topic;
+        truth.semi_group = semi_group;
+        truth.periodic_group = periodic_group;
+        truth.partition_group = partition_group;
+        truth.duplicate_group = duplicate_group;
+        truth.standard_schema = standard_schema;
+        truth.columns = table.ColumnTruths();
+        truth_.AddTable(std::move(truth));
+      }
+    }
+    ds.resources.push_back(std::move(res));
+  }
+
+  // Adds `n` blank trailing fields to every CSV line, reproducing the
+  // "trailing commas" publication defect the cleaning pass removes.
+  static std::string AppendTrailingEmptyColumns(const std::string& csv,
+                                                size_t n) {
+    std::string out;
+    out.reserve(csv.size() + n * 64);
+    const std::string commas(n, ',');
+    for (char c : csv) {
+      if (c == '\n') out += commas;
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void InjectTableNulls(SynthTable& table) {
+    for (SynthColumn& col : table.columns) {
+      if (col.truth.role == Role::kId || col.truth.role == Role::kLinkKey) {
+        continue;  // keep designed keys intact
+      }
+      if (!rng_.NextBool(profile_.col_null_prob)) continue;
+      double ratio = profile_.null_ratio_typical *
+                     (0.25 + rng_.NextDouble() * 1.5);
+      if (rng_.NextBool(profile_.heavy_null_prob)) {
+        ratio = 0.5 + rng_.NextDouble() * 0.42;
+      }
+      // Keep one cell intact: a fully-nulled data column would change the
+      // inferred type and break same-schema series; the dedicated "notes"
+      // columns model entirely-empty columns instead.
+      const std::string keep = col.cells.empty() ? "" : col.cells.front();
+      InjectNulls(rng_, col.cells, ratio);
+      if (!col.cells.empty()) col.cells.front() = keep;
+    }
+  }
+
+  // ------------------------------------------------------ column helpers
+
+  static SynthColumn Col(std::string name, std::vector<std::string> cells,
+                         std::string domain, Role role) {
+    SynthColumn c;
+    c.name = std::move(name);
+    c.cells = std::move(cells);
+    c.truth.domain = std::move(domain);
+    c.truth.role = role;
+    return c;
+  }
+
+  void AddIdColumn(SynthTable& t, const std::string& scope, size_t rows) {
+    // Some id sequences start at 1 (overlapping heavily with other such
+    // tables of similar size — Anecdote 4's accidental key-key joins),
+    // others continue from prior exports.
+    const size_t start =
+        rng_.NextBool(0.7) ? 1 : 1 + rng_.NextBounded(5000);
+    t.columns.push_back(Col("record_id", IncrementalIds(rows, start),
+                            scope + ".record_id", Role::kId));
+  }
+
+  void AddRegionColumn(SynthTable& t, size_t rows, Role role) {
+    // Coverage varies: some tables span the whole country (near-perfect
+    // overlap with other such tables), others only a few regions (below
+    // the joinability filters). Both exist in real portals.
+    const std::vector<std::string>& all = *profile_.regions;
+    size_t coverage = 4 + rng_.NextBounded(all.size() - 3);
+    if (rng_.NextBool(0.45)) coverage = all.size();
+    std::vector<std::string> subset = all;
+    rng_.Shuffle(subset);
+    subset.resize(coverage);
+    t.columns.push_back(Col("region", PickFromPool(rng_, subset, rows, 0.8),
+                            "region." + profile_.name, role));
+  }
+
+  // City column plus functionally dependent province/region column — the
+  // classic City -> Province FD of §4.2. Most tables cover only part of
+  // the country, so the derived province column often has fewer than 10
+  // distinct values (ineligible for joinability) or subsets another
+  // table's provinces (overlap below 0.9) — without this, the shared
+  // geography domain would make nearly every pair of tables "joinable".
+  void AddCityRegion(SynthTable& t, size_t rows) {
+    const Hierarchy& h = domains_.HierarchyPool(
+        "city." + profile_.name, profile_.regions->size(), 3, 8);
+    std::vector<size_t> eligible(h.children.size());
+    std::iota(eligible.begin(), eligible.end(), size_t{0});
+    if (!rng_.NextBool(0.3)) {  // 70%: regional coverage only
+      rng_.Shuffle(eligible);
+      const size_t keep =
+          eligible.size() / 4 + rng_.NextBounded(eligible.size() / 2 + 1);
+      eligible.resize(std::max<size_t>(keep, 3));
+    }
+    std::vector<size_t> idx = PickIndices(rng_, eligible.size(), rows, 0.9);
+    std::vector<std::string> city;
+    std::vector<std::string> region;
+    city.reserve(rows);
+    region.reserve(rows);
+    for (size_t i : idx) {
+      const size_t child = eligible[i];
+      city.push_back(h.children[child]);
+      region.push_back((*profile_.regions)[h.parent_of[child] %
+                                           profile_.regions->size()]);
+    }
+    t.columns.push_back(Col("city", std::move(city),
+                            "city." + profile_.name, Role::kAttribute));
+    t.columns.push_back(Col("province", std::move(region),
+                            "region." + profile_.name, Role::kAttribute));
+  }
+
+  // Fund/department code with functionally dependent description
+  // (FundCode -> FundDescription, the Chicago budget example of §4.3).
+  void AddCodeDesc(SynthTable& t, const std::string& topic, size_t rows) {
+    const auto& codes = domains_.CodePool("fund." + topic, 30);
+    std::vector<size_t> idx = PickIndices(rng_, codes.size(), rows, 0.4);
+    std::vector<std::string> code;
+    std::vector<std::string> desc;
+    code.reserve(rows);
+    desc.reserve(rows);
+    for (size_t i : idx) {
+      code.push_back(codes[i]);
+      desc.push_back("Program " + codes[i] + " description");
+    }
+    t.columns.push_back(
+        Col("fund_code", std::move(code), "fund." + topic, Role::kAttribute));
+    t.columns.push_back(Col("fund_description", std::move(desc),
+                            "fund_desc." + topic, Role::kAttribute));
+  }
+
+  // Organization names drawn from a topic-wide pool; shared across
+  // datasets of the same topic (the Institution / CoAppInstitution R-Acc
+  // overlap of §5.3.2).
+  void AddOrgColumn(SynthTable& t, const std::string& topic, size_t rows,
+                    const std::string& col_name,
+                    const std::string& private_scope = "") {
+    // Most publishers draw from a topic-wide vocabulary (the source of
+    // related-domain value overlap); some maintain their own entity lists.
+    std::string domain = "org." + topic;
+    if (!private_scope.empty() && rng_.NextBool(profile_.private_vocab_prob)) {
+      domain += "." + private_scope;
+    }
+    const auto& pool = domains_.NamePool(domain, 60);
+    t.columns.push_back(Col(col_name, PickFromPool(rng_, pool, rows, 0.45),
+                            domain, Role::kAttribute));
+  }
+
+  void AddYearColumn(SynthTable& t, size_t rows, Role role) {
+    // Varied ranges: full-range year columns overlap almost perfectly
+    // across unrelated tables (a paper "common domain"), short ranges
+    // fall below the joinability filters.
+    const int lo = 2000 + static_cast<int>(rng_.NextBounded(10));
+    const int hi =
+        std::min(2022, lo + 4 + static_cast<int>(rng_.NextBounded(16)));
+    t.columns.push_back(
+        Col("year", UniformInts(rng_, rows, lo, hi), "year", role));
+  }
+
+  void AddDateColumn(SynthTable& t, size_t rows, Role role) {
+    // Shared epoch with varied windows: overlap across tables ranges from
+    // none to near-perfect.
+    std::vector<std::string> cells;
+    cells.reserve(rows);
+    const size_t start = rng_.NextBounded(250);
+    const size_t span = 120 + rng_.NextBounded(380);
+    for (size_t i = 0; i < rows; ++i) {
+      cells.push_back(DateString(2020, start + rng_.NextBounded(span)));
+    }
+    t.columns.push_back(Col("date", std::move(cells), "dates.2021", role));
+  }
+
+  void AddGeoColumn(SynthTable& t, size_t rows) {
+    const auto& pool = domains_.GeoPool("geo." + profile_.name, 300);
+    t.columns.push_back(Col("location",
+                            PickFromPool(rng_, pool, rows, 0.6),
+                            "geo." + profile_.name, Role::kAttribute));
+  }
+
+  void AddStatusColumn(SynthTable& t, size_t rows) {
+    static const std::vector<std::string> kStatuses = {
+        "active", "closed", "pending", "under review", "archived"};
+    t.columns.push_back(Col("status",
+                            PickFromPool(rng_, kStatuses, rows, 0.5),
+                            "status", Role::kAttribute));
+  }
+
+  // Measure cells repeat heavily (real statistics are dominated by small
+  // counts and rounded figures), reproducing §4.1's value-repetition
+  // finding for numeric columns too.
+  // 0: zipf counts (integer), 1: one-decimal rates (decimal),
+  // 2: rounded amounts (integer). Series that must keep one schema across
+  // tables pick the kind once and pass it to every member table.
+  int PickMeasureKind() {
+    const double r = rng_.NextDouble();
+    if (r < 0.45) return 0;
+    if (r < 0.75) return 1;
+    return 2;
+  }
+
+  std::vector<std::string> MeasureCells(size_t rows) {
+    return MeasureCells(rows, PickMeasureKind());
+  }
+
+  std::vector<std::string> MeasureCells(size_t rows, int kind) {
+    std::vector<std::string> cells;
+    cells.reserve(rows);
+    if (kind == 0) {
+      // Small zipf-distributed counts: 0, 1, 2, ... with heavy repeats.
+      for (size_t i = 0; i < rows; ++i) {
+        cells.push_back(std::to_string(rng_.NextZipf(400, 1.1)));
+      }
+    } else if (kind == 1) {
+      // Rates with one decimal, drawn from a bounded per-column vocabulary
+      // so values repeat like real statistics (and do not flood tables
+      // with accidental FDs from near-unique numeric columns).
+      const double hi = 20.0 + rng_.NextDouble() * 180.0;
+      const size_t pool_size = 20 + rng_.NextBounded(120);
+      const std::vector<std::string> vocab =
+          UniformDecimals(rng_, pool_size, 0, hi, 1);
+      for (size_t i = 0; i < rows; ++i) {
+        cells.push_back(vocab[rng_.NextBounded(vocab.size())]);
+      }
+    } else {
+      // Rounded amounts (hundreds), e.g. budget lines.
+      const uint64_t buckets = 30 + rng_.NextBounded(300);
+      for (size_t i = 0; i < rows; ++i) {
+        cells.push_back(std::to_string(rng_.NextBounded(buckets) * 100));
+      }
+    }
+    return cells;
+  }
+
+  std::string FreshMeasureName(SynthTable& t) {
+    const char* base = kMeasureNames[rng_.NextBounded(kNumMeasureNames)];
+    std::string name = base;
+    int suffix = 2;
+    while (HasColumn(t, name)) {
+      name = std::string(base) + "_" + std::to_string(suffix++);
+    }
+    return name;
+  }
+
+  void AddMeasures(SynthTable& t, size_t rows, size_t count) {
+    for (size_t m = 0; m < count; ++m) {
+      t.columns.push_back(Col(FreshMeasureName(t), MeasureCells(rows),
+                              "measure", Role::kMeasure));
+    }
+  }
+
+  static bool HasColumn(const SynthTable& t, const std::string& name) {
+    for (const SynthColumn& c : t.columns) {
+      if (c.name == name) return true;
+    }
+    return false;
+  }
+
+  // A grab-bag of extra attributes to widen tables toward the profile's
+  // column distribution.
+  void AddExtraAttrs(SynthTable& t, const std::string& topic, size_t rows) {
+    const size_t extra =
+        profile_.extra_attrs_min +
+        rng_.NextBounded(profile_.extra_attrs_max - profile_.extra_attrs_min +
+                         1);
+    for (size_t i = 0; i < extra; ++i) {
+      switch (rng_.NextBounded(5)) {
+        case 0:
+          AddMeasures(t, rows, 1);
+          break;
+        case 1: {
+          std::string name = "attr_" + std::to_string(i + 1);
+          const auto& pool =
+              domains_.NamePool("attr." + topic + std::to_string(i % 3), 60);
+          t.columns.push_back(Col(name, PickFromPool(rng_, pool, rows, 0.8),
+                                  "attr." + topic, Role::kAttribute));
+          break;
+        }
+        case 2:
+          if (!HasColumn(t, "status")) {
+            AddStatusColumn(t, rows);
+          } else {
+            AddMeasures(t, rows, 1);
+          }
+          break;
+        case 3:
+          if (!HasColumn(t, "location")) {
+            AddGeoColumn(t, rows);
+          } else {
+            AddMeasures(t, rows, 1);
+          }
+          break;
+        case 4: {
+          // Free-text comment column; repetitive enough not to become an
+          // accidental key.
+          std::vector<std::string> cells;
+          cells.reserve(rows);
+          const size_t variety = rows / 2 + 5;
+          for (size_t r = 0; r < rows; ++r) {
+            cells.push_back("entry " +
+                            std::to_string(rng_.NextBounded(variety)) +
+                            " for " + topic);
+          }
+          if (!HasColumn(t, "comment")) {
+            t.columns.push_back(Col("comment", std::move(cells), "freetext",
+                                    Role::kAttribute));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------- archetypes
+
+  void BuildSimple(const std::string& topic) {
+    core::Dataset& ds = NewDataset("Simple " + topic + " records", topic);
+    SynthTable t;
+    t.name = "table_" + std::to_string(next_table_++) + ".csv";
+    const size_t rows = SampleRows();
+    if (rng_.NextBool(profile_.id_column_prob)) AddIdColumn(t, ds.id, rows);
+    AddOrgColumn(t, topic, rows, "organization", ds.id);
+    if (rng_.NextBool(0.35)) AddRegionColumn(t, rows, Role::kAttribute);
+    if (rng_.NextBool(0.45)) AddYearColumn(t, rows, Role::kAttribute);
+    if (rng_.NextBool(0.25)) AddDateColumn(t, rows, Role::kAttribute);
+    if (rng_.NextBool(0.35)) AddCodeDesc(t, topic, rows);
+    AddMeasures(t, rows, 1 + rng_.NextBounded(2));
+    AddExtraAttrs(t, topic, rows);
+    Publish(ds, std::move(t), topic);
+  }
+
+  void BuildPrejoined(const std::string& topic) {
+    // A denormalized table that is literally a pre-join: an entity
+    // dimension of E entities (org, city, province, fund code, ...) fanned
+    // out over rows/E fact rows each. §4.3's hypothesis — "many tables in
+    // OGDPs are pre-joined versions of multiple base tables" — made
+    // generative: BCNF decomposition recovers the entity table, and the
+    // unrepeated columns' uniqueness scores rise by roughly the fan-out.
+    core::Dataset& ds =
+        NewDataset("Consolidated " + topic + " register", topic);
+    SynthTable t;
+    t.name = "table_" + std::to_string(next_table_++) + ".csv";
+    const size_t rows = SampleRows();
+    const size_t fanout = 2 + rng_.NextBounded(7);
+    const size_t entities = std::max<size_t>(rows / fanout, 5);
+
+    // Entity dimension block; some registers keep a private organization
+    // vocabulary (see AddOrgColumn).
+    const std::string org_domain =
+        rng_.NextBool(profile_.private_vocab_prob)
+            ? "org." + topic + "." + ds.id
+            : "org." + topic;
+    const auto& orgs = domains_.NamePool(org_domain, 60);
+    const Hierarchy& cities = domains_.HierarchyPool(
+        "city." + profile_.name, profile_.regions->size(), 3, 8);
+    const auto& funds = domains_.CodePool("fund." + topic, 30);
+    struct Entity {
+      size_t org, city, fund;
+    };
+    // Regional coverage (see AddCityRegion): most registers span only part
+    // of the country.
+    std::vector<size_t> city_subset(cities.children.size());
+    std::iota(city_subset.begin(), city_subset.end(), size_t{0});
+    if (!rng_.NextBool(0.3)) {
+      rng_.Shuffle(city_subset);
+      const size_t keep = city_subset.size() / 4 +
+                          rng_.NextBounded(city_subset.size() / 2 + 1);
+      city_subset.resize(std::max<size_t>(keep, 3));
+    }
+    std::vector<Entity> dim(entities);
+    for (Entity& e : dim) {
+      e.org = rng_.NextBounded(orgs.size());
+      e.city = city_subset[rng_.NextBounded(city_subset.size())];
+      e.fund = rng_.NextBounded(funds.size());
+    }
+
+    // Fact rows reference entities with zipf skew.
+    std::vector<size_t> ref = PickIndices(rng_, entities, rows, 0.6);
+    std::vector<std::string> org, city, province, fund, desc;
+    org.reserve(rows);
+    for (size_t r : ref) {
+      const Entity& e = dim[r];
+      org.push_back(orgs[e.org]);
+      city.push_back(cities.children[e.city]);
+      province.push_back(
+          (*profile_.regions)[cities.parent_of[e.city] %
+                              profile_.regions->size()]);
+      fund.push_back(funds[e.fund]);
+      desc.push_back("Program " + funds[e.fund] + " description");
+    }
+    if (rng_.NextBool(profile_.id_column_prob)) AddIdColumn(t, ds.id, rows);
+    t.columns.push_back(
+        Col("organization", std::move(org), org_domain, Role::kAttribute));
+    t.columns.push_back(
+        Col("city", std::move(city), "city." + profile_.name,
+            Role::kAttribute));
+    t.columns.push_back(Col("province", std::move(province),
+                            "region." + profile_.name, Role::kAttribute));
+    t.columns.push_back(
+        Col("fund_code", std::move(fund), "fund." + topic, Role::kAttribute));
+    t.columns.push_back(Col("fund_description", std::move(desc),
+                            "fund_desc." + topic, Role::kAttribute));
+    // Entity-level attributes (functions of the dimension): more columns
+    // that BCNF decomposition pulls into the recovered base tables.
+    if (rng_.NextBool(0.7)) {
+      std::vector<std::string> budget;
+      budget.reserve(rows);
+      for (size_t r : ref) {
+        budget.push_back(std::to_string((dim[r].org * 37 % 50 + 1) * 1000));
+      }
+      t.columns.push_back(Col("org_budget", std::move(budget),
+                              "org_budget." + topic, Role::kAttribute));
+    }
+    AddYearColumn(t, rows, Role::kAttribute);
+    AddMeasures(t, rows, 2 + rng_.NextBounded(2));
+    AddExtraAttrs(t, topic, rows);
+    Publish(ds, std::move(t), topic);
+  }
+
+  void BuildSemiNormalized(const std::string& topic) {
+    core::Dataset& ds =
+        NewDataset("Multi-table " + topic + " program", topic);
+    const int group = next_group_++;
+    const size_t cases = std::max<size_t>(SampleRows(), 20);
+    const std::string link_domain = ds.id + ".case";
+
+    // Main table: one row per case.
+    SynthTable main;
+    main.name = "cases_" + std::to_string(next_table_++) + ".csv";
+    main.columns.push_back(Col("case_id", IncrementalIds(cases), link_domain,
+                               Role::kLinkKey));
+    AddOrgColumn(main, topic, cases, "institution");
+    if (rng_.NextBool(0.6)) AddCityRegion(main, cases);
+    AddYearColumn(main, cases, Role::kAttribute);
+    AddMeasures(main, cases, 2);
+    AddExtraAttrs(main, topic, cases);
+    Publish(ds, std::move(main), topic, group);
+
+    // Child tables: each case appears >= 1 time, so the link column's
+    // value set equals the main table's (Jaccard 1).
+    const size_t children = 1 + rng_.NextBounded(3);
+    for (size_t k = 0; k < children; ++k) {
+      SynthTable child;
+      child.name = (k == 0 ? "co_applicants_" : "payments_") +
+                   std::to_string(next_table_++) + ".csv";
+      std::vector<std::string> link = IncrementalIds(cases);
+      if (rng_.NextBool(0.4)) {
+        // Not every case has co-applicants/payments: partial coverage
+        // keeps some designed links below the 0.9 overlap threshold.
+        const size_t keep =
+            cases * (55 + rng_.NextBounded(31)) / 100;
+        rng_.Shuffle(link);
+        link.resize(std::max<size_t>(keep, 1));
+      }
+      const size_t extra_rows = link.size() / 3;
+      for (size_t e = 0; e < extra_rows; ++e) {
+        link.push_back(link[rng_.NextBounded(link.size())]);
+      }
+      rng_.Shuffle(link);
+      const size_t rows = link.size();
+      child.columns.push_back(
+          Col("case_id", std::move(link), link_domain, Role::kLinkKey));
+      if (k == 0) {
+        // Co-applicant institutions from the same org pool as the main
+        // table: the non-key high-overlap (R-Acc) columns of §5.3.2.
+        AddOrgColumn(child, topic, rows, "co_institution");
+        AddStatusColumn(child, rows);
+        AddExtraAttrs(child, topic, rows);
+      } else {
+        AddYearColumn(child, rows, Role::kAttribute);
+        AddMeasures(child, rows, 1 + rng_.NextBounded(2));
+        AddExtraAttrs(child, topic, rows);
+      }
+      Publish(ds, std::move(child), topic, group);
+    }
+  }
+
+  void BuildPeriodic(const std::string& topic) {
+    const int group = next_group_++;
+    const size_t len =
+        profile_.series_min +
+        rng_.NextBounded(profile_.series_max - profile_.series_min + 1);
+    const size_t entities =
+        std::clamp<size_t>(SampleRows() / 4, 12, 1500);
+    const std::string entity_domain =
+        "series" + std::to_string(group) + ".entity";
+    const auto& pool = domains_.CodePool(entity_domain, entities);
+    const size_t measures = 2 + rng_.NextBounded(4);
+    // Two series shapes: one row per entity (entity code is a key; ideal
+    // non-growing joins across periods) or entity x quarter panels
+    // (composite key, entity code non-key, code -> name FD non-trivial).
+    const bool quarterly = rng_.NextBool(profile_.panel_prob);
+    const size_t quarters = quarterly ? 2 + rng_.NextBounded(3) : 1;
+    const bool with_city = rng_.NextBool(0.65);
+    const bool with_name = rng_.NextBool(0.6);  // code -> name FD column
+    // Entities keep their city across the whole series (so every member
+    // table has an identical schema and an entity_code -> city FD); the
+    // series covers a fixed regional subset.
+    const Hierarchy& cities = domains_.HierarchyPool(
+        "city." + profile_.name, profile_.regions->size(), 3, 8);
+    std::vector<size_t> city_subset(cities.children.size());
+    std::iota(city_subset.begin(), city_subset.end(), size_t{0});
+    if (with_city && !rng_.NextBool(0.3)) {
+      rng_.Shuffle(city_subset);
+      const size_t keep = city_subset.size() / 4 +
+                          rng_.NextBounded(city_subset.size() / 2 + 1);
+      city_subset.resize(std::max<size_t>(keep, 3));
+    }
+    std::unordered_map<std::string, size_t> city_of;  // entity code -> city
+    // Entity churn across periods: some series keep a fixed entity
+    // population (every pair of years joinable), some drift slowly (only
+    // adjacent years overlap enough), some churn heavily (no high-overlap
+    // pairs at all). Real series do all three, which is why only about
+    // half of real tables have a >0.9-overlap partner (Table 6).
+    const double churn_roll = rng_.NextDouble();
+    const double stable = profile_.series_stability;
+    const double churn =
+        churn_roll < stable
+            ? 0.0
+            : (churn_roll < stable + (1.0 - stable) * 0.3 ? 0.03 : 0.15);
+
+    core::Dataset* shared_ds = nullptr;
+    if (rng_.NextBool(profile_.periodic_same_dataset_prob)) {
+      shared_ds = &NewDataset("Periodic " + topic + " statistics", topic);
+    }
+    // Fixed measure names across the series (same schema within the
+    // series); salted with the group id so unrelated series do not
+    // accidentally share schemas.
+    std::vector<std::string> measure_names;
+    std::vector<int> measure_kinds;
+    for (size_t m = 0; m < measures; ++m) {
+      measure_names.push_back(
+          std::string(kMeasureNames[(group + m) % kNumMeasureNames]) + "_g" +
+          std::to_string(group % 89));
+      measure_kinds.push_back(PickMeasureKind());
+    }
+    const Decor series_decor = DrawDecor();
+    std::vector<std::string> population = pool;
+    for (size_t y = 0; y < len; ++y) {
+      const int year = 2022 - static_cast<int>(len) + 1 + static_cast<int>(y);
+      if (y > 0 && churn > 0) {
+        // Replace ~churn of the population with entities new this year.
+        for (std::string& code : population) {
+          if (rng_.NextBool(churn)) {
+            code = "NEW-" + std::to_string(year) + "-" +
+                   std::to_string(churn_seq_++);
+          }
+        }
+      }
+      core::Dataset& ds =
+          shared_ds != nullptr
+              ? *shared_ds
+              : NewDataset("Periodic " + topic + " statistics " +
+                               std::to_string(year),
+                           topic);
+      SynthTable t;
+      t.name = "stats_" + std::to_string(group) + "_" +
+               std::to_string(year) + ".csv";
+      const size_t rows = entities * quarters;
+      std::vector<std::string> codes;
+      std::vector<std::string> qtr;
+      codes.reserve(rows);
+      for (size_t q = 0; q < quarters; ++q) {
+        std::vector<std::string> block = population;
+        rng_.Shuffle(block);
+        for (std::string& c : block) {
+          codes.push_back(std::move(c));
+          if (quarterly) qtr.push_back("Q" + std::to_string(q + 1));
+        }
+      }
+      t.columns.push_back(Col("entity_code", std::move(codes), entity_domain,
+                              Role::kPrimaryDimension));
+      if (with_name) {
+        std::vector<std::string> names;
+        names.reserve(rows);
+        for (const std::string& c : t.columns[0].cells) {
+          names.push_back("Entity " + c);  // code -> name FD
+        }
+        t.columns.push_back(Col("entity_name", std::move(names),
+                                entity_domain + ".name", Role::kAttribute));
+      }
+      if (quarterly) {
+        t.columns.push_back(
+            Col("quarter", std::move(qtr), "quarter", Role::kAttribute));
+      }
+      if (with_city) {
+        // City and province derived from the entity: two more FDs
+        // (entity_code -> city -> province), stable across the series.
+        std::vector<std::string> city_cells;
+        std::vector<std::string> region_cells;
+        city_cells.reserve(rows);
+        for (const std::string& code : t.columns[0].cells) {
+          auto [it, inserted] = city_of.try_emplace(
+              code, city_subset[rng_.NextBounded(city_subset.size())]);
+          const size_t child = it->second;
+          city_cells.push_back(cities.children[child]);
+          region_cells.push_back(
+              (*profile_.regions)[cities.parent_of[child] %
+                                  profile_.regions->size()]);
+        }
+        t.columns.push_back(Col("city", std::move(city_cells),
+                                "city." + profile_.name, Role::kAttribute));
+        t.columns.push_back(Col("province", std::move(region_cells),
+                                "region." + profile_.name, Role::kAttribute));
+      }
+      for (size_t m = 0; m < measure_names.size(); ++m) {
+        t.columns.push_back(Col(measure_names[m],
+                                MeasureCells(rows, measure_kinds[m]),
+                                "measure", Role::kMeasure));
+      }
+      Publish(ds, std::move(t), topic, -1, group, -1, -1, false, true,
+              false, &series_decor);
+    }
+  }
+
+  void BuildPartitioned(const std::string& topic) {
+    core::Dataset& ds =
+        NewDataset("Partitioned " + topic + " statistics", topic);
+    const int group = next_group_++;
+    const size_t parts = std::min<size_t>(
+        profile_.regions->size(), 3 + rng_.NextBounded(profile_.series_max));
+    const size_t entities = 12 + rng_.NextBounded(80);
+    const std::string entity_domain =
+        "part" + std::to_string(group) + ".entity";
+    const size_t measures = 2 + rng_.NextBounded(3);
+    // Half the partitioned series track the same entities in every part
+    // (all parts pairwise joinable); the others have disjoint per-part
+    // populations (properties in different provinces are different
+    // properties) — unionable but not joinable.
+    const bool shared_entities = rng_.NextBool(0.5);
+    // Panel parts (entity x year) have a composite key; flat parts are
+    // keyed on the entity code.
+    const bool panel = rng_.NextBool(profile_.panel_prob);
+    const size_t part_years = panel ? 3 + rng_.NextBounded(4) : 1;
+    const Decor series_decor = DrawDecor();
+    // Salt measure names with the group so unrelated partitioned series do
+    // not collide on schemas.
+    std::vector<std::string> measure_names;
+    std::vector<int> measure_kinds;
+    for (size_t m = 0; m < measures; ++m) {
+      measure_names.push_back("value_" + std::to_string(m + 1) + "_g" +
+                              std::to_string(group % 89));
+      measure_kinds.push_back(PickMeasureKind());
+    }
+    for (size_t p = 0; p < parts; ++p) {
+      SynthTable t;
+      t.name = "part_" + std::to_string(group) + "_" + std::to_string(p) +
+               ".csv";
+      const std::vector<std::string>& part_pool =
+          shared_entities
+              ? domains_.CodePool(entity_domain, entities)
+              : domains_.CodePool(entity_domain + "." + std::to_string(p),
+                                  entities);
+      std::vector<std::string> codes;
+      std::vector<std::string> years;
+      codes.reserve(entities * part_years);
+      for (size_t y = 0; y < part_years; ++y) {
+        std::vector<std::string> block = part_pool;
+        rng_.Shuffle(block);
+        for (std::string& c : block) {
+          codes.push_back(std::move(c));
+          if (panel) years.push_back(std::to_string(2016 + y));
+        }
+      }
+      t.columns.push_back(Col("entity_code", std::move(codes), entity_domain,
+                              Role::kPrimaryDimension));
+      if (panel) {
+        t.columns.push_back(
+            Col("year", std::move(years), "year", Role::kAttribute));
+      }
+      for (size_t m = 0; m < measure_names.size(); ++m) {
+        t.columns.push_back(
+            Col(measure_names[m],
+                MeasureCells(entities * part_years, measure_kinds[m]),
+                "measure", Role::kMeasure));
+      }
+      Publish(ds, std::move(t), topic, -1, -1, group, -1, false, true,
+              false, &series_decor);
+    }
+  }
+
+  void BuildStandardSchema(const std::string& topic) {
+    // SG's standardized publication style: {level_1[, level_2[, level_3]],
+    // year, value} reused across unrelated topics (§5.3.1, §6). A handful
+    // of schema variants exist (2 vs 3 hierarchy levels, optional unit
+    // column), each shared by many datasets, so cross-topic tables with
+    // identical schemas are common — the accidental unionable pairs.
+    core::Dataset& ds = NewDataset("Indicators: " + topic, topic);
+    const Hierarchy& h = domains_.HierarchyPool("hier." + topic, 5, 2, 4);
+    const size_t tables = 1 + rng_.NextBounded(3);
+    const size_t levels = 2 + rng_.NextBounded(2);  // 2 or 3
+    const int unit_variant = static_cast<int>(rng_.NextBounded(3));
+    for (size_t k = 0; k < tables; ++k) {
+      SynthTable t;
+      t.name = "indicator_" + std::to_string(next_table_++) + ".csv";
+      const int year_lo = 2004 + static_cast<int>(rng_.NextBounded(8));
+      const int year_hi =
+          std::min(2022, year_lo + 7 + static_cast<int>(rng_.NextBounded(8)));
+      std::vector<std::string> l1, l2, l3, years, values;
+      for (size_t c = 0; c < h.children.size(); ++c) {
+        const size_t subs = levels == 3 ? 2 : 1;  // level_3 fan-out
+        for (size_t s = 0; s < subs; ++s) {
+          for (int y = year_lo; y <= year_hi; ++y) {
+            l1.push_back(h.parents[h.parent_of[c]]);
+            l2.push_back(h.children[c]);
+            if (levels == 3) {
+              l3.push_back(h.children[c] + " / " + std::to_string(s + 1));
+            }
+            years.push_back(std::to_string(y));
+            values.push_back(UniformDecimals(rng_, 1, 0, 1000, 1).front());
+          }
+        }
+      }
+      const size_t rows = l1.size();
+      t.columns.push_back(Col("level_1", std::move(l1),
+                              "hier." + topic + ".l1", Role::kAttribute));
+      t.columns.push_back(Col("level_2", std::move(l2),
+                              "hier." + topic + ".l2", Role::kAttribute));
+      if (levels == 3) {
+        t.columns.push_back(Col("level_3", std::move(l3),
+                                "hier." + topic + ".l3", Role::kAttribute));
+      }
+      t.columns.push_back(
+          Col("year", std::move(years), "year", Role::kAttribute));
+      if (unit_variant == 1) {
+        t.columns.push_back(Col("unit",
+                                std::vector<std::string>(rows, "percent"),
+                                "unit", Role::kAttribute));
+      } else if (unit_variant == 2) {
+        t.columns.push_back(Col("unit", std::vector<std::string>(rows, "count"),
+                                "unit", Role::kAttribute));
+      }
+      t.columns.push_back(
+          Col("value", std::move(values), "measure", Role::kMeasure));
+      Publish(ds, std::move(t), topic, -1, -1, -1, -1,
+              /*standard_schema=*/true);
+    }
+  }
+
+  void BuildEventStats() {
+    // Event clusters: several datasets publish different statistics about
+    // one event, joinable on the shared date dimension (Anecdote 2).
+    if (!event_ || event_->datasets_left == 0) {
+      EventPlan plan;
+      plan.topic = kTopics[rng_.NextBounded(kNumTopics)];
+      plan.tag = "event" + std::to_string(next_group_++);
+      plan.days = 150 + rng_.NextBounded(180);
+      plan.datasets_left = 2 + rng_.NextBounded(3);
+      plan.measure_rotation = 0;
+      event_ = plan;
+    }
+    EventPlan& ev = *event_;
+    --ev.datasets_left;
+
+    core::Dataset& ds = NewDataset(
+        "Daily " + ev.topic + " " + ev.tag + " figures", ev.topic);
+    const size_t tables = 1 + rng_.NextBounded(2);
+    for (size_t k = 0; k < tables; ++k) {
+      SynthTable t;
+      t.name = ev.tag + "_" + std::to_string(next_table_++) + ".csv";
+      // One row per day: the date column is a key and the designed
+      // cross-dataset join dimension.
+      // Publication windows differ slightly across publishers, so the
+      // date overlap ranges from ~0.7 to 1.0 and not every designed pair
+      // clears the 0.9 threshold.
+      const size_t offset = rng_.NextBounded(ev.days / 5 + 1);
+      t.columns.push_back(Col("date", SequentialDates(2021, ev.days, offset),
+                              ev.tag + ".date", Role::kPrimaryDimension));
+      const char* m1 = kMeasureNames[ev.measure_rotation++ % kNumMeasureNames];
+      const char* m2 = kMeasureNames[ev.measure_rotation++ % kNumMeasureNames];
+      t.columns.push_back(Col(m1, UniformInts(rng_, ev.days, 0, 40000),
+                              "measure", Role::kMeasure));
+      t.columns.push_back(Col(std::string(m2) + "_cum",
+                              UniformInts(rng_, ev.days, 0, 4000000),
+                              "measure", Role::kMeasure));
+      if (rng_.NextBool(0.4)) AddRegionColumn(t, ev.days, Role::kAttribute);
+      Publish(ds, std::move(t), ev.topic);
+    }
+  }
+
+  void BuildDuplicate(const std::string& topic) {
+    if (duplicates_.empty() || rng_.NextBool(0.5)) {
+      // Seed a new duplicate family with a fresh simple table.
+      core::Dataset& ds = NewDataset("Published " + topic + " data", topic);
+      SynthTable t;
+      t.name = "dup_" + std::to_string(next_table_++) + ".csv";
+      const size_t rows = SampleRows();
+      AddIdColumn(t, "dup" + std::to_string(next_group_), rows);
+      AddOrgColumn(t, topic, rows, "organization");
+      AddRegionColumn(t, rows, Role::kAttribute);
+      AddMeasures(t, rows, 2);
+      InjectTableNulls(t);
+      const int group = next_group_++;
+      duplicates_.push_back(DuplicateFamily{t, topic, group});
+      Publish(ds, std::move(t), topic, -1, -1, -1, group,
+              /*standard_schema=*/false, /*allow_nulls=*/false,
+              /*pristine=*/true);
+    } else {
+      // Re-publish an existing table byte-for-byte under a new dataset.
+      const DuplicateFamily& fam =
+          duplicates_[rng_.NextBounded(duplicates_.size())];
+      core::Dataset& ds =
+          NewDataset("Published " + fam.topic + " data (copy)", fam.topic);
+      Publish(ds, fam.table, fam.topic, -1, -1, -1, fam.group,
+              /*standard_schema=*/false, /*allow_nulls=*/false,
+              /*pristine=*/true);
+    }
+  }
+
+  void BuildWideMalformed(const std::string& topic) {
+    // Publication error: a small block of columns repeated dozens of
+    // times. The 100-column cleaning cutoff removes these tables.
+    core::Dataset& ds = NewDataset("Wide export " + topic, topic);
+    SynthTable t;
+    t.name = "wide_" + std::to_string(next_table_++) + ".csv";
+    const size_t rows = 10 + rng_.NextBounded(80);
+    const size_t repeats = 40 + rng_.NextBounded(80);
+    for (size_t rblock = 0; rblock < repeats; ++rblock) {
+      for (const char* base : {"period", "value", "flag"}) {
+        t.columns.push_back(Col(
+            std::string(base) + "_" + std::to_string(rblock),
+            UniformInts(rng_, rows, 0, 50), "malformed", Role::kAttribute));
+      }
+    }
+    Publish(ds, std::move(t), topic, -1, -1, -1, -1, false,
+            /*allow_nulls=*/false, /*pristine=*/true);
+  }
+
+  // ----------------------------------------------------------------- data
+
+  struct EventPlan {
+    std::string topic;
+    std::string tag;
+    size_t days = 0;
+    size_t datasets_left = 0;
+    size_t measure_rotation = 0;
+  };
+  struct DuplicateFamily {
+    SynthTable table;
+    std::string topic;
+    int group = -1;
+  };
+
+  const PortalProfile& profile_;
+  Rng rng_;
+  DomainLibrary domains_;
+  core::Portal portal_;
+  GroundTruth truth_;
+  size_t next_dataset_ = 0;
+  size_t next_table_ = 0;
+  int next_group_ = 0;
+  size_t churn_seq_ = 0;
+  std::optional<EventPlan> event_;
+  std::vector<DuplicateFamily> duplicates_;
+};
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(PortalProfile profile, double scale)
+    : profile_(std::move(profile)), scale_(scale) {}
+
+GeneratedPortal CorpusGenerator::Generate() {
+  const size_t datasets = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             static_cast<double>(profile_.num_datasets) * scale_)));
+  Builder builder(profile_, scale_);
+  return builder.Run(datasets);
+}
+
+}  // namespace ogdp::corpus

@@ -1,0 +1,48 @@
+#ifndef OGDP_CORPUS_GENERATOR_H_
+#define OGDP_CORPUS_GENERATOR_H_
+
+#include "core/portal_model.h"
+#include "corpus/ground_truth.h"
+#include "corpus/portal_profile.h"
+
+namespace ogdp::corpus {
+
+/// A generated portal plus the ground truth behind every emitted table.
+struct GeneratedPortal {
+  core::Portal portal;
+  GroundTruth truth;
+};
+
+/// Synthesizes an OGDP from a `PortalProfile` — the repo's substitute for
+/// crawling the live portals (see DESIGN.md).
+///
+/// The generator reproduces the paper's generative mechanisms:
+/// denormalized pre-joined tables (FDs, missing keys), semi-normalized
+/// multi-table datasets with designed link keys, periodic and partitioned
+/// same-schema series, SG standardized schemas, event-statistics clusters,
+/// US duplicate tables, malformed wide tables, HTML-behind-a-CSV-label
+/// resources, null injection, and metadata presence. Every table's
+/// semantics are recorded in the returned `GroundTruth`, which replaces
+/// the paper's manual labeling.
+///
+/// Deterministic: the same (profile, scale) yields byte-identical output.
+/// `scale` multiplies the profile's dataset count; tests use ~0.05,
+/// benches ~0.3-1.0.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(PortalProfile profile, double scale = 1.0);
+
+  CorpusGenerator(const CorpusGenerator&) = delete;
+  CorpusGenerator& operator=(const CorpusGenerator&) = delete;
+
+  /// Generates the full portal. Call once.
+  GeneratedPortal Generate();
+
+ private:
+  PortalProfile profile_;
+  double scale_;
+};
+
+}  // namespace ogdp::corpus
+
+#endif  // OGDP_CORPUS_GENERATOR_H_

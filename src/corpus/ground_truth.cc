@@ -1,0 +1,76 @@
+#include "corpus/ground_truth.h"
+
+namespace ogdp::corpus {
+
+namespace {
+
+std::string KeyOf(const std::string& dataset_id,
+                  const std::string& table_name) {
+  return dataset_id + "\x1f" + table_name;
+}
+
+bool JoinDesigned(const ColumnTruth& a, const ColumnTruth& b) {
+  using Role = ColumnTruth::Role;
+  if (a.domain != b.domain) return false;
+  const bool a_meaningful =
+      a.role == Role::kLinkKey || a.role == Role::kPrimaryDimension;
+  const bool b_meaningful =
+      b.role == Role::kLinkKey || b.role == Role::kPrimaryDimension;
+  return a_meaningful && b_meaningful;
+}
+
+}  // namespace
+
+void GroundTruth::AddTable(TableTruth truth) {
+  const std::string key = KeyOf(truth.dataset_id, truth.table_name);
+  tables_.insert_or_assign(key, std::move(truth));
+}
+
+const TableTruth* GroundTruth::Find(const std::string& dataset_id,
+                                    const std::string& table_name) const {
+  auto it = tables_.find(KeyOf(dataset_id, table_name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+join::JoinLabel GroundTruth::LabelJoin(const TableTruth& a, size_t col_a,
+                                       const TableTruth& b,
+                                       size_t col_b) const {
+  if (a.topic != b.topic) return join::JoinLabel::kUnrelatedAccidental;
+  if (col_a < a.columns.size() && col_b < b.columns.size() &&
+      JoinDesigned(a.columns[col_a], b.columns[col_b])) {
+    return join::JoinLabel::kUseful;
+  }
+  return join::JoinLabel::kRelatedAccidental;
+}
+
+tunion::UnionLabel GroundTruth::LabelUnion(const TableTruth& a,
+                                           const TableTruth& b,
+                                           tunion::UnionPattern* pattern)
+    const {
+  tunion::UnionPattern local;
+  tunion::UnionPattern& p = pattern != nullptr ? *pattern : local;
+
+  if (a.duplicate_group >= 0 && a.duplicate_group == b.duplicate_group) {
+    p = tunion::UnionPattern::kDuplicateTable;
+    return tunion::UnionLabel::kAccidental;
+  }
+  if (a.periodic_group >= 0 && a.periodic_group == b.periodic_group) {
+    p = tunion::UnionPattern::kPeriodic;
+    return tunion::UnionLabel::kUseful;
+  }
+  if (a.partition_group >= 0 && a.partition_group == b.partition_group) {
+    p = tunion::UnionPattern::kNonTemporalPartition;
+    return tunion::UnionLabel::kUseful;
+  }
+  if (a.standard_schema && b.standard_schema && a.topic != b.topic) {
+    p = tunion::UnionPattern::kStandardizedSchema;
+    return tunion::UnionLabel::kAccidental;
+  }
+  p = tunion::UnionPattern::kOther;
+  // Residual same-schema pairs: interpretable when the topic matches,
+  // coincidental otherwise.
+  return a.topic == b.topic ? tunion::UnionLabel::kUseful
+                            : tunion::UnionLabel::kAccidental;
+}
+
+}  // namespace ogdp::corpus

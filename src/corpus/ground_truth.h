@@ -1,0 +1,85 @@
+#ifndef OGDP_CORPUS_GROUND_TRUTH_H_
+#define OGDP_CORPUS_GROUND_TRUTH_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "join/join_labels.h"
+#include "union/union_labels.h"
+
+namespace ogdp::corpus {
+
+/// Ground-truth semantics of one generated column.
+struct ColumnTruth {
+  /// Semantic domain identifier. Two columns with the same domain draw from
+  /// the same vocabulary ("province.ca", "covid.date", "nserc.app_id").
+  /// Dataset-scoped ids embed the dataset ("ds17.row_id") so unrelated id
+  /// columns overlap in values but differ in domain.
+  std::string domain;
+
+  /// Role of the column within its table.
+  enum class Role {
+    kId,                // incremental surrogate id, no external meaning
+    kLinkKey,           // designed join key of a semi-normalized dataset
+    kPrimaryDimension,  // main entity/dimension (date, region, species)
+    kAttribute,         // descriptive property
+    kMeasure,           // statistic value
+  };
+  Role role = Role::kAttribute;
+};
+
+/// Ground-truth record of one generated table.
+struct TableTruth {
+  std::string dataset_id;
+  std::string table_name;
+  /// Topical domain the labeling oracle compares ("health", "fisheries").
+  std::string topic;
+  /// Group markers; -1 when not applicable.
+  int semi_group = -1;       // semi-normalized dataset family
+  int periodic_group = -1;   // periodically published series
+  int partition_group = -1;  // category-partitioned series
+  int duplicate_group = -1;  // re-published identical table (US pattern)
+  bool standard_schema = false;  // SG standardized schema
+  std::vector<ColumnTruth> columns;  // by column index
+};
+
+/// What the corpus generator *knows* about every table it emitted. The
+/// labeling oracles below substitute for the paper's manual annotation of
+/// 600 join pairs and 100 union pairs: the paper's label taxonomy (§5.3.2,
+/// §5.3.4, §6) describes exactly the generative mechanisms this corpus
+/// makes explicit, so labels are derived from the mechanism instead of a
+/// human judgment.
+class GroundTruth {
+ public:
+  void AddTable(TableTruth truth);
+
+  /// Lookup by provenance; tables are keyed on (dataset id, table name),
+  /// both of which survive the CSV round trip.
+  const TableTruth* Find(const std::string& dataset_id,
+                         const std::string& table_name) const;
+
+  size_t table_count() const { return tables_.size(); }
+
+  /// Labels a joinable pair per the paper's three-way taxonomy:
+  ///  * different topics                -> U-Acc;
+  ///  * same domain on both sides and both columns are designed link keys
+  ///    or primary dimensions           -> useful;
+  ///  * anything else within a topic    -> R-Acc.
+  join::JoinLabel LabelJoin(const TableTruth& a, size_t col_a,
+                            const TableTruth& b, size_t col_b) const;
+
+  /// Labels a same-schema pair and reports the publication pattern:
+  /// periodic/partitioned series are useful; SG standardized schemas
+  /// across topics and US duplicate tables are accidental.
+  tunion::UnionLabel LabelUnion(const TableTruth& a, const TableTruth& b,
+                                tunion::UnionPattern* pattern) const;
+
+ private:
+  std::unordered_map<std::string, TableTruth> tables_;
+};
+
+}  // namespace ogdp::corpus
+
+#endif  // OGDP_CORPUS_GROUND_TRUTH_H_

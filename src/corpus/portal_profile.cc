@@ -1,0 +1,168 @@
+#include "corpus/portal_profile.h"
+
+#include "corpus/domains.h"
+
+namespace ogdp::corpus {
+
+PortalProfile SgPortalProfile() {
+  PortalProfile p;
+  p.name = "SG";
+  p.seed = 0x5647;
+  p.num_datasets = 190;
+  p.downloadable_rate = 0.99;  // SG: 2376 of 2399 tables downloadable
+  p.non_csv_content_rate = 0.0;
+  p.styles.standard_schema = 0.25;
+  p.styles.partitioned = 0.25;
+  p.styles.periodic = 0.24;
+  p.styles.simple = 0.19;
+  p.styles.event_stats = 0.07;
+  p.periodic_same_dataset_prob = 0.5;
+  p.series_min = 2;
+  p.series_max = 5;
+  p.panel_prob = 0.5;  // SG rarely publishes keyed tables
+  p.series_stability = 0.4;
+  // Small tables, few columns (80% of SG tables have <= 5 columns).
+  p.rows_log_mean = 4.9;  // median ~95 rows
+  p.rows_log_sigma = 1.3;
+  p.max_rows = 20000;
+  p.extra_attrs_min = 0;
+  p.extra_attrs_max = 3;
+  p.id_column_prob = 0.25;  // 58% of SG tables lack a single-column key
+  // 95% of SG columns have no nulls; basic cleaning is evidently done.
+  p.col_null_prob = 0.05;
+  p.null_ratio_typical = 0.03;
+  p.heavy_null_prob = 0.0;
+  p.full_null_col_prob = 0.0;
+  p.trailing_empty_prob = 0.0;
+  p.meta_structured = 1.0;  // every SG dataset has a structured page
+  p.first_year = 2015;
+  p.year_weights = {1, 1, 2, 6, 1, 1, 1, 1};  // bulk ingest spike
+  p.regions = &SgDistricts();
+  return p;
+}
+
+PortalProfile CaPortalProfile() {
+  PortalProfile p;
+  p.name = "CA";
+  p.seed = 0xca1a;
+  p.num_datasets = 420;
+  p.downloadable_rate = 0.41;
+  p.non_csv_content_rate = 0.01;
+  p.styles.prejoined = 0.20;
+  p.styles.semi_normalized = 0.19;  // >86% of CA datasets are multi-table
+  p.styles.periodic = 0.26;
+  p.styles.partitioned = 0.12;
+  p.styles.event_stats = 0.05;
+  p.styles.simple = 0.14;
+  p.styles.wide_malformed = 0.04;
+  p.periodic_same_dataset_prob = 0.6;
+  p.series_min = 4;
+  p.series_max = 14;
+  p.panel_prob = 0.4;
+  p.series_stability = 0.65;
+  p.rows_log_mean = 5.5;  // median ~148 rows
+  p.rows_log_sigma = 1.8;
+  p.max_rows = 60000;
+  p.extra_attrs_min = 3;
+  p.extra_attrs_max = 12;
+  p.id_column_prob = 0.45;
+  p.col_null_prob = 0.55;
+  p.null_ratio_typical = 0.18;
+  p.heavy_null_prob = 0.30;  // CA: 16% of columns more than half empty
+  p.full_null_col_prob = 0.15;
+  p.trailing_empty_prob = 0.08;
+  p.meta_structured = 0.04;
+  p.meta_unstructured = 0.08;
+  p.meta_outside = 0.29;
+  p.first_year = 2015;
+  p.year_weights = {1, 1, 8, 1, 1, 6, 1, 1};  // step-function bulk updates
+  p.regions = &CanadianProvinces();
+  return p;
+}
+
+PortalProfile UkPortalProfile() {
+  PortalProfile p;
+  p.name = "UK";
+  p.seed = 0x1b2c;
+  p.num_datasets = 640;
+  p.downloadable_rate = 0.45;
+  p.non_csv_content_rate = 0.01;
+  p.styles.prejoined = 0.17;
+  p.styles.semi_normalized = 0.12;
+  p.styles.periodic = 0.28;  // UK: most tables per dataset (5.35 avg)
+  p.styles.partitioned = 0.12;
+  p.styles.event_stats = 0.05;
+  p.styles.simple = 0.21;
+  p.styles.wide_malformed = 0.05;
+  p.periodic_same_dataset_prob = 0.6;
+  p.series_min = 6;
+  p.series_max = 20;
+  p.panel_prob = 0.33;
+  p.series_stability = 0.65;
+  p.rows_log_mean = 4.75;  // median ~86 rows
+  p.rows_log_sigma = 1.9;
+  p.max_rows = 60000;
+  p.extra_attrs_min = 3;
+  p.extra_attrs_max = 11;
+  p.id_column_prob = 0.45;
+  p.col_null_prob = 0.5;
+  p.null_ratio_typical = 0.15;
+  p.heavy_null_prob = 0.14;
+  p.full_null_col_prob = 0.12;
+  p.trailing_empty_prob = 0.06;
+  p.meta_structured = 0.04;
+  p.meta_unstructured = 0.05;
+  p.meta_outside = 0.03;
+  p.first_year = 2015;
+  p.year_weights = {2, 3, 4, 5, 6, 7, 8, 9};  // near-linear growth (Fig. 2)
+  p.regions = &UkRegions();
+  return p;
+}
+
+PortalProfile UsPortalProfile() {
+  PortalProfile p;
+  p.name = "US";
+  p.seed = 0x05a5;
+  p.num_datasets = 900;
+  p.downloadable_rate = 0.57;
+  p.non_csv_content_rate = 0.01;
+  p.styles.prejoined = 0.32;
+  p.styles.semi_normalized = 0.05;  // US publishes ~1 table per dataset
+  p.styles.periodic = 0.15;
+  p.styles.partitioned = 0.05;
+  p.styles.event_stats = 0.08;
+  p.styles.duplicate = 0.08;  // US duplicate-table pattern (§6)
+  p.styles.simple = 0.23;
+  p.styles.wide_malformed = 0.04;
+  p.periodic_same_dataset_prob = 0.05;  // one dataset per period
+  p.series_min = 3;
+  p.series_max = 8;
+  p.panel_prob = 0.3;  // US is best at publishing key columns
+  p.series_stability = 0.35;
+  p.private_vocab_prob = 0.65;
+  p.rows_log_mean = 6.5;  // median ~447 rows, heavy tail
+  p.rows_log_sigma = 2.0;
+  p.max_rows = 150000;
+  p.extra_attrs_min = 3;
+  p.extra_attrs_max = 12;
+  p.id_column_prob = 0.6;  // US is best at publishing key columns
+  p.col_null_prob = 0.5;
+  p.null_ratio_typical = 0.12;
+  p.heavy_null_prob = 0.08;
+  p.full_null_col_prob = 0.12;
+  p.trailing_empty_prob = 0.05;
+  p.meta_structured = 0.0;
+  p.meta_unstructured = 0.0;
+  p.meta_outside = 0.27;
+  p.first_year = 2015;
+  p.year_weights = {1, 6, 1, 1, 7, 1, 2, 1};
+  p.regions = &UsStates();
+  return p;
+}
+
+std::vector<PortalProfile> AllPortalProfiles() {
+  return {SgPortalProfile(), CaPortalProfile(), UkPortalProfile(),
+          UsPortalProfile()};
+}
+
+}  // namespace ogdp::corpus

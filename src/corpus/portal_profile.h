@@ -1,0 +1,131 @@
+#ifndef OGDP_CORPUS_PORTAL_PROFILE_H_
+#define OGDP_CORPUS_PORTAL_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ogdp::corpus {
+
+/// Relative frequencies of dataset publication styles. Each style is a
+/// generative mechanism the paper observed (§5.2, §5.3.4, §6):
+struct StyleWeights {
+  /// One wide pre-joined table per dataset: hierarchies flattened in,
+  /// heavy FDs, frequent lack of keys (§4's denormalization findings).
+  double prejoined = 0;
+  /// Several tables linked by a designed key ("semi-normalized", the NSERC
+  /// pattern): source of useful intra-dataset joins and R-Acc overlaps.
+  double semi_normalized = 0;
+  /// Periodically published same-schema tables (yearly/monthly series).
+  double periodic = 0;
+  /// Same-schema tables partitioned on a category (province, type).
+  double partitioned = 0;
+  /// SG-style standardized {level_1, level_2, year, value} schemas reused
+  /// across unrelated topics.
+  double standard_schema = 0;
+  /// Clusters of datasets publishing different statistics about one event
+  /// on a shared dimension (the COVID pattern, Anecdote 2).
+  double event_stats = 0;
+  /// The same table re-published under several datasets (US pattern).
+  double duplicate = 0;
+  /// Single modest table, no special structure.
+  double simple = 0;
+  /// Malformed very wide tables (repeated periodical columns) that the
+  /// 100-column cleaning cutoff must remove.
+  double wide_malformed = 0;
+};
+
+/// Generative profile of one portal. Four built-ins below are calibrated
+/// to the publication-style differences the paper documents; absolute
+/// sizes are scaled down (see DESIGN.md substitutions).
+struct PortalProfile {
+  std::string name;
+  uint64_t seed = 1;
+
+  /// Dataset count at scale 1.0.
+  size_t num_datasets = 100;
+
+  /// Fraction of CSV resources whose simulated HTTP fetch succeeds
+  /// (Table 1: CA 41%, UK 45%, US 57%, SG ~100%).
+  double downloadable_rate = 1.0;
+
+  /// Fraction of downloadable CSV-labelled resources that actually contain
+  /// HTML/PDF bytes (rejected by type sniffing).
+  double non_csv_content_rate = 0.0;
+
+  StyleWeights styles;
+
+  /// Probability a periodic series is published under one dataset (CA/UK
+  /// style) rather than one dataset per period (US style) — drives the
+  /// single-dataset unionable-schema split of Table 11.
+  double periodic_same_dataset_prob = 0.6;
+
+  /// Series length range for periodic/partitioned styles.
+  size_t series_min = 4;
+  size_t series_max = 12;
+
+  /// Probability that a periodic series is an entity x period panel
+  /// (composite key) rather than one-row-per-entity (single-column key).
+  /// Drives the Fig. 6 key-size distribution per portal.
+  double panel_prob = 0.45;
+
+  /// Probability a periodic series keeps a fixed entity population across
+  /// periods (all member pairs joinable with expansion ~1). The remainder
+  /// split between slow drift (adjacent periods only) and heavy churn.
+  double series_stability = 0.5;
+
+  /// Probability an organization-like column draws from a private
+  /// (dataset-scoped) vocabulary instead of the topic-wide one.
+  double private_vocab_prob = 0.45;
+
+  /// Row-count lognormal (log-space mean/sigma) and clamps. Heavy tails
+  /// reproduce "median far below mean" (Table 2).
+  double rows_log_mean = 4.6;
+  double rows_log_sigma = 1.4;
+  size_t min_rows = 12;
+  size_t max_rows = 20000;
+
+  /// Extra attribute/measure columns appended to widen tables.
+  size_t extra_attrs_min = 0;
+  size_t extra_attrs_max = 4;
+
+  /// Probability that an entity table carries an incremental id column
+  /// (tables without one often have no single-column key, Fig. 6).
+  double id_column_prob = 0.5;
+
+  /// Null model (§3.3): chance a column receives nulls at all, the typical
+  /// null ratio, the chance of a >50%-null column, the chance of an
+  /// entirely-null extra column, and of trailing blank columns.
+  double col_null_prob = 0.5;
+  double null_ratio_typical = 0.12;
+  double heavy_null_prob = 0.08;
+  double full_null_col_prob = 0.03;
+  double trailing_empty_prob = 0.05;
+
+  /// Metadata presence distribution (Table 3); remainder is "lacking".
+  double meta_structured = 0;
+  double meta_unstructured = 0;
+  double meta_outside = 0;
+
+  /// Publication-year model for the growth analysis (Fig. 2): weight per
+  /// year starting at `first_year`. UK uses near-linear weights; others
+  /// use bulk-ingest spikes.
+  int first_year = 2015;
+  std::vector<double> year_weights = {1, 1, 1, 1, 1, 1, 1, 1};
+
+  /// Geographic vocabulary of the portal (provinces/states/regions).
+  const std::vector<std::string>* regions = nullptr;
+};
+
+/// The four calibrated built-ins.
+PortalProfile SgPortalProfile();
+PortalProfile CaPortalProfile();
+PortalProfile UkPortalProfile();
+PortalProfile UsPortalProfile();
+
+/// All four, in the paper's column order (SG, CA, UK, US).
+std::vector<PortalProfile> AllPortalProfiles();
+
+}  // namespace ogdp::corpus
+
+#endif  // OGDP_CORPUS_PORTAL_PROFILE_H_

@@ -1,0 +1,113 @@
+#include "corpus/table_synth.h"
+
+#include <array>
+#include <cstdio>
+
+#include "corpus/domains.h"
+#include "csv/csv_writer.h"
+
+namespace ogdp::corpus {
+
+std::string SynthTable::ToCsv() const {
+  csv::CsvWriter writer;
+  std::vector<std::string> record;
+  record.reserve(columns.size());
+  for (const SynthColumn& c : columns) record.push_back(c.name);
+  writer.WriteRecord(record);
+  const size_t rows = num_rows();
+  for (size_t r = 0; r < rows; ++r) {
+    record.clear();
+    for (const SynthColumn& c : columns) record.push_back(c.cells[r]);
+    writer.WriteRecord(record);
+  }
+  return writer.contents();
+}
+
+std::vector<ColumnTruth> SynthTable::ColumnTruths() const {
+  std::vector<ColumnTruth> out;
+  out.reserve(columns.size());
+  for (const SynthColumn& c : columns) out.push_back(c.truth);
+  return out;
+}
+
+std::vector<std::string> IncrementalIds(size_t n, size_t start) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(std::to_string(start + i));
+  return out;
+}
+
+std::vector<size_t> PickIndices(Rng& rng, size_t pool_size, size_t n,
+                                double zipf_s) {
+  std::vector<size_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (zipf_s > 0) {
+      out.push_back(rng.NextZipf(pool_size, zipf_s));
+    } else {
+      out.push_back(rng.NextBounded(pool_size));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PickFromPool(Rng& rng,
+                                      const std::vector<std::string>& pool,
+                                      size_t n, double zipf_s) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t idx : PickIndices(rng, pool.size(), n, zipf_s)) {
+    out.push_back(pool[idx]);
+  }
+  return out;
+}
+
+std::vector<std::string> UniformInts(Rng& rng, size_t n, int64_t lo,
+                                     int64_t hi) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::to_string(rng.NextInt(lo, hi)));
+  }
+  return out;
+}
+
+std::vector<std::string> UniformDecimals(Rng& rng, size_t n, double lo,
+                                         double hi, int decimals) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double v = lo + rng.NextDouble() * (hi - lo);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+std::vector<std::string> SequentialDates(int year, size_t n,
+                                         size_t start_day) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Roll into following years past the synthetic year length.
+    const size_t day = start_day + i;
+    const size_t year_len = 12 * 28;
+    out.push_back(DateString(year + static_cast<int>(day / year_len),
+                             day % year_len));
+  }
+  return out;
+}
+
+void InjectNulls(Rng& rng, std::vector<std::string>& cells, double ratio) {
+  static constexpr std::array<const char*, 6> kTokens = {"",   "N/A", "-",
+                                                         "...", "null", "n/d"};
+  if (ratio <= 0) return;
+  for (std::string& cell : cells) {
+    if (rng.NextBool(ratio)) {
+      cell = kTokens[rng.NextBounded(kTokens.size())];
+    }
+  }
+}
+
+}  // namespace ogdp::corpus

@@ -1,0 +1,70 @@
+#ifndef OGDP_CORPUS_TABLE_SYNTH_H_
+#define OGDP_CORPUS_TABLE_SYNTH_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/ground_truth.h"
+#include "util/rng.h"
+
+namespace ogdp::corpus {
+
+/// One column being synthesized: raw cells plus its ground-truth record.
+struct SynthColumn {
+  std::string name;
+  std::vector<std::string> cells;
+  ColumnTruth truth;
+};
+
+/// A table being synthesized, before serialization to CSV bytes.
+struct SynthTable {
+  std::string name;
+  std::vector<SynthColumn> columns;
+
+  size_t num_rows() const {
+    return columns.empty() ? 0 : columns.front().cells.size();
+  }
+
+  /// Serializes to RFC-4180 CSV with a header row.
+  std::string ToCsv() const;
+
+  /// Ground-truth column records, in column order.
+  std::vector<ColumnTruth> ColumnTruths() const;
+};
+
+/// "1", "2", ..., "n" (offset by `start`): the incremental-integer ids that
+/// dominate accidental key-key joins in the paper (Table 10, Anecdote 4).
+std::vector<std::string> IncrementalIds(size_t n, size_t start = 1);
+
+/// Draws `n` values from `pool` with Zipf-skewed repetition (s ~ 1 gives
+/// the heavy value repetition of §4.1). `s <= 0` draws uniformly.
+std::vector<std::string> PickFromPool(Rng& rng,
+                                      const std::vector<std::string>& pool,
+                                      size_t n, double zipf_s);
+
+/// Like PickFromPool but returns pool indices (for hierarchy columns that
+/// must derive the parent of each drawn child).
+std::vector<size_t> PickIndices(Rng& rng, size_t pool_size, size_t n,
+                                double zipf_s);
+
+/// `n` uniform integers in [lo, hi] as strings.
+std::vector<std::string> UniformInts(Rng& rng, size_t n, int64_t lo,
+                                     int64_t hi);
+
+/// `n` uniform decimals in [lo, hi) with `decimals` fraction digits.
+std::vector<std::string> UniformDecimals(Rng& rng, size_t n, double lo,
+                                         double hi, int decimals);
+
+/// `n` consecutive "YYYY-MM-DD" dates starting at day `start_day` of
+/// `year` (wraps over the synthetic 12x28 calendar).
+std::vector<std::string> SequentialDates(int year, size_t n,
+                                         size_t start_day = 0);
+
+/// Replaces ~`ratio` of cells with null tokens. Tokens rotate through the
+/// paper's observed vocabulary (empty, "N/A", "-", ...) so null detection
+/// is exercised on every spelling.
+void InjectNulls(Rng& rng, std::vector<std::string>& cells, double ratio);
+
+}  // namespace ogdp::corpus
+
+#endif  // OGDP_CORPUS_TABLE_SYNTH_H_

@@ -1,0 +1,43 @@
+#include "csv/cleaning.h"
+
+#include "util/string_util.h"
+
+namespace ogdp::csv {
+
+size_t RemoveTrailingEmptyColumns(HeaderInferenceResult& table) {
+  size_t keep = table.num_columns;
+  while (keep > 0) {
+    const size_t col = keep - 1;
+    bool all_empty = true;
+    for (const auto& row : table.rows) {
+      if (col < row.size() && !TrimView(row[col]).empty()) {
+        all_empty = false;
+        break;
+      }
+    }
+    // A trailing column only counts as junk if its header name was
+    // synthesized (blank in the file); a named-but-empty column is a
+    // (fully null) data column and stays.
+    const bool header_blank =
+        col >= table.header.size() ||
+        (col < table.synthesized_names.size() &&
+         table.synthesized_names[col]);
+    if (all_empty && header_blank) {
+      --keep;
+    } else {
+      break;
+    }
+  }
+  const size_t removed = table.num_columns - keep;
+  if (removed > 0) {
+    table.num_columns = keep;
+    table.header.resize(keep);
+    if (table.synthesized_names.size() > keep) {
+      table.synthesized_names.resize(keep);
+    }
+    for (auto& row : table.rows) row.resize(keep);
+  }
+  return removed;
+}
+
+}  // namespace ogdp::csv

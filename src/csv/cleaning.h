@@ -1,0 +1,28 @@
+#ifndef OGDP_CSV_CLEANING_H_
+#define OGDP_CSV_CLEANING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "csv/header_inference.h"
+
+namespace ogdp::csv {
+
+/// Removes sequences of entirely empty columns at the end of the column
+/// list (paper §2.2, first cleaning step). Mutates `table` in place and
+/// returns the number of columns removed.
+size_t RemoveTrailingEmptyColumns(HeaderInferenceResult& table);
+
+/// The paper's wide-table filter (§2.2, second cleaning step): tables with
+/// more than `max_columns` columns (default 100) are dropped from analysis
+/// because in the portals they were overwhelmingly malformed (repeated
+/// periodical columns, transposed publications).
+inline bool IsTooWide(const HeaderInferenceResult& table,
+                      size_t max_columns = 100) {
+  return table.num_columns > max_columns;
+}
+
+}  // namespace ogdp::csv
+
+#endif  // OGDP_CSV_CLEANING_H_

@@ -1,0 +1,153 @@
+#include "csv/csv_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ogdp::csv {
+
+namespace {
+
+constexpr std::string_view kUtf8Bom = "\xef\xbb\xbf";
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure: " + path);
+  return buf.str();
+}
+
+CsvDialect CsvReader::EffectiveDialect(std::string_view content,
+                                       const CsvReaderOptions& options) {
+  if (options.use_explicit_dialect) return options.dialect;
+  return SniffDialect(content);
+}
+
+Result<RawRecords> CsvReader::ParseString(std::string_view content,
+                                          const CsvReaderOptions& options) {
+  if (content.substr(0, kUtf8Bom.size()) == kUtf8Bom) {
+    content.remove_prefix(kUtf8Bom.size());
+  }
+  const CsvDialect dialect = EffectiveDialect(content, options);
+  const char delim = dialect.delimiter;
+  const char quote = dialect.quote;
+
+  RawRecords records;
+  std::vector<std::string> record;
+  std::string field;
+  bool field_was_quoted = false;
+
+  enum class State { kFieldStart, kInField, kInQuoted, kQuoteInQuoted };
+  State state = State::kFieldStart;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+    state = State::kFieldStart;
+  };
+  auto end_record = [&]() {
+    end_field();
+    // Skip records that are entirely empty (blank lines): pandas' default,
+    // and what the paper's pipeline saw.
+    bool all_empty = true;
+    for (const std::string& f : record) {
+      if (!f.empty()) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (!(record.size() == 1 && all_empty)) {
+      records.push_back(std::move(record));
+    }
+    record.clear();
+  };
+
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    if (options.max_records > 0 && records.size() >= options.max_records) {
+      record.clear();
+      field.clear();
+      return records;
+    }
+    char c = content[i];
+    switch (state) {
+      case State::kFieldStart:
+        if (c == quote) {
+          state = State::kInQuoted;
+          field_was_quoted = true;
+        } else if (c == delim) {
+          end_field();
+        } else if (c == '\n') {
+          end_record();
+        } else if (c == '\r') {
+          if (i + 1 < n && content[i + 1] == '\n') ++i;
+          end_record();
+        } else {
+          field.push_back(c);
+          state = State::kInField;
+        }
+        break;
+      case State::kInField:
+        if (c == delim) {
+          end_field();
+        } else if (c == '\n') {
+          end_record();
+        } else if (c == '\r') {
+          if (i + 1 < n && content[i + 1] == '\n') ++i;
+          end_record();
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kInQuoted:
+        if (c == quote) {
+          state = State::kQuoteInQuoted;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kQuoteInQuoted:
+        if (c == quote) {
+          field.push_back(quote);  // escaped quote ""
+          state = State::kInQuoted;
+        } else if (c == delim) {
+          end_field();
+        } else if (c == '\n') {
+          end_record();
+        } else if (c == '\r') {
+          if (i + 1 < n && content[i + 1] == '\n') ++i;
+          end_record();
+        } else {
+          // Junk after a closing quote ('"abc"x'); keep it, per lenient
+          // real-world parsing.
+          field.push_back(c);
+          state = State::kInField;
+        }
+        break;
+    }
+    ++i;
+  }
+
+  if (state == State::kInQuoted && options.strict_quotes) {
+    return Status::ParseError("unterminated quoted field");
+  }
+  // Flush a final record without trailing newline.
+  if (!field.empty() || field_was_quoted || !record.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+Result<RawRecords> CsvReader::ReadFile(const std::string& path,
+                                       const CsvReaderOptions& options) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ParseString(*content, options);
+}
+
+}  // namespace ogdp::csv

@@ -1,0 +1,59 @@
+#ifndef OGDP_CSV_CSV_READER_H_
+#define OGDP_CSV_CSV_READER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "util/result.h"
+
+namespace ogdp::csv {
+
+/// A parsed delimited file: every record is a vector of raw (string) fields.
+/// Records may be ragged; header inference and cleaning normalize later.
+using RawRecords = std::vector<std::vector<std::string>>;
+
+/// Options controlling CSV parsing.
+struct CsvReaderOptions {
+  /// When set, overrides dialect sniffing.
+  bool use_explicit_dialect = false;
+  CsvDialect dialect;
+
+  /// Stop after this many records (0 = no limit). Header inference only
+  /// needs a prefix of large files.
+  size_t max_records = 0;
+
+  /// Reject inputs whose quoting never terminates (almost certainly not a
+  /// CSV) instead of silently consuming the rest of the file into one field.
+  bool strict_quotes = false;
+};
+
+/// RFC-4180 CSV parser, written from scratch (no pandas in this repo).
+///
+/// Handles: quoted fields, escaped quotes (""), delimiters and newlines
+/// inside quotes, CRLF / LF / lone-CR row terminators, ragged rows, a UTF-8
+/// BOM, and a configurable delimiter. Fields are returned unescaped and
+/// untrimmed (tabular semantics decide about whitespace, not the lexer).
+class CsvReader {
+ public:
+  /// Parses CSV text from memory.
+  static Result<RawRecords> ParseString(std::string_view content,
+                                        const CsvReaderOptions& options = {});
+
+  /// Reads and parses a CSV file from disk.
+  static Result<RawRecords> ReadFile(const std::string& path,
+                                     const CsvReaderOptions& options = {});
+
+  /// Returns the dialect that `ParseString` would use for `content` under
+  /// `options` (explicit dialect or sniffed).
+  static CsvDialect EffectiveDialect(std::string_view content,
+                                     const CsvReaderOptions& options);
+};
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace ogdp::csv
+
+#endif  // OGDP_CSV_CSV_READER_H_

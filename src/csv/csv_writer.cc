@@ -1,0 +1,45 @@
+#include "csv/csv_writer.h"
+
+#include <fstream>
+
+namespace ogdp::csv {
+
+std::string CsvWriter::EscapeField(std::string_view field,
+                                   const CsvDialect& dialect) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == dialect.delimiter || c == dialect.quote || c == '\n' ||
+        c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back(dialect.quote);
+  for (char c : field) {
+    if (c == dialect.quote) out.push_back(dialect.quote);
+    out.push_back(c);
+  }
+  out.push_back(dialect.quote);
+  return out;
+}
+
+void CsvWriter::WriteRecord(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) buffer_.push_back(dialect_.delimiter);
+    buffer_ += EscapeField(fields[i], dialect_);
+  }
+  buffer_.push_back('\n');
+}
+
+Status CsvWriter::Flush(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!out) return Status::IoError("write failure: " + path);
+  return Status::OK();
+}
+
+}  // namespace ogdp::csv

@@ -1,0 +1,39 @@
+#ifndef OGDP_CSV_CSV_WRITER_H_
+#define OGDP_CSV_CSV_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "util/status.h"
+
+namespace ogdp::csv {
+
+/// Serializes records to RFC-4180 CSV text. Fields containing the
+/// delimiter, quote, or a newline are quoted; quotes are doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(CsvDialect dialect = {}) : dialect_(dialect) {}
+
+  /// Appends one record to the in-memory buffer.
+  void WriteRecord(const std::vector<std::string>& fields);
+
+  /// Returns the accumulated CSV text.
+  const std::string& contents() const { return buffer_; }
+
+  /// Writes the accumulated text to `path` (truncating).
+  Status Flush(const std::string& path) const;
+
+  /// Escapes a single field according to `dialect`.
+  static std::string EscapeField(std::string_view field,
+                                 const CsvDialect& dialect);
+
+ private:
+  CsvDialect dialect_;
+  std::string buffer_;
+};
+
+}  // namespace ogdp::csv
+
+#endif  // OGDP_CSV_CSV_WRITER_H_

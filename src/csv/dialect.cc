@@ -1,0 +1,69 @@
+#include "csv/dialect.h"
+
+#include <array>
+#include <map>
+#include <vector>
+
+namespace ogdp::csv {
+
+namespace {
+
+// Counts fields per line for `delim`, respecting double-quote quoting so a
+// delimiter inside quotes does not count.
+std::vector<size_t> FieldCounts(std::string_view content, char delim,
+                                size_t max_lines) {
+  std::vector<size_t> counts;
+  size_t fields = 1;
+  bool in_quotes = false;
+  for (size_t i = 0; i < content.size() && counts.size() < max_lines; ++i) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') in_quotes = false;
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      ++fields;
+    } else if (c == '\n') {
+      counts.push_back(fields);
+      fields = 1;
+    }
+  }
+  if (fields > 1) counts.push_back(fields);
+  return counts;
+}
+
+}  // namespace
+
+CsvDialect SniffDialect(std::string_view content, size_t max_lines) {
+  static constexpr std::array<char, 4> kCandidates = {',', ';', '\t', '|'};
+  char best = ',';
+  double best_score = 0;
+  for (char delim : kCandidates) {
+    std::vector<size_t> counts = FieldCounts(content, delim, max_lines);
+    if (counts.empty()) continue;
+    // Modal field count and its support among the sampled lines.
+    std::map<size_t, size_t> freq;
+    for (size_t c : counts) ++freq[c];
+    size_t mode = 0;
+    size_t mode_freq = 0;
+    for (const auto& [count, f] : freq) {
+      if (f > mode_freq) {
+        mode = count;
+        mode_freq = f;
+      }
+    }
+    if (mode < 2) continue;  // a delimiter that never splits is useless
+    double consistency =
+        static_cast<double>(mode_freq) / static_cast<double>(counts.size());
+    // Prefer consistent splits; break ties toward more fields.
+    double score =
+        consistency * 100.0 + static_cast<double>(mode > 64 ? 64 : mode);
+    if (score > best_score) {
+      best_score = score;
+      best = delim;
+    }
+  }
+  return CsvDialect{best, '"'};
+}
+
+}  // namespace ogdp::csv

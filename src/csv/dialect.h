@@ -1,0 +1,27 @@
+#ifndef OGDP_CSV_DIALECT_H_
+#define OGDP_CSV_DIALECT_H_
+
+#include <string_view>
+
+namespace ogdp::csv {
+
+/// Lexical parameters of a delimited text file.
+///
+/// OGDP "CSV" resources are frequently semicolon-, tab-, or pipe-delimited;
+/// `SniffDialect` recovers the delimiter from content the way the paper's
+/// pandas-based pipeline did implicitly.
+struct CsvDialect {
+  char delimiter = ',';
+  char quote = '"';
+
+  friend bool operator==(const CsvDialect&, const CsvDialect&) = default;
+};
+
+/// Infers the delimiter by scoring each candidate (',', ';', '\t', '|') on
+/// the first `max_lines` lines: a good delimiter yields a consistent field
+/// count > 1 across lines. Falls back to ',' when nothing scores.
+CsvDialect SniffDialect(std::string_view content, size_t max_lines = 50);
+
+}  // namespace ogdp::csv
+
+#endif  // OGDP_CSV_DIALECT_H_

@@ -1,0 +1,75 @@
+#include "csv/file_type_detector.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace ogdp::csv {
+
+const char* FileTypeName(FileType type) {
+  switch (type) {
+    case FileType::kCsv:
+      return "csv";
+    case FileType::kHtml:
+      return "html";
+    case FileType::kXml:
+      return "xml";
+    case FileType::kJson:
+      return "json";
+    case FileType::kPdf:
+      return "pdf";
+    case FileType::kZip:
+      return "zip";
+    case FileType::kBinary:
+      return "binary";
+    case FileType::kEmpty:
+      return "empty";
+  }
+  return "unknown";
+}
+
+FileType FileTypeDetector::Detect(std::string_view content) {
+  constexpr size_t kSniffBytes = 8192;
+  if (content.size() > kSniffBytes) content = content.substr(0, kSniffBytes);
+  if (content.empty()) return FileType::kEmpty;
+
+  // Magic bytes first: these are unambiguous.
+  if (StartsWith(content, "%PDF-")) return FileType::kPdf;
+  if (StartsWith(content, "PK\x03\x04") || StartsWith(content, "PK\x05\x06"))
+    return FileType::kZip;
+
+  // Strip a UTF-8 BOM and leading whitespace before markup checks.
+  std::string_view body = content;
+  if (StartsWith(body, "\xef\xbb\xbf")) body.remove_prefix(3);
+  size_t first = 0;
+  while (first < body.size() &&
+         std::isspace(static_cast<unsigned char>(body[first]))) {
+    ++first;
+  }
+  body.remove_prefix(first);
+  if (body.empty()) return FileType::kEmpty;
+
+  const std::string lower_prefix = ToLower(body.substr(0, 64));
+  if (StartsWith(lower_prefix, "<!doctype html") ||
+      StartsWith(lower_prefix, "<html")) {
+    return FileType::kHtml;
+  }
+  if (StartsWith(lower_prefix, "<?xml") || StartsWith(lower_prefix, "<rss") ||
+      StartsWith(lower_prefix, "<gml")) {
+    return FileType::kXml;
+  }
+  if (body.front() == '{' || body.front() == '[') return FileType::kJson;
+
+  // Binary density check: text files have almost no control bytes outside
+  // of tab/newline/carriage-return.
+  size_t control = 0;
+  for (unsigned char c : body) {
+    if (c < 0x09 || (c > 0x0d && c < 0x20) || c == 0x7f) ++control;
+  }
+  if (control * 50 > body.size()) return FileType::kBinary;  // >2% control
+
+  return FileType::kCsv;
+}
+
+}  // namespace ogdp::csv

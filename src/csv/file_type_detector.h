@@ -1,0 +1,41 @@
+#ifndef OGDP_CSV_FILE_TYPE_DETECTOR_H_
+#define OGDP_CSV_FILE_TYPE_DETECTOR_H_
+
+#include <string_view>
+
+namespace ogdp::csv {
+
+/// Content-sniffed type of a downloaded resource file.
+enum class FileType {
+  kCsv,
+  kHtml,
+  kXml,
+  kJson,
+  kPdf,
+  kZip,
+  kBinary,
+  kEmpty,
+};
+
+const char* FileTypeName(FileType type);
+
+/// Stand-in for libmagic from the paper's pipeline (§2.2): decides from
+/// content whether a resource advertised as CSV actually is one.
+///
+/// Order of checks: magic bytes (PDF/ZIP), markup prefixes (HTML/XML/JSON),
+/// binary-byte density, then "plausible delimited text" as the CSV
+/// fallback.
+class FileTypeDetector {
+ public:
+  /// Sniffs at most the first 8 KiB of `content`.
+  static FileType Detect(std::string_view content);
+
+  /// Convenience: Detect(...) == kCsv.
+  static bool LooksLikeCsv(std::string_view content) {
+    return Detect(content) == FileType::kCsv;
+  }
+};
+
+}  // namespace ogdp::csv
+
+#endif  // OGDP_CSV_FILE_TYPE_DETECTOR_H_

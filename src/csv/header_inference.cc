@@ -1,0 +1,78 @@
+#include "csv/header_inference.h"
+
+#include <map>
+
+#include "util/string_util.h"
+
+namespace ogdp::csv {
+
+HeaderInferenceResult InferHeader(const RawRecords& records,
+                                  const HeaderInferenceOptions& options) {
+  HeaderInferenceResult result;
+  if (records.empty()) return result;
+
+  // 1. Column count = modal field count over the scan prefix. Ties break
+  //    toward the wider count (a narrow mode is usually truncated rows).
+  const size_t scan = std::min(records.size(), options.scan_rows);
+  std::map<size_t, size_t> width_freq;
+  for (size_t i = 0; i < scan; ++i) ++width_freq[records[i].size()];
+  size_t mode_width = 0;
+  size_t mode_freq = 0;
+  for (const auto& [width, freq] : width_freq) {
+    if (freq >= mode_freq) {  // >= prefers larger width on ties
+      mode_width = width;
+      mode_freq = freq;
+    }
+  }
+  result.num_columns = mode_width;
+
+  // 2. Header = first scanned record of modal width with no empty field;
+  //    fallback: the first modal-width record with the fewest blanks.
+  size_t best_row = HeaderInferenceResult::kSynthesized;
+  size_t best_missing = mode_width + 1;
+  for (size_t i = 0; i < scan; ++i) {
+    if (records[i].size() != mode_width) continue;
+    size_t missing = 0;
+    for (const std::string& f : records[i]) {
+      if (TrimView(f).empty()) ++missing;
+    }
+    if (missing < best_missing) {
+      best_missing = missing;
+      best_row = i;
+      if (missing == 0) break;
+    }
+  }
+  result.synthesized_names.assign(mode_width, false);
+  if (best_row != HeaderInferenceResult::kSynthesized) {
+    result.header_row = best_row;
+    result.header = records[best_row];
+    for (size_t c = 0; c < mode_width; ++c) {
+      if (TrimView(result.header[c]).empty()) {
+        result.header[c] = "col_" + std::to_string(c);
+        result.synthesized_names[c] = true;
+      }
+    }
+  } else {
+    result.header.reserve(mode_width);
+    for (size_t c = 0; c < mode_width; ++c) {
+      result.header.push_back("col_" + std::to_string(c));
+      result.synthesized_names[c] = true;
+    }
+  }
+
+  // 3. Body = records after the header (or all records when synthesized),
+  //    normalized to the modal width.
+  const size_t body_start =
+      result.header_row == HeaderInferenceResult::kSynthesized
+          ? 0
+          : result.header_row + 1;
+  result.rows.reserve(records.size() - body_start);
+  for (size_t i = body_start; i < records.size(); ++i) {
+    std::vector<std::string> row = records[i];
+    row.resize(mode_width);
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace ogdp::csv

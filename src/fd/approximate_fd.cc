@@ -1,0 +1,186 @@
+#include "fd/approximate_fd.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fd/cardinality_engine.h"
+
+namespace ogdp::fd {
+
+namespace {
+
+// Class ids of the projection onto `set` (nulls equal).
+CardinalityEngine::ClassIds ProjectIds(const CardinalityEngine& engine,
+                                       AttributeSet set) {
+  const std::vector<size_t> members = SetMembers(set);
+  if (members.empty()) {
+    return CardinalityEngine::ClassIds(engine.num_rows(), 0);
+  }
+  CardinalityEngine::ClassIds ids = engine.AttributeClassIds(members[0]);
+  for (size_t i = 1; i < members.size(); ++i) {
+    ids = engine.Refine(ids, members[i]).second;
+  }
+  return ids;
+}
+
+// For each LHS group, the number of rows whose RHS value differs from the
+// group's modal RHS value — summed, this is the g3 removal count.
+size_t ViolationCount(const CardinalityEngine::ClassIds& lhs_ids,
+                      const CardinalityEngine::ClassIds& rhs_ids) {
+  // group -> (rhs value -> count); compact keys keep this one hash map.
+  std::unordered_map<uint64_t, uint32_t> counts;
+  std::unordered_map<uint32_t, uint32_t> group_size;
+  std::unordered_map<uint32_t, uint32_t> group_max;
+  counts.reserve(lhs_ids.size());
+  for (size_t r = 0; r < lhs_ids.size(); ++r) {
+    const uint64_t key =
+        (static_cast<uint64_t>(lhs_ids[r]) << 32) | rhs_ids[r];
+    const uint32_t c = ++counts[key];
+    ++group_size[lhs_ids[r]];
+    uint32_t& m = group_max[lhs_ids[r]];
+    m = std::max(m, c);
+  }
+  size_t violations = 0;
+  for (const auto& [group, size] : group_size) {
+    violations += size - group_max[group];
+  }
+  return violations;
+}
+
+}  // namespace
+
+double FdError(const table::Table& table, const FunctionalDependency& fd) {
+  const size_t rows = table.num_rows();
+  if (rows == 0 || Contains(fd.lhs, fd.rhs)) return 0;
+  CardinalityEngine engine(table);
+  const auto lhs_ids = ProjectIds(engine, fd.lhs);
+  const auto& rhs_ids = engine.AttributeClassIds(fd.rhs);
+  return static_cast<double>(ViolationCount(lhs_ids, rhs_ids)) /
+         static_cast<double>(rows);
+}
+
+Result<std::vector<ApproximateFd>> MineApproximateFds(
+    const table::Table& table, const ApproxFdOptions& options) {
+  const size_t attrs = table.num_columns();
+  if (attrs > kMaxFdColumns) {
+    return Status::InvalidArgument(
+        "approximate FD mining supports at most 32 columns");
+  }
+  std::vector<ApproximateFd> out;
+  const size_t rows = table.num_rows();
+  if (rows == 0 || attrs == 0) return out;
+  CardinalityEngine engine(table);
+
+  // error(lhs -> rhs) memoized per lhs: class ids computed once.
+  auto errors_for = [&](AttributeSet lhs) {
+    const auto lhs_ids = ProjectIds(engine, lhs);
+    std::vector<double> errs(attrs, 0);
+    for (size_t a = 0; a < attrs; ++a) {
+      if (Contains(lhs, a)) continue;
+      errs[a] = static_cast<double>(
+                    ViolationCount(lhs_ids, engine.AttributeClassIds(a))) /
+                static_cast<double>(rows);
+    }
+    return errs;
+  };
+
+  auto is_key = [&](AttributeSet lhs) {
+    CardinalityEngine::ClassIds ids = ProjectIds(engine, lhs);
+    std::unordered_map<uint32_t, uint32_t> seen;
+    seen.reserve(rows);
+    for (uint32_t id : ids) ++seen[id];
+    for (const auto& [id, c] : seen) {
+      if (c > 1) return false;
+    }
+    return true;
+  };
+
+  // Level 1.
+  std::vector<std::vector<double>> level1(attrs);
+  for (size_t a = 0; a < attrs; ++a) {
+    level1[a] = errors_for(SingletonSet(a));
+    if (options.exclude_key_lhs && is_key(SingletonSet(a))) continue;
+    for (size_t rhs = 0; rhs < attrs; ++rhs) {
+      if (rhs == a) continue;
+      if (level1[a][rhs] <= options.max_error) {
+        out.push_back(
+            ApproximateFd{FunctionalDependency{SingletonSet(a), rhs},
+                          level1[a][rhs]});
+      }
+    }
+  }
+  if (options.max_lhs < 2) return out;
+
+  // Level 2: pairs whose singletons did not already satisfy the
+  // threshold for the same rhs (minimality).
+  for (size_t a = 0; a < attrs; ++a) {
+    for (size_t b = a + 1; b < attrs; ++b) {
+      const AttributeSet lhs = SingletonSet(a) | SingletonSet(b);
+      if (options.exclude_key_lhs && is_key(lhs)) continue;
+      std::vector<double> errs = errors_for(lhs);
+      for (size_t rhs = 0; rhs < attrs; ++rhs) {
+        if (Contains(lhs, rhs)) continue;
+        if (errs[rhs] > options.max_error) continue;
+        if (level1[a][rhs] <= options.max_error ||
+            level1[b][rhs] <= options.max_error) {
+          continue;  // not minimal
+        }
+        out.push_back(
+            ApproximateFd{FunctionalDependency{lhs, rhs}, errs[rhs]});
+      }
+    }
+  }
+  return out;
+}
+
+FdEvidence ComputeFdEvidence(const table::Table& table,
+                             const FunctionalDependency& fd) {
+  FdEvidence e;
+  const size_t rows = table.num_rows();
+  if (rows == 0) return e;
+  CardinalityEngine engine(table);
+  const auto lhs_ids = ProjectIds(engine, fd.lhs);
+  std::unordered_map<uint32_t, uint32_t> group_size;
+  for (uint32_t id : lhs_ids) ++group_size[id];
+  size_t witnessed_rows = 0;
+  for (const auto& [id, size] : group_size) {
+    if (size >= 2) {
+      ++e.witness_groups;
+      witnessed_rows += size;
+    }
+  }
+  e.witness_ratio =
+      static_cast<double>(witnessed_rows) / static_cast<double>(rows);
+  e.lhs_distinct = group_size.size();
+  e.rhs_distinct = fd.rhs < table.num_columns()
+                       ? table.column(fd.rhs).distinct_count()
+                       : 0;
+  return e;
+}
+
+double ScoreFdPlausibility(const table::Table& table,
+                           const FunctionalDependency& fd) {
+  const FdEvidence e = ComputeFdEvidence(table, fd);
+  const size_t rows = table.num_rows();
+  if (rows == 0) return 0;
+
+  // Witness ratio dominates: a real rule is exercised by repeated LHS
+  // groups; an FD over a near-unique LHS asserts almost nothing.
+  double score = 0.6 * e.witness_ratio;
+
+  // Real rules compress: the RHS domain is no larger than the LHS domain
+  // (every City maps to one Province; 100 cities -> 13 provinces).
+  if (e.lhs_distinct > 0 && e.rhs_distinct <= e.lhs_distinct) {
+    score += 0.2;
+  }
+
+  // Penalize near-key LHS (uniqueness > 0.9): those FDs are one step from
+  // trivial.
+  const double lhs_uniqueness =
+      static_cast<double>(e.lhs_distinct) / static_cast<double>(rows);
+  if (lhs_uniqueness < 0.9) score += 0.2 * (1.0 - lhs_uniqueness);
+
+  return std::clamp(score, 0.0, 1.0);
+}
+
+}  // namespace ogdp::fd

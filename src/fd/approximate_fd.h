@@ -1,0 +1,71 @@
+#ifndef OGDP_FD_APPROXIMATE_FD_H_
+#define OGDP_FD_APPROXIMATE_FD_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+#include "table/table.h"
+#include "util/result.h"
+
+namespace ogdp::fd {
+
+/// An FD with its g3 error: the minimum fraction of tuples that must be
+/// removed for the dependency to hold exactly (Kivinen & Mannila's g3,
+/// the standard approximate-FD measure).
+struct ApproximateFd {
+  FunctionalDependency fd;
+  double error = 0;
+};
+
+/// Exact g3 error of `fd` on `table` (0 when the FD holds). Nulls compare
+/// equal. O(|lhs| * rows) time.
+double FdError(const table::Table& table, const FunctionalDependency& fd);
+
+/// Options for approximate-FD mining.
+struct ApproxFdOptions {
+  /// Maximum g3 error to report (0.05 = holds after removing <= 5% of
+  /// tuples). With 0 this degenerates to exact FDs.
+  double max_error = 0.05;
+  /// Maximum LHS size (kept small: the approximate lattice lacks the
+  /// pruning structure of the exact one).
+  size_t max_lhs = 2;
+  /// Skip key-LHS dependencies (the paper's triviality rule).
+  bool exclude_key_lhs = true;
+};
+
+/// Mines minimal approximate FDs: lhs -> rhs with g3 error <= max_error
+/// such that no proper subset of lhs satisfies the threshold. This
+/// addresses published tables whose real-world dependencies are broken by
+/// a few dirty rows — FDs the exact miners cannot see.
+Result<std::vector<ApproximateFd>> MineApproximateFds(
+    const table::Table& table, const ApproxFdOptions& options = {});
+
+/// Evidence behind an FD, used to separate *real* dependencies (a genuine
+/// semantic rule like City -> Province) from *accidental* ones that hold
+/// vacuously because the LHS barely repeats — the open question the paper
+/// raises in §4.3.
+struct FdEvidence {
+  /// Fraction of rows lying in LHS groups of size >= 2 — the rows that
+  /// actually witness the dependency. Near 0 = vacuous.
+  double witness_ratio = 0;
+  /// Distinct LHS groups with >= 2 rows.
+  size_t witness_groups = 0;
+  size_t lhs_distinct = 0;
+  size_t rhs_distinct = 0;
+};
+
+/// Computes the evidence profile of an FD (which need not hold exactly).
+FdEvidence ComputeFdEvidence(const table::Table& table,
+                             const FunctionalDependency& fd);
+
+/// Heuristic plausibility score in [0, 1]: combines witness ratio (the
+/// dominant signal), the compression the FD implies (rhs domain no larger
+/// than lhs domain), and a penalty for near-key LHS columns. FDs scoring
+/// high correspond to semantic rules worth exposing as base tables during
+/// normalization; low scores are artifacts of small samples.
+double ScoreFdPlausibility(const table::Table& table,
+                           const FunctionalDependency& fd);
+
+}  // namespace ogdp::fd
+
+#endif  // OGDP_FD_APPROXIMATE_FD_H_

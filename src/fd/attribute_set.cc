@@ -1,0 +1,39 @@
+#include "fd/attribute_set.h"
+
+namespace ogdp::fd {
+
+std::vector<size_t> SetMembers(AttributeSet set) {
+  std::vector<size_t> out;
+  out.reserve(SetSize(set));
+  for (size_t i = 0; i < kMaxFdColumns; ++i) {
+    if (Contains(set, i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::string SetToString(AttributeSet set) {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i : SetMembers(set)) {
+    if (!first) out += ',';
+    out += std::to_string(i);
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+std::string SetToString(AttributeSet set,
+                        const std::vector<std::string>& names) {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i : SetMembers(set)) {
+    if (!first) out += ", ";
+    out += i < names.size() ? names[i] : std::to_string(i);
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace ogdp::fd

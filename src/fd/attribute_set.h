@@ -1,0 +1,56 @@
+#ifndef OGDP_FD_ATTRIBUTE_SET_H_
+#define OGDP_FD_ATTRIBUTE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ogdp::fd {
+
+/// A set of attribute (column) indices as a 32-bit mask.
+///
+/// FD discovery is restricted to tables with at most 32 columns; the
+/// paper's FD sample caps at 20 columns, so a word-sized bitmask keeps the
+/// levelwise lattices allocation-free.
+using AttributeSet = uint32_t;
+
+inline constexpr size_t kMaxFdColumns = 32;
+
+inline AttributeSet SingletonSet(size_t attr) {
+  return AttributeSet{1} << attr;
+}
+
+inline bool Contains(AttributeSet set, size_t attr) {
+  return (set >> attr) & 1u;
+}
+
+inline size_t SetSize(AttributeSet set) {
+  return static_cast<size_t>(std::popcount(set));
+}
+
+inline AttributeSet Add(AttributeSet set, size_t attr) {
+  return set | SingletonSet(attr);
+}
+
+inline AttributeSet Remove(AttributeSet set, size_t attr) {
+  return set & ~SingletonSet(attr);
+}
+
+inline bool IsSubset(AttributeSet sub, AttributeSet super) {
+  return (sub & ~super) == 0;
+}
+
+/// Lists the attribute indices in `set`, ascending.
+std::vector<size_t> SetMembers(AttributeSet set);
+
+/// Renders as "{0,3,7}".
+std::string SetToString(AttributeSet set);
+
+/// Renders using column names, e.g. "{city, province}".
+std::string SetToString(AttributeSet set,
+                        const std::vector<std::string>& names);
+
+}  // namespace ogdp::fd
+
+#endif  // OGDP_FD_ATTRIBUTE_SET_H_

@@ -1,0 +1,127 @@
+#include "fd/bcnf.h"
+
+#include <deque>
+#include <map>
+
+#include "table/projection.h"
+
+namespace ogdp::fd {
+
+namespace {
+
+// A table in flight with the original column index behind each of its
+// columns.
+struct WorkItem {
+  table::Table table;
+  std::vector<size_t> origins;
+};
+
+}  // namespace
+
+Result<BcnfResult> DecomposeToBcnf(const table::Table& table,
+                                   const BcnfOptions& options) {
+  BcnfResult result;
+  Rng rng(options.seed);
+
+  WorkItem root;
+  // BCNF is defined over relations (sets of tuples): start from the
+  // duplicate-free table. This also guarantees every output is exactly the
+  // distinct projection of the input on its columns.
+  std::vector<size_t> all_cols(table.num_columns());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  root.table = table::ProjectDistinct(table, all_cols, table.name());
+  root.origins = all_cols;
+
+  std::deque<WorkItem> pending;
+  pending.push_back(std::move(root));
+
+  while (!pending.empty()) {
+    WorkItem item = std::move(pending.front());
+    pending.pop_front();
+
+    Result<FdMineResult> mined = MineFun(item.table, options.miner);
+    if (!mined.ok()) return mined.status();
+
+    // Violations of BCNF: every mined FD, since mining already excludes
+    // key LHSs (the paper's trivial FDs). Guard against the degenerate
+    // duplicate-row case where the "decomposition" would not shrink the
+    // table.
+    const FunctionalDependency* violation = nullptr;
+    if (!mined->fds.empty() &&
+        result.tables.size() + pending.size() + 2 <= options.max_tables) {
+      violation = &mined->fds[rng.NextBounded(mined->fds.size())];
+    }
+    if (violation == nullptr) {
+      result.tables.push_back(std::move(item.table));
+      result.column_origins.push_back(std::move(item.origins));
+      continue;
+    }
+
+    ++result.steps;
+    const AttributeSet lhs = violation->lhs;
+    const size_t rhs = violation->rhs;
+
+    // T1 = X u {A}.
+    std::vector<size_t> t1_cols = SetMembers(lhs);
+    t1_cols.push_back(rhs);
+    // T2 = attrs \ {A}.
+    std::vector<size_t> t2_cols;
+    for (size_t c = 0; c < item.table.num_columns(); ++c) {
+      if (c != rhs) t2_cols.push_back(c);
+    }
+
+    auto make_child = [&](const std::vector<size_t>& cols,
+                          const char* suffix) {
+      WorkItem child;
+      child.table = table::ProjectDistinct(
+          item.table, cols, item.table.name() + suffix);
+      child.origins.reserve(cols.size());
+      for (size_t c : cols) child.origins.push_back(item.origins[c]);
+      return child;
+    };
+    WorkItem t1 = make_child(t1_cols, "/fd");
+    WorkItem t2 = make_child(t2_cols, "/rest");
+
+    // Progress guard: when the violating FD's LHS covers every other
+    // column, T1 spans all columns. On a duplicate-free relation that FD
+    // could not be non-trivial, so T1 is the deduplicated table — continue
+    // with it alone (rows strictly decreased, so this terminates).
+    if (t1.table.num_columns() == item.table.num_columns()) {
+      if (t1.table.num_rows() < item.table.num_rows()) {
+        pending.push_back(std::move(t1));
+      } else {
+        result.tables.push_back(std::move(item.table));
+        result.column_origins.push_back(std::move(item.origins));
+      }
+      continue;
+    }
+    pending.push_back(std::move(t1));
+    pending.push_back(std::move(t2));
+  }
+  return result;
+}
+
+std::vector<double> UniquenessGains(const table::Table& original,
+                                    const BcnfResult& result) {
+  // Count occurrences of each original column across final sub-tables.
+  std::map<size_t, size_t> occurrences;
+  std::map<size_t, double> after_score;
+  for (size_t t = 0; t < result.tables.size(); ++t) {
+    const auto& origins = result.column_origins[t];
+    for (size_t c = 0; c < origins.size(); ++c) {
+      ++occurrences[origins[c]];
+      after_score[origins[c]] =
+          result.tables[t].column(c).UniquenessScore();
+    }
+  }
+  std::vector<double> gains;
+  for (const auto& [col, count] : occurrences) {
+    if (count != 1) continue;  // repeated into several sub-tables
+    const double before = original.column(col).UniquenessScore();
+    if (before <= 0) continue;
+    gains.push_back(after_score[col] / before);
+  }
+  return gains;
+}
+
+}  // namespace ogdp::fd

@@ -1,0 +1,60 @@
+#ifndef OGDP_FD_BCNF_H_
+#define OGDP_FD_BCNF_H_
+
+#include <string>
+#include <vector>
+
+#include "fd/fd_miner.h"
+#include "table/table.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace ogdp::fd {
+
+/// Options for BCNF decomposition.
+struct BcnfOptions {
+  /// FD discovery settings used at every decomposition step.
+  FdMinerOptions miner;
+
+  /// Seed for the uniformly random choice of violating FD, matching the
+  /// paper's "picked one of the remaining non-trivial FDs uniformly at
+  /// random" (§4.3).
+  uint64_t seed = 0;
+
+  /// Hard cap on the number of produced sub-tables (the paper observed at
+  /// most 11 partitions; this guards adversarial inputs).
+  size_t max_tables = 64;
+};
+
+/// Result of decomposing one table to Boyce-Codd normal form.
+struct BcnfResult {
+  /// Final sub-tables, each in BCNF w.r.t. FDs of bounded LHS size.
+  std::vector<table::Table> tables;
+
+  /// For each final table, the original column indices it carries (order
+  /// matches the sub-table's columns). Used for the uniqueness-gain
+  /// analysis of Table 5.
+  std::vector<std::vector<size_t>> column_origins;
+
+  /// Number of decomposition steps applied; 0 means the input was already
+  /// in BCNF (the "1" bucket of Fig. 7).
+  size_t steps = 0;
+};
+
+/// Textbook BCNF decomposition (§4.3): while some table has a non-trivial
+/// FD X -> A (LHS not a key), pick one uniformly at random and replace the
+/// table by projections on X u {A} and attrs \ {A}, removing duplicate
+/// rows. Deterministic given `options.seed`.
+Result<BcnfResult> DecomposeToBcnf(const table::Table& table,
+                                   const BcnfOptions& options = {});
+
+/// For every original column that ends up in exactly one final sub-table
+/// ("unrepeated" in the paper's Table 5), returns the ratio
+/// (uniqueness score after) / (uniqueness score before). Columns with a
+/// zero before-score are skipped.
+std::vector<double> UniquenessGains(const table::Table& original,
+                                    const BcnfResult& result);
+
+}  // namespace ogdp::fd
+
+#endif  // OGDP_FD_BCNF_H_

@@ -1,0 +1,40 @@
+#include "fd/candidate_keys.h"
+
+#include "fd/fd_miner.h"
+
+namespace ogdp::fd {
+
+Result<KeyAnalysis> FindCandidateKeys(const table::Table& table,
+                                      size_t max_size) {
+  KeyAnalysis analysis;
+  if (table.num_columns() == 0) return analysis;
+  if (table.num_rows() <= 1) {
+    // Degenerate relation: every single attribute identifies the (at most
+    // one) tuple.
+    analysis.min_key_size = 1;
+    for (size_t a = 0; a < table.num_columns() && a < kMaxFdColumns; ++a) {
+      analysis.minimal_keys.push_back(SingletonSet(a));
+    }
+    return analysis;
+  }
+  // The FUN lattice enumerates free sets up to max_lhs + 1 attributes and
+  // records every minimal key it passes; a max_lhs of max_size - 1 covers
+  // keys of exactly max_size attributes.
+  FdMinerOptions options;
+  options.max_lhs = max_size == 0 ? 0 : max_size - 1;
+  Result<FdMineResult> mined = MineFun(table, options);
+  if (!mined.ok()) return mined.status();
+  for (AttributeSet key : mined->candidate_keys) {
+    if (SetSize(key) <= max_size) analysis.minimal_keys.push_back(key);
+  }
+  if (!analysis.minimal_keys.empty()) {
+    analysis.min_key_size = SetSize(analysis.minimal_keys.front());
+    for (AttributeSet key : analysis.minimal_keys) {
+      analysis.min_key_size =
+          std::min(*analysis.min_key_size, SetSize(key));
+    }
+  }
+  return analysis;
+}
+
+}  // namespace ogdp::fd

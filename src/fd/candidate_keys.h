@@ -1,0 +1,34 @@
+#ifndef OGDP_FD_CANDIDATE_KEYS_H_
+#define OGDP_FD_CANDIDATE_KEYS_H_
+
+#include <optional>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "table/table.h"
+#include "util/result.h"
+
+namespace ogdp::fd {
+
+/// Result of the paper's candidate-key search (§4.1 / Fig. 6): minimal
+/// candidate keys of size up to the search limit.
+struct KeyAnalysis {
+  /// Smallest candidate key size, if one was found within `max_size`.
+  /// The paper buckets tables by this value into {1, 2, 3, none}.
+  std::optional<size_t> min_key_size;
+
+  /// All minimal candidate keys of size <= max_size.
+  std::vector<AttributeSet> minimal_keys;
+};
+
+/// Finds all minimal candidate keys of `table` with at most `max_size`
+/// attributes (paper searches sizes 1-3). A key is an attribute set whose
+/// projection has no duplicate tuples, nulls comparing equal.
+///
+/// A table with fewer than 2 rows reports every single column as a key.
+Result<KeyAnalysis> FindCandidateKeys(const table::Table& table,
+                                      size_t max_size = 3);
+
+}  // namespace ogdp::fd
+
+#endif  // OGDP_FD_CANDIDATE_KEYS_H_

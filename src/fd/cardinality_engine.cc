@@ -1,0 +1,60 @@
+#include "fd/cardinality_engine.h"
+
+#include <unordered_map>
+
+namespace ogdp::fd {
+
+CardinalityEngine::CardinalityEngine(const table::Table& table)
+    : rows_(table.num_rows()) {
+  const size_t attrs = table.num_columns();
+  attr_ids_.reserve(attrs);
+  attr_card_.reserve(attrs);
+  for (size_t a = 0; a < attrs; ++a) {
+    const table::Column& col = table.column(a);
+    ClassIds ids(rows_);
+    const uint32_t null_id = static_cast<uint32_t>(col.distinct_count());
+    bool has_null = false;
+    for (size_t r = 0; r < rows_; ++r) {
+      const uint32_t code = col.code(r);
+      if (code == table::Column::kNullCode) {
+        ids[r] = null_id;
+        has_null = true;
+      } else {
+        ids[r] = code;
+      }
+    }
+    attr_card_.push_back(col.distinct_count() + (has_null ? 1 : 0));
+    attr_ids_.push_back(std::move(ids));
+  }
+}
+
+std::pair<uint64_t, CardinalityEngine::ClassIds> CardinalityEngine::Refine(
+    const ClassIds& base, size_t attr) const {
+  const ClassIds& ids = attr_ids_[attr];
+  const uint64_t domain = attr_card_[attr];
+  std::unordered_map<uint64_t, uint32_t> remap;
+  remap.reserve(rows_ / 2 + 1);
+  ClassIds out(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const uint64_t key = static_cast<uint64_t>(base[r]) * domain + ids[r];
+    auto [it, inserted] =
+        remap.try_emplace(key, static_cast<uint32_t>(remap.size()));
+    out[r] = it->second;
+  }
+  return {remap.size(), std::move(out)};
+}
+
+uint64_t CardinalityEngine::RefineCount(const ClassIds& base,
+                                        size_t attr) const {
+  const ClassIds& ids = attr_ids_[attr];
+  const uint64_t domain = attr_card_[attr];
+  std::unordered_map<uint64_t, uint32_t> remap;
+  remap.reserve(rows_ / 2 + 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    const uint64_t key = static_cast<uint64_t>(base[r]) * domain + ids[r];
+    remap.try_emplace(key, 0);
+  }
+  return remap.size();
+}
+
+}  // namespace ogdp::fd

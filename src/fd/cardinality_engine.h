@@ -1,0 +1,56 @@
+#ifndef OGDP_FD_CARDINALITY_ENGINE_H_
+#define OGDP_FD_CARDINALITY_ENGINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "table/table.h"
+
+namespace ogdp::fd {
+
+/// Per-table projection-cardinality machinery shared by the FD miners and
+/// the candidate-key finder.
+///
+/// Every attribute is re-encoded as dense class ids (dictionary codes with
+/// all nulls mapped to one extra id, i.e. null == null for FD semantics,
+/// documented in DESIGN.md). The cardinality of an attribute set is the
+/// number of distinct projected tuples; sets are evaluated by iteratively
+/// refining a class-id vector with one attribute at a time, O(rows) per
+/// refinement step.
+class CardinalityEngine {
+ public:
+  using ClassIds = std::vector<uint32_t>;
+
+  explicit CardinalityEngine(const table::Table& table);
+
+  size_t num_rows() const { return rows_; }
+  size_t num_attributes() const { return attr_ids_.size(); }
+
+  /// Dense class ids of one attribute (values in [0, cardinality)).
+  const ClassIds& AttributeClassIds(size_t attr) const {
+    return attr_ids_[attr];
+  }
+
+  /// Number of distinct values of `attr` (nulls count as one value).
+  uint64_t AttributeCardinality(size_t attr) const {
+    return attr_card_[attr];
+  }
+
+  /// Refines `base` class ids by attribute `attr`, producing the class ids
+  /// of the combined projection and its cardinality.
+  std::pair<uint64_t, ClassIds> Refine(const ClassIds& base,
+                                       size_t attr) const;
+
+  /// Like `Refine` but returns only the cardinality (no id vector built).
+  uint64_t RefineCount(const ClassIds& base, size_t attr) const;
+
+ private:
+  size_t rows_ = 0;
+  std::vector<ClassIds> attr_ids_;
+  std::vector<uint64_t> attr_card_;
+};
+
+}  // namespace ogdp::fd
+
+#endif  // OGDP_FD_CARDINALITY_ENGINE_H_

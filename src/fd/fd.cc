@@ -1,0 +1,46 @@
+#include "fd/fd.h"
+
+#include "fd/cardinality_engine.h"
+
+namespace ogdp::fd {
+
+namespace {
+
+// Cardinality of the projection onto `set` (nulls equal), via iterative
+// refinement. O(|set| * rows).
+uint64_t SetCardinality(const CardinalityEngine& engine, AttributeSet set) {
+  const std::vector<size_t> members = SetMembers(set);
+  if (members.empty()) return engine.num_rows() == 0 ? 0 : 1;
+  if (members.size() == 1) return engine.AttributeCardinality(members[0]);
+  CardinalityEngine::ClassIds ids = engine.AttributeClassIds(members[0]);
+  uint64_t card = engine.AttributeCardinality(members[0]);
+  for (size_t i = 1; i < members.size(); ++i) {
+    if (i + 1 == members.size()) {
+      return engine.RefineCount(ids, members[i]);
+    }
+    auto [c, next] = engine.Refine(ids, members[i]);
+    card = c;
+    ids = std::move(next);
+  }
+  return card;
+}
+
+}  // namespace
+
+bool FdHolds(const table::Table& table, const FunctionalDependency& fd) {
+  if (table.num_rows() == 0) return true;
+  if (Contains(fd.lhs, fd.rhs)) return true;  // trivial
+  const CardinalityEngine engine(table);
+  // X -> a iff the projection on X u {a} has no more distinct tuples than
+  // the projection on X.
+  return SetCardinality(engine, fd.lhs) ==
+         SetCardinality(engine, Add(fd.lhs, fd.rhs));
+}
+
+bool IsSuperkey(const table::Table& table, AttributeSet lhs) {
+  if (table.num_rows() <= 1) return true;
+  const CardinalityEngine engine(table);
+  return SetCardinality(engine, lhs) == table.num_rows();
+}
+
+}  // namespace ogdp::fd

@@ -1,0 +1,41 @@
+#ifndef OGDP_FD_FD_H_
+#define OGDP_FD_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "table/table.h"
+
+namespace ogdp::fd {
+
+/// A functional dependency lhs -> rhs over a table's column indices.
+struct FunctionalDependency {
+  AttributeSet lhs = 0;
+  size_t rhs = 0;
+
+  friend bool operator==(const FunctionalDependency&,
+                         const FunctionalDependency&) = default;
+  friend auto operator<=>(const FunctionalDependency&,
+                          const FunctionalDependency&) = default;
+
+  std::string ToString() const {
+    return SetToString(lhs) + " -> " + std::to_string(rhs);
+  }
+  std::string ToString(const std::vector<std::string>& names) const {
+    return SetToString(lhs, names) + " -> " +
+           (rhs < names.size() ? names[rhs] : std::to_string(rhs));
+  }
+};
+
+/// Checks by direct scan whether `fd` holds on `table` (nulls compare
+/// equal). Reference oracle for tests; O(rows) time and space.
+bool FdHolds(const table::Table& table, const FunctionalDependency& fd);
+
+/// True when `lhs` functionally determines every column, i.e. it is a
+/// (super)key: its projection has no duplicate rows.
+bool IsSuperkey(const table::Table& table, AttributeSet lhs);
+
+}  // namespace ogdp::fd
+
+#endif  // OGDP_FD_FD_H_

@@ -1,0 +1,170 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "fd/cardinality_engine.h"
+#include "fd/fd_miner.h"
+
+namespace ogdp::fd {
+
+namespace {
+
+// Sorts FDs by (lhs size, lhs, rhs) and keys by (size, set) so output is
+// stable across runs and algorithms.
+void Canonicalize(FdMineResult& result) {
+  std::sort(result.fds.begin(), result.fds.end(),
+            [](const FunctionalDependency& a, const FunctionalDependency& b) {
+              const size_t sa = SetSize(a.lhs);
+              const size_t sb = SetSize(b.lhs);
+              if (sa != sb) return sa < sb;
+              if (a.lhs != b.lhs) return a.lhs < b.lhs;
+              return a.rhs < b.rhs;
+            });
+  std::sort(result.candidate_keys.begin(), result.candidate_keys.end(),
+            [](AttributeSet a, AttributeSet b) {
+              const size_t sa = SetSize(a);
+              const size_t sb = SetSize(b);
+              if (sa != sb) return sa < sb;
+              return a < b;
+            });
+}
+
+}  // namespace
+
+Result<FdMineResult> MineFun(const table::Table& table,
+                             const FdMinerOptions& options) {
+  const size_t attrs = table.num_columns();
+  if (attrs > kMaxFdColumns) {
+    return Status::InvalidArgument(
+        "FD discovery supports at most 32 columns, got " +
+        std::to_string(attrs));
+  }
+  FdMineResult result;
+  const size_t rows = table.num_rows();
+  if (rows == 0 || attrs == 0) return result;
+
+  CardinalityEngine engine(table);
+
+  // Cardinalities of every discovered free set, the empty set included.
+  // The map is the whole state FUN needs for FD emission: the cardinality
+  // of any non-free set is max over its free subsets.
+  std::unordered_map<AttributeSet, uint64_t> free_card;
+  free_card.emplace(0, 1);
+
+  struct Node {
+    AttributeSet set;
+    uint64_t card;
+    CardinalityEngine::ClassIds ids;
+  };
+
+  // Level 1: singletons. Constant columns (card 1 == card(empty)) are
+  // non-free; key columns are free but not expanded (supersets of keys are
+  // never free).
+  std::vector<Node> level;
+  size_t nodes = 0;
+  for (size_t a = 0; a < attrs; ++a) {
+    ++nodes;
+    const uint64_t card = engine.AttributeCardinality(a);
+    if (card <= 1) continue;  // non-free: determined by the empty set
+    const AttributeSet s = SingletonSet(a);
+    free_card.emplace(s, card);
+    if (card == rows) {
+      result.candidate_keys.push_back(s);
+    } else {
+      level.push_back(Node{s, card, engine.AttributeClassIds(a)});
+    }
+  }
+
+  // Levels 2 .. max_lhs + 1. The extra level supplies card(X | {a}) for
+  // LHS candidates X of the maximum size.
+  const size_t max_level = options.max_lhs + 1;
+  for (size_t k = 2; k <= max_level && !level.empty(); ++k) {
+    std::vector<Node> next;
+    for (const Node& node : level) {
+      // Generate X | {b} once per candidate: b above the highest attribute
+      // of X. Apriori condition: every immediate subset must be free (a
+      // non-free subset forces the candidate non-free).
+      for (size_t b = 0; b < attrs; ++b) {
+        const AttributeSet cand = Add(node.set, b);
+        if (cand == node.set) continue;
+        if (Contains(node.set, b) ||
+            (node.set >> b) != 0) {  // require b > max(set)
+          continue;
+        }
+        bool subsets_free = true;
+        uint64_t max_subset_card = node.card;
+        for (size_t c : SetMembers(cand)) {
+          const AttributeSet sub = Remove(cand, c);
+          auto it = free_card.find(sub);
+          if (it == free_card.end()) {
+            subsets_free = false;
+            break;
+          }
+          max_subset_card = std::max(max_subset_card, it->second);
+          if (it->second == rows) {
+            // Subset is a key: candidate cannot be free.
+            subsets_free = false;
+            break;
+          }
+        }
+        if (!subsets_free) continue;
+
+        ++nodes;
+        if (options.max_lattice_nodes > 0 &&
+            nodes > options.max_lattice_nodes) {
+          return Status::FailedPrecondition(
+              "FD lattice exceeded max_lattice_nodes on table '" +
+              table.name() + "'");
+        }
+        auto [card, ids] = engine.Refine(node.ids, b);
+        if (card == max_subset_card) continue;  // non-free
+        free_card.emplace(cand, card);
+        if (card == rows) {
+          result.candidate_keys.push_back(cand);
+        } else if (k < max_level) {
+          next.push_back(Node{cand, card, std::move(ids)});
+        }
+      }
+    }
+    level = std::move(next);
+  }
+  result.nodes_explored = nodes;
+
+  // card(S) for any |S| <= max_level: lookup when free, otherwise FUN's
+  // inference rule over free subsets.
+  auto card_of = [&](AttributeSet s) -> uint64_t {
+    auto it = free_card.find(s);
+    if (it != free_card.end()) return it->second;
+    uint64_t best = 1;  // the empty set
+    for (AttributeSet sub = (s - 1) & s; sub != 0; sub = (sub - 1) & s) {
+      auto jt = free_card.find(sub);
+      if (jt != free_card.end() && jt->second > best) best = jt->second;
+    }
+    return best;
+  };
+
+  // Emission: every minimal FD has a free LHS, so scanning free sets is
+  // exhaustive up to max_lhs.
+  for (const auto& [lhs, card] : free_card) {
+    if (SetSize(lhs) > options.max_lhs) continue;
+    if (options.exclude_key_lhs && card == rows) continue;
+    for (size_t a = 0; a < attrs; ++a) {
+      if (Contains(lhs, a)) continue;
+      const AttributeSet with_a = Add(lhs, a);
+      if (card_of(with_a) != card) continue;  // FD does not hold
+      bool minimal = true;
+      for (size_t b : SetMembers(lhs)) {
+        const AttributeSet sub = Remove(lhs, b);
+        if (card_of(Add(sub, a)) == card_of(sub)) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) result.fds.push_back(FunctionalDependency{lhs, a});
+    }
+  }
+
+  Canonicalize(result);
+  return result;
+}
+
+}  // namespace ogdp::fd

@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "fd/cardinality_engine.h"
+#include "fd/fd_miner.h"
+
+namespace ogdp::fd {
+
+namespace {
+
+// A stripped partition: equivalence classes of row ids under an attribute
+// set, with singleton classes removed (they carry no FD information).
+struct StrippedPartition {
+  std::vector<std::vector<uint32_t>> classes;
+  // e(X) = (rows covered by classes) - (number of classes); two sets have
+  // equal partitions iff the smaller one's error equals the larger one's
+  // (TANE's validity test for X\{a} -> a is e(X\{a}) == e(X)).
+  size_t error = 0;
+
+  void ComputeError() {
+    size_t covered = 0;
+    for (const auto& c : classes) covered += c.size();
+    error = covered - classes.size();
+  }
+};
+
+StrippedPartition FromClassIds(const CardinalityEngine::ClassIds& ids,
+                               uint64_t domain) {
+  std::vector<std::vector<uint32_t>> buckets(domain);
+  for (size_t r = 0; r < ids.size(); ++r) {
+    buckets[ids[r]].push_back(static_cast<uint32_t>(r));
+  }
+  StrippedPartition p;
+  for (auto& b : buckets) {
+    if (b.size() >= 2) p.classes.push_back(std::move(b));
+  }
+  p.ComputeError();
+  return p;
+}
+
+// pi(X union {b}) = pi(X) refined by attribute b: split every class of
+// pi(X) by b's class ids.
+StrippedPartition Intersect(const StrippedPartition& px,
+                            const CardinalityEngine::ClassIds& b_ids) {
+  StrippedPartition out;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> split;
+  for (const auto& cls : px.classes) {
+    split.clear();
+    for (uint32_t r : cls) split[b_ids[r]].push_back(r);
+    for (auto& [id, rows] : split) {
+      if (rows.size() >= 2) out.classes.push_back(std::move(rows));
+    }
+  }
+  out.ComputeError();
+  return out;
+}
+
+struct Node {
+  StrippedPartition partition;
+  AttributeSet cplus = 0;  // rhs candidates C+(X)
+};
+
+using Level = std::unordered_map<AttributeSet, Node>;
+
+}  // namespace
+
+Result<FdMineResult> MineTane(const table::Table& table,
+                              const FdMinerOptions& options) {
+  const size_t attrs = table.num_columns();
+  if (attrs > kMaxFdColumns) {
+    return Status::InvalidArgument(
+        "FD discovery supports at most 32 columns, got " +
+        std::to_string(attrs));
+  }
+  FdMineResult result;
+  const size_t rows = table.num_rows();
+  if (rows == 0 || attrs == 0) return result;
+
+  CardinalityEngine engine(table);
+  const AttributeSet all_attrs =
+      attrs == kMaxFdColumns ? ~AttributeSet{0}
+                             : (AttributeSet{1} << attrs) - 1;
+  const size_t empty_error = rows >= 2 ? rows - 1 : 0;  // pi(empty): 1 class
+
+  // Level 1.
+  Level prev;  // level k-1 nodes that survived pruning
+  Level curr;
+  size_t nodes = 0;
+  for (size_t a = 0; a < attrs; ++a) {
+    ++nodes;
+    Node node;
+    node.partition =
+        FromClassIds(engine.AttributeClassIds(a), engine.AttributeCardinality(a));
+    node.cplus = all_attrs;  // C+(X) = C+(empty) = R for singletons
+    curr.emplace(SingletonSet(a), std::move(node));
+  }
+
+  // Error lookup across the previous level (and the empty set).
+  auto prev_error = [&](AttributeSet s) -> size_t {
+    if (s == 0) return empty_error;
+    return prev.at(s).partition.error;
+  };
+
+  const size_t max_level = options.max_lhs + 1;
+  for (size_t k = 1; k <= max_level && !curr.empty(); ++k) {
+    // COMPUTE_DEPENDENCIES.
+    for (auto& [x, node] : curr) {
+      // C+(X) = intersection of C+(X \ {a}); level 1 was seeded directly.
+      if (k >= 2) {
+        AttributeSet cp = ~AttributeSet{0};
+        for (size_t a : SetMembers(x)) cp &= prev.at(Remove(x, a)).cplus;
+        node.cplus = cp;
+      }
+      for (size_t a : SetMembers(x & node.cplus)) {
+        const AttributeSet lhs = Remove(x, a);
+        const size_t lhs_error = k == 1 ? empty_error : prev_error(lhs);
+        if (lhs_error == node.partition.error) {
+          result.fds.push_back(FunctionalDependency{lhs, a});
+          node.cplus = Remove(node.cplus, a);
+          node.cplus &= x;  // remove all b in R \ X
+        }
+      }
+    }
+
+    // PRUNE.
+    for (auto it = curr.begin(); it != curr.end();) {
+      const AttributeSet x = it->first;
+      Node& node = it->second;
+      if (node.cplus == 0) {
+        it = curr.erase(it);
+        continue;
+      }
+      if (node.partition.error == 0) {
+        // X is a (minimal) key: record it and stop expanding. Key-LHS FDs
+        // are trivial under the paper's definition, so none are emitted.
+        result.candidate_keys.push_back(x);
+        it = curr.erase(it);
+        continue;
+      }
+      ++it;
+    }
+
+    if (k == max_level) break;
+
+    // GENERATE_NEXT_LEVEL: X | {b} with b above max(X); all immediate
+    // subsets must have survived this level.
+    Level next;
+    for (const auto& [x, node] : curr) {
+      for (size_t b = 0; b < attrs; ++b) {
+        if ((x >> b) != 0) continue;  // only b > max(X)
+        const AttributeSet cand = Add(x, b);
+        bool ok = true;
+        for (size_t c : SetMembers(cand)) {
+          if (curr.find(Remove(cand, c)) == curr.end()) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        ++nodes;
+        if (options.max_lattice_nodes > 0 &&
+            nodes > options.max_lattice_nodes) {
+          return Status::FailedPrecondition(
+              "FD lattice exceeded max_lattice_nodes on table '" +
+              table.name() + "'");
+        }
+        Node cand_node;
+        cand_node.partition =
+            Intersect(node.partition, engine.AttributeClassIds(b));
+        next.emplace(cand, std::move(cand_node));
+      }
+    }
+    prev = std::move(curr);
+    curr = std::move(next);
+  }
+  result.nodes_explored = nodes;
+
+  // TANE's lattice can emit a key-LHS FD only at level 1 (a key singleton
+  // is pruned after its own dependency step); filter for the paper's
+  // non-trivial definition.
+  if (options.exclude_key_lhs) {
+    std::vector<AttributeSet> keys = result.candidate_keys;
+    auto is_key = [&](AttributeSet lhs) {
+      return std::find(keys.begin(), keys.end(), lhs) != keys.end();
+    };
+    std::erase_if(result.fds, [&](const FunctionalDependency& f) {
+      return is_key(f.lhs);
+    });
+  }
+
+  std::sort(result.fds.begin(), result.fds.end(),
+            [](const FunctionalDependency& a, const FunctionalDependency& b) {
+              const size_t sa = SetSize(a.lhs);
+              const size_t sb = SetSize(b.lhs);
+              if (sa != sb) return sa < sb;
+              if (a.lhs != b.lhs) return a.lhs < b.lhs;
+              return a.rhs < b.rhs;
+            });
+  std::sort(result.candidate_keys.begin(), result.candidate_keys.end(),
+            [](AttributeSet a, AttributeSet b) {
+              const size_t sa = SetSize(a);
+              const size_t sb = SetSize(b);
+              if (sa != sb) return sa < sb;
+              return a < b;
+            });
+  return result;
+}
+
+}  // namespace ogdp::fd

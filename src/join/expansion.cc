@@ -1,0 +1,98 @@
+#include "join/expansion.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace ogdp::join {
+
+uint64_t JoinOutputSize(
+    const std::vector<std::pair<uint32_t, uint32_t>>& freq_a,
+    const std::vector<std::pair<uint32_t, uint32_t>>& freq_b) {
+  uint64_t out = 0;
+  size_t i = 0, j = 0;
+  while (i < freq_a.size() && j < freq_b.size()) {
+    if (freq_a[i].first < freq_b[j].first) {
+      ++i;
+    } else if (freq_a[i].first > freq_b[j].first) {
+      ++j;
+    } else {
+      out += static_cast<uint64_t>(freq_a[i].second) *
+             static_cast<uint64_t>(freq_b[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+double ExpansionRatio(const ColumnValueSet& a, const ColumnValueSet& b) {
+  const uint64_t out = JoinOutputSize(a.frequencies, b.frequencies);
+  const uint64_t larger = std::max<uint64_t>(
+      {a.table_rows, b.table_rows, 1});
+  return static_cast<double>(out) / static_cast<double>(larger);
+}
+
+table::Table HashJoin(const table::Table& left, size_t left_col,
+                      const table::Table& right, size_t right_col,
+                      const std::string& result_name) {
+  // Build side: value -> row ids of the right table.
+  std::unordered_map<std::string_view, std::vector<size_t>> build;
+  const table::Column& rc = right.column(right_col);
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (rc.IsNull(r)) continue;
+    build[rc.ValueAt(r)].push_back(r);
+  }
+
+  // Output column set: all left columns, then all right columns except the
+  // join column; names deduplicated with an "_r" suffix.
+  std::vector<table::Column> out_columns;
+  std::vector<std::string> used_names;
+  for (const table::Column& c : left.columns()) {
+    out_columns.emplace_back(c.name());
+    used_names.push_back(c.name());
+  }
+  std::vector<size_t> right_cols;
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    if (c == right_col) continue;
+    right_cols.push_back(c);
+    std::string name = right.column(c).name();
+    if (std::find(used_names.begin(), used_names.end(), name) !=
+        used_names.end()) {
+      name += "_r";
+    }
+    used_names.push_back(name);
+    out_columns.emplace_back(std::move(name));
+  }
+
+  const table::Column& lc = left.column(left_col);
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    if (lc.IsNull(l)) continue;
+    auto it = build.find(lc.ValueAt(l));
+    if (it == build.end()) continue;
+    for (size_t r : it->second) {
+      size_t out_idx = 0;
+      for (size_t c = 0; c < left.num_columns(); ++c, ++out_idx) {
+        const table::Column& src = left.column(c);
+        if (src.IsNull(l)) {
+          out_columns[out_idx].AppendNull();
+        } else {
+          out_columns[out_idx].AppendCell(src.ValueAt(l));
+        }
+      }
+      for (size_t c : right_cols) {
+        const table::Column& src = right.column(c);
+        if (src.IsNull(r)) {
+          out_columns[out_idx].AppendNull();
+        } else {
+          out_columns[out_idx].AppendCell(src.ValueAt(r));
+        }
+        ++out_idx;
+      }
+    }
+  }
+  for (table::Column& c : out_columns) c.InferType();
+  return table::Table(result_name, std::move(out_columns));
+}
+
+}  // namespace ogdp::join

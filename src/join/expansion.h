@@ -1,0 +1,35 @@
+#ifndef OGDP_JOIN_EXPANSION_H_
+#define OGDP_JOIN_EXPANSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/joinable_pair_finder.h"
+#include "table/table.h"
+
+namespace ogdp::join {
+
+/// Number of output tuples of the equi-join of two columns, computed from
+/// their value-frequency vectors (sum over matching values of the product
+/// of multiplicities) without materializing the join.
+uint64_t JoinOutputSize(
+    const std::vector<std::pair<uint32_t, uint32_t>>& freq_a,
+    const std::vector<std::pair<uint32_t, uint32_t>>& freq_b);
+
+/// The paper's expansion ratio (§5.2): join output size divided by the row
+/// count of the larger input table. A ratio of 1 is the ideal
+/// "extend-without-growing" join; ratios far above 1 signal accidental
+/// joins.
+double ExpansionRatio(const ColumnValueSet& a, const ColumnValueSet& b);
+
+/// Materializes the equi-join of `left` and `right` on the given columns
+/// (hash join, nulls never match). Column names of the right table are
+/// suffixed with "_r" on collision. Used by examples and tests; analyses
+/// use `JoinOutputSize` instead.
+table::Table HashJoin(const table::Table& left, size_t left_col,
+                      const table::Table& right, size_t right_col,
+                      const std::string& result_name);
+
+}  // namespace ogdp::join
+
+#endif  // OGDP_JOIN_EXPANSION_H_

@@ -1,0 +1,29 @@
+#include "join/join_labels.h"
+
+namespace ogdp::join {
+
+const char* JoinLabelName(JoinLabel label) {
+  switch (label) {
+    case JoinLabel::kUseful:
+      return "useful";
+    case JoinLabel::kRelatedAccidental:
+      return "R-Acc";
+    case JoinLabel::kUnrelatedAccidental:
+      return "U-Acc";
+  }
+  return "unknown";
+}
+
+const char* KeyCombinationName(KeyCombination combo) {
+  switch (combo) {
+    case KeyCombination::kKeyKey:
+      return "key-key";
+    case KeyCombination::kKeyNonkey:
+      return "key-nonkey";
+    case KeyCombination::kNonkeyNonkey:
+      return "nonkey-nonkey";
+  }
+  return "unknown";
+}
+
+}  // namespace ogdp::join

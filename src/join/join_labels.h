@@ -1,0 +1,36 @@
+#ifndef OGDP_JOIN_JOIN_LABELS_H_
+#define OGDP_JOIN_JOIN_LABELS_H_
+
+namespace ogdp::join {
+
+/// The paper's three-way label for a joinable pair (§5.3.2).
+enum class JoinLabel {
+  /// The join output has a clear interpretation.
+  kUseful,
+  /// Tables store related information but the join is uninterpretable
+  /// (R-Acc).
+  kRelatedAccidental,
+  /// Tables come from entirely different domains (U-Acc).
+  kUnrelatedAccidental,
+};
+
+const char* JoinLabelName(JoinLabel label);
+
+/// Key/non-key combination of a join column pair (§5.3.1 bucketing).
+enum class KeyCombination {
+  kKeyKey,
+  kKeyNonkey,
+  kNonkeyNonkey,
+};
+
+const char* KeyCombinationName(KeyCombination combo);
+
+inline KeyCombination CombineKeyness(bool a_is_key, bool b_is_key) {
+  if (a_is_key && b_is_key) return KeyCombination::kKeyKey;
+  if (a_is_key || b_is_key) return KeyCombination::kKeyNonkey;
+  return KeyCombination::kNonkeyNonkey;
+}
+
+}  // namespace ogdp::join
+
+#endif  // OGDP_JOIN_JOIN_LABELS_H_

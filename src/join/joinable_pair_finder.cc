@@ -1,0 +1,208 @@
+#include "join/joinable_pair_finder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ogdp::join {
+
+double JaccardSorted(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  const size_t inter = OverlapSorted(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+size_t OverlapSorted(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
+JoinablePairFinder::JoinablePairFinder(const std::vector<table::Table>& tables,
+                                       const JoinFinderOptions& options)
+    : options_(options) {
+  // Pass 1: tokenize all eligible columns into a corpus-wide dictionary and
+  // collect per-column distinct ids with multiplicities.
+  std::vector<uint64_t> token_df;  // #columns containing each global id
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const table::Table& tab = tables[t];
+    for (size_t c = 0; c < tab.num_columns(); ++c) {
+      const table::Column& col = tab.column(c);
+      if (col.distinct_count() < options_.min_unique_values) continue;
+      ColumnValueSet set;
+      set.ref = ColumnRef{t, c};
+      set.is_key = col.IsKey();
+      set.type = col.type();
+      set.table_rows = tab.num_rows();
+
+      std::vector<uint32_t> local_to_global(col.distinct_count());
+      for (uint32_t d = 0; d < col.distinct_count(); ++d) {
+        const std::string& value = col.dict_value(d);
+        auto [it, inserted] = dictionary_.try_emplace(
+            value, static_cast<uint32_t>(dictionary_.size()));
+        local_to_global[d] = it->second;
+        if (inserted) token_df.push_back(0);
+        ++token_df[it->second];
+      }
+      std::vector<uint32_t> mult(col.distinct_count(), 0);
+      for (uint32_t code : col.codes()) {
+        if (code != table::Column::kNullCode) ++mult[code];
+      }
+      set.frequencies.reserve(col.distinct_count());
+      set.tokens.reserve(col.distinct_count());
+      for (uint32_t d = 0; d < col.distinct_count(); ++d) {
+        set.frequencies.emplace_back(local_to_global[d], mult[d]);
+        set.tokens.push_back(local_to_global[d]);
+      }
+      sets_.push_back(std::move(set));
+    }
+  }
+
+  // Pass 2: renumber global ids so ascending id == ascending corpus
+  // frequency ("rarest first"). One total order then serves both the
+  // prefix filter (selective prefixes) and merge intersection.
+  std::vector<uint32_t> by_rarity(token_df.size());
+  std::iota(by_rarity.begin(), by_rarity.end(), 0);
+  std::sort(by_rarity.begin(), by_rarity.end(),
+            [&](uint32_t x, uint32_t y) {
+              if (token_df[x] != token_df[y]) return token_df[x] < token_df[y];
+              return x < y;
+            });
+  std::vector<uint32_t> remap(token_df.size());
+  for (uint32_t rank = 0; rank < by_rarity.size(); ++rank) {
+    remap[by_rarity[rank]] = rank;
+  }
+  for (auto& [value, id] : dictionary_) id = remap[id];
+  for (ColumnValueSet& set : sets_) {
+    for (uint32_t& tok : set.tokens) tok = remap[tok];
+    std::sort(set.tokens.begin(), set.tokens.end());
+    for (auto& [id, mult] : set.frequencies) id = remap[id];
+    std::sort(set.frequencies.begin(), set.frequencies.end());
+  }
+}
+
+bool JoinablePairFinder::Eligible(const ColumnValueSet& x,
+                                  const ColumnValueSet& y) const {
+  return x.ref.table != y.ref.table;
+}
+
+std::vector<JoinablePair> JoinablePairFinder::FindAllPairs() const {
+  const double t = options_.jaccard_threshold;
+
+  // Process sets in ascending size; a probing set then only meets
+  // already-indexed sets that are no larger, so only the lower size bound
+  // |indexed| >= t * |probe| needs checking.
+  std::vector<size_t> order(sets_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return sets_[a].tokens.size() < sets_[b].tokens.size();
+  });
+
+  // Inverted index over prefix tokens: token -> set indices (into sets_).
+  std::unordered_map<uint32_t, std::vector<size_t>> index;
+  std::vector<JoinablePair> pairs;
+  std::vector<size_t> candidates;
+  std::vector<uint8_t> marked(sets_.size(), 0);
+
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const size_t self = order[rank];
+    const ColumnValueSet& probe = sets_[self];
+    const size_t n = probe.tokens.size();
+    if (n == 0) continue;
+    // Prefix length |x| - ceil(t*|x|) + 1: any partner with J >= t shares
+    // a token inside this prefix under the shared rarity order.
+    const size_t required = static_cast<size_t>(
+        std::ceil(t * static_cast<double>(n) - 1e-9));
+    const size_t prefix = n - std::min(n, required) + 1;
+
+    candidates.clear();
+    for (size_t p = 0; p < prefix; ++p) {
+      auto it = index.find(probe.tokens[p]);
+      if (it == index.end()) continue;
+      for (size_t cand : it->second) {
+        if (!marked[cand]) {
+          marked[cand] = 1;
+          candidates.push_back(cand);
+        }
+      }
+    }
+    for (size_t cand : candidates) {
+      marked[cand] = 0;
+      const ColumnValueSet& other = sets_[cand];
+      if (!Eligible(probe, other)) continue;
+      if (static_cast<double>(other.tokens.size()) <
+          t * static_cast<double>(n) - 1e-9) {
+        continue;  // too small to reach the threshold
+      }
+      const size_t inter = OverlapSorted(probe.tokens, other.tokens);
+      const size_t uni = n + other.tokens.size() - inter;
+      const double j =
+          uni == 0 ? 0.0
+                   : static_cast<double>(inter) / static_cast<double>(uni);
+      if (j + 1e-12 >= t) {
+        JoinablePair pair;
+        pair.a = std::min(probe.ref, other.ref);
+        pair.b = std::max(probe.ref, other.ref);
+        pair.jaccard = j;
+        pair.overlap = inter;
+        pairs.push_back(pair);
+      }
+    }
+    for (size_t p = 0; p < prefix; ++p) {
+      index[probe.tokens[p]].push_back(self);
+    }
+  }
+
+  std::sort(pairs.begin(), pairs.end(),
+            [](const JoinablePair& x, const JoinablePair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return pairs;
+}
+
+std::vector<JoinablePair> JoinablePairFinder::FindAllPairsBruteForce() const {
+  const double t = options_.jaccard_threshold;
+  std::vector<JoinablePair> pairs;
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    for (size_t j = i + 1; j < sets_.size(); ++j) {
+      const ColumnValueSet& x = sets_[i];
+      const ColumnValueSet& y = sets_[j];
+      if (!Eligible(x, y)) continue;
+      const size_t inter = OverlapSorted(x.tokens, y.tokens);
+      const size_t uni = x.tokens.size() + y.tokens.size() - inter;
+      const double jac =
+          uni == 0 ? 0.0
+                   : static_cast<double>(inter) / static_cast<double>(uni);
+      if (jac + 1e-12 >= t) {
+        JoinablePair pair;
+        pair.a = std::min(x.ref, y.ref);
+        pair.b = std::max(x.ref, y.ref);
+        pair.jaccard = jac;
+        pair.overlap = inter;
+        pairs.push_back(pair);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const JoinablePair& x, const JoinablePair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return pairs;
+}
+
+}  // namespace ogdp::join

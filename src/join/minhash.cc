@@ -1,0 +1,105 @@
+#include "join/minhash.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace ogdp::join {
+
+MinHashSignature ComputeSignature(const std::vector<uint32_t>& tokens,
+                                  const MinHashOptions& options) {
+  MinHashSignature sig;
+  sig.values.assign(options.num_hashes,
+                    std::numeric_limits<uint64_t>::max());
+  // One mix per (token, hash function): h_i(t) = mix(t ^ seed_i). Cheap
+  // and adequate for Jaccard estimation.
+  for (uint32_t token : tokens) {
+    const uint64_t base = MixUint64(token + 0x9e3779b97f4a7c15ULL);
+    for (size_t i = 0; i < options.num_hashes; ++i) {
+      const uint64_t h =
+          MixUint64(base ^ (options.seed + i * 0xda942042e4dd58b5ULL));
+      sig.values[i] = std::min(sig.values[i], h);
+    }
+  }
+  return sig;
+}
+
+double EstimateJaccard(const MinHashSignature& a,
+                       const MinHashSignature& b) {
+  if (a.values.empty() || a.values.size() != b.values.size()) return 0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    agree += a.values[i] == b.values[i];
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.values.size());
+}
+
+MinHashIndex::MinHashIndex(const JoinablePairFinder& finder,
+                           const MinHashOptions& options)
+    : finder_(finder), options_(options) {
+  signatures_.reserve(finder.column_sets().size());
+  for (const auto& set : finder.column_sets()) {
+    signatures_.push_back(ComputeSignature(set.tokens, options_));
+  }
+}
+
+std::vector<JoinablePair> MinHashIndex::FindCandidatePairs(
+    double threshold) const {
+  const auto& sets = finder_.column_sets();
+  const size_t rows_per_band =
+      std::max<size_t>(1, options_.num_hashes / options_.bands);
+
+  // LSH: bucket signatures per band; columns sharing a bucket in any band
+  // become candidates.
+  std::vector<std::pair<size_t, size_t>> candidates;
+  {
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    for (size_t band = 0; band * rows_per_band < options_.num_hashes;
+         ++band) {
+      buckets.clear();
+      for (size_t s = 0; s < signatures_.size(); ++s) {
+        uint64_t key = Fnv1a64("band") ^ band;
+        for (size_t r = 0; r < rows_per_band; ++r) {
+          key = HashCombine(key,
+                            signatures_[s].values[band * rows_per_band + r]);
+        }
+        buckets[key].push_back(s);
+      }
+      for (const auto& [key, members] : buckets) {
+        for (size_t i = 0; i < members.size(); ++i) {
+          for (size_t j = i + 1; j < members.size(); ++j) {
+            candidates.emplace_back(members[i], members[j]);
+          }
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<JoinablePair> pairs;
+  for (const auto& [i, j] : candidates) {
+    const ColumnValueSet& x = sets[i];
+    const ColumnValueSet& y = sets[j];
+    if (x.ref.table == y.ref.table) continue;
+    const double estimate = EstimateJaccard(signatures_[i], signatures_[j]);
+    if (estimate + 1e-12 < threshold) continue;
+    JoinablePair pair;
+    pair.a = std::min(x.ref, y.ref);
+    pair.b = std::max(x.ref, y.ref);
+    pair.jaccard = estimate;
+    pair.overlap = 0;  // estimated path does not compute exact overlap
+    pairs.push_back(pair);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const JoinablePair& x, const JoinablePair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return pairs;
+}
+
+}  // namespace ogdp::join

@@ -1,0 +1,62 @@
+#ifndef OGDP_JOIN_MINHASH_H_
+#define OGDP_JOIN_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/joinable_pair_finder.h"
+
+namespace ogdp::join {
+
+/// Options for the MinHash/LSH approximate joinability search — the
+/// technique behind internet-scale systems like LSH Ensemble [35], which
+/// the paper contrasts with exact overlap search.
+struct MinHashOptions {
+  /// Signature length; more hashes = tighter Jaccard estimates.
+  size_t num_hashes = 128;
+  /// LSH bands (must divide num_hashes). With r = num_hashes / bands rows
+  /// per band, the candidate probability is 1 - (1 - J^r)^bands.
+  size_t bands = 32;
+  uint64_t seed = 0x5151;
+};
+
+/// A MinHash signature of a token set.
+struct MinHashSignature {
+  std::vector<uint64_t> values;
+};
+
+/// Computes the signature of a sorted token set.
+MinHashSignature ComputeSignature(const std::vector<uint32_t>& tokens,
+                                  const MinHashOptions& options);
+
+/// Estimates Jaccard similarity from two signatures (fraction of agreeing
+/// components). Signatures must use the same options.
+double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b);
+
+/// Approximate all-pairs search: signatures + LSH banding generate
+/// candidates, which are verified with their *estimated* Jaccard. Returns
+/// pairs whose estimate clears the threshold. Compared to the exact
+/// finder this trades a little recall/precision for signature-sized
+/// state — the ablation bench quantifies the trade on the corpus.
+class MinHashIndex {
+ public:
+  MinHashIndex(const JoinablePairFinder& finder,
+               const MinHashOptions& options = {});
+
+  /// Candidate pairs with estimated Jaccard >= threshold, in the exact
+  /// finder's pair order convention (a < b, sorted).
+  std::vector<JoinablePair> FindCandidatePairs(double threshold) const;
+
+  const MinHashSignature& signature(size_t column_set_index) const {
+    return signatures_[column_set_index];
+  }
+
+ private:
+  const JoinablePairFinder& finder_;
+  MinHashOptions options_;
+  std::vector<MinHashSignature> signatures_;
+};
+
+}  // namespace ogdp::join
+
+#endif  // OGDP_JOIN_MINHASH_H_

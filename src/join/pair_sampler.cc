@@ -1,0 +1,117 @@
+#include "join/pair_sampler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace ogdp::join {
+
+int SizeBucketOf(size_t rows) {
+  if (rows <= 10) return -1;
+  if (rows < 100) return 0;
+  if (rows < 1000) return 1;
+  return 2;
+}
+
+std::vector<SampledJoinPair> SampleJoinablePairs(
+    const std::vector<table::Table>& tables,
+    const std::vector<ColumnValueSet>& sets,
+    const std::vector<JoinablePair>& pairs,
+    const JoinSamplerOptions& options) {
+  std::vector<SampledJoinPair> out;
+  if (pairs.empty()) return out;
+
+  // Key-ness lookup per column ref.
+  std::map<ColumnRef, bool> is_key;
+  for (const ColumnValueSet& s : sets) is_key[s.ref] = s.is_key;
+
+  // Adjacency: table -> joinable columns; (table, column) -> pair indices.
+  std::map<size_t, std::set<size_t>> table_cols;
+  std::map<ColumnRef, std::vector<size_t>> partners;
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const JoinablePair& pair = pairs[p];
+    table_cols[pair.a.table].insert(pair.a.column);
+    table_cols[pair.b.table].insert(pair.b.column);
+    partners[pair.a].push_back(p);
+    partners[pair.b].push_back(p);
+  }
+  std::vector<size_t> joinable_tables;
+  joinable_tables.reserve(table_cols.size());
+  for (const auto& [t, cols] : table_cols) joinable_tables.push_back(t);
+
+  // Schema fingerprints for the same-schema exclusion.
+  std::vector<uint64_t> schema_fp(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    schema_fp[t] = tables[t].GetSchema().Fingerprint();
+  }
+
+  Rng rng(options.seed);
+  const size_t total_target = options.per_size_bucket * 3;
+  const size_t max_attempts = options.max_attempts > 0
+                                  ? options.max_attempts
+                                  : 1000 * total_target;
+
+  size_t cell_count[3][3] = {};
+  size_t bucket_count[3] = {};
+  std::set<std::pair<ColumnRef, ColumnRef>> sampled;
+
+  for (size_t attempt = 0; attempt < max_attempts && out.size() < total_target;
+       ++attempt) {
+    // 1. T1 uniform among joinable tables.
+    const size_t t1 =
+        joinable_tables[rng.NextBounded(joinable_tables.size())];
+    const int size_bucket = SizeBucketOf(tables[t1].num_rows());
+    if (size_bucket < 0) continue;
+    if (bucket_count[size_bucket] >= options.per_size_bucket) continue;
+
+    // 2. c1 uniform among T1's joinable columns.
+    const auto& cols = table_cols[t1];
+    auto col_it = cols.begin();
+    std::advance(col_it, rng.NextBounded(cols.size()));
+    const ColumnRef c1{t1, *col_it};
+
+    // 3. T2 uniform among partner tables; within T2 keep the
+    //    highest-overlap pair.
+    const auto& plist = partners[c1];
+    std::map<size_t, size_t> best_by_table;  // partner table -> pair index
+    for (size_t p : plist) {
+      const JoinablePair& pair = pairs[p];
+      const ColumnRef other = pair.a == c1 ? pair.b : pair.a;
+      auto [it, inserted] = best_by_table.try_emplace(other.table, p);
+      if (!inserted && pairs[p].overlap > pairs[it->second].overlap) {
+        it->second = p;
+      }
+    }
+    if (best_by_table.empty()) continue;
+    auto t2_it = best_by_table.begin();
+    std::advance(t2_it, rng.NextBounded(best_by_table.size()));
+    const JoinablePair& chosen = pairs[t2_it->second];
+    const ColumnRef c2 = chosen.a == c1 ? chosen.b : chosen.a;
+
+    // 4. Same-schema pairs are covered by the unionability analysis.
+    if (schema_fp[c1.table] == schema_fp[c2.table]) continue;
+
+    // 5. Stratify.
+    const KeyCombination combo = CombineKeyness(is_key[c1], is_key[c2]);
+    const int key_bucket = static_cast<int>(combo);
+    if (cell_count[size_bucket][key_bucket] >= options.per_sub_bucket) {
+      continue;
+    }
+    const auto key = std::make_pair(std::min(c1, c2), std::max(c1, c2));
+    if (!sampled.insert(key).second) continue;
+
+    ++cell_count[size_bucket][key_bucket];
+    ++bucket_count[size_bucket];
+    SampledJoinPair s;
+    s.pair = chosen;
+    s.size_bucket = size_bucket;
+    s.key_combo = combo;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ogdp::join

@@ -1,0 +1,56 @@
+#ifndef OGDP_JOIN_PAIR_SAMPLER_H_
+#define OGDP_JOIN_PAIR_SAMPLER_H_
+
+#include <vector>
+
+#include "join/join_labels.h"
+#include "join/joinable_pair_finder.h"
+#include "table/table.h"
+
+namespace ogdp::join {
+
+/// Size bucket of the first-picked table T1 (§5.3.1):
+/// 0: rows in (10, 100); 1: rows in [100, 1000); 2: rows >= 1000.
+/// Returns -1 for tables of 10 rows or fewer (outside the study's buckets).
+int SizeBucketOf(size_t rows);
+
+/// A sampled quadruplet with its stratification buckets.
+struct SampledJoinPair {
+  JoinablePair pair;
+  int size_bucket = 0;
+  KeyCombination key_combo = KeyCombination::kNonkeyNonkey;
+};
+
+/// Options for the paper's stratified sampling protocol (§5.3.1).
+struct JoinSamplerOptions {
+  uint64_t seed = 42;
+  /// Target sample size per T1-size bucket ("equal, 50, samples").
+  size_t per_size_bucket = 50;
+  /// Cap per (size bucket x key combination) cell ("roughly 17").
+  size_t per_sub_bucket = 17;
+  /// Give up after this many draws (0 = 1000 x total target).
+  size_t max_attempts = 0;
+};
+
+/// Implements the paper's sampling methodology:
+///
+///   1. pick a joinable table T1 uniformly at random;
+///   2. pick one of T1's joinable columns c1 uniformly;
+///   3. pick a partner table T2 uniformly among tables joinable with
+///      (T1, c1); when T2 offers several columns, keep the highest-overlap
+///      one;
+///   4. drop pairs of identical schemas (covered by unionability instead);
+///   5. stratify into 3 T1-size buckets x 3 key combinations with the
+///      given quotas.
+///
+/// Deterministic given the seed. Returns fewer samples when the corpus
+/// cannot fill a cell, exactly like a real corpus might.
+std::vector<SampledJoinPair> SampleJoinablePairs(
+    const std::vector<table::Table>& tables,
+    const std::vector<ColumnValueSet>& sets,
+    const std::vector<JoinablePair>& pairs,
+    const JoinSamplerOptions& options = {});
+
+}  // namespace ogdp::join
+
+#endif  // OGDP_JOIN_PAIR_SAMPLER_H_

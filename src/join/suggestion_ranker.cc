@@ -1,0 +1,97 @@
+#include "join/suggestion_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "join/expansion.h"
+
+namespace ogdp::join {
+
+SuggestionSignals ExtractSignals(const std::vector<table::Table>& tables,
+                                 const ColumnValueSet& a,
+                                 const ColumnValueSet& b, double jaccard) {
+  SuggestionSignals s;
+  s.jaccard = jaccard;
+  s.same_dataset = tables[a.ref.table].dataset_id() ==
+                   tables[b.ref.table].dataset_id();
+  s.key_combo = CombineKeyness(a.is_key, b.is_key);
+  s.join_type = (a.type == table::DataType::kIncrementalInteger ||
+                 b.type == table::DataType::kIncrementalInteger)
+                    ? table::DataType::kIncrementalInteger
+                    : a.type;
+  s.expansion_ratio = ExpansionRatio(a, b);
+  return s;
+}
+
+double ScoreSuggestion(const SuggestionSignals& signals) {
+  // Weights derived from the relative useful-rates of Tables 8-10; kept
+  // as round numbers so the scorer stays interpretable.
+  double score = 0.15 * signals.jaccard;
+
+  if (signals.same_dataset) score += 0.30;  // Table 8: ~4x useful rate
+
+  switch (signals.key_combo) {  // Table 9
+    case KeyCombination::kKeyKey:
+      score += 0.25;
+      break;
+    case KeyCombination::kKeyNonkey:
+      score += 0.15;
+      break;
+    case KeyCombination::kNonkeyNonkey:
+      break;
+  }
+
+  switch (signals.join_type) {  // Table 10
+    case table::DataType::kIncrementalInteger:
+      score -= 0.30;  // overwhelmingly accidental
+      break;
+    case table::DataType::kCategorical:
+    case table::DataType::kString:
+    case table::DataType::kGeospatial:
+      score += 0.20;
+      break;
+    case table::DataType::kTimestamp:
+      score += 0.15;
+      break;
+    default:
+      break;
+  }
+
+  // Growing joins are suspect (§5.2): penalize log-linearly, saturating
+  // around 100x.
+  const double growth = std::max(signals.expansion_ratio, 1.0);
+  score -= 0.10 * std::min(std::log10(growth), 2.0) / 2.0 * 3.0;
+
+  return std::clamp(score, 0.0, 1.0);
+}
+
+std::vector<RankedSuggestion> RankSuggestions(
+    const std::vector<table::Table>& tables,
+    const JoinablePairFinder& finder,
+    const std::vector<JoinablePair>& pairs) {
+  std::map<ColumnRef, const ColumnValueSet*> set_of;
+  for (const auto& s : finder.column_sets()) set_of[s.ref] = &s;
+
+  std::vector<RankedSuggestion> ranked;
+  ranked.reserve(pairs.size());
+  std::vector<double> jaccards(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const SuggestionSignals signals = ExtractSignals(
+        tables, *set_of.at(pairs[i].a), *set_of.at(pairs[i].b),
+        pairs[i].jaccard);
+    jaccards[i] = pairs[i].jaccard;
+    ranked.push_back(RankedSuggestion{i, ScoreSuggestion(signals)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const RankedSuggestion& x, const RankedSuggestion& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (jaccards[x.pair_index] != jaccards[y.pair_index]) {
+                return jaccards[x.pair_index] > jaccards[y.pair_index];
+              }
+              return x.pair_index < y.pair_index;
+            });
+  return ranked;
+}
+
+}  // namespace ogdp::join

@@ -1,0 +1,55 @@
+#ifndef OGDP_JOIN_SUGGESTION_RANKER_H_
+#define OGDP_JOIN_SUGGESTION_RANKER_H_
+
+#include <vector>
+
+#include "join/join_labels.h"
+#include "join/joinable_pair_finder.h"
+#include "table/data_type.h"
+#include "table/table.h"
+
+namespace ogdp::join {
+
+/// The non-value-based signals the paper identifies as predictive of
+/// useful joins (§5.3.3): provenance, key-ness, join-column data type,
+/// and output growth — to be combined with the value-overlap score.
+struct SuggestionSignals {
+  double jaccard = 0;
+  bool same_dataset = false;
+  KeyCombination key_combo = KeyCombination::kNonkeyNonkey;
+  table::DataType join_type = table::DataType::kString;
+  double expansion_ratio = 1.0;
+};
+
+/// Extracts the signals for one discovered pair.
+SuggestionSignals ExtractSignals(const std::vector<table::Table>& tables,
+                                 const ColumnValueSet& a,
+                                 const ColumnValueSet& b, double jaccard);
+
+/// Scores a candidate join suggestion in [0, 1]; higher = more likely
+/// useful. Encodes the paper's findings: same-dataset pairs are ~4x more
+/// often useful, key-key beats key-nonkey beats nonkey-nonkey,
+/// incremental-integer columns are almost always accidental, categorical/
+/// string/geo types are the best signals, and growing joins are suspect.
+///
+/// This is the "complement value-overlap with non value-based techniques"
+/// research direction of §5.3.3, implemented as a transparent linear
+/// scorer so its behaviour is auditable.
+double ScoreSuggestion(const SuggestionSignals& signals);
+
+/// A scored suggestion referring back into the discovered pair list.
+struct RankedSuggestion {
+  size_t pair_index = 0;
+  double score = 0;
+};
+
+/// Ranks all discovered pairs, best first. Ties break on higher Jaccard
+/// then pair order (deterministic).
+std::vector<RankedSuggestion> RankSuggestions(
+    const std::vector<table::Table>& tables,
+    const JoinablePairFinder& finder,
+    const std::vector<JoinablePair>& pairs);
+
+}  // namespace ogdp::join
+
+#endif  // OGDP_JOIN_SUGGESTION_RANKER_H_

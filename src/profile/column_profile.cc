@@ -1,0 +1,62 @@
+#include "profile/column_profile.h"
+
+#include "table/data_type.h"
+#include "util/string_util.h"
+
+namespace ogdp::profile {
+
+ColumnProfile ColumnProfile::Of(const table::Column& column) {
+  ColumnProfile p;
+  p.name = column.name();
+  p.type = column.type();
+  p.size = column.size();
+  p.null_count = column.null_count();
+  p.distinct_count = column.distinct_count();
+  p.null_ratio = column.NullRatio();
+  p.uniqueness_score = column.UniquenessScore();
+  p.is_key = column.IsKey();
+  return p;
+}
+
+std::string ColumnProfile::ToString() const {
+  std::string out = name;
+  out += ": ";
+  out += table::DataTypeName(type);
+  out += " rows=" + std::to_string(size);
+  out += " nulls=" + FormatPercent(null_ratio);
+  out += " distinct=" + std::to_string(distinct_count);
+  out += " uniq=" + FormatDouble(uniqueness_score, 3);
+  if (is_key) out += " [key]";
+  return out;
+}
+
+TableProfile TableProfile::Of(const table::Table& table) {
+  TableProfile p;
+  p.name = table.name();
+  p.dataset_id = table.dataset_id();
+  p.num_rows = table.num_rows();
+  p.num_columns = table.num_columns();
+  double null_sum = 0;
+  for (const table::Column& c : table.columns()) {
+    ColumnProfile cp = ColumnProfile::Of(c);
+    null_sum += cp.null_ratio;
+    p.has_single_column_key |= cp.is_key;
+    p.columns.push_back(std::move(cp));
+  }
+  p.avg_null_ratio =
+      p.num_columns == 0 ? 0 : null_sum / static_cast<double>(p.num_columns);
+  return p;
+}
+
+std::string TableProfile::ToString() const {
+  std::string out = name + " (dataset " + dataset_id + "): " +
+                    std::to_string(num_rows) + " rows x " +
+                    std::to_string(num_columns) + " columns, avg nulls " +
+                    FormatPercent(avg_null_ratio) + "\n";
+  for (const ColumnProfile& c : columns) {
+    out += "  " + c.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace ogdp::profile

@@ -1,0 +1,46 @@
+#ifndef OGDP_PROFILE_COLUMN_PROFILE_H_
+#define OGDP_PROFILE_COLUMN_PROFILE_H_
+
+#include <string>
+
+#include "table/column.h"
+#include "table/table.h"
+
+namespace ogdp::profile {
+
+/// Summary of one column, the unit of most analyses in §3-§4.
+struct ColumnProfile {
+  std::string name;
+  table::DataType type = table::DataType::kNull;
+  size_t size = 0;
+  size_t null_count = 0;
+  size_t distinct_count = 0;
+  double null_ratio = 0;
+  double uniqueness_score = 0;
+  bool is_key = false;
+
+  static ColumnProfile Of(const table::Column& column);
+
+  /// "name: type rows=.. nulls=..% distinct=.. uniq=.. [key]".
+  std::string ToString() const;
+};
+
+/// Summary of one table.
+struct TableProfile {
+  std::string name;
+  std::string dataset_id;
+  size_t num_rows = 0;
+  size_t num_columns = 0;
+  double avg_null_ratio = 0;
+  bool has_single_column_key = false;
+  std::vector<ColumnProfile> columns;
+
+  static TableProfile Of(const table::Table& table);
+
+  /// Multi-line rendering with one line per column.
+  std::string ToString() const;
+};
+
+}  // namespace ogdp::profile
+
+#endif  // OGDP_PROFILE_COLUMN_PROFILE_H_

@@ -1,0 +1,103 @@
+#include "profile/portal_stats.h"
+
+#include <algorithm>
+
+#include "table/data_type.h"
+
+namespace ogdp::profile {
+
+TableSizeStats ComputeTableSizeStats(
+    const std::vector<table::Table>& tables) {
+  TableSizeStats s;
+  s.rows_per_table.reserve(tables.size());
+  s.cols_per_table.reserve(tables.size());
+  for (const table::Table& t : tables) {
+    s.rows_per_table.push_back(static_cast<double>(t.num_rows()));
+    s.cols_per_table.push_back(static_cast<double>(t.num_columns()));
+  }
+  s.rows = stats::Summarize(s.rows_per_table);
+  s.cols = stats::Summarize(s.cols_per_table);
+  return s;
+}
+
+NullStats ComputeNullStats(const std::vector<table::Table>& tables) {
+  NullStats s;
+  for (const table::Table& t : tables) {
+    double table_sum = 0;
+    for (const table::Column& c : t.columns()) {
+      const double ratio = c.NullRatio();
+      s.column_null_ratios.push_back(ratio);
+      table_sum += ratio;
+      ++s.total_columns;
+      if (c.null_count() > 0) ++s.columns_with_nulls;
+      if (ratio > 0.5) ++s.columns_half_empty;
+      if (c.size() > 0 && c.null_count() == c.size()) ++s.columns_all_null;
+    }
+    if (t.num_columns() > 0) {
+      s.table_avg_null_ratios.push_back(
+          table_sum / static_cast<double>(t.num_columns()));
+    }
+  }
+  return s;
+}
+
+namespace {
+
+UniquenessGroup SummarizeGroup(std::vector<double> uniques,
+                               std::vector<double> scores) {
+  UniquenessGroup g;
+  g.columns = uniques.size();
+  if (uniques.empty()) return g;
+  const stats::Summary u = stats::Summarize(std::move(uniques));
+  const stats::Summary sc = stats::Summarize(std::move(scores));
+  g.avg_unique = u.mean;
+  g.median_unique = u.median;
+  g.max_unique = u.max;
+  g.avg_score = sc.mean;
+  g.median_score = sc.median;
+  return g;
+}
+
+}  // namespace
+
+UniquenessStats ComputeUniquenessStats(
+    const std::vector<table::Table>& tables) {
+  UniquenessStats s;
+  std::vector<double> text_uniques, text_scores;
+  std::vector<double> num_uniques, num_scores;
+  size_t below_01 = 0;
+  size_t tables_with_key = 0;
+  for (const table::Table& t : tables) {
+    bool has_key = false;
+    for (const table::Column& c : t.columns()) {
+      const double unique = static_cast<double>(c.distinct_count());
+      const double score = c.UniquenessScore();
+      s.unique_counts.push_back(unique);
+      s.scores.push_back(score);
+      if (score < 0.1) ++below_01;
+      if (c.IsKey()) has_key = true;
+      if (table::IsNumericType(c.type())) {
+        num_uniques.push_back(unique);
+        num_scores.push_back(score);
+      } else {
+        text_uniques.push_back(unique);
+        text_scores.push_back(score);
+      }
+    }
+    if (has_key) ++tables_with_key;
+  }
+  s.text = SummarizeGroup(std::move(text_uniques), std::move(text_scores));
+  s.number = SummarizeGroup(std::move(num_uniques), std::move(num_scores));
+  s.all = SummarizeGroup(s.unique_counts, s.scores);
+  s.frac_score_below_01 =
+      s.scores.empty()
+          ? 0
+          : static_cast<double>(below_01) / static_cast<double>(s.scores.size());
+  s.frac_tables_with_key =
+      tables.empty() ? 0
+                     : static_cast<double>(tables_with_key) /
+                           static_cast<double>(tables.size());
+  return s;
+}
+
+}  // namespace ogdp::profile

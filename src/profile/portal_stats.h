@@ -1,0 +1,63 @@
+#ifndef OGDP_PROFILE_PORTAL_STATS_H_
+#define OGDP_PROFILE_PORTAL_STATS_H_
+
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "table/table.h"
+
+namespace ogdp::profile {
+
+/// Row/column size distributions over a corpus (Table 2 / Fig. 3).
+struct TableSizeStats {
+  std::vector<double> rows_per_table;
+  std::vector<double> cols_per_table;
+  stats::Summary rows;
+  stats::Summary cols;
+};
+
+TableSizeStats ComputeTableSizeStats(const std::vector<table::Table>& tables);
+
+/// Null-value prevalence (§3.3 / Fig. 4).
+struct NullStats {
+  std::vector<double> column_null_ratios;     // per column
+  std::vector<double> table_avg_null_ratios;  // per table
+  size_t total_columns = 0;
+  size_t columns_with_nulls = 0;   // >= 1 missing value
+  size_t columns_half_empty = 0;   // > 50% missing
+  size_t columns_all_null = 0;     // entirely empty
+};
+
+NullStats ComputeNullStats(const std::vector<table::Table>& tables);
+
+/// Uniqueness statistics for one broad type group (Table 4 row block).
+struct UniquenessGroup {
+  size_t columns = 0;
+  double avg_unique = 0;
+  double median_unique = 0;
+  double max_unique = 0;
+  double avg_score = 0;
+  double median_score = 0;
+};
+
+/// Uniqueness statistics split by the paper's broad text/number classes
+/// (§4.1, Table 4, Fig. 5).
+struct UniquenessStats {
+  UniquenessGroup text;
+  UniquenessGroup number;
+  UniquenessGroup all;
+  std::vector<double> unique_counts;  // per column, for Fig. 5 (left)
+  std::vector<double> scores;         // per column, for Fig. 5 (right)
+  /// Fraction of columns with uniqueness score < 0.1 ("values repeated
+  /// more than 10 times on average").
+  double frac_score_below_01 = 0;
+  /// Fraction of tables with at least one single-column key.
+  double frac_tables_with_key = 0;
+};
+
+UniquenessStats ComputeUniquenessStats(
+    const std::vector<table::Table>& tables);
+
+}  // namespace ogdp::profile
+
+#endif  // OGDP_PROFILE_PORTAL_STATS_H_

@@ -1,0 +1,70 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ogdp::stats {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0;
+  const double m = Mean(values);
+  double ss = 0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  for (double v : values) s.sum += v;
+  s.mean = s.sum / static_cast<double>(s.count);
+  s.min = values.front();
+  s.max = values.back();
+  s.median = QuantileSorted(values, 0.5);
+  s.p25 = QuantileSorted(values, 0.25);
+  s.p75 = QuantileSorted(values, 0.75);
+  s.stddev = StdDev(values);
+  return s;
+}
+
+std::string DecileString(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::string out;
+  for (int d = 1; d <= 10; ++d) {
+    if (d > 1) out += ' ';
+    out += 'p';
+    out += std::to_string(d * 10);
+    out += '=';
+    out += FormatDouble(QuantileSorted(values, d / 10.0));
+  }
+  return out;
+}
+
+}  // namespace ogdp::stats

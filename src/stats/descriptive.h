@@ -1,0 +1,50 @@
+#ifndef OGDP_STATS_DESCRIPTIVE_H_
+#define OGDP_STATS_DESCRIPTIVE_H_
+
+#include <string>
+#include <vector>
+
+namespace ogdp::stats {
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double sum = 0;
+  double mean = 0;
+  double median = 0;
+  double min = 0;
+  double max = 0;
+  double p25 = 0;
+  double p75 = 0;
+  double stddev = 0;
+};
+
+/// Mean of `values`; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 when count < 2.
+double StdDev(const std::vector<double>& values);
+
+/// The q-th quantile (q in [0,1]) with linear interpolation between order
+/// statistics (type-7, the numpy default). 0 for an empty sample.
+/// Does not require `values` to be sorted.
+double Quantile(std::vector<double> values, double q);
+
+/// The q-th quantile of an already ascending-sorted sample.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Median shorthand.
+inline double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+/// Computes the full summary in one pass + one sort.
+Summary Summarize(std::vector<double> values);
+
+/// Renders the per-decile values of a sample, e.g. for the distribution
+/// figures: "p10=.. p20=.. ... p100=..".
+std::string DecileString(std::vector<double> values);
+
+}  // namespace ogdp::stats
+
+#endif  // OGDP_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,81 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ogdp::stats {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  assert(edges_.size() >= 2);
+  for (size_t i = 1; i < edges_.size(); ++i) assert(edges_[i] > edges_[i - 1]);
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+Histogram Histogram::Linear(double lo, double hi, size_t bins) {
+  assert(bins > 0 && hi > lo);
+  std::vector<double> edges;
+  edges.reserve(bins + 1);
+  for (size_t i = 0; i <= bins; ++i) {
+    edges.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                             static_cast<double>(bins));
+  }
+  return Histogram(std::move(edges));
+}
+
+Histogram Histogram::Logarithmic(double lo, double hi, size_t bins) {
+  assert(bins > 0 && hi > lo && lo > 0);
+  std::vector<double> edges;
+  edges.reserve(bins + 1);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (size_t i = 0; i <= bins; ++i) {
+    edges.push_back(std::exp(log_lo + (log_hi - log_lo) *
+                                          static_cast<double>(i) /
+                                          static_cast<double>(bins)));
+  }
+  return Histogram(std::move(edges));
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (value >= edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  // Binary search for the bin: first edge > value, minus one.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  ++counts_[static_cast<size_t>(it - edges_.begin()) - 1];
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+std::string Histogram::ToString(size_t bar_width) const {
+  uint64_t max_count = 1;
+  for (uint64_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out += "[" + ogdp::FormatDouble(edges_[i]) + ", " +
+           ogdp::FormatDouble(edges_[i + 1]) + ")  " +
+           std::to_string(counts_[i]) + "  ";
+    const size_t bar =
+        static_cast<size_t>(static_cast<double>(counts_[i]) /
+                            static_cast<double>(max_count) *
+                            static_cast<double>(bar_width));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) out += "underflow: " + std::to_string(underflow_) + "\n";
+  if (overflow_ > 0) out += "overflow: " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+}  // namespace ogdp::stats

@@ -1,0 +1,48 @@
+#ifndef OGDP_STATS_HISTOGRAM_H_
+#define OGDP_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ogdp::stats {
+
+/// A histogram with explicit bin edges. Values below the first edge land in
+/// an underflow bin; values >= the last edge in an overflow bin.
+class Histogram {
+ public:
+  /// `edges` must be strictly increasing with at least 2 entries.
+  explicit Histogram(std::vector<double> edges);
+
+  /// Equal-width bins over [lo, hi).
+  static Histogram Linear(double lo, double hi, size_t bins);
+
+  /// Log-spaced bins over [lo, hi); lo must be > 0. Used for heavy-tailed
+  /// size distributions (Fig. 3).
+  static Histogram Logarithmic(double lo, double hi, size_t bins);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+  double bin_lo(size_t i) const { return edges_[i]; }
+  double bin_hi(size_t i) const { return edges_[i + 1]; }
+
+  /// ASCII rendering, one line per bin: "[lo, hi)  count  ####".
+  std::string ToString(size_t bar_width = 40) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace ogdp::stats
+
+#endif  // OGDP_STATS_HISTOGRAM_H_

@@ -1,0 +1,45 @@
+#include "stats/letter_values.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace ogdp::stats {
+
+LetterValueSummary ComputeLetterValues(std::vector<double> values,
+                                       size_t min_tail) {
+  LetterValueSummary out;
+  out.count = values.size();
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.median = QuantileSorted(values, 0.5);
+  double tail = 0.25;  // level 0: quartiles
+  while (true) {
+    const double expected_in_tail = tail * static_cast<double>(values.size());
+    if (expected_in_tail < static_cast<double>(min_tail)) break;
+    LetterValueLevel level;
+    level.lower = QuantileSorted(values, tail);
+    level.upper = QuantileSorted(values, 1.0 - tail);
+    out.levels.push_back(level);
+    tail /= 2.0;
+    if (out.levels.size() >= 12) break;  // beyond 1/2^13 depth is noise
+  }
+  return out;
+}
+
+std::string LetterValueSummary::ToString() const {
+  static constexpr const char* kNames[] = {"F", "E", "D", "C", "B", "A",
+                                           "Z", "Y", "X", "W", "V", "U"};
+  std::string out = "n=" + std::to_string(count) +
+                    " median=" + ogdp::FormatDouble(median);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    out += ' ';
+    out += kNames[i];
+    out += "=[" + ogdp::FormatDouble(levels[i].lower) + ", " +
+           ogdp::FormatDouble(levels[i].upper) + "]";
+  }
+  return out;
+}
+
+}  // namespace ogdp::stats

@@ -1,0 +1,37 @@
+#ifndef OGDP_STATS_LETTER_VALUES_H_
+#define OGDP_STATS_LETTER_VALUES_H_
+
+#include <string>
+#include <vector>
+
+namespace ogdp::stats {
+
+/// One level of a letter-value ("boxen") summary: the pair of order
+/// statistics at depth 2^-(k+1) from each tail. Level 0 is the quartile
+/// box (F), level 1 the eighths (E), then sixteenths (D), ...
+struct LetterValueLevel {
+  double lower = 0;
+  double upper = 0;
+};
+
+/// Letter-value summary of a sample, the statistic behind the paper's
+/// Figure 8 letter-value plots of join expansion ratios.
+struct LetterValueSummary {
+  double median = 0;
+  size_t count = 0;
+  /// levels[0] = quartiles, levels[1] = eighths, ... Computation stops when
+  /// a tail would contain fewer than `min_tail` observations.
+  std::vector<LetterValueLevel> levels;
+
+  /// "n=.. median=.. F=[..,..] E=[..,..] ..." rendering.
+  std::string ToString() const;
+};
+
+/// Computes the letter-value summary; `min_tail` is the Hofmann/Wickham
+/// stopping rule parameter (default: stop when a tail has < 5 points).
+LetterValueSummary ComputeLetterValues(std::vector<double> values,
+                                       size_t min_tail = 5);
+
+}  // namespace ogdp::stats
+
+#endif  // OGDP_STATS_LETTER_VALUES_H_

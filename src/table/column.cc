@@ -1,0 +1,36 @@
+#include "table/column.h"
+
+#include "table/null_semantics.h"
+#include "table/type_inference.h"
+#include "util/string_util.h"
+
+namespace ogdp::table {
+
+void Column::AppendCell(std::string_view raw) {
+  if (IsNullToken(raw)) {
+    AppendNull();
+    return;
+  }
+  const std::string value(TrimView(raw));
+  auto [it, inserted] =
+      dict_index_.try_emplace(value, static_cast<uint32_t>(dict_.size()));
+  if (inserted) dict_.push_back(value);
+  codes_.push_back(it->second);
+}
+
+void Column::AppendNull() {
+  codes_.push_back(kNullCode);
+  ++null_count_;
+}
+
+void Column::InferType() { type_ = InferColumnType(*this); }
+
+size_t Column::MemoryUsage() const {
+  size_t bytes = codes_.capacity() * sizeof(uint32_t);
+  for (const std::string& s : dict_) bytes += s.capacity() + sizeof(s);
+  bytes += dict_index_.size() *
+           (sizeof(std::pair<std::string, uint32_t>) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace ogdp::table

@@ -1,0 +1,29 @@
+#include "table/data_type.h"
+
+namespace ogdp::table {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBoolean:
+      return "boolean";
+    case DataType::kIncrementalInteger:
+      return "incremental_integer";
+    case DataType::kInteger:
+      return "integer";
+    case DataType::kDecimal:
+      return "decimal";
+    case DataType::kTimestamp:
+      return "timestamp";
+    case DataType::kGeospatial:
+      return "geo_spatial";
+    case DataType::kCategorical:
+      return "categorical";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+}  // namespace ogdp::table

@@ -1,0 +1,43 @@
+#ifndef OGDP_TABLE_DATA_TYPE_H_
+#define OGDP_TABLE_DATA_TYPE_H_
+
+namespace ogdp::table {
+
+/// Inferred column data type.
+///
+/// The taxonomy mirrors Table 10 of the paper, which groups join columns
+/// into: incremental integer, (other) integer, categorical, string,
+/// timestamp, and geo-spatial. We add kBoolean / kDecimal / kNull for
+/// completeness of inference; the paper's "text vs number" split (Table 4)
+/// maps onto `IsTextType` / `IsNumericType`.
+enum class DataType {
+  kNull,                // every value missing
+  kBoolean,             // true/false, yes/no
+  kIncrementalInteger,  // near-sequential integer ids (1, 2, 3, ...)
+  kInteger,             // other integers
+  kDecimal,             // floating-point numbers
+  kTimestamp,           // dates and datetimes
+  kGeospatial,          // WKT points/polygons or lat,lon pairs
+  kCategorical,         // low-cardinality text
+  kString,              // free text
+};
+
+const char* DataTypeName(DataType type);
+
+/// The paper's broad "number" class (Table 4).
+inline bool IsNumericType(DataType t) {
+  return t == DataType::kIncrementalInteger || t == DataType::kInteger ||
+         t == DataType::kDecimal;
+}
+
+/// The paper's broad "text" class (Table 4). Booleans, timestamps, and
+/// geospatial values are serialized as text in CSVs and profile as text.
+inline bool IsTextType(DataType t) {
+  return t == DataType::kBoolean || t == DataType::kTimestamp ||
+         t == DataType::kGeospatial || t == DataType::kCategorical ||
+         t == DataType::kString;
+}
+
+}  // namespace ogdp::table
+
+#endif  // OGDP_TABLE_DATA_TYPE_H_

@@ -1,0 +1,25 @@
+#include "table/null_semantics.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace ogdp::table {
+
+bool IsNullToken(std::string_view cell) {
+  std::string_view v = TrimView(cell);
+  if (v.empty()) return true;
+  if (v == "-" || v == "...") return true;
+  // Case-insensitive comparison against the short token list without
+  // allocating for the common (non-null) case.
+  if (v.size() > 4) return false;
+  static constexpr std::array<std::string_view, 4> kTokens = {
+      "n/a", "n/d", "nan", "null"};
+  const std::string lower = ToLower(v);
+  for (std::string_view t : kTokens) {
+    if (lower == t) return true;
+  }
+  return false;
+}
+
+}  // namespace ogdp::table

@@ -1,0 +1,17 @@
+#ifndef OGDP_TABLE_NULL_SEMANTICS_H_
+#define OGDP_TABLE_NULL_SEMANTICS_H_
+
+#include <string_view>
+
+namespace ogdp::table {
+
+/// True when a raw CSV cell denotes a missing value.
+///
+/// Matches the paper's null detection (§3.3): empty cells plus the manual
+/// token list "n/a", "n/d", "nan", "null", "-", "..." (case-insensitive,
+/// surrounding whitespace ignored).
+bool IsNullToken(std::string_view cell);
+
+}  // namespace ogdp::table
+
+#endif  // OGDP_TABLE_NULL_SEMANTICS_H_

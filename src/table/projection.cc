@@ -1,0 +1,51 @@
+#include "table/projection.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace ogdp::table {
+
+Table ProjectDistinct(const Table& source,
+                      const std::vector<size_t>& column_indices,
+                      std::string new_name) {
+  const size_t rows = source.num_rows();
+
+  // Identify distinct projected rows by a (hash, verify-free) key built
+  // from the dictionary codes. Codes are per-column stable, so equal code
+  // tuples == equal value tuples; collisions are avoided by keeping the
+  // full tuple as the set key.
+  std::unordered_set<std::string> seen;
+  seen.reserve(rows);
+  std::vector<size_t> keep;
+  std::string key;
+  for (size_t r = 0; r < rows; ++r) {
+    key.clear();
+    for (size_t c : column_indices) {
+      const uint32_t code = source.column(c).code(r);
+      key.append(reinterpret_cast<const char*>(&code), sizeof(code));
+    }
+    if (seen.insert(key).second) keep.push_back(r);
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(column_indices.size());
+  for (size_t c : column_indices) {
+    const Column& src = source.column(c);
+    Column out(src.name());
+    for (size_t r : keep) {
+      if (src.IsNull(r)) {
+        out.AppendNull();
+      } else {
+        out.AppendCell(src.ValueAt(r));
+      }
+    }
+    out.set_type(src.type());
+    columns.push_back(std::move(out));
+  }
+  Table result(std::move(new_name), std::move(columns));
+  result.set_dataset_id(source.dataset_id());
+  return result;
+}
+
+}  // namespace ogdp::table

@@ -1,0 +1,20 @@
+#ifndef OGDP_TABLE_PROJECTION_H_
+#define OGDP_TABLE_PROJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace ogdp::table {
+
+/// Projects `source` onto `column_indices` (in the given order) and removes
+/// duplicate rows, preserving first occurrence order. Nulls compare equal.
+/// This is the relational-algebra projection used by BCNF decomposition.
+Table ProjectDistinct(const Table& source,
+                      const std::vector<size_t>& column_indices,
+                      std::string new_name);
+
+}  // namespace ogdp::table
+
+#endif  // OGDP_TABLE_PROJECTION_H_

@@ -1,0 +1,40 @@
+#include "table/schema.h"
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace ogdp::table {
+
+uint64_t Schema::Fingerprint() const {
+  uint64_t h = Fnv1a64("ogdp.schema");
+  for (const Field& f : fields_) {
+    h = HashCombine(h, Fnv1a64(ToLower(Trim(f.name))));
+    h = HashCombine(h, static_cast<uint64_t>(f.type));
+  }
+  return h;
+}
+
+bool Schema::EquivalentTo(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].type != other.fields_[i].type) return false;
+    if (ToLower(Trim(fields_[i].name)) !=
+        ToLower(Trim(other.fields_[i].name))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ':';
+    out += DataTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace ogdp::table

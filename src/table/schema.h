@@ -1,0 +1,53 @@
+#ifndef OGDP_TABLE_SCHEMA_H_
+#define OGDP_TABLE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/data_type.h"
+
+namespace ogdp::table {
+
+/// An ordered list of (column name, data type) pairs.
+///
+/// Unionability in the paper (§6) means *exactly the same schema*: equal
+/// names and data types. `Fingerprint()` gives a hash suitable for grouping
+/// tables into unionable sets; names are compared case-insensitively after
+/// trimming, which absorbs cosmetic publishing differences.
+class Schema {
+ public:
+  struct Field {
+    std::string name;
+    DataType type = DataType::kNull;
+
+    friend bool operator==(const Field&, const Field&) = default;
+  };
+
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  void AddField(std::string name, DataType type) {
+    fields_.push_back(Field{std::move(name), type});
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Order-sensitive 64-bit hash of normalized names and types.
+  uint64_t Fingerprint() const;
+
+  /// Exact-match unionability test (normalized names + types, in order).
+  bool EquivalentTo(const Schema& other) const;
+
+  /// "level_1,level_2:categorical,..." style debug rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace ogdp::table
+
+#endif  // OGDP_TABLE_SCHEMA_H_

@@ -1,0 +1,72 @@
+#include "table/table.h"
+
+#include <cassert>
+
+#include "csv/csv_writer.h"
+
+namespace ogdp::table {
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+#ifndef NDEBUG
+  for (const Column& c : columns_) {
+    assert(c.size() == columns_.front().size());
+  }
+#endif
+}
+
+Result<Table> Table::FromRecords(
+    std::string name, const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<Column> columns;
+  columns.reserve(header.size());
+  for (const std::string& col_name : header) columns.emplace_back(col_name);
+  for (const auto& row : rows) {
+    if (row.size() > header.size()) {
+      return Status::InvalidArgument(
+          "row wider than header in table '" + name + "': " +
+          std::to_string(row.size()) + " > " + std::to_string(header.size()));
+    }
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (c < row.size()) {
+        columns[c].AppendCell(row[c]);
+      } else {
+        columns[c].AppendNull();
+      }
+    }
+  }
+  for (Column& col : columns) col.InferType();
+  return Table(std::move(name), std::move(columns));
+}
+
+std::optional<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Table::GetSchema() const {
+  Schema schema;
+  for (const Column& c : columns_) schema.AddField(c.name(), c.type());
+  return schema;
+}
+
+std::string Table::ToCsvString() const {
+  csv::CsvWriter writer;
+  std::vector<std::string> record;
+  record.reserve(columns_.size());
+  for (const Column& c : columns_) record.push_back(c.name());
+  writer.WriteRecord(record);
+  const size_t rows = num_rows();
+  for (size_t r = 0; r < rows; ++r) {
+    record.clear();
+    for (const Column& c : columns_) {
+      record.emplace_back(c.ValueAt(r));
+    }
+    writer.WriteRecord(record);
+  }
+  return writer.contents();
+}
+
+}  // namespace ogdp::table

@@ -1,0 +1,74 @@
+#ifndef OGDP_TABLE_TABLE_H_
+#define OGDP_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+#include "table/schema.h"
+#include "util/result.h"
+
+namespace ogdp::table {
+
+/// An in-memory relational table: named, dictionary-encoded columns of
+/// equal length plus provenance (dataset id) used by the integration
+/// analyses.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns);
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  /// Builds a table from a header and raw string rows (post header
+  /// inference / cleaning). Cells are null-detected and types inferred.
+  /// Fails when `rows` are wider than the header.
+  static Result<Table> FromRecords(
+      std::string name, const std::vector<std::string>& header,
+      const std::vector<std::vector<std::string>>& rows);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Identifier of the dataset (CKAN sense) this table was published under.
+  const std::string& dataset_id() const { return dataset_id_; }
+  void set_dataset_id(std::string id) { dataset_id_ = std::move(id); }
+
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.front().size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& mutable_column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (exact match), if any.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// The table's schema (column names + inferred types).
+  Schema GetSchema() const;
+
+  /// Serializes to RFC-4180 CSV (header row + data rows; nulls as empty).
+  std::string ToCsvString() const;
+
+  /// Size in bytes of the CSV resource this table came from (or that
+  /// `ToCsvString` would produce, when generated). Set by ingestion.
+  uint64_t csv_size_bytes() const { return csv_size_bytes_; }
+  void set_csv_size_bytes(uint64_t b) { csv_size_bytes_ = b; }
+
+ private:
+  std::string name_;
+  std::string dataset_id_;
+  std::vector<Column> columns_;
+  uint64_t csv_size_bytes_ = 0;
+};
+
+}  // namespace ogdp::table
+
+#endif  // OGDP_TABLE_TABLE_H_

@@ -1,0 +1,170 @@
+#include "table/type_inference.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdint>
+#include <limits>
+
+#include "table/column.h"
+#include "util/string_util.h"
+
+namespace ogdp::table {
+
+namespace {
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// "2021-03-14" / "2021/03/14" / "14/03/2021" style date cores.
+bool LooksLikeDateCore(std::string_view v) {
+  auto is_sep = [](char c) { return c == '-' || c == '/'; };
+  // YYYY sep MM [sep DD]
+  if (v.size() >= 7 && AllDigits(v.substr(0, 4)) && is_sep(v[4])) {
+    std::string_view rest = v.substr(5);
+    size_t sep2 = std::string_view::npos;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      if (is_sep(rest[i])) {
+        sep2 = i;
+        break;
+      }
+    }
+    if (sep2 == std::string_view::npos) {
+      return rest.size() <= 2 && AllDigits(rest);  // YYYY-MM
+    }
+    return sep2 >= 1 && sep2 <= 2 && AllDigits(rest.substr(0, sep2)) &&
+           rest.size() - sep2 - 1 >= 1 && rest.size() - sep2 - 1 <= 2 &&
+           AllDigits(rest.substr(sep2 + 1));
+  }
+  // DD sep MM sep YYYY
+  if (v.size() >= 8 && v.size() <= 10) {
+    size_t s1 = std::string_view::npos, s2 = std::string_view::npos;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (is_sep(v[i])) {
+        if (s1 == std::string_view::npos) {
+          s1 = i;
+        } else if (s2 == std::string_view::npos) {
+          s2 = i;
+        } else {
+          return false;
+        }
+      }
+    }
+    if (s1 == std::string_view::npos || s2 == std::string_view::npos)
+      return false;
+    return s1 >= 1 && s1 <= 2 && s2 - s1 - 1 >= 1 && s2 - s1 - 1 <= 2 &&
+           v.size() - s2 - 1 == 4 && AllDigits(v.substr(0, s1)) &&
+           AllDigits(v.substr(s1 + 1, s2 - s1 - 1)) &&
+           AllDigits(v.substr(s2 + 1));
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LooksLikeBoolean(std::string_view v) {
+  static constexpr std::array<std::string_view, 6> kTokens = {
+      "true", "false", "yes", "no", "y", "n"};
+  if (v.size() > 5) return false;
+  const std::string lower = ToLower(TrimView(v));
+  return std::find(kTokens.begin(), kTokens.end(), lower) != kTokens.end();
+}
+
+bool LooksLikeTimestamp(std::string_view v) {
+  v = TrimView(v);
+  if (v.size() < 6 || v.size() > 29) return false;
+  // Optional time suffix after 'T' or ' '.
+  size_t cut = v.find('T');
+  if (cut == std::string_view::npos) cut = v.find(' ');
+  std::string_view date_part = v.substr(0, cut);
+  if (!LooksLikeDateCore(date_part)) return false;
+  if (cut == std::string_view::npos) return true;
+  std::string_view time_part = v.substr(cut + 1);
+  if (time_part.size() < 5) return false;  // at least HH:MM
+  return AllDigits(time_part.substr(0, 2)) && time_part[2] == ':';
+}
+
+bool LooksLikeGeospatial(std::string_view v) {
+  v = TrimView(v);
+  // WKT geometries.
+  const std::string upper_prefix = ToLower(v.substr(0, 12));
+  if (StartsWith(upper_prefix, "point") || StartsWith(upper_prefix, "polygon") ||
+      StartsWith(upper_prefix, "linestring") ||
+      StartsWith(upper_prefix, "multipolygon")) {
+    return v.find('(') != std::string_view::npos;
+  }
+  // "(lat, lon)" or "lat,lon" pairs of decimal degrees.
+  std::string_view body = v;
+  if (!body.empty() && body.front() == '(' && body.back() == ')') {
+    body = body.substr(1, body.size() - 2);
+  }
+  size_t comma = body.find(',');
+  if (comma == std::string_view::npos) return false;
+  auto lat = ParseDouble(body.substr(0, comma));
+  auto lon = ParseDouble(body.substr(comma + 1));
+  if (!lat || !lon) return false;
+  // Degenerate integer pairs ("3,4") are more likely malformed numbers.
+  if (body.find('.') == std::string_view::npos) return false;
+  return *lat >= -90.0 && *lat <= 90.0 && *lon >= -180.0 && *lon <= 180.0;
+}
+
+DataType InferColumnType(const Column& column) {
+  const auto& dict = column.dictionary();
+  if (dict.empty()) return DataType::kNull;
+
+  bool all_bool = true;
+  bool all_timestamp = true;
+  bool all_geo = true;
+  bool all_int = true;
+  bool all_numeric = true;
+  int64_t min_int = std::numeric_limits<int64_t>::max();
+  int64_t max_int = std::numeric_limits<int64_t>::min();
+
+  for (const std::string& v : dict) {
+    if (all_bool && !LooksLikeBoolean(v)) all_bool = false;
+    if (all_timestamp && !LooksLikeTimestamp(v)) all_timestamp = false;
+    if (all_geo && !LooksLikeGeospatial(v)) all_geo = false;
+    if (all_int || all_numeric) {
+      auto as_int = ParseInt64(v);
+      if (as_int) {
+        min_int = std::min(min_int, *as_int);
+        max_int = std::max(max_int, *as_int);
+      } else {
+        all_int = false;
+        if (!ParseDouble(v)) all_numeric = false;
+      }
+    }
+    if (!all_bool && !all_timestamp && !all_geo && !all_numeric) break;
+  }
+
+  if (all_bool) return DataType::kBoolean;
+  if (all_timestamp) return DataType::kTimestamp;
+  if (all_geo) return DataType::kGeospatial;
+
+  const double distinct = static_cast<double>(column.distinct_count());
+  const double total = static_cast<double>(column.size());
+  if (all_int) {
+    // Near-sequential ids: high distinctness and a nearly dense range.
+    const double span =
+        static_cast<double>(max_int) - static_cast<double>(min_int) + 1.0;
+    if (distinct / total >= 0.9 && span <= 2.0 * distinct &&
+        column.null_count() == 0) {
+      return DataType::kIncrementalInteger;
+    }
+    return DataType::kInteger;
+  }
+  if (all_numeric) return DataType::kDecimal;
+
+  if (column.distinct_count() <= kCategoricalMaxDistinct &&
+      distinct / total <= 0.5) {
+    return DataType::kCategorical;
+  }
+  return DataType::kString;
+}
+
+}  // namespace ogdp::table

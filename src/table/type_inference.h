@@ -1,0 +1,45 @@
+#ifndef OGDP_TABLE_TYPE_INFERENCE_H_
+#define OGDP_TABLE_TYPE_INFERENCE_H_
+
+#include <string_view>
+
+#include "table/data_type.h"
+
+namespace ogdp::table {
+
+class Column;
+
+/// Lexical shape of a single non-null cell.
+bool LooksLikeBoolean(std::string_view v);
+bool LooksLikeTimestamp(std::string_view v);
+bool LooksLikeGeospatial(std::string_view v);
+
+/// Infers the type of a populated column from its distinct values and
+/// repetition profile. Decision order:
+///
+///   1. all nulls                        -> kNull
+///   2. all boolean tokens               -> kBoolean
+///   3. all timestamps                   -> kTimestamp
+///   4. all geospatial                   -> kGeospatial
+///   5. all integers, near-sequential    -> kIncrementalInteger
+///   6. all integers                     -> kInteger
+///   7. all numerics                     -> kDecimal
+///   8. text, low cardinality            -> kCategorical
+///   9. otherwise                        -> kString
+///
+/// "Near-sequential" (the paper's *incremental integer*, Table 10) means
+/// the distinct integers are almost a dense range: distinct/size >= 0.9 and
+/// (max - min + 1) <= 2 * distinct. This captures row ids / objectids
+/// while leaving year-like repeated integers as kInteger.
+///
+/// "Low cardinality" means distinct <= kCategoricalMaxDistinct and the
+/// values repeat (distinct/size <= 0.5), the paper's notion of categorical
+/// columns such as species or fund type.
+DataType InferColumnType(const Column& column);
+
+/// Cardinality cap for the categorical class.
+inline constexpr size_t kCategoricalMaxDistinct = 256;
+
+}  // namespace ogdp::table
+
+#endif  // OGDP_TABLE_TYPE_INFERENCE_H_

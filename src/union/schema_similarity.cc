@@ -1,0 +1,123 @@
+#include "union/schema_similarity.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "table/data_type.h"
+#include "util/string_util.h"
+
+namespace ogdp::tunion {
+
+namespace {
+
+std::set<std::string> QGrams(const std::string& name, size_t q = 3) {
+  const std::string norm = ToLower(Trim(name));
+  std::set<std::string> grams;
+  if (norm.size() < q) {
+    if (!norm.empty()) grams.insert(norm);
+    return grams;
+  }
+  for (size_t i = 0; i + q <= norm.size(); ++i) {
+    grams.insert(norm.substr(i, q));
+  }
+  return grams;
+}
+
+bool TypesCompatible(table::DataType a, table::DataType b) {
+  if (a == b) return true;
+  return table::IsNumericType(a) == table::IsNumericType(b);
+}
+
+}  // namespace
+
+double NameQGramSimilarity(const std::string& a, const std::string& b) {
+  const std::set<std::string> ga = QGrams(a);
+  const std::set<std::string> gb = QGrams(b);
+  if (ga.empty() || gb.empty()) return ga.empty() && gb.empty() ? 1.0 : 0.0;
+  size_t inter = 0;
+  for (const auto& g : ga) inter += gb.count(g);
+  const size_t uni = ga.size() + gb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double SchemaSimilarity(const table::Schema& a, const table::Schema& b) {
+  if (a.num_fields() == 0 || b.num_fields() == 0) {
+    return a.num_fields() == b.num_fields() ? 1.0 : 0.0;
+  }
+  // Greedy best-first matching: score all type-compatible field pairs,
+  // take them in descending similarity, each field used once.
+  struct Match {
+    double sim;
+    size_t i, j;
+  };
+  std::vector<Match> matches;
+  for (size_t i = 0; i < a.num_fields(); ++i) {
+    for (size_t j = 0; j < b.num_fields(); ++j) {
+      if (!TypesCompatible(a.field(i).type, b.field(j).type)) continue;
+      const double sim =
+          NameQGramSimilarity(a.field(i).name, b.field(j).name);
+      if (sim > 0) matches.push_back(Match{sim, i, j});
+    }
+  }
+  std::sort(matches.begin(), matches.end(), [](const Match& x, const Match& y) {
+    if (x.sim != y.sim) return x.sim > y.sim;
+    if (x.i != y.i) return x.i < y.i;
+    return x.j < y.j;
+  });
+  std::vector<bool> used_a(a.num_fields(), false);
+  std::vector<bool> used_b(b.num_fields(), false);
+  double total = 0;
+  for (const Match& m : matches) {
+    if (used_a[m.i] || used_b[m.j]) continue;
+    used_a[m.i] = true;
+    used_b[m.j] = true;
+    total += m.sim;
+  }
+  return total / static_cast<double>(std::max(a.num_fields(), b.num_fields()));
+}
+
+std::vector<NearUnionablePair> FindNearUnionablePairs(
+    const std::vector<table::Table>& tables, double threshold) {
+  // Group tables by exact fingerprint: similarity only needs computing
+  // once per schema pair.
+  std::map<uint64_t, std::vector<size_t>> by_schema;
+  std::map<uint64_t, table::Schema> schema_of;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    table::Schema s = tables[t].GetSchema();
+    const uint64_t fp = s.Fingerprint();
+    by_schema[fp].push_back(t);
+    schema_of.emplace(fp, std::move(s));
+  }
+  std::vector<uint64_t> fps;
+  for (const auto& [fp, members] : by_schema) fps.push_back(fp);
+
+  std::vector<NearUnionablePair> out;
+  for (size_t i = 0; i < fps.size(); ++i) {
+    for (size_t j = i + 1; j < fps.size(); ++j) {
+      const double sim =
+          SchemaSimilarity(schema_of.at(fps[i]), schema_of.at(fps[j]));
+      if (sim + 1e-12 < threshold || sim >= 1.0 - 1e-12) continue;
+      // Emit the representative pair per schema pair (first members);
+      // expanding to all cross pairs would explode quadratically.
+      NearUnionablePair p;
+      p.table_a = by_schema.at(fps[i]).front();
+      p.table_b = by_schema.at(fps[j]).front();
+      if (p.table_a > p.table_b) std::swap(p.table_a, p.table_b);
+      p.similarity = sim;
+      out.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NearUnionablePair& x, const NearUnionablePair& y) {
+              if (x.similarity != y.similarity) {
+                return x.similarity > y.similarity;
+              }
+              if (x.table_a != y.table_a) return x.table_a < y.table_a;
+              return x.table_b < y.table_b;
+            });
+  return out;
+}
+
+}  // namespace ogdp::tunion

@@ -1,0 +1,40 @@
+#ifndef OGDP_UNION_SCHEMA_SIMILARITY_H_
+#define OGDP_UNION_SCHEMA_SIMILARITY_H_
+
+#include <vector>
+
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace ogdp::tunion {
+
+/// Relaxed unionability (§7 cites q-grams of attribute names as a common
+/// relatedness signal): column-name similarity beyond exact schema match.
+
+/// Jaccard similarity of the 3-gram sets of two (lowercased, trimmed)
+/// names. 1.0 for equal names; robust to suffixes like "value_2020" vs
+/// "value_2021".
+double NameQGramSimilarity(const std::string& a, const std::string& b);
+
+/// Schema similarity in [0, 1]: greedy best-match of columns by name
+/// q-grams, requiring type compatibility (both numeric or both text), and
+/// normalized by the larger column count. Exactly-equal schemas score 1.
+double SchemaSimilarity(const table::Schema& a, const table::Schema& b);
+
+/// A near-unionable pair: schemas similar above a threshold but not
+/// exactly equal (exact matches are handled by UnionableFinder).
+struct NearUnionablePair {
+  size_t table_a = 0;
+  size_t table_b = 0;
+  double similarity = 0;
+};
+
+/// Finds near-unionable pairs with similarity in [threshold, 1). O(n^2)
+/// over distinct schemas, which is fine at portal scale (schemas repeat
+/// heavily).
+std::vector<NearUnionablePair> FindNearUnionablePairs(
+    const std::vector<table::Table>& tables, double threshold = 0.7);
+
+}  // namespace ogdp::tunion
+
+#endif  // OGDP_UNION_SCHEMA_SIMILARITY_H_

@@ -1,0 +1,31 @@
+#include "union/union_labels.h"
+
+namespace ogdp::tunion {
+
+const char* UnionLabelName(UnionLabel label) {
+  switch (label) {
+    case UnionLabel::kUseful:
+      return "useful";
+    case UnionLabel::kAccidental:
+      return "accidental";
+  }
+  return "unknown";
+}
+
+const char* UnionPatternName(UnionPattern pattern) {
+  switch (pattern) {
+    case UnionPattern::kPeriodic:
+      return "periodic";
+    case UnionPattern::kNonTemporalPartition:
+      return "non_temporal_partition";
+    case UnionPattern::kStandardizedSchema:
+      return "standardized_schema";
+    case UnionPattern::kDuplicateTable:
+      return "duplicate_table";
+    case UnionPattern::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace ogdp::tunion

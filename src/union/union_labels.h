@@ -1,0 +1,35 @@
+#ifndef OGDP_UNION_UNION_LABELS_H_
+#define OGDP_UNION_UNION_LABELS_H_
+
+namespace ogdp::tunion {
+
+/// Two-way label for a unionable pair (§6): unlike joins, the overwhelming
+/// majority of same-schema pairs are useful.
+enum class UnionLabel {
+  kUseful,
+  kAccidental,
+};
+
+const char* UnionLabelName(UnionLabel label);
+
+/// Publication pattern behind a unionable pair, per the paper's taxonomy.
+enum class UnionPattern {
+  /// Periodically published tables (yearly/monthly partitions).
+  kPeriodic,
+  /// Tables partitioned on a non-temporal attribute (province, property
+  /// type, ...).
+  kNonTemporalPartition,
+  /// SG-style standardized schemas ({level_1, level_2, year, value})
+  /// shared by unrelated datasets — accidental.
+  kStandardizedSchema,
+  /// The same table published multiple times under different datasets
+  /// (US pattern) — accidental.
+  kDuplicateTable,
+  kOther,
+};
+
+const char* UnionPatternName(UnionPattern pattern);
+
+}  // namespace ogdp::tunion
+
+#endif  // OGDP_UNION_UNION_LABELS_H_

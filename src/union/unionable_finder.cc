@@ -1,0 +1,94 @@
+#include "union/unionable_finder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace ogdp::tunion {
+
+UnionableFinder::UnionableFinder(const std::vector<table::Table>& tables) {
+  std::map<uint64_t, std::vector<size_t>> by_schema;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    by_schema[tables[t].GetSchema().Fingerprint()].push_back(t);
+  }
+  unique_schemas_ = by_schema.size();
+  degree_.assign(tables.size(), 0);
+
+  // Deterministic order: by first member index.
+  std::vector<std::pair<size_t, uint64_t>> order;
+  for (const auto& [fp, members] : by_schema) {
+    if (members.size() >= 2) order.emplace_back(members.front(), fp);
+  }
+  std::sort(order.begin(), order.end());
+
+  for (const auto& [first, fp] : order) {
+    const std::vector<size_t>& members = by_schema[fp];
+    UnionableSet set;
+    set.schema_fingerprint = fp;
+    set.tables = members;
+    set.single_dataset = true;
+    const std::string& dataset = tables[members.front()].dataset_id();
+    for (size_t t : members) {
+      degree_[t] = members.size();
+      if (tables[t].dataset_id() != dataset) set.single_dataset = false;
+    }
+    unionable_tables_ += members.size();
+    sets_.push_back(std::move(set));
+  }
+}
+
+size_t UnionableFinder::DegreeOf(size_t table_index) const {
+  return table_index < degree_.size() ? degree_[table_index] : 0;
+}
+
+std::vector<UnionablePairSample> SampleUnionablePairs(
+    const UnionableFinder& finder, size_t count, uint64_t seed) {
+  std::vector<UnionablePairSample> out;
+  const auto& sets = finder.unionable_sets();
+  if (sets.empty()) return out;
+  Rng rng(seed);
+  std::set<std::pair<size_t, size_t>> sampled;
+  const size_t max_attempts = count * 200;
+  for (size_t attempt = 0; attempt < max_attempts && out.size() < count;
+       ++attempt) {
+    const size_t s = rng.NextBounded(sets.size());
+    const auto& members = sets[s].tables;
+    const size_t i = rng.NextBounded(members.size());
+    size_t j = rng.NextBounded(members.size() - 1);
+    if (j >= i) ++j;
+    const auto key = std::minmax(members[i], members[j]);
+    if (!sampled.insert(key).second) continue;
+    out.push_back(UnionablePairSample{s, key.first, key.second});
+  }
+  return out;
+}
+
+table::Table UnionAll(const std::vector<table::Table>& corpus,
+                      const std::vector<size_t>& members,
+                      const std::string& result_name) {
+  assert(!members.empty());
+  const table::Table& first = corpus[members.front()];
+  std::vector<table::Column> columns;
+  columns.reserve(first.num_columns());
+  for (const table::Column& c : first.columns()) {
+    columns.emplace_back(c.name());
+  }
+  for (size_t m : members) {
+    const table::Table& t = corpus[m];
+    assert(t.num_columns() == columns.size());
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t c = 0; c < columns.size(); ++c) {
+        if (t.column(c).IsNull(r)) {
+          columns[c].AppendNull();
+        } else {
+          columns[c].AppendCell(t.column(c).ValueAt(r));
+        }
+      }
+    }
+  }
+  for (table::Column& c : columns) c.InferType();
+  return table::Table(result_name, std::move(columns));
+}
+
+}  // namespace ogdp::tunion

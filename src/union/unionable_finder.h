@@ -1,0 +1,68 @@
+#ifndef OGDP_UNION_UNIONABLE_FINDER_H_
+#define OGDP_UNION_UNIONABLE_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace ogdp::tunion {
+
+/// A maximal set of tables sharing exactly the same schema (column names
+/// and data types) — the paper's notion of unionability (§6).
+struct UnionableSet {
+  uint64_t schema_fingerprint = 0;
+  /// Indices into the corpus table vector; at least 2 entries.
+  std::vector<size_t> tables;
+  /// True when every member was published under the same dataset.
+  bool single_dataset = false;
+};
+
+/// Groups a corpus into unionable sets by schema fingerprint.
+class UnionableFinder {
+ public:
+  explicit UnionableFinder(const std::vector<table::Table>& tables);
+
+  /// Sets of >= 2 tables with identical schemas, ordered by first member.
+  const std::vector<UnionableSet>& unionable_sets() const { return sets_; }
+
+  /// Number of distinct schemas across the corpus (shared or not).
+  size_t unique_schema_count() const { return unique_schemas_; }
+
+  /// Number of tables that belong to some unionable set.
+  size_t unionable_table_count() const { return unionable_tables_; }
+
+  /// Degree of a unionable table = size of its unionable set (the paper's
+  /// "size of unionable sets"); 0 when the table's schema is unshared.
+  size_t DegreeOf(size_t table_index) const;
+
+ private:
+  std::vector<UnionableSet> sets_;
+  std::vector<size_t> degree_;  // per table
+  size_t unique_schemas_ = 0;
+  size_t unionable_tables_ = 0;
+};
+
+/// A sampled pair of unionable tables (indices into the corpus).
+struct UnionablePairSample {
+  size_t set_index = 0;
+  size_t table_a = 0;
+  size_t table_b = 0;
+};
+
+/// The paper's union sampling (§6): pick a shared schema uniformly at
+/// random, then a pair of its tables uniformly at random; `count` samples
+/// (25 per portal in the paper). Pairs may repeat sets but not pairs.
+std::vector<UnionablePairSample> SampleUnionablePairs(
+    const UnionableFinder& finder, size_t count, uint64_t seed);
+
+/// Concatenates the rows of `tables` (which must share `a`'s schema) into
+/// one table — the union operation users would run on a unionable set.
+table::Table UnionAll(const std::vector<table::Table>& corpus,
+                      const std::vector<size_t>& members,
+                      const std::string& result_name);
+
+}  // namespace ogdp::tunion
+
+#endif  // OGDP_UNION_UNIONABLE_FINDER_H_

@@ -1,0 +1,39 @@
+#ifndef OGDP_UTIL_HASH_H_
+#define OGDP_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ogdp {
+
+/// FNV-1a 64-bit hash of a byte range. Deterministic across platforms and
+/// runs (unlike std::hash), which keeps corpus generation and benchmark
+/// output stable.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes an integer into an existing hash (boost::hash_combine style, with a
+/// 64-bit golden-ratio constant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Finalizer that spreads low-entropy integers across all 64 bits
+/// (SplitMix64 finalizer).
+inline uint64_t MixUint64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ogdp
+
+#endif  // OGDP_UTIL_HASH_H_

@@ -1,0 +1,86 @@
+#ifndef OGDP_UTIL_RESULT_H_
+#define OGDP_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace ogdp {
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// This is the value-returning counterpart of `Status` and the project's
+/// replacement for exceptions. Typical use:
+///
+///   Result<Table> r = CsvReader::ReadFile(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs a Result holding a non-OK `status`. Constructing from an OK
+  /// status is a programming error (asserts in debug builds).
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the held status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Accessors require `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when an error is held.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace ogdp
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise move-assigns the value into `lhs`.
+#define OGDP_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  OGDP_ASSIGN_OR_RETURN_IMPL_(                         \
+      OGDP_RESULT_CONCAT_(_ogdp_result, __LINE__), lhs, rexpr)
+
+#define OGDP_RESULT_CONCAT_INNER_(a, b) a##b
+#define OGDP_RESULT_CONCAT_(a, b) OGDP_RESULT_CONCAT_INNER_(a, b)
+#define OGDP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // OGDP_UTIL_RESULT_H_

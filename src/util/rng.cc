@@ -1,0 +1,143 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace ogdp {
+
+uint64_t Rng::NextUint64() {
+  // SplitMix64 (Steele, Lea, Flood 2014). One 64-bit state word, full period.
+  state_ += kGolden;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling over the largest multiple of bound that fits in 2^64.
+  uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; draws two uniforms per call (the second is discarded to keep
+  // the generator stateless beyond `state_`).
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextLognormal(double log_mean, double log_sigma) {
+  return std::exp(log_mean + log_sigma * NextGaussian());
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996): O(1) per draw
+  // without precomputing the harmonic normalizer.
+  const double b = std::pow(2.0, 1.0 - s);
+  const double t = std::pow(static_cast<double>(n) + 0.5, 1.0 - s);
+  auto h_integral = [s](double x) {
+    const double log_x = std::log(x);
+    if (std::abs(1.0 - s) < 1e-12) return log_x;
+    return (std::exp((1.0 - s) * log_x) - 1.0) / (1.0 - s);
+  };
+  auto h_integral_inverse = [s](double x) {
+    if (std::abs(1.0 - s) < 1e-12) return std::exp(x);
+    double tt = x * (1.0 - s) + 1.0;
+    if (tt < 0) tt = 0;
+    return std::exp(std::log(tt) / (1.0 - s));
+  };
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(static_cast<double>(n) + 0.5);
+  (void)t;
+  (void)b;
+  while (true) {
+    double u = h_n + NextDouble() * (h_x1 - h_n);
+    double x = h_integral_inverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    double k_d = static_cast<double>(k);
+    if (u >= h_integral(k_d + 0.5) - std::exp(-s * std::log(k_d))) {
+      return k - 1;
+    }
+  }
+}
+
+size_t Rng::NextCategorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double r = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: last positive bucket
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  if (k > n) k = n;
+  // Floyd's algorithm: O(k) expected draws, then sorted output.
+  std::vector<size_t> picked;
+  picked.reserve(k);
+  std::vector<bool> in_sample(n, false);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(NextBounded(j + 1));
+    if (in_sample[t]) t = j;
+    in_sample[t] = true;
+    picked.push_back(t);
+  }
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < n && out.size() < k; ++i) {
+    if (in_sample[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t tag) const {
+  Rng child(0);
+  // Mix the parent state with the tag through one SplitMix round each so
+  // forks with different tags diverge immediately.
+  Rng mixer(state_ ^ (tag * 0xda942042e4dd58b5ULL));
+  child.state_ = mixer.NextUint64();
+  return child;
+}
+
+Rng Rng::Fork(const std::string& tag) const { return Fork(Fnv1a64(tag)); }
+
+}  // namespace ogdp

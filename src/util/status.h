@@ -1,0 +1,110 @@
+#ifndef OGDP_UTIL_STATUS_H_
+#define OGDP_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ogdp {
+
+/// Machine-readable category of a `Status`.
+///
+/// The set is intentionally small: codes are for *dispatch* (retry, skip,
+/// abort), while the message carries the human-readable detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable lowercase name for `code` (e.g. "parse_error").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail, used instead of exceptions.
+///
+/// A `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// code plus message otherwise. Functions returning `Status` must be checked
+/// by the caller; value-producing fallible functions return `Result<T>`
+/// (see result.h).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace ogdp
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define OGDP_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::ogdp::Status _ogdp_status = (expr);         \
+    if (!_ogdp_status.ok()) return _ogdp_status;  \
+  } while (false)
+
+#endif  // OGDP_UTIL_STATUS_H_

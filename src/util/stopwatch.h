@@ -1,0 +1,32 @@
+#ifndef OGDP_UTIL_STOPWATCH_H_
+#define OGDP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ogdp {
+
+/// Monotonic wall-clock timer for coarse phase timing in benches and
+/// examples. For statement-level benchmarking use google-benchmark instead.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ogdp
+
+#endif  // OGDP_UTIL_STOPWATCH_H_

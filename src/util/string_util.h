@@ -1,0 +1,55 @@
+#ifndef OGDP_UTIL_STRING_UTIL_H_
+#define OGDP_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ogdp {
+
+/// Returns `s` without leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+
+/// Returns a trimmed copy of `s`.
+std::string Trim(std::string_view s);
+
+/// Returns a lowercase (ASCII) copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// Splits `s` on `delim`; an empty input yields one empty piece, matching
+/// the CSV convention that a blank line has one (empty) field.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict integer parse: the whole (trimmed) string must be a decimal
+/// integer with optional sign. Rejects empty strings and overflow.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// Strict floating-point parse of the whole (trimmed) string. Accepts
+/// decimal and scientific notation; rejects hex, inf, nan and trailing junk.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("1.5", "24", "0.00047"). Used by the benchmark table renderers.
+std::string FormatDouble(double v, int digits = 4);
+
+/// Formats bytes as a human-readable quantity ("1.48 GiB", "433.69 GiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a count with thousands separators ("335,221").
+std::string FormatCount(uint64_t n);
+
+/// Formats a ratio in [0,1] as a percentage with one decimal ("84.1%").
+std::string FormatPercent(double ratio);
+
+}  // namespace ogdp
+
+#endif  // OGDP_UTIL_STRING_UTIL_H_

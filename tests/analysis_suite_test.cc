@@ -1,0 +1,73 @@
+// Tests for the one-call analysis suite and semi-normalized link
+// detection.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis_suite.h"
+#include "corpus/portal_profile.h"
+#include "join/joinable_pair_finder.h"
+
+namespace ogdp::core {
+namespace {
+
+class AnalysisSuiteTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new PortalBundle(
+        MakePortalBundle(corpus::CaPortalProfile(), 0.08));
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+  static PortalBundle* bundle_;
+};
+
+PortalBundle* AnalysisSuiteTest::bundle_ = nullptr;
+
+TEST_F(AnalysisSuiteTest, RunsEveryAnalysisConsistently) {
+  PortalAnalysis a = RunFullAnalysis(*bundle_);
+  EXPECT_EQ(a.portal_name, "CA");
+  EXPECT_EQ(a.size.total_datasets, bundle_->portal.datasets.size());
+  EXPECT_EQ(a.metadata.total, bundle_->portal.datasets.size());
+  EXPECT_EQ(a.table_sizes.rows_per_table.size(),
+            bundle_->ingest.tables.size());
+  EXPECT_EQ(a.keys.size1 + a.keys.size2 + a.keys.size3 + a.keys.none,
+            a.keys.total);
+  EXPECT_EQ(a.fds.sample_tables, a.keys.total);
+  EXPECT_LE(a.joins.joinable_tables, a.joins.total_tables);
+  EXPECT_LE(a.unions.unionable_tables, a.unions.total_tables);
+  EXPECT_FALSE(a.labeled_joins.empty());
+}
+
+TEST_F(AnalysisSuiteTest, RenderMentionsEverySection) {
+  PortalAnalysis a = RunFullAnalysis(*bundle_);
+  const std::string report = RenderPortalAnalysis(a);
+  for (const char* needle :
+       {"Portal CA", "datasets", "median rows", "uniqueness",
+        "non-trivial FD", "BCNF", "joinable pairs", "unionable"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(AnalysisSuiteTest, DetectsIntraDatasetKeyLinks) {
+  join::JoinablePairFinder finder(bundle_->ingest.tables);
+  auto pairs = finder.FindAllPairs();
+  auto links =
+      DetectSemiNormalizedLinks(bundle_->ingest.tables, finder, pairs);
+  // The CA profile publishes semi-normalized datasets, so designed links
+  // must be found, all intra-dataset, all with a key side, all at very
+  // high overlap.
+  ASSERT_GT(links.size(), 0u);
+  for (const auto& link : links) {
+    const auto& ta = bundle_->ingest.tables[link.pair.a.table];
+    const auto& tb = bundle_->ingest.tables[link.pair.b.table];
+    EXPECT_EQ(ta.dataset_id(), tb.dataset_id());
+    EXPECT_EQ(ta.dataset_id(), link.dataset_id);
+    EXPECT_NE(link.key_combo, join::KeyCombination::kNonkeyNonkey);
+    EXPECT_GE(link.pair.jaccard, 0.95);
+  }
+}
+
+}  // namespace
+}  // namespace ogdp::core

@@ -1,0 +1,167 @@
+// Tests for approximate (g3) FD mining and the accidental-vs-real FD
+// plausibility scoring.
+
+#include <gtest/gtest.h>
+
+#include "fd/approximate_fd.h"
+#include "fd/fd_miner.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace ogdp::fd {
+namespace {
+
+using table::Table;
+
+Table MakeTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  auto t = Table::FromRecords("t", header, rows);
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(FdErrorTest, ZeroWhenFdHolds) {
+  Table t = MakeTable({"city", "prov"},
+                      {{"W", "ON"}, {"T", "ON"}, {"M", "QC"}, {"W", "ON"}});
+  EXPECT_DOUBLE_EQ(FdError(t, {SingletonSet(0), 1}), 0.0);
+}
+
+TEST(FdErrorTest, CountsMinimalRemovals) {
+  // city -> prov violated by exactly one of the four W rows.
+  Table t = MakeTable({"city", "prov"}, {{"W", "ON"},
+                                         {"W", "ON"},
+                                         {"W", "ON"},
+                                         {"W", "QC"},  // dirty row
+                                         {"M", "QC"}});
+  EXPECT_DOUBLE_EQ(FdError(t, {SingletonSet(0), 1}), 1.0 / 5.0);
+  // prov -> city: ON group fine (all W); QC group has W and M -> remove 1.
+  EXPECT_DOUBLE_EQ(FdError(t, {SingletonSet(1), 0}), 1.0 / 5.0);
+}
+
+TEST(FdErrorTest, TrivialAndEmpty) {
+  Table t = MakeTable({"a"}, {{"1"}, {"2"}});
+  EXPECT_DOUBLE_EQ(FdError(t, {SingletonSet(0), 0}), 0.0);  // trivial
+  Table empty = MakeTable({"a", "b"}, {});
+  EXPECT_DOUBLE_EQ(FdError(empty, {SingletonSet(0), 1}), 0.0);
+}
+
+TEST(MineApproximateFdsTest, RecoversDirtyFd) {
+  // city -> prov holds on 19 of 20 rows: invisible to the exact miner,
+  // found with max_error 0.1.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back({"W", "ON", std::to_string(i)});
+  for (int i = 0; i < 9; ++i) {
+    rows.push_back({"M", "QC", std::to_string(10 + i)});
+  }
+  rows.push_back({"W", "QC", "19"});  // the dirty row
+  Table t = MakeTable({"city", "prov", "id"}, rows);
+
+  auto exact = MineFun(t);
+  ASSERT_TRUE(exact.ok());
+  bool exact_found = false;
+  for (const auto& f : exact->fds) {
+    exact_found |= f.lhs == SingletonSet(0) && f.rhs == 1;
+  }
+  EXPECT_FALSE(exact_found);
+
+  ApproxFdOptions options;
+  options.max_error = 0.1;
+  auto approx = MineApproximateFds(t, options);
+  ASSERT_TRUE(approx.ok());
+  bool approx_found = false;
+  for (const auto& af : *approx) {
+    if (af.fd.lhs == SingletonSet(0) && af.fd.rhs == 1) {
+      approx_found = true;
+      EXPECT_NEAR(af.error, 0.05, 1e-9);
+    }
+  }
+  EXPECT_TRUE(approx_found);
+}
+
+TEST(MineApproximateFdsTest, MinimalityAcrossLevels) {
+  // a -> c holds approximately; {a, b} -> c must then not be reported.
+  std::vector<std::vector<std::string>> rows;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const std::string a = std::to_string(i % 5);
+    rows.push_back({a, std::to_string(rng.NextBounded(4)), "v" + a});
+  }
+  Table t = MakeTable({"a", "b", "c"}, rows);
+  ApproxFdOptions options;
+  options.max_error = 0.0;
+  auto approx = MineApproximateFds(t, options);
+  ASSERT_TRUE(approx.ok());
+  for (const auto& af : *approx) {
+    if (af.fd.rhs == 2) {
+      EXPECT_EQ(SetSize(af.fd.lhs), 1u) << af.fd.ToString();
+    }
+  }
+}
+
+TEST(MineApproximateFdsTest, AgreesWithExactAtZeroError) {
+  // At max_error 0, the |LHS|=1 approximate FDs equal FUN's exact ones.
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<std::string>> rows;
+    const size_t n = 30 + rng.NextBounded(60);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<std::string> row;
+      for (int c = 0; c < 4; ++c) {
+        row.push_back(std::to_string(rng.NextBounded(4)));
+      }
+      rows.push_back(row);
+    }
+    Table t = MakeTable({"c0", "c1", "c2", "c3"}, rows);
+    ApproxFdOptions options;
+    options.max_error = 0.0;
+    options.max_lhs = 1;
+    auto approx = MineApproximateFds(t, options);
+    auto exact = MineFun(t);
+    ASSERT_TRUE(approx.ok());
+    ASSERT_TRUE(exact.ok());
+    std::vector<FunctionalDependency> exact_lhs1;
+    for (const auto& f : exact->fds) {
+      if (SetSize(f.lhs) == 1) exact_lhs1.push_back(f);
+    }
+    std::vector<FunctionalDependency> approx_fds;
+    for (const auto& af : *approx) approx_fds.push_back(af.fd);
+    std::sort(approx_fds.begin(), approx_fds.end());
+    std::sort(exact_lhs1.begin(), exact_lhs1.end());
+    EXPECT_EQ(approx_fds, exact_lhs1);
+  }
+}
+
+TEST(FdEvidenceTest, WitnessRatio) {
+  // city groups: W x3, T x1, M x1 -> 3 of 5 rows witnessed, 1 group.
+  Table t = MakeTable({"city", "prov"}, {{"W", "ON"},
+                                         {"W", "ON"},
+                                         {"W", "ON"},
+                                         {"T", "ON"},
+                                         {"M", "QC"}});
+  FdEvidence e = ComputeFdEvidence(t, {SingletonSet(0), 1});
+  EXPECT_DOUBLE_EQ(e.witness_ratio, 0.6);
+  EXPECT_EQ(e.witness_groups, 1u);
+  EXPECT_EQ(e.lhs_distinct, 3u);
+  EXPECT_EQ(e.rhs_distinct, 2u);
+}
+
+TEST(FdPlausibilityTest, RealRuleBeatsVacuousFd) {
+  // Real rule: city (repeats heavily) -> province (smaller domain).
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 60; ++i) {
+    const int city = i % 6;
+    rows.push_back({"city" + std::to_string(city),
+                    "prov" + std::to_string(city / 3),
+                    std::to_string(i)});  // near-unique column
+  }
+  Table t = MakeTable({"city", "prov", "seq"}, rows);
+  const double real = ScoreFdPlausibility(t, {SingletonSet(0), 1});
+  // Vacuous: the near-unique seq column "determines" city trivially.
+  const double vacuous = ScoreFdPlausibility(t, {SingletonSet(2), 0});
+  EXPECT_GT(real, 0.6);
+  EXPECT_LT(vacuous, 0.35);
+  EXPECT_GT(real, vacuous + 0.3);
+}
+
+}  // namespace
+}  // namespace ogdp::fd

@@ -1,0 +1,240 @@
+// Tests for the ingestion pipeline (§2.2), analysis reports, and the text
+// renderer.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/ingestion.h"
+#include "core/portal_model.h"
+#include "core/report_format.h"
+#include "corpus/portal_profile.h"
+#include "join/joinable_pair_finder.h"
+
+namespace ogdp::core {
+namespace {
+
+Portal TinyPortal() {
+  Portal portal;
+  portal.name = "T";
+  Dataset ds;
+  ds.id = "ds-1";
+  ds.topic = "health";
+  ds.metadata = MetadataPresence::kUnstructured;
+  ds.publication_year = 2019;
+
+  Resource good;
+  good.name = "good.csv";
+  good.claimed_format = "CSV";
+  good.content = "id,v\n1,2\n3,4\n";
+  ds.resources.push_back(good);
+
+  Resource unfetchable;
+  unfetchable.name = "gone.csv";
+  unfetchable.claimed_format = "CSV";
+  unfetchable.downloadable = false;
+  ds.resources.push_back(unfetchable);
+
+  Resource html;
+  html.name = "error.csv";
+  html.claimed_format = "CSV";
+  html.content = "<!DOCTYPE html><html><body>404</body></html>";
+  ds.resources.push_back(html);
+
+  Resource pdf;  // not claimed CSV: ignored entirely
+  pdf.name = "report.pdf";
+  pdf.claimed_format = "PDF";
+  pdf.content = "%PDF-1.4";
+  ds.resources.push_back(pdf);
+
+  Resource wide;
+  wide.name = "wide.csv";
+  wide.claimed_format = "CSV";
+  {
+    std::string header;
+    std::string row;
+    for (int i = 0; i < 120; ++i) {
+      header += (i ? "," : "") + ("c" + std::to_string(i));
+      row += (i ? "," : "") + std::to_string(i);
+    }
+    wide.content = header + "\n" + row + "\n";
+  }
+  ds.resources.push_back(wide);
+
+  Resource trailing;
+  trailing.name = "trailing.csv";
+  trailing.claimed_format = "CSV";
+  trailing.content = "a,b,,\n1,2,,\n3,4,,\n";
+  ds.resources.push_back(trailing);
+
+  portal.datasets.push_back(ds);
+  return portal;
+}
+
+TEST(IngestionTest, PipelineCountersMatchPaperStages) {
+  IngestResult r = IngestPortal(TinyPortal());
+  EXPECT_EQ(r.stats.total_datasets, 1u);
+  EXPECT_EQ(r.stats.total_tables, 5u);         // CSV-claimed only
+  EXPECT_EQ(r.stats.downloadable_tables, 4u);  // one 404
+  EXPECT_EQ(r.stats.rejected_not_csv, 1u);     // the HTML body
+  EXPECT_EQ(r.stats.removed_wide_tables, 1u);  // 120 columns
+  EXPECT_EQ(r.stats.readable_tables, 3u);      // good + wide + trailing
+  EXPECT_EQ(r.tables.size(), 2u);              // wide one excluded
+  EXPECT_EQ(r.stats.trailing_empty_columns_removed, 2u);
+
+  // Provenance and dataset ids survive.
+  ASSERT_EQ(r.provenance.size(), r.tables.size());
+  EXPECT_EQ(r.tables[0].dataset_id(), "ds-1");
+  EXPECT_EQ(r.provenance[0].publication_year, 2019);
+
+  // The trailing-comma table kept its two real columns.
+  EXPECT_EQ(r.tables[1].num_columns(), 2u);
+}
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new PortalBundle(
+        MakePortalBundle(corpus::UkPortalProfile(), 0.06));
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+  static PortalBundle* bundle_;
+};
+
+PortalBundle* AnalysisTest::bundle_ = nullptr;
+
+TEST_F(AnalysisTest, SizeReportConsistency) {
+  SizeReport r = ComputeSizeReport(*bundle_, /*compress=*/false);
+  EXPECT_EQ(r.total_datasets, bundle_->portal.datasets.size());
+  EXPECT_GE(r.total_tables, r.downloadable_tables);
+  EXPECT_GE(r.downloadable_tables, r.readable_tables);
+  EXPECT_EQ(r.table_bytes_sorted.size(), bundle_->ingest.tables.size());
+  EXPECT_GE(r.max_tables_per_dataset, 1u);
+  // Cumulative per-year bytes sum to the total.
+  uint64_t year_sum = 0;
+  for (const auto& [year, bytes] : r.bytes_by_year) year_sum += bytes;
+  EXPECT_EQ(year_sum, r.total_bytes);
+  EXPECT_EQ(r.compressed_bytes, 0u);  // compression disabled
+}
+
+TEST_F(AnalysisTest, MetadataReportSumsToDatasets) {
+  MetadataReport r = ComputeMetadataReport(bundle_->portal);
+  EXPECT_EQ(r.total, bundle_->portal.datasets.size());
+  size_t sum = 0;
+  for (int i = 0; i < 4; ++i) sum += r.counts[i];
+  EXPECT_EQ(sum, r.total);
+  EXPECT_NEAR(r.Fraction(MetadataPresence::kStructured) +
+                  r.Fraction(MetadataPresence::kUnstructured) +
+                  r.Fraction(MetadataPresence::kOutsidePortal) +
+                  r.Fraction(MetadataPresence::kLacking),
+              1.0, 1e-9);
+}
+
+TEST_F(AnalysisTest, FdSampleRespectsPaperBounds) {
+  auto sample = SelectFdSample(bundle_->ingest.tables);
+  for (size_t i : sample) {
+    const auto& t = bundle_->ingest.tables[i];
+    EXPECT_GE(t.num_rows(), 10u);
+    EXPECT_LE(t.num_rows(), 10000u);
+    EXPECT_GE(t.num_columns(), 5u);
+    EXPECT_LE(t.num_columns(), 20u);
+  }
+}
+
+TEST_F(AnalysisTest, KeyReportPartitions) {
+  auto sample = SelectFdSample(bundle_->ingest.tables);
+  KeyReport r = ComputeKeyReport(bundle_->ingest.tables, sample);
+  EXPECT_EQ(r.size1 + r.size2 + r.size3 + r.none, r.total);
+  EXPECT_EQ(r.total, sample.size());
+}
+
+TEST_F(AnalysisTest, FdReportInvariants) {
+  auto sample = SelectFdSample(bundle_->ingest.tables);
+  FdReport r = ComputeFdReport(bundle_->ingest.tables, sample);
+  EXPECT_EQ(r.sample_tables, sample.size());
+  EXPECT_LE(r.tables_with_lhs1_fd, r.tables_with_fd);
+  EXPECT_EQ(r.decomposition_counts.size(), r.sample_tables);
+  // A table decomposes into >1 sub-tables iff it has a non-trivial FD.
+  size_t decomposed = 0;
+  for (size_t c : r.decomposition_counts) {
+    EXPECT_GE(c, 1u);
+    if (c > 1) ++decomposed;
+  }
+  EXPECT_LE(decomposed, r.tables_with_fd);
+  if (decomposed > 0) EXPECT_GE(r.avg_tables_after_decomp, 2.0);
+}
+
+TEST_F(AnalysisTest, JoinReportInvariants) {
+  join::JoinablePairFinder finder(bundle_->ingest.tables);
+  auto pairs = finder.FindAllPairs();
+  JoinReport r = ComputeJoinReport(bundle_->ingest.tables, finder, pairs);
+  EXPECT_EQ(r.total_pairs, pairs.size());
+  EXPECT_LE(r.joinable_tables, r.total_tables);
+  EXPECT_LE(r.joinable_columns, r.total_columns);
+  EXPECT_EQ(r.key_joinable_columns + r.nonkey_joinable_columns,
+            r.joinable_columns);
+  EXPECT_LE(r.median_table_degree, static_cast<double>(r.max_table_degree));
+  EXPECT_EQ(r.expansion_ratios.size(), pairs.size());
+  for (double e : r.expansion_ratios) EXPECT_GE(e, 0.0);
+}
+
+TEST_F(AnalysisTest, LabeledSampleHasBucketsAndLabels) {
+  join::JoinablePairFinder finder(bundle_->ingest.tables);
+  auto pairs = finder.FindAllPairs();
+  auto labeled = LabelJoinSample(*bundle_, finder, pairs);
+  ASSERT_GT(labeled.size(), 10u);
+  size_t intra = 0;
+  for (const auto& lp : labeled) {
+    EXPECT_GE(lp.sample.size_bucket, 0);
+    EXPECT_LE(lp.sample.size_bucket, 2);
+    intra += lp.intra_dataset;
+    // Expansion of a pair with >= 1 key side never exceeds 1.
+    if (lp.sample.key_combo != join::KeyCombination::kNonkeyNonkey) {
+      EXPECT_LE(lp.expansion_ratio, 1.0 + 1e-9);
+    }
+  }
+  EXPECT_GT(intra, 0u);
+  EXPECT_LT(intra, labeled.size());
+}
+
+TEST_F(AnalysisTest, UnionReportInvariants) {
+  UnionReport r = ComputeUnionReport(*bundle_, 25, 3);
+  EXPECT_LE(r.unionable_tables, r.total_tables);
+  EXPECT_LE(r.unionable_schemas, r.unique_schemas);
+  EXPECT_LE(r.single_dataset_schemas, r.unionable_schemas);
+  EXPECT_LE(r.labeled_sample.size(), 25u);
+  EXPECT_GE(r.avg_tables_per_schema, 1.0);
+}
+
+TEST(TextTableTest, AlignedRendering) {
+  TextTable t({"metric", "SG", "CA"});
+  t.AddRow({"total tables", "2376", "14913"});
+  t.AddRow({"size", "1.48 GiB"});  // short row padded
+  const std::string s = t.Render();
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("14913"), std::string::npos);
+  // Columns align: "SG" (header) and "2376" (row) start at the same
+  // offset within their lines.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < s.size()) {
+    const size_t nl = s.find('\n', start);
+    lines.push_back(s.substr(start, nl - start));
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].find("SG"), lines[2].find("2376"));
+}
+
+TEST(PortalModelTest, MetadataNames) {
+  EXPECT_STREQ(MetadataPresenceName(MetadataPresence::kStructured),
+               "structured");
+  EXPECT_STREQ(MetadataPresenceName(MetadataPresence::kLacking), "lacking");
+}
+
+}  // namespace
+}  // namespace ogdp::core

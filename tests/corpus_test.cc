@@ -1,0 +1,228 @@
+// Tests for the synthetic portal generator: determinism, ground truth,
+// labeling oracles, domain library, and disk round trips.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "core/ingestion.h"
+#include "corpus/corpus_io.h"
+#include "corpus/domains.h"
+#include "corpus/generator.h"
+#include "corpus/ground_truth.h"
+#include "corpus/portal_profile.h"
+#include "corpus/table_synth.h"
+#include "table/null_semantics.h"
+
+namespace ogdp::corpus {
+namespace {
+
+TEST(DomainsTest, FixedVocabularies) {
+  EXPECT_EQ(CanadianProvinces().size(), 13u);
+  EXPECT_EQ(UsStates().size(), 50u);
+  EXPECT_EQ(UkRegions().size(), 12u);
+  EXPECT_GE(SgDistricts().size(), 20u);
+}
+
+TEST(DomainsTest, PoolsDeterministicAndDistinct) {
+  auto a = MakeNamePool(1, "org.health", 50);
+  auto b = MakeNamePool(1, "org.health", 50);
+  auto c = MakeNamePool(1, "org.budget", 50);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::set<std::string>(a.begin(), a.end()).size(), 50u);
+}
+
+TEST(DomainsTest, CodePoolsDisjointAcrossTags) {
+  // Same prefix letters and size, different tags: values must not collide
+  // (the bug class that once made every series pairwise joinable).
+  auto a = MakeCodePool(1, "series1.entity", 40);
+  auto b = MakeCodePool(1, "series2.entity", 40);
+  std::set<std::string> sa(a.begin(), a.end());
+  size_t overlap = 0;
+  for (const auto& v : b) overlap += sa.count(v);
+  EXPECT_EQ(overlap, 0u);
+}
+
+TEST(DomainsTest, HierarchyParentFunctional) {
+  Hierarchy h = MakeHierarchy(1, "ind", 6, 2, 5);
+  EXPECT_EQ(h.parents.size(), 6u);
+  EXPECT_EQ(h.children.size(), h.parent_of.size());
+  for (size_t p : h.parent_of) EXPECT_LT(p, h.parents.size());
+  // Distinct children (FD child -> parent must be a function).
+  EXPECT_EQ(std::set<std::string>(h.children.begin(), h.children.end()).size(),
+            h.children.size());
+}
+
+TEST(DomainsTest, DomainLibraryMemoizes) {
+  DomainLibrary lib(3);
+  const auto& a = lib.NamePool("org.health", 30);
+  const auto& b = lib.NamePool("org.health", 30);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(TableSynthTest, Helpers) {
+  EXPECT_EQ(IncrementalIds(3), (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(IncrementalIds(2, 10), (std::vector<std::string>{"10", "11"}));
+  Rng rng(5);
+  auto picks = PickFromPool(rng, {"a", "b", "c"}, 100, 1.0);
+  EXPECT_EQ(picks.size(), 100u);
+  auto dates = SequentialDates(2021, 3, 27);
+  EXPECT_EQ(dates[0], "2021-01-28");
+  EXPECT_EQ(dates[1], "2021-02-01");  // 12x28 synthetic calendar
+}
+
+TEST(TableSynthTest, InjectNullsProducesRecognizedTokens) {
+  Rng rng(6);
+  std::vector<std::string> cells(1000, "value");
+  InjectNulls(rng, cells, 0.3);
+  size_t nulls = 0;
+  for (const auto& c : cells) {
+    if (c != "value") {
+      ++nulls;
+      EXPECT_TRUE(table::IsNullToken(c)) << c;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(nulls) / 1000.0, 0.3, 0.06);
+}
+
+TEST(GeneratorTest, DeterministicAcrossRuns) {
+  CorpusGenerator g1(SgPortalProfile(), 0.05);
+  CorpusGenerator g2(SgPortalProfile(), 0.05);
+  GeneratedPortal a = g1.Generate();
+  GeneratedPortal b = g2.Generate();
+  ASSERT_EQ(a.portal.datasets.size(), b.portal.datasets.size());
+  for (size_t d = 0; d < a.portal.datasets.size(); ++d) {
+    const auto& da = a.portal.datasets[d];
+    const auto& db = b.portal.datasets[d];
+    EXPECT_EQ(da.id, db.id);
+    ASSERT_EQ(da.resources.size(), db.resources.size());
+    for (size_t r = 0; r < da.resources.size(); ++r) {
+      EXPECT_EQ(da.resources[r].content, db.resources[r].content);
+    }
+  }
+}
+
+TEST(GeneratorTest, GroundTruthCoversReadableTables) {
+  CorpusGenerator gen(CaPortalProfile(), 0.05);
+  GeneratedPortal g = gen.Generate();
+  core::IngestResult ingest = core::IngestPortal(g.portal);
+  ASSERT_GT(ingest.tables.size(), 0u);
+  size_t found = 0;
+  for (const auto& t : ingest.tables) {
+    const TableTruth* truth = g.truth.Find(t.dataset_id(), t.name());
+    if (truth == nullptr) continue;
+    ++found;
+    // Column truth aligns with the parsed table (modulo cleaning-removed
+    // or appended blank columns).
+    EXPECT_GE(truth->columns.size() + 3, t.num_columns());
+  }
+  // Nearly all readable tables must have ground truth.
+  EXPECT_GT(found * 10, ingest.tables.size() * 9);
+}
+
+TEST(GeneratorTest, ScaleControlsDatasetCount) {
+  GeneratedPortal small = CorpusGenerator(UsPortalProfile(), 0.02).Generate();
+  GeneratedPortal large = CorpusGenerator(UsPortalProfile(), 0.06).Generate();
+  EXPECT_GT(large.portal.datasets.size(), small.portal.datasets.size());
+}
+
+TEST(GroundTruthTest, JoinLabelRules) {
+  GroundTruth truth;
+  TableTruth a;
+  a.dataset_id = "d1";
+  a.table_name = "a";
+  a.topic = "health";
+  a.columns = {{"covid.date", ColumnTruth::Role::kPrimaryDimension},
+               {"measure", ColumnTruth::Role::kMeasure}};
+  TableTruth b = a;
+  b.dataset_id = "d2";
+  b.table_name = "b";
+  TableTruth c = a;
+  c.dataset_id = "d3";
+  c.table_name = "c";
+  c.topic = "fisheries";
+
+  // Same topic, both primary dimension, same domain -> useful.
+  EXPECT_EQ(truth.LabelJoin(a, 0, b, 0), join::JoinLabel::kUseful);
+  // Same topic but a measure column involved -> R-Acc.
+  EXPECT_EQ(truth.LabelJoin(a, 1, b, 0),
+            join::JoinLabel::kRelatedAccidental);
+  // Different topics -> U-Acc regardless of roles.
+  EXPECT_EQ(truth.LabelJoin(a, 0, c, 0),
+            join::JoinLabel::kUnrelatedAccidental);
+}
+
+TEST(GroundTruthTest, UnionLabelRules) {
+  GroundTruth truth;
+  TableTruth periodic_a, periodic_b;
+  periodic_a.topic = periodic_b.topic = "labour";
+  periodic_a.periodic_group = periodic_b.periodic_group = 7;
+  tunion::UnionPattern pattern;
+  EXPECT_EQ(truth.LabelUnion(periodic_a, periodic_b, &pattern),
+            tunion::UnionLabel::kUseful);
+  EXPECT_EQ(pattern, tunion::UnionPattern::kPeriodic);
+
+  TableTruth dup_a, dup_b;
+  dup_a.topic = dup_b.topic = "budget";
+  dup_a.duplicate_group = dup_b.duplicate_group = 3;
+  EXPECT_EQ(truth.LabelUnion(dup_a, dup_b, &pattern),
+            tunion::UnionLabel::kAccidental);
+  EXPECT_EQ(pattern, tunion::UnionPattern::kDuplicateTable);
+
+  TableTruth std_a, std_b;
+  std_a.standard_schema = std_b.standard_schema = true;
+  std_a.topic = "health";
+  std_b.topic = "tourism";
+  EXPECT_EQ(truth.LabelUnion(std_a, std_b, &pattern),
+            tunion::UnionLabel::kAccidental);
+  EXPECT_EQ(pattern, tunion::UnionPattern::kStandardizedSchema);
+
+  TableTruth part_a, part_b;
+  part_a.topic = part_b.topic = "housing";
+  part_a.partition_group = part_b.partition_group = 2;
+  EXPECT_EQ(truth.LabelUnion(part_a, part_b, &pattern),
+            tunion::UnionLabel::kUseful);
+  EXPECT_EQ(pattern, tunion::UnionPattern::kNonTemporalPartition);
+}
+
+TEST(PortalProfilesTest, FourPortalsWithPaperTraits) {
+  auto profiles = AllPortalProfiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].name, "SG");
+  EXPECT_EQ(profiles[3].name, "US");
+  // SG: everything downloadable, structured metadata, no nulls to speak of.
+  EXPECT_GT(profiles[0].downloadable_rate, 0.95);
+  EXPECT_DOUBLE_EQ(profiles[0].meta_structured, 1.0);
+  // CA: fewest downloadable tables.
+  EXPECT_LT(profiles[1].downloadable_rate, 0.5);
+  // US: biggest tables, duplicates pattern present.
+  EXPECT_GT(profiles[3].rows_log_mean, profiles[0].rows_log_mean);
+  EXPECT_GT(profiles[3].styles.duplicate, 0.0);
+  for (const auto& p : profiles) {
+    ASSERT_NE(p.regions, nullptr);
+    EXPECT_GE(p.regions->size(), 10u);  // joinability filter needs >= 10
+  }
+}
+
+TEST(CorpusIoTest, WriteAndReadBack) {
+  const std::string dir = ::testing::TempDir() + "/ogdp_corpus_io";
+  std::filesystem::remove_all(dir);
+  GeneratedPortal g = CorpusGenerator(SgPortalProfile(), 0.03).Generate();
+  ASSERT_TRUE(WritePortalToDirectory(g.portal, dir).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/catalog.csv"));
+
+  auto tables = ReadCsvDirectory(dir);
+  ASSERT_TRUE(tables.ok());
+  core::IngestResult direct = core::IngestPortal(g.portal);
+  EXPECT_EQ(tables->size(), direct.tables.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorpusIoTest, MissingDirectoryErrors) {
+  EXPECT_FALSE(ReadCsvDirectory("/does/not/exist").ok());
+}
+
+}  // namespace
+}  // namespace ogdp::corpus

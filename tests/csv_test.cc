@@ -1,0 +1,243 @@
+// Tests for the CSV substrate: parser, writer, dialect sniffing, file-type
+// detection, header inference (the paper's §2.2 heuristic), and cleaning.
+
+#include <gtest/gtest.h>
+
+#include "csv/cleaning.h"
+#include "csv/csv_reader.h"
+#include "csv/csv_writer.h"
+#include "csv/dialect.h"
+#include "csv/file_type_detector.h"
+#include "csv/header_inference.h"
+#include "util/rng.h"
+
+namespace ogdp::csv {
+namespace {
+
+RawRecords MustParse(std::string_view text, CsvReaderOptions options = {}) {
+  auto r = CsvReader::ParseString(text, options);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(CsvReaderTest, SimpleRows) {
+  RawRecords r = MustParse("a,b,c\n1,2,3\n");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(r[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  RawRecords r = MustParse("a,b\n1,2");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReaderTest, QuotedFieldWithDelimiter) {
+  RawRecords r = MustParse("name,desc\n\"Doe, Jane\",x\n");
+  EXPECT_EQ(r[1][0], "Doe, Jane");
+}
+
+TEST(CsvReaderTest, EscapedQuotes) {
+  RawRecords r = MustParse("a\n\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(r[1][0], "he said \"hi\"");
+}
+
+TEST(CsvReaderTest, EmbeddedNewlineInQuotes) {
+  RawRecords r = MustParse("a,b\n\"line1\nline2\",x\n");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1][0], "line1\nline2");
+}
+
+TEST(CsvReaderTest, CrLfAndLoneCr) {
+  RawRecords r = MustParse("a,b\r\n1,2\r3,4\n");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[1], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(r[2], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvReaderTest, Utf8BomStripped) {
+  RawRecords r = MustParse("\xef\xbb\xbfid,v\n1,2\n");
+  EXPECT_EQ(r[0][0], "id");
+}
+
+TEST(CsvReaderTest, BlankLinesSkipped) {
+  RawRecords r = MustParse("a,b\n\n1,2\n\n");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(CsvReaderTest, RaggedRowsPreserved) {
+  RawRecords r = MustParse("a,b,c\n1,2\n1,2,3,4\n");
+  EXPECT_EQ(r[1].size(), 2u);
+  EXPECT_EQ(r[2].size(), 4u);
+}
+
+TEST(CsvReaderTest, EmptyFieldsKept) {
+  RawRecords r = MustParse("a,,c\n,,\n");
+  EXPECT_EQ(r[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(r[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvReaderTest, MaxRecordsStopsEarly) {
+  CsvReaderOptions options;
+  options.max_records = 2;
+  RawRecords r = MustParse("a\n1\n2\n3\n4\n", options);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(CsvReaderTest, StrictQuotesRejectsUnterminated) {
+  CsvReaderOptions options;
+  options.strict_quotes = true;
+  auto r = CsvReader::ParseString("a\n\"never closed", options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReaderTest, SemicolonSniffed) {
+  RawRecords r = MustParse("a;b;c\n1;2;3\n4;5;6\n");
+  ASSERT_EQ(r[0].size(), 3u);
+  EXPECT_EQ(r[2][1], "5");
+}
+
+TEST(CsvReaderTest, TabSniffed) {
+  RawRecords r = MustParse("a\tb\n1\t2\n");
+  EXPECT_EQ(r[0].size(), 2u);
+}
+
+TEST(DialectTest, CommaWinsOnMixedContent) {
+  // Semicolons appear but inconsistently; commas split every line evenly.
+  CsvDialect d = SniffDialect("a,b,c\n1,2,3\nx;y,2,3\n");
+  EXPECT_EQ(d.delimiter, ',');
+}
+
+TEST(DialectTest, QuotedDelimiterIgnored) {
+  CsvDialect d = SniffDialect("a,b\n\"x;y;z;w;v\",2\n\"p;q;r;s;t\",3\n");
+  EXPECT_EQ(d.delimiter, ',');
+}
+
+TEST(CsvWriterTest, RoundTripProperty) {
+  // Any field content must survive write -> parse.
+  Rng rng(42);
+  const std::string alphabet = "ab,\"\n\r;x ";
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<std::string>> rows;
+    const size_t ncols = 1 + rng.NextBounded(4);
+    for (size_t r = 0; r < 5; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < ncols; ++c) {
+        std::string field = "f";  // non-empty so blank-line skip never hits
+        const size_t len = rng.NextBounded(8);
+        for (size_t i = 0; i < len; ++i) {
+          field += alphabet[rng.NextBounded(alphabet.size())];
+        }
+        row.push_back(field);
+      }
+      rows.push_back(row);
+    }
+    CsvWriter writer;
+    for (const auto& row : rows) writer.WriteRecord(row);
+    CsvReaderOptions options;
+    options.use_explicit_dialect = true;  // content is adversarial
+    auto parsed = CsvReader::ParseString(writer.contents(), options);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, rows);
+  }
+}
+
+TEST(FileTypeDetectorTest, RecognizesFormats) {
+  EXPECT_EQ(FileTypeDetector::Detect("a,b\n1,2\n"), FileType::kCsv);
+  EXPECT_EQ(FileTypeDetector::Detect("<!DOCTYPE html><html>"),
+            FileType::kHtml);
+  EXPECT_EQ(FileTypeDetector::Detect("  <html><body>"), FileType::kHtml);
+  EXPECT_EQ(FileTypeDetector::Detect("%PDF-1.7 blah"), FileType::kPdf);
+  EXPECT_EQ(FileTypeDetector::Detect("PK\x03\x04zipdata"), FileType::kZip);
+  EXPECT_EQ(FileTypeDetector::Detect("<?xml version=\"1.0\"?>"),
+            FileType::kXml);
+  EXPECT_EQ(FileTypeDetector::Detect("{\"k\": 1}"), FileType::kJson);
+  EXPECT_EQ(FileTypeDetector::Detect(""), FileType::kEmpty);
+  EXPECT_EQ(FileTypeDetector::Detect(std::string_view("\x00\x01\x02"
+                                                      "a,b",
+                                                      6)),
+            FileType::kBinary);
+}
+
+TEST(HeaderInferenceTest, FirstCompleteRowWins) {
+  // The paper's heuristic: modal width 3, first row with no missing value.
+  RawRecords records = {{"Report 2020", "", ""},
+                        {"id", "name", "value"},
+                        {"1", "a", "10"},
+                        {"2", "b", "20"}};
+  HeaderInferenceResult r = InferHeader(records);
+  EXPECT_EQ(r.header_row, 1u);
+  EXPECT_EQ(r.header, (std::vector<std::string>{"id", "name", "value"}));
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST(HeaderInferenceTest, ModalWidthVoting) {
+  // One stray 2-field line must not change the inferred width.
+  RawRecords records = {{"a", "b", "c"}, {"1", "2", "3"}, {"x", "y"},
+                        {"4", "5", "6"}};
+  HeaderInferenceResult r = InferHeader(records);
+  EXPECT_EQ(r.num_columns, 3u);
+  // Narrow rows padded.
+  EXPECT_EQ(r.rows[1].size(), 3u);
+}
+
+TEST(HeaderInferenceTest, FallbackSynthesizesBlankNames) {
+  // Every row has a trailing blank (trailing-comma export): the first
+  // minimum-missing row becomes the header, blanks named col_<i>.
+  RawRecords records = {{"id", "v", ""}, {"1", "2", ""}, {"3", "4", ""}};
+  HeaderInferenceResult r = InferHeader(records);
+  EXPECT_EQ(r.header_row, 0u);
+  EXPECT_EQ(r.header[2], "col_2");
+  ASSERT_EQ(r.synthesized_names.size(), 3u);
+  EXPECT_FALSE(r.synthesized_names[0]);
+  EXPECT_TRUE(r.synthesized_names[2]);
+}
+
+TEST(HeaderInferenceTest, EmptyInput) {
+  HeaderInferenceResult r = InferHeader({});
+  EXPECT_EQ(r.num_columns, 0u);
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST(CleaningTest, RemovesTrailingBlankColumns) {
+  RawRecords records = {{"id", "v", "", ""},
+                        {"1", "2", "", ""},
+                        {"3", "4", "", ""}};
+  HeaderInferenceResult r = InferHeader(records);
+  const size_t removed = RemoveTrailingEmptyColumns(r);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(r.num_columns, 2u);
+  EXPECT_EQ(r.header, (std::vector<std::string>{"id", "v"}));
+  for (const auto& row : r.rows) EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(CleaningTest, KeepsNamedEmptyColumn) {
+  // A named but fully empty column is a (fully null) data column — the 3%
+  // all-null statistic of §3.3 — and must not be removed.
+  RawRecords records = {{"id", "notes"}, {"1", ""}, {"2", ""}};
+  HeaderInferenceResult r = InferHeader(records);
+  EXPECT_EQ(RemoveTrailingEmptyColumns(r), 0u);
+  EXPECT_EQ(r.num_columns, 2u);
+}
+
+TEST(CleaningTest, WideTableFilter) {
+  RawRecords records;
+  std::vector<std::string> header;
+  for (int i = 0; i < 150; ++i) header.push_back("c" + std::to_string(i));
+  records.push_back(header);
+  records.push_back(std::vector<std::string>(150, "1"));
+  HeaderInferenceResult r = InferHeader(records);
+  EXPECT_TRUE(IsTooWide(r));
+  EXPECT_FALSE(IsTooWide(r, 200));
+}
+
+TEST(ReadFileTest, MissingFileErrors) {
+  auto r = CsvReader::ReadFile("/nonexistent/path.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ogdp::csv

@@ -1,0 +1,277 @@
+// Tests for Jaccard search (prefix filter vs brute force), expansion
+// ratios, hash join, and the paper's stratified pair sampler.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "join/expansion.h"
+#include "join/join_labels.h"
+#include "join/joinable_pair_finder.h"
+#include "join/pair_sampler.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace ogdp::join {
+namespace {
+
+using table::Table;
+
+Table MakeTable(const std::string& name,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  auto t = Table::FromRecords(name, header, rows);
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+// Builds a table with one column holding the given values.
+Table OneColumn(const std::string& name, const std::vector<int>& values) {
+  std::vector<std::vector<std::string>> rows;
+  for (int v : values) rows.push_back({std::to_string(v)});
+  return MakeTable(name, {"v"}, rows);
+}
+
+std::vector<int> Range(int lo, int hi) {
+  std::vector<int> out;
+  for (int i = lo; i <= hi; ++i) out.push_back(i);
+  return out;
+}
+
+TEST(JaccardTest, SortedSetMath) {
+  std::vector<uint32_t> a = {1, 2, 3, 4};
+  std::vector<uint32_t> b = {3, 4, 5, 6};
+  EXPECT_EQ(OverlapSorted(a, b), 2u);
+  EXPECT_DOUBLE_EQ(JaccardSorted(a, b), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted({}, {}), 0.0);
+}
+
+TEST(JoinablePairFinderTest, FindsHighOverlapPair) {
+  std::vector<Table> tables;
+  tables.push_back(OneColumn("t1", Range(1, 20)));
+  tables.push_back(OneColumn("t2", Range(1, 20)));   // J = 1
+  tables.push_back(OneColumn("t3", Range(1, 18)));   // J = 0.9
+  tables.push_back(OneColumn("t4", Range(50, 70)));  // J = 0
+  JoinablePairFinder finder(tables);
+  auto pairs = finder.FindAllPairs();
+  std::set<std::pair<size_t, size_t>> table_pairs;
+  for (const auto& p : pairs) table_pairs.insert({p.a.table, p.b.table});
+  EXPECT_TRUE(table_pairs.count({0, 1}));
+  EXPECT_TRUE(table_pairs.count({0, 2}));  // 18/20 = 0.9 at threshold
+  EXPECT_FALSE(table_pairs.count({0, 3}));
+}
+
+TEST(JoinablePairFinderTest, MinUniqueFilter) {
+  // Columns with < 10 distinct values are excluded (§5.1).
+  std::vector<Table> tables;
+  tables.push_back(OneColumn("t1", Range(1, 5)));
+  tables.push_back(OneColumn("t2", Range(1, 5)));
+  JoinablePairFinder finder(tables);
+  EXPECT_TRUE(finder.column_sets().empty());
+  EXPECT_TRUE(finder.FindAllPairs().empty());
+}
+
+TEST(JoinablePairFinderTest, SameTableColumnsNeverPair) {
+  std::vector<Table> tables;
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 1; i <= 20; ++i) {
+    rows.push_back({std::to_string(i), std::to_string(i)});
+  }
+  tables.push_back(MakeTable("t", {"a", "b"}, rows));
+  JoinablePairFinder finder(tables);
+  EXPECT_TRUE(finder.FindAllPairs().empty());
+}
+
+TEST(JoinablePairFinderTest, ThresholdConfigurable) {
+  std::vector<Table> tables;
+  tables.push_back(OneColumn("t1", Range(1, 20)));
+  tables.push_back(OneColumn("t2", Range(1, 14)));  // J = 0.7
+  JoinFinderOptions strict;
+  EXPECT_TRUE(JoinablePairFinder(tables, strict).FindAllPairs().empty());
+  JoinFinderOptions loose;
+  loose.jaccard_threshold = 0.7;
+  auto pairs = JoinablePairFinder(tables, loose).FindAllPairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_NEAR(pairs[0].jaccard, 0.7, 1e-9);
+  EXPECT_EQ(pairs[0].overlap, 14u);
+}
+
+// Property: the prefix-filtered search returns exactly the brute-force
+// result on randomized corpora with planted overlaps.
+class FinderPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FinderPropertyTest, MatchesBruteForce) {
+  Rng rng(7000 + GetParam());
+  std::vector<Table> tables;
+  const size_t n_tables = 8 + rng.NextBounded(10);
+  for (size_t t = 0; t < n_tables; ++t) {
+    // Values drawn from a small shared universe so overlaps happen.
+    std::set<int> values;
+    const size_t target = 10 + rng.NextBounded(40);
+    const int base = static_cast<int>(rng.NextBounded(3)) * 25;
+    while (values.size() < target) {
+      values.insert(base + static_cast<int>(rng.NextBounded(60)));
+    }
+    tables.push_back(OneColumn("t" + std::to_string(t),
+                               std::vector<int>(values.begin(), values.end())));
+  }
+  JoinFinderOptions options;
+  options.jaccard_threshold = 0.6 + rng.NextDouble() * 0.35;
+  JoinablePairFinder finder(tables, options);
+  auto fast = finder.FindAllPairs();
+  auto slow = finder.FindAllPairsBruteForce();
+  EXPECT_EQ(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCorpora, FinderPropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(ExpansionTest, JoinOutputSizeMath) {
+  // freq vectors: value -> multiplicity.
+  std::vector<std::pair<uint32_t, uint32_t>> a = {{1, 2}, {2, 1}, {5, 3}};
+  std::vector<std::pair<uint32_t, uint32_t>> b = {{1, 4}, {5, 2}, {7, 9}};
+  // 2*4 + 3*2 = 14.
+  EXPECT_EQ(JoinOutputSize(a, b), 14u);
+  EXPECT_EQ(JoinOutputSize(a, {}), 0u);
+}
+
+TEST(ExpansionTest, KeyKeyJoinDoesNotGrow) {
+  std::vector<Table> tables;
+  tables.push_back(OneColumn("t1", Range(1, 30)));
+  tables.push_back(OneColumn("t2", Range(1, 30)));
+  JoinablePairFinder finder(tables);
+  const auto& sets = finder.column_sets();
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_TRUE(sets[0].is_key);
+  EXPECT_DOUBLE_EQ(ExpansionRatio(sets[0], sets[1]), 1.0);
+}
+
+TEST(ExpansionTest, NonKeyJoinGrows) {
+  // Each value appears 3 times on both sides: output 10*9=90, larger table
+  // 30 rows -> expansion 3.
+  std::vector<int> v;
+  for (int i = 1; i <= 10; ++i) {
+    v.push_back(i);
+    v.push_back(i);
+    v.push_back(i);
+  }
+  std::vector<Table> tables;
+  tables.push_back(OneColumn("t1", v));
+  tables.push_back(OneColumn("t2", v));
+  JoinablePairFinder finder(tables);
+  const auto& sets = finder.column_sets();
+  EXPECT_DOUBLE_EQ(ExpansionRatio(sets[0], sets[1]), 3.0);
+}
+
+TEST(HashJoinTest, MatchesAnalyticOutputSize) {
+  Table left = MakeTable("l", {"k", "x"},
+                         {{"a", "1"}, {"a", "2"}, {"b", "3"}, {"", "4"}});
+  Table right = MakeTable("r", {"k", "y"},
+                          {{"a", "10"}, {"b", "20"}, {"b", "30"}, {"c", "40"}});
+  Table out = HashJoin(left, 0, right, 0, "out");
+  // a: 2*1, b: 1*2 -> 4 rows; nulls never match.
+  EXPECT_EQ(out.num_rows(), 4u);
+  EXPECT_EQ(out.num_columns(), 3u);  // k, x, y
+  // Name collision handling.
+  Table out2 = HashJoin(left, 0, right, 1, "out2");
+  EXPECT_EQ(out2.num_columns(), 3u);  // k, x, k_r
+  EXPECT_EQ(out2.column(2).name(), "k_r");
+}
+
+std::vector<Table> SamplerCorpus() {
+  // Three groups of joinable tables across two "datasets", with key and
+  // non-key columns and varied sizes.
+  std::vector<Table> tables;
+  Rng rng(99);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<std::vector<std::string>> rows;
+    const size_t n = t % 3 == 0 ? 30 : (t % 3 == 1 ? 300 : 2000);
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back({std::to_string(i % 25),  // non-key, J=1 across tables
+                      std::to_string(i),       // key, sizes differ
+                      "x" + std::to_string(rng.NextBounded(3))});
+    }
+    // Vary a column name so schemas differ between consecutive tables.
+    Table table = MakeTable("t" + std::to_string(t),
+                            {"cat", "id", "flag_" + std::to_string(t % 5)},
+                            rows);
+    table.set_dataset_id("ds" + std::to_string(t % 7));
+    tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+TEST(PairSamplerTest, QuotasAndExclusions) {
+  std::vector<Table> tables = SamplerCorpus();
+  JoinablePairFinder finder(tables);
+  auto pairs = finder.FindAllPairs();
+  ASSERT_GT(pairs.size(), 0u);
+  JoinSamplerOptions options;
+  options.per_size_bucket = 12;
+  options.per_sub_bucket = 4;
+  auto sample = SampleJoinablePairs(tables, finder.column_sets(), pairs,
+                                    options);
+  // Quota accounting.
+  std::map<int, size_t> per_bucket;
+  std::map<std::pair<int, int>, size_t> per_cell;
+  std::set<std::pair<ColumnRef, ColumnRef>> seen;
+  std::map<uint64_t, int> fp;
+  for (const auto& s : sample) {
+    ++per_bucket[s.size_bucket];
+    ++per_cell[{s.size_bucket, static_cast<int>(s.key_combo)}];
+    // No duplicates.
+    auto key = std::minmax(s.pair.a, s.pair.b);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+    // Same-schema pairs excluded.
+    EXPECT_NE(tables[s.pair.a.table].GetSchema().Fingerprint(),
+              tables[s.pair.b.table].GetSchema().Fingerprint());
+    // Size bucket consistent with T1's or T2's rows (sampler picks T1
+    // first; bucket must match one side).
+    const int ba = SizeBucketOf(tables[s.pair.a.table].num_rows());
+    const int bb = SizeBucketOf(tables[s.pair.b.table].num_rows());
+    EXPECT_TRUE(s.size_bucket == ba || s.size_bucket == bb);
+  }
+  for (const auto& [bucket, count] : per_bucket) {
+    EXPECT_LE(count, options.per_size_bucket);
+  }
+  for (const auto& [cell, count] : per_cell) {
+    EXPECT_LE(count, options.per_sub_bucket);
+  }
+}
+
+TEST(PairSamplerTest, DeterministicUnderSeed) {
+  std::vector<Table> tables = SamplerCorpus();
+  JoinablePairFinder finder(tables);
+  auto pairs = finder.FindAllPairs();
+  JoinSamplerOptions options;
+  options.seed = 5;
+  auto a = SampleJoinablePairs(tables, finder.column_sets(), pairs, options);
+  auto b = SampleJoinablePairs(tables, finder.column_sets(), pairs, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].pair, b[i].pair);
+}
+
+TEST(SizeBucketTest, PaperBuckets) {
+  EXPECT_EQ(SizeBucketOf(5), -1);
+  EXPECT_EQ(SizeBucketOf(10), -1);
+  EXPECT_EQ(SizeBucketOf(11), 0);
+  EXPECT_EQ(SizeBucketOf(99), 0);
+  EXPECT_EQ(SizeBucketOf(100), 1);
+  EXPECT_EQ(SizeBucketOf(999), 1);
+  EXPECT_EQ(SizeBucketOf(1000), 2);
+}
+
+TEST(JoinLabelsTest, Names) {
+  EXPECT_STREQ(JoinLabelName(JoinLabel::kUseful), "useful");
+  EXPECT_STREQ(JoinLabelName(JoinLabel::kRelatedAccidental), "R-Acc");
+  EXPECT_STREQ(JoinLabelName(JoinLabel::kUnrelatedAccidental), "U-Acc");
+  EXPECT_EQ(CombineKeyness(true, true), KeyCombination::kKeyKey);
+  EXPECT_EQ(CombineKeyness(true, false), KeyCombination::kKeyNonkey);
+  EXPECT_EQ(CombineKeyness(false, true), KeyCombination::kKeyNonkey);
+  EXPECT_EQ(CombineKeyness(false, false), KeyCombination::kNonkeyNonkey);
+}
+
+}  // namespace
+}  // namespace ogdp::join

@@ -1,0 +1,125 @@
+// Tests for MinHash signatures and the LSH-based approximate joinability
+// search.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "join/minhash.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace ogdp::join {
+namespace {
+
+using table::Table;
+
+Table OneColumn(const std::string& name, const std::vector<int>& values) {
+  std::vector<std::vector<std::string>> rows;
+  for (int v : values) rows.push_back({std::to_string(v)});
+  auto t = Table::FromRecords(name, {"v"}, rows);
+  return std::move(t).value();
+}
+
+std::vector<int> Range(int lo, int hi) {
+  std::vector<int> out;
+  for (int i = lo; i <= hi; ++i) out.push_back(i);
+  return out;
+}
+
+TEST(MinHashTest, IdenticalSetsAgreeEverywhere) {
+  MinHashOptions options;
+  std::vector<uint32_t> tokens = {1, 5, 9, 200, 7};
+  auto a = ComputeSignature(tokens, options);
+  auto b = ComputeSignature(tokens, options);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsAgreeNowhere) {
+  MinHashOptions options;
+  auto a = ComputeSignature({1, 2, 3, 4, 5}, options);
+  auto b = ComputeSignature({100, 200, 300, 400}, options);
+  EXPECT_LT(EstimateJaccard(a, b), 0.1);
+}
+
+TEST(MinHashTest, EstimateTracksTrueJaccardProperty) {
+  // With 256 hashes the estimator's standard error is ~1/16; check a
+  // generous +-0.15 envelope across random overlapping sets.
+  MinHashOptions options;
+  options.num_hashes = 256;
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<uint32_t> sa, sb;
+    const size_t shared = 10 + rng.NextBounded(60);
+    for (size_t i = 0; i < shared; ++i) {
+      const uint32_t v = static_cast<uint32_t>(rng.NextBounded(10000));
+      sa.insert(v);
+      sb.insert(v);
+    }
+    for (size_t i = 0; i < rng.NextBounded(40); ++i) {
+      sa.insert(static_cast<uint32_t>(10000 + rng.NextBounded(5000)));
+    }
+    for (size_t i = 0; i < rng.NextBounded(40); ++i) {
+      sb.insert(static_cast<uint32_t>(20000 + rng.NextBounded(5000)));
+    }
+    std::vector<uint32_t> va(sa.begin(), sa.end());
+    std::vector<uint32_t> vb(sb.begin(), sb.end());
+    size_t inter = 0;
+    for (uint32_t v : va) inter += sb.count(v);
+    const double truth = static_cast<double>(inter) /
+                         static_cast<double>(sa.size() + sb.size() - inter);
+    const double estimate = EstimateJaccard(
+        ComputeSignature(va, options), ComputeSignature(vb, options));
+    EXPECT_NEAR(estimate, truth, 0.15);
+  }
+}
+
+TEST(MinHashIndexTest, HighRecallOnExactPairs) {
+  // Build a corpus where the exact finder reports known pairs and check
+  // the LSH index recovers nearly all of them at the same threshold.
+  std::vector<Table> tables;
+  Rng rng(55);
+  for (int t = 0; t < 40; ++t) {
+    std::vector<int> values = Range(t / 4 * 100, t / 4 * 100 + 40);
+    // Jitter a few values so Jaccards spread below/above threshold.
+    for (size_t k = 0; k < rng.NextBounded(6); ++k) {
+      values[rng.NextBounded(values.size())] = 100000 + t * 50 + k;
+    }
+    tables.push_back(OneColumn("t" + std::to_string(t), values));
+  }
+  JoinFinderOptions exact_options;
+  exact_options.jaccard_threshold = 0.8;
+  JoinablePairFinder finder(tables, exact_options);
+  auto exact_pairs = finder.FindAllPairs();
+  ASSERT_GT(exact_pairs.size(), 10u);
+
+  MinHashOptions mh;
+  mh.num_hashes = 256;
+  mh.bands = 64;  // aggressive banding: high candidate recall
+  MinHashIndex index(finder, mh);
+  auto approx_pairs = index.FindCandidatePairs(0.7);  // estimator slack
+
+  std::set<std::pair<ColumnRef, ColumnRef>> approx_set;
+  for (const auto& p : approx_pairs) approx_set.insert({p.a, p.b});
+  size_t recalled = 0;
+  for (const auto& p : exact_pairs) {
+    recalled += approx_set.count({p.a, p.b});
+  }
+  EXPECT_GT(static_cast<double>(recalled) /
+                static_cast<double>(exact_pairs.size()),
+            0.9);
+}
+
+TEST(MinHashIndexTest, DeterministicUnderSeed) {
+  std::vector<Table> tables;
+  tables.push_back(OneColumn("a", Range(1, 30)));
+  tables.push_back(OneColumn("b", Range(1, 28)));
+  JoinablePairFinder finder(tables);
+  MinHashIndex i1(finder), i2(finder);
+  auto p1 = i1.FindCandidatePairs(0.8);
+  auto p2 = i2.FindCandidatePairs(0.8);
+  EXPECT_EQ(p1.size(), p2.size());
+}
+
+}  // namespace
+}  // namespace ogdp::join

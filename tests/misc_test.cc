@@ -1,0 +1,98 @@
+// Coverage for small utilities: Stopwatch, Column memory accounting,
+// CsvWriter::Flush, ingestion byte accounting, and catalog contents.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/ingestion.h"
+#include "corpus/corpus_io.h"
+#include "corpus/generator.h"
+#include "corpus/portal_profile.h"
+#include "csv/csv_reader.h"
+#include "csv/csv_writer.h"
+#include "table/column.h"
+#include "util/stopwatch.h"
+
+namespace ogdp {
+namespace {
+
+TEST(StopwatchTest, MonotoneAndRestartable) {
+  Stopwatch sw;
+  const double t1 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  sw.Restart();
+  EXPECT_LE(sw.ElapsedSeconds(), t2 + 1.0);
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+TEST(ColumnMemoryTest, GrowsWithContent) {
+  table::Column small("c");
+  small.AppendCell("x");
+  table::Column big("c");
+  for (int i = 0; i < 1000; ++i) {
+    big.AppendCell("value_" + std::to_string(i));
+  }
+  EXPECT_GT(big.MemoryUsage(), small.MemoryUsage());
+  EXPECT_GT(big.MemoryUsage(), 1000u * sizeof(uint32_t));
+}
+
+TEST(CsvWriterFlushTest, WritesFileAndErrorsOnBadPath) {
+  csv::CsvWriter writer;
+  writer.WriteRecord({"a", "b"});
+  writer.WriteRecord({"1", "2,x"});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ogdp_flush_test.csv")
+          .string();
+  ASSERT_TRUE(writer.Flush(path).ok());
+  auto parsed = csv::CsvReader::ReadFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[1][1], "2,x");
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(writer.Flush("/nonexistent_dir_xyz/file.csv").ok());
+}
+
+TEST(IngestionByteAccountingTest, TotalsMatchPerTableSizes) {
+  corpus::CorpusGenerator gen(corpus::SgPortalProfile(), 0.04);
+  auto g = gen.Generate();
+  core::IngestResult r = core::IngestPortal(g.portal);
+  uint64_t sum = 0;
+  for (const auto& t : r.tables) {
+    EXPECT_GT(t.csv_size_bytes(), 0u);
+    sum += t.csv_size_bytes();
+  }
+  EXPECT_EQ(sum, r.stats.total_bytes);
+}
+
+TEST(CatalogTest, ListsEveryDataset) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ogdp_catalog_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  corpus::CorpusGenerator gen(corpus::SgPortalProfile(), 0.03);
+  auto g = gen.Generate();
+  ASSERT_TRUE(corpus::WritePortalToDirectory(g.portal, dir).ok());
+  auto catalog = csv::CsvReader::ReadFile(dir + "/catalog.csv");
+  ASSERT_TRUE(catalog.ok());
+  // Header + one row per dataset.
+  EXPECT_EQ(catalog->size(), g.portal.datasets.size() + 1);
+  EXPECT_EQ((*catalog)[0][0], "dataset_id");
+  // Every row's dataset id exists in the portal.
+  for (size_t i = 1; i < catalog->size(); ++i) {
+    bool found = false;
+    for (const auto& ds : g.portal.datasets) {
+      found |= ds.id == (*catalog)[i][0];
+    }
+    EXPECT_TRUE(found) << (*catalog)[i][0];
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ogdp

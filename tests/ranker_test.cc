@@ -1,0 +1,99 @@
+// Tests for the signal-based join-suggestion ranker.
+
+#include <gtest/gtest.h>
+
+#include "join/suggestion_ranker.h"
+#include "table/table.h"
+
+namespace ogdp::join {
+namespace {
+
+using table::DataType;
+
+SuggestionSignals BaseSignals() {
+  SuggestionSignals s;
+  s.jaccard = 0.95;
+  s.same_dataset = false;
+  s.key_combo = KeyCombination::kNonkeyNonkey;
+  s.join_type = DataType::kCategorical;
+  s.expansion_ratio = 1.0;
+  return s;
+}
+
+TEST(ScoreSuggestionTest, PaperSignalOrdering) {
+  // Each paper signal moves the score the right way.
+  SuggestionSignals base = BaseSignals();
+  const double base_score = ScoreSuggestion(base);
+
+  SuggestionSignals same_ds = base;
+  same_ds.same_dataset = true;
+  EXPECT_GT(ScoreSuggestion(same_ds), base_score);  // Table 8
+
+  SuggestionSignals key_key = base;
+  key_key.key_combo = KeyCombination::kKeyKey;
+  SuggestionSignals key_nonkey = base;
+  key_nonkey.key_combo = KeyCombination::kKeyNonkey;
+  EXPECT_GT(ScoreSuggestion(key_key), ScoreSuggestion(key_nonkey));
+  EXPECT_GT(ScoreSuggestion(key_nonkey), base_score);  // Table 9
+
+  SuggestionSignals incremental = base;
+  incremental.join_type = DataType::kIncrementalInteger;
+  EXPECT_LT(ScoreSuggestion(incremental), base_score);  // Table 10
+
+  SuggestionSignals growing = base;
+  growing.expansion_ratio = 50.0;
+  EXPECT_LT(ScoreSuggestion(growing), base_score);  // sec 5.2
+}
+
+TEST(ScoreSuggestionTest, BoundedAndMonotoneInJaccard) {
+  SuggestionSignals s = BaseSignals();
+  for (double j : {0.0, 0.5, 0.9, 1.0}) {
+    s.jaccard = j;
+    const double score = ScoreSuggestion(s);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+  SuggestionSignals lo = BaseSignals(), hi = BaseSignals();
+  lo.jaccard = 0.9;
+  hi.jaccard = 1.0;
+  EXPECT_LT(ScoreSuggestion(lo), ScoreSuggestion(hi));
+}
+
+TEST(RankSuggestionsTest, BestPairFirstAndDeterministic) {
+  // Two tables joinable on a key pair (same dataset) and two on an
+  // incremental-id pair (different datasets): the former must rank first.
+  std::vector<table::Table> tables;
+  auto make = [&](const std::string& name, const std::string& dataset,
+                  const std::string& col, int lo, int hi, bool categorical) {
+    std::vector<std::vector<std::string>> rows;
+    for (int i = lo; i <= hi; ++i) {
+      rows.push_back(
+          {categorical ? "cat" + std::to_string(i) : std::to_string(i)});
+    }
+    auto t = table::Table::FromRecords(name, {col}, rows);
+    t->set_dataset_id(dataset);
+    tables.push_back(std::move(t).value());
+  };
+  make("a", "ds1", "species", 1, 20, true);
+  make("b", "ds1", "species_ref", 1, 20, true);
+  make("c", "ds2", "row_id", 1, 25, false);
+  make("d", "ds3", "objectid", 1, 25, false);
+
+  JoinablePairFinder finder(tables);
+  auto pairs = finder.FindAllPairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  auto ranked = RankSuggestions(tables, finder, pairs);
+  ASSERT_EQ(ranked.size(), 2u);
+  const auto& top = pairs[ranked[0].pair_index];
+  EXPECT_EQ(top.a.table, 0u);  // the species pair
+  EXPECT_EQ(top.b.table, 1u);
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+
+  auto again = RankSuggestions(tables, finder, pairs);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].pair_index, again[i].pair_index);
+  }
+}
+
+}  // namespace
+}  // namespace ogdp::join

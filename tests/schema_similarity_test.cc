@@ -1,0 +1,103 @@
+// Tests for relaxed (q-gram name based) schema similarity and
+// near-unionable pair discovery.
+
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+#include "union/schema_similarity.h"
+
+namespace ogdp::tunion {
+namespace {
+
+using table::DataType;
+using table::Schema;
+using table::Table;
+
+TEST(NameQGramTest, Basics) {
+  EXPECT_DOUBLE_EQ(NameQGramSimilarity("year", "year"), 1.0);
+  EXPECT_DOUBLE_EQ(NameQGramSimilarity("Year", " year "), 1.0);
+  EXPECT_GT(NameQGramSimilarity("value_2020", "value_2021"), 0.5);
+  EXPECT_LT(NameQGramSimilarity("province", "amount"), 0.2);
+  EXPECT_DOUBLE_EQ(NameQGramSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NameQGramSimilarity("abc", ""), 0.0);
+  // Short names fall back to whole-string grams.
+  EXPECT_DOUBLE_EQ(NameQGramSimilarity("id", "id"), 1.0);
+}
+
+Schema MakeSchema(
+    const std::vector<std::pair<std::string, DataType>>& fields) {
+  Schema s;
+  for (const auto& [name, type] : fields) s.AddField(name, type);
+  return s;
+}
+
+TEST(SchemaSimilarityTest, IdenticalIsOne) {
+  Schema a = MakeSchema({{"year", DataType::kInteger},
+                         {"value", DataType::kDecimal}});
+  EXPECT_DOUBLE_EQ(SchemaSimilarity(a, a), 1.0);
+}
+
+TEST(SchemaSimilarityTest, RenamedSuffixStaysHigh) {
+  Schema a = MakeSchema({{"entity_code", DataType::kString},
+                         {"amount_2020", DataType::kInteger}});
+  Schema b = MakeSchema({{"entity_code", DataType::kString},
+                         {"amount_2021", DataType::kInteger}});
+  EXPECT_GT(SchemaSimilarity(a, b), 0.8);
+}
+
+TEST(SchemaSimilarityTest, TypeIncompatibilityBlocksMatch) {
+  Schema a = MakeSchema({{"count", DataType::kInteger}});
+  Schema b = MakeSchema({{"count", DataType::kString}});
+  EXPECT_DOUBLE_EQ(SchemaSimilarity(a, b), 0.0);
+}
+
+TEST(SchemaSimilarityTest, NormalizedByLargerSchema) {
+  Schema a = MakeSchema({{"year", DataType::kInteger}});
+  Schema b = MakeSchema({{"year", DataType::kInteger},
+                         {"alpha", DataType::kString},
+                         {"beta", DataType::kString},
+                         {"gamma", DataType::kString}});
+  EXPECT_NEAR(SchemaSimilarity(a, b), 0.25, 1e-9);
+}
+
+TEST(SchemaSimilarityTest, GreedyMatchingUsesEachFieldOnce) {
+  // Two near-identical names on one side must not both match the single
+  // field on the other.
+  Schema a = MakeSchema({{"value_1", DataType::kInteger},
+                         {"value_2", DataType::kInteger}});
+  Schema b = MakeSchema({{"value_1", DataType::kInteger}});
+  EXPECT_LE(SchemaSimilarity(a, b), 0.55);
+}
+
+Table MakeTable(const std::string& name,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  auto t = Table::FromRecords(name, header, rows);
+  return std::move(t).value();
+}
+
+TEST(FindNearUnionableTest, FindsRenamedVariantsSkipsExact) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("a", {"entity", "amount_2020"},
+                             {{"x", "1"}, {"y", "2"}}));
+  tables.push_back(MakeTable("b", {"entity", "amount_2021"},
+                             {{"z", "3"}, {"w", "4"}}));
+  tables.push_back(MakeTable("c", {"entity", "amount_2020"},
+                             {{"p", "5"}, {"q", "6"}}));  // exact dup of a
+  tables.push_back(MakeTable("d", {"alpha", "beta"},
+                             {{"p", "q"}, {"r", "s"}}));
+  auto pairs = FindNearUnionablePairs(tables, 0.7);
+  ASSERT_EQ(pairs.size(), 1u);
+  // a/c share an exact schema (excluded); (a-or-c, b) is near-unionable.
+  EXPECT_EQ(pairs[0].table_a, 0u);
+  EXPECT_EQ(pairs[0].table_b, 1u);
+  EXPECT_GT(pairs[0].similarity, 0.7);
+  EXPECT_LT(pairs[0].similarity, 1.0);
+}
+
+TEST(FindNearUnionableTest, EmptyCorpus) {
+  EXPECT_TRUE(FindNearUnionablePairs({}, 0.7).empty());
+}
+
+}  // namespace
+}  // namespace ogdp::tunion

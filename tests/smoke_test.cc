@@ -1,0 +1,83 @@
+// End-to-end smoke test: generate a small portal, ingest it, and run every
+// analysis once. Catches wiring problems before the per-module suites dig
+// into details.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "corpus/portal_profile.h"
+#include "join/joinable_pair_finder.h"
+
+namespace ogdp {
+namespace {
+
+class SmokeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new core::PortalBundle(
+        core::MakePortalBundle(corpus::CaPortalProfile(), 0.08));
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+  static core::PortalBundle* bundle_;
+};
+
+core::PortalBundle* SmokeTest::bundle_ = nullptr;
+
+TEST_F(SmokeTest, GeneratesAndIngests) {
+  EXPECT_GT(bundle_->portal.datasets.size(), 10u);
+  EXPECT_GT(bundle_->ingest.tables.size(), 10u);
+  EXPECT_EQ(bundle_->ingest.tables.size(), bundle_->ingest.provenance.size());
+  // CA profile: only ~41% of tables are downloadable.
+  EXPECT_LT(bundle_->ingest.stats.downloadable_tables,
+            bundle_->ingest.stats.total_tables);
+  EXPECT_LE(bundle_->ingest.stats.readable_tables,
+            bundle_->ingest.stats.downloadable_tables);
+}
+
+TEST_F(SmokeTest, SizeReport) {
+  core::SizeReport r = core::ComputeSizeReport(*bundle_, /*compress=*/true);
+  EXPECT_GT(r.total_bytes, 0u);
+  EXPECT_GT(r.compressed_bytes, 0u);
+  EXPECT_LT(r.compressed_bytes, r.total_bytes);  // CSVs compress
+  EXPECT_GT(r.total_columns, 0u);
+}
+
+TEST_F(SmokeTest, MetadataReport) {
+  core::MetadataReport r = core::ComputeMetadataReport(bundle_->portal);
+  EXPECT_EQ(r.total, bundle_->portal.datasets.size());
+}
+
+TEST_F(SmokeTest, FdPipeline) {
+  auto sample = core::SelectFdSample(bundle_->ingest.tables);
+  ASSERT_GT(sample.size(), 0u);
+  core::KeyReport keys = core::ComputeKeyReport(bundle_->ingest.tables, sample);
+  EXPECT_EQ(keys.total, sample.size());
+  core::FdReport fds = core::ComputeFdReport(bundle_->ingest.tables, sample);
+  EXPECT_EQ(fds.sample_tables, sample.size());
+  EXPECT_GT(fds.tables_with_fd, 0u);
+}
+
+TEST_F(SmokeTest, JoinPipeline) {
+  join::JoinablePairFinder finder(bundle_->ingest.tables);
+  auto pairs = finder.FindAllPairs();
+  EXPECT_GT(pairs.size(), 0u);
+  core::JoinReport r =
+      core::ComputeJoinReport(bundle_->ingest.tables, finder, pairs);
+  EXPECT_GT(r.joinable_tables, 0u);
+  EXPECT_EQ(r.key_joinable_columns + r.nonkey_joinable_columns,
+            r.joinable_columns);
+  auto labeled = core::LabelJoinSample(*bundle_, finder, pairs);
+  EXPECT_GT(labeled.size(), 0u);
+}
+
+TEST_F(SmokeTest, UnionPipeline) {
+  core::UnionReport r = core::ComputeUnionReport(*bundle_);
+  EXPECT_GT(r.unionable_tables, 0u);
+  EXPECT_GT(r.unionable_schemas, 0u);
+}
+
+}  // namespace
+}  // namespace ogdp

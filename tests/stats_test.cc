@@ -1,0 +1,136 @@
+// Tests for descriptive statistics, histograms, and letter-value
+// summaries.
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/letter_values.h"
+#include "util/rng.h"
+
+namespace ogdp::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+}
+
+TEST(DescriptiveTest, QuantileInterpolation) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);  // type-7
+  EXPECT_DOUBLE_EQ(Median({9, 1, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(DescriptiveTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({4, 1, 3, 2}, 0.5), 2.5);
+}
+
+TEST(DescriptiveTest, Summarize) {
+  Summary s = Summarize({3, 1, 2, 100});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 106);
+  EXPECT_DOUBLE_EQ(s.mean, 26.5);
+  // Heavy tail: mean far above median, the Table 2 shape.
+  EXPECT_GT(s.mean, s.median);
+}
+
+TEST(DescriptiveTest, DecileStringHasTenEntries) {
+  std::string d = DecileString({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_NE(d.find("p10="), std::string::npos);
+  EXPECT_NE(d.find("p100=10"), std::string::npos);
+}
+
+TEST(HistogramTest, LinearBinning) {
+  Histogram h = Histogram::Linear(0, 10, 5);
+  h.AddAll({0, 1.9, 2, 5, 9.99, -1, 10, 100});
+  EXPECT_EQ(h.num_bins(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // 0, 1.9
+  EXPECT_EQ(h.bin_count(1), 1u);  // 2
+  EXPECT_EQ(h.bin_count(2), 1u);  // 5
+  EXPECT_EQ(h.bin_count(4), 1u);  // 9.99
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);  // 10 (right-open), 100
+  EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(HistogramTest, LogBinning) {
+  Histogram h = Histogram::Logarithmic(1, 1000, 3);
+  h.AddAll({1, 5, 50, 500});
+  EXPECT_EQ(h.bin_count(0), 2u);   // [1, 10)
+  EXPECT_EQ(h.bin_count(1), 1u);   // [10, 100)
+  EXPECT_EQ(h.bin_count(2), 1u);   // [100, 1000)
+}
+
+TEST(HistogramTest, RenderContainsBars) {
+  Histogram h = Histogram::Linear(0, 2, 2);
+  h.AddAll({0.5, 0.6, 1.5});
+  const std::string s = h.ToString(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(LetterValuesTest, MedianAndBoxes) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  LetterValueSummary s = ComputeLetterValues(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  ASSERT_GE(s.levels.size(), 2u);
+  EXPECT_NEAR(s.levels[0].lower, 25.75, 0.01);  // quartiles
+  EXPECT_NEAR(s.levels[0].upper, 75.25, 0.01);
+  EXPECT_LT(s.levels[1].lower, s.levels[0].lower);  // eighths widen
+  EXPECT_GT(s.levels[1].upper, s.levels[0].upper);
+}
+
+TEST(LetterValuesTest, StoppingRule) {
+  // 16 points with min_tail 5: only the quartile box qualifies
+  // (16 * 0.25 = 4 < 5 stops immediately at level 0? 4 < 5, so none).
+  std::vector<double> v;
+  for (int i = 0; i < 16; ++i) v.push_back(i);
+  EXPECT_TRUE(ComputeLetterValues(v, 5).levels.empty());
+  EXPECT_EQ(ComputeLetterValues(v, 4).levels.size(), 1u);
+}
+
+TEST(LetterValuesTest, EmptyAndRender) {
+  LetterValueSummary s = ComputeLetterValues({});
+  EXPECT_EQ(s.count, 0u);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(i);
+  const std::string text = ComputeLetterValues(v).ToString();
+  EXPECT_NE(text.find("median="), std::string::npos);
+  EXPECT_NE(text.find("F=["), std::string::npos);
+}
+
+TEST(LetterValuesTest, NestedInvariantProperty) {
+  // Boxes must nest for any sample.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v;
+    const size_t n = 50 + rng.NextBounded(500);
+    for (size_t i = 0; i < n; ++i) {
+      v.push_back(rng.NextLognormal(2.0, 1.5));
+    }
+    LetterValueSummary s = ComputeLetterValues(v);
+    for (size_t k = 1; k < s.levels.size(); ++k) {
+      EXPECT_LE(s.levels[k].lower, s.levels[k - 1].lower);
+      EXPECT_GE(s.levels[k].upper, s.levels[k - 1].upper);
+    }
+    if (!s.levels.empty()) {
+      EXPECT_LE(s.levels[0].lower, s.median);
+      EXPECT_GE(s.levels[0].upper, s.median);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ogdp::stats

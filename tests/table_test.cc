@@ -1,0 +1,229 @@
+// Tests for null semantics, dictionary-encoded columns, type inference,
+// schemas, tables, and distinct projection.
+
+#include <gtest/gtest.h>
+
+#include "csv/csv_reader.h"
+#include "table/column.h"
+#include "table/data_type.h"
+#include "table/null_semantics.h"
+#include "table/projection.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "table/type_inference.h"
+
+namespace ogdp::table {
+namespace {
+
+TEST(NullSemanticsTest, PaperTokenList) {
+  // §3.3: empty plus "n/a", "n/d", "nan", "null", "-", "...".
+  for (const char* token :
+       {"", " ", "n/a", "N/A", "n/d", "nan", "NaN", "null", "NULL", "-",
+        "...", "  null  "}) {
+    EXPECT_TRUE(IsNullToken(token)) << "'" << token << "'";
+  }
+  for (const char* value :
+       {"0", "none", "na", "x", "--", "-1", "nanometer", "nullable"}) {
+    EXPECT_FALSE(IsNullToken(value)) << "'" << value << "'";
+  }
+}
+
+Column MakeColumn(const std::vector<std::string>& cells,
+                  const std::string& name = "c") {
+  Column col(name);
+  for (const auto& cell : cells) col.AppendCell(cell);
+  col.InferType();
+  return col;
+}
+
+TEST(ColumnTest, DictionaryEncoding) {
+  Column c = MakeColumn({"x", "y", "x", "", "x"});
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.distinct_count(), 2u);
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_EQ(c.code(0), c.code(2));
+  EXPECT_EQ(c.code(3), Column::kNullCode);
+  EXPECT_TRUE(c.IsNull(3));
+  EXPECT_EQ(c.ValueAt(0), "x");
+  EXPECT_EQ(c.ValueAt(3), "");
+}
+
+TEST(ColumnTest, UniquenessScoreAndKey) {
+  // |set(c)| / |c| per §4.1.
+  Column repeats = MakeColumn({"a", "a", "b", "b"});
+  EXPECT_DOUBLE_EQ(repeats.UniquenessScore(), 0.5);
+  EXPECT_FALSE(repeats.IsKey());
+
+  Column key = MakeColumn({"1", "2", "3"});
+  EXPECT_DOUBLE_EQ(key.UniquenessScore(), 1.0);
+  EXPECT_TRUE(key.IsKey());
+
+  // Nulls disqualify a key even with distinct non-null values.
+  Column with_null = MakeColumn({"1", "2", ""});
+  EXPECT_FALSE(with_null.IsKey());
+}
+
+TEST(ColumnTest, ValuesTrimmed) {
+  Column c = MakeColumn({" x ", "x"});
+  EXPECT_EQ(c.distinct_count(), 1u);
+}
+
+TEST(TypeInferenceTest, IncrementalVsPlainInteger) {
+  // Near-sequential unique ids -> incremental (Table 10's dominant type).
+  Column ids = MakeColumn({"1", "2", "3", "4", "5", "6", "7", "8"});
+  EXPECT_EQ(ids.type(), DataType::kIncrementalInteger);
+
+  // Repeated years are plain integers.
+  Column years = MakeColumn({"2020", "2020", "2021", "2021", "2020"});
+  EXPECT_EQ(years.type(), DataType::kInteger);
+
+  // Sparse unique integers are not incremental.
+  Column sparse = MakeColumn({"5", "900", "17", "22222", "104"});
+  EXPECT_EQ(sparse.type(), DataType::kInteger);
+}
+
+TEST(TypeInferenceTest, DecimalAndBoolean) {
+  EXPECT_EQ(MakeColumn({"1.5", "2.25", "-3.75"}).type(), DataType::kDecimal);
+  EXPECT_EQ(MakeColumn({"1", "2", "2.5"}).type(), DataType::kDecimal);
+  EXPECT_EQ(MakeColumn({"true", "false", "true"}).type(), DataType::kBoolean);
+  EXPECT_EQ(MakeColumn({"Yes", "no", "YES"}).type(), DataType::kBoolean);
+}
+
+TEST(TypeInferenceTest, Timestamps) {
+  EXPECT_EQ(MakeColumn({"2021-03-14", "2021-03-15"}).type(),
+            DataType::kTimestamp);
+  EXPECT_EQ(MakeColumn({"14/03/2021", "15/03/2021"}).type(),
+            DataType::kTimestamp);
+  EXPECT_EQ(MakeColumn({"2021-03-14 12:30", "2021-03-15T08:00"}).type(),
+            DataType::kTimestamp);
+  // A non-date member forces the column out of the timestamp class.
+  EXPECT_NE(MakeColumn({"2021-13-99", "x"}).type(), DataType::kTimestamp);
+}
+
+TEST(TypeInferenceTest, Geospatial) {
+  EXPECT_EQ(MakeColumn({"43.46,-80.52", "45.50,-73.56"}).type(),
+            DataType::kGeospatial);
+  EXPECT_EQ(MakeColumn({"(43.46, -80.52)", "(45.50, -73.56)"}).type(),
+            DataType::kGeospatial);
+  EXPECT_EQ(MakeColumn({"POINT (30 10)", "POINT (40 20)"}).type(),
+            DataType::kGeospatial);
+  // Out-of-range coordinates are not geospatial.
+  EXPECT_NE(MakeColumn({"999.0,5.0", "998.0,4.0"}).type(),
+            DataType::kGeospatial);
+}
+
+TEST(TypeInferenceTest, CategoricalVsString) {
+  // Low cardinality with repetition: categorical.
+  std::vector<std::string> cells;
+  for (int i = 0; i < 100; ++i) cells.push_back("status_" + std::to_string(i % 4));
+  EXPECT_EQ(MakeColumn(cells).type(), DataType::kCategorical);
+
+  // High distinctness text: string.
+  cells.clear();
+  for (int i = 0; i < 100; ++i) cells.push_back("entry " + std::to_string(i));
+  EXPECT_EQ(MakeColumn(cells).type(), DataType::kString);
+}
+
+TEST(TypeInferenceTest, AllNull) {
+  EXPECT_EQ(MakeColumn({"", "n/a", "-"}).type(), DataType::kNull);
+}
+
+TEST(TypeInferenceTest, BroadClasses) {
+  EXPECT_TRUE(IsNumericType(DataType::kIncrementalInteger));
+  EXPECT_TRUE(IsNumericType(DataType::kDecimal));
+  EXPECT_TRUE(IsTextType(DataType::kCategorical));
+  EXPECT_TRUE(IsTextType(DataType::kTimestamp));
+  EXPECT_FALSE(IsTextType(DataType::kInteger));
+  EXPECT_FALSE(IsNumericType(DataType::kString));
+}
+
+TEST(SchemaTest, FingerprintAndEquivalence) {
+  Schema a;
+  a.AddField("Year", DataType::kInteger);
+  a.AddField("Value", DataType::kDecimal);
+  Schema b;
+  b.AddField("year ", DataType::kInteger);  // case/space-insensitive
+  b.AddField("value", DataType::kDecimal);
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  Schema c;
+  c.AddField("year", DataType::kInteger);
+  c.AddField("value", DataType::kInteger);  // type differs
+  EXPECT_FALSE(a.EquivalentTo(c));
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+
+  Schema d;  // order matters
+  d.AddField("value", DataType::kDecimal);
+  d.AddField("year", DataType::kInteger);
+  EXPECT_FALSE(a.EquivalentTo(d));
+}
+
+TEST(TableTest, FromRecordsBuildsTypedColumns) {
+  auto t = Table::FromRecords(
+      "t", {"id", "name", "amount"},
+      {{"1", "alpha", "10.5"}, {"2", "beta", ""}, {"3", "alpha", "7.25"}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->num_columns(), 3u);
+  EXPECT_EQ(t->column(0).type(), DataType::kIncrementalInteger);
+  EXPECT_EQ(t->column(2).type(), DataType::kDecimal);
+  EXPECT_EQ(t->column(2).null_count(), 1u);
+  EXPECT_EQ(*t->ColumnIndex("name"), 1u);
+  EXPECT_FALSE(t->ColumnIndex("missing").has_value());
+}
+
+TEST(TableTest, ShortRowsPaddedWithNulls) {
+  auto t = Table::FromRecords("t", {"a", "b"}, {{"1"}, {"2", "x"}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->column(1).IsNull(0));
+  EXPECT_EQ(t->column(1).ValueAt(1), "x");
+}
+
+TEST(TableTest, WideRowRejected) {
+  auto t = Table::FromRecords("t", {"a"}, {{"1", "2"}});
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  auto t = Table::FromRecords(
+      "t", {"a", "b"}, {{"x,1", "2"}, {"he said \"hi\"", ""}});
+  ASSERT_TRUE(t.ok());
+  const std::string csv = t->ToCsvString();
+  auto records = csv::CsvReader::ParseString(csv);
+  ASSERT_TRUE(records.ok());
+  auto t2 = Table::FromRecords("t2", (*records)[0],
+                               {records->begin() + 1, records->end()});
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->column(0).ValueAt(0), "x,1");
+  EXPECT_EQ(t2->column(0).ValueAt(1), "he said \"hi\"");
+  EXPECT_TRUE(t2->column(1).IsNull(1));
+}
+
+TEST(ProjectionTest, DistinctAndOrderPreserving) {
+  auto t = Table::FromRecords("t", {"a", "b", "c"},
+                              {{"1", "x", "p"},
+                               {"2", "x", "q"},
+                               {"1", "x", "r"},
+                               {"3", "y", "s"}});
+  ASSERT_TRUE(t.ok());
+  Table p = ProjectDistinct(*t, {0, 1}, "p");
+  EXPECT_EQ(p.num_rows(), 3u);  // (1,x), (2,x), (3,y)
+  EXPECT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.column(0).ValueAt(0), "1");
+  EXPECT_EQ(p.column(1).ValueAt(2), "y");
+
+  // Column order follows the index list, including reordering.
+  Table q = ProjectDistinct(*t, {1, 0}, "q");
+  EXPECT_EQ(q.column(0).name(), "b");
+}
+
+TEST(ProjectionTest, NullsCompareEqual) {
+  auto t = Table::FromRecords("t", {"a"}, {{""}, {"n/a"}, {"x"}});
+  ASSERT_TRUE(t.ok());
+  Table p = ProjectDistinct(*t, {0}, "p");
+  EXPECT_EQ(p.num_rows(), 2u);  // null and "x"
+}
+
+}  // namespace
+}  // namespace ogdp::table

@@ -1,0 +1,122 @@
+// Tests for unionability grouping, degrees, sampling, and UnionAll.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "table/table.h"
+#include "union/union_labels.h"
+#include "union/unionable_finder.h"
+
+namespace ogdp::tunion {
+namespace {
+
+using table::Table;
+
+Table MakeTable(const std::string& name, const std::string& dataset,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  auto t = Table::FromRecords(name, header, rows);
+  EXPECT_TRUE(t.ok());
+  t->set_dataset_id(dataset);
+  return std::move(t).value();
+}
+
+std::vector<Table> Corpus() {
+  std::vector<Table> tables;
+  // Set A: three tables, same schema, same dataset.
+  for (int i = 0; i < 3; ++i) {
+    tables.push_back(MakeTable("a" + std::to_string(i), "ds1",
+                               {"year", "value"},
+                               {{"2020", "1.5"}, {"2021", "2.5"}}));
+  }
+  // Set B: two tables, same schema, different datasets.
+  tables.push_back(MakeTable("b0", "ds2", {"name", "count"},
+                             {{"x", "1"}, {"y", "2"}}));
+  tables.push_back(MakeTable("b1", "ds3", {"name", "count"},
+                             {{"z", "3"}, {"w", "4"}}));
+  // Loner: unique schema.
+  tables.push_back(MakeTable("c", "ds4", {"alpha", "beta", "gamma"},
+                             {{"1", "x", "2.0"}}));
+  // Same names as set B but a different type for "count" -> not unionable
+  // with B.
+  tables.push_back(MakeTable("d", "ds5", {"name", "count"},
+                             {{"x", "1.5"}, {"y", "2.5"}}));
+  return tables;
+}
+
+TEST(UnionableFinderTest, GroupsBySchema) {
+  std::vector<Table> tables = Corpus();
+  UnionableFinder finder(tables);
+  EXPECT_EQ(finder.unique_schema_count(), 4u);  // A, B, c, d
+  ASSERT_EQ(finder.unionable_sets().size(), 2u);
+  EXPECT_EQ(finder.unionable_table_count(), 5u);
+  const auto& set_a = finder.unionable_sets()[0];
+  EXPECT_EQ(set_a.tables.size(), 3u);
+  EXPECT_TRUE(set_a.single_dataset);
+  const auto& set_b = finder.unionable_sets()[1];
+  EXPECT_EQ(set_b.tables.size(), 2u);
+  EXPECT_FALSE(set_b.single_dataset);
+}
+
+TEST(UnionableFinderTest, Degrees) {
+  std::vector<Table> tables = Corpus();
+  UnionableFinder finder(tables);
+  EXPECT_EQ(finder.DegreeOf(0), 3u);
+  EXPECT_EQ(finder.DegreeOf(3), 2u);
+  EXPECT_EQ(finder.DegreeOf(5), 0u);  // loner
+}
+
+TEST(UnionableFinderTest, TypeDifferenceSplitsSchemas) {
+  std::vector<Table> tables = Corpus();
+  UnionableFinder finder(tables);
+  // Table "d" (decimal count) must not be in set B (integer count).
+  for (const auto& set : finder.unionable_sets()) {
+    for (size_t t : set.tables) {
+      EXPECT_NE(tables[t].name(), "d");
+    }
+  }
+}
+
+TEST(SampleUnionablePairsTest, DistinctPairsFromSets) {
+  std::vector<Table> tables = Corpus();
+  UnionableFinder finder(tables);
+  auto samples = SampleUnionablePairs(finder, 4, 17);
+  EXPECT_EQ(samples.size(), 4u);  // 3 pairs in A + 1 in B = exactly 4
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const auto& s : samples) {
+    EXPECT_LT(s.table_a, s.table_b);
+    EXPECT_TRUE(seen.insert({s.table_a, s.table_b}).second);
+    // Both members share the set's schema.
+    EXPECT_TRUE(tables[s.table_a].GetSchema().EquivalentTo(
+        tables[s.table_b].GetSchema()));
+  }
+}
+
+TEST(SampleUnionablePairsTest, EmptyCorpus) {
+  std::vector<Table> tables;
+  UnionableFinder finder(tables);
+  EXPECT_TRUE(SampleUnionablePairs(finder, 10, 1).empty());
+}
+
+TEST(UnionAllTest, ConcatenatesRows) {
+  std::vector<Table> tables = Corpus();
+  UnionableFinder finder(tables);
+  const auto& set_a = finder.unionable_sets()[0];
+  Table u = UnionAll(tables, set_a.tables, "union_a");
+  EXPECT_EQ(u.num_rows(), 6u);
+  EXPECT_EQ(u.num_columns(), 2u);
+  EXPECT_EQ(u.column(0).name(), "year");
+  EXPECT_EQ(u.column(0).distinct_count(), 2u);  // 2020, 2021 repeated
+}
+
+TEST(UnionLabelsTest, Names) {
+  EXPECT_STREQ(UnionLabelName(UnionLabel::kUseful), "useful");
+  EXPECT_STREQ(UnionLabelName(UnionLabel::kAccidental), "accidental");
+  EXPECT_STREQ(UnionPatternName(UnionPattern::kPeriodic), "periodic");
+  EXPECT_STREQ(UnionPatternName(UnionPattern::kDuplicateTable),
+               "duplicate_table");
+}
+
+}  // namespace
+}  // namespace ogdp::tunion

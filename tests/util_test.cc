@@ -1,0 +1,245 @@
+// Tests for Status/Result, the deterministic RNG, string utilities, and
+// hashing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/hash.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace ogdp {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad quote");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad quote");
+  EXPECT_EQ(s.ToString(), "parse_error: bad quote");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    OGDP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IoError("disk");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto maker = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string("value");
+    return Status::Internal("nope");
+  };
+  auto user = [&](bool ok) -> Result<size_t> {
+    std::string s;
+    OGDP_ASSIGN_OR_RETURN(s, maker(ok));
+    return s.size();
+  };
+  ASSERT_TRUE(user(true).ok());
+  EXPECT_EQ(*user(true), 5u);
+  EXPECT_EQ(user(false).status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+  // Different seeds diverge (overwhelmingly likely on the first draw).
+  EXPECT_NE(Rng(123).NextUint64(), c.NextUint64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoolProbabilityRoughlyRespected) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBool(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+  EXPECT_FALSE(Rng(1).NextBool(0.0));
+  EXPECT_TRUE(Rng(1).NextBool(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfIsSkewedAndInRange) {
+  Rng rng(12);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = rng.NextZipf(50, 1.1);
+    ASSERT_LT(k, 50u);
+    ++counts[k];
+  }
+  // Rank 0 must dominate rank 10 heavily under s=1.1.
+  EXPECT_GT(counts[0], counts[10] * 5);
+  // Every rank reachable in a big sample.
+  EXPECT_GT(*std::min_element(counts.begin(), counts.end()), 0);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1, 0, 3};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextCategorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleIndicesDistinctSortedAndComplete) {
+  Rng rng(14);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto idx = rng.SampleIndices(20, 7);
+    ASSERT_EQ(idx.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+    EXPECT_EQ(std::set<size_t>(idx.begin(), idx.end()).size(), 7u);
+    for (size_t i : idx) EXPECT_LT(i, 20u);
+  }
+  EXPECT_EQ(rng.SampleIndices(5, 50).size(), 5u);  // k clamped
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(99);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  Rng a2 = parent.Fork(1);
+  EXPECT_EQ(a.NextUint64(), a2.NextUint64());
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+  Rng by_name = parent.Fork(std::string("alpha"));
+  Rng by_name2 = parent.Fork(std::string("alpha"));
+  EXPECT_EQ(by_name.NextUint64(), by_name2.NextUint64());
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\r\n"), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(TrimView(" x "), "x");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64(" -7 "), -7);
+  EXPECT_EQ(ParseInt64("+13"), 13);
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("12x").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").has_value());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2e3"), -2000.0);
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+  EXPECT_FALSE(ParseDouble("0x10").has_value());
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatPercent(0.841), "84.1%");
+  EXPECT_EQ(FormatBytes(1588), "1.55 KiB");
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(0.00047, 2), "0.00047");
+}
+
+TEST(HashTest, Fnv1aStable) {
+  // Known FNV-1a 64 vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("acb"));
+}
+
+TEST(HashTest, CombineAndMixSpread) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_NE(MixUint64(1), MixUint64(2));
+}
+
+}  // namespace
+}  // namespace ogdp
