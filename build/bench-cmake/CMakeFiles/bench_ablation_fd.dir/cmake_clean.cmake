@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fd"
+  "../bench/bench_ablation_fd.pdb"
+  "CMakeFiles/bench_ablation_fd.dir/bench_ablation_fd.cc.o"
+  "CMakeFiles/bench_ablation_fd.dir/bench_ablation_fd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_minhash"
+  "../bench/bench_ablation_minhash.pdb"
+  "CMakeFiles/bench_ablation_minhash.dir/bench_ablation_minhash.cc.o"
+  "CMakeFiles/bench_ablation_minhash.dir/bench_ablation_minhash.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_minhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

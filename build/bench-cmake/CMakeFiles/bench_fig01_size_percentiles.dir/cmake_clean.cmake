@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_size_percentiles"
+  "../bench/bench_fig01_size_percentiles.pdb"
+  "CMakeFiles/bench_fig01_size_percentiles.dir/bench_fig01_size_percentiles.cc.o"
+  "CMakeFiles/bench_fig01_size_percentiles.dir/bench_fig01_size_percentiles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_size_percentiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

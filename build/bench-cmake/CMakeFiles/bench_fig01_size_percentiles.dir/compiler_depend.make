@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig01_size_percentiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_size_distributions"
+  "../bench/bench_fig03_size_distributions.pdb"
+  "CMakeFiles/bench_fig03_size_distributions.dir/bench_fig03_size_distributions.cc.o"
+  "CMakeFiles/bench_fig03_size_distributions.dir/bench_fig03_size_distributions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_size_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig04_nulls.cc" "bench-cmake/CMakeFiles/bench_fig04_nulls.dir/bench_fig04_nulls.cc.o" "gcc" "bench-cmake/CMakeFiles/bench_fig04_nulls.dir/bench_fig04_nulls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ogdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/ogdp_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ogdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ogdp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/ogdp_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/ogdp_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/union/CMakeFiles/ogdp_union.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ogdp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ogdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ogdp_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/ogdp_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ogdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

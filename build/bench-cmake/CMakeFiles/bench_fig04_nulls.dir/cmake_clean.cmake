@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_nulls"
+  "../bench/bench_fig04_nulls.pdb"
+  "CMakeFiles/bench_fig04_nulls.dir/bench_fig04_nulls.cc.o"
+  "CMakeFiles/bench_fig04_nulls.dir/bench_fig04_nulls.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_nulls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_uniqueness"
+  "../bench/bench_fig05_uniqueness.pdb"
+  "CMakeFiles/bench_fig05_uniqueness.dir/bench_fig05_uniqueness.cc.o"
+  "CMakeFiles/bench_fig05_uniqueness.dir/bench_fig05_uniqueness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

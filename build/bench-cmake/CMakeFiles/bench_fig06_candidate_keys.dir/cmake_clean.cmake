@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_candidate_keys"
+  "../bench/bench_fig06_candidate_keys.pdb"
+  "CMakeFiles/bench_fig06_candidate_keys.dir/bench_fig06_candidate_keys.cc.o"
+  "CMakeFiles/bench_fig06_candidate_keys.dir/bench_fig06_candidate_keys.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_candidate_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_bcnf_decomposition"
+  "../bench/bench_fig07_bcnf_decomposition.pdb"
+  "CMakeFiles/bench_fig07_bcnf_decomposition.dir/bench_fig07_bcnf_decomposition.cc.o"
+  "CMakeFiles/bench_fig07_bcnf_decomposition.dir/bench_fig07_bcnf_decomposition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_bcnf_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ranker_eval"
+  "../bench/bench_ranker_eval.pdb"
+  "CMakeFiles/bench_ranker_eval.dir/bench_ranker_eval.cc.o"
+  "CMakeFiles/bench_ranker_eval.dir/bench_ranker_eval.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ranker_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table03_metadata"
+  "../bench/bench_table03_metadata.pdb"
+  "CMakeFiles/bench_table03_metadata.dir/bench_table03_metadata.cc.o"
+  "CMakeFiles/bench_table03_metadata.dir/bench_table03_metadata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

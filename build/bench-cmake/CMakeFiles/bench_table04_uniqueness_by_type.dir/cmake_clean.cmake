@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table04_uniqueness_by_type"
+  "../bench/bench_table04_uniqueness_by_type.pdb"
+  "CMakeFiles/bench_table04_uniqueness_by_type.dir/bench_table04_uniqueness_by_type.cc.o"
+  "CMakeFiles/bench_table04_uniqueness_by_type.dir/bench_table04_uniqueness_by_type.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_uniqueness_by_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table04_uniqueness_by_type.
+# This may be replaced when dependencies are built.

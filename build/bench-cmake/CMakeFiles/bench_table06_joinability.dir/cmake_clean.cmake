@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table06_joinability"
+  "../bench/bench_table06_joinability.pdb"
+  "CMakeFiles/bench_table06_joinability.dir/bench_table06_joinability.cc.o"
+  "CMakeFiles/bench_table06_joinability.dir/bench_table06_joinability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_joinability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

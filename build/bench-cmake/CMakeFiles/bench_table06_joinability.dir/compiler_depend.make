@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table06_joinability.
+# This may be replaced when dependencies are built.

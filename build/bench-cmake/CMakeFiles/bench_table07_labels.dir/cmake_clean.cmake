@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table07_labels"
+  "../bench/bench_table07_labels.pdb"
+  "CMakeFiles/bench_table07_labels.dir/bench_table07_labels.cc.o"
+  "CMakeFiles/bench_table07_labels.dir/bench_table07_labels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table08_inter_intra"
+  "../bench/bench_table08_inter_intra.pdb"
+  "CMakeFiles/bench_table08_inter_intra.dir/bench_table08_inter_intra.cc.o"
+  "CMakeFiles/bench_table08_inter_intra.dir/bench_table08_inter_intra.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_inter_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table09_key_combos"
+  "../bench/bench_table09_key_combos.pdb"
+  "CMakeFiles/bench_table09_key_combos.dir/bench_table09_key_combos.cc.o"
+  "CMakeFiles/bench_table09_key_combos.dir/bench_table09_key_combos.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_key_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

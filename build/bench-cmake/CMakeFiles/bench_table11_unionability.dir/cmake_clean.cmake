@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_unionability"
+  "../bench/bench_table11_unionability.pdb"
+  "CMakeFiles/bench_table11_unionability.dir/bench_table11_unionability.cc.o"
+  "CMakeFiles/bench_table11_unionability.dir/bench_table11_unionability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_unionability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_joinable.dir/find_joinable.cpp.o"
+  "CMakeFiles/find_joinable.dir/find_joinable.cpp.o.d"
+  "find_joinable"
+  "find_joinable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_joinable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalize_table.dir/normalize_table.cpp.o"
+  "CMakeFiles/normalize_table.dir/normalize_table.cpp.o.d"
+  "normalize_table"
+  "normalize_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalize_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

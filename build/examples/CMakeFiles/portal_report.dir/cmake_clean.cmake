@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portal_report.dir/portal_report.cpp.o"
+  "CMakeFiles/portal_report.dir/portal_report.cpp.o.d"
+  "portal_report"
+  "portal_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portal_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("csv")
+subdirs("table")
+subdirs("stats")
+subdirs("compress")
+subdirs("profile")
+subdirs("fd")
+subdirs("join")
+subdirs("union")
+subdirs("corpus")
+subdirs("core")

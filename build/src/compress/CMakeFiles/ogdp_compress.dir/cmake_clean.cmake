@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_compress.dir/lz77_codec.cc.o"
+  "CMakeFiles/ogdp_compress.dir/lz77_codec.cc.o.d"
+  "CMakeFiles/ogdp_compress.dir/rle_codec.cc.o"
+  "CMakeFiles/ogdp_compress.dir/rle_codec.cc.o.d"
+  "libogdp_compress.a"
+  "libogdp_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libogdp_compress.a"
+)

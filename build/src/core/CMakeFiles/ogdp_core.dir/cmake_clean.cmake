@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_core.dir/analysis.cc.o"
+  "CMakeFiles/ogdp_core.dir/analysis.cc.o.d"
+  "CMakeFiles/ogdp_core.dir/analysis_suite.cc.o"
+  "CMakeFiles/ogdp_core.dir/analysis_suite.cc.o.d"
+  "CMakeFiles/ogdp_core.dir/ingestion.cc.o"
+  "CMakeFiles/ogdp_core.dir/ingestion.cc.o.d"
+  "CMakeFiles/ogdp_core.dir/report_format.cc.o"
+  "CMakeFiles/ogdp_core.dir/report_format.cc.o.d"
+  "libogdp_core.a"
+  "libogdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_model.dir/portal_model.cc.o"
+  "CMakeFiles/ogdp_model.dir/portal_model.cc.o.d"
+  "libogdp_model.a"
+  "libogdp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

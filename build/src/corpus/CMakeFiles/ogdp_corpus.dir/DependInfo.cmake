@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus_io.cc" "src/corpus/CMakeFiles/ogdp_corpus.dir/corpus_io.cc.o" "gcc" "src/corpus/CMakeFiles/ogdp_corpus.dir/corpus_io.cc.o.d"
+  "/root/repo/src/corpus/domains.cc" "src/corpus/CMakeFiles/ogdp_corpus.dir/domains.cc.o" "gcc" "src/corpus/CMakeFiles/ogdp_corpus.dir/domains.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/ogdp_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/ogdp_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/ground_truth.cc" "src/corpus/CMakeFiles/ogdp_corpus.dir/ground_truth.cc.o" "gcc" "src/corpus/CMakeFiles/ogdp_corpus.dir/ground_truth.cc.o.d"
+  "/root/repo/src/corpus/portal_profile.cc" "src/corpus/CMakeFiles/ogdp_corpus.dir/portal_profile.cc.o" "gcc" "src/corpus/CMakeFiles/ogdp_corpus.dir/portal_profile.cc.o.d"
+  "/root/repo/src/corpus/table_synth.cc" "src/corpus/CMakeFiles/ogdp_corpus.dir/table_synth.cc.o" "gcc" "src/corpus/CMakeFiles/ogdp_corpus.dir/table_synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ogdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ogdp_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/ogdp_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/union/CMakeFiles/ogdp_union.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/ogdp_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ogdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

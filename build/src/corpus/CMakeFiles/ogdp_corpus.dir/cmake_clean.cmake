@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_corpus.dir/corpus_io.cc.o"
+  "CMakeFiles/ogdp_corpus.dir/corpus_io.cc.o.d"
+  "CMakeFiles/ogdp_corpus.dir/domains.cc.o"
+  "CMakeFiles/ogdp_corpus.dir/domains.cc.o.d"
+  "CMakeFiles/ogdp_corpus.dir/generator.cc.o"
+  "CMakeFiles/ogdp_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/ogdp_corpus.dir/ground_truth.cc.o"
+  "CMakeFiles/ogdp_corpus.dir/ground_truth.cc.o.d"
+  "CMakeFiles/ogdp_corpus.dir/portal_profile.cc.o"
+  "CMakeFiles/ogdp_corpus.dir/portal_profile.cc.o.d"
+  "CMakeFiles/ogdp_corpus.dir/table_synth.cc.o"
+  "CMakeFiles/ogdp_corpus.dir/table_synth.cc.o.d"
+  "libogdp_corpus.a"
+  "libogdp_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

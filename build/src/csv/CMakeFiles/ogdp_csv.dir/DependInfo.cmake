@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csv/cleaning.cc" "src/csv/CMakeFiles/ogdp_csv.dir/cleaning.cc.o" "gcc" "src/csv/CMakeFiles/ogdp_csv.dir/cleaning.cc.o.d"
+  "/root/repo/src/csv/csv_reader.cc" "src/csv/CMakeFiles/ogdp_csv.dir/csv_reader.cc.o" "gcc" "src/csv/CMakeFiles/ogdp_csv.dir/csv_reader.cc.o.d"
+  "/root/repo/src/csv/csv_writer.cc" "src/csv/CMakeFiles/ogdp_csv.dir/csv_writer.cc.o" "gcc" "src/csv/CMakeFiles/ogdp_csv.dir/csv_writer.cc.o.d"
+  "/root/repo/src/csv/dialect.cc" "src/csv/CMakeFiles/ogdp_csv.dir/dialect.cc.o" "gcc" "src/csv/CMakeFiles/ogdp_csv.dir/dialect.cc.o.d"
+  "/root/repo/src/csv/file_type_detector.cc" "src/csv/CMakeFiles/ogdp_csv.dir/file_type_detector.cc.o" "gcc" "src/csv/CMakeFiles/ogdp_csv.dir/file_type_detector.cc.o.d"
+  "/root/repo/src/csv/header_inference.cc" "src/csv/CMakeFiles/ogdp_csv.dir/header_inference.cc.o" "gcc" "src/csv/CMakeFiles/ogdp_csv.dir/header_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ogdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

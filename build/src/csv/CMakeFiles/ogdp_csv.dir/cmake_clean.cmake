@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_csv.dir/cleaning.cc.o"
+  "CMakeFiles/ogdp_csv.dir/cleaning.cc.o.d"
+  "CMakeFiles/ogdp_csv.dir/csv_reader.cc.o"
+  "CMakeFiles/ogdp_csv.dir/csv_reader.cc.o.d"
+  "CMakeFiles/ogdp_csv.dir/csv_writer.cc.o"
+  "CMakeFiles/ogdp_csv.dir/csv_writer.cc.o.d"
+  "CMakeFiles/ogdp_csv.dir/dialect.cc.o"
+  "CMakeFiles/ogdp_csv.dir/dialect.cc.o.d"
+  "CMakeFiles/ogdp_csv.dir/file_type_detector.cc.o"
+  "CMakeFiles/ogdp_csv.dir/file_type_detector.cc.o.d"
+  "CMakeFiles/ogdp_csv.dir/header_inference.cc.o"
+  "CMakeFiles/ogdp_csv.dir/header_inference.cc.o.d"
+  "libogdp_csv.a"
+  "libogdp_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

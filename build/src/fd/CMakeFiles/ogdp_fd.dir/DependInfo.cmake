@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/approximate_fd.cc" "src/fd/CMakeFiles/ogdp_fd.dir/approximate_fd.cc.o" "gcc" "src/fd/CMakeFiles/ogdp_fd.dir/approximate_fd.cc.o.d"
+  "/root/repo/src/fd/attribute_set.cc" "src/fd/CMakeFiles/ogdp_fd.dir/attribute_set.cc.o" "gcc" "src/fd/CMakeFiles/ogdp_fd.dir/attribute_set.cc.o.d"
+  "/root/repo/src/fd/bcnf.cc" "src/fd/CMakeFiles/ogdp_fd.dir/bcnf.cc.o" "gcc" "src/fd/CMakeFiles/ogdp_fd.dir/bcnf.cc.o.d"
+  "/root/repo/src/fd/candidate_keys.cc" "src/fd/CMakeFiles/ogdp_fd.dir/candidate_keys.cc.o" "gcc" "src/fd/CMakeFiles/ogdp_fd.dir/candidate_keys.cc.o.d"
+  "/root/repo/src/fd/cardinality_engine.cc" "src/fd/CMakeFiles/ogdp_fd.dir/cardinality_engine.cc.o" "gcc" "src/fd/CMakeFiles/ogdp_fd.dir/cardinality_engine.cc.o.d"
+  "/root/repo/src/fd/fd.cc" "src/fd/CMakeFiles/ogdp_fd.dir/fd.cc.o" "gcc" "src/fd/CMakeFiles/ogdp_fd.dir/fd.cc.o.d"
+  "/root/repo/src/fd/fun_algorithm.cc" "src/fd/CMakeFiles/ogdp_fd.dir/fun_algorithm.cc.o" "gcc" "src/fd/CMakeFiles/ogdp_fd.dir/fun_algorithm.cc.o.d"
+  "/root/repo/src/fd/tane_algorithm.cc" "src/fd/CMakeFiles/ogdp_fd.dir/tane_algorithm.cc.o" "gcc" "src/fd/CMakeFiles/ogdp_fd.dir/tane_algorithm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/ogdp_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ogdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/ogdp_csv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

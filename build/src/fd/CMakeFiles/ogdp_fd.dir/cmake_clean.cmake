@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_fd.dir/approximate_fd.cc.o"
+  "CMakeFiles/ogdp_fd.dir/approximate_fd.cc.o.d"
+  "CMakeFiles/ogdp_fd.dir/attribute_set.cc.o"
+  "CMakeFiles/ogdp_fd.dir/attribute_set.cc.o.d"
+  "CMakeFiles/ogdp_fd.dir/bcnf.cc.o"
+  "CMakeFiles/ogdp_fd.dir/bcnf.cc.o.d"
+  "CMakeFiles/ogdp_fd.dir/candidate_keys.cc.o"
+  "CMakeFiles/ogdp_fd.dir/candidate_keys.cc.o.d"
+  "CMakeFiles/ogdp_fd.dir/cardinality_engine.cc.o"
+  "CMakeFiles/ogdp_fd.dir/cardinality_engine.cc.o.d"
+  "CMakeFiles/ogdp_fd.dir/fd.cc.o"
+  "CMakeFiles/ogdp_fd.dir/fd.cc.o.d"
+  "CMakeFiles/ogdp_fd.dir/fun_algorithm.cc.o"
+  "CMakeFiles/ogdp_fd.dir/fun_algorithm.cc.o.d"
+  "CMakeFiles/ogdp_fd.dir/tane_algorithm.cc.o"
+  "CMakeFiles/ogdp_fd.dir/tane_algorithm.cc.o.d"
+  "libogdp_fd.a"
+  "libogdp_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/expansion.cc" "src/join/CMakeFiles/ogdp_join.dir/expansion.cc.o" "gcc" "src/join/CMakeFiles/ogdp_join.dir/expansion.cc.o.d"
+  "/root/repo/src/join/join_labels.cc" "src/join/CMakeFiles/ogdp_join.dir/join_labels.cc.o" "gcc" "src/join/CMakeFiles/ogdp_join.dir/join_labels.cc.o.d"
+  "/root/repo/src/join/joinable_pair_finder.cc" "src/join/CMakeFiles/ogdp_join.dir/joinable_pair_finder.cc.o" "gcc" "src/join/CMakeFiles/ogdp_join.dir/joinable_pair_finder.cc.o.d"
+  "/root/repo/src/join/minhash.cc" "src/join/CMakeFiles/ogdp_join.dir/minhash.cc.o" "gcc" "src/join/CMakeFiles/ogdp_join.dir/minhash.cc.o.d"
+  "/root/repo/src/join/pair_sampler.cc" "src/join/CMakeFiles/ogdp_join.dir/pair_sampler.cc.o" "gcc" "src/join/CMakeFiles/ogdp_join.dir/pair_sampler.cc.o.d"
+  "/root/repo/src/join/suggestion_ranker.cc" "src/join/CMakeFiles/ogdp_join.dir/suggestion_ranker.cc.o" "gcc" "src/join/CMakeFiles/ogdp_join.dir/suggestion_ranker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/ogdp_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ogdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/ogdp_csv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

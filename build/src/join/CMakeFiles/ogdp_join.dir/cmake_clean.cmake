@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_join.dir/expansion.cc.o"
+  "CMakeFiles/ogdp_join.dir/expansion.cc.o.d"
+  "CMakeFiles/ogdp_join.dir/join_labels.cc.o"
+  "CMakeFiles/ogdp_join.dir/join_labels.cc.o.d"
+  "CMakeFiles/ogdp_join.dir/joinable_pair_finder.cc.o"
+  "CMakeFiles/ogdp_join.dir/joinable_pair_finder.cc.o.d"
+  "CMakeFiles/ogdp_join.dir/minhash.cc.o"
+  "CMakeFiles/ogdp_join.dir/minhash.cc.o.d"
+  "CMakeFiles/ogdp_join.dir/pair_sampler.cc.o"
+  "CMakeFiles/ogdp_join.dir/pair_sampler.cc.o.d"
+  "CMakeFiles/ogdp_join.dir/suggestion_ranker.cc.o"
+  "CMakeFiles/ogdp_join.dir/suggestion_ranker.cc.o.d"
+  "libogdp_join.a"
+  "libogdp_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/join/CMakeFiles/ogdp_join.dir/join_labels.cc.o: \
+ /root/repo/src/join/join_labels.cc /usr/include/stdc-predef.h \
+ /root/repo/src/join/join_labels.h

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/column_profile.cc" "src/profile/CMakeFiles/ogdp_profile.dir/column_profile.cc.o" "gcc" "src/profile/CMakeFiles/ogdp_profile.dir/column_profile.cc.o.d"
+  "/root/repo/src/profile/portal_stats.cc" "src/profile/CMakeFiles/ogdp_profile.dir/portal_stats.cc.o" "gcc" "src/profile/CMakeFiles/ogdp_profile.dir/portal_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/ogdp_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ogdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ogdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/ogdp_csv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

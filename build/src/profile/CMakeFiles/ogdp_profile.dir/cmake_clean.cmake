@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_profile.dir/column_profile.cc.o"
+  "CMakeFiles/ogdp_profile.dir/column_profile.cc.o.d"
+  "CMakeFiles/ogdp_profile.dir/portal_stats.cc.o"
+  "CMakeFiles/ogdp_profile.dir/portal_stats.cc.o.d"
+  "libogdp_profile.a"
+  "libogdp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

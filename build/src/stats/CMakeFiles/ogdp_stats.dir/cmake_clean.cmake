@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ogdp_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ogdp_stats.dir/histogram.cc.o"
+  "CMakeFiles/ogdp_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ogdp_stats.dir/letter_values.cc.o"
+  "CMakeFiles/ogdp_stats.dir/letter_values.cc.o.d"
+  "libogdp_stats.a"
+  "libogdp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

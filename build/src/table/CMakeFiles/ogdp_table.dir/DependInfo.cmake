@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/column.cc" "src/table/CMakeFiles/ogdp_table.dir/column.cc.o" "gcc" "src/table/CMakeFiles/ogdp_table.dir/column.cc.o.d"
+  "/root/repo/src/table/data_type.cc" "src/table/CMakeFiles/ogdp_table.dir/data_type.cc.o" "gcc" "src/table/CMakeFiles/ogdp_table.dir/data_type.cc.o.d"
+  "/root/repo/src/table/null_semantics.cc" "src/table/CMakeFiles/ogdp_table.dir/null_semantics.cc.o" "gcc" "src/table/CMakeFiles/ogdp_table.dir/null_semantics.cc.o.d"
+  "/root/repo/src/table/projection.cc" "src/table/CMakeFiles/ogdp_table.dir/projection.cc.o" "gcc" "src/table/CMakeFiles/ogdp_table.dir/projection.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/table/CMakeFiles/ogdp_table.dir/schema.cc.o" "gcc" "src/table/CMakeFiles/ogdp_table.dir/schema.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/table/CMakeFiles/ogdp_table.dir/table.cc.o" "gcc" "src/table/CMakeFiles/ogdp_table.dir/table.cc.o.d"
+  "/root/repo/src/table/type_inference.cc" "src/table/CMakeFiles/ogdp_table.dir/type_inference.cc.o" "gcc" "src/table/CMakeFiles/ogdp_table.dir/type_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ogdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/ogdp_csv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_table.dir/column.cc.o"
+  "CMakeFiles/ogdp_table.dir/column.cc.o.d"
+  "CMakeFiles/ogdp_table.dir/data_type.cc.o"
+  "CMakeFiles/ogdp_table.dir/data_type.cc.o.d"
+  "CMakeFiles/ogdp_table.dir/null_semantics.cc.o"
+  "CMakeFiles/ogdp_table.dir/null_semantics.cc.o.d"
+  "CMakeFiles/ogdp_table.dir/projection.cc.o"
+  "CMakeFiles/ogdp_table.dir/projection.cc.o.d"
+  "CMakeFiles/ogdp_table.dir/schema.cc.o"
+  "CMakeFiles/ogdp_table.dir/schema.cc.o.d"
+  "CMakeFiles/ogdp_table.dir/table.cc.o"
+  "CMakeFiles/ogdp_table.dir/table.cc.o.d"
+  "CMakeFiles/ogdp_table.dir/type_inference.cc.o"
+  "CMakeFiles/ogdp_table.dir/type_inference.cc.o.d"
+  "libogdp_table.a"
+  "libogdp_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

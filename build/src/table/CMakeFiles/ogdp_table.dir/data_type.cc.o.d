@@ -1,0 +1,3 @@
+src/table/CMakeFiles/ogdp_table.dir/data_type.cc.o: \
+ /root/repo/src/table/data_type.cc /usr/include/stdc-predef.h \
+ /root/repo/src/table/data_type.h

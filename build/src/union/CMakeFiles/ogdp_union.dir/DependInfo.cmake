@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/union/schema_similarity.cc" "src/union/CMakeFiles/ogdp_union.dir/schema_similarity.cc.o" "gcc" "src/union/CMakeFiles/ogdp_union.dir/schema_similarity.cc.o.d"
+  "/root/repo/src/union/union_labels.cc" "src/union/CMakeFiles/ogdp_union.dir/union_labels.cc.o" "gcc" "src/union/CMakeFiles/ogdp_union.dir/union_labels.cc.o.d"
+  "/root/repo/src/union/unionable_finder.cc" "src/union/CMakeFiles/ogdp_union.dir/unionable_finder.cc.o" "gcc" "src/union/CMakeFiles/ogdp_union.dir/unionable_finder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/ogdp_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ogdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/ogdp_csv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

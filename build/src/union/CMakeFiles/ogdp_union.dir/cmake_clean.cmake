@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_union.dir/schema_similarity.cc.o"
+  "CMakeFiles/ogdp_union.dir/schema_similarity.cc.o.d"
+  "CMakeFiles/ogdp_union.dir/union_labels.cc.o"
+  "CMakeFiles/ogdp_union.dir/union_labels.cc.o.d"
+  "CMakeFiles/ogdp_union.dir/unionable_finder.cc.o"
+  "CMakeFiles/ogdp_union.dir/unionable_finder.cc.o.d"
+  "libogdp_union.a"
+  "libogdp_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

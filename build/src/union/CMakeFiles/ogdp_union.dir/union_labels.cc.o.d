@@ -1,0 +1,3 @@
+src/union/CMakeFiles/ogdp_union.dir/union_labels.cc.o: \
+ /root/repo/src/union/union_labels.cc /usr/include/stdc-predef.h \
+ /root/repo/src/union/union_labels.h

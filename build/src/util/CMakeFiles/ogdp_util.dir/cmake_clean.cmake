@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogdp_util.dir/rng.cc.o"
+  "CMakeFiles/ogdp_util.dir/rng.cc.o.d"
+  "CMakeFiles/ogdp_util.dir/status.cc.o"
+  "CMakeFiles/ogdp_util.dir/status.cc.o.d"
+  "CMakeFiles/ogdp_util.dir/string_util.cc.o"
+  "CMakeFiles/ogdp_util.dir/string_util.cc.o.d"
+  "libogdp_util.a"
+  "libogdp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogdp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_suite_test.dir/analysis_suite_test.cc.o"
+  "CMakeFiles/analysis_suite_test.dir/analysis_suite_test.cc.o.d"
+  "analysis_suite_test"
+  "analysis_suite_test.pdb"
+  "analysis_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/fd_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/join_test[1]_include.cmake")
+include("/root/repo/build/tests/union_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/approximate_fd_test[1]_include.cmake")
+include("/root/repo/build/tests/minhash_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/ranker_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_suite_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
