@@ -8,6 +8,7 @@
 
 #include "core/analysis.h"
 #include "corpus/portal_profile.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace ogdp::bench {
@@ -22,15 +23,30 @@ inline double ScaleFromEnv(double fallback = 0.25) {
   return v > 0 ? v : fallback;
 }
 
+/// Thread count used by every reproduction bench: OGDP_BENCH_THREADS if
+/// set (applied to the global pool), else the library default
+/// (OGDP_THREADS or hardware concurrency). Results are identical at any
+/// thread count; only wall-clock changes.
+inline size_t ThreadsFromEnv() {
+  if (const char* env = std::getenv("OGDP_BENCH_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) util::SetGlobalThreadCount(static_cast<size_t>(v));
+  }
+  return util::GlobalThreadCount();
+}
+
 /// Generates and ingests all four portals (SG, CA, UK, US).
 inline std::vector<core::PortalBundle> AllBundles(double scale) {
+  const size_t threads = ThreadsFromEnv();
   std::vector<core::PortalBundle> bundles;
   Stopwatch sw;
   for (const auto& profile : corpus::AllPortalProfiles()) {
     bundles.push_back(core::MakePortalBundle(profile, scale));
   }
-  std::printf("[setup] generated+ingested 4 portals at scale %.2f in %.1fs\n\n",
-              scale, sw.ElapsedSeconds());
+  std::printf(
+      "[setup] generated+ingested 4 portals at scale %.2f with %zu "
+      "thread%s in %.1fs\n\n",
+      scale, threads, threads == 1 ? "" : "s", sw.ElapsedSeconds());
   return bundles;
 }
 

@@ -1,0 +1,150 @@
+// End-to-end four-portal analysis at threads=1 vs threads=N: per-phase
+// wall-clock, speedups, and a determinism check (the rendered analyses
+// must be byte-identical). Emits machine-readable BENCH_parallel.json in
+// the working directory so the perf trajectory is tracked across PRs.
+//
+// Env: OGDP_BENCH_SCALE (default 0.25), OGDP_BENCH_THREADS (default
+// OGDP_THREADS or hardware concurrency).
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/analysis_suite.h"
+
+namespace {
+
+using namespace ogdp;
+
+constexpr const char* kPhaseNames[] = {"setup", "profile", "fd", "join",
+                                       "union"};
+constexpr size_t kNumPhases = sizeof(kPhaseNames) / sizeof(kPhaseNames[0]);
+
+struct RunResult {
+  double phase_seconds[kNumPhases] = {0, 0, 0, 0, 0};
+  double total_seconds = 0;
+  std::string rendered;  // all four portal analyses, for determinism check
+};
+
+// One full pipeline pass over all four portals with per-phase timing.
+// Phases are timed across portals (the bench tracks where the corpus-wide
+// wall-clock goes, not per-portal detail).
+RunResult RunPipeline(double scale) {
+  RunResult run;
+  Stopwatch total;
+  Stopwatch sw;
+
+  std::vector<core::PortalBundle> bundles;
+  for (const auto& profile : corpus::AllPortalProfiles()) {
+    bundles.push_back(core::MakePortalBundle(profile, scale));
+  }
+  run.phase_seconds[0] = sw.ElapsedSeconds();
+
+  for (const auto& bundle : bundles) {
+    core::PortalAnalysis a;
+    a.portal_name = bundle.name;
+
+    sw.Restart();
+    a.size = core::ComputeSizeReport(bundle, /*compress=*/true);
+    a.metadata = core::ComputeMetadataReport(bundle.portal);
+    a.table_sizes = profile::ComputeTableSizeStats(bundle.ingest.tables);
+    a.nulls = profile::ComputeNullStats(bundle.ingest.tables);
+    a.uniqueness = profile::ComputeUniquenessStats(bundle.ingest.tables);
+    run.phase_seconds[1] += sw.ElapsedSeconds();
+
+    sw.Restart();
+    const auto sample = core::SelectFdSample(bundle.ingest.tables);
+    a.keys = core::ComputeKeyReport(bundle.ingest.tables, sample);
+    a.fds = core::ComputeFdReport(bundle.ingest.tables, sample);
+    run.phase_seconds[2] += sw.ElapsedSeconds();
+
+    sw.Restart();
+    join::JoinablePairFinder finder(bundle.ingest.tables);
+    const auto pairs = finder.FindAllPairs();
+    a.joins = core::ComputeJoinReport(bundle.ingest.tables, finder, pairs);
+    a.labeled_joins = core::LabelJoinSample(bundle, finder, pairs, {});
+    run.phase_seconds[3] += sw.ElapsedSeconds();
+
+    sw.Restart();
+    a.unions = core::ComputeUnionReport(bundle, 25);
+    run.phase_seconds[4] += sw.ElapsedSeconds();
+
+    run.rendered += core::RenderPortalAnalysis(a);
+  }
+  run.total_seconds = total.ElapsedSeconds();
+  return run;
+}
+
+double Speedup(double serial, double parallel) {
+  return parallel > 0 ? serial / parallel : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::ScaleFromEnv();
+  const size_t threads = bench::ThreadsFromEnv();
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("[parallel] scale %.2f, %u hardware thread%s, serial baseline "
+              "first\n",
+              scale, hw, hw == 1 ? "" : "s");
+  if (threads > hw) {
+    std::printf("[parallel] note: %zu threads oversubscribe %u core%s; "
+                "speedup will not exceed 1\n",
+                threads, hw, hw == 1 ? "" : "s");
+  }
+  util::SetGlobalThreadCount(1);
+  const RunResult serial = RunPipeline(scale);
+  std::printf("[parallel] serial total %.1fs; now %zu threads\n",
+              serial.total_seconds, threads);
+  util::SetGlobalThreadCount(threads);
+  const RunResult parallel = RunPipeline(scale);
+
+  const bool identical = serial.rendered == parallel.rendered;
+  std::printf("\nPhase timings (all four portals), %zu threads:\n", threads);
+  std::printf("  %-10s %10s %10s %9s\n", "phase", "serial(s)", "parallel(s)",
+              "speedup");
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    std::printf("  %-10s %10.2f %10.2f %8.2fx\n", kPhaseNames[p],
+                serial.phase_seconds[p], parallel.phase_seconds[p],
+                Speedup(serial.phase_seconds[p], parallel.phase_seconds[p]));
+  }
+  std::printf("  %-10s %10.2f %10.2f %8.2fx\n", "total", serial.total_seconds,
+              parallel.total_seconds,
+              Speedup(serial.total_seconds, parallel.total_seconds));
+  std::printf("\nDeterminism: rendered analyses %s between threads=1 and "
+              "threads=%zu\n",
+              identical ? "IDENTICAL" : "DIFFER (BUG)", threads);
+
+  FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"scale\": %.4f,\n  \"threads\": %zu,\n"
+                 "  \"hardware_concurrency\": %u,\n",
+                 scale, threads, hw);
+    std::fprintf(json, "  \"deterministic\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(json, "  \"phases\": {\n");
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      std::fprintf(
+          json,
+          "    \"%s\": {\"serial_s\": %.4f, \"parallel_s\": %.4f, "
+          "\"speedup\": %.3f}%s\n",
+          kPhaseNames[p], serial.phase_seconds[p], parallel.phase_seconds[p],
+          Speedup(serial.phase_seconds[p], parallel.phase_seconds[p]),
+          p + 1 < kNumPhases ? "," : "");
+    }
+    std::fprintf(json, "  },\n");
+    std::fprintf(json,
+                 "  \"total\": {\"serial_s\": %.4f, \"parallel_s\": %.4f, "
+                 "\"speedup\": %.3f}\n}\n",
+                 serial.total_seconds, parallel.total_seconds,
+                 Speedup(serial.total_seconds, parallel.total_seconds));
+    std::fclose(json);
+    std::printf("Wrote BENCH_parallel.json\n");
+  }
+  return identical ? 0 : 1;
+}

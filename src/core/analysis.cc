@@ -9,6 +9,7 @@
 #include "fd/fd_miner.h"
 #include "join/expansion.h"
 #include "stats/descriptive.h"
+#include "util/parallel.h"
 
 namespace ogdp::core {
 
@@ -93,18 +94,48 @@ std::vector<size_t> SelectFdSample(const std::vector<table::Table>& tables,
   return sample;
 }
 
+namespace {
+
+/// Dispatch order for per-table FD work: largest tables first, so one
+/// expensive straggler does not start last. Purely a load-balance choice —
+/// results are merged by sample position, never by completion order.
+std::vector<size_t> BySizeDescending(const std::vector<table::Table>& tables,
+                                     const std::vector<size_t>& sample) {
+  return util::HeavyFirstSchedule(sample.size(), [&](size_t k) {
+    const table::Table& t = tables[sample[k]];
+    return t.num_rows() * t.num_columns();
+  });
+}
+
+}  // namespace
+
 KeyReport ComputeKeyReport(const std::vector<table::Table>& tables,
                            const std::vector<size_t>& sample) {
+  // Per-table outcome: -2 = skipped, -1 = no key of size <= 3, else the
+  // minimum key size. Mined in parallel, folded in sample order.
+  std::vector<int> outcomes(sample.size(), -2);
+  const std::vector<size_t> schedule = BySizeDescending(tables, sample);
+  util::ParallelFor(
+      0, sample.size(),
+      [&](size_t s) {
+        const size_t k = schedule[s];
+        auto keys = fd::FindCandidateKeys(tables[sample[k]], 3);
+        if (!keys.ok()) return;
+        outcomes[k] = keys->min_key_size.has_value()
+                          ? static_cast<int>(*keys->min_key_size)
+                          : -1;
+      },
+      /*grain=*/1);
+
   KeyReport r;
-  for (size_t i : sample) {
-    auto keys = fd::FindCandidateKeys(tables[i], 3);
-    if (!keys.ok()) continue;
+  for (int outcome : outcomes) {
+    if (outcome == -2) continue;
     ++r.total;
-    if (!keys->min_key_size.has_value()) {
+    if (outcome == -1) {
       ++r.none;
-    } else if (*keys->min_key_size == 1) {
+    } else if (outcome == 1) {
       ++r.size1;
-    } else if (*keys->min_key_size == 2) {
+    } else if (outcome == 2) {
       ++r.size2;
     } else {
       ++r.size3;
@@ -115,6 +146,55 @@ KeyReport ComputeKeyReport(const std::vector<table::Table>& tables,
 
 FdReport ComputeFdReport(const std::vector<table::Table>& tables,
                          const std::vector<size_t>& sample, uint64_t seed) {
+  // Mining + decomposition per sampled table is independent work; run it
+  // in parallel (largest tables dispatched first) and fold the per-table
+  // outcomes in sample order so every aggregate — including the order of
+  // decomposition_counts and gains — matches the serial fold exactly.
+  struct TableOutcome {
+    bool mined = false;
+    size_t columns = 0;
+    bool has_fd = false;
+    bool has_lhs1_fd = false;
+    size_t decomp_count = 1;
+    std::vector<size_t> partition_cols;  // only when decomp_count > 1
+    std::vector<double> gains;
+  };
+  std::vector<TableOutcome> outcomes(sample.size());
+  const std::vector<size_t> schedule = BySizeDescending(tables, sample);
+  util::ParallelFor(
+      0, sample.size(),
+      [&](size_t s) {
+        const size_t k = schedule[s];
+        const size_t i = sample[k];
+        const table::Table& t = tables[i];
+        TableOutcome& out = outcomes[k];
+        fd::FdMinerOptions miner;
+        auto mined = fd::MineFun(t, miner);
+        if (!mined.ok()) return;
+        out.mined = true;
+        out.columns = t.num_columns();
+        if (mined->fds.empty()) return;
+        out.has_fd = true;
+        for (const auto& f : mined->fds) {
+          if (fd::SetSize(f.lhs) == 1) {
+            out.has_lhs1_fd = true;
+            break;
+          }
+        }
+        fd::BcnfOptions bcnf;
+        bcnf.seed = seed ^ (i * 0x9e3779b97f4a7c15ULL);
+        auto decomp = fd::DecomposeToBcnf(t, bcnf);
+        if (!decomp.ok()) return;
+        out.decomp_count = decomp->tables.size();
+        if (decomp->tables.size() > 1) {
+          for (const table::Table& sub : decomp->tables) {
+            out.partition_cols.push_back(sub.num_columns());
+          }
+          out.gains = fd::UniquenessGains(t, *decomp);
+        }
+      },
+      /*grain=*/1);
+
   FdReport r;
   double decomp_tables_sum = 0;
   size_t decomposed = 0;
@@ -122,40 +202,22 @@ FdReport ComputeFdReport(const std::vector<table::Table>& tables,
   size_t partition_count = 0;
   std::vector<double> gains;
 
-  for (size_t i : sample) {
-    const table::Table& t = tables[i];
-    fd::FdMinerOptions miner;
-    auto mined = fd::MineFun(t, miner);
-    if (!mined.ok()) continue;
+  for (const TableOutcome& out : outcomes) {
+    if (!out.mined) continue;
     ++r.sample_tables;
-    r.sample_columns += t.num_columns();
-    if (mined->fds.empty()) {
-      r.decomposition_counts.push_back(1);
-      continue;
-    }
+    r.sample_columns += out.columns;
+    r.decomposition_counts.push_back(out.decomp_count);
+    if (!out.has_fd) continue;
     ++r.tables_with_fd;
-    for (const auto& f : mined->fds) {
-      if (fd::SetSize(f.lhs) == 1) {
-        ++r.tables_with_lhs1_fd;
-        break;
-      }
-    }
-    fd::BcnfOptions bcnf;
-    bcnf.seed = seed ^ (i * 0x9e3779b97f4a7c15ULL);
-    auto decomp = fd::DecomposeToBcnf(t, bcnf);
-    if (!decomp.ok()) {
-      r.decomposition_counts.push_back(1);
-      continue;
-    }
-    r.decomposition_counts.push_back(decomp->tables.size());
-    if (decomp->tables.size() > 1) {
+    if (out.has_lhs1_fd) ++r.tables_with_lhs1_fd;
+    if (out.decomp_count > 1) {
       ++decomposed;
-      decomp_tables_sum += static_cast<double>(decomp->tables.size());
-      for (const table::Table& sub : decomp->tables) {
-        partition_cols_sum += static_cast<double>(sub.num_columns());
+      decomp_tables_sum += static_cast<double>(out.decomp_count);
+      for (size_t cols : out.partition_cols) {
+        partition_cols_sum += static_cast<double>(cols);
         ++partition_count;
       }
-      for (double g : fd::UniquenessGains(t, *decomp)) gains.push_back(g);
+      gains.insert(gains.end(), out.gains.begin(), out.gains.end());
     }
   }
   r.avg_cols_per_table =

@@ -81,13 +81,20 @@ std::vector<DatasetLink> DetectSemiNormalizedLinks(
     const std::vector<join::JoinablePair>& pairs, double min_jaccard) {
   std::map<join::ColumnRef, bool> keyness;
   for (const auto& s : finder.column_sets()) keyness[s.ref] = s.is_key;
+  // Columns the finder skipped (below min_unique_values) have no keyness
+  // entry; treat them as non-key explicitly instead of letting
+  // operator[] default-insert false entries into the map.
+  const auto is_key = [&keyness](const join::ColumnRef& ref) {
+    const auto it = keyness.find(ref);
+    return it != keyness.end() && it->second;
+  };
 
   std::vector<DatasetLink> links;
   for (const auto& p : pairs) {
     if (p.jaccard + 1e-12 < min_jaccard) continue;
     const std::string& ds = tables[p.a.table].dataset_id();
     if (ds != tables[p.b.table].dataset_id()) continue;
-    const auto combo = join::CombineKeyness(keyness[p.a], keyness[p.b]);
+    const auto combo = join::CombineKeyness(is_key(p.a), is_key(p.b));
     if (combo == join::KeyCombination::kNonkeyNonkey) continue;
     links.push_back(DatasetLink{p, ds, combo});
   }

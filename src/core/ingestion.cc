@@ -1,76 +1,142 @@
 #include "core/ingestion.h"
 
+#include <optional>
+
 #include "csv/cleaning.h"
 #include "csv/csv_reader.h"
 #include "csv/file_type_detector.h"
 #include "csv/header_inference.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace ogdp::core {
+
+namespace {
+
+// How far a resource made it through the pipeline; mirrors the stage
+// counters in IngestStats.
+enum class Stage {
+  kNotDownloadable,
+  kRejectedNotCsv,
+  kRejectedParse,
+  kRemovedWide,
+  kReadable,
+};
+
+struct ResourceOutcome {
+  Stage stage = Stage::kNotDownloadable;
+  size_t trailing_removed = 0;
+  std::optional<table::Table> table;
+};
+
+// Stages 3-6 for one downloadable resource: sniff, parse, infer header,
+// clean, build the typed table. Pure function of the resource content, so
+// resources can run concurrently.
+ResourceOutcome ProcessResource(const Resource& res, const Dataset& dataset,
+                                const IngestOptions& options) {
+  ResourceOutcome out;
+  // Stage 3: content sniffing — portals frequently serve HTML error
+  // pages or PDFs under a CSV label.
+  if (!csv::FileTypeDetector::LooksLikeCsv(res.content)) {
+    out.stage = Stage::kRejectedNotCsv;
+    return out;
+  }
+
+  // Stage 4-5: header inference + parse.
+  csv::CsvReaderOptions reader_options;
+  auto parsed = csv::CsvReader::ParseString(res.content, reader_options);
+  if (!parsed.ok() || parsed->empty()) {
+    out.stage = Stage::kRejectedParse;
+    return out;
+  }
+  csv::HeaderInferenceOptions header_options;
+  header_options.scan_rows = options.header_scan_rows;
+  csv::HeaderInferenceResult inferred =
+      csv::InferHeader(*parsed, header_options);
+  if (inferred.num_columns == 0) {
+    out.stage = Stage::kRejectedParse;
+    return out;
+  }
+
+  // Stage 6: cleaning — trailing empty columns, then the wide-table
+  // cutoff.
+  out.trailing_removed = csv::RemoveTrailingEmptyColumns(inferred);
+  if (csv::IsTooWide(inferred, options.max_columns)) {
+    out.stage = Stage::kRemovedWide;
+    return out;
+  }
+
+  auto table = table::Table::FromRecords(res.name, inferred.header,
+                                         inferred.rows);
+  if (!table.ok()) {
+    out.stage = Stage::kRejectedParse;
+    return out;
+  }
+  out.stage = Stage::kReadable;
+  table->set_dataset_id(dataset.id);
+  table->set_csv_size_bytes(res.content.size());
+  out.table = std::move(table).value();
+  return out;
+}
+
+}  // namespace
 
 IngestResult IngestPortal(const Portal& portal,
                           const IngestOptions& options) {
   IngestResult result;
   result.stats.total_datasets = portal.datasets.size();
 
+  // Stage 1-2 (format filter + simulated HTTP fetch) are metadata-only;
+  // collect the per-resource jobs serially so stats and output keep the
+  // portal's (dataset, resource) order, then run the expensive stages
+  // (sniff/parse/type) in parallel over the jobs.
+  struct Job {
+    size_t dataset = 0;
+    size_t resource = 0;
+  };
+  std::vector<Job> jobs;
   for (size_t d = 0; d < portal.datasets.size(); ++d) {
     const Dataset& dataset = portal.datasets[d];
     for (size_t r = 0; r < dataset.resources.size(); ++r) {
-      const Resource& res = dataset.resources[r];
-      // Stage 1: the paper selects resources whose *metadata* says CSV.
-      if (ToLower(res.claimed_format) != "csv") continue;
+      if (ToLower(dataset.resources[r].claimed_format) != "csv") continue;
       ++result.stats.total_tables;
-
-      // Stage 2: simulated HTTP fetch.
-      if (!res.downloadable) continue;
+      if (!dataset.resources[r].downloadable) continue;
       ++result.stats.downloadable_tables;
+      jobs.push_back(Job{d, r});
+    }
+  }
 
-      // Stage 3: content sniffing — portals frequently serve HTML error
-      // pages or PDFs under a CSV label.
-      if (!csv::FileTypeDetector::LooksLikeCsv(res.content)) {
+  auto outcomes = util::ParallelMap(jobs.size(), [&](size_t j) {
+    const Dataset& dataset = portal.datasets[jobs[j].dataset];
+    return ProcessResource(dataset.resources[jobs[j].resource], dataset,
+                           options);
+  });
+
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    ResourceOutcome& out = outcomes[j];
+    const Dataset& dataset = portal.datasets[jobs[j].dataset];
+    const Resource& res = dataset.resources[jobs[j].resource];
+    result.stats.trailing_empty_columns_removed += out.trailing_removed;
+    switch (out.stage) {
+      case Stage::kNotDownloadable:
+        break;  // unreachable: jobs only contain downloadable resources
+      case Stage::kRejectedNotCsv:
         ++result.stats.rejected_not_csv;
-        continue;
-      }
-
-      // Stage 4-5: header inference + parse.
-      csv::CsvReaderOptions reader_options;
-      auto parsed = csv::CsvReader::ParseString(res.content, reader_options);
-      if (!parsed.ok() || parsed->empty()) {
+        break;
+      case Stage::kRejectedParse:
         ++result.stats.rejected_parse;
-        continue;
-      }
-      csv::HeaderInferenceOptions header_options;
-      header_options.scan_rows = options.header_scan_rows;
-      csv::HeaderInferenceResult inferred =
-          csv::InferHeader(*parsed, header_options);
-      if (inferred.num_columns == 0) {
-        ++result.stats.rejected_parse;
-        continue;
-      }
-
-      // Stage 6: cleaning — trailing empty columns, then the wide-table
-      // cutoff.
-      result.stats.trailing_empty_columns_removed +=
-          csv::RemoveTrailingEmptyColumns(inferred);
-      if (csv::IsTooWide(inferred, options.max_columns)) {
+        break;
+      case Stage::kRemovedWide:
         ++result.stats.readable_tables;  // readable, but excluded
         ++result.stats.removed_wide_tables;
-        continue;
-      }
-
-      auto table = table::Table::FromRecords(res.name, inferred.header,
-                                             inferred.rows);
-      if (!table.ok()) {
-        ++result.stats.rejected_parse;
-        continue;
-      }
-      ++result.stats.readable_tables;
-      result.stats.total_bytes += res.content.size();
-      table->set_dataset_id(dataset.id);
-      table->set_csv_size_bytes(res.content.size());
-      result.tables.push_back(std::move(table).value());
-      result.provenance.push_back(
-          TableProvenance{d, r, dataset.publication_year});
+        break;
+      case Stage::kReadable:
+        ++result.stats.readable_tables;
+        result.stats.total_bytes += res.content.size();
+        result.tables.push_back(std::move(*out.table));
+        result.provenance.push_back(TableProvenance{
+            jobs[j].dataset, jobs[j].resource, dataset.publication_year});
+        break;
     }
   }
   return result;

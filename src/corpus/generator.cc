@@ -11,6 +11,7 @@
 #include "corpus/domains.h"
 #include "corpus/table_synth.h"
 #include "util/hash.h"
+#include "util/parallel.h"
 
 namespace ogdp::corpus {
 
@@ -34,7 +35,7 @@ constexpr size_t kNumMeasureNames =
 // constructs one per call.
 class Builder {
  public:
-  Builder(const PortalProfile& profile, double scale)
+  Builder(const PortalProfile& profile, double /*scale*/)
       : profile_(profile),
         rng_(profile.seed ^ 0x09dfULL),
         domains_(profile.seed) {
@@ -42,6 +43,13 @@ class Builder {
   }
 
   GeneratedPortal Run(size_t num_datasets) {
+    BuildDatasets(num_datasets);
+    SerializePending();
+    return GeneratedPortal{std::move(portal_), std::move(truth_)};
+  }
+
+ private:
+  void BuildDatasets(size_t num_datasets) {
     for (size_t i = 0; i < num_datasets; ++i) {
       // Zipf-skewed topics: real portals are dominated by a few domains,
       // which is what makes related-but-accidental (R-Acc) overlaps common.
@@ -76,10 +84,23 @@ class Builder {
           break;
       }
     }
-    return GeneratedPortal{std::move(portal_), std::move(truth_)};
   }
 
- private:
+  // Serializes every published table to CSV bytes. All randomness was
+  // drawn in BuildDatasets, so serialization is a pure per-table function
+  // and runs in parallel without affecting the generated corpus.
+  void SerializePending() {
+    util::ParallelFor(0, pending_csv_.size(), [&](size_t i) {
+      PendingCsv& p = pending_csv_[i];
+      std::string csv = p.table.ToCsv();
+      if (p.trailing > 0) csv = AppendTrailingEmptyColumns(csv, p.trailing);
+      portal_.datasets[p.dataset].resources[p.resource].content =
+          std::move(csv);
+      p.table = SynthTable();  // release cells eagerly
+    });
+    pending_csv_.clear();
+  }
+
   enum class Style {
     kPrejoined,
     kSemiNormalized,
@@ -186,6 +207,7 @@ class Builder {
     res.name = table.name;
     res.claimed_format = "CSV";
     res.downloadable = rng_.NextBool(profile_.downloadable_rate);
+    bool defer_csv = false;
     if (res.downloadable) {
       if (rng_.NextBool(profile_.non_csv_content_rate)) {
         res.content =
@@ -193,9 +215,10 @@ class Builder {
             "<p>The resource you requested is unavailable.</p>"
             "</body></html>";
       } else {
-        std::string csv = table.ToCsv();
-        if (trailing > 0) csv = AppendTrailingEmptyColumns(csv, trailing);
-        res.content = std::move(csv);
+        // CSV bytes are produced later, in parallel (SerializePending);
+        // only the rng draws and truth registration stay in this
+        // sequential path so the corpus is identical at any thread count.
+        defer_csv = true;
 
         TableTruth truth;
         truth.dataset_id = ds.id;
@@ -210,7 +233,14 @@ class Builder {
         truth_.AddTable(std::move(truth));
       }
     }
+    const size_t dataset_index =
+        static_cast<size_t>(&ds - portal_.datasets.data());
+    const size_t resource_index = ds.resources.size();
     ds.resources.push_back(std::move(res));
+    if (defer_csv) {
+      pending_csv_.push_back(PendingCsv{dataset_index, resource_index,
+                                        trailing, std::move(table)});
+    }
   }
 
   // Adds `n` blank trailing fields to every CSV line, reproducing the
@@ -1046,6 +1076,13 @@ class Builder {
     std::string topic;
     int group = -1;
   };
+  // A published table awaiting CSV serialization (see SerializePending).
+  struct PendingCsv {
+    size_t dataset = 0;
+    size_t resource = 0;
+    size_t trailing = 0;
+    SynthTable table;
+  };
 
   const PortalProfile& profile_;
   Rng rng_;
@@ -1058,6 +1095,7 @@ class Builder {
   size_t churn_seq_ = 0;
   std::optional<EventPlan> event_;
   std::vector<DuplicateFamily> duplicates_;
+  std::vector<PendingCsv> pending_csv_;
 };
 
 }  // namespace

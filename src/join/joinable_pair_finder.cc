@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/parallel.h"
+
 namespace ogdp::join {
 
 double JaccardSorted(const std::vector<uint32_t>& a,
@@ -31,12 +33,28 @@ size_t OverlapSorted(const std::vector<uint32_t>& a,
   return inter;
 }
 
+namespace {
+
+/// Prefix length |x| - ceil(t*|x|) + 1: any partner with J >= t shares a
+/// token inside this prefix under the shared rarity order.
+size_t PrefixLength(size_t n, double t) {
+  const size_t required =
+      static_cast<size_t>(std::ceil(t * static_cast<double>(n) - 1e-9));
+  return n - std::min(n, required) + 1;
+}
+
+}  // namespace
+
 JoinablePairFinder::JoinablePairFinder(const std::vector<table::Table>& tables,
                                        const JoinFinderOptions& options)
     : options_(options) {
-  // Pass 1: tokenize all eligible columns into a corpus-wide dictionary and
-  // collect per-column distinct ids with multiplicities.
-  std::vector<uint64_t> token_df;  // #columns containing each global id
+  // Pass 1a (serial): list the eligible columns in corpus order and size
+  // the per-column profiles.
+  struct Prep {
+    const table::Column* col = nullptr;
+    std::vector<uint32_t> mult;  // multiplicity per local dictionary code
+  };
+  std::vector<Prep> preps;
   for (size_t t = 0; t < tables.size(); ++t) {
     const table::Table& tab = tables[t];
     for (size_t c = 0; c < tab.num_columns(); ++c) {
@@ -47,27 +65,39 @@ JoinablePairFinder::JoinablePairFinder(const std::vector<table::Table>& tables,
       set.is_key = col.IsKey();
       set.type = col.type();
       set.table_rows = tab.num_rows();
-
-      std::vector<uint32_t> local_to_global(col.distinct_count());
-      for (uint32_t d = 0; d < col.distinct_count(); ++d) {
-        const std::string& value = col.dict_value(d);
-        auto [it, inserted] = dictionary_.try_emplace(
-            value, static_cast<uint32_t>(dictionary_.size()));
-        local_to_global[d] = it->second;
-        if (inserted) token_df.push_back(0);
-        ++token_df[it->second];
-      }
-      std::vector<uint32_t> mult(col.distinct_count(), 0);
-      for (uint32_t code : col.codes()) {
-        if (code != table::Column::kNullCode) ++mult[code];
-      }
-      set.frequencies.reserve(col.distinct_count());
-      set.tokens.reserve(col.distinct_count());
-      for (uint32_t d = 0; d < col.distinct_count(); ++d) {
-        set.frequencies.emplace_back(local_to_global[d], mult[d]);
-        set.tokens.push_back(local_to_global[d]);
-      }
       sets_.push_back(std::move(set));
+      preps.push_back(Prep{&col, {}});
+    }
+  }
+
+  // Pass 1b (parallel): count per-column value multiplicities — the
+  // O(rows) part of tokenization, independent per column.
+  util::ParallelFor(0, preps.size(), [&](size_t s) {
+    const table::Column& col = *preps[s].col;
+    preps[s].mult.assign(col.distinct_count(), 0);
+    for (uint32_t code : col.codes()) {
+      if (code != table::Column::kNullCode) ++preps[s].mult[code];
+    }
+  });
+
+  // Pass 1c (serial): merge every column's distinct values into the
+  // corpus-wide dictionary in column order. Insertion order defines the
+  // provisional global ids (and the rarity tie-break below), so this merge
+  // stays sequential to keep ids identical at any thread count.
+  std::vector<uint64_t> token_df;  // #columns containing each global id
+  for (size_t s = 0; s < sets_.size(); ++s) {
+    const table::Column& col = *preps[s].col;
+    ColumnValueSet& set = sets_[s];
+    set.frequencies.reserve(col.distinct_count());
+    set.tokens.reserve(col.distinct_count());
+    for (uint32_t d = 0; d < col.distinct_count(); ++d) {
+      const std::string& value = col.dict_value(d);
+      auto [it, inserted] = dictionary_.try_emplace(
+          value, static_cast<uint32_t>(dictionary_.size()));
+      if (inserted) token_df.push_back(0);
+      ++token_df[it->second];
+      set.frequencies.emplace_back(it->second, preps[s].mult[d]);
+      set.tokens.push_back(it->second);
     }
   }
 
@@ -86,12 +116,13 @@ JoinablePairFinder::JoinablePairFinder(const std::vector<table::Table>& tables,
     remap[by_rarity[rank]] = rank;
   }
   for (auto& [value, id] : dictionary_) id = remap[id];
-  for (ColumnValueSet& set : sets_) {
+  util::ParallelFor(0, sets_.size(), [&](size_t s) {
+    ColumnValueSet& set = sets_[s];
     for (uint32_t& tok : set.tokens) tok = remap[tok];
     std::sort(set.tokens.begin(), set.tokens.end());
     for (auto& [id, mult] : set.frequencies) id = remap[id];
     std::sort(set.frequencies.begin(), set.frequencies.end());
-  }
+  });
 }
 
 bool JoinablePairFinder::Eligible(const ColumnValueSet& x,
@@ -102,70 +133,92 @@ bool JoinablePairFinder::Eligible(const ColumnValueSet& x,
 std::vector<JoinablePair> JoinablePairFinder::FindAllPairs() const {
   const double t = options_.jaccard_threshold;
 
-  // Process sets in ascending size; a probing set then only meets
-  // already-indexed sets that are no larger, so only the lower size bound
-  // |indexed| >= t * |probe| needs checking.
+  // Rank sets by ascending size (ties by index): a probing set only meets
+  // lower-ranked sets, so each unordered pair is examined exactly once and
+  // only the lower size bound |other| >= t * |probe| needs checking.
   std::vector<size_t> order(sets_.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return sets_[a].tokens.size() < sets_[b].tokens.size();
+    if (sets_[a].tokens.size() != sets_[b].tokens.size()) {
+      return sets_[a].tokens.size() < sets_[b].tokens.size();
+    }
+    return a < b;
   });
-
-  // Inverted index over prefix tokens: token -> set indices (into sets_).
-  std::unordered_map<uint32_t, std::vector<size_t>> index;
-  std::vector<JoinablePair> pairs;
-  std::vector<size_t> candidates;
-  std::vector<uint8_t> marked(sets_.size(), 0);
-
+  std::vector<size_t> rank_of(sets_.size());
   for (size_t rank = 0; rank < order.size(); ++rank) {
-    const size_t self = order[rank];
-    const ColumnValueSet& probe = sets_[self];
-    const size_t n = probe.tokens.size();
-    if (n == 0) continue;
-    // Prefix length |x| - ceil(t*|x|) + 1: any partner with J >= t shares
-    // a token inside this prefix under the shared rarity order.
-    const size_t required = static_cast<size_t>(
-        std::ceil(t * static_cast<double>(n) - 1e-9));
-    const size_t prefix = n - std::min(n, required) + 1;
+    rank_of[order[rank]] = rank;
+  }
 
-    candidates.clear();
+  // Inverted index over prefix tokens: token -> set indices, ascending by
+  // rank (built in rank order), so a probe can stop scanning a posting
+  // list at the first entry ranked at or above itself. Building the full
+  // index up front (instead of interleaving indexing with probing) makes
+  // every probe independent: probes then verify in parallel.
+  std::unordered_map<uint32_t, std::vector<size_t>> index;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const ColumnValueSet& set = sets_[order[rank]];
+    const size_t n = set.tokens.size();
+    if (n == 0) continue;
+    const size_t prefix = PrefixLength(n, t);
     for (size_t p = 0; p < prefix; ++p) {
-      auto it = index.find(probe.tokens[p]);
-      if (it == index.end()) continue;
-      for (size_t cand : it->second) {
-        if (!marked[cand]) {
-          marked[cand] = 1;
-          candidates.push_back(cand);
-        }
-      }
-    }
-    for (size_t cand : candidates) {
-      marked[cand] = 0;
-      const ColumnValueSet& other = sets_[cand];
-      if (!Eligible(probe, other)) continue;
-      if (static_cast<double>(other.tokens.size()) <
-          t * static_cast<double>(n) - 1e-9) {
-        continue;  // too small to reach the threshold
-      }
-      const size_t inter = OverlapSorted(probe.tokens, other.tokens);
-      const size_t uni = n + other.tokens.size() - inter;
-      const double j =
-          uni == 0 ? 0.0
-                   : static_cast<double>(inter) / static_cast<double>(uni);
-      if (j + 1e-12 >= t) {
-        JoinablePair pair;
-        pair.a = std::min(probe.ref, other.ref);
-        pair.b = std::max(probe.ref, other.ref);
-        pair.jaccard = j;
-        pair.overlap = inter;
-        pairs.push_back(pair);
-      }
-    }
-    for (size_t p = 0; p < prefix; ++p) {
-      index[probe.tokens[p]].push_back(self);
+      index[set.tokens[p]].push_back(order[rank]);
     }
   }
 
+  // Probe in parallel. Each rank produces its own pair list; chunks share
+  // candidate scratch. The final (a, b) sort canonicalizes the
+  // concatenation order, so the output is byte-identical at any thread
+  // count (pair records never depend on which side probed).
+  std::vector<std::vector<JoinablePair>> found(order.size());
+  util::ParallelForChunks(0, order.size(), [&](size_t lo, size_t hi) {
+    std::vector<size_t> candidates;
+    std::vector<uint8_t> marked(sets_.size(), 0);
+    for (size_t rank = lo; rank < hi; ++rank) {
+      const size_t self = order[rank];
+      const ColumnValueSet& probe = sets_[self];
+      const size_t n = probe.tokens.size();
+      if (n == 0) continue;
+      const size_t prefix = PrefixLength(n, t);
+
+      candidates.clear();
+      for (size_t p = 0; p < prefix; ++p) {
+        auto it = index.find(probe.tokens[p]);
+        if (it == index.end()) continue;
+        for (size_t cand : it->second) {
+          if (rank_of[cand] >= rank) break;  // posting lists ascend by rank
+          if (!marked[cand]) {
+            marked[cand] = 1;
+            candidates.push_back(cand);
+          }
+        }
+      }
+      for (size_t cand : candidates) {
+        marked[cand] = 0;
+        const ColumnValueSet& other = sets_[cand];
+        if (!Eligible(probe, other)) continue;
+        if (static_cast<double>(other.tokens.size()) <
+            t * static_cast<double>(n) - 1e-9) {
+          continue;  // too small to reach the threshold
+        }
+        const size_t inter = OverlapSorted(probe.tokens, other.tokens);
+        const size_t uni = n + other.tokens.size() - inter;
+        const double j =
+            uni == 0 ? 0.0
+                     : static_cast<double>(inter) / static_cast<double>(uni);
+        if (j + 1e-12 >= t) {
+          JoinablePair pair;
+          pair.a = std::min(probe.ref, other.ref);
+          pair.b = std::max(probe.ref, other.ref);
+          pair.jaccard = j;
+          pair.overlap = inter;
+          found[rank].push_back(pair);
+        }
+      }
+    }
+  });
+
+  std::vector<JoinablePair> pairs;
+  for (const auto& f : found) pairs.insert(pairs.end(), f.begin(), f.end());
   std::sort(pairs.begin(), pairs.end(),
             [](const JoinablePair& x, const JoinablePair& y) {
               if (x.a != y.a) return x.a < y.a;

@@ -3,40 +3,63 @@
 #include <algorithm>
 
 #include "table/data_type.h"
+#include "util/parallel.h"
 
 namespace ogdp::profile {
 
 TableSizeStats ComputeTableSizeStats(
     const std::vector<table::Table>& tables) {
   TableSizeStats s;
-  s.rows_per_table.reserve(tables.size());
-  s.cols_per_table.reserve(tables.size());
-  for (const table::Table& t : tables) {
-    s.rows_per_table.push_back(static_cast<double>(t.num_rows()));
-    s.cols_per_table.push_back(static_cast<double>(t.num_columns()));
-  }
+  s.rows_per_table.resize(tables.size());
+  s.cols_per_table.resize(tables.size());
+  util::ParallelFor(0, tables.size(), [&](size_t i) {
+    s.rows_per_table[i] = static_cast<double>(tables[i].num_rows());
+    s.cols_per_table[i] = static_cast<double>(tables[i].num_columns());
+  });
   s.rows = stats::Summarize(s.rows_per_table);
   s.cols = stats::Summarize(s.cols_per_table);
   return s;
 }
 
 NullStats ComputeNullStats(const std::vector<table::Table>& tables) {
-  NullStats s;
-  for (const table::Table& t : tables) {
+  // Per-table partials computed in parallel, folded in table order so the
+  // ratio vectors are laid out exactly as a serial scan would produce.
+  struct TablePartial {
+    std::vector<double> ratios;
+    double avg = 0;
+    size_t with_nulls = 0;
+    size_t half_empty = 0;
+    size_t all_null = 0;
+  };
+  const auto partials = util::ParallelMap(tables.size(), [&](size_t i) {
+    TablePartial p;
+    const table::Table& t = tables[i];
+    p.ratios.reserve(t.num_columns());
     double table_sum = 0;
     for (const table::Column& c : t.columns()) {
       const double ratio = c.NullRatio();
-      s.column_null_ratios.push_back(ratio);
+      p.ratios.push_back(ratio);
       table_sum += ratio;
-      ++s.total_columns;
-      if (c.null_count() > 0) ++s.columns_with_nulls;
-      if (ratio > 0.5) ++s.columns_half_empty;
-      if (c.size() > 0 && c.null_count() == c.size()) ++s.columns_all_null;
+      if (c.null_count() > 0) ++p.with_nulls;
+      if (ratio > 0.5) ++p.half_empty;
+      if (c.size() > 0 && c.null_count() == c.size()) ++p.all_null;
     }
     if (t.num_columns() > 0) {
-      s.table_avg_null_ratios.push_back(
-          table_sum / static_cast<double>(t.num_columns()));
+      p.avg = table_sum / static_cast<double>(t.num_columns());
     }
+    return p;
+  });
+
+  NullStats s;
+  for (size_t i = 0; i < partials.size(); ++i) {
+    const TablePartial& p = partials[i];
+    s.column_null_ratios.insert(s.column_null_ratios.end(), p.ratios.begin(),
+                                p.ratios.end());
+    s.total_columns += p.ratios.size();
+    s.columns_with_nulls += p.with_nulls;
+    s.columns_half_empty += p.half_empty;
+    s.columns_all_null += p.all_null;
+    if (tables[i].num_columns() > 0) s.table_avg_null_ratios.push_back(p.avg);
   }
   return s;
 }
@@ -62,29 +85,48 @@ UniquenessGroup SummarizeGroup(std::vector<double> uniques,
 
 UniquenessStats ComputeUniquenessStats(
     const std::vector<table::Table>& tables) {
+  // Same fan-out/ordered-fold pattern as ComputeNullStats: the per-column
+  // vectors must keep serial (table, column) order for the summaries to be
+  // byte-identical at any thread count.
+  struct TablePartial {
+    std::vector<double> uniques, scores;
+    std::vector<bool> numeric;  // per column: numeric vs text group
+    size_t below_01 = 0;
+    bool has_key = false;
+  };
+  const auto partials = util::ParallelMap(tables.size(), [&](size_t i) {
+    TablePartial p;
+    const table::Table& t = tables[i];
+    p.uniques.reserve(t.num_columns());
+    for (const table::Column& c : t.columns()) {
+      p.uniques.push_back(static_cast<double>(c.distinct_count()));
+      p.scores.push_back(c.UniquenessScore());
+      p.numeric.push_back(table::IsNumericType(c.type()));
+      if (p.scores.back() < 0.1) ++p.below_01;
+      if (c.IsKey()) p.has_key = true;
+    }
+    return p;
+  });
+
   UniquenessStats s;
   std::vector<double> text_uniques, text_scores;
   std::vector<double> num_uniques, num_scores;
   size_t below_01 = 0;
   size_t tables_with_key = 0;
-  for (const table::Table& t : tables) {
-    bool has_key = false;
-    for (const table::Column& c : t.columns()) {
-      const double unique = static_cast<double>(c.distinct_count());
-      const double score = c.UniquenessScore();
-      s.unique_counts.push_back(unique);
-      s.scores.push_back(score);
-      if (score < 0.1) ++below_01;
-      if (c.IsKey()) has_key = true;
-      if (table::IsNumericType(c.type())) {
-        num_uniques.push_back(unique);
-        num_scores.push_back(score);
+  for (const TablePartial& p : partials) {
+    for (size_t c = 0; c < p.uniques.size(); ++c) {
+      s.unique_counts.push_back(p.uniques[c]);
+      s.scores.push_back(p.scores[c]);
+      if (p.numeric[c]) {
+        num_uniques.push_back(p.uniques[c]);
+        num_scores.push_back(p.scores[c]);
       } else {
-        text_uniques.push_back(unique);
-        text_scores.push_back(score);
+        text_uniques.push_back(p.uniques[c]);
+        text_scores.push_back(p.scores[c]);
       }
     }
-    if (has_key) ++tables_with_key;
+    below_01 += p.below_01;
+    if (p.has_key) ++tables_with_key;
   }
   s.text = SummarizeGroup(std::move(text_uniques), std::move(text_scores));
   s.number = SummarizeGroup(std::move(num_uniques), std::move(num_scores));

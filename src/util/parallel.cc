@@ -1,0 +1,142 @@
+#include "util/parallel.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace ogdp::util {
+
+namespace {
+
+std::atomic<size_t> g_thread_override{0};
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+size_t ConfiguredThreadCount() {
+  if (const char* env = std::getenv("OGDP_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+size_t GlobalThreadCount() {
+  const size_t o = g_thread_override.load(std::memory_order_relaxed);
+  return o != 0 ? o : ConfiguredThreadCount();
+}
+
+void SetGlobalThreadCount(size_t threads) {
+  g_thread_override.store(threads, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+ThreadPool& ThreadPool::Global() {
+  static std::mutex mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mutex);
+  const size_t want = GlobalThreadCount();
+  if (pool == nullptr || pool->thread_count() != want) {
+    pool.reset();  // join the old workers before spawning new ones
+    pool = std::make_unique<ThreadPool>(want);
+  }
+  return *pool;
+}
+
+void ThreadPool::DrainBatch(Batch& batch) {
+  while (true) {
+    const size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.num_tasks) return;
+    if (batch.failed.load(std::memory_order_relaxed)) continue;
+    try {
+      (*batch.task)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (batch.error == nullptr || i < batch.error_index) {
+        batch.error_index = i;
+        batch.error = std::current_exception();
+      }
+      batch.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return stop_ ||
+             (batch_ != nullptr &&
+              batch_->next.load(std::memory_order_relaxed) <
+                  batch_->num_tasks);
+    });
+    if (stop_) return;
+    Batch* batch = batch_;
+    batch->active_workers.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    DrainBatch(*batch);
+    lock.lock();
+    if (batch->active_workers.fetch_sub(1, std::memory_order_relaxed) == 1) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunTasks(size_t num_tasks,
+                          const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1 || OnWorkerThread()) {
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  Batch batch;
+  batch.task = &task;
+  batch.num_tasks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+  // The caller drains its own batch, so while doing that it is a pool
+  // thread for nesting purposes: a nested RunTasks issued from one of its
+  // tasks must run inline rather than re-enter run_mutex_ and deadlock.
+  t_on_worker_thread = true;
+  DrainBatch(batch);  // never throws; errors land in batch.error
+  t_on_worker_thread = false;
+  {
+    // Workers only exit DrainBatch once every index is claimed and their
+    // own claimed indices have run, so active_workers == 0 (checked under
+    // the mutex) means the batch is complete and no worker still holds a
+    // reference to it.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&batch] {
+      return batch.active_workers.load(std::memory_order_relaxed) == 0;
+    });
+    batch_ = nullptr;
+  }
+  if (batch.error != nullptr) std::rethrow_exception(batch.error);
+}
+
+}  // namespace ogdp::util

@@ -1,0 +1,168 @@
+#ifndef OGDP_UTIL_PARALLEL_H_
+#define OGDP_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ogdp::util {
+
+/// Thread count from the environment: OGDP_THREADS if set to a positive
+/// integer, otherwise std::thread::hardware_concurrency() (minimum 1).
+size_t ConfiguredThreadCount();
+
+/// The thread count every ParallelFor/ParallelMap call uses. Defaults to
+/// ConfiguredThreadCount(); overridable at runtime with
+/// SetGlobalThreadCount (tests, benches).
+size_t GlobalThreadCount();
+
+/// Overrides the global thread count (0 resets to ConfiguredThreadCount).
+/// Not safe to call concurrently with running parallel work.
+void SetGlobalThreadCount(size_t threads);
+
+/// A fixed-size pool of worker threads executing indexed task batches.
+///
+/// One batch runs at a time (concurrent RunTasks calls from distinct
+/// threads serialize); the calling thread participates in execution, so a
+/// pool constructed with `threads == n` applies n-way parallelism with
+/// n - 1 workers. Nested RunTasks calls from inside a worker run the batch
+/// inline on the worker (no deadlock, no oversubscription).
+class ThreadPool {
+ public:
+  /// Creates `threads - 1` workers (`threads == 1` means no workers and
+  /// every batch runs inline on the caller).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width including the calling thread.
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs task(i) for every i in [0, num_tasks), distributing indices
+  /// dynamically over the workers plus the calling thread; blocks until
+  /// all indices finish. If any task throws, remaining indices may be
+  /// skipped and the exception with the lowest index among those that ran
+  /// is rethrown on the caller.
+  void RunTasks(size_t num_tasks, const std::function<void(size_t)>& task);
+
+  /// True when called from one of this process's pool worker threads.
+  static bool OnWorkerThread();
+
+  /// Process-wide pool sized to GlobalThreadCount(); lazily (re)built when
+  /// the configured count changes.
+  static ThreadPool& Global();
+
+ private:
+  struct Batch {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t num_tasks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> active_workers{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    size_t error_index = 0;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  static void DrainBatch(Batch& batch);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a batch has runnable work
+  std::condition_variable done_cv_;  // caller: all workers left the batch
+  Batch* batch_ = nullptr;
+  bool stop_ = false;
+  std::mutex run_mutex_;  // serializes RunTasks callers
+  std::vector<std::thread> workers_;
+};
+
+/// Calls fn(i) for every i in [begin, end), in parallel over the global
+/// pool. Work is handed out in contiguous chunks of `grain` indices
+/// (grain == 0 picks a chunk size that yields several chunks per thread;
+/// pass 1 for expensive, uneven tasks). Runs serially — in index order —
+/// when the global thread count is 1, the range has one element, or the
+/// caller is already a pool worker (nested parallelism).
+///
+/// fn must be safe to invoke concurrently on distinct indices. Writes to
+/// disjoint, pre-sized slots are the deterministic merge pattern; see
+/// ParallelMap.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t grain = 0) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  const size_t threads = GlobalThreadCount();
+  if (threads <= 1 || n == 1 || ThreadPool::OnWorkerThread()) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  if (grain == 0) grain = std::max<size_t>(1, n / (threads * 8));
+  const size_t chunks = (n + grain - 1) / grain;
+  ThreadPool::Global().RunTasks(chunks, [&](size_t c) {
+    const size_t lo = begin + c * grain;
+    const size_t hi = std::min(end, lo + grain);
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// Like ParallelFor but hands fn whole index ranges: fn(lo, hi) with
+/// [lo, hi) ⊆ [begin, end). Use when each chunk needs its own scratch
+/// state (allocate once per chunk instead of once per index).
+template <typename Fn>
+void ParallelForChunks(size_t begin, size_t end, Fn&& fn, size_t grain = 0) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  const size_t threads = GlobalThreadCount();
+  if (threads <= 1 || ThreadPool::OnWorkerThread()) {
+    fn(begin, end);
+    return;
+  }
+  if (grain == 0) grain = std::max<size_t>(1, n / (threads * 8));
+  const size_t chunks = (n + grain - 1) / grain;
+  ThreadPool::Global().RunTasks(chunks, [&](size_t c) {
+    const size_t lo = begin + c * grain;
+    const size_t hi = std::min(end, lo + grain);
+    fn(lo, hi);
+  });
+}
+
+/// Maps i -> fn(i) over [0, n) in parallel and returns the results in
+/// index order — the deterministic fan-out/merge building block: compute
+/// per-item partials concurrently, then fold them serially in input
+/// order. The result type must be default-constructible and movable.
+template <typename Fn>
+auto ParallelMap(size_t n, Fn&& fn, size_t grain = 0) {
+  using R = std::decay_t<decltype(fn(size_t{0}))>;
+  std::vector<R> out(n);
+  ParallelFor(
+      0, n, [&](size_t i) { out[i] = fn(i); }, grain);
+  return out;
+}
+
+/// A dispatch order for ParallelFor(..., grain = 1) that starts the most
+/// expensive items first: returns a permutation of [0, n) sorted by
+/// descending cost(i), ties broken by ascending index. Scheduling order
+/// never affects results (each index writes its own slot), only load
+/// balance.
+template <typename CostFn>
+std::vector<size_t> HeavyFirstSchedule(size_t n, CostFn&& cost) {
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const auto ca = cost(a), cb = cost(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace ogdp::util
+
+#endif  // OGDP_UTIL_PARALLEL_H_

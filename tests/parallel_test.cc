@@ -1,0 +1,193 @@
+// Tests for the ogdp::util concurrency primitives (ThreadPool,
+// ParallelFor, ParallelMap) and for the determinism guarantee of the
+// parallelized analysis pipeline: every parallel path must produce
+// byte-identical results at any thread count.
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analysis_suite.h"
+#include "corpus/portal_profile.h"
+#include "join/joinable_pair_finder.h"
+#include "util/parallel.h"
+
+namespace ogdp {
+namespace {
+
+// Restores the global thread count after each test so test order never
+// matters.
+class ParallelTest : public ::testing::Test {
+ protected:
+  ~ParallelTest() override { util::SetGlobalThreadCount(0); }
+};
+
+TEST_F(ParallelTest, ThreadPoolRunsEveryTaskOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> runs(1000);
+  pool.RunTasks(runs.size(),
+                [&](size_t i) { runs[i].fetch_add(1, std::memory_order_relaxed); });
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST_F(ParallelTest, ThreadPoolZeroTasksIsANoOp) {
+  util::ThreadPool pool(4);
+  pool.RunTasks(0, [&](size_t) { FAIL() << "task ran for empty batch"; });
+}
+
+TEST_F(ParallelTest, ThreadPoolSingleThreadRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<int> order;
+  pool.RunTasks(5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(ParallelTest, ThreadPoolReusableAcrossBatches) {
+  util::ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    pool.RunTasks(64, [&](size_t i) {
+      sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST_F(ParallelTest, ParallelForEmptyRange) {
+  util::SetGlobalThreadCount(4);
+  bool ran = false;
+  util::ParallelFor(5, 5, [&](size_t) { ran = true; });
+  util::ParallelFor(7, 3, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST_F(ParallelTest, ParallelForCoversRangeExactlyOnce) {
+  util::SetGlobalThreadCount(8);
+  std::vector<std::atomic<int>> runs(10000);
+  util::ParallelFor(0, runs.size(), [&](size_t i) {
+    runs[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& r : runs) ASSERT_EQ(r.load(), 1);
+}
+
+TEST_F(ParallelTest, ParallelForSerialWhenOneThread) {
+  util::SetGlobalThreadCount(1);
+  std::vector<size_t> order;  // no synchronization: must run on the caller
+  util::ParallelFor(3, 8, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{3, 4, 5, 6, 7}));
+}
+
+TEST_F(ParallelTest, ParallelForPropagatesExceptions) {
+  util::SetGlobalThreadCount(4);
+  EXPECT_THROW(
+      util::ParallelFor(
+          0, 256,
+          [](size_t i) {
+            if (i == 97) throw std::runtime_error("boom");
+          },
+          /*grain=*/1),
+      std::runtime_error);
+}
+
+TEST_F(ParallelTest, ParallelForNestedFallsBackToSerial) {
+  util::SetGlobalThreadCount(4);
+  std::vector<std::atomic<int>> cells(32 * 32);
+  util::ParallelFor(0, 32, [&](size_t i) {
+    util::ParallelFor(0, 32, [&](size_t j) {
+      cells[i * 32 + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (const auto& c : cells) ASSERT_EQ(c.load(), 1);
+}
+
+TEST_F(ParallelTest, ParallelForChunksCoverRange) {
+  util::SetGlobalThreadCount(4);
+  std::vector<std::atomic<int>> runs(5000);
+  util::ParallelForChunks(0, runs.size(), [&](size_t lo, size_t hi) {
+    ASSERT_LT(lo, hi);
+    for (size_t i = lo; i < hi; ++i) {
+      runs[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& r : runs) ASSERT_EQ(r.load(), 1);
+}
+
+TEST_F(ParallelTest, ParallelMapReturnsResultsInIndexOrder) {
+  util::SetGlobalThreadCount(8);
+  const auto out =
+      util::ParallelMap(1000, [](size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 1000u);
+  for (size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST_F(ParallelTest, HeavyFirstScheduleIsAPermutationSortedByCost) {
+  const std::vector<int> cost = {3, 9, 1, 9, 5};
+  const auto order =
+      util::HeavyFirstSchedule(cost.size(), [&](size_t i) { return cost[i]; });
+  EXPECT_EQ(order, (std::vector<size_t>{1, 3, 4, 0, 2}));
+}
+
+TEST_F(ParallelTest, GlobalThreadCountOverride) {
+  util::SetGlobalThreadCount(3);
+  EXPECT_EQ(util::GlobalThreadCount(), 3u);
+  util::SetGlobalThreadCount(0);
+  EXPECT_EQ(util::GlobalThreadCount(), util::ConfiguredThreadCount());
+  EXPECT_GE(util::ConfiguredThreadCount(), 1u);
+}
+
+// ------------------------------------------------------------ determinism
+
+// The full pipeline on a small corpus must produce identical output at 1,
+// 2, and 8 threads: same generated portal, same rendered analysis, same
+// joinable pairs, same token profiles.
+TEST_F(ParallelTest, FullAnalysisIsByteIdenticalAcrossThreadCounts) {
+  struct Snapshot {
+    std::string rendered;
+    std::vector<join::JoinablePair> pairs;
+    std::vector<std::vector<uint32_t>> tokens;
+    size_t dictionary_size = 0;
+  };
+  auto snapshot = [](size_t threads) {
+    util::SetGlobalThreadCount(threads);
+    const core::PortalBundle bundle =
+        core::MakePortalBundle(corpus::CaPortalProfile(), /*scale=*/0.05);
+    core::AnalysisSuiteOptions options;
+    options.compress = true;
+    Snapshot s;
+    s.rendered = core::RenderPortalAnalysis(RunFullAnalysis(bundle, options));
+    join::JoinablePairFinder finder(bundle.ingest.tables);
+    s.pairs = finder.FindAllPairs();
+    for (const auto& set : finder.column_sets()) s.tokens.push_back(set.tokens);
+    s.dictionary_size = finder.dictionary_size();
+    return s;
+  };
+
+  const Snapshot serial = snapshot(1);
+  EXPECT_FALSE(serial.rendered.empty());
+  for (size_t threads : {2u, 8u}) {
+    const Snapshot parallel = snapshot(threads);
+    EXPECT_EQ(serial.rendered, parallel.rendered) << "threads=" << threads;
+    EXPECT_EQ(serial.pairs, parallel.pairs) << "threads=" << threads;
+    EXPECT_EQ(serial.tokens, parallel.tokens) << "threads=" << threads;
+    EXPECT_EQ(serial.dictionary_size, parallel.dictionary_size)
+        << "threads=" << threads;
+  }
+}
+
+// The filtered parallel search must agree with the serial brute-force
+// verifier on a corpus large enough to exercise multi-chunk probing.
+TEST_F(ParallelTest, FindAllPairsMatchesBruteForceWhenParallel) {
+  util::SetGlobalThreadCount(8);
+  const core::PortalBundle bundle =
+      core::MakePortalBundle(corpus::SgPortalProfile(), /*scale=*/0.1);
+  join::JoinablePairFinder finder(bundle.ingest.tables);
+  EXPECT_EQ(finder.FindAllPairs(), finder.FindAllPairsBruteForce());
+}
+
+}  // namespace
+}  // namespace ogdp
