@@ -1,0 +1,109 @@
+#include "check/csv_mutator.h"
+
+namespace ogdp::check {
+
+namespace {
+
+constexpr std::string_view kUtf8Bom = "\xef\xbb\xbf";
+
+// Characters the CSV lexer treats specially in at least one state; the
+// mutator injects these rather than arbitrary bytes so most mutants stay
+// structurally interesting instead of degenerating into random noise.
+constexpr std::string_view kSpecialChars = ",;|\t\"\n\r";
+
+// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string_view doc, std::string_view from,
+                       std::string_view to) {
+  std::string out;
+  out.reserve(doc.size());
+  size_t i = 0;
+  while (i < doc.size()) {
+    if (doc.substr(i, from.size()) == from) {
+      out += to;
+      i += from.size();
+    } else {
+      out.push_back(doc[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string ApplyOneMutation(Rng& rng, std::string doc) {
+  const uint64_t kind = rng.NextBounded(9);
+  switch (kind) {
+    case 0:  // Prepend a UTF-8 BOM (possibly stacking one already there).
+      return std::string(kUtf8Bom) + doc;
+    case 1:  // Normalize LF to CRLF.
+      return ReplaceAll(ReplaceAll(doc, "\r\n", "\n"), "\n", "\r\n");
+    case 2:  // Collapse newlines to classic-Mac lone CR.
+      return ReplaceAll(ReplaceAll(doc, "\r\n", "\n"), "\n", "\r");
+    case 3:  // Truncate at a random byte (mid-field, mid-quote, mid-CRLF).
+      return doc.substr(0, rng.NextBounded(doc.size() + 1));
+    case 4: {  // Duplicate a random span in place.
+      if (doc.empty()) return doc;
+      const size_t begin = rng.NextBounded(doc.size());
+      const size_t len = 1 + rng.NextBounded(doc.size() - begin);
+      return doc.substr(0, begin + len) + doc.substr(begin);
+    }
+    case 5: {  // Insert a structurally special character.
+      const size_t pos = rng.NextBounded(doc.size() + 1);
+      const char c = kSpecialChars[rng.NextBounded(kSpecialChars.size())];
+      return doc.substr(0, pos) + c + doc.substr(pos);
+    }
+    case 6: {  // Delete a random byte.
+      if (doc.empty()) return doc;
+      const size_t pos = rng.NextBounded(doc.size());
+      return doc.substr(0, pos) + doc.substr(pos + 1);
+    }
+    case 7: {  // Splice in a fragment of another built-in seed.
+      const auto& seeds = BuiltinCsvSeeds();
+      const std::string& donor = seeds[rng.NextBounded(seeds.size())];
+      if (donor.empty()) return doc;
+      const size_t begin = rng.NextBounded(donor.size());
+      const size_t len = 1 + rng.NextBounded(donor.size() - begin);
+      const size_t pos = rng.NextBounded(doc.size() + 1);
+      return doc.substr(0, pos) + donor.substr(begin, len) + doc.substr(pos);
+    }
+    default: {  // Double a random quote character, or inject a quote pair.
+      const size_t pos = rng.NextBounded(doc.size() + 1);
+      return doc.substr(0, pos) + "\"\"" + doc.substr(pos);
+    }
+  }
+}
+
+}  // namespace
+
+std::string MutateCsv(Rng& rng, std::string_view doc) {
+  std::string mutant(doc);
+  const uint64_t count = 1 + rng.NextBounded(3);
+  for (uint64_t i = 0; i < count; ++i) {
+    mutant = ApplyOneMutation(rng, std::move(mutant));
+  }
+  return mutant;
+}
+
+const std::vector<std::string>& BuiltinCsvSeeds() {
+  static const std::vector<std::string>* const kSeeds =
+      new std::vector<std::string>{
+          // Plain rectangular table.
+          "id,name,value\n1,alpha,10\n2,beta,20\n3,gamma,30\n",
+          // Quoted delimiters, escaped quotes, embedded newline.
+          "a,b\n\"x,y\",\"He said \"\"hi\"\"\"\n\"line1\nline2\",plain\n",
+          // Semicolon dialect with a BOM and CRLF endings.
+          "\xef\xbb\xbfid;city;province\r\n1;Toronto;ON\r\n2;Laval;QC\r\n",
+          // Tab dialect, ragged rows, blank line.
+          "k\tv\tw\n1\tx\n\n2\ty\tz\textra\n",
+          // Lone-CR endings and trailing empty fields.
+          "a,b,c\r1,,\r,2,\r",
+          // Junk after a closing quote and a quoted field at EOF.
+          "\"ab\"junk,tail\nlast,\"quoted\"",
+          // Unterminated quote (lenient parse swallows to EOF).
+          "h1,h2\nok,\"never closed\nstill inside",
+          // Pipe-delimited with empty lines and no trailing newline.
+          "x|y\n|\n1|2",
+      };
+  return *kSeeds;
+}
+
+}  // namespace ogdp::check

@@ -1,0 +1,32 @@
+#ifndef OGDP_CHECK_CSV_MUTATOR_H_
+#define OGDP_CHECK_CSV_MUTATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ogdp::check {
+
+/// Structure-aware CSV document mutator for the fuzz-and-oracle harness.
+///
+/// Applies one to three random mutations to `doc` drawn from the
+/// CSV-specific trouble spots the quality literature (and the paper's
+/// portals) exhibit: quote injection and duplication, delimiter injection,
+/// UTF-8 BOM prepending, LF/CRLF/lone-CR conversion, byte truncation,
+/// span duplication, byte deletion, and cross-document splicing. Fully
+/// deterministic given the `rng` state; never throws and never produces
+/// input the lenient `csv::CsvReader` should reject.
+std::string MutateCsv(Rng& rng, std::string_view doc);
+
+/// Built-in seed documents covering the dialect/quoting/raggedness space:
+/// plain tables, semicolon and tab dialects, quoted delimiters, escaped
+/// quotes, embedded newlines, BOMs, ragged rows, blank lines, junk after
+/// closing quotes, and unterminated quotes. Mutation starts from these
+/// (plus any committed regression corpus the caller appends).
+const std::vector<std::string>& BuiltinCsvSeeds();
+
+}  // namespace ogdp::check
+
+#endif  // OGDP_CHECK_CSV_MUTATOR_H_

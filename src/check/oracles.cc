@@ -1,0 +1,494 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "check/csv_mutator.h"
+#include "check/random_table.h"
+#include "csv/csv_reader.h"
+#include "csv/csv_writer.h"
+#include "fd/bcnf.h"
+#include "fd/fd.h"
+#include "fd/fd_miner.h"
+#include "join/expansion.h"
+#include "join/joinable_pair_finder.h"
+#include "join/minhash.h"
+#include "table/projection.h"
+#include "util/rng.h"
+
+namespace ogdp::check {
+
+namespace {
+
+// Renders a document prefix with non-printables escaped, so failure
+// messages stay one-line, diffable, and byte-stable.
+std::string EscapeForLog(std::string_view doc, size_t max_bytes = 48) {
+  std::string out;
+  const size_t limit = std::min(doc.size(), max_bytes);
+  for (size_t i = 0; i < limit; ++i) {
+    const unsigned char c = static_cast<unsigned char>(doc[i]);
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c >= 0x20 && c < 0x7f) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+      out += buf;
+    }
+  }
+  if (doc.size() > max_bytes) out += "...";
+  return out;
+}
+
+std::string RenderRecords(const csv::RawRecords& records) {
+  csv::CsvWriter writer;  // standard comma/double-quote dialect
+  for (const auto& record : records) writer.WriteRecord(record);
+  return writer.contents();
+}
+
+}  // namespace
+
+std::string OracleReport::ToString() const {
+  std::string out = ok() ? "ok " : "FAIL ";
+  out += name + " cases=" + std::to_string(cases);
+  if (!ok()) {
+    out += " failures=" + std::to_string(failures.size());
+    for (const std::string& failure : failures) out += "\n  " + failure;
+  }
+  return out;
+}
+
+OracleReport CheckCsvRoundTrip(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "csv_round_trip";
+
+  std::vector<std::string> seeds = BuiltinCsvSeeds();
+  seeds.insert(seeds.end(), options.csv_seeds.begin(),
+               options.csv_seeds.end());
+
+  // Replay every seed verbatim, then `iterations` mutants on top.
+  std::vector<std::string> docs = seeds;
+  Rng rng = Rng(options.seed).Fork("csv_round_trip");
+  for (size_t it = 0; it < options.iterations; ++it) {
+    const std::string& base = seeds[rng.NextBounded(seeds.size())];
+    docs.push_back(MutateCsv(rng, base));
+  }
+
+  for (const std::string& doc : docs) {
+    ++report.cases;
+    auto first = csv::CsvReader::ParseString(doc);
+    if (!first.ok()) {
+      report.failures.push_back("lenient parse failed (" +
+                                first.status().message() +
+                                ") on: " + EscapeForLog(doc));
+      continue;
+    }
+    const std::string canonical = RenderRecords(*first);
+    // The canonical text uses the standard dialect; do not let sniffing
+    // re-guess the delimiter from field contents.
+    csv::CsvReaderOptions reparse_options;
+    reparse_options.use_explicit_dialect = true;
+    auto second = csv::CsvReader::ParseString(canonical, reparse_options);
+    if (!second.ok()) {
+      report.failures.push_back("reparse of canonical form failed (" +
+                                second.status().message() +
+                                ") on: " + EscapeForLog(doc));
+      continue;
+    }
+    if (*second != *first) {
+      report.failures.push_back(
+          "parse/write/parse changed records (" +
+          std::to_string(first->size()) + " -> " +
+          std::to_string(second->size()) + ") on: " + EscapeForLog(doc));
+      continue;
+    }
+    if (RenderRecords(*second) != canonical) {
+      report.failures.push_back("serialization is not a fixpoint on: " +
+                                EscapeForLog(doc));
+    }
+  }
+  return report;
+}
+
+OracleReport CheckFdDifferential(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "fd_tane_vs_fun";
+
+  Rng rng = Rng(options.seed).Fork("fd_differential");
+  RandomTableOptions shape;
+  shape.null_ratio = 0.15;
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    ++report.cases;
+    const table::Table table =
+        RandomTable(rng, shape, "fd_rand_" + std::to_string(it));
+    const std::string where = "case " + std::to_string(it) + " (" +
+                              std::to_string(table.num_rows()) + "x" +
+                              std::to_string(table.num_columns()) + ")";
+
+    auto fun = fd::MineFun(table);
+    auto tane = fd::MineTane(table);
+    if (!fun.ok() || !tane.ok()) {
+      report.failures.push_back(
+          "miner error at " + where + ": " +
+          (!fun.ok() ? fun.status().message() : tane.status().message()));
+      continue;
+    }
+
+    auto fun_fds = fun->fds;
+    auto tane_fds = tane->fds;
+    std::sort(fun_fds.begin(), fun_fds.end());
+    std::sort(tane_fds.begin(), tane_fds.end());
+    if (fun_fds != tane_fds) {
+      report.failures.push_back(
+          "TANE and FUN disagree on FDs at " + where + ": " +
+          std::to_string(tane_fds.size()) + " vs " +
+          std::to_string(fun_fds.size()));
+      continue;
+    }
+    auto fun_keys = fun->candidate_keys;
+    auto tane_keys = tane->candidate_keys;
+    std::sort(fun_keys.begin(), fun_keys.end());
+    std::sort(tane_keys.begin(), tane_keys.end());
+    if (fun_keys != tane_keys) {
+      report.failures.push_back("TANE and FUN disagree on candidate keys at " +
+                                where);
+      continue;
+    }
+
+    for (const fd::FunctionalDependency& dep : fun_fds) {
+      if (!fd::FdHolds(table, dep)) {
+        report.failures.push_back("mined FD " + dep.ToString() +
+                                  " does not hold at " + where);
+      }
+    }
+    for (fd::AttributeSet key : fun_keys) {
+      if (!fd::IsSuperkey(table, key)) {
+        report.failures.push_back("candidate key " + fd::SetToString(key) +
+                                  " is not a superkey at " + where);
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// One original column's cell rendered for row-identity comparison; nulls
+// get a sentinel no real cell can produce.
+void AppendCellKey(const table::Column& column, size_t row,
+                   std::string* key) {
+  if (column.IsNull(row)) {
+    key->push_back('\x01');
+  } else {
+    const std::string_view v = column.ValueAt(row);
+    key->append(v.data(), v.size());
+  }
+  key->push_back('\x1f');
+}
+
+// Accumulator of the natural join of already-folded BCNF sub-tables.
+struct Recomposed {
+  table::Table table;
+  std::vector<size_t> origins;  // original column index per column
+};
+
+// Natural-joins `acc` with `next` on all original columns they share. The
+// equi-join on the first shared column runs through join::HashJoin (the
+// production join); the oracle then filters rows where the remaining
+// shared columns disagree and drops the duplicate copies. With no shared
+// column (a constant-column split) the natural join is a cross product.
+void NaturalJoinStep(Recomposed& acc, const table::Table& next,
+                     const std::vector<size_t>& next_origins) {
+  std::vector<std::pair<size_t, size_t>> shared;  // (acc pos, next pos)
+  for (size_t i = 0; i < acc.origins.size(); ++i) {
+    for (size_t j = 0; j < next_origins.size(); ++j) {
+      if (acc.origins[i] == next_origins[j]) shared.emplace_back(i, j);
+    }
+  }
+
+  if (shared.empty()) {
+    std::vector<table::Column> columns;
+    for (const table::Column& c : acc.table.columns()) {
+      columns.emplace_back(c.name());
+    }
+    for (const table::Column& c : next.columns()) columns.emplace_back(c.name());
+    for (size_t l = 0; l < acc.table.num_rows(); ++l) {
+      for (size_t r = 0; r < next.num_rows(); ++r) {
+        size_t out = 0;
+        for (size_t c = 0; c < acc.table.num_columns(); ++c, ++out) {
+          const table::Column& src = acc.table.column(c);
+          src.IsNull(l) ? columns[out].AppendNull()
+                        : columns[out].AppendCell(src.ValueAt(l));
+        }
+        for (size_t c = 0; c < next.num_columns(); ++c, ++out) {
+          const table::Column& src = next.column(c);
+          src.IsNull(r) ? columns[out].AppendNull()
+                        : columns[out].AppendCell(src.ValueAt(r));
+        }
+      }
+    }
+    acc.table = table::Table("recompose", std::move(columns));
+    acc.origins.insert(acc.origins.end(), next_origins.begin(),
+                       next_origins.end());
+    return;
+  }
+
+  const auto [join_left, join_right] = shared.front();
+  const table::Table joined =
+      join::HashJoin(acc.table, join_left, next, join_right, "recompose");
+
+  // HashJoin output layout: all acc columns, then next columns minus the
+  // join column. Map each output column to its origin; shared columns
+  // other than the join column appear twice and become equality filters.
+  std::vector<size_t> keep;  // output positions surviving the projection
+  std::vector<size_t> kept_origins = acc.origins;
+  std::vector<std::pair<size_t, size_t>> must_match;  // (acc copy, right copy)
+  for (size_t i = 0; i < acc.origins.size(); ++i) keep.push_back(i);
+  size_t out = acc.origins.size();
+  for (size_t c = 0; c < next.num_columns(); ++c) {
+    if (c == join_right) continue;
+    const auto it = std::find(acc.origins.begin(), acc.origins.end(),
+                              next_origins[c]);
+    if (it != acc.origins.end()) {
+      must_match.emplace_back(
+          static_cast<size_t>(it - acc.origins.begin()), out);
+    } else {
+      keep.push_back(out);
+      kept_origins.push_back(next_origins[c]);
+    }
+    ++out;
+  }
+
+  std::vector<table::Column> columns;
+  columns.reserve(keep.size());
+  for (size_t k : keep) columns.emplace_back(joined.column(k).name());
+  for (size_t r = 0; r < joined.num_rows(); ++r) {
+    bool row_matches = true;
+    for (const auto& [a, b] : must_match) {
+      const table::Column& ca = joined.column(a);
+      const table::Column& cb = joined.column(b);
+      if (ca.IsNull(r) != cb.IsNull(r) ||
+          (!ca.IsNull(r) && ca.ValueAt(r) != cb.ValueAt(r))) {
+        row_matches = false;
+        break;
+      }
+    }
+    if (!row_matches) continue;
+    for (size_t k = 0; k < keep.size(); ++k) {
+      const table::Column& src = joined.column(keep[k]);
+      src.IsNull(r) ? columns[k].AppendNull()
+                    : columns[k].AppendCell(src.ValueAt(r));
+    }
+  }
+  acc.table = table::Table("recompose", std::move(columns));
+  acc.origins = std::move(kept_origins);
+}
+
+}  // namespace
+
+OracleReport CheckBcnfLosslessJoin(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "bcnf_lossless_join";
+
+  Rng rng = Rng(options.seed).Fork("bcnf_lossless");
+  RandomTableOptions shape;  // null-free: HashJoin drops null join keys
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    ++report.cases;
+    const table::Table table =
+        RandomTable(rng, shape, "bcnf_rand_" + std::to_string(it));
+    const std::string where = "case " + std::to_string(it) + " (" +
+                              std::to_string(table.num_rows()) + "x" +
+                              std::to_string(table.num_columns()) + ")";
+
+    fd::BcnfOptions bcnf_options;
+    bcnf_options.seed = options.seed ^ (it * 0x9e3779b97f4a7c15ULL);
+    auto decomposed = fd::DecomposeToBcnf(table, bcnf_options);
+    if (!decomposed.ok()) {
+      report.failures.push_back("decomposition error at " + where + ": " +
+                                decomposed.status().message());
+      continue;
+    }
+    if (decomposed->steps == 0 && decomposed->tables.size() != 1) {
+      report.failures.push_back("zero steps but " +
+                                std::to_string(decomposed->tables.size()) +
+                                " sub-tables at " + where);
+      continue;
+    }
+
+    // Fold the sub-tables back with natural joins, preferring a sub-table
+    // that shares a column with the accumulator (join order is irrelevant
+    // to the result; connected-first keeps intermediates small).
+    Recomposed acc{decomposed->tables[0], decomposed->column_origins[0]};
+    std::vector<size_t> remaining;
+    for (size_t t = 1; t < decomposed->tables.size(); ++t) {
+      remaining.push_back(t);
+    }
+    while (!remaining.empty()) {
+      size_t pick = 0;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        const auto& origins = decomposed->column_origins[remaining[i]];
+        const bool connected =
+            std::any_of(origins.begin(), origins.end(), [&](size_t o) {
+              return std::find(acc.origins.begin(), acc.origins.end(), o) !=
+                     acc.origins.end();
+            });
+        if (connected) {
+          pick = i;
+          break;
+        }
+      }
+      const size_t t = remaining[pick];
+      remaining.erase(remaining.begin() + pick);
+      NaturalJoinStep(acc, decomposed->tables[t],
+                      decomposed->column_origins[t]);
+    }
+
+    if (acc.origins.size() != table.num_columns()) {
+      report.failures.push_back("recomposition lost columns at " + where);
+      continue;
+    }
+    std::vector<size_t> position(table.num_columns(), 0);
+    for (size_t i = 0; i < acc.origins.size(); ++i) {
+      position[acc.origins[i]] = i;
+    }
+
+    std::set<std::string> expected;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      std::string key;
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        AppendCellKey(table.column(c), r, &key);
+      }
+      expected.insert(std::move(key));
+    }
+    std::set<std::string> actual;
+    for (size_t r = 0; r < acc.table.num_rows(); ++r) {
+      std::string key;
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        AppendCellKey(acc.table.column(position[c]), r, &key);
+      }
+      actual.insert(std::move(key));
+    }
+    if (actual != expected) {
+      size_t missing = 0, spurious = 0;
+      for (const std::string& k : expected) missing += !actual.count(k);
+      for (const std::string& k : actual) spurious += !expected.count(k);
+      report.failures.push_back(
+          "lossy decomposition at " + where + " (steps=" +
+          std::to_string(decomposed->steps) + ", sub-tables=" +
+          std::to_string(decomposed->tables.size()) + "): " +
+          std::to_string(missing) + " rows lost, " +
+          std::to_string(spurious) + " invented");
+    }
+  }
+  return report;
+}
+
+OracleReport CheckLshSuperset(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "lsh_superset";
+
+  Rng rng = Rng(options.seed).Fork("lsh_superset");
+
+  // Banding configurations under test. The non-dividing ones exercise the
+  // partial final band (num_hashes % bands != 0) that used to read past
+  // the signature; the 128/32 default is the one with a hard-for-all-
+  // practical-purposes superset guarantee at J >= 0.9 (miss probability
+  // (1 - 0.9^4)^32 ~ 4e-15 per pair).
+  struct BandConfig {
+    size_t num_hashes;
+    size_t bands;
+  };
+  constexpr std::array<BandConfig, 6> kConfigs = {
+      BandConfig{128, 32}, BandConfig{10, 3}, BandConfig{12, 5},
+      BandConfig{33, 8},   BandConfig{16, 16}, BandConfig{7, 4}};
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    // A corpus of one-column tables with controlled overlap: independent
+    // base sets, exact clones (Jaccard 1), and near-clones (J >= 0.9).
+    std::vector<table::Table> tables;
+    auto add_table = [&](const std::vector<size_t>& values) {
+      std::vector<std::vector<std::string>> rows;
+      rows.reserve(values.size());
+      for (size_t v : values) rows.push_back({std::to_string(v)});
+      auto t = table::Table::FromRecords(
+          "t" + std::to_string(tables.size()), {"v"}, rows);
+      tables.push_back(std::move(t).value());
+    };
+    const size_t num_bases = 2 + rng.NextBounded(2);
+    for (size_t b = 0; b < num_bases; ++b) {
+      const size_t size = 15 + rng.NextBounded(25);
+      const std::vector<size_t> base = rng.SampleIndices(120, size);
+      add_table(base);
+      add_table(base);  // exact clone: must be an LSH candidate always
+      if (rng.NextBool(0.7)) {
+        std::vector<size_t> near = base;  // J = size / (size + extra)
+        const size_t extra = 1 + size / 20;
+        for (size_t e = 0; e < extra; ++e) {
+          near.push_back(200 + rng.NextBounded(120));
+        }
+        add_table(near);
+      }
+    }
+
+    join::JoinFinderOptions finder_options;
+    finder_options.jaccard_threshold = 0.9;
+    const join::JoinablePairFinder finder(tables, finder_options);
+    const auto exact = finder.FindAllPairsBruteForce();
+    if (exact.empty()) {
+      report.failures.push_back("case " + std::to_string(it) +
+                                ": clone pairs missing from brute force");
+      continue;
+    }
+
+    for (const BandConfig& config : kConfigs) {
+      ++report.cases;
+      join::MinHashOptions mh;
+      mh.num_hashes = config.num_hashes;
+      mh.bands = config.bands;
+      const join::MinHashIndex index(finder, mh);
+      // Threshold 0 returns the raw LSH candidate set.
+      const auto candidates = index.FindCandidatePairs(0.0);
+      std::set<std::array<size_t, 4>> candidate_keys;
+      for (const auto& p : candidates) {
+        candidate_keys.insert(
+            {p.a.table, p.a.column, p.b.table, p.b.column});
+      }
+      for (const auto& p : exact) {
+        const bool guaranteed = p.jaccard >= 1.0 - 1e-12;
+        const bool near_certain =
+            config.num_hashes == 128 && config.bands == 32;
+        if (!guaranteed && !near_certain) continue;
+        if (!candidate_keys.count(
+                {p.a.table, p.a.column, p.b.table, p.b.column})) {
+          report.failures.push_back(
+              "case " + std::to_string(it) + " bands=" +
+              std::to_string(config.bands) + "/" +
+              std::to_string(config.num_hashes) + ": exact pair t" +
+              std::to_string(p.a.table) + "~t" + std::to_string(p.b.table) +
+              " (J=" + std::to_string(p.jaccard) +
+              ") missing from LSH candidates");
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
+  return {CheckCsvRoundTrip(options), CheckFdDifferential(options),
+          CheckBcnfLosslessJoin(options), CheckLshSuperset(options)};
+}
+
+}  // namespace ogdp::check

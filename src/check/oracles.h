@@ -1,0 +1,70 @@
+#ifndef OGDP_CHECK_ORACLES_H_
+#define OGDP_CHECK_ORACLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ogdp::check {
+
+/// Budget and seeding for one oracle run. Every oracle is a pure function
+/// of these options: same seed, same iterations, same extra seeds — same
+/// report, byte for byte.
+struct OracleOptions {
+  uint64_t seed = 0;
+
+  /// Number of randomized cases per oracle (committed corpus documents are
+  /// replayed on top of this budget by the CSV oracle).
+  size_t iterations = 20;
+
+  /// Extra CSV seed documents (typically the committed regression corpus
+  /// under tests/corpus/) mixed into the mutation pool.
+  std::vector<std::string> csv_seeds;
+};
+
+/// Outcome of one oracle: the number of cases executed and a deterministic
+/// message per violated property. An empty `failures` means the oracle
+/// holds on every case.
+struct OracleReport {
+  std::string name;
+  size_t cases = 0;
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+
+  /// Stable one-line-per-failure rendering:
+  ///   "ok csv_round_trip cases=45"
+  ///   "FAIL lsh_superset cases=12 failures=2\n  <msg>\n  <msg>"
+  std::string ToString() const;
+};
+
+/// Metamorphic round-trip law over the CSV layer: for any document D,
+/// parse(write(parse(D))) == parse(D), and re-serializing is a fixpoint.
+/// Drives `MutateCsv` over the built-in + supplied seed documents.
+OracleReport CheckCsvRoundTrip(const OracleOptions& options);
+
+/// Differential oracle over the FD miners: TANE and FUN must return the
+/// same minimal FDs and candidate keys on random tables (the cross-check
+/// Desbordante-style suites run between independent miners), every mined
+/// FD must hold under the direct scan `fd::FdHolds`, and every candidate
+/// key must be a superkey.
+OracleReport CheckFdDifferential(const OracleOptions& options);
+
+/// Lossless-join oracle: BCNF decomposition of a random (null-free) table
+/// must natural-join back — via `join::HashJoin` — to exactly the distinct
+/// rows of the input; no row lost, none invented.
+OracleReport CheckBcnfLosslessJoin(const OracleOptions& options);
+
+/// LSH soundness oracle: for corpora of columns with controlled overlap,
+/// every exact pair found by brute force must appear in the MinHash/LSH
+/// candidate set — identical-value-set pairs under *every* banding
+/// configuration (including partial final bands, the shape that hid the
+/// out-of-bounds read), near-duplicates under the default configuration.
+OracleReport CheckLshSuperset(const OracleOptions& options);
+
+/// Runs all oracles in a fixed order.
+std::vector<OracleReport> RunAllOracles(const OracleOptions& options);
+
+}  // namespace ogdp::check
+
+#endif  // OGDP_CHECK_ORACLES_H_

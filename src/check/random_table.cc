@@ -1,0 +1,68 @@
+#include "check/random_table.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ogdp::check {
+
+table::Table RandomTable(Rng& rng, const RandomTableOptions& options,
+                         std::string name) {
+  assert(options.min_columns >= 1 && options.min_columns <= options.max_columns);
+  assert(options.min_rows >= 1 && options.min_rows <= options.max_rows);
+  const size_t num_columns = static_cast<size_t>(
+      rng.NextInt(static_cast<int64_t>(options.min_columns),
+                  static_cast<int64_t>(options.max_columns)));
+  const size_t num_rows = static_cast<size_t>(
+      rng.NextInt(static_cast<int64_t>(options.min_rows),
+                  static_cast<int64_t>(options.max_rows)));
+
+  // Column-major generation: independent columns draw from a small value
+  // domain; derived columns apply a fixed per-column remapping to an
+  // earlier column, planting an exact FD source -> derived.
+  std::vector<std::vector<std::string>> cells(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    cells[c].reserve(num_rows);
+    if (c > 0 && rng.NextBool(options.derived_column_prob)) {
+      const size_t source = static_cast<size_t>(rng.NextBounded(c));
+      const uint64_t salt = rng.NextBounded(3);
+      for (size_t r = 0; r < num_rows; ++r) {
+        // Hash of the source cell: collisions (salt folding) keep the
+        // derived domain no larger than the source domain.
+        const std::string& src = cells[source][r];
+        uint64_t h = salt;
+        for (char ch : src) h = h * 31 + static_cast<unsigned char>(ch);
+        cells[c].push_back("d" + std::to_string(c) + "_" +
+                           std::to_string(h % (1 + salt * 2)));
+      }
+    } else {
+      const uint64_t domain = 1 + rng.NextBounded(options.max_domain);
+      for (size_t r = 0; r < num_rows; ++r) {
+        cells[c].push_back("v" + std::to_string(c) + "_" +
+                           std::to_string(rng.NextBounded(domain)));
+      }
+    }
+  }
+  if (options.null_ratio > 0) {
+    for (auto& column : cells) {
+      for (auto& cell : column) {
+        if (rng.NextBool(options.null_ratio)) cell.clear();
+      }
+    }
+  }
+
+  std::vector<std::string> header;
+  header.reserve(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    header.push_back("c" + std::to_string(c));
+  }
+  std::vector<std::vector<std::string>> rows(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    rows[r].reserve(num_columns);
+    for (size_t c = 0; c < num_columns; ++c) rows[r].push_back(cells[c][r]);
+  }
+  auto table = table::Table::FromRecords(std::move(name), header, rows);
+  assert(table.ok());  // rows are never wider than the header
+  return std::move(table).value();
+}
+
+}  // namespace ogdp::check

@@ -1,0 +1,40 @@
+#ifndef OGDP_CHECK_RANDOM_TABLE_H_
+#define OGDP_CHECK_RANDOM_TABLE_H_
+
+#include <string>
+
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace ogdp::check {
+
+/// Shape of the random tables the differential oracles mine.
+struct RandomTableOptions {
+  size_t min_columns = 2;
+  size_t max_columns = 6;
+  size_t min_rows = 4;
+  size_t max_rows = 40;
+
+  /// Distinct values per independently drawn column (1..max). Small
+  /// domains force duplicate rows, accidental FDs, and candidate keys —
+  /// the lattice shapes where TANE and FUN can disagree.
+  size_t max_domain = 4;
+
+  /// Probability that a column is a pure function of an earlier column,
+  /// planting a guaranteed FD for the miners to find.
+  double derived_column_prob = 0.35;
+
+  /// Fraction of cells replaced by the empty string (a null token). The
+  /// BCNF lossless-join oracle runs null-free because `join::HashJoin`
+  /// drops null join keys, which is not a decomposition defect.
+  double null_ratio = 0.0;
+};
+
+/// Generates a small random table named `name`, deterministic given the
+/// `rng` state. Columns are named "c0".."cN"; cells are short strings.
+table::Table RandomTable(Rng& rng, const RandomTableOptions& options,
+                         std::string name);
+
+}  // namespace ogdp::check
+
+#endif  // OGDP_CHECK_RANDOM_TABLE_H_

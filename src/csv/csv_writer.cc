@@ -5,8 +5,9 @@
 namespace ogdp::csv {
 
 std::string CsvWriter::EscapeField(std::string_view field,
-                                   const CsvDialect& dialect) {
-  bool needs_quotes = false;
+                                   const CsvDialect& dialect,
+                                   bool force_quotes) {
+  bool needs_quotes = force_quotes;
   for (char c : field) {
     if (c == dialect.delimiter || c == dialect.quote || c == '\n' ||
         c == '\r') {
@@ -29,7 +30,12 @@ std::string CsvWriter::EscapeField(std::string_view field,
 void CsvWriter::WriteRecord(const std::vector<std::string>& fields) {
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) buffer_.push_back(dialect_.delimiter);
-    buffer_ += EscapeField(fields[i], dialect_);
+    // A document-leading field that itself starts with a UTF-8 BOM must be
+    // quoted, or the reader would strip the BOM as file metadata on
+    // reparse (found by the csv_round_trip oracle).
+    const bool leads_with_bom =
+        i == 0 && buffer_.empty() && fields[i].starts_with("\xef\xbb\xbf");
+    buffer_ += EscapeField(fields[i], dialect_, leads_with_bom);
   }
   buffer_.push_back('\n');
 }

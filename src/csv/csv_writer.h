@@ -25,9 +25,12 @@ class CsvWriter {
   /// Writes the accumulated text to `path` (truncating).
   Status Flush(const std::string& path) const;
 
-  /// Escapes a single field according to `dialect`.
+  /// Escapes a single field according to `dialect`. `force_quotes` quotes
+  /// the field even when no character requires it (used for a first field
+  /// beginning with a UTF-8 BOM, which an unquoted reparse would strip).
   static std::string EscapeField(std::string_view field,
-                                 const CsvDialect& dialect);
+                                 const CsvDialect& dialect,
+                                 bool force_quotes = false);
 
  private:
   CsvDialect dialect_;

@@ -59,7 +59,16 @@ table::Table HashJoin(const table::Table& left, size_t left_col,
     std::string name = right.column(c).name();
     if (std::find(used_names.begin(), used_names.end(), name) !=
         used_names.end()) {
-      name += "_r";
+      // "_r", then "_r2", "_r3", ... until the name is actually fresh —
+      // duplicate right-side names (or a pre-existing "x_r" on the left)
+      // must not collide.
+      const std::string base = std::move(name);
+      size_t attempt = 0;
+      do {
+        ++attempt;
+        name = base + (attempt == 1 ? "_r" : "_r" + std::to_string(attempt));
+      } while (std::find(used_names.begin(), used_names.end(), name) !=
+               used_names.end());
     }
     used_names.push_back(name);
     out_columns.emplace_back(std::move(name));

@@ -59,11 +59,15 @@ std::vector<JoinablePair> MinHashIndex::FindCandidatePairs(
     for (size_t band = 0; band * rows_per_band < options_.num_hashes;
          ++band) {
       buckets.clear();
+      const size_t row_begin = band * rows_per_band;
+      // When bands does not divide num_hashes the final band is partial;
+      // clamp it to the signature length instead of reading past it.
+      const size_t row_end =
+          std::min(options_.num_hashes, row_begin + rows_per_band);
       for (size_t s = 0; s < signatures_.size(); ++s) {
         uint64_t key = Fnv1a64("band") ^ band;
-        for (size_t r = 0; r < rows_per_band; ++r) {
-          key = HashCombine(key,
-                            signatures_[s].values[band * rows_per_band + r]);
+        for (size_t r = row_begin; r < row_end; ++r) {
+          key = HashCombine(key, signatures_[s].values[r]);
         }
         buckets[key].push_back(s);
       }

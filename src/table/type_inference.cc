@@ -70,8 +70,9 @@ bool LooksLikeDateCore(std::string_view v) {
 bool LooksLikeBoolean(std::string_view v) {
   static constexpr std::array<std::string_view, 6> kTokens = {
       "true", "false", "yes", "no", "y", "n"};
-  if (v.size() > 5) return false;
-  const std::string lower = ToLower(TrimView(v));
+  const std::string_view trimmed = TrimView(v);
+  if (trimmed.size() > 5) return false;
+  const std::string lower = ToLower(trimmed);
   return std::find(kTokens.begin(), kTokens.end(), lower) != kTokens.end();
 }
 

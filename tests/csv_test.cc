@@ -93,6 +93,53 @@ TEST(CsvReaderTest, StrictQuotesRejectsUnterminated) {
   EXPECT_EQ(r.status().code(), StatusCode::kParseError);
 }
 
+TEST(CsvReaderTest, LoneCrRecordEnds) {
+  // Classic-Mac endings: every lone \r terminates a record; a \r\r pair
+  // encloses a blank line, which is skipped like any other blank line.
+  RawRecords r = MustParse("a\rb\r\rc");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ(r[1], (std::vector<std::string>{"b"}));
+  EXPECT_EQ(r[2], (std::vector<std::string>{"c"}));
+  // Trailing empty fields survive a lone-CR terminator.
+  RawRecords s = MustParse("a,b\r1,\r");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], (std::vector<std::string>{"1", ""}));
+}
+
+TEST(CsvReaderTest, MaxRecordsTruncationMidQuotedField) {
+  // The limit triggers while the lexer sits inside an unterminated quoted
+  // field; the complete records win and the partial field is dropped.
+  CsvReaderOptions options;
+  options.max_records = 1;
+  RawRecords r = MustParse("a,b\n\"un,finished\nstill quoted", options);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvReaderTest, QuotedFieldAtEofWithoutNewline) {
+  RawRecords r = MustParse("a,\"b\"");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{"a", "b"}));
+  // An empty quoted field at EOF still produces its (empty) field.
+  RawRecords s = MustParse("x,\"\"");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (std::vector<std::string>{"x", ""}));
+  // Lenient mode swallows an unterminated quote to EOF.
+  RawRecords t = MustParse("a,\"bc");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], (std::vector<std::string>{"a", "bc"}));
+}
+
+TEST(CsvReaderTest, JunkAfterClosingQuoteKept) {
+  // Lenient real-world semantics: bytes after a closing quote are
+  // appended to the field rather than rejected.
+  RawRecords r = MustParse("\"ab\"x,c\n\"q\" ,d\n");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], (std::vector<std::string>{"abx", "c"}));
+  EXPECT_EQ(r[1], (std::vector<std::string>{"q ", "d"}));
+}
+
 TEST(CsvReaderTest, SemicolonSniffed) {
   RawRecords r = MustParse("a;b;c\n1;2;3\n4;5;6\n");
   ASSERT_EQ(r[0].size(), 3u);

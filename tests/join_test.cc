@@ -180,6 +180,27 @@ TEST(HashJoinTest, MatchesAnalyticOutputSize) {
   EXPECT_EQ(out2.column(2).name(), "k_r");
 }
 
+TEST(HashJoinTest, RenameCollisionsGetNumberedSuffixes) {
+  // Regression: one "_r" suffix was never re-checked against used_names,
+  // so a left "x_r" plus duplicate right "x" columns produced duplicate
+  // output names.
+  Table left = MakeTable("l", {"k", "x", "x_r"}, {{"a", "1", "2"}});
+  Table right = MakeTable("r", {"k", "x", "x"}, {{"a", "10", "20"}});
+  Table out = HashJoin(left, 0, right, 0, "out");
+  ASSERT_EQ(out.num_columns(), 5u);
+  EXPECT_EQ(out.column(0).name(), "k");
+  EXPECT_EQ(out.column(1).name(), "x");
+  EXPECT_EQ(out.column(2).name(), "x_r");
+  EXPECT_EQ(out.column(3).name(), "x_r2");
+  EXPECT_EQ(out.column(4).name(), "x_r3");
+  std::set<std::string> names;
+  for (const auto& c : out.columns()) names.insert(c.name());
+  EXPECT_EQ(names.size(), out.num_columns());
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.column(3).ValueAt(0), "10");
+  EXPECT_EQ(out.column(4).ValueAt(0), "20");
+}
+
 std::vector<Table> SamplerCorpus() {
   // Three groups of joinable tables across two "datasets", with key and
   // non-key columns and varied sizes.

@@ -42,6 +42,30 @@ TEST(MinHashTest, DisjointSetsAgreeNowhere) {
   EXPECT_LT(EstimateJaccard(a, b), 0.1);
 }
 
+TEST(MinHashTest, PartialFinalBandStaysInBounds) {
+  // Regression for the LSH band loop: num_hashes=10, bands=3 gives
+  // rows_per_band=3 and four bands, the last one partial. The pre-fix
+  // loop hashed values[10] and values[11] — a heap out-of-bounds read
+  // that fails this test under ASan (OGDP_SANITIZE=address).
+  std::vector<Table> tables;
+  tables.push_back(OneColumn("a", Range(0, 19)));
+  tables.push_back(OneColumn("b", Range(0, 19)));
+  tables.push_back(OneColumn("c", Range(100, 119)));
+  JoinablePairFinder finder(tables);
+  MinHashOptions options;
+  options.num_hashes = 10;
+  options.bands = 3;
+  MinHashIndex index(finder, options);
+  const auto pairs = index.FindCandidatePairs(0.0);
+  // Identical columns share every band bucket, so a~b must be a
+  // candidate no matter how the final band is clamped.
+  bool found_clone_pair = false;
+  for (const auto& p : pairs) {
+    found_clone_pair |= p.a.table == 0 && p.b.table == 1;
+  }
+  EXPECT_TRUE(found_clone_pair);
+}
+
 TEST(MinHashTest, EstimateTracksTrueJaccardProperty) {
   // With 256 hashes the estimator's standard error is ~1/16; check a
   // generous +-0.15 envelope across random overlapping sets.

@@ -82,6 +82,20 @@ TEST(TypeInferenceTest, IncrementalVsPlainInteger) {
   EXPECT_EQ(sparse.type(), DataType::kInteger);
 }
 
+TEST(TypeInferenceTest, BooleanTrimsBeforeLengthCheck) {
+  // Regression: the length early-out used to run before trimming, so
+  // padded spellings longer than 5 bytes ("  true ") were rejected while
+  // short padded ones (" yes ") passed.
+  EXPECT_TRUE(LooksLikeBoolean("  true "));
+  EXPECT_TRUE(LooksLikeBoolean(" FALSE  "));
+  EXPECT_TRUE(LooksLikeBoolean(" yes "));
+  EXPECT_TRUE(LooksLikeBoolean("\tn\t"));
+  EXPECT_FALSE(LooksLikeBoolean(" maybe "));
+  EXPECT_FALSE(LooksLikeBoolean("  truely  "));
+  EXPECT_EQ(MakeColumn({"  true ", " no ", "YES"}).type(),
+            DataType::kBoolean);
+}
+
 TEST(TypeInferenceTest, DecimalAndBoolean) {
   EXPECT_EQ(MakeColumn({"1.5", "2.25", "-3.75"}).type(), DataType::kDecimal);
   EXPECT_EQ(MakeColumn({"1", "2", "2.5"}).type(), DataType::kDecimal);
