@@ -1,0 +1,289 @@
+// FD-mining substrate benchmark: (1) a single-thread kernel comparison of
+// the legacy hash-map partition product against the flat probe-table
+// product (the tentpole win — target >= 5x), (2) end-to-end MineTane /
+// MineFun per-phase timings at threads=1 vs threads=N with peak partition
+// bytes, and (3) a determinism sweep asserting FDs, candidate keys, and
+// nodes_explored are identical at 1/2/8 threads. Emits BENCH_fd.json.
+//
+// Env: OGDP_BENCH_SCALE (default 0.25), OGDP_BENCH_THREADS, and
+// OGDP_BENCH_FD_GUARD=1 for the CTest guard lane — a seconds-scale run
+// that skips the JSON and exits nonzero iff determinism breaks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "fd/cardinality_engine.h"
+#include "fd/fd_miner.h"
+#include "fd/partition.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ogdp;
+
+fd::CardinalityEngine::ClassIds RandomIds(Rng& rng, size_t rows,
+                                          uint64_t domain) {
+  fd::CardinalityEngine::ClassIds ids(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    ids[r] = static_cast<uint32_t>(rng.NextBounded(domain));
+  }
+  return ids;
+}
+
+// The kernel workload: partition products across the class-count spectrum,
+// from a few huge classes (level-1 shape) to thousands of small ones (the
+// deep-lattice shape where the per-class hash map hurts most).
+struct KernelShape {
+  const char* name;
+  uint64_t base_domain;
+  uint64_t attr_domain;
+};
+constexpr KernelShape kShapes[] = {
+    {"few_large_classes", 8, 8},
+    {"mid_classes", 256, 16},
+    {"many_small_classes", 8192, 4},
+};
+constexpr size_t kNumShapes = sizeof(kShapes) / sizeof(kShapes[0]);
+
+struct KernelResult {
+  double hash_seconds = 0;
+  double probe_seconds = 0;
+  size_t products = 0;
+  bool equivalent = true;  // probe classes == hash classes on every pair
+};
+
+KernelResult RunKernel(size_t rows, size_t reps) {
+  KernelResult out;
+  Rng rng(20240805);
+  fd::PartitionScratch scratch;
+  Stopwatch sw;
+  for (const KernelShape& shape : kShapes) {
+    const auto base_ids = RandomIds(rng, rows, shape.base_domain);
+    fd::StrippedPartition parent;
+    fd::BuildAttributePartition(base_ids, shape.base_domain, &parent);
+    std::vector<fd::CardinalityEngine::ClassIds> attrs;
+    for (size_t a = 0; a < 4; ++a) {
+      attrs.push_back(RandomIds(rng, rows, shape.attr_domain));
+    }
+
+    // Equivalence spot-check before timing (order-insensitive).
+    for (const auto& ids : attrs) {
+      fd::StrippedPartition probe;
+      fd::PartitionProduct(parent, ids, shape.attr_domain, scratch, &probe);
+      const fd::StrippedPartition hash =
+          fd::ReferenceHashProduct(parent, ids);
+      if (fd::ClassesAsSortedSets(probe) != fd::ClassesAsSortedSets(hash) ||
+          probe.error != hash.error) {
+        out.equivalent = false;
+      }
+    }
+
+    sw.Restart();
+    size_t sink = 0;
+    for (size_t r = 0; r < reps; ++r) {
+      for (const auto& ids : attrs) {
+        const fd::StrippedPartition hash =
+            fd::ReferenceHashProduct(parent, ids);
+        sink += hash.error;
+      }
+    }
+    out.hash_seconds += sw.ElapsedSeconds();
+
+    sw.Restart();
+    fd::StrippedPartition probe;
+    for (size_t r = 0; r < reps; ++r) {
+      for (const auto& ids : attrs) {
+        fd::PartitionProduct(parent, ids, shape.attr_domain, scratch, &probe);
+        sink += probe.error;
+      }
+    }
+    out.probe_seconds += sw.ElapsedSeconds();
+    out.products += 2 * reps * attrs.size();
+    if (sink == 0xdeadbeef) std::printf("unreachable\n");  // keep `sink` live
+  }
+  return out;
+}
+
+// The end-to-end workload: a wide low-domain table (the shape the paper's
+// portals push through the miners — many columns, few distinct values,
+// deep lattices) with a planted composite key.
+table::Table MiningTable(size_t rows, size_t extra_columns) {
+  Rng rng(7);
+  const size_t groups = 64;
+  std::vector<table::Column> columns;
+  table::Column k0("k0");
+  table::Column k1("k1");
+  for (size_t r = 0; r < rows; ++r) {
+    k0.AppendCell("a" + std::to_string(r / groups));
+    k1.AppendCell("b" + std::to_string(r % groups));
+  }
+  columns.push_back(std::move(k0));
+  columns.push_back(std::move(k1));
+  for (size_t c = 0; c < extra_columns; ++c) {
+    table::Column col("x" + std::to_string(c));
+    for (size_t r = 0; r < rows; ++r) {
+      col.AppendCell("v" + std::to_string(rng.NextBounded(4)));
+    }
+    columns.push_back(std::move(col));
+  }
+  return table::Table("bench_fd", std::move(columns));
+}
+
+struct MineRun {
+  fd::FdMineResult tane;
+  fd::FdMineResult fun;
+  double tane_seconds = 0;
+  double fun_seconds = 0;
+};
+
+MineRun MineAt(const table::Table& table, const fd::FdMinerOptions& options,
+               size_t threads) {
+  util::SetGlobalThreadCount(threads);
+  MineRun run;
+  Stopwatch sw;
+  auto tane = fd::MineTane(table, options);
+  run.tane_seconds = sw.ElapsedSeconds();
+  sw.Restart();
+  auto fun = fd::MineFun(table, options);
+  run.fun_seconds = sw.ElapsedSeconds();
+  if (!tane.ok() || !fun.ok()) {
+    std::fprintf(stderr, "bench_fd: miner failed: %s\n",
+                 (!tane.ok() ? tane.status() : fun.status()).message().c_str());
+    std::exit(2);
+  }
+  run.tane = std::move(tane).value();
+  run.fun = std::move(fun).value();
+  return run;
+}
+
+bool SameResults(const fd::FdMineResult& a, const fd::FdMineResult& b) {
+  return a.fds == b.fds && a.candidate_keys == b.candidate_keys &&
+         a.nodes_explored == b.nodes_explored;
+}
+
+double Speedup(double baseline, double other) {
+  return other > 0 ? baseline / other : 0.0;
+}
+
+void PrintPhases(const char* label, const fd::FdPhaseStats& s,
+                 double total_seconds) {
+  std::printf("  %-14s build %.3fs, product %.3fs, prune %.3fs, total %.3fs "
+              "(%zu products, %zu rebuilds, peak %zu KiB)\n",
+              label, s.build_seconds, s.product_seconds, s.prune_seconds,
+              total_seconds, s.products, s.partition_rebuilds,
+              s.peak_partition_bytes / 1024);
+}
+
+}  // namespace
+
+int main() {
+  const bool guard = []() {
+    const char* env = std::getenv("OGDP_BENCH_FD_GUARD");
+    return env != nullptr && std::string(env) == "1";
+  }();
+  const double scale = guard ? 0.02 : bench::ScaleFromEnv();
+  const size_t threads = bench::ThreadsFromEnv();
+
+  const size_t kernel_rows = static_cast<size_t>(400000 * scale) + 1000;
+  const size_t kernel_reps = guard ? 2 : 10;
+  const size_t mine_rows = static_cast<size_t>(40000 * scale) + 512;
+
+  std::printf("[fd] scale %.2f%s, kernel %zu rows x %zu reps, mining %zu "
+              "rows\n",
+              scale, guard ? " (guard mode)" : "", kernel_rows, kernel_reps,
+              mine_rows);
+
+  // ---- Kernel: hash product vs probe product, single thread. ----
+  const KernelResult kernel = RunKernel(kernel_rows, kernel_reps);
+  const double kernel_speedup =
+      Speedup(kernel.hash_seconds, kernel.probe_seconds);
+  std::printf("\nKernel (single thread, %zu products):\n", kernel.products);
+  std::printf("  hash product  %.3fs\n  probe product %.3fs\n"
+              "  speedup       %.2fx %s\n",
+              kernel.hash_seconds, kernel.probe_seconds, kernel_speedup,
+              kernel.equivalent ? "" : "(RESULTS DIFFER — BUG)");
+
+  // ---- End to end: serial vs parallel miners. ----
+  const table::Table table = MiningTable(mine_rows, 14);
+  fd::FdMinerOptions options;
+  options.max_lhs = 3;
+
+  const MineRun serial = MineAt(table, options, 1);
+  const MineRun parallel = MineAt(table, options, threads);
+  std::printf("\nMining %zux%zu, serial:\n", table.num_rows(),
+              table.num_columns());
+  PrintPhases("tane", serial.tane.stats, serial.tane_seconds);
+  PrintPhases("fun", serial.fun.stats, serial.fun_seconds);
+  std::printf("Mining with %zu thread%s:\n", threads,
+              threads == 1 ? "" : "s");
+  PrintPhases("tane", parallel.tane.stats, parallel.tane_seconds);
+  PrintPhases("fun", parallel.fun.stats, parallel.fun_seconds);
+
+  // ---- Determinism sweep: 1 / 2 / 8 threads must agree exactly. ----
+  bool deterministic = kernel.equivalent;
+  deterministic &= SameResults(serial.tane, parallel.tane) &&
+                   SameResults(serial.fun, parallel.fun);
+  for (size_t t : {2u, 8u}) {
+    const MineRun run = MineAt(table, options, t);
+    deterministic &= SameResults(run.tane, serial.tane) &&
+                     SameResults(run.fun, serial.fun);
+  }
+  util::SetGlobalThreadCount(threads);
+  std::printf("\nDeterminism: results %s across 1/2/8/%zu threads "
+              "(tane nodes=%zu, fun nodes=%zu)\n",
+              deterministic ? "IDENTICAL" : "DIFFER (BUG)", threads,
+              serial.tane.nodes_explored, serial.fun.nodes_explored);
+
+  if (!guard) {
+    FILE* json = std::fopen("BENCH_fd.json", "w");
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "{\n  \"scale\": %.4f,\n  \"threads\": %zu,\n"
+                   "  \"hardware_concurrency\": %u,\n"
+                   "  \"deterministic\": %s,\n",
+                   scale, threads, std::thread::hardware_concurrency(),
+                   deterministic ? "true" : "false");
+      std::fprintf(json,
+                   "  \"kernel\": {\"rows\": %zu, \"products\": %zu, "
+                   "\"hash_s\": %.4f, \"probe_s\": %.4f, \"speedup\": "
+                   "%.3f},\n",
+                   kernel_rows, kernel.products, kernel.hash_seconds,
+                   kernel.probe_seconds, kernel_speedup);
+      auto emit_miner = [&](const char* name, const MineRun& s,
+                            const MineRun& p, bool tane, const char* tail) {
+        const fd::FdPhaseStats& ss = tane ? s.tane.stats : s.fun.stats;
+        const fd::FdPhaseStats& ps = tane ? p.tane.stats : p.fun.stats;
+        const double st = tane ? s.tane_seconds : s.fun_seconds;
+        const double pt = tane ? p.tane_seconds : p.fun_seconds;
+        std::fprintf(
+            json,
+            "  \"%s\": {\n"
+            "    \"serial\": {\"build_s\": %.4f, \"product_s\": %.4f, "
+            "\"prune_s\": %.4f, \"total_s\": %.4f},\n"
+            "    \"parallel\": {\"build_s\": %.4f, \"product_s\": %.4f, "
+            "\"prune_s\": %.4f, \"total_s\": %.4f},\n"
+            "    \"product_speedup\": %.3f, \"total_speedup\": %.3f,\n"
+            "    \"products\": %zu, \"partition_rebuilds\": %zu,\n"
+            "    \"peak_partition_bytes\": %zu, \"nodes_explored\": %zu\n"
+            "  }%s\n",
+            name, ss.build_seconds, ss.product_seconds, ss.prune_seconds, st,
+            ps.build_seconds, ps.product_seconds, ps.prune_seconds, pt,
+            Speedup(ss.product_seconds, ps.product_seconds), Speedup(st, pt),
+            ss.products, ss.partition_rebuilds, ss.peak_partition_bytes,
+            tane ? s.tane.nodes_explored : s.fun.nodes_explored, tail);
+      };
+      std::fprintf(json, "  \"rows\": %zu, \"columns\": %zu,\n",
+                   table.num_rows(), table.num_columns());
+      emit_miner("tane", serial, parallel, true, ",");
+      emit_miner("fun", serial, parallel, false, "");
+      std::fprintf(json, "}\n");
+      std::fclose(json);
+      std::printf("Wrote BENCH_fd.json\n");
+    }
+  }
+  return deterministic ? 0 : 1;
+}

@@ -4,8 +4,8 @@
 //   check_driver [--seed N] [--iters K] [--corpus DIR] [--oracle NAME]
 //
 // Runs the differential/metamorphic oracles (csv_round_trip,
-// fd_tane_vs_fun, bcnf_lossless_join, lsh_superset) and prints one report
-// per oracle. Output is byte-reproducible for a fixed seed; the exit code
+// fd_tane_vs_fun, bcnf_lossless_join, lsh_superset, codec_round_trip,
+// cleaning_idempotence) and prints one report per oracle. Output is byte-reproducible for a fixed seed; the exit code
 // is 0 iff every oracle holds on every case. `--corpus` mixes the
 // committed regression documents into the CSV mutation pool.
 
@@ -27,7 +27,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--iters K] [--corpus DIR] "
                "[--oracle csv_round_trip|fd_tane_vs_fun|"
-               "bcnf_lossless_join|lsh_superset]\n",
+               "bcnf_lossless_join|lsh_superset|codec_round_trip|"
+               "cleaning_idempotence]\n",
                argv0);
 }
 
@@ -104,6 +105,10 @@ int main(int argc, char** argv) {
     reports.push_back(ogdp::check::CheckBcnfLosslessJoin(options));
   } else if (only_oracle == "lsh_superset") {
     reports.push_back(ogdp::check::CheckLshSuperset(options));
+  } else if (only_oracle == "codec_round_trip") {
+    reports.push_back(ogdp::check::CheckCodecRoundTrip(options));
+  } else if (only_oracle == "cleaning_idempotence") {
+    reports.push_back(ogdp::check::CheckCleaningIdempotence(options));
   } else {
     Usage(argv[0]);
     return 2;

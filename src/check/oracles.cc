@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <memory>
 #include <set>
 #include <utility>
 
 #include "check/csv_mutator.h"
 #include "check/random_table.h"
+#include "compress/codec.h"
+#include "csv/cleaning.h"
 #include "csv/csv_reader.h"
 #include "csv/csv_writer.h"
 #include "fd/bcnf.h"
@@ -486,9 +489,217 @@ OracleReport CheckLshSuperset(const OracleOptions& options) {
   return report;
 }
 
+OracleReport CheckCodecRoundTrip(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "codec_round_trip";
+
+  Rng rng = Rng(options.seed).Fork("codec_round_trip");
+
+  // The corpus: every CSV seed (documents with quotes, BOMs, CRLFs —
+  // realistic text), plus synthetic byte strings aimed at each codec's
+  // machinery. Mutants of the seeds ride on the iteration budget.
+  std::vector<std::string> docs;
+  docs.emplace_back();  // empty input: both codecs must round-trip it
+  const std::vector<std::string>& seeds = BuiltinCsvSeeds();
+  docs.insert(docs.end(), seeds.begin(), seeds.end());
+  docs.insert(docs.end(), options.csv_seeds.begin(),
+              options.csv_seeds.end());
+  for (size_t it = 0; it < options.iterations; ++it) {
+    switch (it % 4) {
+      case 0:  // structure-aware CSV mutant
+        docs.push_back(
+            MutateCsv(rng, seeds[rng.NextBounded(seeds.size())]));
+        break;
+      case 1: {  // long runs: RLE's best case, LZ77's trivial case
+        std::string doc;
+        const size_t runs = 1 + rng.NextBounded(8);
+        for (size_t r = 0; r < runs; ++r) {
+          doc.append(1 + rng.NextBounded(300),
+                     static_cast<char>(rng.NextBounded(256)));
+        }
+        docs.push_back(std::move(doc));
+        break;
+      }
+      case 2: {  // short repeated pattern: exercises LZ77 match copying
+        std::string pattern;
+        const size_t len = 1 + rng.NextBounded(9);
+        for (size_t i = 0; i < len; ++i) {
+          pattern.push_back(static_cast<char>(rng.NextBounded(256)));
+        }
+        std::string doc;
+        const size_t reps = 2 + rng.NextBounded(120);
+        for (size_t r = 0; r < reps; ++r) doc += pattern;
+        // A few point edits so matches are imperfect.
+        for (size_t e = 0; e < 1 + rng.NextBounded(4) && !doc.empty(); ++e) {
+          doc[rng.NextBounded(doc.size())] =
+              static_cast<char>(rng.NextBounded(256));
+        }
+        docs.push_back(std::move(doc));
+        break;
+      }
+      default: {  // uniform random bytes: the incompressible floor
+        std::string doc;
+        const size_t len = rng.NextBounded(500);
+        doc.reserve(len);
+        for (size_t i = 0; i < len; ++i) {
+          doc.push_back(static_cast<char>(rng.NextBounded(256)));
+        }
+        docs.push_back(std::move(doc));
+        break;
+      }
+    }
+  }
+
+  const std::array<std::unique_ptr<compress::Codec>, 2> codecs = {
+      compress::MakeRleCodec(), compress::MakeLz77Codec()};
+  for (size_t d = 0; d < docs.size(); ++d) {
+    for (const auto& codec : codecs) {
+      ++report.cases;
+      const std::string packed = codec->Compress(docs[d]);
+      auto unpacked = codec->Decompress(packed);
+      if (!unpacked.ok()) {
+        report.failures.push_back(
+            std::string(codec->name()) + " failed to decompress its own "
+            "output (" + unpacked.status().message() + ") on doc " +
+            std::to_string(d) + ": " + EscapeForLog(docs[d]));
+        continue;
+      }
+      if (*unpacked != docs[d]) {
+        report.failures.push_back(
+            std::string(codec->name()) + " round trip changed doc " +
+            std::to_string(d) + " (" + std::to_string(docs[d].size()) +
+            " -> " + std::to_string(unpacked->size()) +
+            " bytes): " + EscapeForLog(docs[d]));
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// Bit-level equality of two header-inference results, for the idempotence
+// check (operator== is not defined on the struct).
+bool InferenceEquals(const csv::HeaderInferenceResult& a,
+                     const csv::HeaderInferenceResult& b) {
+  return a.header_row == b.header_row && a.num_columns == b.num_columns &&
+         a.header == b.header && a.synthesized_names == b.synthesized_names &&
+         a.rows == b.rows;
+}
+
+// Shape invariants InferHeader establishes and cleaning must preserve.
+std::string ShapeViolation(const csv::HeaderInferenceResult& t) {
+  if (t.header.size() != t.num_columns) return "header/num_columns mismatch";
+  for (const auto& row : t.rows) {
+    if (row.size() != t.num_columns) return "row width != num_columns";
+  }
+  return "";
+}
+
+}  // namespace
+
+OracleReport CheckCleaningIdempotence(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "cleaning_idempotence";
+
+  Rng rng = Rng(options.seed).Fork("cleaning_idempotence");
+
+  // Constructed tables with a known number of trailing blank columns: the
+  // header row has `blanks` empty trailing cells (so those names are
+  // synthesized) and every data row leaves them empty. Cleaning must
+  // remove exactly `blanks`, and removing again must be a no-op.
+  for (size_t it = 0; it < options.iterations; ++it) {
+    ++report.cases;
+    const size_t cols = 1 + rng.NextBounded(6);
+    const size_t blanks = 1 + rng.NextBounded(3);
+    const size_t data_rows = 2 + rng.NextBounded(5);
+    csv::RawRecords records;
+    std::vector<std::string> header;
+    for (size_t c = 0; c < cols; ++c) header.push_back("h" + std::to_string(c));
+    header.insert(header.end(), blanks, "");
+    records.push_back(header);
+    for (size_t r = 0; r < data_rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < cols; ++c) {
+        row.push_back("d" + std::to_string(r) + "_" + std::to_string(c));
+      }
+      row.insert(row.end(), blanks, "");
+      records.push_back(row);
+    }
+
+    csv::HeaderInferenceResult inferred = csv::InferHeader(records);
+    const std::string where = "constructed case " + std::to_string(it) +
+                              " (" + std::to_string(cols) + "+" +
+                              std::to_string(blanks) + " cols)";
+    const size_t removed = csv::RemoveTrailingEmptyColumns(inferred);
+    if (removed != blanks) {
+      report.failures.push_back("expected " + std::to_string(blanks) +
+                                " columns removed, got " +
+                                std::to_string(removed) + " at " + where);
+      continue;
+    }
+    const std::string shape = ShapeViolation(inferred);
+    if (!shape.empty()) {
+      report.failures.push_back(shape + " after cleaning at " + where);
+      continue;
+    }
+    csv::HeaderInferenceResult again = inferred;
+    const size_t removed_again = csv::RemoveTrailingEmptyColumns(again);
+    if (removed_again != 0 || !InferenceEquals(again, inferred)) {
+      report.failures.push_back("second cleaning pass not a no-op (" +
+                                std::to_string(removed_again) +
+                                " more removed) at " + where);
+    }
+  }
+
+  // Idempotence over arbitrary parsed documents: seeds plus mutants.
+  const std::vector<std::string>& seeds = BuiltinCsvSeeds();
+  std::vector<std::string> docs = seeds;
+  docs.insert(docs.end(), options.csv_seeds.begin(),
+              options.csv_seeds.end());
+  for (size_t it = 0; it < options.iterations; ++it) {
+    docs.push_back(MutateCsv(rng, seeds[rng.NextBounded(seeds.size())]));
+  }
+  for (size_t d = 0; d < docs.size(); ++d) {
+    ++report.cases;
+    auto parsed = csv::CsvReader::ParseString(docs[d]);
+    if (!parsed.ok()) {
+      report.failures.push_back("lenient parse failed (" +
+                                parsed.status().message() +
+                                ") on doc " + std::to_string(d) + ": " +
+                                EscapeForLog(docs[d]));
+      continue;
+    }
+    csv::HeaderInferenceResult inferred = csv::InferHeader(*parsed);
+    const size_t total_columns = inferred.num_columns;
+    const size_t removed = csv::RemoveTrailingEmptyColumns(inferred);
+    const std::string where =
+        "doc " + std::to_string(d) + ": " + EscapeForLog(docs[d]);
+    if (removed > total_columns) {
+      report.failures.push_back("removed more columns than existed at " +
+                                where);
+      continue;
+    }
+    const std::string shape = ShapeViolation(inferred);
+    if (!shape.empty()) {
+      report.failures.push_back(shape + " after cleaning at " + where);
+      continue;
+    }
+    csv::HeaderInferenceResult again = inferred;
+    const size_t removed_again = csv::RemoveTrailingEmptyColumns(again);
+    if (removed_again != 0 || !InferenceEquals(again, inferred)) {
+      report.failures.push_back("second cleaning pass not a no-op (" +
+                                std::to_string(removed_again) +
+                                " more removed) at " + where);
+    }
+  }
+  return report;
+}
+
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
-  return {CheckCsvRoundTrip(options), CheckFdDifferential(options),
-          CheckBcnfLosslessJoin(options), CheckLshSuperset(options)};
+  return {CheckCsvRoundTrip(options),      CheckFdDifferential(options),
+          CheckBcnfLosslessJoin(options),  CheckLshSuperset(options),
+          CheckCodecRoundTrip(options),    CheckCleaningIdempotence(options)};
 }
 
 }  // namespace ogdp::check

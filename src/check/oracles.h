@@ -62,6 +62,20 @@ OracleReport CheckBcnfLosslessJoin(const OracleOptions& options);
 /// out-of-bounds read), near-duplicates under the default configuration.
 OracleReport CheckLshSuperset(const OracleOptions& options);
 
+/// Lossless round-trip law over both compression codecs (RLE, LZ77):
+/// Decompress(Compress(x)) == x for arbitrary byte strings — CSV seed
+/// documents and their mutants, plus synthetic shapes chosen to stress
+/// each codec (long runs, short repeated patterns, uniform random bytes,
+/// the empty string).
+OracleReport CheckCodecRoundTrip(const OracleOptions& options);
+
+/// Idempotence oracle for the paper's §2.2 cleaning step: running
+/// `RemoveTrailingEmptyColumns` a second time removes nothing and leaves
+/// the inference result bit-identical, and the first run keeps the
+/// header/rows/num_columns invariants consistent. Also checks exact
+/// removal counts on constructed tables with known trailing-blank shapes.
+OracleReport CheckCleaningIdempotence(const OracleOptions& options);
+
 /// Runs all oracles in a fixed order.
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options);
 

@@ -1,8 +1,41 @@
 #include "fd/cardinality_engine.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 namespace ogdp::fd {
+
+namespace {
+
+constexpr uint32_t kUnassigned = 0xffffffffu;
+
+// Groups row ids by base class id into scratch.sorted_rows (rows ascending
+// within each class) and returns the number of base classes. class c spans
+// [scratch.class_start[c], scratch.class_start[c + 1]).
+uint32_t GroupByBaseClass(const CardinalityEngine::ClassIds& base,
+                          CardinalityEngine::RefineScratch& scratch) {
+  uint32_t base_card = 0;
+  for (uint32_t id : base) base_card = std::max(base_card, id + 1);
+
+  scratch.class_start.assign(base_card + 1, 0);
+  for (uint32_t id : base) ++scratch.class_start[id + 1];
+  for (uint32_t c = 0; c < base_card; ++c) {
+    scratch.class_start[c + 1] += scratch.class_start[c];
+  }
+  scratch.sorted_rows.resize(base.size());
+  // Scatter with a moving cursor; afterwards class_start[c] is the END of
+  // class c, i.e. the start of class c + 1 — restore by shifting once.
+  for (size_t r = 0; r < base.size(); ++r) {
+    scratch.sorted_rows[scratch.class_start[base[r]]++] =
+        static_cast<uint32_t>(r);
+  }
+  for (uint32_t c = base_card; c > 0; --c) {
+    scratch.class_start[c] = scratch.class_start[c - 1];
+  }
+  scratch.class_start[0] = 0;
+  return base_card;
+}
+
+}  // namespace
 
 CardinalityEngine::CardinalityEngine(const table::Table& table)
     : rows_(table.num_rows()) {
@@ -29,32 +62,59 @@ CardinalityEngine::CardinalityEngine(const table::Table& table)
 }
 
 std::pair<uint64_t, CardinalityEngine::ClassIds> CardinalityEngine::Refine(
-    const ClassIds& base, size_t attr) const {
+    const ClassIds& base, size_t attr, RefineScratch& scratch) const {
+  if (rows_ == 0) return {0, {}};
   const ClassIds& ids = attr_ids_[attr];
-  const uint64_t domain = attr_card_[attr];
-  std::unordered_map<uint64_t, uint32_t> remap;
-  remap.reserve(rows_ / 2 + 1);
-  ClassIds out(rows_);
-  for (size_t r = 0; r < rows_; ++r) {
-    const uint64_t key = static_cast<uint64_t>(base[r]) * domain + ids[r];
-    auto [it, inserted] =
-        remap.try_emplace(key, static_cast<uint32_t>(remap.size()));
-    out[r] = it->second;
+  const uint64_t attr_domain = attr_card_[attr];
+  const uint32_t base_card = GroupByBaseClass(base, scratch);
+
+  if (scratch.sub_id.size() < attr_domain) {
+    scratch.sub_id.resize(attr_domain, kUnassigned);
   }
-  return {remap.size(), std::move(out)};
+  ClassIds out(rows_);
+  uint32_t next_id = 0;
+  for (uint32_t c = 0; c < base_card; ++c) {
+    scratch.touched.clear();
+    for (uint32_t i = scratch.class_start[c]; i < scratch.class_start[c + 1];
+         ++i) {
+      const uint32_t row = scratch.sorted_rows[i];
+      const uint32_t a = ids[row];
+      if (scratch.sub_id[a] == kUnassigned) {
+        scratch.sub_id[a] = next_id++;
+        scratch.touched.push_back(a);
+      }
+      out[row] = scratch.sub_id[a];
+    }
+    for (uint32_t a : scratch.touched) scratch.sub_id[a] = kUnassigned;
+  }
+  return {next_id, std::move(out)};
 }
 
-uint64_t CardinalityEngine::RefineCount(const ClassIds& base,
-                                        size_t attr) const {
+uint64_t CardinalityEngine::RefineCount(const ClassIds& base, size_t attr,
+                                        RefineScratch& scratch) const {
+  if (rows_ == 0) return 0;
   const ClassIds& ids = attr_ids_[attr];
-  const uint64_t domain = attr_card_[attr];
-  std::unordered_map<uint64_t, uint32_t> remap;
-  remap.reserve(rows_ / 2 + 1);
-  for (size_t r = 0; r < rows_; ++r) {
-    const uint64_t key = static_cast<uint64_t>(base[r]) * domain + ids[r];
-    remap.try_emplace(key, 0);
+  const uint64_t attr_domain = attr_card_[attr];
+  const uint32_t base_card = GroupByBaseClass(base, scratch);
+
+  if (scratch.sub_id.size() < attr_domain) {
+    scratch.sub_id.resize(attr_domain, kUnassigned);
   }
-  return remap.size();
+  uint64_t distinct = 0;
+  for (uint32_t c = 0; c < base_card; ++c) {
+    scratch.touched.clear();
+    for (uint32_t i = scratch.class_start[c]; i < scratch.class_start[c + 1];
+         ++i) {
+      const uint32_t a = ids[scratch.sorted_rows[i]];
+      if (scratch.sub_id[a] == kUnassigned) {
+        scratch.sub_id[a] = 1;
+        scratch.touched.push_back(a);
+        ++distinct;
+      }
+    }
+    for (uint32_t a : scratch.touched) scratch.sub_id[a] = kUnassigned;
+  }
+  return distinct;
 }
 
 }  // namespace ogdp::fd

@@ -17,10 +17,19 @@ namespace ogdp::fd {
 /// documented in DESIGN.md). The cardinality of an attribute set is the
 /// number of distinct projected tuples; sets are evaluated by iteratively
 /// refining a class-id vector with one attribute at a time, O(rows) per
-/// refinement step.
+/// refinement step via a counting-sort + probe-table pass (no hashing).
 class CardinalityEngine {
  public:
   using ClassIds = std::vector<uint32_t>;
+
+  /// Reusable buffers for Refine/RefineCount. One instance per thread;
+  /// sized to the table on first use and recycled across calls.
+  struct RefineScratch {
+    std::vector<uint32_t> class_start;  // exclusive prefix sums per base id
+    std::vector<uint32_t> sorted_rows;  // rows grouped by base class id
+    std::vector<uint32_t> sub_id;       // attr class id -> refined id
+    std::vector<uint32_t> touched;      // attr class ids to reset
+  };
 
   explicit CardinalityEngine(const table::Table& table);
 
@@ -38,12 +47,29 @@ class CardinalityEngine {
   }
 
   /// Refines `base` class ids by attribute `attr`, producing the class ids
-  /// of the combined projection and its cardinality.
-  std::pair<uint64_t, ClassIds> Refine(const ClassIds& base,
-                                       size_t attr) const;
+  /// of the combined projection and its cardinality. `base` must be dense
+  /// (every value in [0, max+1) — true for attribute ids and for any
+  /// previous Refine output). Refined ids are assigned in (base class,
+  /// first row within the class) order; callers must treat the labeling as
+  /// opaque (grouping only). O(rows) with a warm scratch.
+  std::pair<uint64_t, ClassIds> Refine(const ClassIds& base, size_t attr,
+                                       RefineScratch& scratch) const;
 
   /// Like `Refine` but returns only the cardinality (no id vector built).
-  uint64_t RefineCount(const ClassIds& base, size_t attr) const;
+  uint64_t RefineCount(const ClassIds& base, size_t attr,
+                       RefineScratch& scratch) const;
+
+  /// Convenience overloads with call-local scratch (still linear, but the
+  /// buffers are reallocated every call; hot loops should hold a scratch).
+  std::pair<uint64_t, ClassIds> Refine(const ClassIds& base,
+                                       size_t attr) const {
+    RefineScratch scratch;
+    return Refine(base, attr, scratch);
+  }
+  uint64_t RefineCount(const ClassIds& base, size_t attr) const {
+    RefineScratch scratch;
+    return RefineCount(base, attr, scratch);
+  }
 
  private:
   size_t rows_ = 0;

@@ -27,6 +27,22 @@ uint64_t SetCardinality(const CardinalityEngine& engine, AttributeSet set) {
 
 }  // namespace
 
+bool FdOutputLess(const FunctionalDependency& a,
+                  const FunctionalDependency& b) {
+  const size_t sa = SetSize(a.lhs);
+  const size_t sb = SetSize(b.lhs);
+  if (sa != sb) return sa < sb;
+  if (a.lhs != b.lhs) return a.lhs < b.lhs;
+  return a.rhs < b.rhs;
+}
+
+bool KeyOutputLess(AttributeSet a, AttributeSet b) {
+  const size_t sa = SetSize(a);
+  const size_t sb = SetSize(b);
+  if (sa != sb) return sa < sb;
+  return a < b;
+}
+
 bool FdHolds(const table::Table& table, const FunctionalDependency& fd) {
   if (table.num_rows() == 0) return true;
   if (Contains(fd.lhs, fd.rhs)) return true;  // trivial

@@ -28,6 +28,15 @@ struct FunctionalDependency {
   }
 };
 
+/// Canonical output order shared by every miner (TANE, FUN) and the
+/// candidate-key finder: ascending (lhs size, lhs, rhs). Sorting with
+/// these makes independently mined results byte-comparable.
+bool FdOutputLess(const FunctionalDependency& a,
+                  const FunctionalDependency& b);
+
+/// Canonical candidate-key order: ascending (size, set).
+bool KeyOutputLess(AttributeSet a, AttributeSet b);
+
 /// Checks by direct scan whether `fd` holds on `table` (nulls compare
 /// equal). Reference oracle for tests; O(rows) time and space.
 bool FdHolds(const table::Table& table, const FunctionalDependency& fd);

@@ -1,6 +1,7 @@
 #ifndef OGDP_FD_FD_MINER_H_
 #define OGDP_FD_FD_MINER_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "fd/fd.h"
@@ -21,6 +22,29 @@ struct FdMinerOptions {
   /// Safety valve for adversarial inputs: abort with an error when the
   /// levelwise lattice exceeds this many nodes (0 = unlimited).
   size_t max_lattice_nodes = 0;
+
+  /// TANE only: byte budget for cached lattice partitions (0 = unlimited).
+  /// Singleton attribute partitions are always pinned; when a level's
+  /// partitions overflow the budget the overflow is recomputed on demand
+  /// from the singletons, trading time for memory. Never changes results.
+  size_t partition_budget_bytes = size_t{256} << 20;
+};
+
+/// Per-phase instrumentation of one mining run (fed to bench_fd).
+struct FdPhaseStats {
+  /// Engine construction + level-1 (singleton) partition builds.
+  double build_seconds = 0;
+  /// Partition products / cardinality refinements across all levels.
+  double product_seconds = 0;
+  /// Dependency computation + pruning + candidate generation bookkeeping.
+  double prune_seconds = 0;
+  /// Partition products (TANE) or refinements (FUN) computed.
+  size_t products = 0;
+  /// Cache misses recomputed from singleton partitions (TANE only).
+  size_t partition_rebuilds = 0;
+  /// High-water mark of live partition bytes, cache-resident plus the
+  /// in-flight products of the level being generated (TANE only).
+  size_t peak_partition_bytes = 0;
 };
 
 /// Discovery output: the minimal non-trivial FDs plus the minimal candidate
@@ -32,7 +56,16 @@ struct FdMineResult {
   std::vector<AttributeSet> candidate_keys;
   /// Number of lattice nodes whose cardinality/partition was evaluated.
   size_t nodes_explored = 0;
+  FdPhaseStats stats;
 };
+
+/// Sorts a mining result into the canonical output order (FdOutputLess /
+/// KeyOutputLess) both miners emit, making results byte-comparable.
+inline void CanonicalizeMineResult(FdMineResult& result) {
+  std::sort(result.fds.begin(), result.fds.end(), FdOutputLess);
+  std::sort(result.candidate_keys.begin(), result.candidate_keys.end(),
+            KeyOutputLess);
+}
 
 /// Exact minimal-FD discovery, both algorithms from scratch:
 ///
@@ -47,6 +80,12 @@ struct FdMineResult {
 ///
 /// Both return the same set of FDs (asserted by tests and the ablation
 /// bench). Tables must have at most `kMaxFdColumns` columns.
+///
+/// Both miners parallelize within a table across the lattice nodes of
+/// each level on the global `ogdp::util` pool; results (including
+/// `nodes_explored`) are byte-identical at every thread count, and calls
+/// from inside a pool worker (table-level parallelism in core/analysis)
+/// run inline serial.
 Result<FdMineResult> MineFun(const table::Table& table,
                              const FdMinerOptions& options = {});
 Result<FdMineResult> MineTane(const table::Table& table,

@@ -1,34 +1,19 @@
+// FUN [Novelli & Cicchetti 2001]: a levelwise walk over free sets with
+// projection cardinalities instead of partitions. Refinements run through
+// CardinalityEngine's linear-time probe pass; within each level the
+// candidate refinements fan out over the global `ogdp::util` pool and the
+// calling thread folds the results in the serial candidate order, so
+// output (and nodes_explored) is byte-identical at every thread count.
+
 #include <algorithm>
 #include <unordered_map>
 
 #include "fd/cardinality_engine.h"
 #include "fd/fd_miner.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace ogdp::fd {
-
-namespace {
-
-// Sorts FDs by (lhs size, lhs, rhs) and keys by (size, set) so output is
-// stable across runs and algorithms.
-void Canonicalize(FdMineResult& result) {
-  std::sort(result.fds.begin(), result.fds.end(),
-            [](const FunctionalDependency& a, const FunctionalDependency& b) {
-              const size_t sa = SetSize(a.lhs);
-              const size_t sb = SetSize(b.lhs);
-              if (sa != sb) return sa < sb;
-              if (a.lhs != b.lhs) return a.lhs < b.lhs;
-              return a.rhs < b.rhs;
-            });
-  std::sort(result.candidate_keys.begin(), result.candidate_keys.end(),
-            [](AttributeSet a, AttributeSet b) {
-              const size_t sa = SetSize(a);
-              const size_t sb = SetSize(b);
-              if (sa != sb) return sa < sb;
-              return a < b;
-            });
-}
-
-}  // namespace
 
 Result<FdMineResult> MineFun(const table::Table& table,
                              const FdMinerOptions& options) {
@@ -42,6 +27,7 @@ Result<FdMineResult> MineFun(const table::Table& table,
   const size_t rows = table.num_rows();
   if (rows == 0 || attrs == 0) return result;
 
+  Stopwatch phase;
   CardinalityEngine engine(table);
 
   // Cardinalities of every discovered free set, the empty set included.
@@ -73,16 +59,26 @@ Result<FdMineResult> MineFun(const table::Table& table,
       level.push_back(Node{s, card, engine.AttributeClassIds(a)});
     }
   }
+  result.stats.build_seconds = phase.ElapsedSeconds();
 
   // Levels 2 .. max_lhs + 1. The extra level supplies card(X | {a}) for
   // LHS candidates X of the maximum size.
   const size_t max_level = options.max_lhs + 1;
   for (size_t k = 2; k <= max_level && !level.empty(); ++k) {
-    std::vector<Node> next;
-    for (const Node& node : level) {
-      // Generate X | {b} once per candidate: b above the highest attribute
-      // of X. Apriori condition: every immediate subset must be free (a
-      // non-free subset forces the candidate non-free).
+    // Candidate enumeration: X | {b} once per candidate (b above the
+    // highest attribute of X), apriori-checked against the free sets of
+    // the previous level. free_card changes during this level only for
+    // size-k sets, so the candidate list is fixed up front — and with it
+    // nodes_explored and the lattice-limit behavior.
+    phase.Restart();
+    struct Candidate {
+      size_t node;
+      size_t attr;
+      uint64_t max_subset_card;
+    };
+    std::vector<Candidate> cands;
+    for (size_t n = 0; n < level.size(); ++n) {
+      const Node& node = level[n];
       for (size_t b = 0; b < attrs; ++b) {
         const AttributeSet cand = Add(node.set, b);
         if (cand == node.set) continue;
@@ -107,7 +103,6 @@ Result<FdMineResult> MineFun(const table::Table& table,
           }
         }
         if (!subsets_free) continue;
-
         ++nodes;
         if (options.max_lattice_nodes > 0 &&
             nodes > options.max_lattice_nodes) {
@@ -115,16 +110,45 @@ Result<FdMineResult> MineFun(const table::Table& table,
               "FD lattice exceeded max_lattice_nodes on table '" +
               table.name() + "'");
         }
-        auto [card, ids] = engine.Refine(node.ids, b);
-        if (card == max_subset_card) continue;  // non-free
-        free_card.emplace(cand, card);
-        if (card == rows) {
-          result.candidate_keys.push_back(cand);
-        } else if (k < max_level) {
-          next.push_back(Node{cand, card, std::move(ids)});
-        }
+        cands.push_back(Candidate{n, b, max_subset_card});
       }
     }
+    result.stats.prune_seconds += phase.ElapsedSeconds();
+
+    // Refinement fan-out (the hot path), then an ordered fold that
+    // replays the serial insertion sequence exactly.
+    phase.Restart();
+    struct Refined {
+      uint64_t card = 0;
+      CardinalityEngine::ClassIds ids;
+    };
+    std::vector<Refined> refined(cands.size());
+    util::ParallelForChunks(0, cands.size(), [&](size_t lo, size_t hi) {
+      CardinalityEngine::RefineScratch scratch;
+      for (size_t i = lo; i < hi; ++i) {
+        auto [card, ids] =
+            engine.Refine(level[cands[i].node].ids, cands[i].attr, scratch);
+        refined[i] = Refined{card, std::move(ids)};
+      }
+    });
+    result.stats.products += cands.size();
+    result.stats.product_seconds += phase.ElapsedSeconds();
+
+    phase.Restart();
+    std::vector<Node> next;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      const AttributeSet cand =
+          Add(level[cands[i].node].set, cands[i].attr);
+      const uint64_t card = refined[i].card;
+      if (card == cands[i].max_subset_card) continue;  // non-free
+      free_card.emplace(cand, card);
+      if (card == rows) {
+        result.candidate_keys.push_back(cand);
+      } else if (k < max_level) {
+        next.push_back(Node{cand, card, std::move(refined[i].ids)});
+      }
+    }
+    result.stats.prune_seconds += phase.ElapsedSeconds();
     level = std::move(next);
   }
   result.nodes_explored = nodes;
@@ -144,6 +168,7 @@ Result<FdMineResult> MineFun(const table::Table& table,
 
   // Emission: every minimal FD has a free LHS, so scanning free sets is
   // exhaustive up to max_lhs.
+  phase.Restart();
   for (const auto& [lhs, card] : free_card) {
     if (SetSize(lhs) > options.max_lhs) continue;
     if (options.exclude_key_lhs && card == rows) continue;
@@ -162,8 +187,9 @@ Result<FdMineResult> MineFun(const table::Table& table,
       if (minimal) result.fds.push_back(FunctionalDependency{lhs, a});
     }
   }
+  result.stats.prune_seconds += phase.ElapsedSeconds();
 
-  Canonicalize(result);
+  CanonicalizeMineResult(result);
   return result;
 }
 

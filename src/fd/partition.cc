@@ -1,0 +1,191 @@
+#include "fd/partition.h"
+
+#include <algorithm>
+
+namespace ogdp::fd {
+
+namespace {
+
+constexpr uint32_t kSkip = 0xffffffffu;
+
+// Grows `v` to at least `n` zero-initialized slots without shrinking.
+void EnsureZeroed(std::vector<uint32_t>& v, size_t n) {
+  if (v.size() < n) v.resize(n, 0);
+}
+
+}  // namespace
+
+void BuildAttributePartition(const CardinalityEngine::ClassIds& ids,
+                             uint64_t domain, StrippedPartition* out) {
+  out->rows.clear();
+  out->offsets.assign(1, 0);
+  out->error = 0;
+
+  std::vector<uint32_t> count(domain, 0);
+  for (uint32_t id : ids) ++count[id];
+
+  // Write cursor per class with >= 2 members, classes in ascending id
+  // order; singleton and empty classes are skipped.
+  std::vector<uint32_t> cursor(domain, kSkip);
+  uint32_t covered = 0;
+  for (uint64_t id = 0; id < domain; ++id) {
+    if (count[id] >= 2) {
+      cursor[id] = covered;
+      covered += count[id];
+      out->offsets.push_back(covered);
+    }
+  }
+  out->rows.resize(covered);
+  for (size_t r = 0; r < ids.size(); ++r) {
+    uint32_t& pos = cursor[ids[r]];
+    if (pos != kSkip) out->rows[pos++] = static_cast<uint32_t>(r);
+  }
+  out->error = covered - out->num_classes();
+}
+
+void PartitionProduct(const StrippedPartition& parent,
+                      const CardinalityEngine::ClassIds& attr_ids,
+                      uint64_t attr_domain, PartitionScratch& scratch,
+                      StrippedPartition* out) {
+  EnsureZeroed(scratch.count, attr_domain);
+  if (scratch.cursor.size() < attr_domain) scratch.cursor.resize(attr_domain);
+  scratch.touched.clear();
+
+  out->offsets.assign(1, 0);
+  out->rows.resize(parent.rows.size());  // upper bound; shrunk at the end
+
+  uint32_t covered = 0;
+  const size_t classes = parent.num_classes();
+  for (size_t c = 0; c < classes; ++c) {
+    const uint32_t lo = parent.offsets[c];
+    const uint32_t hi = parent.offsets[c + 1];
+    scratch.touched.clear();
+    for (uint32_t i = lo; i < hi; ++i) {
+      const uint32_t id = attr_ids[parent.rows[i]];
+      if (scratch.count[id]++ == 0) scratch.touched.push_back(id);
+    }
+    // Sub-classes with >= 2 members get a write cursor, in order of first
+    // appearance within the parent class; the rest are dropped (they are
+    // singletons of the refined partition).
+    for (uint32_t id : scratch.touched) {
+      if (scratch.count[id] >= 2) {
+        scratch.cursor[id] = covered;
+        covered += scratch.count[id];
+        out->offsets.push_back(covered);
+      } else {
+        scratch.cursor[id] = kSkip;
+      }
+    }
+    for (uint32_t i = lo; i < hi; ++i) {
+      const uint32_t row = parent.rows[i];
+      uint32_t& pos = scratch.cursor[attr_ids[row]];
+      if (pos != kSkip) out->rows[pos++] = row;
+    }
+    for (uint32_t id : scratch.touched) scratch.count[id] = 0;
+  }
+  out->rows.resize(covered);
+  out->error = covered - out->num_classes();
+}
+
+StrippedPartition ReferenceHashProduct(
+    const StrippedPartition& parent, const CardinalityEngine::ClassIds& ids) {
+  StrippedPartition out;
+  out.offsets.assign(1, 0);
+  std::unordered_map<uint32_t, std::vector<uint32_t>> split;
+  const size_t classes = parent.num_classes();
+  for (size_t c = 0; c < classes; ++c) {
+    split.clear();
+    for (uint32_t i = parent.offsets[c]; i < parent.offsets[c + 1]; ++i) {
+      const uint32_t row = parent.rows[i];
+      split[ids[row]].push_back(row);
+    }
+    for (auto& [id, rows] : split) {
+      if (rows.size() >= 2) {
+        out.rows.insert(out.rows.end(), rows.begin(), rows.end());
+        out.offsets.push_back(static_cast<uint32_t>(out.rows.size()));
+      }
+    }
+  }
+  out.error = out.rows.size() - out.num_classes();
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> ClassesAsSortedSets(
+    const StrippedPartition& partition) {
+  std::vector<std::vector<uint32_t>> classes;
+  classes.reserve(partition.num_classes());
+  for (size_t c = 0; c < partition.num_classes(); ++c) {
+    classes.emplace_back(partition.rows.begin() + partition.offsets[c],
+                         partition.rows.begin() + partition.offsets[c + 1]);
+    std::sort(classes.back().begin(), classes.back().end());
+  }
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+void PartitionCache::PinSingleton(size_t attr, StrippedPartition&& p) {
+  if (singletons_.size() <= attr) singletons_.resize(attr + 1);
+  bytes_ += p.bytes();
+  singletons_[attr] = std::move(p);
+  peak_bytes_ = std::max(peak_bytes_, bytes_);
+}
+
+const StrippedPartition* PartitionCache::Find(AttributeSet set) const {
+  if (SetSize(set) == 1) {
+    const size_t attr = SetMembers(set)[0];
+    return attr < singletons_.size() ? &singletons_[attr] : nullptr;
+  }
+  const auto it = composites_.find(set);
+  return it == composites_.end() ? nullptr : &it->second;
+}
+
+bool PartitionCache::Insert(AttributeSet set, StrippedPartition&& p) {
+  Evict(set);  // replacing an entry must not double-count its bytes
+  const size_t cost = p.bytes();
+  if (budget_ > 0 && bytes_ + cost > budget_) {
+    ++declined_;
+    return false;
+  }
+  bytes_ += cost;
+  peak_bytes_ = std::max(peak_bytes_, bytes_);
+  composites_.emplace(set, std::move(p));
+  return true;
+}
+
+void PartitionCache::Evict(AttributeSet set) {
+  const auto it = composites_.find(set);
+  if (it == composites_.end()) return;
+  bytes_ -= it->second.bytes();
+  composites_.erase(it);
+}
+
+void PartitionCache::EvictLevel(size_t level) {
+  for (auto it = composites_.begin(); it != composites_.end();) {
+    if (SetSize(it->first) == level) {
+      bytes_ -= it->second.bytes();
+      it = composites_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PartitionCache::NoteTransientBytes(size_t bytes) {
+  peak_bytes_ = std::max(peak_bytes_, bytes_ + bytes);
+}
+
+void RebuildPartition(const PartitionCache& cache,
+                      const CardinalityEngine& engine, AttributeSet set,
+                      PartitionScratch& scratch, StrippedPartition* out) {
+  const std::vector<size_t> members = SetMembers(set);
+  *out = cache.Singleton(members[0]);
+  for (size_t i = 1; i < members.size(); ++i) {
+    const size_t attr = members[i];
+    PartitionProduct(*out, engine.AttributeClassIds(attr),
+                     engine.AttributeCardinality(attr), scratch,
+                     &scratch.chain_tmp);
+    std::swap(*out, scratch.chain_tmp);
+  }
+}
+
+}  // namespace ogdp::fd

@@ -1,0 +1,141 @@
+#ifndef OGDP_FD_PARTITION_H_
+#define OGDP_FD_PARTITION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "fd/cardinality_engine.h"
+
+namespace ogdp::fd {
+
+/// A stripped partition in flat form: the equivalence classes of row ids
+/// under an attribute set, singleton classes removed (they carry no FD
+/// information), stored as one contiguous row arena plus class offsets.
+///
+/// Class c spans rows[offsets[c], offsets[c+1]); offsets always starts
+/// with 0, so num_classes() == offsets.size() - 1 and an empty partition
+/// (all rows unique under the set) is offsets == {0}. Rows within a class
+/// are ascending; class order is deterministic (see BuildAttributePartition
+/// and PartitionProduct).
+struct StrippedPartition {
+  std::vector<uint32_t> rows;
+  std::vector<uint32_t> offsets{0};
+  /// e(X) = (rows covered by classes) - (number of classes). Two sets have
+  /// equal partitions iff the smaller one's error equals the larger one's
+  /// (TANE's validity test for X\{a} -> a is e(X\{a}) == e(X)).
+  size_t error = 0;
+
+  size_t num_classes() const { return offsets.size() - 1; }
+  size_t covered_rows() const { return rows.size(); }
+  /// Heap footprint charged against the partition-cache budget.
+  size_t bytes() const {
+    return (rows.capacity() + offsets.capacity()) * sizeof(uint32_t);
+  }
+
+  friend bool operator==(const StrippedPartition&,
+                         const StrippedPartition&) = default;
+};
+
+/// Reusable scratch for the linear-time partition product. Sized to the
+/// table on first use and recycled across calls; one instance per thread
+/// (the buffers are written concurrently-unsafely).
+struct PartitionScratch {
+  std::vector<uint32_t> count;    // per attribute-class-id occurrence count
+  std::vector<uint32_t> cursor;   // per attribute-class-id write position
+  std::vector<uint32_t> touched;  // class ids seen in the current class
+  StrippedPartition chain_tmp;    // ping-pong buffer for RebuildPartition
+};
+
+/// Builds the stripped partition of a single attribute from its dense
+/// class ids (classes in ascending class-id order, rows ascending).
+void BuildAttributePartition(const CardinalityEngine::ClassIds& ids,
+                             uint64_t domain, StrippedPartition* out);
+
+/// pi(X | {b}) = pi(X) refined by attribute b, via the linear-time probe
+/// product: every parent class is split by b's class ids using the scratch
+/// count table — zero hashing, zero per-class allocation. Sub-classes are
+/// emitted in (parent class, first appearance within the class) order, so
+/// the result is deterministic. `attr_domain` must bound b's class ids.
+/// O(|covered rows of parent|) after scratch warm-up.
+void PartitionProduct(const StrippedPartition& parent,
+                      const CardinalityEngine::ClassIds& attr_ids,
+                      uint64_t attr_domain, PartitionScratch& scratch,
+                      StrippedPartition* out);
+
+/// The pre-flat hash-based product (an unordered_map per parent class),
+/// kept verbatim as the differential-test and benchmark baseline for
+/// PartitionProduct. Class order follows hash-map iteration and is NOT
+/// canonical; compare results with ClassesAsSortedSets.
+StrippedPartition ReferenceHashProduct(const StrippedPartition& parent,
+                                       const CardinalityEngine::ClassIds& ids);
+
+/// Order-insensitive view for comparing products from different
+/// implementations: the classes as sorted row vectors, sorted.
+std::vector<std::vector<uint32_t>> ClassesAsSortedSets(
+    const StrippedPartition& partition);
+
+/// Memory-budgeted store for the lattice partitions of one table.
+///
+/// Singleton attribute partitions are pinned (never evicted, never
+/// declined, but their bytes do count as live against the budget);
+/// composite partitions are held subject to `budget_bytes`
+/// (0 = unlimited): an insert that would exceed the budget is declined and
+/// the partition is simply not retained — a later Get falls back to
+/// RebuildPartition from the pinned singletons, trading time for memory.
+/// Level-based eviction (EvictLevel) lets TANE free level k's partitions
+/// as soon as level k+1 is built, so at most one lattice level plus the
+/// singletons is ever live. All methods are single-threaded by design;
+/// parallel sections only read partitions obtained before the fan-out.
+class PartitionCache {
+ public:
+  explicit PartitionCache(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  void PinSingleton(size_t attr, StrippedPartition&& p);
+  const StrippedPartition& Singleton(size_t attr) const {
+    return singletons_[attr];
+  }
+  size_t num_singletons() const { return singletons_.size(); }
+
+  /// Resident partition for `set` (singletons included), or nullptr.
+  const StrippedPartition* Find(AttributeSet set) const;
+
+  /// Stores a composite partition unless that would exceed the budget.
+  /// Returns false when declined (the partition is dropped).
+  bool Insert(AttributeSet set, StrippedPartition&& p);
+
+  /// Drops one composite entry if present (e.g. a pruned lattice node).
+  void Evict(AttributeSet set);
+
+  /// Drops every composite entry of `SetSize == level` (level >= 2;
+  /// singletons are pinned and never dropped).
+  void EvictLevel(size_t level);
+
+  /// Folds a transient allocation (e.g. the in-flight products of one
+  /// lattice level) into the peak accounting.
+  void NoteTransientBytes(size_t bytes);
+
+  size_t bytes_in_use() const { return bytes_; }
+  size_t peak_bytes() const { return peak_bytes_; }
+  size_t declined_inserts() const { return declined_; }
+
+ private:
+  size_t budget_ = 0;
+  size_t bytes_ = 0;
+  size_t peak_bytes_ = 0;
+  size_t declined_ = 0;
+  std::vector<StrippedPartition> singletons_;
+  std::unordered_map<AttributeSet, StrippedPartition> composites_;
+};
+
+/// Recomputes pi(set) by chaining PartitionProduct over the cache's pinned
+/// singletons (the miss path of the budgeted cache). `set` must be
+/// non-empty and every member must have a pinned singleton.
+void RebuildPartition(const PartitionCache& cache,
+                      const CardinalityEngine& engine, AttributeSet set,
+                      PartitionScratch& scratch, StrippedPartition* out);
+
+}  // namespace ogdp::fd
+
+#endif  // OGDP_FD_PARTITION_H_

@@ -1,67 +1,41 @@
+// TANE [Huhtala et al. 1999] on the flat partition substrate (fd/partition):
+// arena-backed stripped partitions, linear-time probe products, a
+// memory-budgeted partition cache holding at most one lattice level plus
+// the pinned singletons, and intra-table parallelism across the lattice
+// nodes of each level. Results are byte-identical to the serial walk at
+// every thread count: each parallel stage computes pure per-node values
+// into pre-sized slots and the calling thread folds them in ascending
+// attribute-set order.
+
 #include <algorithm>
 #include <unordered_map>
 #include <vector>
 
 #include "fd/cardinality_engine.h"
 #include "fd/fd_miner.h"
+#include "fd/partition.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace ogdp::fd {
 
 namespace {
 
-// A stripped partition: equivalence classes of row ids under an attribute
-// set, with singleton classes removed (they carry no FD information).
-struct StrippedPartition {
-  std::vector<std::vector<uint32_t>> classes;
-  // e(X) = (rows covered by classes) - (number of classes); two sets have
-  // equal partitions iff the smaller one's error equals the larger one's
-  // (TANE's validity test for X\{a} -> a is e(X\{a}) == e(X)).
+// Lattice node state outside the partition cache: partitions carry the
+// only O(rows) payload, so pruned levels keep just these scalars.
+struct NodeInfo {
   size_t error = 0;
-
-  void ComputeError() {
-    size_t covered = 0;
-    for (const auto& c : classes) covered += c.size();
-    error = covered - classes.size();
-  }
-};
-
-StrippedPartition FromClassIds(const CardinalityEngine::ClassIds& ids,
-                               uint64_t domain) {
-  std::vector<std::vector<uint32_t>> buckets(domain);
-  for (size_t r = 0; r < ids.size(); ++r) {
-    buckets[ids[r]].push_back(static_cast<uint32_t>(r));
-  }
-  StrippedPartition p;
-  for (auto& b : buckets) {
-    if (b.size() >= 2) p.classes.push_back(std::move(b));
-  }
-  p.ComputeError();
-  return p;
-}
-
-// pi(X union {b}) = pi(X) refined by attribute b: split every class of
-// pi(X) by b's class ids.
-StrippedPartition Intersect(const StrippedPartition& px,
-                            const CardinalityEngine::ClassIds& b_ids) {
-  StrippedPartition out;
-  std::unordered_map<uint32_t, std::vector<uint32_t>> split;
-  for (const auto& cls : px.classes) {
-    split.clear();
-    for (uint32_t r : cls) split[b_ids[r]].push_back(r);
-    for (auto& [id, rows] : split) {
-      if (rows.size() >= 2) out.classes.push_back(std::move(rows));
-    }
-  }
-  out.ComputeError();
-  return out;
-}
-
-struct Node {
-  StrippedPartition partition;
   AttributeSet cplus = 0;  // rhs candidates C+(X)
 };
 
-using Level = std::unordered_map<AttributeSet, Node>;
+using Level = std::unordered_map<AttributeSet, NodeInfo>;
+
+// A level-(k+1) candidate: parent | {attr} with attr above max(parent).
+struct Candidate {
+  AttributeSet set = 0;
+  AttributeSet parent = 0;
+  size_t attr = 0;
+};
 
 }  // namespace
 
@@ -77,76 +51,102 @@ Result<FdMineResult> MineTane(const table::Table& table,
   const size_t rows = table.num_rows();
   if (rows == 0 || attrs == 0) return result;
 
+  Stopwatch phase;
   CardinalityEngine engine(table);
+  PartitionCache cache(options.partition_budget_bytes);
   const AttributeSet all_attrs =
       attrs == kMaxFdColumns ? ~AttributeSet{0}
                              : (AttributeSet{1} << attrs) - 1;
   const size_t empty_error = rows >= 2 ? rows - 1 : 0;  // pi(empty): 1 class
 
-  // Level 1.
+  // Level 1: singleton partitions (parallel build, pinned in the cache).
   Level prev;  // level k-1 nodes that survived pruning
   Level curr;
+  std::vector<AttributeSet> order;  // curr's sets, ascending
   size_t nodes = 0;
-  for (size_t a = 0; a < attrs; ++a) {
-    ++nodes;
-    Node node;
-    node.partition =
-        FromClassIds(engine.AttributeClassIds(a), engine.AttributeCardinality(a));
-    node.cplus = all_attrs;  // C+(X) = C+(empty) = R for singletons
-    curr.emplace(SingletonSet(a), std::move(node));
+  {
+    std::vector<StrippedPartition> singles(attrs);
+    util::ParallelFor(0, attrs, [&](size_t a) {
+      BuildAttributePartition(engine.AttributeClassIds(a),
+                              engine.AttributeCardinality(a), &singles[a]);
+    });
+    for (size_t a = 0; a < attrs; ++a) {
+      ++nodes;
+      curr.emplace(SingletonSet(a), NodeInfo{singles[a].error, all_attrs});
+      order.push_back(SingletonSet(a));
+      cache.PinSingleton(a, std::move(singles[a]));
+    }
   }
-
-  // Error lookup across the previous level (and the empty set).
-  auto prev_error = [&](AttributeSet s) -> size_t {
-    if (s == 0) return empty_error;
-    return prev.at(s).partition.error;
-  };
+  result.stats.build_seconds = phase.ElapsedSeconds();
 
   const size_t max_level = options.max_lhs + 1;
   for (size_t k = 1; k <= max_level && !curr.empty(); ++k) {
-    // COMPUTE_DEPENDENCIES.
-    for (auto& [x, node] : curr) {
+    // COMPUTE_DEPENDENCIES: per-node work reads only prev, so nodes fan
+    // out in parallel; the fold below applies them in ascending-set order.
+    phase.Restart();
+    struct DepOut {
+      AttributeSet cplus = 0;
+      std::vector<FunctionalDependency> fds;
+    };
+    std::vector<DepOut> deps = util::ParallelMap(order.size(), [&](size_t i) {
+      const AttributeSet x = order[i];
+      const NodeInfo& node = curr.at(x);
       // C+(X) = intersection of C+(X \ {a}); level 1 was seeded directly.
+      AttributeSet cp = node.cplus;
       if (k >= 2) {
-        AttributeSet cp = ~AttributeSet{0};
+        cp = ~AttributeSet{0};
         for (size_t a : SetMembers(x)) cp &= prev.at(Remove(x, a)).cplus;
-        node.cplus = cp;
       }
-      for (size_t a : SetMembers(x & node.cplus)) {
+      DepOut out;
+      out.cplus = cp;
+      for (size_t a : SetMembers(x & cp)) {
         const AttributeSet lhs = Remove(x, a);
-        const size_t lhs_error = k == 1 ? empty_error : prev_error(lhs);
-        if (lhs_error == node.partition.error) {
-          result.fds.push_back(FunctionalDependency{lhs, a});
-          node.cplus = Remove(node.cplus, a);
-          node.cplus &= x;  // remove all b in R \ X
+        const size_t lhs_error =
+            (k == 1 || lhs == 0) ? empty_error : prev.at(lhs).error;
+        if (lhs_error == node.error) {
+          out.fds.push_back(FunctionalDependency{lhs, a});
+          out.cplus = Remove(out.cplus, a);
+          out.cplus &= x;  // remove all b in R \ X
         }
       }
+      return out;
+    });
+    for (size_t i = 0; i < order.size(); ++i) {
+      curr.at(order[i]).cplus = deps[i].cplus;
+      result.fds.insert(result.fds.end(), deps[i].fds.begin(),
+                        deps[i].fds.end());
     }
 
     // PRUNE.
-    for (auto it = curr.begin(); it != curr.end();) {
-      const AttributeSet x = it->first;
-      Node& node = it->second;
+    std::vector<AttributeSet> survivors;
+    survivors.reserve(order.size());
+    for (AttributeSet x : order) {
+      const NodeInfo& node = curr.at(x);
       if (node.cplus == 0) {
-        it = curr.erase(it);
+        curr.erase(x);
+        cache.Evict(x);
         continue;
       }
-      if (node.partition.error == 0) {
+      if (node.error == 0) {
         // X is a (minimal) key: record it and stop expanding. Key-LHS FDs
         // are trivial under the paper's definition, so none are emitted.
         result.candidate_keys.push_back(x);
-        it = curr.erase(it);
+        curr.erase(x);
+        cache.Evict(x);
         continue;
       }
-      ++it;
+      survivors.push_back(x);
     }
+    result.stats.prune_seconds += phase.ElapsedSeconds();
 
     if (k == max_level) break;
 
     // GENERATE_NEXT_LEVEL: X | {b} with b above max(X); all immediate
-    // subsets must have survived this level.
-    Level next;
-    for (const auto& [x, node] : curr) {
+    // subsets must have survived this level. The candidate list (and with
+    // it nodes_explored) is fixed before any product runs.
+    phase.Restart();
+    std::vector<Candidate> cands;
+    for (AttributeSet x : survivors) {
       for (size_t b = 0; b < attrs; ++b) {
         if ((x >> b) != 0) continue;  // only b > max(X)
         const AttributeSet cand = Add(x, b);
@@ -165,16 +165,89 @@ Result<FdMineResult> MineTane(const table::Table& table,
               "FD lattice exceeded max_lattice_nodes on table '" +
               table.name() + "'");
         }
-        Node cand_node;
-        cand_node.partition =
-            Intersect(node.partition, engine.AttributeClassIds(b));
-        next.emplace(cand, std::move(cand_node));
+        cands.push_back(Candidate{cand, x, b});
       }
     }
+    result.stats.prune_seconds += phase.ElapsedSeconds();
+
+    // Product phase. When every parent partition is cache-resident the
+    // whole candidate list fans out at once; when the budget declined some
+    // of them, fall back to per-parent groups (serial rebuild from the
+    // pinned singletons, parallel products within the group).
+    phase.Restart();
+    std::vector<StrippedPartition> products(cands.size());
+    bool all_parents_resident = true;
+    for (const Candidate& c : cands) {
+      if (SetSize(c.parent) >= 2 && cache.Find(c.parent) == nullptr) {
+        all_parents_resident = false;
+        break;
+      }
+    }
+    if (all_parents_resident) {
+      util::ParallelForChunks(0, cands.size(), [&](size_t lo, size_t hi) {
+        PartitionScratch scratch;
+        for (size_t i = lo; i < hi; ++i) {
+          const Candidate& c = cands[i];
+          PartitionProduct(*cache.Find(c.parent),
+                           engine.AttributeClassIds(c.attr),
+                           engine.AttributeCardinality(c.attr), scratch,
+                           &products[i]);
+        }
+      });
+    } else {
+      // Candidates are contiguous per parent by construction.
+      PartitionScratch rebuild_scratch;
+      StrippedPartition rebuilt;
+      for (size_t lo = 0; lo < cands.size();) {
+        size_t hi = lo;
+        while (hi < cands.size() && cands[hi].parent == cands[lo].parent) {
+          ++hi;
+        }
+        const StrippedPartition* parent = cache.Find(cands[lo].parent);
+        if (parent == nullptr) {
+          RebuildPartition(cache, engine, cands[lo].parent, rebuild_scratch,
+                           &rebuilt);
+          ++result.stats.partition_rebuilds;
+          parent = &rebuilt;
+        }
+        util::ParallelForChunks(lo, hi, [&](size_t clo, size_t chi) {
+          PartitionScratch scratch;
+          for (size_t i = clo; i < chi; ++i) {
+            PartitionProduct(*parent, engine.AttributeClassIds(cands[i].attr),
+                             engine.AttributeCardinality(cands[i].attr),
+                             scratch, &products[i]);
+          }
+        });
+        lo = hi;
+      }
+    }
+    result.stats.products += cands.size();
+    result.stats.product_seconds += phase.ElapsedSeconds();
+
+    // Fold: record errors, retain partitions under the budget, free the
+    // source level (its errors and C+ sets live on in `prev`).
+    phase.Restart();
+    size_t transient_bytes = 0;
+    for (const StrippedPartition& p : products) transient_bytes += p.bytes();
+    cache.NoteTransientBytes(transient_bytes);
+    Level next;
+    std::vector<AttributeSet> next_order;
+    next.reserve(cands.size());
+    next_order.reserve(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+      next.emplace(cands[i].set, NodeInfo{products[i].error, 0});
+      next_order.push_back(cands[i].set);
+      cache.Insert(cands[i].set, std::move(products[i]));
+    }
+    std::sort(next_order.begin(), next_order.end());
+    cache.EvictLevel(k);
     prev = std::move(curr);
     curr = std::move(next);
+    order = std::move(next_order);
+    result.stats.prune_seconds += phase.ElapsedSeconds();
   }
   result.nodes_explored = nodes;
+  result.stats.peak_partition_bytes = cache.peak_bytes();
 
   // TANE's lattice can emit a key-LHS FD only at level 1 (a key singleton
   // is pruned after its own dependency step); filter for the paper's
@@ -189,21 +262,7 @@ Result<FdMineResult> MineTane(const table::Table& table,
     });
   }
 
-  std::sort(result.fds.begin(), result.fds.end(),
-            [](const FunctionalDependency& a, const FunctionalDependency& b) {
-              const size_t sa = SetSize(a.lhs);
-              const size_t sb = SetSize(b.lhs);
-              if (sa != sb) return sa < sb;
-              if (a.lhs != b.lhs) return a.lhs < b.lhs;
-              return a.rhs < b.rhs;
-            });
-  std::sort(result.candidate_keys.begin(), result.candidate_keys.end(),
-            [](AttributeSet a, AttributeSet b) {
-              const size_t sa = SetSize(a);
-              const size_t sb = SetSize(b);
-              if (sa != sb) return sa < sb;
-              return a < b;
-            });
+  CanonicalizeMineResult(result);
   return result;
 }
 

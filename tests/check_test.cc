@@ -82,6 +82,21 @@ TEST(CheckHarnessTest, LshSupersetOracle) {
   EXPECT_EQ(report.cases, 12u * 6u);
 }
 
+TEST(CheckHarnessTest, CodecRoundTripOracle) {
+  const OracleReport report = CheckCodecRoundTrip(BoundedOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // (empty doc + built-in seeds + committed corpus + mutants/synthetics)
+  // x two codecs.
+  EXPECT_GE(report.cases, 2u * (1u + 12u));
+}
+
+TEST(CheckHarnessTest, CleaningIdempotenceOracle) {
+  const OracleReport report = CheckCleaningIdempotence(BoundedOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // Constructed trailing-blank tables + (seeds + corpus + mutants).
+  EXPECT_GE(report.cases, 24u);
+}
+
 TEST(CheckHarnessTest, MutatorIsDeterministic) {
   Rng a(123);
   Rng b(123);
@@ -112,7 +127,7 @@ TEST(CheckHarnessTest, ReportsAreByteReproducible) {
   const OracleOptions options = BoundedOptions();
   const auto first = RunAllOracles(options);
   const auto second = RunAllOracles(options);
-  ASSERT_EQ(first.size(), 4u);
+  ASSERT_EQ(first.size(), 6u);
   ASSERT_EQ(second.size(), first.size());
   for (size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i].ToString(), second[i].ToString());

@@ -1,0 +1,312 @@
+// Tests for the flat partition substrate behind the FD miners: the
+// arena-backed StrippedPartition, the linear-time probe product against
+// its hash-based reference, the budgeted partition cache, and the
+// miner-level guarantees the substrate must preserve — TANE == FUN on
+// wide tables with planted composite keys, byte-identical output at every
+// thread count, and budget-independence of the mined results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fd/cardinality_engine.h"
+#include "fd/fd.h"
+#include "fd/fd_miner.h"
+#include "fd/partition.h"
+#include "table/table.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace ogdp::fd {
+namespace {
+
+// Random dense class-id vector: every value in [0, domain).
+CardinalityEngine::ClassIds RandomIds(Rng& rng, size_t rows,
+                                      uint64_t domain) {
+  CardinalityEngine::ClassIds ids(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    ids[r] = static_cast<uint32_t>(rng.NextBounded(domain));
+  }
+  return ids;
+}
+
+// Naive stripped partition of `ids` for cross-checking the builders.
+std::vector<std::vector<uint32_t>> NaiveClasses(
+    const CardinalityEngine::ClassIds& ids, uint64_t domain) {
+  std::vector<std::vector<uint32_t>> classes(domain);
+  for (size_t r = 0; r < ids.size(); ++r) {
+    classes[ids[r]].push_back(static_cast<uint32_t>(r));
+  }
+  std::erase_if(classes,
+                [](const std::vector<uint32_t>& c) { return c.size() < 2; });
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+TEST(PartitionTest, BuildMatchesNaiveGrouping) {
+  Rng rng(11);
+  for (int it = 0; it < 50; ++it) {
+    const size_t rows = 1 + rng.NextBounded(200);
+    const uint64_t domain = 1 + rng.NextBounded(20);
+    const auto ids = RandomIds(rng, rows, domain);
+    StrippedPartition p;
+    BuildAttributePartition(ids, domain, &p);
+    const auto expected = NaiveClasses(ids, domain);
+    EXPECT_EQ(ClassesAsSortedSets(p), expected);
+    EXPECT_EQ(p.error, p.covered_rows() - p.num_classes());
+    EXPECT_EQ(p.offsets.front(), 0u);
+    EXPECT_EQ(p.offsets.back(), p.rows.size());
+  }
+}
+
+// The probe-table product must agree with the hash-based reference on
+// every randomized (parent, attribute) pair — same classes, same error —
+// regardless of emission order.
+TEST(PartitionTest, ProbeProductMatchesHashReference) {
+  Rng rng(22);
+  PartitionScratch scratch;  // reused across iterations, as in the miner
+  for (int it = 0; it < 80; ++it) {
+    const size_t rows = 2 + rng.NextBounded(300);
+    const uint64_t base_domain = 1 + rng.NextBounded(12);
+    const uint64_t attr_domain = 1 + rng.NextBounded(12);
+    const auto base_ids = RandomIds(rng, rows, base_domain);
+    const auto attr_ids = RandomIds(rng, rows, attr_domain);
+
+    StrippedPartition parent;
+    BuildAttributePartition(base_ids, base_domain, &parent);
+
+    StrippedPartition probe;
+    PartitionProduct(parent, attr_ids, attr_domain, scratch, &probe);
+    const StrippedPartition hash = ReferenceHashProduct(parent, attr_ids);
+
+    EXPECT_EQ(ClassesAsSortedSets(probe), ClassesAsSortedSets(hash));
+    EXPECT_EQ(probe.error, hash.error);
+    EXPECT_EQ(probe.offsets.front(), 0u);
+    EXPECT_EQ(probe.offsets.back(), probe.rows.size());
+  }
+}
+
+TEST(PartitionTest, CacheBudgetAndEviction) {
+  CardinalityEngine::ClassIds ids = {0, 0, 1, 1, 2, 2, 3, 3};
+  StrippedPartition single;
+  BuildAttributePartition(ids, 4, &single);
+
+  // Copies allocate exactly-sized buffers, so every copy costs the same.
+  StrippedPartition pinned = single;
+  StrippedPartition first = single;
+  StrippedPartition second = single;
+  const size_t pin_cost = pinned.bytes();
+  const size_t cost = first.bytes();
+  ASSERT_GT(cost, 0u);
+
+  // Budget: the pinned singleton plus ~1.5 composites. Pinned partitions
+  // count as live bytes but are never declined or evicted themselves.
+  PartitionCache cache(pin_cost + cost + cost / 2);
+  cache.PinSingleton(0, std::move(pinned));
+  EXPECT_EQ(cache.num_singletons(), 1u);
+  EXPECT_NE(cache.Find(SingletonSet(0)), nullptr);
+
+  EXPECT_TRUE(cache.Insert(0b011, std::move(first)));
+  EXPECT_FALSE(cache.Insert(0b101, std::move(second)));
+  EXPECT_EQ(cache.declined_inserts(), 1u);
+  EXPECT_NE(cache.Find(0b011), nullptr);
+  EXPECT_EQ(cache.Find(0b101), nullptr);
+
+  const size_t peak_before = cache.peak_bytes();
+  EXPECT_GE(peak_before, pin_cost + cost);
+  cache.EvictLevel(2);
+  EXPECT_EQ(cache.Find(0b011), nullptr);
+  EXPECT_NE(cache.Find(SingletonSet(0)), nullptr);  // pinned survives
+  EXPECT_EQ(cache.peak_bytes(), peak_before);       // peak is monotone
+  EXPECT_EQ(cache.bytes_in_use(), pin_cost);
+}
+
+TEST(PartitionTest, RebuildMatchesChainedProducts) {
+  Rng rng(33);
+  const size_t rows = 120;
+  std::vector<CardinalityEngine::ClassIds> attrs;
+  std::vector<table::Column> columns;
+  for (size_t a = 0; a < 4; ++a) {
+    const auto ids = RandomIds(rng, rows, 3);
+    table::Column col("c" + std::to_string(a));
+    for (uint32_t id : ids) col.AppendCell("v" + std::to_string(id));
+    columns.push_back(std::move(col));
+    attrs.push_back(ids);
+  }
+  const table::Table table("t", std::move(columns));
+  const CardinalityEngine engine(table);
+
+  PartitionCache cache(0);
+  for (size_t a = 0; a < 4; ++a) {
+    StrippedPartition p;
+    BuildAttributePartition(engine.AttributeClassIds(a),
+                            engine.AttributeCardinality(a), &p);
+    cache.PinSingleton(a, std::move(p));
+  }
+
+  PartitionScratch scratch;
+  StrippedPartition rebuilt;
+  RebuildPartition(cache, engine, 0b1011, scratch, &rebuilt);
+
+  // Reference: singleton(0) refined by 1 then 3 through the hash product.
+  StrippedPartition expected = cache.Singleton(0);
+  expected = ReferenceHashProduct(expected, engine.AttributeClassIds(1));
+  expected = ReferenceHashProduct(expected, engine.AttributeClassIds(3));
+  EXPECT_EQ(ClassesAsSortedSets(rebuilt), ClassesAsSortedSets(expected));
+  EXPECT_EQ(rebuilt.error, expected.error);
+}
+
+// A wide table (>= 16 columns) with a planted two-attribute key: k0 and
+// k1 are jointly unique but individually small-domain, and no other
+// column has enough distinct values to be a key on its own.
+table::Table WideTableWithPlantedKey(Rng& rng, size_t extra_columns,
+                                     const std::string& name) {
+  const size_t groups = 8;
+  const size_t rows = groups * 7;  // k0 in [0,7), k1 in [0,8)
+  std::vector<table::Column> columns;
+  table::Column k0("k0");
+  table::Column k1("k1");
+  for (size_t r = 0; r < rows; ++r) {
+    k0.AppendCell("a" + std::to_string(r / groups));
+    k1.AppendCell("b" + std::to_string(r % groups));
+  }
+  columns.push_back(std::move(k0));
+  columns.push_back(std::move(k1));
+  for (size_t c = 0; c < extra_columns; ++c) {
+    table::Column col("x" + std::to_string(c));
+    if (rng.NextBool(0.3) && c > 0) {
+      // Derived column: a function of the previous extra column, planting
+      // a guaranteed FD deep in the lattice.
+      const table::Column& src = columns.back();
+      for (size_t r = 0; r < rows; ++r) {
+        col.AppendCell("f" + std::to_string(src.ValueAt(r).size() % 3));
+      }
+    } else {
+      for (size_t r = 0; r < rows; ++r) {
+        col.AppendCell("v" + std::to_string(rng.NextBounded(3)));
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+  return table::Table(name, std::move(columns));
+}
+
+TEST(FdWideTableTest, TaneAndFunAgreeWithPlantedCompositeKey) {
+  Rng rng(44);
+  for (int it = 0; it < 4; ++it) {
+    const table::Table table =
+        WideTableWithPlantedKey(rng, 15, "wide_" + std::to_string(it));
+    ASSERT_GE(table.num_columns(), 16u);
+
+    FdMinerOptions options;
+    options.max_lhs = 3;  // keeps the 17-column lattice test-sized
+    auto tane = MineTane(table, options);
+    auto fun = MineFun(table, options);
+    ASSERT_TRUE(tane.ok()) << tane.status();
+    ASSERT_TRUE(fun.ok()) << fun.status();
+
+    // Identical content *and* identical order: both miners emit the
+    // canonical (size, set, rhs) order, so the vectors match directly.
+    EXPECT_EQ(tane->fds, fun->fds);
+    EXPECT_EQ(tane->candidate_keys, fun->candidate_keys);
+    EXPECT_TRUE(std::is_sorted(tane->fds.begin(), tane->fds.end(),
+                               FdOutputLess));
+    EXPECT_TRUE(std::is_sorted(tane->candidate_keys.begin(),
+                               tane->candidate_keys.end(), KeyOutputLess));
+
+    // {k0, k1} is a superkey and neither singleton is unique, so it must
+    // be reported as a minimal candidate key by both miners.
+    const AttributeSet planted = Add(SingletonSet(0), 1);
+    EXPECT_NE(std::find(tane->candidate_keys.begin(),
+                        tane->candidate_keys.end(), planted),
+              tane->candidate_keys.end())
+        << "planted key missing in " << table.name();
+
+    for (const FunctionalDependency& dep : tane->fds) {
+      EXPECT_TRUE(FdHolds(table, dep)) << dep.ToString();
+    }
+  }
+}
+
+// The canonical comparators order by ascending LHS size first — the
+// output contract both miners and the key finder share.
+TEST(FdOrderingTest, CanonicalComparators) {
+  const FunctionalDependency small{SingletonSet(3), 0};
+  const FunctionalDependency big{Add(SingletonSet(0), 1), 0};
+  EXPECT_TRUE(FdOutputLess(small, big));   // size beats set value
+  EXPECT_FALSE(FdOutputLess(big, small));
+  EXPECT_TRUE(FdOutputLess(FunctionalDependency{SingletonSet(1), 0},
+                           FunctionalDependency{SingletonSet(1), 2}));
+  EXPECT_TRUE(KeyOutputLess(SingletonSet(5), Add(SingletonSet(0), 1)));
+  EXPECT_FALSE(KeyOutputLess(Add(SingletonSet(0), 1), SingletonSet(5)));
+}
+
+struct MinedPair {
+  FdMineResult tane;
+  FdMineResult fun;
+};
+
+MinedPair MineBoth(const table::Table& table, const FdMinerOptions& options) {
+  auto tane = MineTane(table, options);
+  auto fun = MineFun(table, options);
+  EXPECT_TRUE(tane.ok()) << tane.status();
+  EXPECT_TRUE(fun.ok()) << fun.status();
+  return MinedPair{std::move(tane).value(), std::move(fun).value()};
+}
+
+// Results — FDs, keys, and nodes_explored — must be byte-identical at
+// every thread count (DESIGN.md's determinism discipline).
+TEST(FdDeterminismTest, ThreadCountDoesNotChangeResults) {
+  Rng rng(55);
+  const table::Table wide = WideTableWithPlantedKey(rng, 14, "threads");
+  FdMinerOptions options;
+  options.max_lhs = 3;
+
+  const size_t restore = util::GlobalThreadCount();
+  util::SetGlobalThreadCount(1);
+  const MinedPair serial = MineBoth(wide, options);
+  for (size_t threads : {2u, 8u}) {
+    util::SetGlobalThreadCount(threads);
+    const MinedPair parallel = MineBoth(wide, options);
+    EXPECT_EQ(parallel.tane.fds, serial.tane.fds) << threads << " threads";
+    EXPECT_EQ(parallel.tane.candidate_keys, serial.tane.candidate_keys);
+    EXPECT_EQ(parallel.tane.nodes_explored, serial.tane.nodes_explored);
+    EXPECT_EQ(parallel.fun.fds, serial.fun.fds) << threads << " threads";
+    EXPECT_EQ(parallel.fun.candidate_keys, serial.fun.candidate_keys);
+    EXPECT_EQ(parallel.fun.nodes_explored, serial.fun.nodes_explored);
+  }
+  util::SetGlobalThreadCount(restore);
+}
+
+// A partition budget too small to retain any composite partition forces
+// the rebuild path; the mined output must not change, only the stats.
+TEST(FdDeterminismTest, TinyPartitionBudgetOnlyChangesStats) {
+  Rng rng(66);
+  const table::Table wide = WideTableWithPlantedKey(rng, 10, "budget");
+
+  FdMinerOptions unlimited;
+  unlimited.max_lhs = 3;
+  unlimited.partition_budget_bytes = 0;
+  FdMinerOptions tiny = unlimited;
+  tiny.partition_budget_bytes = 1;
+
+  auto full = MineTane(wide, unlimited);
+  auto squeezed = MineTane(wide, tiny);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_TRUE(squeezed.ok()) << squeezed.status();
+
+  EXPECT_EQ(squeezed->fds, full->fds);
+  EXPECT_EQ(squeezed->candidate_keys, full->candidate_keys);
+  EXPECT_EQ(squeezed->nodes_explored, full->nodes_explored);
+  EXPECT_EQ(full->stats.partition_rebuilds, 0u);
+  // Level-3+ candidates have composite parents, none of which were
+  // retained under the 1-byte budget.
+  EXPECT_GT(squeezed->stats.partition_rebuilds, 0u);
+  EXPECT_LT(squeezed->stats.peak_partition_bytes,
+            full->stats.peak_partition_bytes);
+}
+
+}  // namespace
+}  // namespace ogdp::fd
