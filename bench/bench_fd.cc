@@ -172,10 +172,11 @@ double Speedup(double baseline, double other) {
 void PrintPhases(const char* label, const fd::FdPhaseStats& s,
                  double total_seconds) {
   std::printf("  %-14s build %.3fs, product %.3fs, prune %.3fs, total %.3fs "
-              "(%zu products, %zu rebuilds, peak %zu KiB)\n",
+              "(%zu products, %zu rebuilds, %zu declines, lease peak %zu "
+              "KiB)\n",
               label, s.build_seconds, s.product_seconds, s.prune_seconds,
               total_seconds, s.products, s.partition_rebuilds,
-              s.peak_partition_bytes / 1024);
+              s.partition_declines, s.lease_peak_bytes / 1024);
 }
 
 }  // namespace
@@ -238,6 +239,47 @@ int main() {
               deterministic ? "IDENTICAL" : "DIFFER (BUG)", threads,
               serial.tane.nodes_explored, serial.fun.nodes_explored);
 
+  // ---- Governor sweep: corpus-pool budgets {1 B, default, unlimited}
+  // must also agree exactly; the tiny budget exercises the decline +
+  // rebuild path end to end. ----
+  const uint64_t cells = static_cast<uint64_t>(table.num_rows()) *
+                         static_cast<uint64_t>(table.num_columns());
+  struct GovernorPoint {
+    const char* name;
+    size_t budget;
+    size_t declines = 0;
+    size_t rebuilds = 0;
+    size_t governor_peak = 0;
+    double total_seconds = 0;
+  };
+  GovernorPoint points[] = {
+      {"tiny", 1},
+      {"default", fd::DefaultFdMemoryBudget(cells)},
+      {"unlimited", 0},
+  };
+  for (GovernorPoint& pt : points) {
+    fd::MemoryGovernor governor(pt.budget);
+    fd::FdMinerOptions governed = options;
+    governed.memory_governor = &governor;
+    const MineRun run = MineAt(table, governed, threads);
+    deterministic &= SameResults(run.tane, serial.tane) &&
+                     SameResults(run.fun, serial.fun);
+    pt.declines = run.tane.stats.partition_declines +
+                  run.fun.stats.partition_declines;
+    pt.rebuilds = run.tane.stats.partition_rebuilds +
+                  run.fun.stats.partition_rebuilds;
+    pt.governor_peak = governor.peak_bytes();
+    pt.total_seconds = run.tane_seconds + run.fun_seconds;
+  }
+  std::printf("Governor sweep (%zu threads): results %s across budgets\n",
+              threads, deterministic ? "IDENTICAL" : "DIFFER (BUG)");
+  for (const GovernorPoint& pt : points) {
+    std::printf("  %-10s budget %zu B: %zu declines, %zu rebuilds, "
+                "pool peak %zu KiB, %.3fs\n",
+                pt.name, pt.budget, pt.declines, pt.rebuilds,
+                pt.governor_peak / 1024, pt.total_seconds);
+  }
+
   if (!guard) {
     FILE* json = std::fopen("BENCH_fd.json", "w");
     if (json != nullptr) {
@@ -268,19 +310,31 @@ int main() {
             "\"prune_s\": %.4f, \"total_s\": %.4f},\n"
             "    \"product_speedup\": %.3f, \"total_speedup\": %.3f,\n"
             "    \"products\": %zu, \"partition_rebuilds\": %zu,\n"
+            "    \"partition_declines\": %zu, \"lease_peak_bytes\": %zu,\n"
             "    \"peak_partition_bytes\": %zu, \"nodes_explored\": %zu\n"
             "  }%s\n",
             name, ss.build_seconds, ss.product_seconds, ss.prune_seconds, st,
             ps.build_seconds, ps.product_seconds, ps.prune_seconds, pt,
             Speedup(ss.product_seconds, ps.product_seconds), Speedup(st, pt),
-            ss.products, ss.partition_rebuilds, ss.peak_partition_bytes,
+            ss.products, ss.partition_rebuilds, ss.partition_declines,
+            ss.lease_peak_bytes, ss.peak_partition_bytes,
             tane ? s.tane.nodes_explored : s.fun.nodes_explored, tail);
       };
       std::fprintf(json, "  \"rows\": %zu, \"columns\": %zu,\n",
                    table.num_rows(), table.num_columns());
       emit_miner("tane", serial, parallel, true, ",");
-      emit_miner("fun", serial, parallel, false, "");
-      std::fprintf(json, "}\n");
+      emit_miner("fun", serial, parallel, false, ",");
+      std::fprintf(json, "  \"governor\": [\n");
+      for (size_t i = 0; i < 3; ++i) {
+        const GovernorPoint& pt = points[i];
+        std::fprintf(json,
+                     "    {\"budget\": \"%s\", \"budget_bytes\": %zu, "
+                     "\"declines\": %zu, \"rebuilds\": %zu, "
+                     "\"pool_peak_bytes\": %zu, \"total_s\": %.4f}%s\n",
+                     pt.name, pt.budget, pt.declines, pt.rebuilds,
+                     pt.governor_peak, pt.total_seconds, i + 1 < 3 ? "," : "");
+      }
+      std::fprintf(json, "  ]\n}\n");
       std::fclose(json);
       std::printf("Wrote BENCH_fd.json\n");
     }

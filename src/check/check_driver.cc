@@ -5,9 +5,11 @@
 //
 // Runs the differential/metamorphic oracles (csv_round_trip,
 // fd_tane_vs_fun, bcnf_lossless_join, lsh_superset, codec_round_trip,
-// cleaning_idempotence) and prints one report per oracle. Output is byte-reproducible for a fixed seed; the exit code
-// is 0 iff every oracle holds on every case. `--corpus` mixes the
-// committed regression documents into the CSV mutation pool.
+// cleaning_idempotence, union_finder_differential, header_modal_width)
+// and prints one report per oracle. Output is byte-reproducible for a
+// fixed seed; the exit code is 0 iff every oracle holds on every case.
+// `--corpus` mixes the committed regression documents into the CSV
+// mutation pool.
 
 #include <algorithm>
 #include <cstdint>
@@ -28,7 +30,8 @@ void Usage(const char* argv0) {
                "usage: %s [--seed N] [--iters K] [--corpus DIR] "
                "[--oracle csv_round_trip|fd_tane_vs_fun|"
                "bcnf_lossless_join|lsh_superset|codec_round_trip|"
-               "cleaning_idempotence]\n",
+               "cleaning_idempotence|union_finder_differential|"
+               "header_modal_width]\n",
                argv0);
 }
 
@@ -109,6 +112,10 @@ int main(int argc, char** argv) {
     reports.push_back(ogdp::check::CheckCodecRoundTrip(options));
   } else if (only_oracle == "cleaning_idempotence") {
     reports.push_back(ogdp::check::CheckCleaningIdempotence(options));
+  } else if (only_oracle == "union_finder_differential") {
+    reports.push_back(ogdp::check::CheckUnionFinderDifferential(options));
+  } else if (only_oracle == "header_modal_width") {
+    reports.push_back(ogdp::check::CheckHeaderModalWidth(options));
   } else {
     Usage(argv[0]);
     return 2;

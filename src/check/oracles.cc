@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <iterator>
+#include <map>
 #include <memory>
 #include <set>
 #include <utility>
@@ -13,6 +15,7 @@
 #include "csv/cleaning.h"
 #include "csv/csv_reader.h"
 #include "csv/csv_writer.h"
+#include "csv/header_inference.h"
 #include "fd/bcnf.h"
 #include "fd/fd.h"
 #include "fd/fd_miner.h"
@@ -20,6 +23,8 @@
 #include "join/joinable_pair_finder.h"
 #include "join/minhash.h"
 #include "table/projection.h"
+#include "union/schema_similarity.h"
+#include "union/unionable_finder.h"
 #include "util/rng.h"
 
 namespace ogdp::check {
@@ -696,10 +701,239 @@ OracleReport CheckCleaningIdempotence(const OracleOptions& options) {
   return report;
 }
 
+OracleReport CheckUnionFinderDifferential(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "union_finder_differential";
+
+  Rng rng = Rng(options.seed).Fork("union_differential");
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    ++report.cases;
+    // Corpus: a few schema groups of 1-3 tables each. Integer and string
+    // columns keep type inference stable within a group; the optional
+    // decimal twin of group 0 (same names, INT columns turned DOUBLE)
+    // plants the distinct-fingerprint similarity-1.0 shape.
+    struct SchemaPlan {
+      std::vector<std::string> names;
+      std::vector<int> kinds;  // 0 = integer, 1 = string, 2 = decimal
+    };
+    std::vector<SchemaPlan> plans;
+    const size_t num_schemas = 2 + rng.NextBounded(3);
+    for (size_t s = 0; s < num_schemas; ++s) {
+      SchemaPlan plan;
+      const size_t cols = 1 + rng.NextBounded(4);
+      for (size_t c = 0; c < cols; ++c) {
+        plan.names.push_back("s" + std::to_string(s) + "_c" +
+                             std::to_string(c));
+        plan.kinds.push_back(rng.NextBool(0.5) ? 0 : 1);
+      }
+      plans.push_back(std::move(plan));
+    }
+    if (rng.NextBool(0.5)) {
+      SchemaPlan twin = plans[0];
+      for (int& kind : twin.kinds) {
+        if (kind == 0) kind = 2;
+      }
+      plans.push_back(std::move(twin));
+    }
+
+    std::vector<table::Table> tables;
+    auto make_cell = [&rng](int kind) -> std::string {
+      const size_t v = rng.NextBounded(40);
+      if (kind == 0) return std::to_string(v);
+      if (kind == 1) return "w" + std::to_string(v);
+      return std::to_string(v) + ".5";
+    };
+    for (const SchemaPlan& plan : plans) {
+      const size_t group = 1 + rng.NextBounded(3);
+      for (size_t g = 0; g < group; ++g) {
+        const size_t rows = 1 + rng.NextBounded(5);
+        std::vector<std::vector<std::string>> records;
+        for (size_t r = 0; r < rows; ++r) {
+          std::vector<std::string> row;
+          for (int kind : plan.kinds) row.push_back(make_cell(kind));
+          records.push_back(std::move(row));
+        }
+        auto t = table::Table::FromRecords("u" + std::to_string(tables.size()),
+                                           plan.names, records);
+        tables.push_back(std::move(t).value());
+      }
+    }
+    const std::string where = "case " + std::to_string(it) + " (" +
+                              std::to_string(tables.size()) + " tables)";
+
+    // Brute-force baseline straight from the raw fingerprints.
+    std::vector<uint64_t> fp(tables.size());
+    std::map<uint64_t, std::vector<size_t>> groups;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      fp[t] = tables[t].GetSchema().Fingerprint();
+      groups[fp[t]].push_back(t);
+    }
+    std::map<uint64_t, std::vector<size_t>> expected_sets;
+    for (const auto& [f, members] : groups) {
+      if (members.size() >= 2) expected_sets.emplace(f, members);
+    }
+
+    const tunion::UnionableFinder finder(tables);
+    std::map<uint64_t, std::vector<size_t>> found_sets;
+    for (const tunion::UnionableSet& set : finder.unionable_sets()) {
+      found_sets[set.schema_fingerprint] = set.tables;
+    }
+    if (found_sets != expected_sets) {
+      report.failures.push_back(
+          "unionable sets disagree with brute force (" +
+          std::to_string(found_sets.size()) + " vs " +
+          std::to_string(expected_sets.size()) + " sets) at " + where);
+      continue;
+    }
+    bool degrees_ok = true;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      const size_t group_size = groups.at(fp[t]).size();
+      const size_t expected = group_size >= 2 ? group_size : 0;
+      if (finder.DegreeOf(t) != expected) {
+        report.failures.push_back(
+            "degree of table " + std::to_string(t) + " is " +
+            std::to_string(finder.DegreeOf(t)) + ", brute force says " +
+            std::to_string(expected) + " at " + where);
+        degrees_ok = false;
+        break;
+      }
+    }
+    if (!degrees_ok) continue;
+
+    // Sampling differential: asking for more than the distinct-pair count
+    // must return exactly the brute-force pair set.
+    std::set<std::pair<size_t, size_t>> expected_pairs;
+    for (const auto& [f, members] : expected_sets) {
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          expected_pairs.emplace(members[i], members[j]);
+        }
+      }
+    }
+    const auto samples = tunion::SampleUnionablePairs(
+        finder, expected_pairs.size() + 3, options.seed ^ it);
+    std::set<std::pair<size_t, size_t>> sampled_pairs;
+    for (const tunion::UnionablePairSample& s : samples) {
+      sampled_pairs.emplace(s.table_a, s.table_b);
+    }
+    if (sampled_pairs != expected_pairs ||
+        samples.size() != expected_pairs.size()) {
+      report.failures.push_back(
+          "pair sample disagrees with brute force (" +
+          std::to_string(samples.size()) + " sampled, " +
+          std::to_string(expected_pairs.size()) + " exist) at " + where);
+      continue;
+    }
+
+    // Near-unionable differential: one representative pair per
+    // distinct-fingerprint schema pair clearing the threshold — the
+    // similarity-1.0 twins included.
+    const double threshold = 0.7;
+    std::set<std::pair<size_t, size_t>> expected_near;
+    for (auto i = groups.begin(); i != groups.end(); ++i) {
+      for (auto j = std::next(i); j != groups.end(); ++j) {
+        const double sim =
+            tunion::SchemaSimilarity(tables[i->second.front()].GetSchema(),
+                                     tables[j->second.front()].GetSchema());
+        if (sim + 1e-12 < threshold) continue;
+        expected_near.insert(
+            std::minmax(i->second.front(), j->second.front()));
+      }
+    }
+    const auto near = tunion::FindNearUnionablePairs(tables, threshold);
+    std::set<std::pair<size_t, size_t>> found_near;
+    for (const tunion::NearUnionablePair& p : near) {
+      found_near.emplace(p.table_a, p.table_b);
+    }
+    if (found_near != expected_near) {
+      report.failures.push_back(
+          "near-unionable pairs disagree with brute force (" +
+          std::to_string(found_near.size()) + " vs " +
+          std::to_string(expected_near.size()) + ") at " + where);
+    }
+  }
+  return report;
+}
+
+OracleReport CheckHeaderModalWidth(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "header_modal_width";
+
+  Rng rng = Rng(options.seed).Fork("header_modal_width");
+
+  // The scan window must cover every record: only then is the width
+  // multiset — the sole input to the modal-width rule — invariant under
+  // record permutation.
+  auto check_invariance = [&](const csv::RawRecords& records,
+                              const std::string& where) {
+    if (records.empty()) return;
+    ++report.cases;
+    csv::HeaderInferenceOptions infer_options;
+    infer_options.scan_rows = records.size();
+    const size_t base = csv::InferHeader(records, infer_options).num_columns;
+    csv::RawRecords shuffled = records;
+    for (int p = 0; p < 4; ++p) {
+      rng.Shuffle(shuffled);
+      const size_t width =
+          csv::InferHeader(shuffled, infer_options).num_columns;
+      if (width != base) {
+        report.failures.push_back(
+            "modal width changed under permutation (" +
+            std::to_string(base) + " -> " + std::to_string(width) + ") at " +
+            where);
+        return;
+      }
+    }
+  };
+
+  // Synthetic ragged documents: two competing widths with random
+  // multiplicities and some blank cells, the tie-break's home turf.
+  for (size_t it = 0; it < options.iterations; ++it) {
+    csv::RawRecords records;
+    const size_t num_rows = 1 + rng.NextBounded(40);
+    const size_t w1 = 1 + rng.NextBounded(5);
+    const size_t w2 = 1 + rng.NextBounded(5);
+    for (size_t r = 0; r < num_rows; ++r) {
+      const size_t width = rng.NextBool(0.6) ? w1 : w2;
+      std::vector<std::string> row;
+      for (size_t c = 0; c < width; ++c) {
+        row.push_back(rng.NextBool(0.15)
+                          ? ""
+                          : "x" + std::to_string(rng.NextBounded(30)));
+      }
+      records.push_back(std::move(row));
+    }
+    check_invariance(records, "synthetic case " + std::to_string(it));
+  }
+
+  // Real documents through the parser: seeds plus mutants. Parse failures
+  // belong to csv_round_trip, not this oracle.
+  const std::vector<std::string>& seeds = BuiltinCsvSeeds();
+  std::vector<std::string> docs = seeds;
+  docs.insert(docs.end(), options.csv_seeds.begin(),
+              options.csv_seeds.end());
+  for (size_t it = 0; it < options.iterations; ++it) {
+    docs.push_back(MutateCsv(rng, seeds[rng.NextBounded(seeds.size())]));
+  }
+  for (size_t d = 0; d < docs.size(); ++d) {
+    auto parsed = csv::CsvReader::ParseString(docs[d]);
+    if (!parsed.ok()) continue;
+    check_invariance(*parsed,
+                     "doc " + std::to_string(d) + ": " + EscapeForLog(docs[d]));
+  }
+  return report;
+}
+
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
-  return {CheckCsvRoundTrip(options),      CheckFdDifferential(options),
-          CheckBcnfLosslessJoin(options),  CheckLshSuperset(options),
-          CheckCodecRoundTrip(options),    CheckCleaningIdempotence(options)};
+  return {CheckCsvRoundTrip(options),
+          CheckFdDifferential(options),
+          CheckBcnfLosslessJoin(options),
+          CheckLshSuperset(options),
+          CheckCodecRoundTrip(options),
+          CheckCleaningIdempotence(options),
+          CheckUnionFinderDifferential(options),
+          CheckHeaderModalWidth(options)};
 }
 
 }  // namespace ogdp::check

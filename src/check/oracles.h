@@ -76,6 +76,22 @@ OracleReport CheckCodecRoundTrip(const OracleOptions& options);
 /// removal counts on constructed tables with known trailing-blank shapes.
 OracleReport CheckCleaningIdempotence(const OracleOptions& options);
 
+/// Differential oracle over the union pipeline: on corpora of random
+/// tables with planted shared schemas, `UnionableFinder`'s grouping,
+/// degrees, and pair sampling must match a brute-force all-pairs baseline
+/// built from raw schema fingerprints, and `FindNearUnionablePairs` must
+/// return exactly the distinct-fingerprint schema pairs whose directly
+/// computed similarity clears the threshold — including similarity-1.0
+/// pairs such as INT vs DOUBLE twin schemas.
+OracleReport CheckUnionFinderDifferential(const OracleOptions& options);
+
+/// Metamorphic oracle over header inference: the modal column width is a
+/// function of the scanned width multiset only, so for any document whose
+/// scan window covers every record, `InferHeader(...).num_columns` must
+/// be identical under every permutation of the records. Runs synthetic
+/// ragged documents plus the CSV seed corpus and its mutants.
+OracleReport CheckHeaderModalWidth(const OracleOptions& options);
+
 /// Runs all oracles in a fixed order.
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options);
 

@@ -7,6 +7,7 @@
 #include "fd/bcnf.h"
 #include "fd/candidate_keys.h"
 #include "fd/fd_miner.h"
+#include "fd/memory_governor.h"
 #include "join/expansion.h"
 #include "stats/descriptive.h"
 #include "util/parallel.h"
@@ -145,7 +146,20 @@ KeyReport ComputeKeyReport(const std::vector<table::Table>& tables,
 }
 
 FdReport ComputeFdReport(const std::vector<table::Table>& tables,
-                         const std::vector<size_t>& sample, uint64_t seed) {
+                         const std::vector<size_t>& sample, uint64_t seed,
+                         size_t fd_memory_budget_bytes) {
+  // One corpus-wide partition memory pool for the whole sample: every
+  // per-table worker (mining and decomposition re-mining alike) leases
+  // its retained O(rows) structures from it, so the sample's total
+  // partition footprint — not each table's — is what the budget bounds.
+  uint64_t sample_cells = 0;
+  for (size_t i : sample) {
+    sample_cells += static_cast<uint64_t>(tables[i].num_rows()) *
+                    static_cast<uint64_t>(tables[i].num_columns());
+  }
+  fd::MemoryGovernor governor(
+      fd::ResolveFdMemoryBudget(fd_memory_budget_bytes, sample_cells));
+
   // Mining + decomposition per sampled table is independent work; run it
   // in parallel (largest tables dispatched first) and fold the per-table
   // outcomes in sample order so every aggregate — including the order of
@@ -158,6 +172,9 @@ FdReport ComputeFdReport(const std::vector<table::Table>& tables,
     size_t decomp_count = 1;
     std::vector<size_t> partition_cols;  // only when decomp_count > 1
     std::vector<double> gains;
+    size_t lease_peak = 0;
+    size_t declines = 0;
+    size_t rebuilds = 0;
   };
   std::vector<TableOutcome> outcomes(sample.size());
   const std::vector<size_t> schedule = BySizeDescending(tables, sample);
@@ -169,10 +186,14 @@ FdReport ComputeFdReport(const std::vector<table::Table>& tables,
         const table::Table& t = tables[i];
         TableOutcome& out = outcomes[k];
         fd::FdMinerOptions miner;
+        miner.memory_governor = &governor;
         auto mined = fd::MineFun(t, miner);
         if (!mined.ok()) return;
         out.mined = true;
         out.columns = t.num_columns();
+        out.lease_peak = mined->stats.lease_peak_bytes;
+        out.declines = mined->stats.partition_declines;
+        out.rebuilds = mined->stats.partition_rebuilds;
         if (mined->fds.empty()) return;
         out.has_fd = true;
         for (const auto& f : mined->fds) {
@@ -182,6 +203,7 @@ FdReport ComputeFdReport(const std::vector<table::Table>& tables,
           }
         }
         fd::BcnfOptions bcnf;
+        bcnf.miner.memory_governor = &governor;
         bcnf.seed = seed ^ (i * 0x9e3779b97f4a7c15ULL);
         auto decomp = fd::DecomposeToBcnf(t, bcnf);
         if (!decomp.ok()) return;
@@ -202,11 +224,16 @@ FdReport ComputeFdReport(const std::vector<table::Table>& tables,
   size_t partition_count = 0;
   std::vector<double> gains;
 
+  r.fd_memory_budget_bytes = governor.budget_bytes();
+  r.governor_peak_bytes = governor.peak_bytes();
   for (const TableOutcome& out : outcomes) {
     if (!out.mined) continue;
     ++r.sample_tables;
     r.sample_columns += out.columns;
     r.decomposition_counts.push_back(out.decomp_count);
+    r.table_lease_peaks.push_back(out.lease_peak);
+    r.partition_declines += out.declines;
+    r.partition_rebuilds += out.rebuilds;
     if (!out.has_fd) continue;
     ++r.tables_with_fd;
     if (out.has_lhs1_fd) ++r.tables_with_lhs1_fd;

@@ -103,11 +103,26 @@ struct FdReport {
   double avg_tables_after_decomp = 0;  // over tables not in BCNF
   double avg_cols_in_partitions = 0;   // over sub-tables of decomposed
   double avg_uniqueness_gain = 0;      // unrepeated columns, after/before
+  /// Partition memory governor observability (see DESIGN.md §7.1): the
+  /// resolved corpus-wide budget, the pool's high-water mark across all
+  /// concurrent per-table leases, retention declines and rebuilds summed
+  /// over the sample, and each mined table's own lease peak (sample
+  /// order). Declines/rebuilds trade time for memory, never results.
+  size_t fd_memory_budget_bytes = 0;  // 0 = unlimited
+  size_t governor_peak_bytes = 0;
+  size_t partition_declines = 0;
+  size_t partition_rebuilds = 0;
+  std::vector<size_t> table_lease_peaks;
 };
 
+/// `fd_memory_budget_bytes`: 0 resolves the corpus-wide partition budget
+/// from `OGDP_FD_MEM_BUDGET` or the sample footprint (see
+/// fd::ResolveFdMemoryBudget); fd::kUnlimitedFdMemoryBudget disables the
+/// budget. Mined results are byte-identical at every budget.
 FdReport ComputeFdReport(const std::vector<table::Table>& tables,
                          const std::vector<size_t>& sample,
-                         uint64_t seed = 7);
+                         uint64_t seed = 7,
+                         size_t fd_memory_budget_bytes = 0);
 
 // ------------------------------------------------------- Table 6 / Fig 8
 

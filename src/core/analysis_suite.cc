@@ -20,7 +20,8 @@ PortalAnalysis RunFullAnalysis(const PortalBundle& bundle,
 
   const auto sample = SelectFdSample(bundle.ingest.tables);
   a.keys = ComputeKeyReport(bundle.ingest.tables, sample);
-  a.fds = ComputeFdReport(bundle.ingest.tables, sample);
+  a.fds = ComputeFdReport(bundle.ingest.tables, sample, /*seed=*/7,
+                          options.fd_memory_budget_bytes);
 
   join::JoinablePairFinder finder(bundle.ingest.tables);
   const auto pairs = finder.FindAllPairs();
@@ -55,6 +56,22 @@ std::string RenderPortalAnalysis(const PortalAnalysis& a) {
                           std::max<size_t>(1, a.fds.sample_tables))});
   t.AddRow({"avg sub-tables after BCNF decomposition",
             FormatDouble(a.fds.avg_tables_after_decomp, 3)});
+  // Render the largest single-table lease peak, not the governor's pool
+  // peak: the pool peak depends on which tables overlap in time, so it
+  // varies with thread count and would break the byte-identical-render
+  // guarantee (pool peak stays in FdReport for benches).
+  size_t max_lease_peak = 0;
+  for (size_t peak : a.fds.table_lease_peaks) {
+    max_lease_peak = std::max(max_lease_peak, peak);
+  }
+  t.AddRow({"FD memory governor (largest lease / budget)",
+            FormatBytes(max_lease_peak) + " / " +
+                (a.fds.fd_memory_budget_bytes == 0
+                     ? std::string("unlimited")
+                     : FormatBytes(a.fds.fd_memory_budget_bytes))});
+  t.AddRow({"FD partition declines / rebuilds",
+            FormatCount(a.fds.partition_declines) + " / " +
+                FormatCount(a.fds.partition_rebuilds)});
   t.AddRow({"joinable pairs (J >= 0.9)", FormatCount(a.joins.total_pairs)});
   t.AddRow({"joinable tables",
             FormatPercent(static_cast<double>(a.joins.joinable_tables) /

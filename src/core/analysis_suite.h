@@ -15,6 +15,10 @@ struct AnalysisSuiteOptions {
   /// Union label sample size per the paper (25).
   size_t union_sample_pairs = 25;
   join::JoinSamplerOptions sampler;
+  /// Corpus-wide partition memory budget for FD mining: 0 resolves from
+  /// `OGDP_FD_MEM_BUDGET` or the sample footprint,
+  /// fd::kUnlimitedFdMemoryBudget disables it. Never changes results.
+  size_t fd_memory_budget_bytes = 0;
 };
 
 /// Everything the paper computes for one portal, in one struct.

@@ -46,6 +46,16 @@ class CardinalityEngine {
     return attr_card_[attr];
   }
 
+  /// Heap footprint of the retained class-id vectors — the must-keep
+  /// charge a mining run places on the partition memory governor.
+  size_t bytes() const {
+    size_t total = attr_card_.capacity() * sizeof(uint64_t);
+    for (const ClassIds& ids : attr_ids_) {
+      total += ids.capacity() * sizeof(uint32_t);
+    }
+    return total;
+  }
+
   /// Refines `base` class ids by attribute `attr`, producing the class ids
   /// of the combined projection and its cardinality. `base` must be dense
   /// (every value in [0, max+1) — true for attribute ids and for any

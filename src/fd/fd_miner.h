@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fd/fd.h"
+#include "fd/memory_governor.h"
 #include "table/table.h"
 #include "util/result.h"
 
@@ -23,11 +24,22 @@ struct FdMinerOptions {
   /// levelwise lattice exceeds this many nodes (0 = unlimited).
   size_t max_lattice_nodes = 0;
 
-  /// TANE only: byte budget for cached lattice partitions (0 = unlimited).
-  /// Singleton attribute partitions are always pinned; when a level's
-  /// partitions overflow the budget the overflow is recomputed on demand
-  /// from the singletons, trading time for memory. Never changes results.
-  size_t partition_budget_bytes = size_t{256} << 20;
+  /// TANE only: local byte line for cached lattice partitions
+  /// (0 = unlimited). Singleton attribute partitions are always pinned;
+  /// when a level's partitions overflow the line the overflow is
+  /// recomputed on demand from the singletons, trading time for memory.
+  /// Never changes results. Memory policy normally lives in the shared
+  /// `memory_governor` below (sized from the corpus, not per table); this
+  /// per-run line remains as a standalone safety valve and for tests.
+  size_t partition_budget_bytes = 0;
+
+  /// Corpus-wide partition memory pool (non-owning, may be null). When
+  /// set, every retained O(rows) structure of the run — class-id
+  /// vectors, pinned singletons, cached partitions, FUN's level ids — is
+  /// leased from this pool, and retention requests the pool declines
+  /// degrade to the rebuild path. Shared by all concurrent per-table
+  /// miners; never changes results, only time/memory.
+  MemoryGovernor* memory_governor = nullptr;
 };
 
 /// Per-phase instrumentation of one mining run (fed to bench_fd).
@@ -40,11 +52,24 @@ struct FdPhaseStats {
   double prune_seconds = 0;
   /// Partition products (TANE) or refinements (FUN) computed.
   size_t products = 0;
-  /// Cache misses recomputed from singleton partitions (TANE only).
+  /// Cache misses recomputed from the singleton structures: partition
+  /// rebuilds in TANE, level-id rebuilds in FUN.
   size_t partition_rebuilds = 0;
+  /// Retention requests declined by the local budget line or the shared
+  /// memory governor (each decline later costs at most one rebuild).
+  size_t partition_declines = 0;
   /// High-water mark of live partition bytes, cache-resident plus the
   /// in-flight products of the level being generated (TANE only).
   size_t peak_partition_bytes = 0;
+  /// High-water mark of this run's lease on the memory pool: engine class
+  /// ids + retained partitions/level ids (+ noted transients). Tracked
+  /// even without a governor attached.
+  size_t lease_peak_bytes = 0;
+  /// Shared pool observability, sampled when the run finishes: the
+  /// governor's budget and its global high-water mark across *all*
+  /// concurrent leases. Zero when no governor is attached.
+  size_t governor_budget_bytes = 0;
+  size_t governor_peak_bytes = 0;
 };
 
 /// Discovery output: the minimal non-trivial FDs plus the minimal candidate

@@ -4,6 +4,14 @@
 // candidate refinements fan out over the global `ogdp::util` pool and the
 // calling thread folds the results in the serial candidate order, so
 // output (and nodes_explored) is byte-identical at every thread count.
+//
+// Memory: each level's node ids (one uint32 per row per node) are leased
+// from the corpus-wide partition memory governor. When the pool declines
+// a node's ids, they are dropped and the node is rebuilt on demand by
+// chaining Refine over its member attributes' class ids (ascending
+// member order). Refined cardinalities depend only on the grouping a
+// class-id vector encodes, never on its labeling, so declines move work
+// onto the rebuild path without changing any mined result.
 
 #include <algorithm>
 #include <unordered_map>
@@ -14,6 +22,28 @@
 #include "util/stopwatch.h"
 
 namespace ogdp::fd {
+
+namespace {
+
+size_t IdsBytes(const CardinalityEngine::ClassIds& ids) {
+  return ids.capacity() * sizeof(uint32_t);
+}
+
+// Recomputes the class ids of `set` from the engine's singleton ids (the
+// FUN analogue of RebuildPartition): start from the lowest member and
+// refine by the remaining members in ascending order.
+CardinalityEngine::ClassIds RebuildIds(
+    const CardinalityEngine& engine, AttributeSet set,
+    CardinalityEngine::RefineScratch& scratch) {
+  const std::vector<size_t> members = SetMembers(set);
+  CardinalityEngine::ClassIds ids = engine.AttributeClassIds(members[0]);
+  for (size_t i = 1; i < members.size(); ++i) {
+    ids = engine.Refine(ids, members[i], scratch).second;
+  }
+  return ids;
+}
+
+}  // namespace
 
 Result<FdMineResult> MineFun(const table::Table& table,
                              const FdMinerOptions& options) {
@@ -29,6 +59,11 @@ Result<FdMineResult> MineFun(const table::Table& table,
 
   Stopwatch phase;
   CardinalityEngine engine(table);
+  // This run's lease on the corpus-wide pool (unlimited when standalone).
+  // The engine's class ids are must-keep; retained level ids below are
+  // declinable and degrade to RebuildIds.
+  MemoryLease lease(options.memory_governor);
+  lease.ForceCharge(engine.bytes());
 
   // Cardinalities of every discovered free set, the empty set included.
   // The map is the whole state FUN needs for FD emission: the cardinality
@@ -36,6 +71,9 @@ Result<FdMineResult> MineFun(const table::Table& table,
   std::unordered_map<AttributeSet, uint64_t> free_card;
   free_card.emplace(0, 1);
 
+  // A node with empty `ids` is non-resident: the pool declined retention
+  // and the ids are rebuilt on demand (rows >= 1, so resident ids are
+  // never empty).
   struct Node {
     AttributeSet set;
     uint64_t card;
@@ -46,6 +84,7 @@ Result<FdMineResult> MineFun(const table::Table& table,
   // non-free; key columns are free but not expanded (supersets of keys are
   // never free).
   std::vector<Node> level;
+  size_t level_charged = 0;  // lease bytes held for `level`'s ids
   size_t nodes = 0;
   for (size_t a = 0; a < attrs; ++a) {
     ++nodes;
@@ -56,7 +95,14 @@ Result<FdMineResult> MineFun(const table::Table& table,
     if (card == rows) {
       result.candidate_keys.push_back(s);
     } else {
-      level.push_back(Node{s, card, engine.AttributeClassIds(a)});
+      Node node{s, card, engine.AttributeClassIds(a)};
+      const size_t cost = IdsBytes(node.ids);
+      if (lease.TryCharge(cost)) {
+        level_charged += cost;
+      } else {
+        node.ids = CardinalityEngine::ClassIds();
+      }
+      level.push_back(std::move(node));
     }
   }
   result.stats.build_seconds = phase.ElapsedSeconds();
@@ -116,26 +162,67 @@ Result<FdMineResult> MineFun(const table::Table& table,
     result.stats.prune_seconds += phase.ElapsedSeconds();
 
     // Refinement fan-out (the hot path), then an ordered fold that
-    // replays the serial insertion sequence exactly.
+    // replays the serial insertion sequence exactly. When every source
+    // node kept its ids the whole candidate list fans out at once; when
+    // the pool declined some, fall back to per-node groups (serial id
+    // rebuild, parallel refinements within the group). Refined
+    // cardinalities are labeling-invariant, so both paths produce the
+    // same free sets, keys, and FDs.
     phase.Restart();
     struct Refined {
       uint64_t card = 0;
       CardinalityEngine::ClassIds ids;
     };
     std::vector<Refined> refined(cands.size());
-    util::ParallelForChunks(0, cands.size(), [&](size_t lo, size_t hi) {
-      CardinalityEngine::RefineScratch scratch;
-      for (size_t i = lo; i < hi; ++i) {
-        auto [card, ids] =
-            engine.Refine(level[cands[i].node].ids, cands[i].attr, scratch);
-        refined[i] = Refined{card, std::move(ids)};
+    bool all_sources_resident = true;
+    for (const Candidate& c : cands) {
+      if (level[c.node].ids.empty()) {
+        all_sources_resident = false;
+        break;
       }
-    });
+    }
+    if (all_sources_resident) {
+      util::ParallelForChunks(0, cands.size(), [&](size_t lo, size_t hi) {
+        CardinalityEngine::RefineScratch scratch;
+        for (size_t i = lo; i < hi; ++i) {
+          auto [card, ids] =
+              engine.Refine(level[cands[i].node].ids, cands[i].attr, scratch);
+          refined[i] = Refined{card, std::move(ids)};
+        }
+      });
+    } else {
+      // Candidates are contiguous per source node by construction.
+      CardinalityEngine::RefineScratch rebuild_scratch;
+      CardinalityEngine::ClassIds rebuilt;
+      for (size_t lo = 0; lo < cands.size();) {
+        size_t hi = lo;
+        while (hi < cands.size() && cands[hi].node == cands[lo].node) ++hi;
+        const Node& src = level[cands[lo].node];
+        const CardinalityEngine::ClassIds* ids = &src.ids;
+        if (ids->empty()) {
+          rebuilt = RebuildIds(engine, src.set, rebuild_scratch);
+          ++result.stats.partition_rebuilds;
+          ids = &rebuilt;
+        }
+        util::ParallelForChunks(lo, hi, [&](size_t clo, size_t chi) {
+          CardinalityEngine::RefineScratch scratch;
+          for (size_t i = clo; i < chi; ++i) {
+            auto [card, out] = engine.Refine(*ids, cands[i].attr, scratch);
+            refined[i] = Refined{card, std::move(out)};
+          }
+        });
+        lo = hi;
+      }
+    }
     result.stats.products += cands.size();
     result.stats.product_seconds += phase.ElapsedSeconds();
 
     phase.Restart();
+    size_t transient_bytes = 0;
+    for (const Refined& r : refined) transient_bytes += IdsBytes(r.ids);
+    lease.NoteTransient(transient_bytes);
     std::vector<Node> next;
+    size_t next_charged = 0;
     for (size_t i = 0; i < cands.size(); ++i) {
       const AttributeSet cand =
           Add(level[cands[i].node].set, cands[i].attr);
@@ -145,13 +232,29 @@ Result<FdMineResult> MineFun(const table::Table& table,
       if (card == rows) {
         result.candidate_keys.push_back(cand);
       } else if (k < max_level) {
-        next.push_back(Node{cand, card, std::move(refined[i].ids)});
+        Node node{cand, card, std::move(refined[i].ids)};
+        const size_t cost = IdsBytes(node.ids);
+        if (lease.TryCharge(cost)) {
+          next_charged += cost;
+        } else {
+          node.ids = CardinalityEngine::ClassIds();
+        }
+        next.push_back(std::move(node));
       }
     }
     result.stats.prune_seconds += phase.ElapsedSeconds();
     level = std::move(next);
+    lease.Release(level_charged);
+    level_charged = next_charged;
   }
   result.nodes_explored = nodes;
+  result.stats.partition_declines = lease.declines();
+  result.stats.lease_peak_bytes = lease.peak_bytes();
+  if (options.memory_governor != nullptr) {
+    result.stats.governor_budget_bytes =
+        options.memory_governor->budget_bytes();
+    result.stats.governor_peak_bytes = options.memory_governor->peak_bytes();
+  }
 
   // card(S) for any |S| <= max_level: lookup when free, otherwise FUN's
   // inference rule over free subsets.

@@ -1,0 +1,129 @@
+#include "fd/memory_governor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace ogdp::fd {
+
+bool MemoryGovernor::TryReserve(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ > 0 && in_use_ + bytes > budget_) {
+    ++declined_;
+    return false;
+  }
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+  return true;
+}
+
+void MemoryGovernor::ForceReserve(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+}
+
+void MemoryGovernor::Release(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_use_ -= std::min(bytes, in_use_);
+}
+
+void MemoryGovernor::NoteTransient(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_ = std::max(peak_, in_use_ + bytes);
+}
+
+size_t MemoryGovernor::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+size_t MemoryGovernor::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+size_t MemoryGovernor::declined_reserves() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return declined_;
+}
+
+bool MemoryLease::TryCharge(size_t bytes) {
+  if (governor_ != nullptr && !governor_->TryReserve(bytes)) {
+    ++declines_;
+    return false;
+  }
+  charged_ += bytes;
+  peak_ = std::max(peak_, charged_);
+  return true;
+}
+
+void MemoryLease::ForceCharge(size_t bytes) {
+  if (governor_ != nullptr) governor_->ForceReserve(bytes);
+  charged_ += bytes;
+  peak_ = std::max(peak_, charged_);
+}
+
+void MemoryLease::Release(size_t bytes) {
+  bytes = std::min(bytes, charged_);
+  if (governor_ != nullptr) governor_->Release(bytes);
+  charged_ -= bytes;
+}
+
+void MemoryLease::ReleaseAll() { Release(charged_); }
+
+void MemoryLease::NoteTransient(size_t bytes) {
+  peak_ = std::max(peak_, charged_ + bytes);
+  if (governor_ != nullptr) governor_->NoteTransient(bytes);
+}
+
+size_t DefaultFdMemoryBudget(uint64_t corpus_cells) {
+  constexpr uint64_t kBytesPerCell = 32;
+  constexpr uint64_t kFloor = uint64_t{64} << 20;    // 64 MiB
+  constexpr uint64_t kCeiling = uint64_t{4} << 30;   // 4 GiB
+  uint64_t budget = corpus_cells;
+  budget = budget > kCeiling / kBytesPerCell ? kCeiling
+                                             : budget * kBytesPerCell;
+  budget = std::clamp(budget, kFloor, kCeiling);
+  return static_cast<size_t>(budget);
+}
+
+bool FdMemoryBudgetFromEnv(size_t* budget_bytes) {
+  const char* env = std::getenv("OGDP_FD_MEM_BUDGET");
+  if (env == nullptr || *env == '\0') return false;
+  std::string value(env);
+  for (char& c : value) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  if (value == "unlimited") {
+    *budget_bytes = 0;
+    return true;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str()) return false;  // no digits at all
+  uint64_t multiplier = 1;
+  if (*end == 'k') {
+    multiplier = uint64_t{1} << 10;
+    ++end;
+  } else if (*end == 'm') {
+    multiplier = uint64_t{1} << 20;
+    ++end;
+  } else if (*end == 'g') {
+    multiplier = uint64_t{1} << 30;
+    ++end;
+  }
+  if (*end != '\0') return false;  // trailing junk
+  *budget_bytes = static_cast<size_t>(parsed * multiplier);
+  return true;
+}
+
+size_t ResolveFdMemoryBudget(size_t override_bytes, uint64_t corpus_cells) {
+  if (override_bytes == kUnlimitedFdMemoryBudget) return 0;
+  if (override_bytes != 0) return override_bytes;
+  size_t env_budget = 0;
+  if (FdMemoryBudgetFromEnv(&env_budget)) return env_budget;
+  return DefaultFdMemoryBudget(corpus_cells);
+}
+
+}  // namespace ogdp::fd

@@ -1,0 +1,149 @@
+#ifndef OGDP_FD_MEMORY_GOVERNOR_H_
+#define OGDP_FD_MEMORY_GOVERNOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace ogdp::fd {
+
+/// Corpus-wide partition-memory pool shared by all concurrently running
+/// FD miners (DESIGN.md §7.1).
+///
+/// Each per-table mining run opens a `MemoryLease` against the governor
+/// and charges every retained O(rows) structure — the cardinality
+/// engine's class-id vectors, pinned singleton partitions, cached
+/// composite partitions, FUN's per-level node ids — against the shared
+/// `budget_bytes`. A charge that would exceed the budget is *declined*;
+/// the miner then simply does not retain that structure and falls back to
+/// its rebuild path, trading time for memory. Declines never change
+/// mining results (FDs, candidate keys, `nodes_explored` are
+/// byte-identical at every budget and thread count); they only move work
+/// between the cache-hit and rebuild paths, so the pool needs no
+/// fairness machinery — any interleaving of charges is correct.
+///
+/// Budget 0 means unlimited: every charge succeeds and the governor only
+/// tracks usage (peak observability without a line).
+///
+/// All methods are thread-safe; one governor instance serves every
+/// per-table worker of `core/analysis.cc` in parallel.
+class MemoryGovernor {
+ public:
+  /// `budget_bytes` = 0 disables the line (unlimited, accounting only).
+  explicit MemoryGovernor(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
+  /// Reserves `bytes` from the pool; false (and nothing reserved) when
+  /// the reservation would push usage above the budget.
+  bool TryReserve(size_t bytes);
+
+  /// Reserves unconditionally — for must-keep allocations (the engine's
+  /// class ids, pinned singletons) that exist whether or not the pool has
+  /// room. May push usage above the budget, which makes every subsequent
+  /// TryReserve decline until bytes are released: exactly the global
+  /// pressure signal that degrades concurrent miners to their rebuild
+  /// paths instead of failing.
+  void ForceReserve(size_t bytes);
+
+  /// Returns `bytes` to the pool.
+  void Release(size_t bytes);
+
+  /// Folds a transient allocation (e.g. one level's in-flight products)
+  /// into the peak accounting without reserving it.
+  void NoteTransient(size_t bytes);
+
+  size_t budget_bytes() const { return budget_; }
+  size_t bytes_in_use() const;
+  /// High-water mark of reserved (+ noted transient) bytes across all
+  /// leases over the governor's lifetime.
+  size_t peak_bytes() const;
+  /// Number of declined TryReserve calls.
+  size_t declined_reserves() const;
+
+ private:
+  const size_t budget_;
+  mutable std::mutex mu_;
+  size_t in_use_ = 0;
+  size_t peak_ = 0;
+  size_t declined_ = 0;
+};
+
+/// Per-table RAII handle on a governor: all of one mining run's charges
+/// flow through its lease, and whatever is still outstanding when the
+/// lease dies is returned to the pool — a worker that early-exits on an
+/// error can never strand pool capacity.
+///
+/// A lease without a governor (default-constructed, or bound to nullptr)
+/// is unlimited: every charge succeeds, and the lease still tracks its
+/// own charged/peak/decline counters so per-table observability works in
+/// standalone `MineTane`/`MineFun` calls too. Leases are single-threaded
+/// by design (one per per-table worker); only the governor they share is
+/// synchronized.
+class MemoryLease {
+ public:
+  MemoryLease() = default;
+  explicit MemoryLease(MemoryGovernor* governor) : governor_(governor) {}
+  ~MemoryLease() { ReleaseAll(); }
+
+  MemoryLease(const MemoryLease&) = delete;
+  MemoryLease& operator=(const MemoryLease&) = delete;
+
+  /// Charges `bytes`; false when the governor declined (nothing charged).
+  bool TryCharge(size_t bytes);
+
+  /// Charges unconditionally (see MemoryGovernor::ForceReserve).
+  void ForceCharge(size_t bytes);
+
+  /// Returns `bytes` of this lease's charges to the pool.
+  void Release(size_t bytes);
+
+  /// Returns every outstanding byte (destructor path; idempotent).
+  void ReleaseAll();
+
+  /// Folds a transient allocation into this lease's and the governor's
+  /// peak accounting.
+  void NoteTransient(size_t bytes);
+
+  size_t charged_bytes() const { return charged_; }
+  size_t peak_bytes() const { return peak_; }
+  size_t declines() const { return declines_; }
+  MemoryGovernor* governor() const { return governor_; }
+
+ private:
+  MemoryGovernor* governor_ = nullptr;
+  size_t charged_ = 0;
+  size_t peak_ = 0;
+  size_t declines_ = 0;
+};
+
+/// Default corpus-wide budget: 32 bytes of partition headroom per corpus
+/// cell (row x column over the FD-sampled tables), clamped to
+/// [64 MiB, 4 GiB]. The per-cell factor covers the engine's 4-byte class
+/// ids plus one resident lattice level several times over on typical
+/// portal tables; the floor keeps tiny corpora from thrashing and the
+/// ceiling bounds worst-case residency on huge ones — beyond it, wide
+/// tables degrade to the rebuild path instead of growing the pool.
+size_t DefaultFdMemoryBudget(uint64_t corpus_cells);
+
+/// Parses the `OGDP_FD_MEM_BUDGET` environment variable: a byte count
+/// with an optional K/M/G suffix (KiB multiples, case-insensitive);
+/// "0" or "unlimited" disable the line. Returns true and writes
+/// `*budget_bytes` when the variable is set and parses; malformed values
+/// are ignored (returns false), never fatal.
+bool FdMemoryBudgetFromEnv(size_t* budget_bytes);
+
+/// Budget resolution used by the analysis pipeline: an explicit non-zero
+/// override wins (`kUnlimitedFdMemoryBudget` requests no line), else the
+/// environment variable, else `DefaultFdMemoryBudget(corpus_cells)`.
+size_t ResolveFdMemoryBudget(size_t override_bytes, uint64_t corpus_cells);
+
+/// Sentinel for "explicitly unlimited" in override positions where 0
+/// already means "auto".
+inline constexpr size_t kUnlimitedFdMemoryBudget =
+    static_cast<size_t>(-1);
+
+}  // namespace ogdp::fd
+
+#endif  // OGDP_FD_MEMORY_GOVERNOR_H_

@@ -125,7 +125,9 @@ std::vector<std::vector<uint32_t>> ClassesAsSortedSets(
 
 void PartitionCache::PinSingleton(size_t attr, StrippedPartition&& p) {
   if (singletons_.size() <= attr) singletons_.resize(attr + 1);
-  bytes_ += p.bytes();
+  const size_t cost = p.bytes();
+  bytes_ += cost;
+  if (lease_ != nullptr) lease_->ForceCharge(cost);
   singletons_[attr] = std::move(p);
   peak_bytes_ = std::max(peak_bytes_, bytes_);
 }
@@ -146,6 +148,10 @@ bool PartitionCache::Insert(AttributeSet set, StrippedPartition&& p) {
     ++declined_;
     return false;
   }
+  if (lease_ != nullptr && !lease_->TryCharge(cost)) {
+    ++declined_;
+    return false;
+  }
   bytes_ += cost;
   peak_bytes_ = std::max(peak_bytes_, bytes_);
   composites_.emplace(set, std::move(p));
@@ -155,14 +161,18 @@ bool PartitionCache::Insert(AttributeSet set, StrippedPartition&& p) {
 void PartitionCache::Evict(AttributeSet set) {
   const auto it = composites_.find(set);
   if (it == composites_.end()) return;
-  bytes_ -= it->second.bytes();
+  const size_t cost = it->second.bytes();
+  bytes_ -= cost;
+  if (lease_ != nullptr) lease_->Release(cost);
   composites_.erase(it);
 }
 
 void PartitionCache::EvictLevel(size_t level) {
   for (auto it = composites_.begin(); it != composites_.end();) {
     if (SetSize(it->first) == level) {
-      bytes_ -= it->second.bytes();
+      const size_t cost = it->second.bytes();
+      bytes_ -= cost;
+      if (lease_ != nullptr) lease_->Release(cost);
       it = composites_.erase(it);
     } else {
       ++it;
@@ -172,6 +182,7 @@ void PartitionCache::EvictLevel(size_t level) {
 
 void PartitionCache::NoteTransientBytes(size_t bytes) {
   peak_bytes_ = std::max(peak_bytes_, bytes_ + bytes);
+  if (lease_ != nullptr) lease_->NoteTransient(bytes);
 }
 
 void RebuildPartition(const PartitionCache& cache,

@@ -7,6 +7,7 @@
 
 #include "fd/attribute_set.h"
 #include "fd/cardinality_engine.h"
+#include "fd/memory_governor.h"
 
 namespace ogdp::fd {
 
@@ -80,17 +81,23 @@ std::vector<std::vector<uint32_t>> ClassesAsSortedSets(
 ///
 /// Singleton attribute partitions are pinned (never evicted, never
 /// declined, but their bytes do count as live against the budget);
-/// composite partitions are held subject to `budget_bytes`
-/// (0 = unlimited): an insert that would exceed the budget is declined and
-/// the partition is simply not retained — a later Get falls back to
-/// RebuildPartition from the pinned singletons, trading time for memory.
+/// composite partitions are held subject to two lines: the local
+/// `budget_bytes` (0 = unlimited, a per-run safety valve) and, when a
+/// `MemoryLease` is attached, the corpus-wide pool behind the lease. An
+/// insert either line declines is simply not retained — a later Get
+/// falls back to RebuildPartition from the pinned singletons, trading
+/// time for memory. Evictions return their bytes to both accountings.
 /// Level-based eviction (EvictLevel) lets TANE free level k's partitions
 /// as soon as level k+1 is built, so at most one lattice level plus the
 /// singletons is ever live. All methods are single-threaded by design;
 /// parallel sections only read partitions obtained before the fan-out.
 class PartitionCache {
  public:
-  explicit PartitionCache(size_t budget_bytes) : budget_(budget_bytes) {}
+  /// `lease` is optional and non-owning; the caller keeps it alive for
+  /// the cache's lifetime (the miner owns both).
+  explicit PartitionCache(size_t budget_bytes,
+                          MemoryLease* lease = nullptr)
+      : budget_(budget_bytes), lease_(lease) {}
 
   void PinSingleton(size_t attr, StrippedPartition&& p);
   const StrippedPartition& Singleton(size_t attr) const {
@@ -122,6 +129,7 @@ class PartitionCache {
 
  private:
   size_t budget_ = 0;
+  MemoryLease* lease_ = nullptr;  // optional corpus-wide pool handle
   size_t bytes_ = 0;
   size_t peak_bytes_ = 0;
   size_t declined_ = 0;

@@ -53,7 +53,13 @@ Result<FdMineResult> MineTane(const table::Table& table,
 
   Stopwatch phase;
   CardinalityEngine engine(table);
-  PartitionCache cache(options.partition_budget_bytes);
+  // This run's lease on the corpus-wide pool (unlimited when standalone).
+  // The engine's class ids are must-keep: charging them unconditionally
+  // makes concurrent wide tables visible as global pressure, so *other*
+  // runs start declining retention before memory runs out.
+  MemoryLease lease(options.memory_governor);
+  lease.ForceCharge(engine.bytes());
+  PartitionCache cache(options.partition_budget_bytes, &lease);
   const AttributeSet all_attrs =
       attrs == kMaxFdColumns ? ~AttributeSet{0}
                              : (AttributeSet{1} << attrs) - 1;
@@ -248,6 +254,14 @@ Result<FdMineResult> MineTane(const table::Table& table,
   }
   result.nodes_explored = nodes;
   result.stats.peak_partition_bytes = cache.peak_bytes();
+  result.stats.partition_declines = cache.declined_inserts();
+  result.stats.lease_peak_bytes = lease.peak_bytes();
+  if (options.memory_governor != nullptr) {
+    result.stats.governor_budget_bytes =
+        options.memory_governor->budget_bytes();
+    result.stats.governor_peak_bytes =
+        options.memory_governor->peak_bytes();
+  }
 
   // TANE's lattice can emit a key-LHS FD only at level 1 (a key singleton
   // is pruned after its own dependency step); filter for the paper's

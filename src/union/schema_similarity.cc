@@ -98,7 +98,11 @@ std::vector<NearUnionablePair> FindNearUnionablePairs(
     for (size_t j = i + 1; j < fps.size(); ++j) {
       const double sim =
           SchemaSimilarity(schema_of.at(fps[i]), schema_of.at(fps[j]));
-      if (sim + 1e-12 < threshold || sim >= 1.0 - 1e-12) continue;
+      // Distinct fingerprints can still score 1.0 (e.g. INT vs DOUBLE
+      // twins: same names, numeric-compatible types), and those are
+      // exactly the near-unionable pairs this pass exists to surface —
+      // only the threshold filters.
+      if (sim + 1e-12 < threshold) continue;
       // Emit the representative pair per schema pair (first members);
       // expanding to all cross pairs would explode quadratically.
       NearUnionablePair p;

@@ -29,9 +29,12 @@ struct NearUnionablePair {
   double similarity = 0;
 };
 
-/// Finds near-unionable pairs with similarity in [threshold, 1). O(n^2)
-/// over distinct schemas, which is fine at portal scale (schemas repeat
-/// heavily).
+/// Finds near-unionable pairs: one representative pair per pair of
+/// *distinct* schema fingerprints with similarity >= threshold. Distinct
+/// fingerprints can still score exactly 1.0 (e.g. INT vs DOUBLE twins),
+/// and those pairs are reported; exact-duplicate schemas share one
+/// fingerprint and are never paired here. O(n^2) over distinct schemas,
+/// which is fine at portal scale (schemas repeat heavily).
 std::vector<NearUnionablePair> FindNearUnionablePairs(
     const std::vector<table::Table>& tables, double threshold = 0.7);
 

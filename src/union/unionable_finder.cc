@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -46,10 +47,42 @@ std::vector<UnionablePairSample> SampleUnionablePairs(
     const UnionableFinder& finder, size_t count, uint64_t seed) {
   std::vector<UnionablePairSample> out;
   const auto& sets = finder.unionable_sets();
-  if (sets.empty()) return out;
+  if (sets.empty() || count == 0) return out;
   Rng rng(seed);
+  constexpr size_t kMax = std::numeric_limits<size_t>::max();
+
+  // Distinct-pair space: every table carries exactly one fingerprint, so
+  // pairs never repeat across sets and the per-set pair counts just add.
+  size_t total_pairs = 0;
+  for (const UnionableSet& s : sets) {
+    const size_t m = s.tables.size();
+    const size_t p = m * (m - 1) / 2;
+    total_pairs = p > kMax - total_pairs ? kMax : total_pairs + p;
+  }
+
+  // Small pair space: rejection sampling stalls near exhaustion (and can
+  // never return everything once count >= total_pairs), so enumerate the
+  // pairs outright and shuffle. The 4x slack keeps the materialized list
+  // proportional to the request.
+  const size_t enumerate_limit = count > kMax / 4 ? kMax : count * 4;
+  if (total_pairs <= enumerate_limit) {
+    out.reserve(total_pairs);
+    for (size_t s = 0; s < sets.size(); ++s) {
+      const std::vector<size_t>& members = sets[s].tables;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          const auto key = std::minmax(members[i], members[j]);
+          out.push_back(UnionablePairSample{s, key.first, key.second});
+        }
+      }
+    }
+    rng.Shuffle(out);
+    if (out.size() > count) out.resize(count);
+    return out;
+  }
+
   std::set<std::pair<size_t, size_t>> sampled;
-  const size_t max_attempts = count * 200;
+  const size_t max_attempts = count > kMax / 200 ? kMax : count * 200;
   for (size_t attempt = 0; attempt < max_attempts && out.size() < count;
        ++attempt) {
     const size_t s = rng.NextBounded(sets.size());

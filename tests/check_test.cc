@@ -97,6 +97,23 @@ TEST(CheckHarnessTest, CleaningIdempotenceOracle) {
   EXPECT_GE(report.cases, 24u);
 }
 
+// Regression coverage for two union-pipeline bugs: the near-unionable
+// pass dropping sim >= 1.0 pairs with distinct fingerprints (INT/DOUBLE
+// twins), and SampleUnionablePairs under-returning from small pair
+// spaces. The differential cases plant both shapes.
+TEST(CheckHarnessTest, UnionFinderDifferentialOracle) {
+  const OracleReport report = CheckUnionFinderDifferential(BoundedOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.cases, 12u);
+}
+
+TEST(CheckHarnessTest, HeaderModalWidthOracle) {
+  const OracleReport report = CheckHeaderModalWidth(BoundedOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // Synthetic ragged docs + (built-in seeds + corpus + mutants).
+  EXPECT_GE(report.cases, 24u);
+}
+
 TEST(CheckHarnessTest, MutatorIsDeterministic) {
   Rng a(123);
   Rng b(123);
@@ -127,7 +144,7 @@ TEST(CheckHarnessTest, ReportsAreByteReproducible) {
   const OracleOptions options = BoundedOptions();
   const auto first = RunAllOracles(options);
   const auto second = RunAllOracles(options);
-  ASSERT_EQ(first.size(), 6u);
+  ASSERT_EQ(first.size(), 8u);
   ASSERT_EQ(second.size(), first.size());
   for (size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i].ToString(), second[i].ToString());

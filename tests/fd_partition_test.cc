@@ -308,5 +308,148 @@ TEST(FdDeterminismTest, TinyPartitionBudgetOnlyChangesStats) {
             full->stats.peak_partition_bytes);
 }
 
+// ------------------------------------------------ memory governor tests
+
+TEST(MemoryGovernorTest, PoolAccountingAndDeclines) {
+  MemoryGovernor pool(100);
+  EXPECT_EQ(pool.budget_bytes(), 100u);
+  EXPECT_TRUE(pool.TryReserve(60));
+  EXPECT_TRUE(pool.TryReserve(40));
+  EXPECT_FALSE(pool.TryReserve(1));  // full
+  EXPECT_EQ(pool.declined_reserves(), 1u);
+  EXPECT_EQ(pool.bytes_in_use(), 100u);
+  pool.Release(40);
+  EXPECT_EQ(pool.bytes_in_use(), 60u);
+  // Must-keep reservations push past the budget instead of failing.
+  pool.ForceReserve(80);
+  EXPECT_EQ(pool.bytes_in_use(), 140u);
+  EXPECT_EQ(pool.peak_bytes(), 140u);
+  pool.NoteTransient(100);
+  EXPECT_EQ(pool.peak_bytes(), 240u);  // transient counts toward the peak
+  EXPECT_EQ(pool.bytes_in_use(), 140u);  // ... but is not held
+
+  MemoryGovernor unlimited(0);
+  EXPECT_TRUE(unlimited.TryReserve(size_t{1} << 40));
+  EXPECT_EQ(unlimited.declined_reserves(), 0u);
+}
+
+TEST(MemoryGovernorTest, LeaseReturnsBytesOnDestruction) {
+  MemoryGovernor pool(1000);
+  {
+    MemoryLease lease(&pool);
+    EXPECT_TRUE(lease.TryCharge(600));
+    lease.ForceCharge(300);
+    EXPECT_EQ(lease.charged_bytes(), 900u);
+    EXPECT_FALSE(lease.TryCharge(200));  // pool has only 100 left
+    EXPECT_EQ(lease.declines(), 1u);
+    lease.Release(400);
+    EXPECT_EQ(lease.charged_bytes(), 500u);
+    EXPECT_EQ(pool.bytes_in_use(), 500u);
+  }
+  EXPECT_EQ(pool.bytes_in_use(), 0u);  // destructor returned the rest
+  EXPECT_EQ(pool.peak_bytes(), 900u);
+
+  // A lease without a governor is unlimited but still tracks local stats.
+  MemoryLease standalone;
+  EXPECT_TRUE(standalone.TryCharge(size_t{1} << 40));
+  EXPECT_EQ(standalone.peak_bytes(), size_t{1} << 40);
+  EXPECT_EQ(standalone.declines(), 0u);
+}
+
+TEST(MemoryGovernorTest, BudgetResolution) {
+  // Default: 32 bytes/cell clamped to [64 MiB, 4 GiB].
+  const size_t mib = size_t{1} << 20;
+  EXPECT_EQ(DefaultFdMemoryBudget(0), 64 * mib);
+  EXPECT_EQ(DefaultFdMemoryBudget(100), 64 * mib);  // floor
+  EXPECT_EQ(DefaultFdMemoryBudget(8 * mib), 256 * mib);
+  EXPECT_EQ(DefaultFdMemoryBudget(uint64_t{1} << 40), 4096 * mib);  // ceil
+
+  // Env parsing, exercised through ResolveFdMemoryBudget.
+  ::setenv("OGDP_FD_MEM_BUDGET", "128M", 1);
+  EXPECT_EQ(ResolveFdMemoryBudget(0, 0), 128 * mib);
+  ::setenv("OGDP_FD_MEM_BUDGET", "2g", 1);
+  EXPECT_EQ(ResolveFdMemoryBudget(0, 0), 2048 * mib);
+  ::setenv("OGDP_FD_MEM_BUDGET", "512k", 1);
+  EXPECT_EQ(ResolveFdMemoryBudget(0, 0), 512 * 1024u);
+  ::setenv("OGDP_FD_MEM_BUDGET", "unlimited", 1);
+  EXPECT_EQ(ResolveFdMemoryBudget(0, 0), 0u);
+  ::setenv("OGDP_FD_MEM_BUDGET", "12junk", 1);  // malformed: ignored
+  EXPECT_EQ(ResolveFdMemoryBudget(0, 0), 64 * mib);
+  // An explicit override beats the env; the unlimited sentinel maps to 0.
+  ::setenv("OGDP_FD_MEM_BUDGET", "128M", 1);
+  EXPECT_EQ(ResolveFdMemoryBudget(999, 0), 999u);
+  EXPECT_EQ(ResolveFdMemoryBudget(kUnlimitedFdMemoryBudget, 0), 0u);
+  ::unsetenv("OGDP_FD_MEM_BUDGET");
+  EXPECT_EQ(ResolveFdMemoryBudget(0, 0), 64 * mib);
+}
+
+// The ISSUE's acceptance sweep: mined output must be byte-identical at
+// every governor budget x thread count combination. The 1-byte pool
+// declines every declinable retention, the default is the corpus-derived
+// policy, and 0 is unlimited.
+TEST(FdDeterminismTest, GovernorBudgetsAndThreadsDoNotChangeResults) {
+  Rng rng(77);
+  const table::Table wide = WideTableWithPlantedKey(rng, 12, "governed");
+  FdMinerOptions options;
+  options.max_lhs = 3;
+
+  const size_t restore = util::GlobalThreadCount();
+  util::SetGlobalThreadCount(1);
+  const MinedPair baseline = MineBoth(wide, options);
+
+  const uint64_t cells =
+      static_cast<uint64_t>(wide.num_rows()) * wide.num_columns();
+  const size_t budgets[] = {1, DefaultFdMemoryBudget(cells), 0};
+  for (size_t budget : budgets) {
+    for (size_t threads : {1u, 2u, 8u}) {
+      util::SetGlobalThreadCount(threads);
+      MemoryGovernor pool(budget);
+      FdMinerOptions governed = options;
+      governed.memory_governor = &pool;
+      const MinedPair run = MineBoth(wide, governed);
+      EXPECT_EQ(run.tane.fds, baseline.tane.fds)
+          << "budget " << budget << ", " << threads << " threads";
+      EXPECT_EQ(run.tane.candidate_keys, baseline.tane.candidate_keys);
+      EXPECT_EQ(run.tane.nodes_explored, baseline.tane.nodes_explored);
+      EXPECT_EQ(run.fun.fds, baseline.fun.fds)
+          << "budget " << budget << ", " << threads << " threads";
+      EXPECT_EQ(run.fun.candidate_keys, baseline.fun.candidate_keys);
+      EXPECT_EQ(run.fun.nodes_explored, baseline.fun.nodes_explored);
+      EXPECT_EQ(run.tane.stats.governor_budget_bytes, budget);
+    }
+  }
+  util::SetGlobalThreadCount(restore);
+}
+
+// Under a 1-byte global pool every declinable retention is refused: both
+// miners must report declines, fall back to rebuilds, and still finish
+// with full results.
+TEST(FdDeterminismTest, TinyGovernorBudgetForcesRebuildsAndCompletes) {
+  Rng rng(88);
+  const table::Table wide = WideTableWithPlantedKey(rng, 10, "squeezed");
+  FdMinerOptions options;
+  options.max_lhs = 3;
+
+  MemoryGovernor pool(1);
+  FdMinerOptions governed = options;
+  governed.memory_governor = &pool;
+
+  auto tane = MineTane(wide, governed);
+  auto fun = MineFun(wide, governed);
+  ASSERT_TRUE(tane.ok()) << tane.status();
+  ASSERT_TRUE(fun.ok()) << fun.status();
+
+  EXPECT_GT(tane->stats.partition_declines, 0u);
+  EXPECT_GT(tane->stats.partition_rebuilds, 0u);
+  EXPECT_GT(fun->stats.partition_declines, 0u);
+  EXPECT_GT(fun->stats.partition_rebuilds, 0u);
+  // Must-keep charges (engine ids, pinned singletons) land even when the
+  // pool is over budget, so the global peak exceeds the 1-byte budget.
+  EXPECT_GT(pool.peak_bytes(), pool.budget_bytes());
+  EXPECT_FALSE(tane->fds.empty() && tane->candidate_keys.empty());
+  EXPECT_EQ(tane->fds, fun->fds);
+  EXPECT_EQ(tane->candidate_keys, fun->candidate_keys);
+}
+
 }  // namespace
 }  // namespace ogdp::fd

@@ -99,5 +99,26 @@ TEST(FindNearUnionableTest, EmptyCorpus) {
   EXPECT_TRUE(FindNearUnionablePairs({}, 0.7).empty());
 }
 
+// Regression: twin schemas with identical names but INT vs DOUBLE columns
+// have distinct fingerprints yet score exactly 1.0 (numeric types are
+// union-compatible). They used to be silently dropped by a `sim >= 1.0`
+// skip intended for exact duplicates — which the fingerprint grouping
+// already excludes.
+TEST(FindNearUnionableTest, IntDoubleTwinSchemasAreReported) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("ints", {"entity", "amount"},
+                             {{"x", "1"}, {"y", "2"}}));
+  tables.push_back(MakeTable("doubles", {"entity", "amount"},
+                             {{"z", "1.5"}, {"w", "2.5"}}));
+  ASSERT_NE(tables[0].GetSchema().Fingerprint(),
+            tables[1].GetSchema().Fingerprint());
+
+  auto pairs = FindNearUnionablePairs(tables, 0.7);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].table_a, 0u);
+  EXPECT_EQ(pairs[0].table_b, 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+}
+
 }  // namespace
 }  // namespace ogdp::tunion

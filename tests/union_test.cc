@@ -99,6 +99,38 @@ TEST(SampleUnionablePairsTest, EmptyCorpus) {
   EXPECT_TRUE(SampleUnionablePairs(finder, 10, 1).empty());
 }
 
+// Regression: requesting at least the exact distinct-pair count must
+// return every pair. The old rejection sampler could stall before
+// exhausting a small pair space; the enumerate-and-shuffle path cannot.
+TEST(SampleUnionablePairsTest, RequestingAllPairsReturnsAllPairs) {
+  std::vector<Table> tables = Corpus();
+  UnionableFinder finder(tables);
+  for (uint64_t seed : {1u, 17u, 999u}) {
+    auto samples = SampleUnionablePairs(finder, 100, seed);
+    EXPECT_EQ(samples.size(), 4u) << "seed " << seed;  // 3 in A + 1 in B
+    std::set<std::pair<size_t, size_t>> seen;
+    for (const auto& s : samples) {
+      EXPECT_TRUE(seen.insert({s.table_a, s.table_b}).second);
+      EXPECT_EQ(finder.unionable_sets()[s.set_index].schema_fingerprint,
+                tables[s.table_a].GetSchema().Fingerprint());
+    }
+  }
+  // Overflow probe: with the old `count * 200` attempt cap this count
+  // wrapped to exactly zero attempts and returned nothing.
+  auto all = SampleUnionablePairs(finder, size_t{1} << 61, 7);
+  EXPECT_EQ(all.size(), 4u);
+
+  // Deterministic: the same seed yields the same sample order.
+  auto a = SampleUnionablePairs(finder, 3, 42);
+  auto b = SampleUnionablePairs(finder, 3, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].table_a, b[i].table_a);
+    EXPECT_EQ(a[i].table_b, b[i].table_b);
+    EXPECT_EQ(a[i].set_index, b[i].set_index);
+  }
+}
+
 TEST(UnionAllTest, ConcatenatesRows) {
   std::vector<Table> tables = Corpus();
   UnionableFinder finder(tables);
