@@ -41,25 +41,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto tables = corpus::ReadCsvDirectory(dir);
-  if (!tables.ok()) {
+  auto scan = corpus::ReadCsvDirectory(dir);
+  if (!scan.ok()) {
     std::fprintf(stderr, "cannot read %s: %s\n", dir.c_str(),
-                 tables.status().ToString().c_str());
+                 scan.status().ToString().c_str());
     return 1;
   }
-  std::printf("readable tables: %zu\n\n", tables->size());
+  const std::vector<table::Table>& tables = scan->tables;
+  std::printf("readable tables: %zu of %zu candidate files "
+              "(skipped: %zu io, %zu not-csv, %zu parse, %zu empty-header, "
+              "%zu wide)\n\n",
+              tables.size(), scan->files_seen, scan->skips.io_error,
+              scan->skips.not_csv, scan->skips.parse,
+              scan->skips.empty_header, scan->skips.wide);
 
   // Per-table profiles for the first few tables.
-  const size_t show = std::min<size_t>(tables->size(), 3);
+  const size_t show = std::min<size_t>(tables.size(), 3);
   for (size_t i = 0; i < show; ++i) {
-    std::printf("%s\n", profile::TableProfile::Of((*tables)[i]).ToString()
+    std::printf("%s\n", profile::TableProfile::Of(tables[i]).ToString()
                             .c_str());
   }
 
   // Corpus-level statistics.
-  auto sizes = profile::ComputeTableSizeStats(*tables);
-  auto nulls = profile::ComputeNullStats(*tables);
-  auto uniq = profile::ComputeUniquenessStats(*tables);
+  auto sizes = profile::ComputeTableSizeStats(tables);
+  auto nulls = profile::ComputeNullStats(tables);
+  auto uniq = profile::ComputeUniquenessStats(tables);
   std::printf("--- corpus summary ---\n");
   std::printf("rows per table: avg %.1f, median %.0f, max %.0f\n",
               sizes.rows.mean, sizes.rows.median, sizes.rows.max);

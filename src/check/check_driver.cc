@@ -5,8 +5,8 @@
 //
 // Runs the differential/metamorphic oracles (csv_round_trip,
 // fd_tane_vs_fun, bcnf_lossless_join, lsh_superset, codec_round_trip,
-// cleaning_idempotence, union_finder_differential, header_modal_width)
-// and prints one report per oracle. Output is byte-reproducible for a
+// cleaning_idempotence, union_finder_differential, header_modal_width,
+// fetch_equivalence) and prints one report per oracle. Output is byte-reproducible for a
 // fixed seed; the exit code is 0 iff every oracle holds on every case.
 // `--corpus` mixes the committed regression documents into the CSV
 // mutation pool.
@@ -31,7 +31,7 @@ void Usage(const char* argv0) {
                "[--oracle csv_round_trip|fd_tane_vs_fun|"
                "bcnf_lossless_join|lsh_superset|codec_round_trip|"
                "cleaning_idempotence|union_finder_differential|"
-               "header_modal_width]\n",
+               "header_modal_width|fetch_equivalence]\n",
                argv0);
 }
 
@@ -116,6 +116,8 @@ int main(int argc, char** argv) {
     reports.push_back(ogdp::check::CheckUnionFinderDifferential(options));
   } else if (only_oracle == "header_modal_width") {
     reports.push_back(ogdp::check::CheckHeaderModalWidth(options));
+  } else if (only_oracle == "fetch_equivalence") {
+    reports.push_back(ogdp::check::CheckFetchEquivalence(options));
   } else {
     Usage(argv[0]);
     return 2;

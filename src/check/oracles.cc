@@ -12,6 +12,10 @@
 #include "check/csv_mutator.h"
 #include "check/random_table.h"
 #include "compress/codec.h"
+#include "core/ingestion.h"
+#include "core/portal_model.h"
+#include "fetch/fault_schedule.h"
+#include "fetch/retry.h"
 #include "csv/cleaning.h"
 #include "csv/csv_reader.h"
 #include "csv/csv_writer.h"
@@ -925,6 +929,283 @@ OracleReport CheckHeaderModalWidth(const OracleOptions& options) {
   return report;
 }
 
+namespace {
+
+// A small random portal exercising every ingestion fate: good CSVs,
+// dead links, HTML bodies under a CSV label, non-CSV formats, and the
+// occasional unparsable or trailing-blank document.
+core::Portal RandomFetchPortal(Rng& rng, size_t tag) {
+  core::Portal portal;
+  portal.name = "F" + std::to_string(tag);
+  const size_t num_datasets = 1 + rng.NextBounded(3);
+  for (size_t d = 0; d < num_datasets; ++d) {
+    core::Dataset ds;
+    ds.id = "ds" + std::to_string(d);
+    ds.topic = "synthetic";
+    ds.publication_year = 2018 + static_cast<int>(rng.NextBounded(5));
+    const size_t num_resources = 1 + rng.NextBounded(4);
+    for (size_t r = 0; r < num_resources; ++r) {
+      core::Resource res;
+      res.name = "r" + std::to_string(d) + "_" + std::to_string(r) + ".csv";
+      res.claimed_format = "CSV";
+      const double roll = rng.NextDouble();
+      if (roll < 0.08) {
+        res.claimed_format = "PDF";  // ignored by the format filter
+        res.content = "%PDF-1.4";
+      } else if (roll < 0.20) {
+        res.downloadable = false;  // dead link
+      } else if (roll < 0.30) {
+        res.content = "<!DOCTYPE html><html><body>busy</body></html>";
+      } else {
+        const size_t cols = 1 + rng.NextBounded(4);
+        const size_t rows = 1 + rng.NextBounded(8);
+        std::string doc;
+        for (size_t c = 0; c < cols; ++c) {
+          doc += (c ? "," : "") + ("h" + std::to_string(c));
+        }
+        doc += "\n";
+        for (size_t i = 0; i < rows; ++i) {
+          for (size_t c = 0; c < cols; ++c) {
+            doc += (c ? "," : "") + std::to_string(rng.NextBounded(50));
+          }
+          doc += "\n";
+        }
+        res.content = std::move(doc);
+      }
+      ds.resources.push_back(std::move(res));
+    }
+    portal.datasets.push_back(std::move(ds));
+  }
+  return portal;
+}
+
+// Compares everything except retry telemetry. Returns "" on equality.
+std::string DescribeIngestDiff(const core::IngestResult& a,
+                               const core::IngestResult& b) {
+  const core::IngestStats& sa = a.stats;
+  const core::IngestStats& sb = b.stats;
+  if (sa.total_tables != sb.total_tables ||
+      sa.downloadable_tables != sb.downloadable_tables ||
+      sa.not_downloadable_tables != sb.not_downloadable_tables ||
+      sa.readable_tables != sb.readable_tables ||
+      sa.rejected_not_csv != sb.rejected_not_csv ||
+      sa.rejected_parse != sb.rejected_parse ||
+      sa.removed_wide_tables != sb.removed_wide_tables ||
+      sa.trailing_empty_columns_removed !=
+          sb.trailing_empty_columns_removed ||
+      sa.total_bytes != sb.total_bytes) {
+    return "core stats differ";
+  }
+  if (a.tables.size() != b.tables.size()) {
+    return "table count differs (" + std::to_string(a.tables.size()) +
+           " vs " + std::to_string(b.tables.size()) + ")";
+  }
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    if (a.tables[i].name() != b.tables[i].name() ||
+        a.tables[i].dataset_id() != b.tables[i].dataset_id() ||
+        a.tables[i].csv_size_bytes() != b.tables[i].csv_size_bytes() ||
+        a.tables[i].ToCsvString() != b.tables[i].ToCsvString()) {
+      return "table " + std::to_string(i) + " differs";
+    }
+    if (a.provenance[i].dataset_index != b.provenance[i].dataset_index ||
+        a.provenance[i].resource_index != b.provenance[i].resource_index ||
+        a.provenance[i].publication_year !=
+            b.provenance[i].publication_year) {
+      return "provenance " + std::to_string(i) + " differs";
+    }
+  }
+  if (a.resources.size() != b.resources.size()) {
+    return "resource record count differs";
+  }
+  for (size_t i = 0; i < a.resources.size(); ++i) {
+    if (a.resources[i].stage != b.resources[i].stage ||
+        !(a.resources[i].status == b.resources[i].status)) {
+      return "resource record " + std::to_string(i) + " (" +
+             a.resources[i].resource_name + ") differs: " +
+             core::IngestStageName(a.resources[i].stage) + " vs " +
+             core::IngestStageName(b.resources[i].stage);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+OracleReport CheckFetchEquivalence(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "fetch_equivalence";
+
+  Rng rng = Rng(options.seed).Fork("fetch_equivalence");
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    const core::Portal portal = RandomFetchPortal(rng, it);
+    const std::string where = "case " + std::to_string(it);
+
+    core::IngestOptions base_options;
+    base_options.faults = fetch::FaultProfile{};  // explicit: env-proof
+    const core::IngestResult baseline =
+        core::IngestPortal(portal, base_options);
+    if (auto inv = core::CheckIngestStatsInvariants(baseline.stats);
+        !inv.ok()) {
+      report.failures.push_back("baseline invariants broken at " + where +
+                                ": " + inv.message());
+      continue;
+    }
+
+    // (a) Transient-only schedule: every resource succeeds within the
+    // attempt budget (script <= max_transient_faults < max_attempts), so
+    // output must be byte-identical to the fault-free run.
+    ++report.cases;
+    fetch::FaultProfile transient;
+    transient.seed = options.seed ^ (it * 0x9e3779b97f4a7c15ULL);
+    transient.timeout_rate = rng.NextDouble() * 0.35;
+    transient.http5xx_rate = rng.NextDouble() * 0.35;
+    transient.rate_limit_rate = rng.NextDouble() * 0.3;
+    transient.truncated_rate = rng.NextDouble() * 0.3;
+    transient.slow_read_rate = rng.NextDouble() * 0.2;
+    transient.checksum_rate = rng.NextDouble() * 0.2;
+    transient.max_transient_faults = 2;
+
+    core::IngestOptions faulty_options;
+    faulty_options.faults = transient;
+    faulty_options.retry.max_attempts = 4;
+    faulty_options.retry.initial_backoff_ms = 10;
+    faulty_options.retry.breaker_threshold = 3;
+    faulty_options.retry.breaker_open_ms = 200;
+    const core::IngestResult faulty =
+        core::IngestPortal(portal, faulty_options);
+
+    if (std::string diff = DescribeIngestDiff(baseline, faulty);
+        !diff.empty()) {
+      report.failures.push_back("transient run diverged at " + where + ": " +
+                                diff);
+      continue;
+    }
+    if (auto inv = core::CheckIngestStatsInvariants(faulty.stats);
+        !inv.ok()) {
+      report.failures.push_back("transient invariants broken at " + where +
+                                ": " + inv.message());
+      continue;
+    }
+    if (faulty.stats.fetch_attempts < faulty.stats.total_tables) {
+      report.failures.push_back(
+          "transient run under-counts attempts at " + where);
+      continue;
+    }
+
+    // (b) Forced permanent failures: output equals the fault-free run
+    // minus exactly the failed resources, with stats buckets adjusted by
+    // those resources' fault-free stages.
+    std::vector<std::pair<size_t, size_t>> fetchable;  // (dataset, resource)
+    for (const core::ResourceRecord& r : baseline.resources) {
+      if (r.stage != core::IngestStage::kNotDownloadable) {
+        fetchable.emplace_back(r.dataset_index, r.resource_index);
+      }
+    }
+    if (fetchable.empty()) continue;
+    ++report.cases;
+
+    const size_t num_failed = 1 + rng.NextBounded(fetchable.size());
+    rng.Shuffle(fetchable);
+    std::set<std::pair<size_t, size_t>> failed(
+        fetchable.begin(), fetchable.begin() + num_failed);
+
+    fetch::FaultProfile permanent = transient;
+    for (const auto& [d, r] : failed) {
+      permanent.force_permanent.emplace_back(
+          portal.datasets[d].id, portal.datasets[d].resources[r].name);
+    }
+    core::IngestOptions perm_options = faulty_options;
+    perm_options.faults = permanent;
+    const core::IngestResult perm = core::IngestPortal(portal, perm_options);
+
+    // Expected stats: move each failed resource from its baseline bucket
+    // into not_downloadable/permanent-failure.
+    core::IngestStats expected = baseline.stats;
+    std::set<std::pair<size_t, size_t>> readable_failed;
+    for (const core::ResourceRecord& r : baseline.resources) {
+      if (!failed.count({r.dataset_index, r.resource_index})) continue;
+      --expected.downloadable_tables;
+      ++expected.not_downloadable_tables;
+      ++expected.fetch_permanent_failures;
+      switch (r.stage) {
+        case core::IngestStage::kRejectedNotCsv:
+          --expected.rejected_not_csv;
+          break;
+        case core::IngestStage::kRejectedParse:
+          --expected.rejected_parse;
+          break;
+        case core::IngestStage::kRemovedWide:
+          --expected.readable_tables;
+          --expected.removed_wide_tables;
+          break;
+        case core::IngestStage::kReadable:
+          --expected.readable_tables;
+          readable_failed.insert({r.dataset_index, r.resource_index});
+          break;
+        default:
+          break;
+      }
+    }
+    if (perm.stats.downloadable_tables != expected.downloadable_tables ||
+        perm.stats.not_downloadable_tables !=
+            expected.not_downloadable_tables ||
+        perm.stats.readable_tables != expected.readable_tables ||
+        perm.stats.rejected_not_csv != expected.rejected_not_csv ||
+        perm.stats.rejected_parse != expected.rejected_parse ||
+        perm.stats.removed_wide_tables != expected.removed_wide_tables ||
+        perm.stats.fetch_permanent_failures <
+            expected.fetch_permanent_failures) {
+      report.failures.push_back(
+          "permanent-failure stats do not equal baseline minus failed "
+          "resources at " + where);
+      continue;
+    }
+    if (auto inv = core::CheckIngestStatsInvariants(perm.stats); !inv.ok()) {
+      report.failures.push_back("permanent invariants broken at " + where +
+                                ": " + inv.message());
+      continue;
+    }
+
+    // Tables: the baseline set minus the failed readable resources,
+    // order preserved, bytes identical.
+    std::vector<size_t> survivors;
+    for (size_t i = 0; i < baseline.tables.size(); ++i) {
+      const core::TableProvenance& p = baseline.provenance[i];
+      if (!readable_failed.count({p.dataset_index, p.resource_index})) {
+        survivors.push_back(i);
+      }
+    }
+    bool tables_ok = perm.tables.size() == survivors.size();
+    for (size_t i = 0; tables_ok && i < survivors.size(); ++i) {
+      const table::Table& want = baseline.tables[survivors[i]];
+      const table::Table& got = perm.tables[i];
+      tables_ok = want.name() == got.name() &&
+                  want.dataset_id() == got.dataset_id() &&
+                  want.ToCsvString() == got.ToCsvString();
+    }
+    if (!tables_ok) {
+      report.failures.push_back(
+          "permanent-failure tables are not baseline minus failed "
+          "resources at " + where);
+      continue;
+    }
+    bool records_ok = true;
+    for (const core::ResourceRecord& r : perm.resources) {
+      if (failed.count({r.dataset_index, r.resource_index})) {
+        records_ok &= r.stage == core::IngestStage::kFetchFailed &&
+                      !r.status.ok();
+      }
+    }
+    if (!records_ok) {
+      report.failures.push_back(
+          "failed resources missing non-OK fetch_failed records at " +
+          where);
+    }
+  }
+  return report;
+}
+
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
   return {CheckCsvRoundTrip(options),
           CheckFdDifferential(options),
@@ -933,7 +1214,8 @@ std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
           CheckCodecRoundTrip(options),
           CheckCleaningIdempotence(options),
           CheckUnionFinderDifferential(options),
-          CheckHeaderModalWidth(options)};
+          CheckHeaderModalWidth(options),
+          CheckFetchEquivalence(options)};
 }
 
 }  // namespace ogdp::check

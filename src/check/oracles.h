@@ -92,6 +92,16 @@ OracleReport CheckUnionFinderDifferential(const OracleOptions& options);
 /// ragged documents plus the CSV seed corpus and its mutants.
 OracleReport CheckHeaderModalWidth(const OracleOptions& options);
 
+/// Differential oracle over the fault-injected fetch layer: for random
+/// portals, (a) under any transient fault schedule where every resource
+/// eventually succeeds within the retry budget, `IngestPortal` output
+/// (tables, provenance, stage records, core stats) is byte-identical to
+/// the fault-free run — only retry telemetry may differ; (b) under
+/// forced permanent failures the output equals the fault-free run minus
+/// exactly the failed resources, with every stats bucket adjusted by the
+/// failed resources' fault-free stages and the bucket sums intact.
+OracleReport CheckFetchEquivalence(const OracleOptions& options);
+
 /// Runs all oracles in a fixed order.
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options);
 

@@ -1,5 +1,7 @@
 #include "core/analysis_suite.h"
 
+#include <algorithm>
+#include <exception>
 #include <map>
 
 #include "core/report_format.h"
@@ -8,31 +10,82 @@
 
 namespace ogdp::core {
 
+namespace {
+
+// Containment wrapper: runs one report stage, recording a per-stage
+// Status instead of letting a poisoned table abort the corpus run. The
+// forced-failure hook stands in for "this stage's computation blew up"
+// in tests and fault drills.
+template <typename Fn>
+void RunStage(PortalAnalysis& a, const AnalysisSuiteOptions& options,
+              const std::string& name, Fn&& fn) {
+  StageStatus st;
+  st.stage = name;
+  const bool forced =
+      std::find(options.fail_stages.begin(), options.fail_stages.end(),
+                name) != options.fail_stages.end();
+  if (forced) {
+    st.status = Status::Internal("fault injected into stage " + name);
+    st.degraded = true;
+  } else {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      st.status = Status::Internal(std::string("stage threw: ") + e.what());
+      st.degraded = true;
+    } catch (...) {
+      st.status = Status::Internal("stage threw a non-exception");
+      st.degraded = true;
+    }
+  }
+  a.degraded |= st.degraded;
+  a.stages.push_back(std::move(st));
+}
+
+}  // namespace
+
 PortalAnalysis RunFullAnalysis(const PortalBundle& bundle,
                                const AnalysisSuiteOptions& options) {
   PortalAnalysis a;
   a.portal_name = bundle.name;
-  a.size = ComputeSizeReport(bundle, options.compress);
-  a.metadata = ComputeMetadataReport(bundle.portal);
-  a.table_sizes = profile::ComputeTableSizeStats(bundle.ingest.tables);
-  a.nulls = profile::ComputeNullStats(bundle.ingest.tables);
-  a.uniqueness = profile::ComputeUniquenessStats(bundle.ingest.tables);
+  a.ingest = bundle.ingest.stats;
+  for (const ResourceRecord& r : bundle.ingest.resources) {
+    if (!r.status.ok()) a.failed_resources.push_back(r);
+  }
+
+  RunStage(a, options, "size",
+           [&] { a.size = ComputeSizeReport(bundle, options.compress); });
+  RunStage(a, options, "metadata",
+           [&] { a.metadata = ComputeMetadataReport(bundle.portal); });
+  RunStage(a, options, "profile", [&] {
+    a.table_sizes = profile::ComputeTableSizeStats(bundle.ingest.tables);
+    a.nulls = profile::ComputeNullStats(bundle.ingest.tables);
+    a.uniqueness = profile::ComputeUniquenessStats(bundle.ingest.tables);
+  });
 
   const auto sample = SelectFdSample(bundle.ingest.tables);
-  a.keys = ComputeKeyReport(bundle.ingest.tables, sample);
-  a.fds = ComputeFdReport(bundle.ingest.tables, sample, /*seed=*/7,
-                          options.fd_memory_budget_bytes);
+  RunStage(a, options, "keys",
+           [&] { a.keys = ComputeKeyReport(bundle.ingest.tables, sample); });
+  RunStage(a, options, "fds", [&] {
+    a.fds = ComputeFdReport(bundle.ingest.tables, sample, /*seed=*/7,
+                            options.fd_memory_budget_bytes);
+  });
 
-  join::JoinablePairFinder finder(bundle.ingest.tables);
-  const auto pairs = finder.FindAllPairs();
-  a.joins = ComputeJoinReport(bundle.ingest.tables, finder, pairs);
-  a.labeled_joins = LabelJoinSample(bundle, finder, pairs, options.sampler);
+  RunStage(a, options, "joins", [&] {
+    join::JoinablePairFinder finder(bundle.ingest.tables);
+    const auto pairs = finder.FindAllPairs();
+    a.joins = ComputeJoinReport(bundle.ingest.tables, finder, pairs);
+    a.labeled_joins = LabelJoinSample(bundle, finder, pairs, options.sampler);
+  });
 
-  a.unions = ComputeUnionReport(bundle, options.union_sample_pairs);
+  RunStage(a, options, "unions", [&] {
+    a.unions = ComputeUnionReport(bundle, options.union_sample_pairs);
+  });
   return a;
 }
 
-std::string RenderPortalAnalysis(const PortalAnalysis& a) {
+std::string RenderPortalAnalysis(const PortalAnalysis& a,
+                                 bool include_fetch_telemetry) {
   std::string out = "=== Portal " + a.portal_name + " ===\n";
   TextTable t({"metric", "value"});
   t.AddRow({"datasets", FormatCount(a.size.total_datasets)});
@@ -88,7 +141,56 @@ std::string RenderPortalAnalysis(const PortalAnalysis& a) {
   t.AddRow({"unionable tables",
             FormatPercent(static_cast<double>(a.unions.unionable_tables) /
                           std::max<size_t>(1, a.unions.total_tables))});
+  if (include_fetch_telemetry) {
+    t.AddRow({"fetch attempts / retries",
+              FormatCount(a.ingest.fetch_attempts) + " / " +
+                  FormatCount(a.ingest.fetch_retries)});
+    t.AddRow({"fetch backoff (virtual)",
+              FormatCount(a.ingest.fetch_backoff_ms) + " ms"});
+    t.AddRow({"circuit breaker trips / waits",
+              FormatCount(a.ingest.breaker_trips) + " / " +
+                  FormatCount(a.ingest.breaker_waits)});
+    t.AddRow({"permanent fetch failures",
+              FormatCount(a.ingest.fetch_permanent_failures)});
+  }
   out += t.Render();
+
+  // Containment results: degraded stages and per-resource failures are
+  // part of the analysis output (not telemetry), so they always render.
+  bool any_stage_failed = false;
+  for (const StageStatus& st : a.stages) any_stage_failed |= !st.status.ok();
+  if (any_stage_failed) {
+    out += "-- degraded stages --\n";
+    TextTable st_table({"stage", "status"});
+    for (const StageStatus& st : a.stages) {
+      if (!st.status.ok()) st_table.AddRow({st.stage, st.status.ToString()});
+    }
+    out += st_table.Render();
+  }
+  if (!a.failed_resources.empty()) {
+    // Capped, deterministic listing; the attempts column is retry
+    // telemetry, so it only renders when telemetry does.
+    constexpr size_t kMaxFailedRows = 20;
+    out += "-- failed resources --\n";
+    std::vector<std::string> header = {"resource", "stage", "status"};
+    if (include_fetch_telemetry) header.push_back("attempts");
+    TextTable res_table(header);
+    const size_t shown =
+        std::min(a.failed_resources.size(), kMaxFailedRows);
+    for (size_t i = 0; i < shown; ++i) {
+      const ResourceRecord& r = a.failed_resources[i];
+      std::vector<std::string> row = {r.resource_name,
+                                      IngestStageName(r.stage),
+                                      r.status.ToString()};
+      if (include_fetch_telemetry) row.push_back(FormatCount(r.attempts));
+      res_table.AddRow(row);
+    }
+    out += res_table.Render();
+    if (a.failed_resources.size() > shown) {
+      out += "(+" + FormatCount(a.failed_resources.size() - shown) +
+             " more failed resources)\n";
+    }
+  }
   return out;
 }
 

@@ -19,6 +19,19 @@ struct AnalysisSuiteOptions {
   /// `OGDP_FD_MEM_BUDGET` or the sample footprint,
   /// fd::kUnlimitedFdMemoryBudget disables it. Never changes results.
   size_t fd_memory_budget_bytes = 0;
+  /// Fault-injection hook for the containment machinery (tests): stages
+  /// listed here fail without running, as if poisoned input had thrown.
+  /// Stage names: size, metadata, profile, keys, fds, joins, unions.
+  std::vector<std::string> fail_stages;
+};
+
+/// Outcome of one containment-wrapped report stage.
+struct StageStatus {
+  std::string stage;
+  Status status;
+  /// True when the stage's numbers are missing or partial; consumers
+  /// must not compare a degraded section across portals.
+  bool degraded = false;
 };
 
 /// Everything the paper computes for one portal, in one struct.
@@ -34,16 +47,38 @@ struct PortalAnalysis {
   JoinReport joins;
   std::vector<LabeledJoinPair> labeled_joins;
   UnionReport unions;
+
+  /// Ingest/fetch telemetry copied from the bundle (attempt counters,
+  /// retries, backoff time, circuit-breaker trips).
+  IngestStats ingest;
+  /// Resources the pipeline could not turn into tables, with the
+  /// non-OK Status explaining each.
+  std::vector<ResourceRecord> failed_resources;
+  /// One entry per report stage, fixed order; `degraded` is true when
+  /// any stage failed.
+  std::vector<StageStatus> stages;
+  bool degraded = false;
 };
 
 /// Runs the complete analysis pipeline over an ingested portal: sizes,
 /// metadata, nulls, uniqueness, candidate keys, FDs + BCNF, joinability +
 /// the stratified labeled sample, and unionability.
+///
+/// Every stage is containment-wrapped: a poisoned table or failed stage
+/// records a non-OK Status + degraded flag for that stage and the run
+/// continues with the remaining stages instead of aborting the corpus
+/// run. With no failure, output is byte-identical to the unwrapped
+/// pipeline.
 PortalAnalysis RunFullAnalysis(const PortalBundle& bundle,
                                const AnalysisSuiteOptions& options = {});
 
 /// Renders the analysis as a compact multi-section plain-text report.
-std::string RenderPortalAnalysis(const PortalAnalysis& analysis);
+/// Fetch/retry telemetry rows are included by default; pass false to
+/// render only the analysis results (e.g. to compare a faulty run
+/// against a fault-free baseline byte for byte). Degraded stages and
+/// failed resources always render — they describe the results.
+std::string RenderPortalAnalysis(const PortalAnalysis& analysis,
+                                 bool include_fetch_telemetry = true);
 
 /// A designed link between two tables of one dataset: an intra-dataset
 /// high-overlap column pair with at least one key side — the

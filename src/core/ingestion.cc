@@ -1,6 +1,8 @@
 #include "core/ingestion.h"
 
+#include <cassert>
 #include <optional>
+#include <utility>
 
 #include "csv/cleaning.h"
 #include "csv/csv_reader.h"
@@ -11,42 +13,85 @@
 
 namespace ogdp::core {
 
+const char* IngestStageName(IngestStage stage) {
+  switch (stage) {
+    case IngestStage::kNotDownloadable:
+      return "not_downloadable";
+    case IngestStage::kFetchFailed:
+      return "fetch_failed";
+    case IngestStage::kRejectedNotCsv:
+      return "rejected_not_csv";
+    case IngestStage::kRejectedParse:
+      return "rejected_parse";
+    case IngestStage::kRemovedWide:
+      return "removed_wide";
+    case IngestStage::kReadable:
+      return "readable";
+  }
+  return "unknown";
+}
+
+Status CheckIngestStatsInvariants(const IngestStats& s) {
+  if (s.total_tables != s.downloadable_tables + s.not_downloadable_tables) {
+    return Status::Internal(
+        "total_tables != downloadable + not_downloadable (" +
+        std::to_string(s.total_tables) + " != " +
+        std::to_string(s.downloadable_tables) + " + " +
+        std::to_string(s.not_downloadable_tables) + ")");
+  }
+  if (s.downloadable_tables !=
+      s.readable_tables + s.rejected_not_csv + s.rejected_parse) {
+    return Status::Internal(
+        "downloadable != readable + rejected_not_csv + rejected_parse (" +
+        std::to_string(s.downloadable_tables) + " != " +
+        std::to_string(s.readable_tables) + " + " +
+        std::to_string(s.rejected_not_csv) + " + " +
+        std::to_string(s.rejected_parse) + ")");
+  }
+  if (s.removed_wide_tables > s.readable_tables) {
+    return Status::Internal("removed_wide > readable");
+  }
+  if (s.fetch_permanent_failures > s.not_downloadable_tables) {
+    return Status::Internal("permanent fetch failures > not_downloadable");
+  }
+  if (s.fetch_retries > s.fetch_attempts) {
+    return Status::Internal("fetch_retries > fetch_attempts");
+  }
+  return Status::OK();
+}
+
 namespace {
 
-// How far a resource made it through the pipeline; mirrors the stage
-// counters in IngestStats.
-enum class Stage {
-  kNotDownloadable,
-  kRejectedNotCsv,
-  kRejectedParse,
-  kRemovedWide,
-  kReadable,
-};
-
 struct ResourceOutcome {
-  Stage stage = Stage::kNotDownloadable;
+  IngestStage stage = IngestStage::kRejectedParse;
+  Status status;
   size_t trailing_removed = 0;
   std::optional<table::Table> table;
 };
 
-// Stages 3-6 for one downloadable resource: sniff, parse, infer header,
-// clean, build the typed table. Pure function of the resource content, so
-// resources can run concurrently.
-ResourceOutcome ProcessResource(const Resource& res, const Dataset& dataset,
-                                const IngestOptions& options) {
+// Stages 3-6 for one fetched body: sniff, parse, infer header, clean,
+// build the typed table. Pure function of the body, so resources can run
+// concurrently.
+ResourceOutcome ProcessBody(const std::string& body,
+                            const std::string& resource_name,
+                            const Dataset& dataset,
+                            const IngestOptions& options) {
   ResourceOutcome out;
   // Stage 3: content sniffing — portals frequently serve HTML error
   // pages or PDFs under a CSV label.
-  if (!csv::FileTypeDetector::LooksLikeCsv(res.content)) {
-    out.stage = Stage::kRejectedNotCsv;
+  if (!csv::FileTypeDetector::LooksLikeCsv(body)) {
+    out.stage = IngestStage::kRejectedNotCsv;
+    out.status = Status::FailedPrecondition("content is not CSV");
     return out;
   }
 
   // Stage 4-5: header inference + parse.
   csv::CsvReaderOptions reader_options;
-  auto parsed = csv::CsvReader::ParseString(res.content, reader_options);
+  auto parsed = csv::CsvReader::ParseString(body, reader_options);
   if (!parsed.ok() || parsed->empty()) {
-    out.stage = Stage::kRejectedParse;
+    out.stage = IngestStage::kRejectedParse;
+    out.status = parsed.ok() ? Status::ParseError("no records")
+                             : parsed.status();
     return out;
   }
   csv::HeaderInferenceOptions header_options;
@@ -54,7 +99,8 @@ ResourceOutcome ProcessResource(const Resource& res, const Dataset& dataset,
   csv::HeaderInferenceResult inferred =
       csv::InferHeader(*parsed, header_options);
   if (inferred.num_columns == 0) {
-    out.stage = Stage::kRejectedParse;
+    out.stage = IngestStage::kRejectedParse;
+    out.status = Status::ParseError("empty inferred header");
     return out;
   }
 
@@ -62,19 +108,22 @@ ResourceOutcome ProcessResource(const Resource& res, const Dataset& dataset,
   // cutoff.
   out.trailing_removed = csv::RemoveTrailingEmptyColumns(inferred);
   if (csv::IsTooWide(inferred, options.max_columns)) {
-    out.stage = Stage::kRemovedWide;
+    out.stage = IngestStage::kRemovedWide;
+    out.status = Status::OutOfRange(
+        "wider than " + std::to_string(options.max_columns) + " columns");
     return out;
   }
 
-  auto table = table::Table::FromRecords(res.name, inferred.header,
+  auto table = table::Table::FromRecords(resource_name, inferred.header,
                                          inferred.rows);
   if (!table.ok()) {
-    out.stage = Stage::kRejectedParse;
+    out.stage = IngestStage::kRejectedParse;
+    out.status = table.status();
     return out;
   }
-  out.stage = Stage::kReadable;
+  out.stage = IngestStage::kReadable;
   table->set_dataset_id(dataset.id);
-  table->set_csv_size_bytes(res.content.size());
+  table->set_csv_size_bytes(body.size());
   out.table = std::move(table).value();
   return out;
 }
@@ -86,59 +135,128 @@ IngestResult IngestPortal(const Portal& portal,
   IngestResult result;
   result.stats.total_datasets = portal.datasets.size();
 
-  // Stage 1-2 (format filter + simulated HTTP fetch) are metadata-only;
-  // collect the per-resource jobs serially so stats and output keep the
-  // portal's (dataset, resource) order, then run the expensive stages
-  // (sniff/parse/type) in parallel over the jobs.
+  // Resolve the fault profile: explicit option > OGDP_FETCH_FAULTS env >
+  // fault-free. A malformed env value degrades to fault-free rather than
+  // poisoning every ingest in the process.
+  fetch::FaultProfile profile;
+  if (options.faults.has_value()) {
+    profile = *options.faults;
+  } else {
+    auto env = fetch::FaultProfileFromEnv();
+    if (env.ok()) profile = std::move(env).value();
+  }
+  fetch::FaultyTransport default_transport(portal,
+                                           fetch::FaultSchedule(profile));
+  fetch::Transport& transport = options.transport != nullptr
+                                    ? *options.transport
+                                    : default_transport;
+
+  // Stage 1-2: format filter + fetch. The fetch loop is serial on a
+  // shared virtual clock so the per-portal circuit breaker and the
+  // backoff Rng see one deterministic event order (the real crawl is
+  // network-bound here anyway); bodies then flow to the parallel stages.
   struct Job {
     size_t dataset = 0;
     size_t resource = 0;
+    size_t record = 0;  // index into result.resources
+    std::string body;
   };
   std::vector<Job> jobs;
+  fetch::CircuitBreaker breaker(options.retry);
+  uint64_t clock_ms = 0;
+  Rng backoff_rng =
+      Rng(profile.seed).Fork("ingest_backoff").Fork(portal.name);
+
   for (size_t d = 0; d < portal.datasets.size(); ++d) {
     const Dataset& dataset = portal.datasets[d];
     for (size_t r = 0; r < dataset.resources.size(); ++r) {
-      if (ToLower(dataset.resources[r].claimed_format) != "csv") continue;
+      const Resource& res = dataset.resources[r];
+      if (ToLower(res.claimed_format) != "csv") continue;
       ++result.stats.total_tables;
-      if (!dataset.resources[r].downloadable) continue;
+
+      fetch::FetchRequest request;
+      request.portal = portal.name;
+      request.dataset_id = dataset.id;
+      request.resource_name = res.name;
+      request.dataset_index = d;
+      request.resource_index = r;
+      fetch::FetchOutcome fetched = fetch::FetchWithRetry(
+          transport, request, options.retry, &breaker, &clock_ms,
+          backoff_rng);
+
+      ResourceRecord record;
+      record.dataset_index = d;
+      record.resource_index = r;
+      record.resource_name = res.name;
+      record.attempts = fetched.attempts;
+      record.retries = fetched.retries;
+      record.backoff_ms = fetched.backoff_ms_total;
+      result.stats.fetch_attempts += fetched.attempts;
+      result.stats.fetch_retries += fetched.retries;
+      result.stats.fetch_backoff_ms += fetched.backoff_ms_total;
+      result.stats.breaker_waits += fetched.breaker_waits;
+
+      if (!fetched.status.ok()) {
+        ++result.stats.not_downloadable_tables;
+        if (fetched.status.code() == StatusCode::kNotFound) {
+          record.stage = IngestStage::kNotDownloadable;
+        } else {
+          record.stage = IngestStage::kFetchFailed;
+          ++result.stats.fetch_permanent_failures;
+        }
+        record.status = std::move(fetched.status);
+        result.resources.push_back(std::move(record));
+        continue;
+      }
+
       ++result.stats.downloadable_tables;
-      jobs.push_back(Job{d, r});
+      record.stage = IngestStage::kReadable;  // refined after processing
+      result.resources.push_back(std::move(record));
+      jobs.push_back(Job{d, r, result.resources.size() - 1,
+                         std::move(fetched.body)});
     }
   }
+  result.stats.breaker_trips = breaker.trips();
 
   auto outcomes = util::ParallelMap(jobs.size(), [&](size_t j) {
     const Dataset& dataset = portal.datasets[jobs[j].dataset];
-    return ProcessResource(dataset.resources[jobs[j].resource], dataset,
-                           options);
+    return ProcessBody(jobs[j].body,
+                       dataset.resources[jobs[j].resource].name, dataset,
+                       options);
   });
 
   for (size_t j = 0; j < jobs.size(); ++j) {
     ResourceOutcome& out = outcomes[j];
     const Dataset& dataset = portal.datasets[jobs[j].dataset];
-    const Resource& res = dataset.resources[jobs[j].resource];
+    ResourceRecord& record = result.resources[jobs[j].record];
+    record.stage = out.stage;
+    record.status = std::move(out.status);
     result.stats.trailing_empty_columns_removed += out.trailing_removed;
     switch (out.stage) {
-      case Stage::kNotDownloadable:
-        break;  // unreachable: jobs only contain downloadable resources
-      case Stage::kRejectedNotCsv:
+      case IngestStage::kNotDownloadable:
+      case IngestStage::kFetchFailed:
+        break;  // unreachable: jobs only contain fetched resources
+      case IngestStage::kRejectedNotCsv:
         ++result.stats.rejected_not_csv;
         break;
-      case Stage::kRejectedParse:
+      case IngestStage::kRejectedParse:
         ++result.stats.rejected_parse;
         break;
-      case Stage::kRemovedWide:
+      case IngestStage::kRemovedWide:
         ++result.stats.readable_tables;  // readable, but excluded
         ++result.stats.removed_wide_tables;
         break;
-      case Stage::kReadable:
+      case IngestStage::kReadable:
         ++result.stats.readable_tables;
-        result.stats.total_bytes += res.content.size();
+        result.stats.total_bytes += jobs[j].body.size();
         result.tables.push_back(std::move(*out.table));
         result.provenance.push_back(TableProvenance{
             jobs[j].dataset, jobs[j].resource, dataset.publication_year});
         break;
     }
   }
+
+  assert(CheckIngestStatsInvariants(result.stats).ok());
   return result;
 }
 

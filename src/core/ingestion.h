@@ -2,11 +2,16 @@
 #define OGDP_CORE_INGESTION_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/portal_model.h"
+#include "fetch/fault_schedule.h"
+#include "fetch/retry.h"
+#include "fetch/transport.h"
 #include "table/table.h"
+#include "util/status.h"
 
 namespace ogdp::core {
 
@@ -17,41 +22,109 @@ struct TableProvenance {
   int publication_year = 2020;
 };
 
-/// Counters for every stage of the paper's pipeline (§2.2 / Table 1).
-struct IngestStats {
-  size_t total_datasets = 0;
-  size_t total_tables = 0;         // resources advertised as CSV
-  size_t downloadable_tables = 0;  // HTTP 200
-  size_t readable_tables = 0;      // passed type check + header + parse
-  size_t rejected_not_csv = 0;     // libmagic-equivalent rejections
-  size_t rejected_parse = 0;       // unparsable content
-  size_t removed_wide_tables = 0;  // > max_columns cleaning cutoff
-  size_t trailing_empty_columns_removed = 0;
-  uint64_t total_bytes = 0;  // bytes of readable CSVs
+/// How far a resource made it through the pipeline (§2.2). Every
+/// CSV-claimed resource lands in exactly one terminal stage.
+enum class IngestStage {
+  kNotDownloadable,  // HTTP 404: dead link in the portal metadata
+  kFetchFailed,      // transport gave up (retries/deadline exhausted)
+  kRejectedNotCsv,   // libmagic-equivalent rejection
+  kRejectedParse,    // unparsable content / empty header
+  kRemovedWide,      // readable but over the max_columns cleaning cutoff
+  kReadable,
 };
 
-/// Output of ingesting one portal: cleaned, typed tables + provenance.
+/// Stable lowercase name, e.g. "fetch_failed".
+const char* IngestStageName(IngestStage stage);
+
+/// Per-resource pipeline record: terminal stage, the Status explaining a
+/// non-readable outcome, and the fetch telemetry. One entry per
+/// CSV-claimed resource, in portal (dataset, resource) order — the
+/// explicit taxonomy that replaces silently dropping resources.
+struct ResourceRecord {
+  size_t dataset_index = 0;
+  size_t resource_index = 0;
+  std::string resource_name;
+  IngestStage stage = IngestStage::kNotDownloadable;
+  Status status;  // OK for kReadable, the rejection cause otherwise
+  size_t attempts = 0;
+  size_t retries = 0;
+  uint64_t backoff_ms = 0;  // virtual time spent backing off
+};
+
+/// Counters for every stage of the paper's pipeline (§2.2 / Table 1),
+/// plus the transport/retry telemetry.
+struct IngestStats {
+  size_t total_datasets = 0;
+  size_t total_tables = 0;           // resources advertised as CSV
+  size_t downloadable_tables = 0;    // fetch delivered a verified body
+  size_t not_downloadable_tables = 0;  // 404s + permanent fetch failures
+  size_t readable_tables = 0;        // passed type check + header + parse
+  size_t rejected_not_csv = 0;       // libmagic-equivalent rejections
+  size_t rejected_parse = 0;         // unparsable content
+  size_t removed_wide_tables = 0;    // > max_columns cleaning cutoff
+  size_t trailing_empty_columns_removed = 0;
+  uint64_t total_bytes = 0;  // bytes of readable CSVs
+
+  // Transport/retry telemetry (virtual-clock, deterministic). Faults
+  // never change which bytes a successful fetch delivers, so these
+  // counters are the *only* stats a transient-fault run may change.
+  size_t fetch_attempts = 0;
+  size_t fetch_retries = 0;
+  uint64_t fetch_backoff_ms = 0;
+  size_t fetch_permanent_failures = 0;  // retry budget/deadline exhausted
+  size_t breaker_trips = 0;
+  size_t breaker_waits = 0;
+};
+
+/// Verifies the stage-bucket accounting:
+///   total_tables == downloadable + not_downloadable
+///   downloadable == readable + rejected_not_csv + rejected_parse
+///   removed_wide <= readable, permanent failures <= not_downloadable.
+/// IngestPortal establishes these by construction; the check guards the
+/// bookkeeping against future pipeline edits.
+Status CheckIngestStatsInvariants(const IngestStats& stats);
+
+/// Output of ingesting one portal: cleaned, typed tables + provenance +
+/// the per-resource pipeline records.
 struct IngestResult {
   std::vector<table::Table> tables;
   std::vector<TableProvenance> provenance;  // parallel to `tables`
+  std::vector<ResourceRecord> resources;    // one per CSV-claimed resource
   IngestStats stats;
 };
 
-/// Options mirroring the paper's pipeline parameters.
+/// Options mirroring the paper's pipeline parameters plus the simulated
+/// transport configuration.
 struct IngestOptions {
   /// Wide-table cleaning cutoff (§2.2: 100 columns).
   size_t max_columns = 100;
   /// Header inference scan window (§2.2: 500 rows).
   size_t header_scan_rows = 500;
+
+  /// Injected transport faults. nullopt resolves from OGDP_FETCH_FAULTS
+  /// (fault-free when unset). Faults only move resources between the
+  /// downloadable/not-downloadable buckets and add retry telemetry; a
+  /// successful fetch always delivers the resource's exact bytes.
+  std::optional<fetch::FaultProfile> faults;
+
+  /// Retry/backoff/circuit-breaker policy for the fetch stage.
+  fetch::RetryPolicy retry;
+
+  /// Custom transport (tests). When null, IngestPortal serves the portal
+  /// through a FaultyTransport built from the resolved fault profile.
+  fetch::Transport* transport = nullptr;
 };
 
 /// Runs the paper's ingestion pipeline (§2.2) over a portal:
 ///
-///   CSV-format filter -> download -> content type detection (libmagic
-///   stand-in) -> header inference -> parse -> trailing-empty-column
-///   removal -> wide-table filter -> typed Table.
+///   CSV-format filter -> fetch through the (simulated) transport with
+///   retry/backoff and a per-portal circuit breaker -> content type
+///   detection (libmagic stand-in) -> header inference -> parse ->
+///   trailing-empty-column removal -> wide-table filter -> typed Table.
 ///
-/// Tables keep their dataset id; provenance records the dataset/resource.
+/// The fetch stage runs serially on a virtual clock (network-bound in
+/// the real crawl; deterministic here), the parse/type stages in
+/// parallel; output is byte-identical at any thread count.
 IngestResult IngestPortal(const Portal& portal,
                           const IngestOptions& options = {});
 

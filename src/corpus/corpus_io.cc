@@ -37,13 +37,20 @@ Status WritePortalToDirectory(const core::Portal& portal,
       if (!resource_names.empty()) resource_names += ';';
       resource_names += res.name;
       if (!res.downloadable || res.content.empty()) continue;
-      std::ofstream out(ds_dir / res.name, std::ios::binary);
+      const fs::path res_path = ds_dir / res.name;
+      std::ofstream out(res_path, std::ios::binary);
       if (!out) {
-        return Status::IoError("cannot write " +
-                               (ds_dir / res.name).string());
+        return Status::IoError("cannot write " + res_path.string());
       }
       out.write(res.content.data(),
                 static_cast<std::streamsize>(res.content.size()));
+      out.close();
+      // badbit from a failed write(), failbit from a failed close(): both
+      // mean the bytes on disk are not res.content.
+      if (!out) {
+        return Status::IoError("short or failed write: " +
+                               res_path.string());
+      }
     }
     catalog.WriteRecord({ds.id, ds.title, ds.topic,
                          core::MetadataPresenceName(ds.metadata),
@@ -53,40 +60,64 @@ Status WritePortalToDirectory(const core::Portal& portal,
   return catalog.Flush((fs::path(dir) / "catalog.csv").string());
 }
 
-Result<std::vector<table::Table>> ReadCsvDirectory(const std::string& dir) {
+Result<CsvDirectoryScan> ReadCsvDirectory(const std::string& dir) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound("not a directory: " + dir);
   }
   std::vector<fs::path> files;
   for (auto it = fs::recursive_directory_iterator(dir, ec);
-       it != fs::recursive_directory_iterator(); ++it) {
-    if (it->is_regular_file() && it->path().extension() == ".csv" &&
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    std::error_code stat_ec;
+    if (it->is_regular_file(stat_ec) && !stat_ec &&
+        it->path().extension() == ".csv" &&
         it->path().filename() != "catalog.csv") {
       files.push_back(it->path());
     }
   }
+  if (ec) {
+    return Status::IoError("cannot walk " + dir + ": " + ec.message());
+  }
   std::sort(files.begin(), files.end());
 
-  std::vector<table::Table> tables;
+  CsvDirectoryScan scan;
+  scan.files_seen = files.size();
   for (const fs::path& path : files) {
     auto content = csv::ReadFileToString(path.string());
-    if (!content.ok()) continue;
-    if (!csv::FileTypeDetector::LooksLikeCsv(*content)) continue;
+    if (!content.ok()) {
+      ++scan.skips.io_error;
+      continue;
+    }
+    if (!csv::FileTypeDetector::LooksLikeCsv(*content)) {
+      ++scan.skips.not_csv;
+      continue;
+    }
     auto parsed = csv::CsvReader::ParseString(*content);
-    if (!parsed.ok() || parsed->empty()) continue;
+    if (!parsed.ok() || parsed->empty()) {
+      ++scan.skips.parse;
+      continue;
+    }
     csv::HeaderInferenceResult inferred = csv::InferHeader(*parsed);
-    if (inferred.num_columns == 0) continue;
+    if (inferred.num_columns == 0) {
+      ++scan.skips.empty_header;
+      continue;
+    }
     csv::RemoveTrailingEmptyColumns(inferred);
-    if (csv::IsTooWide(inferred)) continue;
+    if (csv::IsTooWide(inferred)) {
+      ++scan.skips.wide;
+      continue;
+    }
     auto table = table::Table::FromRecords(path.filename().string(),
                                            inferred.header, inferred.rows);
-    if (!table.ok()) continue;
+    if (!table.ok()) {
+      ++scan.skips.parse;
+      continue;
+    }
     table->set_dataset_id(path.parent_path().filename().string());
     table->set_csv_size_bytes(content->size());
-    tables.push_back(std::move(table).value());
+    scan.tables.push_back(std::move(table).value());
   }
-  return tables;
+  return scan;
 }
 
 }  // namespace ogdp::corpus

@@ -19,15 +19,43 @@ namespace ogdp::corpus {
 ///                                           resource list)
 ///
 /// Examples use this to demonstrate the analysis pipeline over real files
-/// on disk rather than in-memory tables.
+/// on disk rather than in-memory tables. Every write is verified: a short
+/// or failed write (full disk, permission flip mid-run) returns
+/// Status::IoError instead of leaving a truncated file undetected.
 Status WritePortalToDirectory(const core::Portal& portal,
                               const std::string& dir);
 
+/// Why each skipped *.csv file under a directory was skipped. The explicit
+/// taxonomy mirrors IngestStage: a corpus scan that drops files must say
+/// how many and for which reason, never silently.
+struct CsvDirectorySkips {
+  size_t io_error = 0;      // file vanished or was unreadable
+  size_t not_csv = 0;       // content sniffing rejected it (HTML, PDF, ...)
+  size_t parse = 0;         // CSV parse failed or yielded no records
+  size_t empty_header = 0;  // header inference found zero columns
+  size_t wide = 0;          // over the max-columns cleaning cutoff
+
+  size_t total() const {
+    return io_error + not_csv + parse + empty_header + wide;
+  }
+};
+
+/// Result of scanning a directory tree for CSV tables.
+struct CsvDirectoryScan {
+  std::vector<table::Table> tables;
+  CsvDirectorySkips skips;
+  /// Candidate *.csv files encountered; files_seen == tables.size() +
+  /// skips.total() always holds.
+  size_t files_seen = 0;
+};
+
 /// Reads every *.csv file under `dir` (recursively) through the full
 /// ingestion pipeline (type sniffing, header inference, cleaning) and
-/// returns the readable tables. The dataset id of each table is its parent
-/// directory name.
-Result<std::vector<table::Table>> ReadCsvDirectory(const std::string& dir);
+/// returns the readable tables plus per-reason skip counts. The dataset id
+/// of each table is its parent directory name. A failing directory walk
+/// (the iterator's error_code, previously ignored) is an error, not an
+/// empty result.
+Result<CsvDirectoryScan> ReadCsvDirectory(const std::string& dir);
 
 }  // namespace ogdp::corpus
 

@@ -1,0 +1,168 @@
+#include "fetch/fault_schedule.h"
+
+#include <cstdlib>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace ogdp::fetch {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kHttp5xx:
+      return "http_5xx";
+    case FaultKind::kRateLimited:
+      return "rate_limited";
+    case FaultKind::kTruncatedBody:
+      return "truncated_body";
+    case FaultKind::kSlowRead:
+      return "slow_read";
+    case FaultKind::kChecksumMismatch:
+      return "checksum_mismatch";
+  }
+  return "unknown";
+}
+
+Result<FaultProfile> ParseFaultProfile(const std::string& spec) {
+  FaultProfile profile;
+  for (const std::string& part : Split(spec, ',')) {
+    const std::string item = Trim(part);
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault profile item without '=': " +
+                                     item);
+    }
+    const std::string key = Trim(item.substr(0, eq));
+    const std::string value = Trim(item.substr(eq + 1));
+    char* end = nullptr;
+    if (key == "max") {
+      profile.max_transient_faults =
+          static_cast<size_t>(std::strtoull(value.c_str(), &end, 10));
+    } else if (key == "seed") {
+      profile.seed = std::strtoull(value.c_str(), &end, 10);
+    } else {
+      const double rate = std::strtod(value.c_str(), &end);
+      if (rate < 0.0 || rate > 1.0) {
+        return Status::InvalidArgument("fault rate outside [0, 1]: " + item);
+      }
+      if (key == "timeout") {
+        profile.timeout_rate = rate;
+      } else if (key == "5xx") {
+        profile.http5xx_rate = rate;
+      } else if (key == "429") {
+        profile.rate_limit_rate = rate;
+      } else if (key == "truncate") {
+        profile.truncated_rate = rate;
+      } else if (key == "slow") {
+        profile.slow_read_rate = rate;
+      } else if (key == "checksum") {
+        profile.checksum_rate = rate;
+      } else if (key == "permanent") {
+        profile.permanent_rate = rate;
+      } else {
+        return Status::InvalidArgument("unknown fault profile key: " + key);
+      }
+    }
+    if (end == nullptr || *end != '\0' || end == value.c_str()) {
+      return Status::InvalidArgument("malformed fault profile value: " + item);
+    }
+  }
+  return profile;
+}
+
+Result<FaultProfile> FaultProfileFromEnv() {
+  const char* env = std::getenv("OGDP_FETCH_FAULTS");
+  if (env == nullptr || *env == '\0') return FaultProfile{};
+  auto parsed = ParseFaultProfile(env);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("OGDP_FETCH_FAULTS: " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+FaultSchedule::FaultSchedule(FaultProfile profile)
+    : profile_(std::move(profile)) {
+  forced_.insert(profile_.force_permanent.begin(),
+                 profile_.force_permanent.end());
+}
+
+namespace {
+
+Rng ResourceRng(const FaultProfile& profile, const std::string& portal,
+                const std::string& dataset_id,
+                const std::string& resource_name) {
+  return Rng(profile.seed)
+      .Fork("fetch_faults")
+      .Fork(portal)
+      .Fork(dataset_id)
+      .Fork(resource_name);
+}
+
+}  // namespace
+
+bool FaultSchedule::IsPermanent(const std::string& portal,
+                                const std::string& dataset_id,
+                                const std::string& resource_name) const {
+  if (forced_.count({dataset_id, resource_name})) return true;
+  if (profile_.permanent_rate <= 0) return false;
+  Rng rng = ResourceRng(profile_, portal, dataset_id, resource_name);
+  return rng.NextBool(profile_.permanent_rate);
+}
+
+std::vector<FaultSpec> FaultSchedule::ScriptFor(
+    const std::string& portal, const std::string& dataset_id,
+    const std::string& resource_name) const {
+  Rng rng = ResourceRng(profile_, portal, dataset_id, resource_name);
+  rng.NextBool(profile_.permanent_rate);  // keep streams aligned with
+                                          // IsPermanent's draw
+  std::vector<FaultSpec> script;
+  const std::vector<double> weights = {
+      profile_.timeout_rate,   profile_.http5xx_rate,
+      profile_.rate_limit_rate, profile_.truncated_rate,
+      profile_.slow_read_rate, profile_.checksum_rate};
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) return script;
+
+  for (size_t i = 0; i < profile_.max_transient_faults; ++i) {
+    // Each slot faults with the combined rate (capped so a transient-only
+    // profile always terminates), and the fault kind follows the relative
+    // weights.
+    if (!rng.NextBool(std::min(total, 1.0))) break;
+    FaultSpec spec;
+    switch (rng.NextCategorical(weights)) {
+      case 0:
+        spec.kind = FaultKind::kTimeout;
+        break;
+      case 1:
+        spec.kind = FaultKind::kHttp5xx;
+        spec.http_status = 500 + static_cast<int>(rng.NextBounded(4));
+        break;
+      case 2:
+        spec.kind = FaultKind::kRateLimited;
+        spec.http_status = 429;
+        spec.retry_after_ms = 50 + rng.NextBounded(2000);
+        break;
+      case 3:
+        spec.kind = FaultKind::kTruncatedBody;
+        spec.truncate_frac = rng.NextDouble() * 0.95;
+        break;
+      case 4:
+        spec.kind = FaultKind::kSlowRead;
+        break;
+      default:
+        spec.kind = FaultKind::kChecksumMismatch;
+        break;
+    }
+    script.push_back(spec);
+  }
+  return script;
+}
+
+}  // namespace ogdp::fetch

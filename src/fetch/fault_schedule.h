@@ -1,0 +1,113 @@
+#ifndef OGDP_FETCH_FAULT_SCHEDULE_H_
+#define OGDP_FETCH_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ogdp::fetch {
+
+/// The failure taxonomy of a simulated portal transport — the defect
+/// classes the paper's crawl (§3) and the German-portal quality study
+/// (arXiv:2106.09590) report as dominant: dead links, flaky servers, rate
+/// limits, and corrupt or cut-off payloads.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kTimeout,           // connect/TLS handshake never completes
+  kHttp5xx,           // server error page instead of the resource
+  kRateLimited,       // HTTP 429 with a Retry-After hint
+  kTruncatedBody,     // connection dropped mid-body (short read)
+  kSlowRead,          // body trickles in past the read deadline
+  kChecksumMismatch,  // full-length body with corrupted bytes
+};
+
+/// Stable lowercase name, e.g. "rate_limited".
+const char* FaultKindName(FaultKind kind);
+
+/// One scripted wire-level event for one attempt at one resource.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  int http_status = 0;          // 5xx for kHttp5xx, 429 for kRateLimited
+  uint64_t retry_after_ms = 0;  // server hint on kRateLimited
+  double truncate_frac = 1.0;   // body fraction served on kTruncatedBody
+};
+
+/// Per-portal injection rates. A profile is pure configuration: the
+/// schedule derives every per-resource script deterministically from
+/// (seed, portal, dataset, resource), so two runs with the same profile
+/// see byte-identical wire behaviour regardless of thread count.
+struct FaultProfile {
+  double timeout_rate = 0;
+  double http5xx_rate = 0;
+  double rate_limit_rate = 0;
+  double truncated_rate = 0;
+  double slow_read_rate = 0;
+  double checksum_rate = 0;
+
+  /// Probability a resource never succeeds (every attempt faults).
+  double permanent_rate = 0;
+
+  /// Cap on scripted transient faults per resource; attempt
+  /// `script.size() + 1` succeeds unless the resource is permanent.
+  size_t max_transient_faults = 3;
+
+  /// Salt mixed into every per-resource derivation.
+  uint64_t seed = 0;
+
+  /// Resources forced to fail permanently, keyed by (dataset id,
+  /// resource name). Used by tests and the fetch_equivalence oracle to
+  /// plant known-dead resources.
+  std::vector<std::pair<std::string, std::string>> force_permanent;
+
+  /// True when any fault can ever be injected.
+  bool any() const {
+    return timeout_rate > 0 || http5xx_rate > 0 || rate_limit_rate > 0 ||
+           truncated_rate > 0 || slow_read_rate > 0 || checksum_rate > 0 ||
+           permanent_rate > 0 || !force_permanent.empty();
+  }
+};
+
+/// Parses a profile spec of comma-separated key=value pairs:
+///
+///   "timeout=0.1,5xx=0.05,429=0.1,truncate=0.05,slow=0.02,
+///    checksum=0.02,permanent=0.01,max=3,seed=42"
+///
+/// Unknown keys, malformed numbers, and rates outside [0, 1] are errors.
+Result<FaultProfile> ParseFaultProfile(const std::string& spec);
+
+/// Profile from the OGDP_FETCH_FAULTS environment variable; fault-free
+/// when unset or empty, an error status on a malformed value.
+Result<FaultProfile> FaultProfileFromEnv();
+
+/// Deterministic per-resource fault script generator.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(FaultProfile profile);
+
+  const FaultProfile& profile() const { return profile_; }
+
+  /// True when the resource is scripted to fail on every attempt.
+  bool IsPermanent(const std::string& portal, const std::string& dataset_id,
+                   const std::string& resource_name) const;
+
+  /// The transient-fault script for one resource: attempt i (0-based)
+  /// observes `script[i]` while i < script.size(); later attempts succeed
+  /// (unless the resource is permanent, where the script repeats from the
+  /// start forever).
+  std::vector<FaultSpec> ScriptFor(const std::string& portal,
+                                   const std::string& dataset_id,
+                                   const std::string& resource_name) const;
+
+ private:
+  FaultProfile profile_;
+  std::set<std::pair<std::string, std::string>> forced_;
+};
+
+}  // namespace ogdp::fetch
+
+#endif  // OGDP_FETCH_FAULT_SCHEDULE_H_

@@ -1,0 +1,184 @@
+#include "fetch/retry.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace ogdp::fetch {
+
+uint64_t BackoffBaseMs(const RetryPolicy& policy, size_t retry_index) {
+  double base = static_cast<double>(policy.initial_backoff_ms);
+  for (size_t i = 0; i < retry_index; ++i) {
+    base *= policy.backoff_multiplier;
+    if (base >= static_cast<double>(policy.max_backoff_ms)) break;
+  }
+  return std::min<uint64_t>(static_cast<uint64_t>(base),
+                            policy.max_backoff_ms);
+}
+
+uint64_t BackoffDelayMs(const RetryPolicy& policy, size_t retry_index,
+                        Rng& rng) {
+  const uint64_t base = BackoffBaseMs(policy, retry_index);
+  const double u = rng.NextDouble();  // one draw, always, for determinism
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const double scaled =
+      static_cast<double>(base) * (1.0 - jitter + 2.0 * jitter * u);
+  return static_cast<uint64_t>(std::max(scaled, 0.0));
+}
+
+CircuitBreaker::State CircuitBreaker::state(uint64_t now_ms) const {
+  if (!open_) return State::kClosed;
+  return now_ms >= opened_at_ms_ + policy_.breaker_open_ms ? State::kHalfOpen
+                                                           : State::kOpen;
+}
+
+bool CircuitBreaker::Allow(uint64_t now_ms) {
+  switch (state(now_ms)) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+uint64_t CircuitBreaker::RetryAtMs(uint64_t now_ms) const {
+  if (state(now_ms) == State::kOpen) {
+    return opened_at_ms_ + policy_.breaker_open_ms;
+  }
+  return now_ms;
+}
+
+void CircuitBreaker::OnSuccess(uint64_t) {
+  consecutive_failures_ = 0;
+  open_ = false;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::OnFailure(uint64_t now_ms) {
+  ++consecutive_failures_;
+  if (open_) {
+    if (probe_in_flight_) {
+      // The half-open probe failed: re-open for a fresh window.
+      probe_in_flight_ = false;
+      opened_at_ms_ = now_ms;
+      ++trips_;
+    }
+    return;
+  }
+  if (policy_.breaker_threshold > 0 &&
+      consecutive_failures_ >= policy_.breaker_threshold) {
+    open_ = true;
+    opened_at_ms_ = now_ms;
+    ++trips_;
+  }
+}
+
+FetchOutcome FetchWithRetry(Transport& transport, const FetchRequest& request,
+                            const RetryPolicy& policy,
+                            CircuitBreaker* breaker, uint64_t* clock_ms,
+                            Rng& rng) {
+  FetchOutcome out;
+  const uint64_t start_ms = *clock_ms;
+  const auto past_deadline = [&](uint64_t at_ms) {
+    return policy.resource_deadline_ms > 0 &&
+           at_ms - start_ms > policy.resource_deadline_ms;
+  };
+  Status last_failure;
+
+  for (size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (past_deadline(*clock_ms)) {
+      out.status = Status::DeadlineExceeded(
+          request.resource_name + ": deadline after " +
+          std::to_string(out.attempts) + " attempts (" +
+          last_failure.ToString() + ")");
+      return out;
+    }
+    if (breaker != nullptr) {
+      while (!breaker->Allow(*clock_ms)) {
+        uint64_t resume_ms = breaker->RetryAtMs(*clock_ms);
+        if (resume_ms <= *clock_ms) resume_ms = *clock_ms + 1;
+        if (past_deadline(resume_ms)) {
+          out.status = Status::DeadlineExceeded(
+              request.resource_name + ": deadline waiting out open breaker");
+          return out;
+        }
+        *clock_ms = resume_ms;
+        ++out.breaker_waits;
+      }
+    }
+
+    AttemptRecord rec;
+    rec.attempt = attempt + 1;
+    rec.at_ms = *clock_ms;
+
+    FetchReply reply = transport.Fetch(request, attempt);
+    ++out.attempts;
+    *clock_ms += reply.latency_ms;
+    rec.fault = reply.fault;
+
+    Status attempt_status = reply.status;
+    bool retryable = reply.retryable;
+    if (attempt_status.ok()) {
+      // Client-side integrity checks: a short or corrupt body is a
+      // transient failure even though HTTP said 200.
+      if (reply.body.size() != reply.declared_length) {
+        attempt_status = Status::DataLoss(
+            "truncated body: got " + std::to_string(reply.body.size()) +
+            " of " + std::to_string(reply.declared_length) + " bytes");
+        if (rec.fault == FaultKind::kNone) {
+          rec.fault = FaultKind::kTruncatedBody;
+        }
+        retryable = true;
+      } else if (Fnv1a64(reply.body) != reply.declared_checksum) {
+        attempt_status = Status::DataLoss("checksum mismatch");
+        if (rec.fault == FaultKind::kNone) {
+          rec.fault = FaultKind::kChecksumMismatch;
+        }
+        retryable = true;
+      }
+    }
+    rec.status = attempt_status;
+
+    if (attempt_status.ok()) {
+      if (breaker != nullptr) breaker->OnSuccess(*clock_ms);
+      out.log.push_back(std::move(rec));
+      out.body = std::move(reply.body);
+      out.status = Status::OK();
+      out.retries = out.attempts - 1;
+      return out;
+    }
+
+    if (breaker != nullptr) breaker->OnFailure(*clock_ms);
+    last_failure = attempt_status;
+
+    if (!retryable) {
+      out.log.push_back(std::move(rec));
+      out.status = std::move(attempt_status);
+      out.retries = out.attempts - 1;
+      return out;
+    }
+
+    if (attempt + 1 < policy.max_attempts) {
+      uint64_t delay = BackoffDelayMs(policy, attempt, rng);
+      delay = std::max(delay, reply.retry_after_ms);
+      rec.backoff_ms = delay;
+      out.backoff_ms_total += delay;
+      *clock_ms += delay;
+    }
+    out.log.push_back(std::move(rec));
+  }
+
+  out.status = Status::ResourceExhausted(
+      request.resource_name + ": gave up after " +
+      std::to_string(out.attempts) + " attempts (" + last_failure.ToString() +
+      ")");
+  out.retries = out.attempts == 0 ? 0 : out.attempts - 1;
+  return out;
+}
+
+}  // namespace ogdp::fetch

@@ -1,0 +1,126 @@
+#ifndef OGDP_FETCH_RETRY_H_
+#define OGDP_FETCH_RETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fetch/transport.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ogdp::fetch {
+
+/// Bounded-retry policy with exponential backoff, deterministic jitter,
+/// a per-resource deadline, and a per-portal circuit breaker. All times
+/// are virtual milliseconds on the caller-owned simulated clock, so runs
+/// are reproducible and tests never sleep.
+struct RetryPolicy {
+  size_t max_attempts = 4;
+
+  uint64_t initial_backoff_ms = 100;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_ms = 10000;
+  /// Uniform jitter fraction: the delay for retry r is
+  /// base_r * (1 - jitter + 2 * jitter * u) with u drawn from the
+  /// caller's Rng — deterministic for a fixed seed.
+  double jitter = 0.25;
+
+  /// Virtual-time budget per resource, attempts + waits included.
+  /// 0 = unlimited.
+  uint64_t resource_deadline_ms = 0;
+
+  /// Consecutive failed attempts (portal-wide) that open the breaker.
+  /// 0 disables the breaker.
+  size_t breaker_threshold = 16;
+  /// How long an open breaker blocks before half-opening for one probe.
+  uint64_t breaker_open_ms = 5000;
+};
+
+/// Pre-jitter exponential delay before retry `retry_index` (0-based: the
+/// delay between attempt 1 and attempt 2 has retry_index 0).
+uint64_t BackoffBaseMs(const RetryPolicy& policy, size_t retry_index);
+
+/// Jittered delay; draws exactly one value from `rng`.
+uint64_t BackoffDelayMs(const RetryPolicy& policy, size_t retry_index,
+                        Rng& rng);
+
+/// Classic three-state circuit breaker over virtual time. Opens after
+/// `breaker_threshold` consecutive failed attempts, half-opens
+/// `breaker_open_ms` later for a single probe, closes again on a probe
+/// success and re-opens (another trip) on a probe failure.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const RetryPolicy& policy) : policy_(policy) {}
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  State state(uint64_t now_ms) const;
+
+  /// True when a request may be issued at `now_ms`. In the half-open
+  /// state only the first caller (until OnSuccess/OnFailure resolves the
+  /// probe) is admitted.
+  bool Allow(uint64_t now_ms);
+
+  /// Virtual time at which an open breaker half-opens (now when not open).
+  uint64_t RetryAtMs(uint64_t now_ms) const;
+
+  void OnSuccess(uint64_t now_ms);
+  void OnFailure(uint64_t now_ms);
+
+  /// Times the breaker transitioned closed/half-open -> open.
+  size_t trips() const { return trips_; }
+  size_t consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  RetryPolicy policy_;
+  size_t consecutive_failures_ = 0;
+  size_t trips_ = 0;
+  bool open_ = false;
+  bool probe_in_flight_ = false;
+  uint64_t opened_at_ms_ = 0;
+};
+
+/// Telemetry for one wire attempt.
+struct AttemptRecord {
+  size_t attempt = 0;  // 1-based
+  FaultKind fault = FaultKind::kNone;
+  Status status;        // outcome of this attempt (client checks included)
+  uint64_t at_ms = 0;   // virtual clock when the attempt was issued
+  uint64_t backoff_ms = 0;  // delay scheduled after this attempt
+};
+
+/// Final outcome of fetching one resource through the retry loop.
+struct FetchOutcome {
+  Status status;  // OK iff `body` holds the verified resource content
+  std::string body;
+  size_t attempts = 0;
+  size_t retries = 0;               // attempts - 1 when any were made
+  uint64_t backoff_ms_total = 0;    // virtual time spent backing off
+  size_t breaker_waits = 0;         // times gated by an open breaker
+  std::vector<AttemptRecord> log;   // full attempt telemetry
+};
+
+/// Fetches one resource with bounded retries on a virtual clock.
+///
+/// Per attempt: consult the breaker (an open breaker *delays* the attempt
+/// to its half-open time rather than abandoning the resource — a polite
+/// crawler waits out a sick portal), issue the request, then verify the
+/// body against the declared length and checksum; mismatches count as
+/// retryable transient failures (kTruncatedBody / kChecksumMismatch).
+/// Retryable failures back off exponentially with deterministic jitter,
+/// honouring a 429 Retry-After hint when larger. Non-retryable statuses
+/// (404) and an exceeded `resource_deadline_ms` end the loop immediately;
+/// exhausting `max_attempts` yields kResourceExhausted with the last
+/// attempt's cause in the message.
+///
+/// `clock_ms` (the shared virtual clock) advances by attempt latencies,
+/// backoff delays, and breaker waits. `breaker` may be null.
+FetchOutcome FetchWithRetry(Transport& transport, const FetchRequest& request,
+                            const RetryPolicy& policy,
+                            CircuitBreaker* breaker, uint64_t* clock_ms,
+                            Rng& rng);
+
+}  // namespace ogdp::fetch
+
+#endif  // OGDP_FETCH_RETRY_H_

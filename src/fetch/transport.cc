@@ -1,0 +1,133 @@
+#include "fetch/transport.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace ogdp::fetch {
+
+namespace {
+
+// Simulated wire timings (virtual milliseconds). Absolute values only
+// shape the telemetry; correctness never depends on them.
+constexpr uint64_t kConnectTimeoutMs = 3000;
+constexpr uint64_t kReadDeadlineMs = 10000;
+constexpr uint64_t kBaseLatencyMs = 20;
+constexpr uint64_t kBytesPerMs = 512;
+
+uint64_t BodyLatencyMs(size_t bytes) {
+  return kBaseLatencyMs + static_cast<uint64_t>(bytes) / kBytesPerMs;
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(const core::Portal& portal,
+                                 FaultSchedule schedule)
+    : portal_(portal), schedule_(std::move(schedule)) {}
+
+const FaultyTransport::ResourceScript& FaultyTransport::ScriptFor(
+    const FetchRequest& request) {
+  const auto key = std::make_pair(request.dataset_index,
+                                  request.resource_index);
+  auto it = scripts_.find(key);
+  if (it == scripts_.end()) {
+    ResourceScript rs;
+    rs.permanent = schedule_.IsPermanent(request.portal, request.dataset_id,
+                                         request.resource_name);
+    rs.script = schedule_.ScriptFor(request.portal, request.dataset_id,
+                                    request.resource_name);
+    if (rs.permanent && rs.script.empty()) {
+      // A permanent resource needs at least one fault to replay.
+      FaultSpec spec;
+      spec.kind = FaultKind::kHttp5xx;
+      spec.http_status = 503;
+      rs.script.push_back(spec);
+    }
+    it = scripts_.emplace(key, std::move(rs)).first;
+  }
+  return it->second;
+}
+
+FetchReply FaultyTransport::Fetch(const FetchRequest& request,
+                                  size_t attempt) {
+  FetchReply reply;
+  const core::Dataset& dataset = portal_.datasets.at(request.dataset_index);
+  const core::Resource& resource =
+      dataset.resources.at(request.resource_index);
+
+  if (!resource.downloadable) {
+    reply.status = Status::NotFound("HTTP 404: " + request.resource_name);
+    reply.latency_ms = kBaseLatencyMs;
+    reply.retryable = false;
+    return reply;
+  }
+
+  const ResourceScript& rs = ScriptFor(request);
+  const bool faulted =
+      rs.permanent ? !rs.script.empty() : attempt < rs.script.size();
+  if (faulted) {
+    const FaultSpec& spec =
+        rs.permanent ? rs.script[attempt % rs.script.size()]
+                     : rs.script[attempt];
+    reply.fault = spec.kind;
+    reply.retryable = true;
+    reply.declared_length = resource.content.size();
+    reply.declared_checksum = Fnv1a64(resource.content);
+    switch (spec.kind) {
+      case FaultKind::kTimeout:
+        reply.status = Status::Unavailable("connect timeout");
+        reply.latency_ms = kConnectTimeoutMs;
+        break;
+      case FaultKind::kHttp5xx:
+        reply.status = Status::Unavailable(
+            "HTTP " + std::to_string(spec.http_status));
+        reply.latency_ms = kBaseLatencyMs;
+        break;
+      case FaultKind::kRateLimited:
+        reply.status = Status::Unavailable("HTTP 429");
+        reply.latency_ms = kBaseLatencyMs;
+        reply.retry_after_ms = spec.retry_after_ms;
+        break;
+      case FaultKind::kTruncatedBody: {
+        // Short read: HTTP-level success, body shorter than declared.
+        const size_t cut = std::min(
+            resource.content.size(),
+            static_cast<size_t>(static_cast<double>(resource.content.size()) *
+                                spec.truncate_frac));
+        reply.body = resource.content.substr(0, cut);
+        reply.latency_ms = BodyLatencyMs(cut);
+        break;  // status stays OK: the client must catch the short body
+      }
+      case FaultKind::kSlowRead:
+        reply.status = Status::DeadlineExceeded("read stalled past deadline");
+        reply.latency_ms = kReadDeadlineMs;
+        break;
+      case FaultKind::kChecksumMismatch: {
+        // Full-length body with one corrupted byte; the declared checksum
+        // still describes the true content.
+        reply.body = resource.content;
+        if (!reply.body.empty()) {
+          const size_t pos = reply.body.size() / 2;
+          reply.body[pos] = static_cast<char>(reply.body[pos] ^ 0x20);
+        } else {
+          // Empty bodies cannot be corrupted in place; declare one byte.
+          reply.declared_length = 1;
+        }
+        reply.latency_ms = BodyLatencyMs(reply.body.size());
+        break;  // status stays OK: the client must verify the checksum
+      }
+      case FaultKind::kNone:
+        break;
+    }
+    return reply;
+  }
+
+  reply.status = Status::OK();
+  reply.body = resource.content;
+  reply.declared_length = resource.content.size();
+  reply.declared_checksum = Fnv1a64(resource.content);
+  reply.latency_ms = BodyLatencyMs(resource.content.size());
+  return reply;
+}
+
+}  // namespace ogdp::fetch

@@ -1,0 +1,76 @@
+#ifndef OGDP_FETCH_TRANSPORT_H_
+#define OGDP_FETCH_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/portal_model.h"
+#include "fetch/fault_schedule.h"
+#include "util/status.h"
+
+namespace ogdp::fetch {
+
+/// Identifies one resource fetch. Names key the fault schedule (stable
+/// across runs); the indices locate the resource in the in-memory portal.
+struct FetchRequest {
+  std::string portal;
+  std::string dataset_id;
+  std::string resource_name;
+  size_t dataset_index = 0;
+  size_t resource_index = 0;
+};
+
+/// What one attempt put on the (simulated) wire. `status` is the
+/// HTTP-level outcome only: truncated and corrupted bodies arrive with an
+/// OK status plus a `declared_length`/`declared_checksum` that do not
+/// match the payload — detecting that is the client's job (see
+/// FetchWithRetry), exactly as with a real Content-Length or ETag.
+struct FetchReply {
+  Status status;
+  FaultKind fault = FaultKind::kNone;
+  std::string body;
+  uint64_t declared_length = 0;    // server-declared body size
+  uint64_t declared_checksum = 0;  // FNV-1a of the true content
+  uint64_t latency_ms = 0;         // simulated duration of the attempt
+  uint64_t retry_after_ms = 0;     // server hint (429), 0 otherwise
+  bool retryable = false;          // transient per HTTP semantics
+};
+
+/// Abstract resource transport. Implementations must be deterministic:
+/// the reply is a pure function of (request, attempt).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Performs attempt `attempt` (0-based) for `request`.
+  virtual FetchReply Fetch(const FetchRequest& request, size_t attempt) = 0;
+};
+
+/// Serves `core::Resource` content from an in-memory portal through a
+/// seeded per-resource fault script. Resources with `downloadable ==
+/// false` return a non-retryable 404 (the dead-link defect class);
+/// scripted transient faults consume attempts until the script is
+/// exhausted; permanent resources replay their script forever.
+class FaultyTransport : public Transport {
+ public:
+  FaultyTransport(const core::Portal& portal, FaultSchedule schedule);
+
+  FetchReply Fetch(const FetchRequest& request, size_t attempt) override;
+
+ private:
+  struct ResourceScript {
+    bool permanent = false;
+    std::vector<FaultSpec> script;
+  };
+  const ResourceScript& ScriptFor(const FetchRequest& request);
+
+  const core::Portal& portal_;
+  FaultSchedule schedule_;
+  // Lazily derived scripts, keyed by (dataset index, resource index).
+  std::map<std::pair<size_t, size_t>, ResourceScript> scripts_;
+};
+
+}  // namespace ogdp::fetch
+
+#endif  // OGDP_FETCH_TRANSPORT_H_

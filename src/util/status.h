@@ -22,6 +22,10 @@ enum class StatusCode {
   kParseError,
   kUnimplemented,
   kInternal,
+  kUnavailable,        // transient transport failure (timeout, 5xx, 429)
+  kDeadlineExceeded,   // per-resource fetch deadline blown
+  kDataLoss,           // body arrived corrupt (length/checksum mismatch)
+  kResourceExhausted,  // retry budget spent without success
 };
 
 /// Returns a stable lowercase name for `code` (e.g. "parse_error").
@@ -75,6 +79,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

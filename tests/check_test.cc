@@ -114,6 +114,14 @@ TEST(CheckHarnessTest, HeaderModalWidthOracle) {
   EXPECT_GE(report.cases, 24u);
 }
 
+TEST(CheckHarnessTest, FetchEquivalenceOracle) {
+  const OracleReport report = CheckFetchEquivalence(BoundedOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // One transient case per iteration plus a permanent-failure case for
+  // every portal with at least one fetchable resource.
+  EXPECT_GE(report.cases, 12u);
+}
+
 TEST(CheckHarnessTest, MutatorIsDeterministic) {
   Rng a(123);
   Rng b(123);
@@ -144,7 +152,7 @@ TEST(CheckHarnessTest, ReportsAreByteReproducible) {
   const OracleOptions options = BoundedOptions();
   const auto first = RunAllOracles(options);
   const auto second = RunAllOracles(options);
-  ASSERT_EQ(first.size(), 8u);
+  ASSERT_EQ(first.size(), 9u);
   ASSERT_EQ(second.size(), first.size());
   for (size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i].ToString(), second[i].ToString());

@@ -213,10 +213,13 @@ TEST(CorpusIoTest, WriteAndReadBack) {
   ASSERT_TRUE(WritePortalToDirectory(g.portal, dir).ok());
   EXPECT_TRUE(std::filesystem::exists(dir + "/catalog.csv"));
 
-  auto tables = ReadCsvDirectory(dir);
-  ASSERT_TRUE(tables.ok());
+  auto scan = ReadCsvDirectory(dir);
+  ASSERT_TRUE(scan.ok());
   core::IngestResult direct = core::IngestPortal(g.portal);
-  EXPECT_EQ(tables->size(), direct.tables.size());
+  EXPECT_EQ(scan->tables.size(), direct.tables.size());
+  // Skip accounting: every candidate file is either a table or a
+  // counted skip, never silently dropped.
+  EXPECT_EQ(scan->files_seen, scan->tables.size() + scan->skips.total());
   std::filesystem::remove_all(dir);
 }
 

@@ -1,0 +1,617 @@
+// Tests for the fault-injected fetch layer: fault-schedule determinism
+// and spec parsing, exponential backoff + jitter, the circuit breaker's
+// three-state lifecycle, the retry loop's client-side integrity checks,
+// ingestion stage accounting on a mixed-fate portal, and end-to-end
+// fault-equivalence of the full analysis pipeline (transient faults may
+// only change retry telemetry, never the analysis bytes).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/analysis_suite.h"
+#include "core/ingestion.h"
+#include "core/portal_model.h"
+#include "corpus/generator.h"
+#include "corpus/portal_profile.h"
+#include "fetch/fault_schedule.h"
+#include "fetch/retry.h"
+#include "fetch/transport.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace ogdp::fetch {
+namespace {
+
+// ------------------------------------------------------- fault schedule
+
+TEST(FaultProfileTest, ParsesFullSpec) {
+  auto profile = ParseFaultProfile(
+      "timeout=0.1,5xx=0.05,429=0.2,truncate=0.05,slow=0.02,"
+      "checksum=0.03,permanent=0.01,max=2,seed=42");
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_DOUBLE_EQ(profile->timeout_rate, 0.1);
+  EXPECT_DOUBLE_EQ(profile->http5xx_rate, 0.05);
+  EXPECT_DOUBLE_EQ(profile->rate_limit_rate, 0.2);
+  EXPECT_DOUBLE_EQ(profile->truncated_rate, 0.05);
+  EXPECT_DOUBLE_EQ(profile->slow_read_rate, 0.02);
+  EXPECT_DOUBLE_EQ(profile->checksum_rate, 0.03);
+  EXPECT_DOUBLE_EQ(profile->permanent_rate, 0.01);
+  EXPECT_EQ(profile->max_transient_faults, 2u);
+  EXPECT_EQ(profile->seed, 42u);
+  EXPECT_TRUE(profile->any());
+}
+
+TEST(FaultProfileTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultProfile("timeout=1.5").ok());  // rate > 1
+  EXPECT_FALSE(ParseFaultProfile("bogus=0.1").ok());    // unknown key
+  EXPECT_FALSE(ParseFaultProfile("timeout=abc").ok());  // not a number
+  EXPECT_FALSE(ParseFaultProfile("timeout").ok());      // no '='
+  auto empty = ParseFaultProfile("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->any());
+}
+
+TEST(FaultScheduleTest, ScriptsAreDeterministicPerResource) {
+  FaultProfile profile;
+  profile.timeout_rate = 0.4;
+  profile.http5xx_rate = 0.4;
+  profile.seed = 7;
+  FaultSchedule schedule(profile);
+
+  const auto a1 = schedule.ScriptFor("SG", "ds1", "a.csv");
+  const auto a2 = schedule.ScriptFor("SG", "ds1", "a.csv");
+  ASSERT_EQ(a1.size(), a2.size());
+  for (size_t i = 0; i < a1.size(); ++i) {
+    EXPECT_EQ(a1[i].kind, a2[i].kind);
+    EXPECT_EQ(a1[i].http_status, a2[i].http_status);
+    EXPECT_EQ(a1[i].retry_after_ms, a2[i].retry_after_ms);
+  }
+
+  // Scripts are salted by the resource coordinates: across many
+  // resources at these rates, at least one script must differ from
+  // a.csv's (equality of all of them would mean the salt is ignored).
+  bool any_differs = false;
+  for (int r = 0; r < 32 && !any_differs; ++r) {
+    const auto other =
+        schedule.ScriptFor("SG", "ds1", "b" + std::to_string(r) + ".csv");
+    if (other.size() != a1.size()) {
+      any_differs = true;
+      break;
+    }
+    for (size_t i = 0; i < other.size(); ++i) {
+      any_differs |= other[i].kind != a1[i].kind;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FaultScheduleTest, ForcedPermanentResourcesAreHonoured) {
+  FaultProfile profile;
+  profile.force_permanent.emplace_back("ds1", "dead.csv");
+  FaultSchedule schedule(profile);
+  EXPECT_TRUE(schedule.IsPermanent("SG", "ds1", "dead.csv"));
+  EXPECT_FALSE(schedule.IsPermanent("SG", "ds1", "alive.csv"));
+  EXPECT_FALSE(schedule.IsPermanent("SG", "ds2", "dead.csv"));
+}
+
+// -------------------------------------------------------------- backoff
+
+TEST(BackoffTest, BaseGrowsExponentiallyAndClamps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 1000;
+  EXPECT_EQ(BackoffBaseMs(policy, 0), 100u);
+  EXPECT_EQ(BackoffBaseMs(policy, 1), 200u);
+  EXPECT_EQ(BackoffBaseMs(policy, 2), 400u);
+  EXPECT_EQ(BackoffBaseMs(policy, 3), 800u);
+  EXPECT_EQ(BackoffBaseMs(policy, 4), 1000u);  // clamped
+  EXPECT_EQ(BackoffBaseMs(policy, 10), 1000u);
+}
+
+TEST(BackoffTest, JitteredDelayIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1000;
+  policy.jitter = 0.25;
+  Rng a(99);
+  Rng b(99);
+  for (size_t r = 0; r < 8; ++r) {
+    const uint64_t da = BackoffDelayMs(policy, r, a);
+    const uint64_t db = BackoffDelayMs(policy, r, b);
+    EXPECT_EQ(da, db);  // same seed, same sequence
+    const uint64_t base = BackoffBaseMs(policy, r);
+    EXPECT_GE(da, base - base / 4);
+    EXPECT_LE(da, base + base / 4);
+  }
+}
+
+// ------------------------------------------------------ circuit breaker
+
+TEST(CircuitBreakerTest, OpensHalfOpensAndCloses) {
+  RetryPolicy policy;
+  policy.breaker_threshold = 3;
+  policy.breaker_open_ms = 500;
+  CircuitBreaker breaker(policy);
+
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kClosed);
+  breaker.OnFailure(10);
+  breaker.OnFailure(20);
+  EXPECT_EQ(breaker.state(20), CircuitBreaker::State::kClosed);
+  breaker.OnFailure(30);  // third consecutive failure: trip
+  EXPECT_EQ(breaker.state(30), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.Allow(100));
+  EXPECT_EQ(breaker.RetryAtMs(100), 530u);
+
+  // Half-open at opened_at + open_ms: exactly one probe admitted.
+  EXPECT_EQ(breaker.state(530), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow(530));
+  EXPECT_FALSE(breaker.Allow(531));  // probe already in flight
+
+  // Probe success closes the breaker and resets the failure count.
+  breaker.OnSuccess(540);
+  EXPECT_EQ(breaker.state(540), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  EXPECT_TRUE(breaker.Allow(541));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAFreshWindow) {
+  RetryPolicy policy;
+  policy.breaker_threshold = 2;
+  policy.breaker_open_ms = 100;
+  CircuitBreaker breaker(policy);
+  breaker.OnFailure(0);
+  breaker.OnFailure(0);
+  EXPECT_EQ(breaker.trips(), 1u);
+  ASSERT_TRUE(breaker.Allow(100));  // half-open probe
+  breaker.OnFailure(100);           // probe fails
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_EQ(breaker.state(150), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.RetryAtMs(150), 200u);  // fresh window from the probe
+}
+
+TEST(CircuitBreakerTest, ZeroThresholdDisablesTheBreaker) {
+  RetryPolicy policy;
+  policy.breaker_threshold = 0;
+  CircuitBreaker breaker(policy);
+  for (int i = 0; i < 100; ++i) breaker.OnFailure(i);
+  EXPECT_EQ(breaker.state(100), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+// ----------------------------------------------------------- retry loop
+
+// Scripted transport: attempt i replies with replies[min(i, size-1)].
+class ScriptedTransport : public Transport {
+ public:
+  explicit ScriptedTransport(std::vector<FetchReply> replies)
+      : replies_(std::move(replies)) {}
+
+  FetchReply Fetch(const FetchRequest&, size_t attempt) override {
+    return replies_[std::min(attempt, replies_.size() - 1)];
+  }
+
+ private:
+  std::vector<FetchReply> replies_;
+};
+
+FetchReply OkReply(const std::string& body) {
+  FetchReply reply;
+  reply.body = body;
+  reply.declared_length = body.size();
+  reply.declared_checksum = Fnv1a64(body);
+  reply.latency_ms = 10;
+  return reply;
+}
+
+FetchReply TransientFailure() {
+  FetchReply reply;
+  reply.status = Status::Unavailable("HTTP 503");
+  reply.fault = FaultKind::kHttp5xx;
+  reply.latency_ms = 10;
+  reply.retryable = true;
+  return reply;
+}
+
+FetchRequest TestRequest() {
+  FetchRequest request;
+  request.portal = "T";
+  request.dataset_id = "ds";
+  request.resource_name = "r.csv";
+  return request;
+}
+
+TEST(FetchWithRetryTest, SucceedsAfterTransientFailures) {
+  ScriptedTransport transport(
+      {TransientFailure(), TransientFailure(), OkReply("a,b\n1,2\n")});
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 50;
+  uint64_t clock_ms = 0;
+  Rng rng(1);
+  const FetchOutcome out = FetchWithRetry(transport, TestRequest(), policy,
+                                          nullptr, &clock_ms, rng);
+  ASSERT_TRUE(out.status.ok()) << out.status;
+  EXPECT_EQ(out.body, "a,b\n1,2\n");
+  EXPECT_EQ(out.attempts, 3u);
+  EXPECT_EQ(out.retries, 2u);
+  EXPECT_GT(out.backoff_ms_total, 0u);
+  EXPECT_GT(clock_ms, out.backoff_ms_total);  // latency advanced too
+  ASSERT_EQ(out.log.size(), 3u);
+  EXPECT_FALSE(out.log[0].status.ok());
+  EXPECT_TRUE(out.log[2].status.ok());
+}
+
+TEST(FetchWithRetryTest, NonRetryableFailureStopsImmediately) {
+  FetchReply dead;
+  dead.status = Status::NotFound("HTTP 404");
+  dead.latency_ms = 5;
+  dead.retryable = false;
+  ScriptedTransport transport({dead});
+  RetryPolicy policy;
+  uint64_t clock_ms = 0;
+  Rng rng(1);
+  const FetchOutcome out = FetchWithRetry(transport, TestRequest(), policy,
+                                          nullptr, &clock_ms, rng);
+  EXPECT_EQ(out.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_EQ(out.retries, 0u);
+  EXPECT_EQ(out.backoff_ms_total, 0u);
+}
+
+TEST(FetchWithRetryTest, ExhaustionReportsTheLastCause) {
+  ScriptedTransport transport({TransientFailure()});
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  uint64_t clock_ms = 0;
+  Rng rng(1);
+  const FetchOutcome out = FetchWithRetry(transport, TestRequest(), policy,
+                                          nullptr, &clock_ms, rng);
+  EXPECT_EQ(out.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(out.status.message().find("HTTP 503"), std::string::npos);
+  EXPECT_EQ(out.attempts, 3u);
+  EXPECT_EQ(out.retries, 2u);
+}
+
+TEST(FetchWithRetryTest, DeadlineCutsTheLoopShort) {
+  ScriptedTransport transport({TransientFailure()});
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_ms = 1000;
+  policy.jitter = 0.0;
+  policy.resource_deadline_ms = 2500;
+  uint64_t clock_ms = 0;
+  Rng rng(1);
+  const FetchOutcome out = FetchWithRetry(transport, TestRequest(), policy,
+                                          nullptr, &clock_ms, rng);
+  EXPECT_EQ(out.status.code(), StatusCode::kDeadlineExceeded);
+  // 1000 + 2000 ms of backoff blows the 2500 ms budget after attempt 3's
+  // scheduling, far below the 100-attempt cap.
+  EXPECT_LT(out.attempts, 5u);
+}
+
+TEST(FetchWithRetryTest, DetectsTruncatedAndCorruptBodies) {
+  // HTTP 200 with a short body, then HTTP 200 with a corrupt body, then a
+  // clean reply: the client-side checks must classify both as retryable
+  // DataLoss and end up with the verified bytes.
+  const std::string content = "a,b\n1,2\n";
+  FetchReply truncated = OkReply(content);
+  truncated.body = content.substr(0, 3);
+  FetchReply corrupt = OkReply(content);
+  corrupt.body[0] ^= 0x20;
+  ScriptedTransport transport({truncated, corrupt, OkReply(content)});
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1;
+  uint64_t clock_ms = 0;
+  Rng rng(1);
+  const FetchOutcome out = FetchWithRetry(transport, TestRequest(), policy,
+                                          nullptr, &clock_ms, rng);
+  ASSERT_TRUE(out.status.ok()) << out.status;
+  EXPECT_EQ(out.body, content);
+  ASSERT_EQ(out.log.size(), 3u);
+  EXPECT_EQ(out.log[0].status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(out.log[0].fault, FaultKind::kTruncatedBody);
+  EXPECT_EQ(out.log[1].status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(out.log[1].fault, FaultKind::kChecksumMismatch);
+}
+
+TEST(FetchWithRetryTest, WaitsOutAnOpenBreakerInsteadOfFailing) {
+  ScriptedTransport transport(
+      {TransientFailure(), TransientFailure(), OkReply("x\n1\n")});
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1;
+  policy.breaker_threshold = 2;
+  policy.breaker_open_ms = 1000;
+  CircuitBreaker breaker(policy);
+  uint64_t clock_ms = 0;
+  Rng rng(1);
+  const FetchOutcome out = FetchWithRetry(transport, TestRequest(), policy,
+                                          &breaker, &clock_ms, rng);
+  ASSERT_TRUE(out.status.ok()) << out.status;
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_GT(out.breaker_waits, 0u);
+  EXPECT_GE(clock_ms, 1000u);  // waited to the half-open time
+}
+
+}  // namespace
+}  // namespace ogdp::fetch
+
+// ---------------------------------------------------- ingestion + suite
+
+namespace ogdp::core {
+namespace {
+
+// One resource per ingestion fate (mirrors core_test's TinyPortal, plus a
+// second dataset so permanent-failure containment can be scoped).
+Portal MixedFatePortal() {
+  Portal portal;
+  portal.name = "M";
+  Dataset ds;
+  ds.id = "mx-1";
+  ds.topic = "transport";
+  ds.publication_year = 2021;
+
+  Resource good;
+  good.name = "good.csv";
+  good.claimed_format = "CSV";
+  good.content = "id,v\n1,2\n3,4\n";
+  ds.resources.push_back(good);
+
+  Resource gone;
+  gone.name = "gone.csv";
+  gone.claimed_format = "CSV";
+  gone.downloadable = false;
+  ds.resources.push_back(gone);
+
+  Resource html;
+  html.name = "error.csv";
+  html.claimed_format = "CSV";
+  html.content = "<!DOCTYPE html><html><body>503</body></html>";
+  ds.resources.push_back(html);
+
+  Resource wide;
+  wide.name = "wide.csv";
+  wide.claimed_format = "CSV";
+  {
+    std::string header, row;
+    for (int i = 0; i < 120; ++i) {
+      header += (i ? "," : "") + ("c" + std::to_string(i));
+      row += (i ? "," : "") + std::to_string(i);
+    }
+    wide.content = header + "\n" + row + "\n";
+  }
+  ds.resources.push_back(wide);
+  portal.datasets.push_back(ds);
+
+  Dataset other;
+  other.id = "mx-2";
+  other.topic = "health";
+  other.publication_year = 2022;
+  Resource second;
+  second.name = "second.csv";
+  second.claimed_format = "CSV";
+  second.content = "k,w\n5,6\n7,8\n";
+  other.resources.push_back(second);
+  portal.datasets.push_back(other);
+  return portal;
+}
+
+// Satellite check: the stage buckets must sum exactly — the accounting
+// that used to rely on an "unreachable" switch arm is now an invariant
+// verified on a portal exercising every fate at once.
+TEST(IngestStatsInvariantsTest, MixedFatePortalBucketsSum) {
+  const IngestResult r = IngestPortal(MixedFatePortal());
+  EXPECT_TRUE(CheckIngestStatsInvariants(r.stats).ok());
+  EXPECT_EQ(r.stats.total_tables, 5u);
+  EXPECT_EQ(r.stats.total_tables,
+            r.stats.downloadable_tables + r.stats.not_downloadable_tables);
+  EXPECT_EQ(r.stats.downloadable_tables,
+            r.stats.readable_tables + r.stats.rejected_not_csv +
+                r.stats.rejected_parse);
+  EXPECT_EQ(r.stats.not_downloadable_tables, 1u);
+  EXPECT_EQ(r.stats.rejected_not_csv, 1u);
+  EXPECT_EQ(r.stats.removed_wide_tables, 1u);
+  EXPECT_EQ(r.stats.readable_tables, 3u);
+  EXPECT_EQ(r.tables.size(), 2u);
+
+  // The per-resource taxonomy covers every CSV-claimed resource, in
+  // portal order, with a non-OK status exactly on the non-readable ones.
+  ASSERT_EQ(r.resources.size(), 5u);
+  EXPECT_EQ(r.resources[0].stage, IngestStage::kReadable);
+  EXPECT_TRUE(r.resources[0].status.ok());
+  EXPECT_EQ(r.resources[1].stage, IngestStage::kNotDownloadable);
+  EXPECT_FALSE(r.resources[1].status.ok());
+  EXPECT_EQ(r.resources[2].stage, IngestStage::kRejectedNotCsv);
+  EXPECT_EQ(r.resources[3].stage, IngestStage::kRemovedWide);
+  EXPECT_EQ(r.resources[4].stage, IngestStage::kReadable);
+}
+
+TEST(IngestStatsInvariantsTest, DetectsBrokenAccounting) {
+  IngestStats stats;
+  stats.total_tables = 3;
+  stats.downloadable_tables = 2;
+  stats.not_downloadable_tables = 1;
+  stats.readable_tables = 2;
+  EXPECT_TRUE(CheckIngestStatsInvariants(stats).ok());
+  stats.rejected_parse = 1;  // now downloadable != readable + rejects
+  EXPECT_FALSE(CheckIngestStatsInvariants(stats).ok());
+}
+
+fetch::FaultProfile AggressiveTransientProfile() {
+  fetch::FaultProfile profile;
+  profile.timeout_rate = 0.3;
+  profile.http5xx_rate = 0.3;
+  profile.rate_limit_rate = 0.2;
+  profile.truncated_rate = 0.2;
+  profile.slow_read_rate = 0.1;
+  profile.checksum_rate = 0.1;
+  profile.max_transient_faults = 2;
+  profile.seed = 11;
+  return profile;
+}
+
+IngestOptions AggressiveTransientOptions() {
+  IngestOptions options;
+  options.faults = AggressiveTransientProfile();
+  options.retry.max_attempts = 4;  // > max_transient_faults + 1
+  options.retry.initial_backoff_ms = 10;
+  options.retry.breaker_threshold = 3;
+  options.retry.breaker_open_ms = 200;
+  return options;
+}
+
+// Tentpole acceptance: on the SG corpus demo portal, an aggressive
+// transient fault profile must leave the analysis byte-identical to the
+// fault-free run (telemetry rows excluded) while the telemetry proves the
+// machinery actually fired.
+TEST(FetchFaultEquivalenceTest, SgDemoPortalSurvivesTransientFaults) {
+  corpus::CorpusGenerator generator(corpus::SgPortalProfile(), 0.04);
+  corpus::GeneratedPortal generated = generator.Generate();
+
+  PortalBundle clean;
+  clean.name = generated.portal.name;
+  clean.portal = generated.portal;
+  clean.truth = generated.truth;
+  IngestOptions clean_options;
+  clean_options.faults = fetch::FaultProfile{};  // explicit: env-proof
+  clean.ingest = IngestPortal(clean.portal, clean_options);
+
+  PortalBundle faulty = clean;
+  faulty.ingest = IngestPortal(faulty.portal, AggressiveTransientOptions());
+
+  // The machinery fired...
+  EXPECT_GT(faulty.ingest.stats.fetch_retries, 0u);
+  EXPECT_GT(faulty.ingest.stats.fetch_backoff_ms, 0u);
+  EXPECT_GT(faulty.ingest.stats.breaker_trips, 0u);
+  EXPECT_EQ(faulty.ingest.stats.fetch_permanent_failures, 0u);
+
+  // ...and changed nothing: same tables, byte for byte.
+  ASSERT_EQ(faulty.ingest.tables.size(), clean.ingest.tables.size());
+  for (size_t i = 0; i < clean.ingest.tables.size(); ++i) {
+    EXPECT_EQ(faulty.ingest.tables[i].ToCsvString(),
+              clean.ingest.tables[i].ToCsvString());
+  }
+
+  // Full-pipeline render comparison with telemetry rows excluded; the
+  // telemetry-including render must differ and show the retry counters.
+  const PortalAnalysis clean_analysis = RunFullAnalysis(clean);
+  const PortalAnalysis faulty_analysis = RunFullAnalysis(faulty);
+  EXPECT_FALSE(faulty_analysis.degraded);
+  EXPECT_EQ(RenderPortalAnalysis(faulty_analysis, false),
+            RenderPortalAnalysis(clean_analysis, false));
+  const std::string with_telemetry =
+      RenderPortalAnalysis(faulty_analysis, true);
+  EXPECT_NE(with_telemetry.find("fetch attempts / retries"),
+            std::string::npos);
+  EXPECT_NE(with_telemetry.find("circuit breaker trips / waits"),
+            std::string::npos);
+}
+
+// Graceful degradation: a permanently failing resource removes exactly
+// itself — the run completes, its record carries a non-OK Status, and the
+// other dataset's table is untouched.
+TEST(FetchFaultEquivalenceTest, PermanentFailureDegradesGracefully) {
+  const Portal portal = MixedFatePortal();
+  IngestOptions clean_options;
+  clean_options.faults = fetch::FaultProfile{};
+  const IngestResult clean = IngestPortal(portal, clean_options);
+
+  IngestOptions failing_options = clean_options;
+  fetch::FaultProfile profile;
+  profile.force_permanent.emplace_back("mx-1", "good.csv");
+  failing_options.faults = profile;
+  failing_options.retry.max_attempts = 3;
+  failing_options.retry.initial_backoff_ms = 10;
+  const IngestResult degraded = IngestPortal(portal, failing_options);
+
+  EXPECT_TRUE(CheckIngestStatsInvariants(degraded.stats).ok());
+  EXPECT_EQ(degraded.stats.fetch_permanent_failures, 1u);
+  EXPECT_EQ(degraded.stats.readable_tables, clean.stats.readable_tables - 1);
+  ASSERT_EQ(degraded.tables.size(), clean.tables.size() - 1);
+
+  // The failed resource's record explains the loss...
+  const ResourceRecord& failed = degraded.resources[0];
+  EXPECT_EQ(failed.resource_name, "good.csv");
+  EXPECT_EQ(failed.stage, IngestStage::kFetchFailed);
+  EXPECT_FALSE(failed.status.ok());
+  EXPECT_GT(failed.attempts, 1u);
+
+  // ...and the other dataset's table is byte-identical.
+  EXPECT_EQ(degraded.tables.back().dataset_id(), "mx-2");
+  EXPECT_EQ(degraded.tables.back().ToCsvString(),
+            clean.tables.back().ToCsvString());
+
+  // The analysis pipeline runs to completion and surfaces the failure.
+  PortalBundle bundle;
+  bundle.name = portal.name;
+  bundle.portal = portal;
+  bundle.ingest = degraded;
+  const PortalAnalysis analysis = RunFullAnalysis(bundle);
+  const std::string rendered = RenderPortalAnalysis(analysis);
+  EXPECT_NE(rendered.find("-- failed resources --"), std::string::npos);
+  EXPECT_NE(rendered.find("good.csv"), std::string::npos);
+}
+
+// Containment: a stage failure marks the analysis degraded and records a
+// per-stage Status instead of aborting; the remaining stages still run.
+TEST(StageContainmentTest, ForcedStageFailureIsContained) {
+  PortalBundle bundle = MakePortalBundle(corpus::SgPortalProfile(), 0.03);
+  AnalysisSuiteOptions options;
+  options.fail_stages = {"fds"};
+  const PortalAnalysis analysis = RunFullAnalysis(bundle, options);
+
+  EXPECT_TRUE(analysis.degraded);
+  size_t failed_stages = 0;
+  for (const StageStatus& st : analysis.stages) {
+    if (st.stage == "fds") {
+      EXPECT_FALSE(st.status.ok());
+      EXPECT_TRUE(st.degraded);
+      ++failed_stages;
+    } else {
+      EXPECT_TRUE(st.status.ok()) << st.stage << ": " << st.status;
+    }
+  }
+  EXPECT_EQ(failed_stages, 1u);
+
+  // Non-failed sections still computed; the render names the casualty.
+  EXPECT_GT(analysis.size.total_tables, 0u);
+  EXPECT_GT(analysis.joins.total_tables, 0u);
+  const std::string rendered = RenderPortalAnalysis(analysis);
+  EXPECT_NE(rendered.find("-- degraded stages --"), std::string::npos);
+  EXPECT_NE(rendered.find("fault injected into stage fds"),
+            std::string::npos);
+}
+
+TEST(StageContainmentTest, NoFailureMeansNoDegradation) {
+  PortalBundle bundle = MakePortalBundle(corpus::SgPortalProfile(), 0.03);
+  const PortalAnalysis analysis = RunFullAnalysis(bundle);
+  EXPECT_FALSE(analysis.degraded);
+  ASSERT_EQ(analysis.stages.size(), 7u);
+  for (const StageStatus& st : analysis.stages) {
+    EXPECT_TRUE(st.status.ok()) << st.stage << ": " << st.status;
+  }
+}
+
+// Thread-count independence: the serial fetch stage pins the breaker and
+// backoff Rng to one event order, so a faulty ingest is byte-identical
+// under any OGDP_THREADS (the TSan lane runs this with real threads).
+TEST(FetchFaultEquivalenceTest, FaultyIngestIsThreadCountIndependent) {
+  corpus::CorpusGenerator generator(corpus::SgPortalProfile(), 0.03);
+  const corpus::GeneratedPortal generated = generator.Generate();
+  const IngestOptions options = AggressiveTransientOptions();
+  const IngestResult a = IngestPortal(generated.portal, options);
+  const IngestResult b = IngestPortal(generated.portal, options);
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    EXPECT_EQ(a.tables[i].ToCsvString(), b.tables[i].ToCsvString());
+  }
+  EXPECT_EQ(a.stats.fetch_attempts, b.stats.fetch_attempts);
+  EXPECT_EQ(a.stats.fetch_backoff_ms, b.stats.fetch_backoff_ms);
+  EXPECT_EQ(a.stats.breaker_trips, b.stats.breaker_trips);
+}
+
+}  // namespace
+}  // namespace ogdp::core
