@@ -1,0 +1,203 @@
+// Temporal re-analysis bench: four portal snapshot chains under their
+// calibrated churn profiles, each epoch analyzed from scratch and
+// incrementally (content-addressed cache + pair carry-over). Reports
+// per-epoch wall-clock, speedup, churn, and reuse counters, checks the
+// two pipelines render byte-identically, and emits BENCH_incremental.json
+// (with per-portal fetch telemetry) in the working directory.
+//
+// Env: OGDP_BENCH_SCALE (default 0.25), OGDP_EPOCHS (default 4),
+// OGDP_BENCH_THREADS, OGDP_CACHE_BUDGET (cache pool bytes). Set
+// OGDP_BENCH_INCR_GUARD=1 for the tier-1 CI guard: a small fixed
+// configuration whose only output that matters is the equivalence check
+// (nonzero exit on any divergence).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/analysis_suite.h"
+#include "core/incremental.h"
+#include "core/ingestion.h"
+#include "corpus/snapshot.h"
+#include "fetch/fault_schedule.h"
+
+namespace {
+
+using namespace ogdp;
+
+size_t EpochsFromEnv(size_t fallback = 4) {
+  if (const char* env = std::getenv("OGDP_EPOCHS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+struct EpochRow {
+  size_t epoch = 0;
+  double scratch_seconds = 0;
+  double incremental_seconds = 0;
+  double churn = 0;  // dirty tables / total tables
+  core::IncrementalStats stats;
+};
+
+struct PortalRun {
+  std::string name;
+  std::vector<EpochRow> rows;
+  core::IngestStats last_ingest;  // fetch telemetry of the final epoch
+};
+
+double Speedup(double scratch, double incremental) {
+  return incremental > 0 ? scratch / incremental : 0.0;
+}
+
+void PrintRow(const EpochRow& r) {
+  std::printf(
+      "  epoch %zu: scratch %6.2fs, incremental %6.2fs (%5.2fx), churn "
+      "%4.0f%%, fd %zu/%zu reused, pairs %zu carried / %zu re-verified\n",
+      r.epoch, r.scratch_seconds, r.incremental_seconds,
+      Speedup(r.scratch_seconds, r.incremental_seconds), 100 * r.churn,
+      r.stats.fd_reused, r.stats.fd_reused + r.stats.fd_recomputed,
+      r.stats.pairs_carried, r.stats.pairs_recomputed);
+}
+
+}  // namespace
+
+int main() {
+  const bool guard = []() {
+    const char* env = std::getenv("OGDP_BENCH_INCR_GUARD");
+    return env != nullptr && env[0] == '1';
+  }();
+  const double scale = guard ? 0.05 : bench::ScaleFromEnv();
+  const size_t epochs = guard ? 3 : EpochsFromEnv();
+  const size_t threads = bench::ThreadsFromEnv();
+
+  core::AnalysisSuiteOptions suite;
+  core::IngestOptions ingest;
+  if (guard) ingest.faults = fetch::FaultProfile{};  // explicit: env-proof
+
+  std::printf("[incremental] scale %.2f, %zu epochs, %zu thread%s%s\n",
+              scale, epochs, threads, threads == 1 ? "" : "s",
+              guard ? " (guard mode)" : "");
+
+  std::vector<PortalRun> runs;
+  size_t divergences = 0;
+  for (const auto& profile : corpus::AllPortalProfiles()) {
+    const auto chain = corpus::GenerateSnapshotChain(profile, scale, epochs);
+    PortalRun run;
+    run.name = profile.name;
+    core::IncrementalState state;
+    std::printf("[incremental] portal %s (%zu epochs)\n", profile.name.c_str(),
+                chain.size());
+    for (const corpus::PortalSnapshot& snap : chain) {
+      EpochRow row;
+      row.epoch = snap.epoch;
+
+      Stopwatch sw;
+      core::PortalBundle scratch;
+      scratch.name = snap.portal.name;
+      scratch.portal = snap.portal;
+      scratch.truth = snap.truth;
+      scratch.ingest = core::IngestPortal(snap.portal, ingest);
+      const core::PortalAnalysis full = core::RunFullAnalysis(scratch, suite);
+      row.scratch_seconds = sw.ElapsedSeconds();
+
+      sw.Restart();
+      const core::IncrementalResult inc =
+          core::RunIncrementalAnalysis(state, snap, suite, ingest);
+      row.incremental_seconds = sw.ElapsedSeconds();
+
+      if (core::RenderPortalAnalysis(full) !=
+          core::RenderPortalAnalysis(inc.analysis)) {
+        ++divergences;
+        std::printf("  epoch %zu: RENDERS DIVERGE (BUG)\n", snap.epoch);
+      }
+      row.stats = inc.stats;
+      row.churn = inc.stats.tables_total == 0
+                      ? 0.0
+                      : static_cast<double>(inc.stats.tables_dirty) /
+                            static_cast<double>(inc.stats.tables_total);
+      run.last_ingest = inc.bundle.ingest.stats;
+      PrintRow(row);
+      run.rows.push_back(row);
+    }
+    runs.push_back(std::move(run));
+  }
+
+  // Aggregate over the steady-state epochs (> 0) at low churn — the
+  // regime the re-analysis cache is built for.
+  double scratch_low = 0, incremental_low = 0;
+  size_t low_churn_epochs = 0;
+  for (const PortalRun& run : runs) {
+    for (const EpochRow& r : run.rows) {
+      if (r.epoch == 0 || r.churn > 0.25) continue;
+      scratch_low += r.scratch_seconds;
+      incremental_low += r.incremental_seconds;
+      ++low_churn_epochs;
+    }
+  }
+  const double low_churn_speedup = Speedup(scratch_low, incremental_low);
+  std::printf(
+      "\n[incremental] %zu low-churn epochs (<= 25%% dirty): scratch %.2fs, "
+      "incremental %.2fs, speedup %.2fx\n",
+      low_churn_epochs, scratch_low, incremental_low, low_churn_speedup);
+  std::printf("[incremental] determinism: %s\n",
+              divergences == 0 ? "all epochs byte-identical"
+                               : "DIVERGENCES FOUND (BUG)");
+
+  if (!guard) {
+    FILE* json = std::fopen("BENCH_incremental.json", "w");
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "{\n  \"scale\": %.4f,\n  \"epochs\": %zu,\n"
+                   "  \"threads\": %zu,\n  \"deterministic\": %s,\n"
+                   "  \"low_churn_epochs\": %zu,\n"
+                   "  \"low_churn_speedup\": %.3f,\n  \"portals\": [\n",
+                   scale, epochs, threads, divergences == 0 ? "true" : "false",
+                   low_churn_epochs, low_churn_speedup);
+      for (size_t p = 0; p < runs.size(); ++p) {
+        const PortalRun& run = runs[p];
+        std::fprintf(json, "    {\"portal\": \"%s\",\n", run.name.c_str());
+        const core::IngestStats& is = run.last_ingest;
+        std::fprintf(
+            json,
+            "     \"fetch\": {\"attempts\": %zu, \"retries\": %zu, "
+            "\"backoff_ms\": %zu, \"permanent_failures\": %zu, "
+            "\"breaker_trips\": %zu, \"breaker_waits\": %zu},\n",
+            is.fetch_attempts, is.fetch_retries, is.fetch_backoff_ms,
+            is.fetch_permanent_failures, is.breaker_trips, is.breaker_waits);
+        std::fprintf(json, "     \"epochs\": [\n");
+        for (size_t e = 0; e < run.rows.size(); ++e) {
+          const EpochRow& r = run.rows[e];
+          const core::IncrementalStats& st = r.stats;
+          std::fprintf(
+              json,
+              "      {\"epoch\": %zu, \"scratch_s\": %.4f, "
+              "\"incremental_s\": %.4f, \"speedup\": %.3f, "
+              "\"churn\": %.4f, \"tables_total\": %zu, "
+              "\"tables_clean\": %zu, \"tables_dirty\": %zu,\n"
+              "       \"parse_reused\": %zu, \"keys_reused\": %zu, "
+              "\"fd_reused\": %zu, \"fd_recomputed\": %zu, "
+              "\"signatures_reused\": %zu, \"fingerprints_reused\": %zu,\n"
+              "       \"pairs_carried\": %zu, \"pairs_recomputed\": %zu, "
+              "\"cache_hit_bytes\": %zu, \"cache_declines\": %zu, "
+              "\"saved_fd_s\": %.4f}%s\n",
+              r.epoch, r.scratch_seconds, r.incremental_seconds,
+              Speedup(r.scratch_seconds, r.incremental_seconds), r.churn,
+              st.tables_total, st.tables_clean, st.tables_dirty,
+              st.parse_reused, st.keys_reused, st.fd_reused, st.fd_recomputed,
+              st.signatures_reused, st.fingerprints_reused, st.pairs_carried,
+              st.pairs_recomputed, st.cache_hit_bytes, st.cache_declines,
+              st.saved_fd_seconds, e + 1 < run.rows.size() ? "," : "");
+        }
+        std::fprintf(json, "     ]}%s\n", p + 1 < runs.size() ? "," : "");
+      }
+      std::fprintf(json, "  ]\n}\n");
+      std::fclose(json);
+      std::printf("Wrote BENCH_incremental.json\n");
+    }
+  }
+  return divergences == 0 ? 0 : 1;
+}

@@ -26,6 +26,8 @@ struct RunResult {
   double phase_seconds[kNumPhases] = {0, 0, 0, 0, 0};
   double total_seconds = 0;
   std::string rendered;  // all four portal analyses, for determinism check
+  std::vector<std::string> portal_names;
+  std::vector<core::IngestStats> portal_ingest;  // per-portal fetch telemetry
 };
 
 // One full pipeline pass over all four portals with per-phase timing.
@@ -39,6 +41,8 @@ RunResult RunPipeline(double scale) {
   std::vector<core::PortalBundle> bundles;
   for (const auto& profile : corpus::AllPortalProfiles()) {
     bundles.push_back(core::MakePortalBundle(profile, scale));
+    run.portal_names.push_back(bundles.back().name);
+    run.portal_ingest.push_back(bundles.back().ingest.stats);
   }
   run.phase_seconds[0] = sw.ElapsedSeconds();
 
@@ -136,6 +140,20 @@ int main() {
           kPhaseNames[p], serial.phase_seconds[p], parallel.phase_seconds[p],
           Speedup(serial.phase_seconds[p], parallel.phase_seconds[p]),
           p + 1 < kNumPhases ? "," : "");
+    }
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"portal_fetch\": {\n");
+    for (size_t p = 0; p < parallel.portal_names.size(); ++p) {
+      const core::IngestStats& is = parallel.portal_ingest[p];
+      std::fprintf(
+          json,
+          "    \"%s\": {\"attempts\": %zu, \"retries\": %zu, "
+          "\"backoff_ms\": %zu, \"permanent_failures\": %zu, "
+          "\"breaker_trips\": %zu, \"breaker_waits\": %zu}%s\n",
+          parallel.portal_names[p].c_str(), is.fetch_attempts,
+          is.fetch_retries, is.fetch_backoff_ms, is.fetch_permanent_failures,
+          is.breaker_trips, is.breaker_waits,
+          p + 1 < parallel.portal_names.size() ? "," : "");
     }
     std::fprintf(json, "  },\n");
     std::fprintf(json,

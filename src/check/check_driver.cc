@@ -6,7 +6,8 @@
 // Runs the differential/metamorphic oracles (csv_round_trip,
 // fd_tane_vs_fun, bcnf_lossless_join, lsh_superset, codec_round_trip,
 // cleaning_idempotence, union_finder_differential, header_modal_width,
-// fetch_equivalence) and prints one report per oracle. Output is byte-reproducible for a
+// fetch_equivalence, join_ranker_monotonicity, incremental_equivalence)
+// and prints one report per oracle. Output is byte-reproducible for a
 // fixed seed; the exit code is 0 iff every oracle holds on every case.
 // `--corpus` mixes the committed regression documents into the CSV
 // mutation pool.
@@ -31,7 +32,8 @@ void Usage(const char* argv0) {
                "[--oracle csv_round_trip|fd_tane_vs_fun|"
                "bcnf_lossless_join|lsh_superset|codec_round_trip|"
                "cleaning_idempotence|union_finder_differential|"
-               "header_modal_width|fetch_equivalence]\n",
+               "header_modal_width|fetch_equivalence|"
+               "join_ranker_monotonicity|incremental_equivalence]\n",
                argv0);
 }
 
@@ -118,6 +120,10 @@ int main(int argc, char** argv) {
     reports.push_back(ogdp::check::CheckHeaderModalWidth(options));
   } else if (only_oracle == "fetch_equivalence") {
     reports.push_back(ogdp::check::CheckFetchEquivalence(options));
+  } else if (only_oracle == "join_ranker_monotonicity") {
+    reports.push_back(ogdp::check::CheckJoinRankerMonotonicity(options));
+  } else if (only_oracle == "incremental_equivalence") {
+    reports.push_back(ogdp::check::CheckIncrementalEquivalence(options));
   } else {
     Usage(argv[0]);
     return 2;

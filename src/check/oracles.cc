@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <iterator>
 #include <map>
@@ -12,8 +13,12 @@
 #include "check/csv_mutator.h"
 #include "check/random_table.h"
 #include "compress/codec.h"
+#include "core/incremental.h"
 #include "core/ingestion.h"
 #include "core/portal_model.h"
+#include "corpus/snapshot.h"
+#include "join/suggestion_ranker.h"
+#include "util/parallel.h"
 #include "fetch/fault_schedule.h"
 #include "fetch/retry.h"
 #include "csv/cleaning.h"
@@ -1206,6 +1211,351 @@ OracleReport CheckFetchEquivalence(const OracleOptions& options) {
   return report;
 }
 
+OracleReport CheckJoinRankerMonotonicity(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "join_ranker_monotonicity";
+
+  Rng rng = Rng(options.seed).Fork("join_ranker_monotonicity");
+  constexpr double kEps = 1e-12;
+  constexpr std::array<table::DataType, 6> kTypes = {
+      table::DataType::kString,      table::DataType::kCategorical,
+      table::DataType::kTimestamp,   table::DataType::kGeospatial,
+      table::DataType::kInteger,     table::DataType::kIncrementalInteger};
+  constexpr std::array<join::KeyCombination, 3> kCombos = {
+      join::KeyCombination::kKeyKey, join::KeyCombination::kKeyNonkey,
+      join::KeyCombination::kNonkeyNonkey};
+
+  // (a) Per-signal monotonicity of the scorer on random signal vectors.
+  for (size_t it = 0; it < options.iterations; ++it) {
+    ++report.cases;
+    join::SuggestionSignals s;
+    s.jaccard = 0.9 + rng.NextDouble() * 0.1;
+    s.same_dataset = rng.NextBool(0.5);
+    s.key_combo = kCombos[rng.NextBounded(kCombos.size())];
+    s.join_type = kTypes[rng.NextBounded(kTypes.size())];
+    s.expansion_ratio = std::pow(10.0, rng.NextDouble() * 3.0);  // 1..1000
+    const double base = join::ScoreSuggestion(s);
+    const std::string where = "signal case " + std::to_string(it);
+
+    if (base < 0.0 || base > 1.0) {
+      report.failures.push_back("score " + std::to_string(base) +
+                                " outside [0, 1] at " + where);
+      continue;
+    }
+    join::SuggestionSignals up = s;
+    up.jaccard = s.jaccard + rng.NextDouble() * (1.0 - s.jaccard);
+    if (join::ScoreSuggestion(up) + kEps < base) {
+      report.failures.push_back("raising jaccard lowered the score at " +
+                                where);
+      continue;
+    }
+    join::SuggestionSignals grown = s;
+    grown.expansion_ratio = s.expansion_ratio * (1.0 + rng.NextDouble() * 10);
+    if (join::ScoreSuggestion(grown) > base + kEps) {
+      report.failures.push_back("raising expansion raised the score at " +
+                                where);
+      continue;
+    }
+    join::SuggestionSignals provenance = s;
+    provenance.same_dataset = true;
+    join::SuggestionSignals foreign = s;
+    foreign.same_dataset = false;
+    if (join::ScoreSuggestion(provenance) + kEps <
+        join::ScoreSuggestion(foreign)) {
+      report.failures.push_back("same-dataset signal hurt the score at " +
+                                where);
+      continue;
+    }
+    std::array<double, 3> combo_scores;
+    for (size_t c = 0; c < kCombos.size(); ++c) {
+      join::SuggestionSignals keyed = s;
+      keyed.key_combo = kCombos[c];
+      combo_scores[c] = join::ScoreSuggestion(keyed);
+    }
+    if (combo_scores[0] + kEps < combo_scores[1] ||
+        combo_scores[1] + kEps < combo_scores[2]) {
+      report.failures.push_back(
+          "key-ness ordering (key-key >= key-nonkey >= nonkey-nonkey) "
+          "violated at " + where);
+      continue;
+    }
+    join::SuggestionSignals incremental = s;
+    incremental.join_type = table::DataType::kIncrementalInteger;
+    if (join::ScoreSuggestion(incremental) > base + kEps) {
+      report.failures.push_back(
+          "incremental-integer type beat type " +
+          std::string(table::DataTypeName(s.join_type)) + " at " + where);
+      continue;
+    }
+  }
+
+  // (b) Metamorphic key-key append law on real tables: LHS is a key
+  // column of n distinct strings; RHS and RHS' are key columns drawn
+  // from the LHS value set with RHS' a strict superset of RHS. Jaccard
+  // rises, both joins stay key-key with expansion <= 1 (zero penalty),
+  // every other signal is constant — so RHS' must outscore RHS.
+  for (size_t it = 0; it < options.iterations; ++it) {
+    ++report.cases;
+    const size_t n = 16 + rng.NextBounded(10);           // LHS distinct
+    const size_t m = 10 + rng.NextBounded(n - 11);       // 10 <= m <= n-2
+    const size_t k = 1 + rng.NextBounded(n - m - 1);     // m + k <= n
+    auto make_key_table = [&](const std::string& name, size_t count) {
+      std::vector<std::vector<std::string>> rows;
+      for (size_t v = 0; v < count; ++v) rows.push_back({"w" + std::to_string(v)});
+      auto t = table::Table::FromRecords(name, {"v"}, rows);
+      table::Table out = std::move(t).value();
+      out.set_dataset_id("d0");
+      return out;
+    };
+    std::vector<table::Table> tables;
+    tables.push_back(make_key_table("lhs", n));
+    tables.push_back(make_key_table("rhs", m));
+    tables.push_back(make_key_table("rhs_grown", m + k));
+    const join::JoinablePairFinder finder(tables);
+    const auto& sets = finder.column_sets();
+    const std::string where = "append case " + std::to_string(it) + " (n=" +
+                              std::to_string(n) + ", m=" + std::to_string(m) +
+                              ", k=" + std::to_string(k) + ")";
+    if (sets.size() != 3) {
+      report.failures.push_back("expected 3 eligible columns, got " +
+                                std::to_string(sets.size()) + " at " + where);
+      continue;
+    }
+    const join::ColumnValueSet* lhs = nullptr;
+    const join::ColumnValueSet* rhs = nullptr;
+    const join::ColumnValueSet* grown = nullptr;
+    for (const auto& set : sets) {
+      if (set.ref.table == 0) lhs = &set;
+      if (set.ref.table == 1) rhs = &set;
+      if (set.ref.table == 2) grown = &set;
+    }
+    const double j_small = join::JaccardSorted(lhs->tokens, rhs->tokens);
+    const double j_large = join::JaccardSorted(lhs->tokens, grown->tokens);
+    if (j_large <= j_small) {
+      report.failures.push_back("appended subset did not raise jaccard at " +
+                                where);
+      continue;
+    }
+    const double score_small = join::ScoreSuggestion(
+        join::ExtractSignals(tables, *lhs, *rhs, j_small));
+    const double score_large = join::ScoreSuggestion(
+        join::ExtractSignals(tables, *lhs, *grown, j_large));
+    if (score_large <= score_small) {
+      report.failures.push_back(
+          "key-key append did not raise the score (" +
+          std::to_string(score_small) + " -> " + std::to_string(score_large) +
+          ") at " + where);
+      continue;
+    }
+
+    // (c) The ranked list is sorted by its own scores, best first.
+    const auto pairs = finder.FindAllPairsBruteForce();
+    const auto ranked = join::RankSuggestions(tables, finder, pairs);
+    if (ranked.size() != pairs.size()) {
+      report.failures.push_back("ranking dropped pairs at " + where);
+      continue;
+    }
+    for (size_t i = 1; i < ranked.size(); ++i) {
+      if (ranked[i - 1].score + kEps < ranked[i].score) {
+        report.failures.push_back("ranked list not sorted by score at " +
+                                  where);
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// A tiny random portal + ground truth for snapshot chains: tables land in
+// the FD sample (5 columns, ~20 rows), record_id/period columns are
+// join-eligible (>= 10 distinct values) with cross-table overlap, and
+// shared headers produce unionable sets. A few dead links exercise the
+// failed-resource rendering.
+corpus::PortalSnapshot RandomSnapshotSeed(Rng& rng, size_t tag) {
+  static const std::array<const char*, 4> kTopics = {"health", "transport",
+                                                     "budget", "environment"};
+  static const std::array<const char*, 8> kRegions = {
+      "north", "south", "east", "west",
+      "central", "coastal", "highland", "island"};
+  corpus::PortalSnapshot snap;
+  snap.epoch = 0;
+  snap.portal.name = "T" + std::to_string(tag);
+
+  const size_t num_datasets = 2 + rng.NextBounded(3);
+  std::vector<std::string> prev_codes;  // reused value set: J = 1 pairs
+  for (size_t d = 0; d < num_datasets; ++d) {
+    core::Dataset ds;
+    ds.id = "ds" + std::to_string(d);
+    ds.topic = kTopics[rng.NextBounded(kTopics.size())];
+    ds.publication_year = 2016 + static_cast<int>(rng.NextBounded(8));
+    ds.metadata = rng.NextBool(0.5) ? core::MetadataPresence::kStructured
+                                    : core::MetadataPresence::kLacking;
+    const size_t num_resources = 1 + rng.NextBounded(3);
+    for (size_t r = 0; r < num_resources; ++r) {
+      const size_t rows = 20 + rng.NextBounded(2);
+      const bool reuse_codes = !prev_codes.empty() && rng.NextBool(0.4);
+      std::vector<std::string> codes;
+      if (reuse_codes) {
+        codes = prev_codes;
+        codes.resize(rows, prev_codes.front());
+      } else {
+        for (size_t i = 0; i < rows; ++i) {
+          codes.push_back("c" + std::to_string(rng.NextBounded(40)));
+        }
+      }
+      prev_codes = codes;
+
+      core::Resource res;
+      res.name = "r" + std::to_string(d) + "_" + std::to_string(r) + ".csv";
+      res.claimed_format = "CSV";
+      if (rng.NextBool(0.08)) {
+        res.downloadable = false;
+      } else {
+        std::string doc = "record_id,region,period,code,value\n";
+        for (size_t i = 0; i < rows; ++i) {
+          doc += std::to_string(i) + "," +
+                 kRegions[rng.NextBounded(kRegions.size())] + ",m" +
+                 std::to_string(i % 12) + "," + codes[i] + "," +
+                 std::to_string(rng.NextBounded(5000)) + "\n";
+        }
+        res.content = std::move(doc);
+      }
+
+      corpus::TableTruth tt;
+      tt.dataset_id = ds.id;
+      tt.table_name = res.name;
+      tt.topic = ds.topic;
+      const auto col = [&](const std::string& domain,
+                           corpus::ColumnTruth::Role role) {
+        corpus::ColumnTruth ct;
+        ct.domain = domain;
+        ct.role = role;
+        tt.columns.push_back(std::move(ct));
+      };
+      col(ds.id + ".row_id", corpus::ColumnTruth::Role::kId);
+      col("region.shared", corpus::ColumnTruth::Role::kPrimaryDimension);
+      col("period.shared", corpus::ColumnTruth::Role::kPrimaryDimension);
+      col(reuse_codes ? "code.shared" : ds.id + ".code",
+          corpus::ColumnTruth::Role::kAttribute);
+      col(ds.id + ".value", corpus::ColumnTruth::Role::kMeasure);
+      snap.truth.AddTable(std::move(tt));
+
+      ds.resources.push_back(std::move(res));
+    }
+    snap.portal.datasets.push_back(std::move(ds));
+  }
+  return snap;
+}
+
+// First differing position of two renders, escaped for a one-line message.
+std::string DescribeRenderDiff(const std::string& want,
+                               const std::string& got) {
+  size_t pos = 0;
+  while (pos < want.size() && pos < got.size() && want[pos] == got[pos]) {
+    ++pos;
+  }
+  const size_t from = pos < 24 ? 0 : pos - 24;
+  return "renders diverge at byte " + std::to_string(pos) + ": \"" +
+         EscapeForLog(std::string_view(want).substr(from, 72)) + "\" vs \"" +
+         EscapeForLog(std::string_view(got).substr(from, 72)) + "\"";
+}
+
+}  // namespace
+
+OracleReport CheckIncrementalEquivalence(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "incremental_equivalence";
+
+  Rng rng = Rng(options.seed).Fork("incremental_equivalence");
+  const size_t ambient_threads = util::GlobalThreadCount();
+  const std::array<size_t, 3> thread_cycle = {1, 2, ambient_threads};
+  constexpr size_t kEpochs = 3;
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    util::SetGlobalThreadCount(thread_cycle[it % thread_cycle.size()]);
+    // Alternate an unlimited cache with a 1-byte one that declines every
+    // store: declines must only turn replays back into recomputes.
+    const size_t cache_budget =
+        it % 2 == 0 ? fd::kUnlimitedFdMemoryBudget : 1;
+
+    corpus::ChurnProfile churn;
+    churn.seed = options.seed ^ (it * 0x9e3779b97f4a7c15ULL);
+    churn.dataset_add_rate = 0.3;
+    churn.dataset_remove_rate = 0.15;
+    churn.resource_update_rate = 0.5;
+    churn.resource_rename_rate = 0.25;
+
+    core::AnalysisSuiteOptions suite;
+    // Unlimited FD budget: replayed governor telemetry (declines, lease
+    // peaks) is then a pure function of table content.
+    suite.fd_memory_budget_bytes = fd::kUnlimitedFdMemoryBudget;
+    core::IngestOptions ingest;
+    ingest.faults = fetch::FaultProfile{};  // explicit: env-proof
+
+    corpus::PortalSnapshot snap = RandomSnapshotSeed(rng, it);
+    core::IncrementalState state(cache_budget);
+    for (size_t e = 0; e < kEpochs; ++e) {
+      if (e > 0) snap = corpus::AdvanceEpoch(snap, churn, e);
+      ++report.cases;
+      const std::string where = "case " + std::to_string(it) + " epoch " +
+                                std::to_string(e) + " (threads=" +
+                                std::to_string(util::GlobalThreadCount()) +
+                                ", budget=" +
+                                (cache_budget == 1 ? "1B" : "unlimited") + ")";
+
+      core::PortalBundle scratch;
+      scratch.name = snap.portal.name;
+      scratch.portal = snap.portal;
+      scratch.truth = snap.truth;
+      scratch.ingest = core::IngestPortal(snap.portal, ingest);
+      const core::PortalAnalysis full = core::RunFullAnalysis(scratch, suite);
+
+      const core::IncrementalResult inc =
+          core::RunIncrementalAnalysis(state, snap, suite, ingest);
+
+      const std::string want = core::RenderPortalAnalysis(full);
+      const std::string got = core::RenderPortalAnalysis(inc.analysis);
+      if (want != got) {
+        report.failures.push_back("incremental != from-scratch at " + where +
+                                  ": " + DescribeRenderDiff(want, got));
+        break;
+      }
+      // Depth beyond the render: the raw distributions behind the figures.
+      if (full.fds.decomposition_counts !=
+              inc.analysis.fds.decomposition_counts ||
+          full.fds.table_lease_peaks != inc.analysis.fds.table_lease_peaks ||
+          full.joins.expansion_ratios != inc.analysis.joins.expansion_ratios) {
+        report.failures.push_back(
+            "unrendered report fields diverge at " + where);
+        break;
+      }
+      // Conservation laws of the reuse accounting.
+      const core::IncrementalStats& st = inc.stats;
+      if (st.tables_clean + st.tables_dirty != st.tables_total ||
+          st.tables_total != inc.bundle.ingest.tables.size()) {
+        report.failures.push_back("table accounting broken at " + where);
+        break;
+      }
+      if (!inc.analysis.degraded &&
+          st.pairs_carried + st.pairs_recomputed !=
+              inc.analysis.joins.total_pairs) {
+        report.failures.push_back(
+            "carried + re-verified pairs != total pairs at " + where);
+        break;
+      }
+      if (e == 0 && st.tables_clean != 0) {
+        report.failures.push_back("first epoch claims clean tables at " +
+                                  where);
+        break;
+      }
+    }
+  }
+  util::SetGlobalThreadCount(ambient_threads);
+  return report;
+}
+
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
   return {CheckCsvRoundTrip(options),
           CheckFdDifferential(options),
@@ -1215,7 +1565,9 @@ std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
           CheckCleaningIdempotence(options),
           CheckUnionFinderDifferential(options),
           CheckHeaderModalWidth(options),
-          CheckFetchEquivalence(options)};
+          CheckFetchEquivalence(options),
+          CheckJoinRankerMonotonicity(options),
+          CheckIncrementalEquivalence(options)};
 }
 
 }  // namespace ogdp::check

@@ -102,6 +102,28 @@ OracleReport CheckHeaderModalWidth(const OracleOptions& options);
 /// failed resources' fault-free stages and the bucket sums intact.
 OracleReport CheckFetchEquivalence(const OracleOptions& options);
 
+/// Monotonicity oracle over the join-suggestion ranker. The naive law
+/// "higher Jaccard ranks higher" is false overall — the expansion
+/// penalty can dominate — so the oracle checks the properties that do
+/// hold: (a) per-signal monotonicity of `ScoreSuggestion` (Jaccard up,
+/// score up; expansion up, score down; same-dataset, key-ness, and
+/// non-incremental types never hurt; scores stay in [0, 1]); (b) a
+/// metamorphic key-key append law on real tables — growing a key RHS
+/// column with more of the LHS key's values raises Jaccard while the
+/// expansion penalty provably stays zero, so the score must strictly
+/// rise; and (c) `RankSuggestions` output is sorted by its own scores.
+OracleReport CheckJoinRankerMonotonicity(const OracleOptions& options);
+
+/// Equivalence oracle for incremental re-analysis: over random portal
+/// snapshot chains (aggressive churn: appends, edits, schema drift,
+/// renames, dataset add/remove), `RunIncrementalAnalysis` must render
+/// byte-identically to a from-scratch `RunFullAnalysis` at every epoch —
+/// across thread counts and cache budgets (including a 1-byte budget
+/// that declines every store). Also checks the reuse accounting's
+/// conservation laws (clean + dirty = total, carried + re-verified =
+/// total pairs).
+OracleReport CheckIncrementalEquivalence(const OracleOptions& options);
+
 /// Runs all oracles in a fixed order.
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options);
 

@@ -1,9 +1,11 @@
 #include "core/analysis.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "compress/codec.h"
+#include "core/analysis_cache.h"
 #include "fd/bcnf.h"
 #include "fd/candidate_keys.h"
 #include "fd/fd_miner.h"
@@ -108,23 +110,48 @@ std::vector<size_t> BySizeDescending(const std::vector<table::Table>& tables,
   });
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 KeyReport ComputeKeyReport(const std::vector<table::Table>& tables,
-                           const std::vector<size_t>& sample) {
+                           const std::vector<size_t>& sample,
+                           AnalysisCache* cache) {
   // Per-table outcome: -2 = skipped, -1 = no key of size <= 3, else the
-  // minimum key size. Mined in parallel, folded in sample order.
+  // minimum key size. Mined in parallel, folded in sample order. The
+  // outcome is a pure function of table content, so the cache replays it
+  // by content hash.
   std::vector<int> outcomes(sample.size(), -2);
   const std::vector<size_t> schedule = BySizeDescending(tables, sample);
   util::ParallelFor(
       0, sample.size(),
       [&](size_t s) {
         const size_t k = schedule[s];
-        auto keys = fd::FindCandidateKeys(tables[sample[k]], 3);
-        if (!keys.ok()) return;
-        outcomes[k] = keys->min_key_size.has_value()
-                          ? static_cast<int>(*keys->min_key_size)
-                          : -1;
+        const table::Table& t = tables[sample[k]];
+        const uint64_t chash = t.content_hash();
+        const bool cacheable = cache != nullptr && chash != 0;
+        if (cacheable) {
+          if (auto hit = cache->FindKeys(KeyCacheKey(chash))) {
+            outcomes[k] = hit->outcome;
+            return;
+          }
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        auto keys = fd::FindCandidateKeys(t, 3);
+        if (keys.ok()) {
+          outcomes[k] = keys->min_key_size.has_value()
+                            ? static_cast<int>(*keys->min_key_size)
+                            : -1;
+        }
+        if (cacheable) {
+          KeyArtifact artifact;
+          artifact.outcome = outcomes[k];
+          artifact.compute_seconds = SecondsSince(t0);
+          cache->StoreKeys(KeyCacheKey(chash), std::move(artifact));
+        }
       },
       /*grain=*/1);
 
@@ -147,7 +174,8 @@ KeyReport ComputeKeyReport(const std::vector<table::Table>& tables,
 
 FdReport ComputeFdReport(const std::vector<table::Table>& tables,
                          const std::vector<size_t>& sample, uint64_t seed,
-                         size_t fd_memory_budget_bytes) {
+                         size_t fd_memory_budget_bytes,
+                         AnalysisCache* cache) {
   // One corpus-wide partition memory pool for the whole sample: every
   // per-table worker (mining and decomposition re-mining alike) leases
   // its retained O(rows) structures from it, so the sample's total
@@ -185,34 +213,73 @@ FdReport ComputeFdReport(const std::vector<table::Table>& tables,
         const size_t i = sample[k];
         const table::Table& t = tables[i];
         TableOutcome& out = outcomes[k];
+        const uint64_t chash = t.content_hash();
+        const bool cacheable = cache != nullptr && chash != 0;
+        if (cacheable) {
+          if (auto hit = cache->FindFd(FdCacheKey(chash, seed))) {
+            out.mined = hit->mined;
+            out.columns = hit->columns;
+            out.has_fd = hit->has_fd;
+            out.has_lhs1_fd = hit->has_lhs1_fd;
+            out.decomp_count = hit->decomp_count;
+            out.partition_cols = hit->partition_cols;
+            out.gains = hit->gains;
+            out.lease_peak = hit->lease_peak;
+            out.declines = hit->declines;
+            out.rebuilds = hit->rebuilds;
+            return;
+          }
+        }
+        const auto t0 = std::chrono::steady_clock::now();
         fd::FdMinerOptions miner;
         miner.memory_governor = &governor;
         auto mined = fd::MineFun(t, miner);
-        if (!mined.ok()) return;
-        out.mined = true;
-        out.columns = t.num_columns();
-        out.lease_peak = mined->stats.lease_peak_bytes;
-        out.declines = mined->stats.partition_declines;
-        out.rebuilds = mined->stats.partition_rebuilds;
-        if (mined->fds.empty()) return;
-        out.has_fd = true;
-        for (const auto& f : mined->fds) {
-          if (fd::SetSize(f.lhs) == 1) {
-            out.has_lhs1_fd = true;
-            break;
+        if (mined.ok()) {
+          out.mined = true;
+          out.columns = t.num_columns();
+          out.lease_peak = mined->stats.lease_peak_bytes;
+          out.declines = mined->stats.partition_declines;
+          out.rebuilds = mined->stats.partition_rebuilds;
+          if (!mined->fds.empty()) {
+            out.has_fd = true;
+            for (const auto& f : mined->fds) {
+              if (fd::SetSize(f.lhs) == 1) {
+                out.has_lhs1_fd = true;
+                break;
+              }
+            }
+            fd::BcnfOptions bcnf;
+            bcnf.miner.memory_governor = &governor;
+            // Seed the decomposition from content, not sample position:
+            // the decomposition of a table is then stable across corpus
+            // recompositions, which is what makes it cacheable.
+            bcnf.seed = seed ^ chash;
+            auto decomp = fd::DecomposeToBcnf(t, bcnf);
+            if (decomp.ok()) {
+              out.decomp_count = decomp->tables.size();
+              if (decomp->tables.size() > 1) {
+                for (const table::Table& sub : decomp->tables) {
+                  out.partition_cols.push_back(sub.num_columns());
+                }
+                out.gains = fd::UniquenessGains(t, *decomp);
+              }
+            }
           }
         }
-        fd::BcnfOptions bcnf;
-        bcnf.miner.memory_governor = &governor;
-        bcnf.seed = seed ^ (i * 0x9e3779b97f4a7c15ULL);
-        auto decomp = fd::DecomposeToBcnf(t, bcnf);
-        if (!decomp.ok()) return;
-        out.decomp_count = decomp->tables.size();
-        if (decomp->tables.size() > 1) {
-          for (const table::Table& sub : decomp->tables) {
-            out.partition_cols.push_back(sub.num_columns());
-          }
-          out.gains = fd::UniquenessGains(t, *decomp);
+        if (cacheable) {
+          FdArtifact artifact;
+          artifact.mined = out.mined;
+          artifact.columns = out.columns;
+          artifact.has_fd = out.has_fd;
+          artifact.has_lhs1_fd = out.has_lhs1_fd;
+          artifact.decomp_count = out.decomp_count;
+          artifact.partition_cols = out.partition_cols;
+          artifact.gains = out.gains;
+          artifact.lease_peak = out.lease_peak;
+          artifact.declines = out.declines;
+          artifact.rebuilds = out.rebuilds;
+          artifact.compute_seconds = SecondsSince(t0);
+          cache->StoreFd(FdCacheKey(chash, seed), std::move(artifact));
         }
       },
       /*grain=*/1);
@@ -357,11 +424,25 @@ std::vector<LabeledJoinPair> LabelJoinSample(
 }
 
 UnionReport ComputeUnionReport(const PortalBundle& bundle,
-                               size_t sample_pairs, uint64_t seed) {
+                               size_t sample_pairs, uint64_t seed,
+                               AnalysisCache* cache) {
   UnionReport r;
   const auto& tables = bundle.ingest.tables;
   r.total_tables = tables.size();
-  tunion::UnionableFinder finder(tables);
+  std::vector<uint64_t> fps;
+  if (cache != nullptr) {
+    fps.resize(tables.size());
+    for (size_t i = 0; i < tables.size(); ++i) {
+      const uint64_t chash = tables[i].content_hash();
+      const uint64_t key = FingerprintCacheKey(chash);
+      if (chash != 0 && cache->FindFingerprint(key, &fps[i])) continue;
+      fps[i] = tables[i].GetSchema().Fingerprint();
+      if (chash != 0) cache->StoreFingerprint(key, fps[i]);
+    }
+  }
+  tunion::UnionableFinder finder(
+      tables, cache != nullptr ? &fps : nullptr,
+      cache != nullptr ? &cache->governor() : nullptr);
   r.unionable_tables = finder.unionable_table_count();
   r.unique_schemas = finder.unique_schema_count();
   r.avg_tables_per_schema =

@@ -18,6 +18,8 @@
 
 namespace ogdp::core {
 
+class AnalysisCache;
+
 /// One portal's generated data plus its ingested tables: the unit every
 /// experiment below consumes.
 struct PortalBundle {
@@ -87,8 +89,12 @@ struct KeyReport {
   size_t total = 0;
 };
 
+/// `cache`: optional content-addressed artifact cache (incremental mode);
+/// per-table outcomes are replayed on hit and stored on miss. Results are
+/// byte-identical with and without a cache at any budget.
 KeyReport ComputeKeyReport(const std::vector<table::Table>& tables,
-                           const std::vector<size_t>& sample);
+                           const std::vector<size_t>& sample,
+                           AnalysisCache* cache = nullptr);
 
 /// FD prevalence and BCNF decomposition statistics (Table 5, Fig. 7).
 struct FdReport {
@@ -119,10 +125,14 @@ struct FdReport {
 /// from `OGDP_FD_MEM_BUDGET` or the sample footprint (see
 /// fd::ResolveFdMemoryBudget); fd::kUnlimitedFdMemoryBudget disables the
 /// budget. Mined results are byte-identical at every budget.
+/// `cache`: optional content-addressed artifact cache; a hit replays the
+/// recorded mining + BCNF outcome (including the per-table governor
+/// telemetry) instead of re-mining.
 FdReport ComputeFdReport(const std::vector<table::Table>& tables,
                          const std::vector<size_t>& sample,
                          uint64_t seed = 7,
-                         size_t fd_memory_budget_bytes = 0);
+                         size_t fd_memory_budget_bytes = 0,
+                         AnalysisCache* cache = nullptr);
 
 // ------------------------------------------------------- Table 6 / Fig 8
 
@@ -186,8 +196,12 @@ struct UnionReport {
   std::vector<LabeledPair> labeled_sample;
 };
 
+/// `cache`: optional content-addressed cache; schema fingerprints are
+/// replayed per table content hash and the finder's retained state is
+/// charged to the cache's governor pool.
 UnionReport ComputeUnionReport(const PortalBundle& bundle,
-                               size_t sample_pairs = 25, uint64_t seed = 11);
+                               size_t sample_pairs = 25, uint64_t seed = 11,
+                               AnalysisCache* cache = nullptr);
 
 }  // namespace ogdp::core
 

@@ -1,0 +1,164 @@
+#include "core/analysis_cache.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace ogdp::core {
+
+namespace {
+
+size_t ParseArtifactBytes(const ParseArtifact& a) {
+  size_t bytes = sizeof(ParseArtifact) + a.status.message().size();
+  if (a.table != nullptr) bytes += a.table->MemoryUsage();
+  return bytes;
+}
+
+size_t KeyArtifactBytes(const KeyArtifact&) { return sizeof(KeyArtifact); }
+
+size_t FdArtifactBytes(const FdArtifact& a) {
+  return sizeof(FdArtifact) + a.partition_cols.size() * sizeof(size_t) +
+         a.gains.size() * sizeof(double);
+}
+
+size_t SignatureArtifactBytes(const SignatureArtifact& a) {
+  return sizeof(SignatureArtifact) +
+         a.signature.values.size() * sizeof(uint64_t);
+}
+
+}  // namespace
+
+AnalysisCache::AnalysisCache(size_t budget_override)
+    : governor_(ResolveCacheBudget(budget_override)) {}
+
+template <typename T>
+std::shared_ptr<const T> AnalysisCache::Find(
+    std::map<uint64_t, std::shared_ptr<const T>>& store, uint64_t key,
+    CacheKindStats& kind, size_t bytes_of_artifact(const T&)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = store.find(key);
+  if (it == store.end()) {
+    ++kind.misses;
+    return nullptr;
+  }
+  ++kind.hits;
+  kind.hit_bytes += bytes_of_artifact(*it->second);
+  kind.saved_seconds += it->second->compute_seconds;
+  return it->second;
+}
+
+template <typename T>
+void AnalysisCache::Store(
+    std::map<uint64_t, std::shared_ptr<const T>>& store, uint64_t key,
+    T artifact, CacheKindStats& kind, size_t bytes_of_artifact(const T&)) {
+  const size_t bytes = bytes_of_artifact(artifact);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store.count(key) != 0) return;  // concurrent duplicate: first wins
+  if (!governor_.TryReserve(bytes)) {
+    ++kind.declines;
+    return;
+  }
+  store.emplace(key, std::make_shared<const T>(std::move(artifact)));
+  ++kind.stores;
+}
+
+std::shared_ptr<const ParseArtifact> AnalysisCache::FindParse(uint64_t key) {
+  return Find(parse_, key, stats_.parse, ParseArtifactBytes);
+}
+void AnalysisCache::StoreParse(uint64_t key, ParseArtifact artifact) {
+  Store(parse_, key, std::move(artifact), stats_.parse, ParseArtifactBytes);
+}
+
+std::shared_ptr<const KeyArtifact> AnalysisCache::FindKeys(uint64_t key) {
+  return Find(keys_, key, stats_.keys, KeyArtifactBytes);
+}
+void AnalysisCache::StoreKeys(uint64_t key, KeyArtifact artifact) {
+  Store(keys_, key, std::move(artifact), stats_.keys, KeyArtifactBytes);
+}
+
+std::shared_ptr<const FdArtifact> AnalysisCache::FindFd(uint64_t key) {
+  return Find(fd_, key, stats_.fd, FdArtifactBytes);
+}
+void AnalysisCache::StoreFd(uint64_t key, FdArtifact artifact) {
+  Store(fd_, key, std::move(artifact), stats_.fd, FdArtifactBytes);
+}
+
+std::shared_ptr<const SignatureArtifact> AnalysisCache::FindSignature(
+    uint64_t key) {
+  return Find(signature_, key, stats_.signature, SignatureArtifactBytes);
+}
+void AnalysisCache::StoreSignature(uint64_t key, SignatureArtifact artifact) {
+  Store(signature_, key, std::move(artifact), stats_.signature,
+        SignatureArtifactBytes);
+}
+
+bool AnalysisCache::FindFingerprint(uint64_t key, uint64_t* fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fingerprint_.find(key);
+  if (it == fingerprint_.end()) {
+    ++stats_.fingerprint.misses;
+    return false;
+  }
+  ++stats_.fingerprint.hits;
+  stats_.fingerprint.hit_bytes += 2 * sizeof(uint64_t);
+  *fingerprint = it->second;
+  return true;
+}
+
+void AnalysisCache::StoreFingerprint(uint64_t key, uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fingerprint_.count(key) != 0) return;
+  if (!governor_.TryReserve(2 * sizeof(uint64_t))) {
+    ++stats_.fingerprint.declines;
+    return;
+  }
+  fingerprint_.emplace(key, fingerprint);
+  ++stats_.fingerprint.stores;
+}
+
+AnalysisCacheStats AnalysisCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t DefaultCacheBudget() { return size_t{256} << 20; }
+
+size_t ResolveCacheBudget(size_t override_bytes) {
+  if (override_bytes == fd::kUnlimitedFdMemoryBudget) return 0;
+  if (override_bytes != 0) return override_bytes;
+  size_t env_budget = 0;
+  if (fd::MemoryBudgetFromEnv("OGDP_CACHE_BUDGET", &env_budget)) {
+    return env_budget;
+  }
+  return DefaultCacheBudget();
+}
+
+uint64_t ParseCacheKey(const std::string& body, size_t max_columns,
+                       size_t header_scan_rows) {
+  uint64_t key = HashCombine(Fnv1a64(body), 0x9a25);  // kind tag
+  key = HashCombine(key, max_columns);
+  return HashCombine(key, header_scan_rows);
+}
+
+uint64_t KeyCacheKey(uint64_t content_hash) {
+  return HashCombine(content_hash, 0x4be1);
+}
+
+uint64_t FdCacheKey(uint64_t content_hash, uint64_t seed) {
+  return HashCombine(HashCombine(content_hash, 0xfd01), seed);
+}
+
+uint64_t SignatureCacheKey(uint64_t content_hash, size_t column,
+                           const join::MinHashOptions& options) {
+  uint64_t key = HashCombine(content_hash, 0x5162);
+  key = HashCombine(key, column);
+  key = HashCombine(key, options.num_hashes);
+  key = HashCombine(key, options.bands);
+  return HashCombine(key, options.seed);
+}
+
+uint64_t FingerprintCacheKey(uint64_t content_hash) {
+  return HashCombine(content_hash, 0xf1f6);
+}
+
+}  // namespace ogdp::core

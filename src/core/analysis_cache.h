@@ -1,0 +1,176 @@
+#ifndef OGDP_CORE_ANALYSIS_CACHE_H_
+#define OGDP_CORE_ANALYSIS_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fd/memory_governor.h"
+#include "join/minhash.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace ogdp::core {
+
+/// Cached outcome of the pure parse stages (sniff -> parse -> header
+/// inference -> cleaning -> typed table) for one fetched body. Only
+/// name-independent terminal stages are cached; the table is stored with
+/// its name and dataset id cleared and both are re-applied on hit.
+struct ParseArtifact {
+  /// kReadable or kRemovedWide (the two cacheable terminal stages).
+  int stage = 0;
+  Status status;
+  size_t trailing_removed = 0;
+  std::shared_ptr<const table::Table> table;  // null for removed-wide
+  double compute_seconds = 0;
+};
+
+/// Cached per-table key-search outcome: the ComputeKeyReport encoding
+/// (-2 skipped / -1 no key up to size 3 / else minimal key size).
+struct KeyArtifact {
+  int outcome = -2;
+  double compute_seconds = 0;
+};
+
+/// Cached per-table FD mining + BCNF decomposition outcome — the exact
+/// fields ComputeFdReport folds into its report, plus the recorded
+/// governor telemetry (byte-identical on replay at non-declining
+/// budgets, where declines/rebuilds are zero and lease peaks are a
+/// function of table content alone).
+struct FdArtifact {
+  bool mined = false;
+  size_t columns = 0;
+  bool has_fd = false;
+  bool has_lhs1_fd = false;
+  size_t decomp_count = 1;
+  std::vector<size_t> partition_cols;
+  std::vector<double> gains;
+  size_t lease_peak = 0;
+  size_t declines = 0;
+  size_t rebuilds = 0;
+  double compute_seconds = 0;
+};
+
+/// Cached value-based MinHash signature of one column (tokens are hashes
+/// of the distinct value strings, so the signature is a pure function of
+/// column content — unlike the finder's corpus-relative token ids).
+struct SignatureArtifact {
+  join::MinHashSignature signature;
+  double compute_seconds = 0;
+};
+
+/// Per-kind hit/miss accounting.
+struct CacheKindStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t stores = 0;
+  size_t declines = 0;       // stores the governor refused
+  size_t hit_bytes = 0;      // artifact bytes served from cache
+  double saved_seconds = 0;  // recorded compute time of served artifacts
+};
+
+struct AnalysisCacheStats {
+  CacheKindStats parse;
+  CacheKindStats keys;
+  CacheKindStats fd;
+  CacheKindStats signature;
+  CacheKindStats fingerprint;
+
+  size_t total_hits() const {
+    return parse.hits + keys.hits + fd.hits + signature.hits +
+           fingerprint.hits;
+  }
+  size_t total_hit_bytes() const {
+    return parse.hit_bytes + keys.hit_bytes + fd.hit_bytes +
+           signature.hit_bytes + fingerprint.hit_bytes;
+  }
+  size_t total_declines() const {
+    return parse.declines + keys.declines + fd.declines +
+           signature.declines + fingerprint.declines;
+  }
+};
+
+/// Content-addressed store of per-table analysis artifacts (DESIGN.md
+/// §10). Keys combine a table's content hash with an options fingerprint;
+/// every resident artifact is charged against an `fd::MemoryGovernor`
+/// pool, and a declined charge simply skips the store — the caller
+/// recomputes, with byte-identical results, so the budget bounds memory
+/// without ever changing output.
+///
+/// Thread-safe: ingestion's parallel parse stage and the per-table
+/// analysis workers all share one instance.
+class AnalysisCache {
+ public:
+  /// `budget_override` resolution: non-zero wins
+  /// (`fd::kUnlimitedFdMemoryBudget` = no line), else `OGDP_CACHE_BUDGET`
+  /// from the environment, else `DefaultCacheBudget()`.
+  explicit AnalysisCache(size_t budget_override = 0);
+
+  AnalysisCache(const AnalysisCache&) = delete;
+  AnalysisCache& operator=(const AnalysisCache&) = delete;
+
+  std::shared_ptr<const ParseArtifact> FindParse(uint64_t key);
+  void StoreParse(uint64_t key, ParseArtifact artifact);
+
+  std::shared_ptr<const KeyArtifact> FindKeys(uint64_t key);
+  void StoreKeys(uint64_t key, KeyArtifact artifact);
+
+  std::shared_ptr<const FdArtifact> FindFd(uint64_t key);
+  void StoreFd(uint64_t key, FdArtifact artifact);
+
+  std::shared_ptr<const SignatureArtifact> FindSignature(uint64_t key);
+  void StoreSignature(uint64_t key, SignatureArtifact artifact);
+
+  /// Union schema fingerprints (16 bytes each; `found` distinguishes a
+  /// miss from a cached zero).
+  bool FindFingerprint(uint64_t key, uint64_t* fingerprint);
+  void StoreFingerprint(uint64_t key, uint64_t fingerprint);
+
+  AnalysisCacheStats stats() const;
+  fd::MemoryGovernor& governor() { return governor_; }
+  const fd::MemoryGovernor& governor() const { return governor_; }
+
+ private:
+  template <typename T>
+  std::shared_ptr<const T> Find(
+      std::map<uint64_t, std::shared_ptr<const T>>& store, uint64_t key,
+      CacheKindStats& kind, size_t bytes_of_artifact(const T&));
+  template <typename T>
+  void Store(std::map<uint64_t, std::shared_ptr<const T>>& store,
+             uint64_t key, T artifact, CacheKindStats& kind,
+             size_t bytes_of_artifact(const T&));
+
+  fd::MemoryGovernor governor_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<const ParseArtifact>> parse_;
+  std::map<uint64_t, std::shared_ptr<const KeyArtifact>> keys_;
+  std::map<uint64_t, std::shared_ptr<const FdArtifact>> fd_;
+  std::map<uint64_t, std::shared_ptr<const SignatureArtifact>> signature_;
+  std::map<uint64_t, uint64_t> fingerprint_;
+  AnalysisCacheStats stats_;
+};
+
+/// Default cache budget: 256 MiB — roughly one scale-0.25 corpus of
+/// parsed tables plus its mining artifacts.
+size_t DefaultCacheBudget();
+
+/// Budget resolution for the cache pool (override > `OGDP_CACHE_BUDGET`
+/// env > default); same convention as `ResolveFdMemoryBudget`.
+size_t ResolveCacheBudget(size_t override_bytes);
+
+/// Cache key builders (shared by ingestion/analysis/incremental so every
+/// consumer derives identical keys).
+uint64_t ParseCacheKey(const std::string& body, size_t max_columns,
+                       size_t header_scan_rows);
+uint64_t KeyCacheKey(uint64_t content_hash);
+uint64_t FdCacheKey(uint64_t content_hash, uint64_t seed);
+uint64_t SignatureCacheKey(uint64_t content_hash, size_t column,
+                           const join::MinHashOptions& options);
+uint64_t FingerprintCacheKey(uint64_t content_hash);
+
+}  // namespace ogdp::core
+
+#endif  // OGDP_CORE_ANALYSIS_CACHE_H_

@@ -10,15 +10,15 @@
 
 namespace ogdp::core {
 
-namespace {
+namespace internal {
 
 // Containment wrapper: runs one report stage, recording a per-stage
 // Status instead of letting a poisoned table abort the corpus run. The
 // forced-failure hook stands in for "this stage's computation blew up"
 // in tests and fault drills.
-template <typename Fn>
-void RunStage(PortalAnalysis& a, const AnalysisSuiteOptions& options,
-              const std::string& name, Fn&& fn) {
+void RunAnalysisStage(PortalAnalysis& a, const AnalysisSuiteOptions& options,
+                      const std::string& name,
+                      const std::function<void()>& fn) {
   StageStatus st;
   st.stage = name;
   const bool forced =
@@ -40,6 +40,17 @@ void RunStage(PortalAnalysis& a, const AnalysisSuiteOptions& options,
   }
   a.degraded |= st.degraded;
   a.stages.push_back(std::move(st));
+}
+
+}  // namespace internal
+
+namespace {
+
+// Local shorthand keeping RunFullAnalysis call sites unchanged.
+template <typename Fn>
+void RunStage(PortalAnalysis& a, const AnalysisSuiteOptions& options,
+              const std::string& name, Fn&& fn) {
+  internal::RunAnalysisStage(a, options, name, std::function<void()>(fn));
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #ifndef OGDP_CORE_ANALYSIS_SUITE_H_
 #define OGDP_CORE_ANALYSIS_SUITE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,20 @@ struct PortalAnalysis {
 /// pipeline.
 PortalAnalysis RunFullAnalysis(const PortalBundle& bundle,
                                const AnalysisSuiteOptions& options = {});
+
+namespace internal {
+
+/// The containment wrapper RunFullAnalysis applies to each report stage:
+/// runs `fn`, converting a thrown exception (or a forced failure listed
+/// in `options.fail_stages`) into a recorded degraded StageStatus.
+/// Exposed so the incremental runner (incremental.h) produces stage
+/// records byte-identical to the from-scratch pipeline's.
+void RunAnalysisStage(PortalAnalysis& analysis,
+                      const AnalysisSuiteOptions& options,
+                      const std::string& name,
+                      const std::function<void()>& fn);
+
+}  // namespace internal
 
 /// Renders the analysis as a compact multi-section plain-text report.
 /// Fetch/retry telemetry rows are included by default; pass false to

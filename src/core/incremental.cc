@@ -1,0 +1,271 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "core/report_format.h"
+#include "join/minhash.h"
+#include "profile/portal_stats.h"
+#include "util/string_util.h"
+
+namespace ogdp::core {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Marks each current table clean when its content hash claims a distinct
+// previous-epoch table (injective: a hash shared by k current tables can
+// only claim k previous tables). Fills `prev_to_new` with the claimed
+// mapping (SIZE_MAX = unclaimed) so previous pairs can be re-indexed.
+void MatchTablesByContent(const std::vector<table::Table>& tables,
+                          const std::vector<uint64_t>& prev_hashes,
+                          std::vector<uint8_t>& dirty,
+                          std::vector<size_t>& prev_to_new) {
+  constexpr size_t kUnclaimed = static_cast<size_t>(-1);
+  prev_to_new.assign(prev_hashes.size(), kUnclaimed);
+  std::unordered_map<uint64_t, std::vector<size_t>> by_hash;
+  for (size_t p = 0; p < prev_hashes.size(); ++p) {
+    if (prev_hashes[p] != 0) by_hash[prev_hashes[p]].push_back(p);
+  }
+  std::unordered_map<uint64_t, size_t> cursor;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const uint64_t h = tables[i].content_hash();
+    if (h == 0) continue;
+    auto it = by_hash.find(h);
+    if (it == by_hash.end()) continue;
+    size_t& next = cursor[h];
+    if (next >= it->second.size()) continue;  // all identical copies claimed
+    prev_to_new[it->second[next++]] = i;
+    dirty[i] = 0;
+  }
+}
+
+}  // namespace
+
+std::string RenderIncrementalStats(const IncrementalStats& s) {
+  std::string out =
+      "-- incremental epoch " + FormatCount(s.epoch) + " --\n";
+  TextTable t({"counter", "value"});
+  t.AddRow({"resources added/updated/removed/unchanged",
+            FormatCount(s.resources_added) + " / " +
+                FormatCount(s.resources_updated) + " / " +
+                FormatCount(s.resources_removed) + " / " +
+                FormatCount(s.resources_unchanged)});
+  t.AddRow({"renames detected", FormatCount(s.renames_detected)});
+  t.AddRow({"tables clean / dirty / total",
+            FormatCount(s.tables_clean) + " / " +
+                FormatCount(s.tables_dirty) + " / " +
+                FormatCount(s.tables_total)});
+  t.AddRow({"parse reused / recomputed",
+            FormatCount(s.parse_reused) + " / " +
+                FormatCount(s.parse_recomputed)});
+  t.AddRow({"keys reused / recomputed",
+            FormatCount(s.keys_reused) + " / " +
+                FormatCount(s.keys_recomputed)});
+  t.AddRow({"FDs reused / re-mined",
+            FormatCount(s.fd_reused) + " / " + FormatCount(s.fd_recomputed)});
+  t.AddRow({"signatures reused / recomputed",
+            FormatCount(s.signatures_reused) + " / " +
+                FormatCount(s.signatures_recomputed)});
+  t.AddRow({"fingerprints reused / recomputed",
+            FormatCount(s.fingerprints_reused) + " / " +
+                FormatCount(s.fingerprints_recomputed)});
+  t.AddRow({"join pairs carried / re-verified",
+            FormatCount(s.pairs_carried) + " / " +
+                FormatCount(s.pairs_recomputed)});
+  t.AddRow({"cache hit bytes", FormatBytes(s.cache_hit_bytes)});
+  t.AddRow({"cache declines", FormatCount(s.cache_declines)});
+  t.AddRow({"saved seconds (parse / keys / FDs)",
+            FormatDouble(s.saved_parse_seconds, 3) + " / " +
+                FormatDouble(s.saved_keys_seconds, 3) + " / " +
+                FormatDouble(s.saved_fd_seconds, 3)});
+  t.AddRow({"epoch seconds", FormatDouble(s.epoch_seconds, 3)});
+  return out + t.Render();
+}
+
+IncrementalResult RunIncrementalAnalysis(IncrementalState& state,
+                                         const corpus::PortalSnapshot& snapshot,
+                                         const AnalysisSuiteOptions& options,
+                                         const IngestOptions& ingest_options) {
+  const auto epoch_t0 = std::chrono::steady_clock::now();
+  const AnalysisCacheStats before = state.cache.stats();
+
+  IncrementalResult result;
+  IncrementalStats& stats = result.stats;
+  stats.epoch = snapshot.epoch;
+
+  // Resource-level delta, for the reuse accounting only (the cache keys
+  // on content, not on the diff).
+  if (state.has_prev) {
+    const corpus::SnapshotDiff diff =
+        corpus::DiffSnapshots(state.prev_portal, snapshot.portal);
+    stats.resources_added = diff.added;
+    stats.resources_updated = diff.updated;
+    stats.resources_removed = diff.removed;
+    stats.resources_unchanged = diff.unchanged;
+    stats.renames_detected = diff.renames_detected;
+  } else {
+    for (const auto& ds : snapshot.portal.datasets) {
+      stats.resources_added += ds.resources.size();
+    }
+  }
+
+  // Ingest through the parse cache. The fetch stage always runs (its
+  // retry/breaker state couples resources); parse replays by byte hash.
+  PortalBundle& bundle = result.bundle;
+  bundle.name = snapshot.portal.name;
+  bundle.portal = snapshot.portal;
+  bundle.truth = snapshot.truth;
+  IngestOptions ingest = ingest_options;
+  ingest.parse_cache = &state.cache;
+  bundle.ingest = IngestPortal(bundle.portal, ingest);
+
+  const std::vector<table::Table>& tables = bundle.ingest.tables;
+  std::vector<uint8_t> dirty(tables.size(), 1);
+  std::vector<size_t> prev_to_new;
+  const bool carry = state.has_prev && state.pairs_valid;
+  if (carry) {
+    MatchTablesByContent(tables, state.prev_hashes, dirty, prev_to_new);
+  }
+  stats.tables_total = tables.size();
+  for (uint8_t d : dirty) stats.tables_dirty += d;
+  stats.tables_clean = stats.tables_total - stats.tables_dirty;
+
+  // The analysis stages, in RunFullAnalysis's exact order and containment
+  // wrapping, with the cache threaded through the content-addressed ones.
+  PortalAnalysis& a = result.analysis;
+  a.portal_name = bundle.name;
+  a.ingest = bundle.ingest.stats;
+  for (const ResourceRecord& r : bundle.ingest.resources) {
+    if (!r.status.ok()) a.failed_resources.push_back(r);
+  }
+
+  using internal::RunAnalysisStage;
+  RunAnalysisStage(a, options, "size",
+                   [&] { a.size = ComputeSizeReport(bundle, options.compress); });
+  RunAnalysisStage(a, options, "metadata",
+                   [&] { a.metadata = ComputeMetadataReport(bundle.portal); });
+  RunAnalysisStage(a, options, "profile", [&] {
+    a.table_sizes = profile::ComputeTableSizeStats(tables);
+    a.nulls = profile::ComputeNullStats(tables);
+    a.uniqueness = profile::ComputeUniquenessStats(tables);
+  });
+
+  const auto sample = SelectFdSample(tables);
+  RunAnalysisStage(a, options, "keys", [&] {
+    a.keys = ComputeKeyReport(tables, sample, &state.cache);
+  });
+  RunAnalysisStage(a, options, "fds", [&] {
+    a.fds = ComputeFdReport(tables, sample, /*seed=*/7,
+                            options.fd_memory_budget_bytes, &state.cache);
+  });
+
+  std::vector<join::JoinablePair> pairs;
+  RunAnalysisStage(a, options, "joins", [&] {
+    join::JoinablePairFinder finder(tables);
+
+    if (carry) {
+      // Delta search: verify only pairs touching a dirty table, then
+      // splice in the previous epoch's clean-clean pairs (identical
+      // content -> identical value sets -> identical jaccard/overlap;
+      // the injective matching keeps the carried set exactly the
+      // clean-clean subset, so the union is the full pair set).
+      pairs = finder.FindAllPairs(&dirty);
+      stats.pairs_recomputed = pairs.size();
+      constexpr size_t kUnclaimed = static_cast<size_t>(-1);
+      for (const join::JoinablePair& prev : state.prev_pairs) {
+        const size_t na = prev_to_new[prev.a.table];
+        const size_t nb = prev_to_new[prev.b.table];
+        if (na == kUnclaimed || nb == kUnclaimed) continue;
+        join::JoinablePair q = prev;
+        q.a.table = na;
+        q.b.table = nb;
+        if (q.b < q.a) std::swap(q.a, q.b);
+        pairs.push_back(q);
+        ++stats.pairs_carried;
+      }
+      std::sort(pairs.begin(), pairs.end(),
+                [](const join::JoinablePair& x, const join::JoinablePair& y) {
+                  if (x.a != y.a) return x.a < y.a;
+                  return x.b < y.b;
+                });
+    } else {
+      pairs = finder.FindAllPairs();
+      stats.pairs_recomputed = pairs.size();
+    }
+
+    // Patch the per-column value-signature store: clean columns replay,
+    // dirty eligible columns are (re)signed. Downstream LSH consumers
+    // read signatures from the cache instead of re-hashing the corpus.
+    const join::MinHashOptions mh;
+    for (const join::ColumnValueSet& cs : finder.column_sets()) {
+      const table::Table& t = tables[cs.ref.table];
+      const uint64_t chash = t.content_hash();
+      if (chash == 0) continue;
+      const uint64_t key = SignatureCacheKey(chash, cs.ref.column, mh);
+      if (state.cache.FindSignature(key) != nullptr) continue;
+      const auto t0 = std::chrono::steady_clock::now();
+      SignatureArtifact art;
+      art.signature =
+          join::ComputeValueSignature(t.column(cs.ref.column), mh);
+      art.compute_seconds = SecondsSince(t0);
+      state.cache.StoreSignature(key, std::move(art));
+    }
+
+    a.joins = ComputeJoinReport(tables, finder, pairs);
+    a.labeled_joins = LabelJoinSample(bundle, finder, pairs, options.sampler);
+  });
+
+  RunAnalysisStage(a, options, "unions", [&] {
+    a.unions = ComputeUnionReport(bundle, options.union_sample_pairs,
+                                  /*seed=*/11, &state.cache);
+  });
+
+  // Make this snapshot the new previous epoch.
+  state.has_prev = true;
+  state.pairs_valid = a.stages.empty() ? false : [&] {
+    for (const StageStatus& st : a.stages) {
+      if (st.stage == "joins") return st.status.ok();
+    }
+    return false;
+  }();
+  state.prev_hashes.clear();
+  state.prev_hashes.reserve(tables.size());
+  for (const table::Table& t : tables) {
+    state.prev_hashes.push_back(t.content_hash());
+  }
+  state.prev_pairs = std::move(pairs);
+  state.prev_portal = snapshot.portal;
+
+  const AnalysisCacheStats after = state.cache.stats();
+  stats.parse_reused = after.parse.hits - before.parse.hits;
+  stats.parse_recomputed = after.parse.misses - before.parse.misses;
+  stats.keys_reused = after.keys.hits - before.keys.hits;
+  stats.keys_recomputed = after.keys.misses - before.keys.misses;
+  stats.fd_reused = after.fd.hits - before.fd.hits;
+  stats.fd_recomputed = after.fd.misses - before.fd.misses;
+  stats.signatures_reused = after.signature.hits - before.signature.hits;
+  stats.signatures_recomputed =
+      after.signature.misses - before.signature.misses;
+  stats.fingerprints_reused =
+      after.fingerprint.hits - before.fingerprint.hits;
+  stats.fingerprints_recomputed =
+      after.fingerprint.misses - before.fingerprint.misses;
+  stats.cache_hit_bytes = after.total_hit_bytes() - before.total_hit_bytes();
+  stats.cache_declines = after.total_declines() - before.total_declines();
+  stats.saved_parse_seconds =
+      after.parse.saved_seconds - before.parse.saved_seconds;
+  stats.saved_keys_seconds =
+      after.keys.saved_seconds - before.keys.saved_seconds;
+  stats.saved_fd_seconds = after.fd.saved_seconds - before.fd.saved_seconds;
+  stats.epoch_seconds = SecondsSince(epoch_t0);
+  return result;
+}
+
+}  // namespace ogdp::core

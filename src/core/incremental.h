@@ -1,0 +1,124 @@
+#ifndef OGDP_CORE_INCREMENTAL_H_
+#define OGDP_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analysis_cache.h"
+#include "core/analysis_suite.h"
+#include "core/ingestion.h"
+#include "corpus/snapshot.h"
+#include "join/joinable_pair_finder.h"
+
+namespace ogdp::core {
+
+/// Reuse accounting for one incremental epoch: how much of the previous
+/// epoch's work the content-addressed cache replayed, and how much had to
+/// be recomputed because the underlying bytes changed.
+struct IncrementalStats {
+  size_t epoch = 0;
+
+  // Resource-level delta against the previous epoch (DiffSnapshots); on
+  // the first epoch every resource counts as added.
+  size_t resources_added = 0;
+  size_t resources_updated = 0;
+  size_t resources_removed = 0;
+  size_t resources_unchanged = 0;
+  size_t renames_detected = 0;
+
+  // Table-level dirtiness: a table is clean when its content hash matches
+  // an (injectively claimed) previous-epoch table, dirty otherwise.
+  size_t tables_total = 0;
+  size_t tables_clean = 0;
+  size_t tables_dirty = 0;
+
+  // Per-artifact-kind cache reuse (hits) vs recomputation (misses).
+  size_t parse_reused = 0;
+  size_t parse_recomputed = 0;
+  size_t keys_reused = 0;
+  size_t keys_recomputed = 0;
+  size_t fd_reused = 0;
+  size_t fd_recomputed = 0;
+  size_t signatures_reused = 0;
+  size_t signatures_recomputed = 0;
+  size_t fingerprints_reused = 0;
+  size_t fingerprints_recomputed = 0;
+
+  // Joinable-pair index patching: pairs carried over from the previous
+  // epoch (both endpoints clean) vs pairs re-verified by the delta search.
+  size_t pairs_carried = 0;
+  size_t pairs_recomputed = 0;
+
+  size_t cache_hit_bytes = 0;  // artifact bytes served instead of rebuilt
+  size_t cache_declines = 0;   // stores the governor refused this epoch
+
+  // Recorded compute time of the artifacts served from cache — the work
+  // this epoch did not repeat, by stage.
+  double saved_parse_seconds = 0;
+  double saved_keys_seconds = 0;
+  double saved_fd_seconds = 0;
+
+  double epoch_seconds = 0;  // wall time of this RunIncrementalAnalysis
+};
+
+/// Compact multi-line text rendering of the reuse counters.
+std::string RenderIncrementalStats(const IncrementalStats& stats);
+
+/// Carry-over state between epochs of one portal's incremental analysis:
+/// the content-addressed artifact cache plus the previous epoch's table
+/// hashes, joinable pairs, and portal state (for diff stats). One
+/// instance per portal chain; not copyable (the cache owns a mutex and a
+/// governor pool).
+struct IncrementalState {
+  /// `cache_budget_override` follows AnalysisCache's resolution: non-zero
+  /// wins, else OGDP_CACHE_BUDGET, else the default.
+  explicit IncrementalState(size_t cache_budget_override = 0)
+      : cache(cache_budget_override) {}
+
+  IncrementalState(const IncrementalState&) = delete;
+  IncrementalState& operator=(const IncrementalState&) = delete;
+
+  AnalysisCache cache;
+  bool has_prev = false;
+  /// False when the previous joins stage failed: `prev_pairs` is then
+  /// untrusted and the next epoch re-verifies every pair.
+  bool pairs_valid = false;
+  std::vector<uint64_t> prev_hashes;  // content hash per previous table
+  std::vector<join::JoinablePair> prev_pairs;
+  core::Portal prev_portal;  // previous epoch's published state
+};
+
+/// One epoch's incremental output: the ingested bundle, an analysis
+/// byte-identical to `RunFullAnalysis` on the same portal, and the reuse
+/// accounting.
+struct IncrementalResult {
+  PortalBundle bundle;
+  PortalAnalysis analysis;
+  IncrementalStats stats;
+};
+
+/// Runs the full analysis pipeline over one snapshot, reusing every
+/// artifact of `state` whose table content is unchanged since the
+/// previous epoch (DESIGN.md §10):
+///
+///   - parse: fetched bodies replay cached typed tables by byte hash
+///     (the fetch stage itself always runs);
+///   - keys / FDs + BCNF: per-table outcomes replay by content hash;
+///   - joins: pairs between two clean tables carry over from the
+///     previous epoch, the delta search re-verifies only pairs touching
+///     a dirty table, and per-column value signatures are patched in the
+///     cache; unions: schema fingerprints replay by content hash.
+///
+/// The analysis output (including RenderPortalAnalysis) is byte-identical
+/// to a from-scratch `RunFullAnalysis` at any thread count and any cache
+/// budget — governor declines only turn cache hits back into recomputes.
+/// Updates `state` to make `snapshot` the new previous epoch.
+IncrementalResult RunIncrementalAnalysis(
+    IncrementalState& state, const corpus::PortalSnapshot& snapshot,
+    const AnalysisSuiteOptions& options = {},
+    const IngestOptions& ingest_options = {});
+
+}  // namespace ogdp::core
+
+#endif  // OGDP_CORE_INCREMENTAL_H_

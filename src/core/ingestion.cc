@@ -1,9 +1,12 @@
 #include "core/ingestion.h"
 
 #include <cassert>
+#include <chrono>
+#include <memory>
 #include <optional>
 #include <utility>
 
+#include "core/analysis_cache.h"
 #include "csv/cleaning.h"
 #include "csv/csv_reader.h"
 #include "csv/file_type_detector.h"
@@ -220,9 +223,50 @@ IngestResult IngestPortal(const Portal& portal,
 
   auto outcomes = util::ParallelMap(jobs.size(), [&](size_t j) {
     const Dataset& dataset = portal.datasets[jobs[j].dataset];
-    return ProcessBody(jobs[j].body,
-                       dataset.resources[jobs[j].resource].name, dataset,
-                       options);
+    const std::string& name = dataset.resources[jobs[j].resource].name;
+    if (options.parse_cache == nullptr) {
+      return ProcessBody(jobs[j].body, name, dataset, options);
+    }
+    const uint64_t key = ParseCacheKey(jobs[j].body, options.max_columns,
+                                       options.header_scan_rows);
+    if (auto hit = options.parse_cache->FindParse(key)) {
+      ResourceOutcome out;
+      out.stage = static_cast<IngestStage>(hit->stage);
+      out.status = hit->status;
+      out.trailing_removed = hit->trailing_removed;
+      if (hit->table != nullptr) {
+        table::Table t = *hit->table;
+        t.set_name(name);
+        t.set_dataset_id(dataset.id);
+        out.table = std::move(t);
+      }
+      return out;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    ResourceOutcome out = ProcessBody(jobs[j].body, name, dataset, options);
+    // Only the name-independent terminal stages are cacheable: other
+    // failure Statuses can embed the resource name, and they are cheap
+    // to recompute anyway.
+    if (out.stage == IngestStage::kReadable ||
+        out.stage == IngestStage::kRemovedWide) {
+      ParseArtifact artifact;
+      artifact.stage = static_cast<int>(out.stage);
+      artifact.status = out.status;
+      artifact.trailing_removed = out.trailing_removed;
+      if (out.table.has_value()) {
+        table::Table stored = *out.table;
+        stored.set_name("");
+        stored.set_dataset_id("");
+        artifact.table =
+            std::make_shared<const table::Table>(std::move(stored));
+      }
+      artifact.compute_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      options.parse_cache->StoreParse(key, std::move(artifact));
+    }
+    return out;
   });
 
   for (size_t j = 0; j < jobs.size(); ++j) {

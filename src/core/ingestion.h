@@ -15,6 +15,8 @@
 
 namespace ogdp::core {
 
+class AnalysisCache;
+
 /// Where each readable table came from.
 struct TableProvenance {
   size_t dataset_index = 0;
@@ -113,6 +115,15 @@ struct IngestOptions {
   /// Custom transport (tests). When null, IngestPortal serves the portal
   /// through a FaultyTransport built from the resolved fault profile.
   fetch::Transport* transport = nullptr;
+
+  /// Content-addressed parse cache (core/analysis_cache.h). When set,
+  /// fetched bodies whose (bytes, parse-options) key hits the cache skip
+  /// the sniff/parse/clean stages and replay the cached typed table.
+  /// Misses and governor declines recompute — the parse stages are pure,
+  /// so results are byte-identical either way. The fetch stage itself is
+  /// never cached: the retry/breaker state couples resources, and its
+  /// virtual-clock cost is negligible.
+  AnalysisCache* parse_cache = nullptr;
 };
 
 /// Runs the paper's ingestion pipeline (§2.2) over a portal:

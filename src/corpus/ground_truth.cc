@@ -32,6 +32,17 @@ const TableTruth* GroundTruth::Find(const std::string& dataset_id,
   return it == tables_.end() ? nullptr : &it->second;
 }
 
+TableTruth* GroundTruth::FindMutable(const std::string& dataset_id,
+                                     const std::string& table_name) {
+  auto it = tables_.find(KeyOf(dataset_id, table_name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+bool GroundTruth::RemoveTable(const std::string& dataset_id,
+                              const std::string& table_name) {
+  return tables_.erase(KeyOf(dataset_id, table_name)) > 0;
+}
+
 join::JoinLabel GroundTruth::LabelJoin(const TableTruth& a, size_t col_a,
                                        const TableTruth& b,
                                        size_t col_b) const {

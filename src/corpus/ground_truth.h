@@ -60,6 +60,16 @@ class GroundTruth {
   const TableTruth* Find(const std::string& dataset_id,
                          const std::string& table_name) const;
 
+  /// Mutable lookup — the temporal snapshot generator patches truth in
+  /// place when an epoch drifts a schema or renames a resource.
+  TableTruth* FindMutable(const std::string& dataset_id,
+                          const std::string& table_name);
+
+  /// Drops a table's truth entry (resource disappeared between epochs).
+  /// Returns false when no such entry exists.
+  bool RemoveTable(const std::string& dataset_id,
+                   const std::string& table_name);
+
   size_t table_count() const { return tables_.size(); }
 
   /// Labels a joinable pair per the paper's three-way taxonomy:

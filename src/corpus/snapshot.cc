@@ -1,0 +1,417 @@
+#include "corpus/snapshot.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "corpus/table_synth.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace ogdp::corpus {
+
+namespace {
+
+bool IsCsvClaimed(const core::Resource& r) {
+  if (r.claimed_format.size() != 3) return false;
+  std::string lower;
+  for (char c : r.claimed_format) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower == "csv";
+}
+
+/// "awards.csv" -> "awards_r3.csv"; falls back to a plain suffix when the
+/// name has no extension.
+std::string RenamedResource(const std::string& name, size_t epoch) {
+  const std::string suffix = "_r" + std::to_string(epoch);
+  const size_t dot = name.rfind('.');
+  if (dot == std::string::npos || dot == 0) return name + suffix;
+  return name.substr(0, dot) + suffix + name.substr(dot);
+}
+
+/// Rotates 1-6 digits of the body (never the header line) in place.
+/// Digit rotation cannot introduce separators, quotes, or newlines, so it
+/// is safe on any CSV content, quoted fields included.
+void EditValues(Rng& rng, std::string& content) {
+  const size_t first_nl = content.find('\n');
+  if (first_nl == std::string::npos || first_nl + 1 >= content.size()) return;
+  const size_t edits = static_cast<size_t>(rng.NextInt(1, 6));
+  for (size_t e = 0; e < edits; ++e) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const size_t pos =
+          first_nl + 1 +
+          static_cast<size_t>(rng.NextBounded(content.size() - first_nl - 1));
+      if (content[pos] >= '0' && content[pos] <= '9') {
+        content[pos] = static_cast<char>('0' + (content[pos] - '0' + 1) % 10);
+        break;
+      }
+    }
+  }
+}
+
+/// Appends 1-3 rows cloned from existing data lines (digits rotated so
+/// the new rows are distinct values, not duplicates). Quote-bearing
+/// content is left alone: cloning a physical line of a multi-line quoted
+/// record would corrupt the file.
+void AppendRows(Rng& rng, std::string& content) {
+  if (content.find('"') != std::string::npos) return;
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= content.size()) {
+    const size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  const bool trailing_newline = !lines.empty() && lines.back().empty();
+  if (trailing_newline) lines.pop_back();
+  if (lines.size() < 2) return;  // header only: nothing to clone
+  const size_t appends = static_cast<size_t>(rng.NextInt(1, 3));
+  for (size_t a = 0; a < appends; ++a) {
+    const size_t src =
+        1 + static_cast<size_t>(rng.NextBounded(lines.size() - 1));
+    std::string row = lines[src];
+    for (char& c : row) {
+      if (c >= '0' && c <= '9' && rng.NextBool(0.4)) {
+        c = static_cast<char>('0' + (c - '0' + 3) % 10);
+      }
+    }
+    lines.push_back(std::move(row));
+  }
+  content.clear();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    content += lines[i];
+    if (i + 1 < lines.size() || trailing_newline) content += '\n';
+  }
+}
+
+/// Appends one drift column ("drift_e<epoch>") to the header and a digit
+/// to every data line; records the new column in `truth` when the table
+/// has a truth entry. Quote-bearing content is left alone (a physical
+/// line need not be a record there).
+void DriftSchema(Rng& rng, size_t epoch, const std::string& dataset_id,
+                 const std::string& resource_name, std::string& content,
+                 GroundTruth& truth) {
+  if (content.find('"') != std::string::npos) return;
+  const std::string col_name = "drift_e" + std::to_string(epoch);
+  std::string out;
+  out.reserve(content.size() + content.size() / 8 + col_name.size() + 2);
+  size_t start = 0;
+  bool header = true;
+  while (start <= content.size()) {
+    const size_t nl = content.find('\n', start);
+    const size_t end = nl == std::string::npos ? content.size() : nl;
+    if (end > start) {  // skip empty (trailing) lines
+      out.append(content, start, end - start);
+      if (header) {
+        out += ',' + col_name;
+        header = false;
+      } else {
+        out += ',';
+        out += static_cast<char>('0' + rng.NextBounded(10));
+      }
+    }
+    if (nl == std::string::npos) break;
+    out += '\n';
+    start = nl + 1;
+  }
+  content = std::move(out);
+  if (TableTruth* t = truth.FindMutable(dataset_id, resource_name)) {
+    ColumnTruth ct;
+    ct.domain = "drift.e" + std::to_string(epoch);
+    ct.role = ColumnTruth::Role::kAttribute;
+    t->columns.push_back(std::move(ct));
+  }
+}
+
+/// Synthesizes one newly published dataset for `epoch`. Columns reuse a
+/// small shared vocabulary across epoch datasets so new tables join and
+/// union with each other, exercising the index-patching paths.
+core::Dataset SynthesizeEpochDataset(Rng& rng, size_t epoch, size_t index,
+                                     GroundTruth& truth) {
+  static const std::vector<std::string> kTopics = {
+      "health", "transport", "budget", "environment", "education"};
+  static const std::vector<std::string> kRegions = {
+      "north", "south", "east", "west", "central",
+      "coastal", "highland", "island"};
+  const std::string tag =
+      "e" + std::to_string(epoch) + "x" + std::to_string(index);
+
+  core::Dataset ds;
+  ds.id = tag;
+  ds.title = "Epoch " + std::to_string(epoch) + " publication " +
+             std::to_string(index);
+  ds.topic = kTopics[rng.NextBounded(kTopics.size())];
+  ds.publication_year = 2015 + static_cast<int>(epoch % 8);
+  ds.metadata = rng.NextBool(0.4) ? core::MetadataPresence::kStructured
+                                  : core::MetadataPresence::kLacking;
+
+  const size_t num_resources = static_cast<size_t>(rng.NextInt(1, 2));
+  for (size_t r = 0; r < num_resources; ++r) {
+    const size_t rows = static_cast<size_t>(rng.NextInt(20, 80));
+    SynthTable st;
+    st.name = tag + "_" + std::to_string(r) + ".csv";
+
+    SynthColumn id;
+    id.name = "record_id";
+    id.cells = IncrementalIds(rows);
+    id.truth.domain = tag + ".row_id";
+    id.truth.role = ColumnTruth::Role::kId;
+    st.columns.push_back(std::move(id));
+
+    SynthColumn region;
+    region.name = "region";
+    region.cells = PickFromPool(rng, kRegions, rows, 1.0);
+    region.truth.domain = "region.synthetic";
+    region.truth.role = ColumnTruth::Role::kPrimaryDimension;
+    st.columns.push_back(std::move(region));
+
+    SynthColumn date;
+    date.name = "period";
+    date.cells = SequentialDates(ds.publication_year, rows);
+    date.truth.domain = "date.synthetic";
+    date.truth.role = ColumnTruth::Role::kPrimaryDimension;
+    st.columns.push_back(std::move(date));
+
+    SynthColumn value;
+    value.name = "value";
+    value.cells = UniformInts(rng, rows, 0, 5000);
+    value.truth.domain = tag + ".value";
+    value.truth.role = ColumnTruth::Role::kMeasure;
+    st.columns.push_back(std::move(value));
+
+    if (rng.NextBool(0.35)) {
+      SynthColumn extra;
+      extra.name = "rate";
+      extra.cells = UniformDecimals(rng, rows, 0.0, 100.0, 2);
+      extra.truth.domain = tag + ".rate";
+      extra.truth.role = ColumnTruth::Role::kMeasure;
+      st.columns.push_back(std::move(extra));
+    }
+
+    core::Resource res;
+    res.name = st.name;
+    res.claimed_format = "CSV";
+    res.downloadable = true;
+    res.content = st.ToCsv();
+
+    TableTruth tt;
+    tt.dataset_id = ds.id;
+    tt.table_name = st.name;
+    tt.topic = ds.topic;
+    tt.columns = st.ColumnTruths();
+    truth.AddTable(std::move(tt));
+
+    ds.resources.push_back(std::move(res));
+  }
+  return ds;
+}
+
+}  // namespace
+
+ChurnProfile ChurnForPortal(const std::string& portal_name) {
+  ChurnProfile churn;
+  churn.seed = Fnv1a64(portal_name) ^ 0x0601;
+  if (portal_name == "SG") {
+    // Stable portal: standardized schemas, little churn.
+    churn.dataset_add_rate = 0.02;
+    churn.dataset_remove_rate = 0.01;
+    churn.resource_update_rate = 0.08;
+    churn.resource_rename_rate = 0.01;
+  } else if (portal_name == "UK") {
+    // Update-heavy: periodic series refresh in place.
+    churn.resource_update_rate = 0.20;
+  } else if (portal_name == "US") {
+    // Add/remove-heavy: bulk ingests and decommissions.
+    churn.dataset_add_rate = 0.08;
+    churn.dataset_remove_rate = 0.05;
+    churn.resource_rename_rate = 0.04;
+  }
+  return churn;
+}
+
+PortalSnapshot AdvanceEpoch(const PortalSnapshot& prev,
+                            const ChurnProfile& churn, size_t epoch) {
+  Rng rng = Rng(churn.seed)
+                .Fork("snapshot_epoch")
+                .Fork(static_cast<uint64_t>(epoch))
+                .Fork(prev.portal.name);
+  PortalSnapshot next;
+  next.epoch = epoch;
+  next.portal.name = prev.portal.name;
+  next.truth = prev.truth;
+
+  for (const core::Dataset& ds : prev.portal.datasets) {
+    if (rng.NextBool(churn.dataset_remove_rate)) {
+      for (const core::Resource& r : ds.resources) {
+        next.truth.RemoveTable(ds.id, r.name);
+      }
+      continue;
+    }
+    core::Dataset copy = ds;
+    for (core::Resource& r : copy.resources) {
+      if (!IsCsvClaimed(r)) continue;
+      if (rng.NextBool(churn.resource_rename_rate)) {
+        const std::string renamed = RenamedResource(r.name, epoch);
+        if (const TableTruth* t = next.truth.Find(copy.id, r.name)) {
+          TableTruth moved = *t;
+          moved.table_name = renamed;
+          next.truth.RemoveTable(copy.id, r.name);
+          next.truth.AddTable(std::move(moved));
+        }
+        r.name = renamed;
+      }
+      if (!r.downloadable || r.content.empty()) continue;
+      if (rng.NextBool(churn.resource_update_rate)) {
+        const size_t mechanism = rng.NextCategorical(
+            {churn.append_weight, churn.edit_weight, churn.drift_weight});
+        if (mechanism == 0) {
+          AppendRows(rng, r.content);
+        } else if (mechanism == 1) {
+          EditValues(rng, r.content);
+        } else {
+          DriftSchema(rng, epoch, copy.id, r.name, r.content, next.truth);
+        }
+      }
+    }
+    next.portal.datasets.push_back(std::move(copy));
+  }
+
+  const double expected_adds =
+      static_cast<double>(prev.portal.datasets.size()) *
+      churn.dataset_add_rate;
+  size_t adds = static_cast<size_t>(std::floor(expected_adds));
+  if (rng.NextBool(expected_adds - std::floor(expected_adds))) ++adds;
+  for (size_t i = 0; i < adds; ++i) {
+    next.portal.datasets.push_back(
+        SynthesizeEpochDataset(rng, epoch, i, next.truth));
+  }
+  return next;
+}
+
+std::vector<PortalSnapshot> GenerateSnapshotChain(const PortalProfile& profile,
+                                                  double scale, size_t epochs,
+                                                  const ChurnProfile& churn) {
+  std::vector<PortalSnapshot> chain;
+  if (epochs == 0) return chain;
+  GeneratedPortal base = CorpusGenerator(profile, scale).Generate();
+  PortalSnapshot first;
+  first.epoch = 0;
+  first.portal = std::move(base.portal);
+  first.truth = std::move(base.truth);
+  chain.push_back(std::move(first));
+  for (size_t e = 1; e < epochs; ++e) {
+    chain.push_back(AdvanceEpoch(chain.back(), churn, e));
+  }
+  return chain;
+}
+
+std::vector<PortalSnapshot> GenerateSnapshotChain(const PortalProfile& profile,
+                                                  double scale,
+                                                  size_t epochs) {
+  return GenerateSnapshotChain(profile, scale, epochs,
+                               ChurnForPortal(profile.name));
+}
+
+const char* ResourceChangeName(ResourceChange change) {
+  switch (change) {
+    case ResourceChange::kAdded: return "added";
+    case ResourceChange::kUpdated: return "updated";
+    case ResourceChange::kRemoved: return "removed";
+    case ResourceChange::kUnchanged: return "unchanged";
+  }
+  return "unknown";
+}
+
+uint64_t ResourceContentHash(const core::Resource& resource) {
+  uint64_t h = Fnv1a64(resource.content);
+  return HashCombine(h, resource.downloadable ? 1 : 0);
+}
+
+SnapshotDiff DiffSnapshots(const core::Portal& prev,
+                           const core::Portal& next) {
+  SnapshotDiff diff;
+  // (dataset id \x1f resource name) -> content hash.
+  std::map<std::string, uint64_t> prev_index;
+  for (const core::Dataset& ds : prev.datasets) {
+    for (const core::Resource& r : ds.resources) {
+      prev_index.emplace(ds.id + "\x1f" + r.name, ResourceContentHash(r));
+    }
+  }
+  std::map<std::string, size_t> prev_seen;  // matched keys
+  // Multiset of hashes on each exclusive side, for rename detection.
+  std::map<uint64_t, size_t> removed_hashes;
+  std::map<uint64_t, size_t> added_hashes;
+
+  for (const core::Dataset& ds : next.datasets) {
+    for (const core::Resource& r : ds.resources) {
+      const std::string key = ds.id + "\x1f" + r.name;
+      const uint64_t hash = ResourceContentHash(r);
+      ResourceDelta delta;
+      delta.dataset_id = ds.id;
+      delta.resource_name = r.name;
+      auto it = prev_index.find(key);
+      if (it == prev_index.end()) {
+        delta.change = ResourceChange::kAdded;
+        ++diff.added;
+        ++added_hashes[hash];
+      } else {
+        prev_seen[key] = 1;
+        if (it->second == hash) {
+          delta.change = ResourceChange::kUnchanged;
+          ++diff.unchanged;
+        } else {
+          delta.change = ResourceChange::kUpdated;
+          ++diff.updated;
+        }
+      }
+      diff.deltas.push_back(std::move(delta));
+    }
+  }
+  for (const core::Dataset& ds : prev.datasets) {
+    for (const core::Resource& r : ds.resources) {
+      const std::string key = ds.id + "\x1f" + r.name;
+      if (prev_seen.count(key) != 0) continue;
+      ResourceDelta delta;
+      delta.dataset_id = ds.id;
+      delta.resource_name = r.name;
+      delta.change = ResourceChange::kRemoved;
+      ++diff.removed;
+      ++removed_hashes[ResourceContentHash(r)];
+      diff.deltas.push_back(std::move(delta));
+    }
+  }
+  // Rename detection: pair up added/removed entries with equal bytes.
+  for (ResourceDelta& delta : diff.deltas) {
+    if (delta.change != ResourceChange::kAdded &&
+        delta.change != ResourceChange::kRemoved) {
+      continue;
+    }
+    const core::Portal& side =
+        delta.change == ResourceChange::kAdded ? next : prev;
+    auto& other_hashes = delta.change == ResourceChange::kAdded
+                             ? removed_hashes
+                             : added_hashes;
+    for (const core::Dataset& ds : side.datasets) {
+      if (ds.id != delta.dataset_id) continue;
+      for (const core::Resource& r : ds.resources) {
+        if (r.name != delta.resource_name) continue;
+        auto it = other_hashes.find(ResourceContentHash(r));
+        if (it != other_hashes.end() && it->second > 0) {
+          delta.renamed_content_identical = true;
+          if (delta.change == ResourceChange::kAdded) ++diff.renames_detected;
+        }
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace ogdp::corpus

@@ -1,0 +1,112 @@
+#ifndef OGDP_CORPUS_SNAPSHOT_H_
+#define OGDP_CORPUS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/portal_model.h"
+#include "corpus/generator.h"
+#include "corpus/ground_truth.h"
+#include "corpus/portal_profile.h"
+
+namespace ogdp::corpus {
+
+/// Per-portal churn knobs for the temporal snapshot generator. Rates are
+/// per epoch; the calibration follows the churn profile documented for
+/// real portals (most datasets persist between snapshots, a minority
+/// update, a small tail appears/disappears — see DESIGN.md §10).
+struct ChurnProfile {
+  uint64_t seed = 0x0601;
+
+  /// New datasets per epoch, as a fraction of the current dataset count.
+  double dataset_add_rate = 0.05;
+  /// Chance an existing dataset disappears from the portal.
+  double dataset_remove_rate = 0.03;
+  /// Chance a CSV resource's content changes between epochs.
+  double resource_update_rate = 0.15;
+  /// Chance a CSV resource is renamed (content kept byte-identical).
+  double resource_rename_rate = 0.02;
+
+  /// Relative weights of the three update mechanisms: row appends,
+  /// in-place value edits, and schema drift (an extra trailing column).
+  double append_weight = 0.5;
+  double edit_weight = 0.35;
+  double drift_weight = 0.15;
+};
+
+/// Calibrated churn for the four built-in portals (SG stable, UK
+/// update-heavy, US add/remove-heavy, CA in between); defaults for
+/// anything else. The seed is derived from the portal name.
+ChurnProfile ChurnForPortal(const std::string& portal_name);
+
+/// One epoch of a portal's published state plus the ground truth behind
+/// it. Epoch 0 is the plain generator output; later epochs are derived by
+/// `AdvanceEpoch`.
+struct PortalSnapshot {
+  size_t epoch = 0;
+  core::Portal portal;
+  GroundTruth truth;
+};
+
+/// Derives epoch `epoch` from `prev` under `churn`: removes datasets,
+/// updates resources (appends / value edits / schema drift), renames
+/// resources without touching their bytes, and publishes new datasets.
+/// Ground truth is patched in step (drifted columns gain a truth record,
+/// renames re-key, removed tables drop out). Deterministic: the same
+/// (prev, churn, epoch) yields byte-identical output.
+PortalSnapshot AdvanceEpoch(const PortalSnapshot& prev,
+                            const ChurnProfile& churn, size_t epoch);
+
+/// Generates a chain of `epochs` snapshots (>= 1): epoch 0 from
+/// `CorpusGenerator(profile, scale)`, later epochs via `AdvanceEpoch`.
+std::vector<PortalSnapshot> GenerateSnapshotChain(const PortalProfile& profile,
+                                                  double scale, size_t epochs,
+                                                  const ChurnProfile& churn);
+
+/// `GenerateSnapshotChain` with `ChurnForPortal(profile.name)`.
+std::vector<PortalSnapshot> GenerateSnapshotChain(const PortalProfile& profile,
+                                                  double scale, size_t epochs);
+
+/// How one resource changed between two snapshots.
+enum class ResourceChange { kAdded, kUpdated, kRemoved, kUnchanged };
+
+const char* ResourceChangeName(ResourceChange change);
+
+/// One resource's delta, keyed by (dataset id, resource name).
+struct ResourceDelta {
+  std::string dataset_id;
+  std::string resource_name;
+  ResourceChange change = ResourceChange::kUnchanged;
+  /// For kAdded/kRemoved entries: the bytes also appear on the other side
+  /// of the diff under a different key — a rename, not new content. The
+  /// content-addressed cache still hits on these.
+  bool renamed_content_identical = false;
+};
+
+/// Resource-level diff between two snapshots of the same portal.
+struct SnapshotDiff {
+  size_t added = 0;
+  size_t updated = 0;
+  size_t removed = 0;
+  size_t unchanged = 0;
+  /// Added/removed pairs whose bytes match (renames detected by hash).
+  size_t renames_detected = 0;
+  /// Per-resource deltas: next portal's resources in publication order,
+  /// then removed ones in prev order.
+  std::vector<ResourceDelta> deltas;
+};
+
+/// Diffs two portal states resource-by-resource. Resources are matched on
+/// (dataset id, resource name); content equality is by byte hash, so a
+/// renamed-but-identical resource shows up as removed+added with
+/// `renamed_content_identical` set on both sides.
+SnapshotDiff DiffSnapshots(const core::Portal& prev, const core::Portal& next);
+
+/// Hash of a resource's observable content (bytes + downloadability),
+/// used by `DiffSnapshots` and the snapshot tests.
+uint64_t ResourceContentHash(const core::Resource& resource);
+
+}  // namespace ogdp::corpus
+
+#endif  // OGDP_CORPUS_SNAPSHOT_H_

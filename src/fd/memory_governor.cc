@@ -89,8 +89,8 @@ size_t DefaultFdMemoryBudget(uint64_t corpus_cells) {
   return static_cast<size_t>(budget);
 }
 
-bool FdMemoryBudgetFromEnv(size_t* budget_bytes) {
-  const char* env = std::getenv("OGDP_FD_MEM_BUDGET");
+bool MemoryBudgetFromEnv(const char* var, size_t* budget_bytes) {
+  const char* env = std::getenv(var);
   if (env == nullptr || *env == '\0') return false;
   std::string value(env);
   for (char& c : value) c = static_cast<char>(std::tolower(
@@ -116,6 +116,10 @@ bool FdMemoryBudgetFromEnv(size_t* budget_bytes) {
   if (*end != '\0') return false;  // trailing junk
   *budget_bytes = static_cast<size_t>(parsed * multiplier);
   return true;
+}
+
+bool FdMemoryBudgetFromEnv(size_t* budget_bytes) {
+  return MemoryBudgetFromEnv("OGDP_FD_MEM_BUDGET", budget_bytes);
 }
 
 size_t ResolveFdMemoryBudget(size_t override_bytes, uint64_t corpus_cells) {

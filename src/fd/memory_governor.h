@@ -127,11 +127,16 @@ class MemoryLease {
 /// tables degrade to the rebuild path instead of growing the pool.
 size_t DefaultFdMemoryBudget(uint64_t corpus_cells);
 
-/// Parses the `OGDP_FD_MEM_BUDGET` environment variable: a byte count
-/// with an optional K/M/G suffix (KiB multiples, case-insensitive);
+/// Parses the environment variable `var` as a memory budget: a byte
+/// count with an optional K/M/G suffix (KiB multiples, case-insensitive);
 /// "0" or "unlimited" disable the line. Returns true and writes
 /// `*budget_bytes` when the variable is set and parses; malformed values
-/// are ignored (returns false), never fatal.
+/// are ignored (returns false), never fatal. Shared by the FD partition
+/// pool (`OGDP_FD_MEM_BUDGET`) and the content-addressed analysis cache
+/// (`OGDP_CACHE_BUDGET`).
+bool MemoryBudgetFromEnv(const char* var, size_t* budget_bytes);
+
+/// `MemoryBudgetFromEnv` for `OGDP_FD_MEM_BUDGET`.
 bool FdMemoryBudgetFromEnv(size_t* budget_bytes);
 
 /// Budget resolution used by the analysis pipeline: an explicit non-zero

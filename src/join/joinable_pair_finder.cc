@@ -131,6 +131,11 @@ bool JoinablePairFinder::Eligible(const ColumnValueSet& x,
 }
 
 std::vector<JoinablePair> JoinablePairFinder::FindAllPairs() const {
+  return FindAllPairs(nullptr);
+}
+
+std::vector<JoinablePair> JoinablePairFinder::FindAllPairs(
+    const std::vector<uint8_t>* table_dirty) const {
   const double t = options_.jaccard_threshold;
 
   // Rank sets by ascending size (ties by index): a probing set only meets
@@ -196,6 +201,13 @@ std::vector<JoinablePair> JoinablePairFinder::FindAllPairs() const {
         marked[cand] = 0;
         const ColumnValueSet& other = sets_[cand];
         if (!Eligible(probe, other)) continue;
+        // Incremental mode: clean-clean pairs are the previous epoch's
+        // pairs verbatim (identical content -> identical value sets), so
+        // their verification cost is skipped entirely.
+        if (table_dirty != nullptr && !(*table_dirty)[probe.ref.table] &&
+            !(*table_dirty)[other.ref.table]) {
+          continue;
+        }
         if (static_cast<double>(other.tokens.size()) <
             t * static_cast<double>(n) - 1e-9) {
           continue;  // too small to reach the threshold

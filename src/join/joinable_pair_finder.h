@@ -80,6 +80,15 @@ class JoinablePairFinder {
   /// b.ref, sorted.
   std::vector<JoinablePair> FindAllPairs() const;
 
+  /// Delta variant for incremental re-analysis: `table_dirty` flags (one
+  /// per corpus table) restrict verification to pairs touching at least
+  /// one dirty table. Pairs between two clean tables are skipped — the
+  /// caller carries them over from the previous epoch, where identical
+  /// content produced identical value sets and therefore identical
+  /// jaccard/overlap. Passing nullptr behaves like `FindAllPairs()`.
+  std::vector<JoinablePair> FindAllPairs(
+      const std::vector<uint8_t>* table_dirty) const;
+
   /// O(n^2) exact search over eligible columns; used to validate the
   /// filtered search and in the ablation bench.
   std::vector<JoinablePair> FindAllPairsBruteForce() const;

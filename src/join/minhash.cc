@@ -8,20 +8,56 @@
 
 namespace ogdp::join {
 
-MinHashSignature ComputeSignature(const std::vector<uint32_t>& tokens,
-                                  const MinHashOptions& options) {
+namespace {
+
+/// Folds one token into a signature: h_i(t) = mix(mix(t + golden) ^
+/// seed_i). One mix per (token, hash function); cheap and adequate for
+/// Jaccard estimation. Shared by the 32- and 64-bit token paths so a
+/// token's contribution depends only on its integer value.
+void FoldToken(uint64_t token, const MinHashOptions& options,
+               MinHashSignature& sig) {
+  const uint64_t base = MixUint64(token + 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < options.num_hashes; ++i) {
+    const uint64_t h =
+        MixUint64(base ^ (options.seed + i * 0xda942042e4dd58b5ULL));
+    sig.values[i] = std::min(sig.values[i], h);
+  }
+}
+
+MinHashSignature EmptySignature(const MinHashOptions& options) {
   MinHashSignature sig;
   sig.values.assign(options.num_hashes,
                     std::numeric_limits<uint64_t>::max());
-  // One mix per (token, hash function): h_i(t) = mix(t ^ seed_i). Cheap
-  // and adequate for Jaccard estimation.
-  for (uint32_t token : tokens) {
-    const uint64_t base = MixUint64(token + 0x9e3779b97f4a7c15ULL);
-    for (size_t i = 0; i < options.num_hashes; ++i) {
-      const uint64_t h =
-          MixUint64(base ^ (options.seed + i * 0xda942042e4dd58b5ULL));
-      sig.values[i] = std::min(sig.values[i], h);
-    }
+  return sig;
+}
+
+size_t SignatureBytes(const MinHashSignature& sig) {
+  return sizeof(MinHashSignature) + sig.values.size() * sizeof(uint64_t);
+}
+
+}  // namespace
+
+MinHashSignature ComputeSignature(const std::vector<uint32_t>& tokens,
+                                  const MinHashOptions& options) {
+  MinHashSignature sig = EmptySignature(options);
+  for (uint32_t token : tokens) FoldToken(token, options, sig);
+  return sig;
+}
+
+MinHashSignature ComputeSignature64(const std::vector<uint64_t>& tokens,
+                                    const MinHashOptions& options) {
+  MinHashSignature sig = EmptySignature(options);
+  for (uint64_t token : tokens) FoldToken(token, options, sig);
+  return sig;
+}
+
+MinHashSignature ComputeValueSignature(const table::Column& column,
+                                       const MinHashOptions& options) {
+  MinHashSignature sig = EmptySignature(options);
+  // The dictionary holds each distinct value exactly once; min() is
+  // order-independent, so the signature depends only on the value set.
+  for (uint32_t d = 0; d < column.distinct_count(); ++d) {
+    FoldToken(Fnv1a64(column.dict_value(d)), options, sig);
   }
   return sig;
 }
@@ -38,11 +74,26 @@ double EstimateJaccard(const MinHashSignature& a,
 
 MinHashIndex::MinHashIndex(const JoinablePairFinder& finder,
                            const MinHashOptions& options)
-    : finder_(finder), options_(options) {
-  signatures_.reserve(finder.column_sets().size());
-  for (const auto& set : finder.column_sets()) {
-    signatures_.push_back(ComputeSignature(set.tokens, options_));
+    : finder_(finder), options_(options), lease_(options.governor) {
+  const auto& sets = finder.column_sets();
+  signatures_.resize(sets.size());
+  resident_.assign(sets.size(), 0);
+  for (size_t s = 0; s < sets.size(); ++s) {
+    MinHashSignature sig = ComputeSignature(sets[s].tokens, options_);
+    if (lease_.TryCharge(SignatureBytes(sig))) {
+      signatures_[s] = std::move(sig);
+      resident_[s] = 1;
+      ++resident_count_;
+    } else {
+      ++declined_;  // recomputed on demand; results unchanged
+    }
   }
+}
+
+MinHashSignature MinHashIndex::SignatureOf(size_t column_set_index) const {
+  if (resident_[column_set_index]) return signatures_[column_set_index];
+  return ComputeSignature(finder_.column_sets()[column_set_index].tokens,
+                          options_);
 }
 
 std::vector<JoinablePair> MinHashIndex::FindCandidatePairs(
@@ -50,6 +101,21 @@ std::vector<JoinablePair> MinHashIndex::FindCandidatePairs(
   const auto& sets = finder_.column_sets();
   const size_t rows_per_band =
       std::max<size_t>(1, options_.num_hashes / options_.bands);
+
+  // Materialize a full signature view: resident entries by pointer,
+  // governor-declined ones recomputed into scratch (reserved up front so
+  // pointers stay stable).
+  std::vector<MinHashSignature> recomputed;
+  recomputed.reserve(declined_);
+  std::vector<const MinHashSignature*> view(sets.size());
+  for (size_t s = 0; s < sets.size(); ++s) {
+    if (resident_[s]) {
+      view[s] = &signatures_[s];
+    } else {
+      recomputed.push_back(ComputeSignature(sets[s].tokens, options_));
+      view[s] = &recomputed.back();
+    }
+  }
 
   // LSH: bucket signatures per band; columns sharing a bucket in any band
   // become candidates.
@@ -64,10 +130,10 @@ std::vector<JoinablePair> MinHashIndex::FindCandidatePairs(
       // clamp it to the signature length instead of reading past it.
       const size_t row_end =
           std::min(options_.num_hashes, row_begin + rows_per_band);
-      for (size_t s = 0; s < signatures_.size(); ++s) {
+      for (size_t s = 0; s < view.size(); ++s) {
         uint64_t key = Fnv1a64("band") ^ band;
         for (size_t r = row_begin; r < row_end; ++r) {
-          key = HashCombine(key, signatures_[s].values[r]);
+          key = HashCombine(key, view[s]->values[r]);
         }
         buckets[key].push_back(s);
       }
@@ -89,7 +155,7 @@ std::vector<JoinablePair> MinHashIndex::FindCandidatePairs(
     const ColumnValueSet& x = sets[i];
     const ColumnValueSet& y = sets[j];
     if (x.ref.table == y.ref.table) continue;
-    const double estimate = EstimateJaccard(signatures_[i], signatures_[j]);
+    const double estimate = EstimateJaccard(*view[i], *view[j]);
     if (estimate + 1e-12 < threshold) continue;
     JoinablePair pair;
     pair.a = std::min(x.ref, y.ref);

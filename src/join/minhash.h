@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "fd/memory_governor.h"
 #include "join/joinable_pair_finder.h"
+#include "table/column.h"
 
 namespace ogdp::join {
 
@@ -18,16 +20,39 @@ struct MinHashOptions {
   /// per band, the candidate probability is 1 - (1 - J^r)^bands.
   size_t bands = 32;
   uint64_t seed = 0x5151;
+
+  /// Optional memory pool the index's retained signature store leases
+  /// from (DESIGN.md §7.1) — previously the store sized itself
+  /// independently of the corpus-wide governor. A declined charge drops
+  /// that signature from the resident store; it is recomputed on demand
+  /// with byte-identical values, so the budget trades time for memory,
+  /// never results. Not owned; null = no line.
+  fd::MemoryGovernor* governor = nullptr;
 };
 
 /// A MinHash signature of a token set.
 struct MinHashSignature {
   std::vector<uint64_t> values;
+
+  friend bool operator==(const MinHashSignature&,
+                         const MinHashSignature&) = default;
 };
 
 /// Computes the signature of a sorted token set.
 MinHashSignature ComputeSignature(const std::vector<uint32_t>& tokens,
                                   const MinHashOptions& options);
+
+/// 64-bit-token variant (used by the value-based signatures below).
+MinHashSignature ComputeSignature64(const std::vector<uint64_t>& tokens,
+                                    const MinHashOptions& options);
+
+/// Value-based signature of one column: tokens are hashes of the distinct
+/// value strings, so the signature is a pure function of column content
+/// and can be keyed by content hash in the analysis cache. (The finder's
+/// token ids are corpus-relative — insertion order + frequency-rank
+/// remap — and cannot be reused across corpus compositions.)
+MinHashSignature ComputeValueSignature(const table::Column& column,
+                                       const MinHashOptions& options);
 
 /// Estimates Jaccard similarity from two signatures (fraction of agreeing
 /// components). Signatures must use the same options.
@@ -43,18 +68,31 @@ class MinHashIndex {
   MinHashIndex(const JoinablePairFinder& finder,
                const MinHashOptions& options = {});
 
+  MinHashIndex(const MinHashIndex&) = delete;
+  MinHashIndex& operator=(const MinHashIndex&) = delete;
+
   /// Candidate pairs with estimated Jaccard >= threshold, in the exact
-  /// finder's pair order convention (a < b, sorted).
+  /// finder's pair order convention (a < b, sorted). Signatures the
+  /// governor declined are recomputed on the fly; output is
+  /// byte-identical at every budget.
   std::vector<JoinablePair> FindCandidatePairs(double threshold) const;
 
-  const MinHashSignature& signature(size_t column_set_index) const {
-    return signatures_[column_set_index];
-  }
+  /// The signature of column-set `i`: the resident copy, or an on-demand
+  /// recomputation when the governor declined its charge.
+  MinHashSignature SignatureOf(size_t column_set_index) const;
+
+  /// Signatures retained in the resident store / dropped by the governor.
+  size_t resident_signatures() const { return resident_count_; }
+  size_t declined_signatures() const { return declined_; }
 
  private:
   const JoinablePairFinder& finder_;
   MinHashOptions options_;
-  std::vector<MinHashSignature> signatures_;
+  std::vector<MinHashSignature> signatures_;  // empty when non-resident
+  std::vector<uint8_t> resident_;
+  fd::MemoryLease lease_;
+  size_t resident_count_ = 0;
+  size_t declined_ = 0;
 };
 
 }  // namespace ogdp::join

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "csv/csv_writer.h"
+#include "util/hash.h"
 
 namespace ogdp::table {
 
@@ -20,23 +21,44 @@ Result<Table> Table::FromRecords(
     const std::vector<std::vector<std::string>>& rows) {
   std::vector<Column> columns;
   columns.reserve(header.size());
-  for (const std::string& col_name : header) columns.emplace_back(col_name);
+  // Unambiguous framing for the content hash: 0x1f between cells, 0x1e
+  // between records, 0x01 for a missing (padded-null) cell. The name is
+  // deliberately left out so renamed-but-identical resources collide.
+  uint64_t hash = kFnv1a64Init;
+  for (const std::string& col_name : header) {
+    columns.emplace_back(col_name);
+    hash = Fnv1a64Append(hash, col_name);
+    hash = Fnv1a64Append(hash, "\x1f");
+  }
   for (const auto& row : rows) {
     if (row.size() > header.size()) {
       return Status::InvalidArgument(
           "row wider than header in table '" + name + "': " +
           std::to_string(row.size()) + " > " + std::to_string(header.size()));
     }
+    hash = Fnv1a64Append(hash, "\x1e");
     for (size_t c = 0; c < header.size(); ++c) {
       if (c < row.size()) {
         columns[c].AppendCell(row[c]);
+        hash = Fnv1a64Append(hash, row[c]);
+        hash = Fnv1a64Append(hash, "\x1f");
       } else {
         columns[c].AppendNull();
+        hash = Fnv1a64Append(hash, "\x01");
       }
     }
   }
   for (Column& col : columns) col.InferType();
-  return Table(std::move(name), std::move(columns));
+  Table table(std::move(name), std::move(columns));
+  // 0 is reserved for "no hash" (tables not built from records).
+  table.content_hash_ = hash == 0 ? 1 : hash;
+  return table;
+}
+
+size_t Table::MemoryUsage() const {
+  size_t bytes = sizeof(Table) + name_.size() + dataset_id_.size();
+  for (const Column& c : columns_) bytes += c.MemoryUsage();
+  return bytes;
 }
 
 std::optional<size_t> Table::ColumnIndex(const std::string& name) const {

@@ -62,11 +62,23 @@ class Table {
   uint64_t csv_size_bytes() const { return csv_size_bytes_; }
   void set_csv_size_bytes(uint64_t b) { csv_size_bytes_ = b; }
 
+  /// Content hash over header names and raw cells (FNV-1a with cell/row
+  /// separators and a null marker) — deliberately excludes the table name
+  /// and dataset id, so a renamed-but-identical resource hashes the same.
+  /// Nonzero for tables built via `FromRecords`; 0 (no hash) otherwise.
+  /// The content-addressed analysis cache keys on this value.
+  uint64_t content_hash() const { return content_hash_; }
+
+  /// Approximate resident bytes of the dictionary-encoded columns (for
+  /// memory-governor charging of cached tables).
+  size_t MemoryUsage() const;
+
  private:
   std::string name_;
   std::string dataset_id_;
   std::vector<Column> columns_;
   uint64_t csv_size_bytes_ = 0;
+  uint64_t content_hash_ = 0;
 };
 
 }  // namespace ogdp::table

@@ -8,10 +8,19 @@
 
 namespace ogdp::tunion {
 
-UnionableFinder::UnionableFinder(const std::vector<table::Table>& tables) {
+UnionableFinder::UnionableFinder(const std::vector<table::Table>& tables)
+    : UnionableFinder(tables, nullptr, nullptr) {}
+
+UnionableFinder::UnionableFinder(const std::vector<table::Table>& tables,
+                                 const std::vector<uint64_t>* fingerprints,
+                                 fd::MemoryGovernor* governor) {
+  assert(fingerprints == nullptr || fingerprints->size() == tables.size());
   std::map<uint64_t, std::vector<size_t>> by_schema;
   for (size_t t = 0; t < tables.size(); ++t) {
-    by_schema[tables[t].GetSchema().Fingerprint()].push_back(t);
+    const uint64_t fp = fingerprints != nullptr
+                            ? (*fingerprints)[t]
+                            : tables[t].GetSchema().Fingerprint();
+    by_schema[fp].push_back(t);
   }
   unique_schemas_ = by_schema.size();
   degree_.assign(tables.size(), 0);
@@ -36,6 +45,15 @@ UnionableFinder::UnionableFinder(const std::vector<table::Table>& tables) {
     }
     unionable_tables_ += members.size();
     sets_.push_back(std::move(set));
+  }
+
+  if (governor != nullptr) {
+    size_t resident = degree_.size() * sizeof(size_t);
+    for (const UnionableSet& set : sets_) {
+      resident += sizeof(UnionableSet) + set.tables.size() * sizeof(size_t);
+    }
+    lease_ = std::make_unique<fd::MemoryLease>(governor);
+    lease_->ForceCharge(resident);
   }
 }
 

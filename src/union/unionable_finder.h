@@ -2,8 +2,10 @@
 #define OGDP_UNION_UNIONABLE_FINDER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "fd/memory_governor.h"
 #include "table/table.h"
 #include "util/rng.h"
 
@@ -24,6 +26,20 @@ class UnionableFinder {
  public:
   explicit UnionableFinder(const std::vector<table::Table>& tables);
 
+  /// Same grouping, but schema fingerprints may be supplied precomputed
+  /// (the content-addressed cache path — one per table, parallel to
+  /// `tables`) and the retained group state (degree vector + sets) is
+  /// charged to `governor` for the finder's lifetime. The charge is
+  /// unconditional (the state must exist for the finder to answer), so
+  /// grouping results are identical at every budget; the pool gains
+  /// observability and pressure signaling. Either argument may be null.
+  UnionableFinder(const std::vector<table::Table>& tables,
+                  const std::vector<uint64_t>* fingerprints,
+                  fd::MemoryGovernor* governor);
+
+  UnionableFinder(UnionableFinder&&) = default;
+  UnionableFinder& operator=(UnionableFinder&&) = default;
+
   /// Sets of >= 2 tables with identical schemas, ordered by first member.
   const std::vector<UnionableSet>& unionable_sets() const { return sets_; }
 
@@ -42,6 +58,9 @@ class UnionableFinder {
   std::vector<size_t> degree_;  // per table
   size_t unique_schemas_ = 0;
   size_t unionable_tables_ = 0;
+  /// Governor lease on the retained state (pointer: MemoryLease is
+  /// pinned, the finder must stay movable). Releases on destruction.
+  std::unique_ptr<fd::MemoryLease> lease_;
 };
 
 /// A sampled pair of unionable tables (indices into the corpus).

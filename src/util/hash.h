@@ -20,6 +20,18 @@ inline uint64_t Fnv1a64(std::string_view bytes) {
   return h;
 }
 
+/// Incremental form of `Fnv1a64`: folds `bytes` into an existing FNV-1a
+/// state, so multi-part content (header, cells, separators) can be hashed
+/// without concatenating into one buffer. Seed with `kFnv1a64Init`.
+inline constexpr uint64_t kFnv1a64Init = 0xcbf29ce484222325ULL;
+inline uint64_t Fnv1a64Append(uint64_t h, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 /// Mixes an integer into an existing hash (boost::hash_combine style, with a
 /// 64-bit golden-ratio constant).
 inline uint64_t HashCombine(uint64_t seed, uint64_t value) {

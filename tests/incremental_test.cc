@@ -1,0 +1,274 @@
+// Tests for the content-addressed analysis cache and the incremental
+// re-analysis runner: byte-identity with the from-scratch pipeline,
+// reuse accounting, decline degradation, and churn edge cases.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analysis_cache.h"
+#include "core/analysis_suite.h"
+#include "core/incremental.h"
+#include "core/ingestion.h"
+#include "core/portal_model.h"
+#include "corpus/snapshot.h"
+#include "fd/memory_governor.h"
+#include "fetch/fault_schedule.h"
+
+namespace ogdp::core {
+namespace {
+
+// A small fixed portal whose tables land in the FD sample and produce
+// joinable pairs (shared record_id value sets across datasets).
+corpus::PortalSnapshot MakeSnapshot() {
+  corpus::PortalSnapshot snap;
+  snap.portal.name = "inc";
+  for (int d = 0; d < 3; ++d) {
+    core::Dataset ds;
+    ds.id = "ds" + std::to_string(d);
+    for (int r = 0; r < 2; ++r) {
+      core::Resource res;
+      res.name = "t" + std::to_string(d) + std::to_string(r) + ".csv";
+      res.claimed_format = "CSV";
+      // 5 columns x 24 rows: inside the FD sample window, record_id
+      // joinable across tables.
+      std::string doc = "record_id,region,period,code,value\n";
+      for (int i = 0; i < 24; ++i) {
+        doc += std::to_string(i) + ",g" + std::to_string(i % 4) + ",m" +
+               std::to_string(i % 12) + ",c" +
+               std::to_string((i * 7 + d) % 40) + "," +
+               std::to_string(100 * d + 10 * r + i) + "\n";
+      }
+      res.content = std::move(doc);
+      ds.resources.push_back(std::move(res));
+    }
+    snap.portal.datasets.push_back(std::move(ds));
+  }
+  return snap;
+}
+
+AnalysisSuiteOptions SuiteOptions() {
+  AnalysisSuiteOptions suite;
+  // Unlimited FD budget keeps replayed governor telemetry content-pure.
+  suite.fd_memory_budget_bytes = fd::kUnlimitedFdMemoryBudget;
+  return suite;
+}
+
+IngestOptions EnvProofIngest() {
+  IngestOptions ingest;
+  ingest.faults = fetch::FaultProfile{};  // explicit: env-proof
+  return ingest;
+}
+
+PortalAnalysis ScratchAnalysis(const corpus::PortalSnapshot& snap) {
+  PortalBundle bundle;
+  bundle.name = snap.portal.name;
+  bundle.portal = snap.portal;
+  bundle.truth = snap.truth;
+  bundle.ingest = IngestPortal(snap.portal, EnvProofIngest());
+  return RunFullAnalysis(bundle, SuiteOptions());
+}
+
+corpus::ChurnProfile NoChurn() {
+  corpus::ChurnProfile churn;
+  churn.dataset_add_rate = 0;
+  churn.dataset_remove_rate = 0;
+  churn.resource_update_rate = 0;
+  churn.resource_rename_rate = 0;
+  return churn;
+}
+
+TEST(AnalysisCacheTest, FdArtifactRoundTrip) {
+  AnalysisCache cache(fd::kUnlimitedFdMemoryBudget);
+  const uint64_t key = FdCacheKey(0x1234, /*seed=*/7);
+  EXPECT_EQ(cache.FindFd(key), nullptr);
+  EXPECT_EQ(cache.stats().fd.misses, 1u);
+
+  FdArtifact art;
+  art.mined = true;
+  art.has_fd = true;
+  art.decomp_count = 3;
+  art.compute_seconds = 0.5;
+  cache.StoreFd(key, art);
+  const auto hit = cache.FindFd(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->decomp_count, 3u);
+  EXPECT_TRUE(hit->has_fd);
+  EXPECT_EQ(cache.stats().fd.hits, 1u);
+  EXPECT_EQ(cache.stats().fd.stores, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().fd.saved_seconds, 0.5);
+}
+
+TEST(AnalysisCacheTest, OneByteBudgetDeclinesEveryStore) {
+  AnalysisCache cache(1);
+  FdArtifact art;
+  art.mined = true;
+  cache.StoreFd(FdCacheKey(0x1234, 7), art);
+  EXPECT_EQ(cache.FindFd(FdCacheKey(0x1234, 7)), nullptr);
+  EXPECT_GE(cache.stats().fd.declines, 1u);
+  EXPECT_EQ(cache.stats().fd.stores, 0u);
+}
+
+TEST(IncrementalTest, FirstEpochMatchesScratchAndCountsAllDirty) {
+  const corpus::PortalSnapshot snap = MakeSnapshot();
+  IncrementalState state(fd::kUnlimitedFdMemoryBudget);
+  const IncrementalResult inc =
+      RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+
+  EXPECT_EQ(RenderPortalAnalysis(inc.analysis),
+            RenderPortalAnalysis(ScratchAnalysis(snap)));
+  EXPECT_EQ(inc.stats.tables_total, 6u);
+  EXPECT_EQ(inc.stats.tables_clean, 0u);
+  EXPECT_EQ(inc.stats.tables_dirty, 6u);
+  EXPECT_EQ(inc.stats.fd_reused, 0u);
+  EXPECT_EQ(inc.stats.pairs_carried, 0u);
+  EXPECT_EQ(inc.stats.resources_added, 6u);  // first epoch: all new
+}
+
+TEST(IncrementalTest, UnchangedEpochReusesEverything) {
+  corpus::PortalSnapshot snap = MakeSnapshot();
+  IncrementalState state(fd::kUnlimitedFdMemoryBudget);
+  RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+
+  snap = corpus::AdvanceEpoch(snap, NoChurn(), 1);
+  const IncrementalResult inc =
+      RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+
+  EXPECT_EQ(RenderPortalAnalysis(inc.analysis),
+            RenderPortalAnalysis(ScratchAnalysis(snap)));
+  EXPECT_EQ(inc.stats.resources_unchanged, 6u);
+  EXPECT_EQ(inc.stats.tables_clean, 6u);
+  EXPECT_EQ(inc.stats.tables_dirty, 0u);
+  // Nothing recomputed: parse, keys, FDs, and fingerprints all replay,
+  // and the whole joinable-pair index carries over.
+  EXPECT_EQ(inc.stats.parse_reused, 6u);
+  EXPECT_EQ(inc.stats.parse_recomputed, 0u);
+  EXPECT_EQ(inc.stats.keys_recomputed, 0u);
+  EXPECT_EQ(inc.stats.fd_recomputed, 0u);
+  EXPECT_EQ(inc.stats.keys_reused, 6u);
+  EXPECT_EQ(inc.stats.fd_reused, 6u);
+  EXPECT_EQ(inc.stats.pairs_recomputed, 0u);
+  EXPECT_EQ(inc.stats.pairs_carried, inc.analysis.joins.total_pairs);
+  EXPECT_GT(inc.stats.pairs_carried, 0u);  // the fixture must be joinable
+  EXPECT_GT(inc.stats.saved_fd_seconds, 0.0);
+}
+
+TEST(IncrementalTest, FullChurnMatchesScratchWithNothingClean) {
+  corpus::PortalSnapshot snap = MakeSnapshot();
+  IncrementalState state(fd::kUnlimitedFdMemoryBudget);
+  RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+
+  corpus::ChurnProfile churn = NoChurn();
+  churn.resource_update_rate = 1.0;  // 100% churn: every resource changes
+  snap = corpus::AdvanceEpoch(snap, churn, 1);
+  const IncrementalResult inc =
+      RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+
+  EXPECT_EQ(RenderPortalAnalysis(inc.analysis),
+            RenderPortalAnalysis(ScratchAnalysis(snap)));
+  EXPECT_EQ(inc.stats.resources_updated, 6u);
+  EXPECT_EQ(inc.stats.tables_clean, 0u);
+  EXPECT_EQ(inc.stats.fd_reused, 0u);
+  EXPECT_EQ(inc.stats.pairs_carried, 0u);
+}
+
+TEST(IncrementalTest, RenamedResourcesStayClean) {
+  corpus::PortalSnapshot snap = MakeSnapshot();
+  IncrementalState state(fd::kUnlimitedFdMemoryBudget);
+  RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+
+  corpus::ChurnProfile churn = NoChurn();
+  churn.resource_rename_rate = 1.0;  // rename everything, bytes untouched
+  snap = corpus::AdvanceEpoch(snap, churn, 1);
+  const IncrementalResult inc =
+      RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+
+  EXPECT_EQ(RenderPortalAnalysis(inc.analysis),
+            RenderPortalAnalysis(ScratchAnalysis(snap)));
+  // The cache keys on content, so a rename costs nothing downstream of
+  // the fetch: every table is clean and every FD outcome replays.
+  EXPECT_EQ(inc.stats.renames_detected, 6u);
+  EXPECT_EQ(inc.stats.tables_clean, 6u);
+  EXPECT_EQ(inc.stats.fd_reused, 6u);
+  EXPECT_EQ(inc.stats.fd_recomputed, 0u);
+}
+
+TEST(IncrementalTest, DeclinedCacheDegradesToRecomputeByteIdentically) {
+  corpus::PortalSnapshot snap = MakeSnapshot();
+  IncrementalState state(/*cache_budget_override=*/1);
+  const IncrementalResult first =
+      RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+  EXPECT_GT(first.stats.cache_declines, 0u);
+
+  snap = corpus::AdvanceEpoch(snap, NoChurn(), 1);
+  const IncrementalResult inc =
+      RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+
+  // Everything the governor declined is recomputed — output unchanged.
+  EXPECT_EQ(RenderPortalAnalysis(inc.analysis),
+            RenderPortalAnalysis(ScratchAnalysis(snap)));
+  EXPECT_EQ(inc.stats.parse_reused, 0u);
+  EXPECT_EQ(inc.stats.fd_reused, 0u);
+  EXPECT_EQ(inc.stats.keys_reused, 0u);
+  // The joinable-pair carry does not go through the governor, so clean
+  // tables still skip the pair re-verification.
+  EXPECT_EQ(inc.stats.tables_clean, 6u);
+  EXPECT_EQ(inc.stats.pairs_recomputed, 0u);
+}
+
+TEST(IncrementalTest, DriftedTablesRemineWhileRestReplays) {
+  corpus::PortalSnapshot snap = MakeSnapshot();
+  IncrementalState state(fd::kUnlimitedFdMemoryBudget);
+  RunIncrementalAnalysis(state, snap, SuiteOptions(), EnvProofIngest());
+
+  // Drift exactly one resource's schema by hand: new trailing column.
+  corpus::PortalSnapshot next = snap;
+  next.epoch = 1;
+  core::Resource& drifted = next.portal.datasets[0].resources[0];
+  std::string patched;
+  bool header = true;
+  for (size_t pos = 0; pos < drifted.content.size();) {
+    const size_t eol = drifted.content.find('\n', pos);
+    patched += drifted.content.substr(pos, eol - pos);
+    patched += header ? ",flag" : ",1";
+    patched += '\n';
+    header = false;
+    pos = eol + 1;
+  }
+  drifted.content = std::move(patched);
+  if (corpus::TableTruth* t =
+          next.truth.FindMutable("ds0", drifted.name)) {
+    corpus::ColumnTruth ct;
+    ct.domain = "ds0.flag";
+    t->columns.push_back(ct);
+  }
+
+  const IncrementalResult inc =
+      RunIncrementalAnalysis(state, next, SuiteOptions(), EnvProofIngest());
+  EXPECT_EQ(RenderPortalAnalysis(inc.analysis),
+            RenderPortalAnalysis(ScratchAnalysis(next)));
+  // Schema drift invalidates the drifted table's artifacts and nothing
+  // else: 5 tables replay, 1 re-mines.
+  EXPECT_EQ(inc.stats.resources_updated, 1u);
+  EXPECT_EQ(inc.stats.tables_clean, 5u);
+  EXPECT_EQ(inc.stats.tables_dirty, 1u);
+  EXPECT_EQ(inc.stats.fd_reused, 5u);
+  EXPECT_EQ(inc.stats.fd_recomputed, 1u);
+}
+
+TEST(IncrementalTest, StatsRenderMentionsEveryCounter) {
+  IncrementalStats stats;
+  stats.epoch = 2;
+  const std::string out = RenderIncrementalStats(stats);
+  for (const char* needle :
+       {"incremental epoch 2", "resources added", "renames", "tables clean",
+        "parse reused", "keys reused", "FDs reused", "signatures",
+        "fingerprints", "pairs carried", "cache hit bytes", "declines",
+        "saved seconds", "epoch seconds"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace ogdp::core

@@ -1,0 +1,200 @@
+// Tests for the temporal portal snapshots: epoch determinism, the
+// resource-level diff (including content-identical renames), churn
+// mechanics, and the degenerate no-churn / full-churn profiles.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/portal_model.h"
+#include "corpus/portal_profile.h"
+#include "corpus/snapshot.h"
+
+namespace ogdp::corpus {
+namespace {
+
+// A tiny two-dataset portal with fixed CSV bytes, for targeted diffs.
+PortalSnapshot TinySnapshot() {
+  PortalSnapshot snap;
+  snap.portal.name = "tiny";
+  for (int d = 0; d < 2; ++d) {
+    core::Dataset ds;
+    ds.id = "ds" + std::to_string(d);
+    for (int r = 0; r < 2; ++r) {
+      core::Resource res;
+      res.name = "r" + std::to_string(d) + std::to_string(r) + ".csv";
+      res.claimed_format = "CSV";
+      res.content = "id,value\n1," + std::to_string(10 * d + r) + "\n2,9\n";
+      ds.resources.push_back(res);
+
+      TableTruth tt;
+      tt.dataset_id = ds.id;
+      tt.table_name = res.name;
+      snap.truth.AddTable(std::move(tt));
+    }
+    snap.portal.datasets.push_back(ds);
+  }
+  return snap;
+}
+
+std::vector<uint64_t> AllContentHashes(const core::Portal& portal) {
+  std::vector<uint64_t> hashes;
+  for (const auto& ds : portal.datasets) {
+    for (const auto& r : ds.resources) {
+      hashes.push_back(ResourceContentHash(r));
+    }
+  }
+  return hashes;
+}
+
+TEST(SnapshotTest, ChainIsDeterministic) {
+  const auto a = GenerateSnapshotChain(SgPortalProfile(), 0.05, 3);
+  const auto b = GenerateSnapshotChain(SgPortalProfile(), 0.05, 3);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  for (size_t e = 0; e < a.size(); ++e) {
+    EXPECT_EQ(a[e].epoch, e);
+    EXPECT_EQ(AllContentHashes(a[e].portal), AllContentHashes(b[e].portal));
+    const SnapshotDiff diff = DiffSnapshots(a[e].portal, b[e].portal);
+    EXPECT_EQ(diff.added, 0u);
+    EXPECT_EQ(diff.removed, 0u);
+    EXPECT_EQ(diff.updated, 0u);
+  }
+}
+
+TEST(SnapshotTest, ChainActuallyChurns) {
+  const auto chain = GenerateSnapshotChain(UkPortalProfile(), 0.08, 4);
+  size_t changed_epochs = 0;
+  for (size_t e = 1; e < chain.size(); ++e) {
+    const SnapshotDiff diff =
+        DiffSnapshots(chain[e - 1].portal, chain[e].portal);
+    changed_epochs += diff.added + diff.removed + diff.updated > 0;
+  }
+  // The UK profile is update-heavy; a 4-epoch chain that never changes
+  // means the churn machinery is dead.
+  EXPECT_GT(changed_epochs, 0u);
+}
+
+TEST(SnapshotTest, EmptyDeltaIsNoOp) {
+  const PortalSnapshot snap = TinySnapshot();
+  const SnapshotDiff diff = DiffSnapshots(snap.portal, snap.portal);
+  EXPECT_EQ(diff.added, 0u);
+  EXPECT_EQ(diff.removed, 0u);
+  EXPECT_EQ(diff.updated, 0u);
+  EXPECT_EQ(diff.unchanged, 4u);
+  EXPECT_EQ(diff.renames_detected, 0u);
+  for (const ResourceDelta& d : diff.deltas) {
+    EXPECT_EQ(d.change, ResourceChange::kUnchanged);
+    EXPECT_FALSE(d.renamed_content_identical);
+  }
+}
+
+TEST(SnapshotTest, ZeroChurnAdvanceKeepsBytes) {
+  const PortalSnapshot snap = TinySnapshot();
+  ChurnProfile still;
+  still.dataset_add_rate = 0;
+  still.dataset_remove_rate = 0;
+  still.resource_update_rate = 0;
+  still.resource_rename_rate = 0;
+  const PortalSnapshot next = AdvanceEpoch(snap, still, 1);
+  EXPECT_EQ(next.epoch, 1u);
+  EXPECT_EQ(AllContentHashes(next.portal), AllContentHashes(snap.portal));
+  const SnapshotDiff diff = DiffSnapshots(snap.portal, next.portal);
+  EXPECT_EQ(diff.unchanged, 4u);
+}
+
+TEST(SnapshotTest, RenameIsContentIdenticalAndDetected) {
+  const PortalSnapshot snap = TinySnapshot();
+  PortalSnapshot renamed = snap;
+  renamed.portal.datasets[0].resources[1].name = "renamed.csv";
+
+  const SnapshotDiff diff = DiffSnapshots(snap.portal, renamed.portal);
+  EXPECT_EQ(diff.added, 1u);
+  EXPECT_EQ(diff.removed, 1u);
+  EXPECT_EQ(diff.updated, 0u);
+  EXPECT_EQ(diff.unchanged, 3u);
+  EXPECT_EQ(diff.renames_detected, 1u);
+  size_t flagged = 0;
+  for (const ResourceDelta& d : diff.deltas) {
+    if (d.renamed_content_identical) {
+      ++flagged;
+      EXPECT_TRUE(d.change == ResourceChange::kAdded ||
+                  d.change == ResourceChange::kRemoved);
+    }
+  }
+  EXPECT_EQ(flagged, 2u);  // both sides of the rename
+
+  // The content-addressed cache keys on bytes, so the renamed resource
+  // must hash identically to its previous incarnation.
+  EXPECT_EQ(ResourceContentHash(snap.portal.datasets[0].resources[1]),
+            ResourceContentHash(renamed.portal.datasets[0].resources[1]));
+}
+
+TEST(SnapshotTest, RenameChurnRekeysTruth) {
+  const PortalSnapshot snap = TinySnapshot();
+  ChurnProfile churn;
+  churn.dataset_add_rate = 0;
+  churn.dataset_remove_rate = 0;
+  churn.resource_update_rate = 0;
+  churn.resource_rename_rate = 1.0;  // rename everything
+  const PortalSnapshot next = AdvanceEpoch(snap, churn, 1);
+
+  const SnapshotDiff diff = DiffSnapshots(snap.portal, next.portal);
+  EXPECT_EQ(diff.renames_detected, 4u);
+  EXPECT_EQ(diff.updated, 0u);
+  for (const auto& ds : next.portal.datasets) {
+    for (const auto& r : ds.resources) {
+      EXPECT_NE(r.name, "");  // renamed, not dropped
+      EXPECT_NE(next.truth.Find(ds.id, r.name), nullptr)
+          << "truth not re-keyed for " << r.name;
+    }
+  }
+}
+
+TEST(SnapshotTest, SchemaDriftChangesContentHash) {
+  const PortalSnapshot snap = TinySnapshot();
+  ChurnProfile churn;
+  churn.dataset_add_rate = 0;
+  churn.dataset_remove_rate = 0;
+  churn.resource_update_rate = 1.0;
+  churn.resource_rename_rate = 0;
+  churn.append_weight = 0;
+  churn.edit_weight = 0;
+  churn.drift_weight = 1.0;  // every update is a schema drift
+  const PortalSnapshot next = AdvanceEpoch(snap, churn, 1);
+
+  const SnapshotDiff diff = DiffSnapshots(snap.portal, next.portal);
+  EXPECT_EQ(diff.updated, 4u);
+  EXPECT_EQ(diff.unchanged, 0u);
+  // Drift invalidates every content-addressed artifact: each drifted
+  // resource must hash to new bytes, and the header must have grown.
+  const auto before = AllContentHashes(snap.portal);
+  const auto after = AllContentHashes(next.portal);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) EXPECT_NE(before[i], after[i]);
+  for (const auto& ds : next.portal.datasets) {
+    for (const auto& r : ds.resources) {
+      const std::string header = r.content.substr(0, r.content.find('\n'));
+      EXPECT_GT(header.size(), std::string("id,value").size()) << r.name;
+    }
+  }
+}
+
+TEST(SnapshotTest, FullRemovalChurnEmptiesPortal) {
+  const PortalSnapshot snap = TinySnapshot();
+  ChurnProfile churn;
+  churn.dataset_add_rate = 0;
+  churn.dataset_remove_rate = 1.0;
+  churn.resource_update_rate = 0;
+  churn.resource_rename_rate = 0;
+  const PortalSnapshot next = AdvanceEpoch(snap, churn, 1);
+  EXPECT_TRUE(next.portal.datasets.empty());
+  const SnapshotDiff diff = DiffSnapshots(snap.portal, next.portal);
+  EXPECT_EQ(diff.removed, 4u);
+  EXPECT_EQ(diff.unchanged, 0u);
+}
+
+}  // namespace
+}  // namespace ogdp::corpus
