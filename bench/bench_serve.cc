@@ -1,0 +1,296 @@
+// Serving-layer bench: builds the sharded snapshot index over each
+// synthetic portal and replays a seeded query mix (whole-table join
+// lookups, union lookups, keyword searches) through the served path and
+// through the per-query brute-force reference, reporting per-family and
+// overall median latencies and the median per-query speedup. Emits
+// BENCH_serve.json in the working directory.
+//
+// Env: OGDP_BENCH_SCALE (default 0.25), OGDP_BENCH_THREADS. Set
+// OGDP_BENCH_SERVE_GUARD=1 for the tier-1 CI guard: a small fixed
+// configuration that rebuilds each index at two thread counts (digests
+// must match), replays every query against the brute-force reference
+// (results must be identical), and probes budget degradation (smaller
+// budgets must yield subsequences). Nonzero exit on any divergence; the
+// guard never writes the JSON.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/ingestion.h"
+#include "corpus/snapshot.h"
+#include "fetch/fault_schedule.h"
+#include "serve/brute_force.h"
+#include "serve/index_snapshot.h"
+#include "serve/query_engine.h"
+
+namespace {
+
+using namespace ogdp;
+
+double MedianUs(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : (v[mid - 1] + v[mid]) / 2;
+}
+
+// Env-proof unlimited budget (never consults OGDP_QUERY_BUDGET_MS).
+serve::QueryBudget Unlimited() {
+  serve::QueryBudget b;
+  b.time_budget_ms = 0;
+  return b;
+}
+
+// Minimum of three timed runs, in microseconds — the queries are
+// microsecond-scale, so a single sample is mostly scheduler noise.
+template <typename Fn>
+double TimeUs(const Fn& fn) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch sw;
+    fn();
+    const double us = sw.ElapsedSeconds() * 1e6;
+    if (rep == 0 || us < best) best = us;
+  }
+  return best;
+}
+
+bool SameJoins(const serve::JoinResult& a, const serve::JoinResult& b) {
+  if (a.hits.size() != b.hits.size()) return false;
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    const serve::JoinHit& x = a.hits[i];
+    const serve::JoinHit& y = b.hits[i];
+    if (x.query_column.table != y.query_column.table ||
+        x.query_column.column != y.query_column.column ||
+        x.match.table != y.match.table || x.match.column != y.match.column ||
+        x.jaccard != y.jaccard || x.score != y.score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct PortalStats {
+  std::string name;
+  size_t tables = 0;
+  size_t column_sets = 0;
+  size_t queries = 0;
+  double build_seconds = 0;
+  double served_median_us = 0;
+  double brute_median_us = 0;
+  double join_speedup = 0;
+  double union_speedup = 0;
+  double keyword_speedup = 0;
+  double median_speedup = 0;  // median of per-query brute/served ratios
+};
+
+}  // namespace
+
+int main() {
+  const bool guard = []() {
+    const char* env = std::getenv("OGDP_BENCH_SERVE_GUARD");
+    return env != nullptr && env[0] == '1';
+  }();
+  const double scale = guard ? 0.05 : bench::ScaleFromEnv();
+  const size_t threads = bench::ThreadsFromEnv();
+
+  core::IngestOptions ingest;
+  ingest.faults = fetch::FaultProfile{};  // explicit: env-proof
+  serve::ServeOptions options;
+  options.shards = 4;  // pinned: the bench never reads OGDP_SERVE_SHARDS
+
+  std::printf("[serve] scale %.2f, %zu thread%s, %zu shards%s\n", scale,
+              threads, threads == 1 ? "" : "s", options.shards,
+              guard ? " (guard mode)" : "");
+
+  std::vector<PortalStats> portals;
+  size_t divergences = 0;
+  for (const auto& profile : corpus::AllPortalProfiles()) {
+    const auto chain = corpus::GenerateSnapshotChain(profile, scale, 1);
+    const core::IngestResult corpus = core::IngestPortal(chain[0].portal, ingest);
+    const std::vector<table::Table>& tables = corpus.tables;
+
+    PortalStats ps;
+    ps.name = profile.name;
+    ps.tables = tables.size();
+
+    Stopwatch build_sw;
+    const auto snapshot = serve::BuildIndexSnapshot(tables, options, 1);
+    ps.build_seconds = build_sw.ElapsedSeconds();
+    ps.column_sets = snapshot->column_sets.size();
+
+    if (guard) {
+      // Determinism: the same corpus must produce byte-identical indexes
+      // at any build thread count.
+      const size_t ambient = util::GlobalThreadCount();
+      util::SetGlobalThreadCount(1);
+      const auto serial = serve::BuildIndexSnapshot(tables, options, 1);
+      util::SetGlobalThreadCount(ambient);
+      if (serial->Digest() != snapshot->Digest()) {
+        ++divergences;
+        std::printf("[serve] %s: DIGESTS DIVERGE ACROSS THREADS (BUG)\n",
+                    profile.name.c_str());
+      }
+    }
+
+    std::vector<double> served_us, brute_us, ratios;
+    std::vector<double> join_served, join_brute, union_served, union_brute,
+        keyword_served, keyword_brute;
+    for (uint32_t t = 0; t < tables.size(); ++t) {
+      const serve::JoinQuery jq{t, std::nullopt, 10};
+      serve::JoinResult js, jb;
+      join_served.push_back(
+          TimeUs([&] { js = serve::QueryJoins(*snapshot, jq, Unlimited()); }));
+      join_brute.push_back(TimeUs(
+          [&] { jb = serve::BruteForceJoins(*snapshot, jq, Unlimited()); }));
+      if (guard && !SameJoins(js, jb)) {
+        ++divergences;
+        std::printf("[serve] %s table %u: JOIN RESULTS DIVERGE (BUG)\n",
+                    profile.name.c_str(), t);
+      }
+      if (guard) {
+        // Budget degradation: a capped result must be a subsequence of
+        // the unbudgeted ranking. Probed at unbounded k — top-k
+        // truncation would legitimately let a capped run keep a hit the
+        // full run's top k dropped.
+        const serve::JoinQuery wide{t, std::nullopt, size_t{1} << 20};
+        const serve::JoinResult js_wide =
+            serve::QueryJoins(*snapshot, wide, Unlimited());
+        for (size_t cap : {size_t{1}, size_t{4}}) {
+          serve::QueryBudget budget = Unlimited();
+          budget.max_candidates = cap;
+          const serve::JoinResult capped =
+              serve::QueryJoins(*snapshot, wide, budget);
+          size_t j = 0;
+          for (const serve::JoinHit& hit : capped.hits) {
+            while (j < js_wide.hits.size() &&
+                   !(js_wide.hits[j].match.table == hit.match.table &&
+                     js_wide.hits[j].match.column == hit.match.column &&
+                     js_wide.hits[j].query_column.column ==
+                         hit.query_column.column &&
+                     js_wide.hits[j].score == hit.score)) {
+              ++j;
+            }
+            if (j++ >= js_wide.hits.size()) {
+              ++divergences;
+              std::printf(
+                  "[serve] %s table %u cap %zu: BUDGET NOT A SUBSET (BUG)\n",
+                  profile.name.c_str(), t, cap);
+              break;
+            }
+          }
+        }
+      }
+
+      const serve::UnionQuery uq{t, 10};
+      serve::UnionResult us_r, ub;
+      union_served.push_back(
+          TimeUs([&] { us_r = serve::QueryUnions(*snapshot, uq, Unlimited()); }));
+      union_brute.push_back(TimeUs(
+          [&] { ub = serve::BruteForceUnions(*snapshot, uq, Unlimited()); }));
+      if (guard && (us_r.hits.size() != ub.hits.size())) {
+        ++divergences;
+        std::printf("[serve] %s table %u: UNION RESULTS DIVERGE (BUG)\n",
+                    profile.name.c_str(), t);
+      }
+
+      const serve::KeywordQuery kq{snapshot->entries[t].name, 10};
+      serve::KeywordResult ks, kb;
+      keyword_served.push_back(TimeUs(
+          [&] { ks = serve::QueryKeywords(*snapshot, kq, Unlimited()); }));
+      keyword_brute.push_back(TimeUs(
+          [&] { kb = serve::BruteForceKeywords(*snapshot, kq, Unlimited()); }));
+      if (guard && (ks.hits.size() != kb.hits.size())) {
+        ++divergences;
+        std::printf("[serve] %s table %u: KEYWORD RESULTS DIVERGE (BUG)\n",
+                    profile.name.c_str(), t);
+      }
+    }
+
+    auto fold = [&](const std::vector<double>& s, const std::vector<double>& b) {
+      for (size_t i = 0; i < s.size(); ++i) {
+        served_us.push_back(s[i]);
+        brute_us.push_back(b[i]);
+        ratios.push_back(s[i] > 0 ? b[i] / s[i] : 0);
+      }
+    };
+    fold(join_served, join_brute);
+    fold(union_served, union_brute);
+    fold(keyword_served, keyword_brute);
+
+    ps.queries = served_us.size();
+    ps.served_median_us = MedianUs(served_us);
+    ps.brute_median_us = MedianUs(brute_us);
+    ps.join_speedup = MedianUs(join_brute) / std::max(1e-9, MedianUs(join_served));
+    ps.union_speedup =
+        MedianUs(union_brute) / std::max(1e-9, MedianUs(union_served));
+    ps.keyword_speedup =
+        MedianUs(keyword_brute) / std::max(1e-9, MedianUs(keyword_served));
+    ps.median_speedup = MedianUs(ratios);
+    std::printf(
+        "[serve] %s: %zu tables, %zu column sets, build %.2fs; med served "
+        "%.1fus vs brute %.1fus (join %.0fx, union %.0fx, keyword %.0fx, "
+        "median %.0fx)\n",
+        ps.name.c_str(), ps.tables, ps.column_sets, ps.build_seconds,
+        ps.served_median_us, ps.brute_median_us, ps.join_speedup,
+        ps.union_speedup, ps.keyword_speedup, ps.median_speedup);
+    portals.push_back(std::move(ps));
+  }
+
+  double overall_served = 0, overall_brute = 0, overall_ratio = 0;
+  {
+    std::vector<double> s, b, r;
+    for (const PortalStats& ps : portals) {
+      s.push_back(ps.served_median_us);
+      b.push_back(ps.brute_median_us);
+      r.push_back(ps.median_speedup);
+    }
+    overall_served = MedianUs(s);
+    overall_brute = MedianUs(b);
+    overall_ratio = MedianUs(r);
+  }
+  std::printf("[serve] overall: med served %.1fus, med brute %.1fus, median "
+              "per-query speedup %.0fx\n",
+              overall_served, overall_brute, overall_ratio);
+  if (guard) {
+    std::printf("[serve] guard: %s\n",
+                divergences == 0 ? "served == brute everywhere, digests stable"
+                                 : "DIVERGENCES FOUND (BUG)");
+  }
+
+  if (!guard) {
+    FILE* json = std::fopen("BENCH_serve.json", "w");
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "{\n  \"scale\": %.4f,\n  \"threads\": %zu,\n"
+                   "  \"shards\": %zu,\n  \"overall_served_median_us\": %.2f,\n"
+                   "  \"overall_brute_median_us\": %.2f,\n"
+                   "  \"overall_median_speedup\": %.2f,\n  \"portals\": [\n",
+                   scale, threads, options.shards, overall_served,
+                   overall_brute, overall_ratio);
+      for (size_t p = 0; p < portals.size(); ++p) {
+        const PortalStats& ps = portals[p];
+        std::fprintf(
+            json,
+            "    {\"portal\": \"%s\", \"tables\": %zu, "
+            "\"column_sets\": %zu, \"queries\": %zu, "
+            "\"build_s\": %.4f,\n     \"served_median_us\": %.2f, "
+            "\"brute_median_us\": %.2f, \"join_speedup\": %.2f, "
+            "\"union_speedup\": %.2f, \"keyword_speedup\": %.2f, "
+            "\"median_speedup\": %.2f}%s\n",
+            ps.name.c_str(), ps.tables, ps.column_sets, ps.queries,
+            ps.build_seconds, ps.served_median_us, ps.brute_median_us,
+            ps.join_speedup, ps.union_speedup, ps.keyword_speedup,
+            ps.median_speedup, p + 1 < portals.size() ? "," : "");
+      }
+      std::fprintf(json, "  ]\n}\n");
+      std::fclose(json);
+      std::printf("Wrote BENCH_serve.json\n");
+    }
+  }
+  return divergences == 0 ? 0 : 1;
+}

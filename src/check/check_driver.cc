@@ -6,7 +6,8 @@
 // Runs the differential/metamorphic oracles (csv_round_trip,
 // fd_tane_vs_fun, bcnf_lossless_join, lsh_superset, codec_round_trip,
 // cleaning_idempotence, union_finder_differential, header_modal_width,
-// fetch_equivalence, join_ranker_monotonicity, incremental_equivalence)
+// fetch_equivalence, join_ranker_monotonicity, incremental_equivalence,
+// serve_equivalence)
 // and prints one report per oracle. Output is byte-reproducible for a
 // fixed seed; the exit code is 0 iff every oracle holds on every case.
 // `--corpus` mixes the committed regression documents into the CSV
@@ -33,7 +34,7 @@ void Usage(const char* argv0) {
                "bcnf_lossless_join|lsh_superset|codec_round_trip|"
                "cleaning_idempotence|union_finder_differential|"
                "header_modal_width|fetch_equivalence|"
-               "join_ranker_monotonicity|incremental_equivalence]\n",
+               "join_ranker_monotonicity|incremental_equivalence|serve_equivalence]\n",
                argv0);
 }
 
@@ -124,6 +125,8 @@ int main(int argc, char** argv) {
     reports.push_back(ogdp::check::CheckJoinRankerMonotonicity(options));
   } else if (only_oracle == "incremental_equivalence") {
     reports.push_back(ogdp::check::CheckIncrementalEquivalence(options));
+  } else if (only_oracle == "serve_equivalence") {
+    reports.push_back(ogdp::check::CheckServeEquivalence(options));
   } else {
     Usage(argv[0]);
     return 2;

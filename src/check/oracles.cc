@@ -31,6 +31,9 @@
 #include "join/expansion.h"
 #include "join/joinable_pair_finder.h"
 #include "join/minhash.h"
+#include "serve/brute_force.h"
+#include "serve/index_snapshot.h"
+#include "serve/query_engine.h"
 #include "table/projection.h"
 #include "union/schema_similarity.h"
 #include "union/unionable_finder.h"
@@ -1363,6 +1366,48 @@ OracleReport CheckJoinRankerMonotonicity(const OracleOptions& options) {
       }
     }
   }
+
+  // (d) Orientation symmetry: ExtractSignals must not care which side of
+  // the pair the finder listed first. Exhaust every ordered type pair
+  // (the signal that used to leak orientation) with randomized key-ness
+  // and frequency profiles.
+  for (size_t it = 0; it < options.iterations; ++it) {
+    const auto make_set = [&](table::DataType type) {
+      join::ColumnValueSet set;
+      set.type = type;
+      set.is_key = rng.NextBool(0.5);
+      set.table_rows = 10 + rng.NextBounded(50);
+      uint32_t id = 0;  // frequencies are (id, count) sorted by id
+      for (uint32_t v = 0; v < 12; ++v) {
+        id += 1 + static_cast<uint32_t>(rng.NextBounded(3));
+        set.frequencies.emplace_back(
+            id, 1 + static_cast<uint32_t>(rng.NextBounded(4)));
+      }
+      return set;
+    };
+    const double jaccard = 0.9 + rng.NextDouble() * 0.1;
+    const bool same_dataset = rng.NextBool(0.5);
+    for (table::DataType ta : kTypes) {
+      for (table::DataType tb : kTypes) {
+        ++report.cases;
+        const join::ColumnValueSet a = make_set(ta);
+        const join::ColumnValueSet b = make_set(tb);
+        const join::SuggestionSignals ab =
+            join::ExtractSignals(same_dataset, a, b, jaccard);
+        const join::SuggestionSignals ba =
+            join::ExtractSignals(same_dataset, b, a, jaccard);
+        if (ab.join_type != ba.join_type || ab.key_combo != ba.key_combo ||
+            ab.expansion_ratio != ba.expansion_ratio ||
+            join::ScoreSuggestion(ab) != join::ScoreSuggestion(ba)) {
+          report.failures.push_back(
+              "signals depend on pair orientation for types " +
+              std::string(table::DataTypeName(ta)) + "/" +
+              std::string(table::DataTypeName(tb)) + " at swap case " +
+              std::to_string(it));
+        }
+      }
+    }
+  }
   return report;
 }
 
@@ -1496,6 +1541,7 @@ OracleReport CheckIncrementalEquivalence(const OracleOptions& options) {
 
     corpus::PortalSnapshot snap = RandomSnapshotSeed(rng, it);
     core::IncrementalState state(cache_budget);
+    bool prev_epoch_ok = false;
     for (size_t e = 0; e < kEpochs; ++e) {
       if (e > 0) snap = corpus::AdvanceEpoch(snap, churn, e);
       ++report.cases;
@@ -1550,6 +1596,208 @@ OracleReport CheckIncrementalEquivalence(const OracleOptions& options) {
                                   where);
         break;
       }
+      // The incrementally patched union grouping must be byte-identical
+      // to regrouping the same tables from scratch — including singleton
+      // partitions and member order.
+      const tunion::UnionableFinder scratch_finder(scratch.ingest.tables);
+      if (state.union_groups.members_by_fp !=
+          scratch_finder.grouping_state().members_by_fp) {
+        report.failures.push_back(
+            "patched union grouping != from-scratch grouping at " + where);
+        break;
+      }
+      if (e == 0 &&
+          st.union_partitions_carried + st.union_partitions_patched != 0) {
+        report.failures.push_back(
+            "first epoch claims carried/patched union partitions at " +
+            where);
+        break;
+      }
+      // After a healthy previous epoch the union stage must have patched:
+      // every current partition is then either carried or re-derived.
+      if (e > 0 && prev_epoch_ok && !inc.analysis.degraded &&
+          st.union_partitions_carried + st.union_partitions_patched !=
+              inc.analysis.unions.unique_schemas) {
+        report.failures.push_back(
+            "carried + patched union partitions != unique schemas at " +
+            where);
+        break;
+      }
+      prev_epoch_ok = !inc.analysis.degraded;
+    }
+  }
+  util::SetGlobalThreadCount(ambient_threads);
+  return report;
+}
+
+namespace {
+
+// True when `part` is an order-preserving subset (subsequence) of
+// `full`, compared element-wise with `equal`.
+template <typename T, typename Eq>
+bool IsSubsequence(const std::vector<T>& part, const std::vector<T>& full,
+                   Eq equal) {
+  size_t f = 0;
+  for (const T& p : part) {
+    while (f < full.size() && !equal(full[f], p)) ++f;
+    if (f == full.size()) return false;
+    ++f;
+  }
+  return true;
+}
+
+bool SameJoinHit(const serve::JoinHit& x, const serve::JoinHit& y) {
+  return x.query_column == y.query_column && x.match == y.match &&
+         x.jaccard == y.jaccard && x.score == y.score;
+}
+
+bool SameUnionHit(const serve::UnionHit& x, const serve::UnionHit& y) {
+  return x.table == y.table && x.similarity == y.similarity &&
+         x.exact == y.exact;
+}
+
+bool SameKeywordHit(const serve::KeywordHit& x, const serve::KeywordHit& y) {
+  return x.table == y.table && x.score == y.score;
+}
+
+}  // namespace
+
+OracleReport CheckServeEquivalence(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "serve_equivalence";
+
+  Rng rng = Rng(options.seed).Fork("serve_equivalence");
+  const size_t ambient_threads = util::GlobalThreadCount();
+  const std::array<size_t, 3> thread_cycle = {1, 2, ambient_threads};
+  const std::array<size_t, 3> shard_cycle = {1, 3, 5};
+  const std::array<size_t, 2> budget_cycle = {1, 3};
+  // Env-proof: pin the wall-clock budget to unlimited so results are a
+  // pure function of (snapshot, query, candidate budget).
+  const auto budget_of = [](size_t max_candidates) {
+    serve::QueryBudget b;
+    b.max_candidates = max_candidates;
+    b.time_budget_ms = 0;
+    return b;
+  };
+
+  core::IngestOptions ingest;
+  ingest.faults = fetch::FaultProfile{};  // explicit: env-proof
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    const corpus::PortalSnapshot snap = RandomSnapshotSeed(rng, it);
+    const core::IngestResult ingested = core::IngestPortal(snap.portal, ingest);
+    const std::vector<table::Table>& tables = ingested.tables;
+
+    serve::ServeOptions serve_options;
+    serve_options.shards = shard_cycle[it % shard_cycle.size()];
+
+    util::SetGlobalThreadCount(thread_cycle[it % thread_cycle.size()]);
+    const auto idx = serve::BuildIndexSnapshot(tables, serve_options, it);
+    util::SetGlobalThreadCount(thread_cycle[(it + 1) % thread_cycle.size()]);
+    const auto rebuilt = serve::BuildIndexSnapshot(tables, serve_options, it);
+    if (idx->Digest() != rebuilt->Digest()) {
+      report.failures.push_back(
+          "snapshot digest differs across build thread counts at case " +
+          std::to_string(it));
+      ++report.cases;
+      continue;
+    }
+
+    for (uint32_t t = 0; t < tables.size(); ++t) {
+      ++report.cases;
+      const std::string where =
+          "case " + std::to_string(it) + " table " + std::to_string(t) +
+          " (shards=" + std::to_string(idx->shard_count) + ")";
+
+      // Join family: whole-table query plus a single-column query.
+      std::vector<serve::JoinQuery> join_queries;
+      join_queries.push_back(serve::JoinQuery{t, std::nullopt, 1024});
+      if (!idx->columns_of_table[t].empty()) {
+        const uint32_t col = static_cast<uint32_t>(
+            idx->column_sets[idx->columns_of_table[t].front()].ref.column);
+        join_queries.push_back(serve::JoinQuery{t, col, 1024});
+      }
+      bool broke = false;
+      for (const serve::JoinQuery& jq : join_queries) {
+        const serve::JoinResult served =
+            serve::QueryJoins(*idx, jq, budget_of(0));
+        const serve::JoinResult brute =
+            serve::BruteForceJoins(*idx, jq, budget_of(0));
+        if (served.hits.size() != brute.hits.size() ||
+            !std::equal(served.hits.begin(), served.hits.end(),
+                        brute.hits.begin(), SameJoinHit)) {
+          report.failures.push_back("served joins != brute force at " + where);
+          broke = true;
+          break;
+        }
+        for (size_t b : budget_cycle) {
+          const serve::JoinResult limited =
+              serve::QueryJoins(*idx, jq, budget_of(b));
+          if (limited.candidates_considered > b ||
+              !IsSubsequence(limited.hits, served.hits, SameJoinHit)) {
+            report.failures.push_back(
+                "join budget " + std::to_string(b) +
+                " broke subset-or-equal degradation at " + where);
+            broke = true;
+            break;
+          }
+        }
+        if (broke) break;
+      }
+      if (broke) continue;
+
+      // Union family.
+      const serve::UnionQuery uq{t, 1024};
+      const serve::UnionResult served_u =
+          serve::QueryUnions(*idx, uq, budget_of(0));
+      const serve::UnionResult brute_u =
+          serve::BruteForceUnions(*idx, uq, budget_of(0));
+      if (served_u.hits.size() != brute_u.hits.size() ||
+          !std::equal(served_u.hits.begin(), served_u.hits.end(),
+                      brute_u.hits.begin(), SameUnionHit)) {
+        report.failures.push_back("served unions != brute force at " + where);
+        continue;
+      }
+      bool union_ok = true;
+      for (size_t b : budget_cycle) {
+        const serve::UnionResult limited =
+            serve::QueryUnions(*idx, uq, budget_of(b));
+        if (limited.candidates_considered > b ||
+            !IsSubsequence(limited.hits, served_u.hits, SameUnionHit)) {
+          report.failures.push_back(
+              "union budget " + std::to_string(b) +
+              " broke subset-or-equal degradation at " + where);
+          union_ok = false;
+          break;
+        }
+      }
+      if (!union_ok) continue;
+
+      // Keyword family: the table's own vocabulary plus a miss token.
+      std::string text = idx->entries[t].name + " value zqxwv";
+      const serve::KeywordQuery kq{std::move(text), 1024};
+      const serve::KeywordResult served_k =
+          serve::QueryKeywords(*idx, kq, budget_of(0));
+      const serve::KeywordResult brute_k =
+          serve::BruteForceKeywords(*idx, kq, budget_of(0));
+      if (served_k.hits.size() != brute_k.hits.size() ||
+          !std::equal(served_k.hits.begin(), served_k.hits.end(),
+                      brute_k.hits.begin(), SameKeywordHit)) {
+        report.failures.push_back("served keywords != brute force at " +
+                                  where);
+        continue;
+      }
+      for (size_t b : budget_cycle) {
+        const serve::KeywordResult limited =
+            serve::QueryKeywords(*idx, kq, budget_of(b));
+        if (limited.candidates_considered > b ||
+            !IsSubsequence(limited.hits, served_k.hits, SameKeywordHit)) {
+          report.failures.push_back(
+              "keyword budget " + std::to_string(b) +
+              " broke subset-or-equal degradation at " + where);
+          break;
+        }
+      }
     }
   }
   util::SetGlobalThreadCount(ambient_threads);
@@ -1567,7 +1815,8 @@ std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
           CheckHeaderModalWidth(options),
           CheckFetchEquivalence(options),
           CheckJoinRankerMonotonicity(options),
-          CheckIncrementalEquivalence(options)};
+          CheckIncrementalEquivalence(options),
+          CheckServeEquivalence(options)};
 }
 
 }  // namespace ogdp::check

@@ -111,7 +111,11 @@ OracleReport CheckFetchEquivalence(const OracleOptions& options);
 /// metamorphic key-key append law on real tables — growing a key RHS
 /// column with more of the LHS key's values raises Jaccard while the
 /// expansion penalty provably stays zero, so the score must strictly
-/// rise; and (c) `RankSuggestions` output is sorted by its own scores.
+/// rise; (c) `RankSuggestions` output is sorted by its own scores; and
+/// (d) orientation symmetry — `ExtractSignals` on (a, b) and (b, a)
+/// yields identical signals and an identical score for every type /
+/// key-ness / frequency combination, so a suggestion's rank never
+/// depends on which side the pair finder happened to list first.
 OracleReport CheckJoinRankerMonotonicity(const OracleOptions& options);
 
 /// Equivalence oracle for incremental re-analysis: over random portal
@@ -121,8 +125,23 @@ OracleReport CheckJoinRankerMonotonicity(const OracleOptions& options);
 /// across thread counts and cache budgets (including a 1-byte budget
 /// that declines every store). Also checks the reuse accounting's
 /// conservation laws (clean + dirty = total, carried + re-verified =
-/// total pairs).
+/// total pairs, carried + patched union partitions = unique schemas on
+/// patched epochs) and that the incrementally patched union grouping
+/// stays byte-identical to a from-scratch `UnionableFinder` over the
+/// same tables.
 OracleReport CheckIncrementalEquivalence(const OracleOptions& options);
+
+/// Equivalence oracle for the serving layer: over random ingested
+/// corpora, every query family served from the sharded `IndexSnapshot`
+/// (LSH band buckets, union groups + near-union adjacency, keyword
+/// postings) must return exactly the brute-force linear-scan reference
+/// result at unlimited budgets — cycling shard counts and build thread
+/// counts (equal snapshots must also hash to equal digests). Under a
+/// candidate budget, results must degrade monotonically: the budgeted
+/// hit list is an order-preserving subset of the unbudgeted one, and
+/// admissions never exceed the budget — fewer candidates, never wrong
+/// ones.
+OracleReport CheckServeEquivalence(const OracleOptions& options);
 
 /// Runs all oracles in a fixed order.
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options);

@@ -425,14 +425,21 @@ std::vector<LabeledJoinPair> LabelJoinSample(
 
 UnionReport ComputeUnionReport(const PortalBundle& bundle,
                                size_t sample_pairs, uint64_t seed,
-                               AnalysisCache* cache) {
+                               AnalysisCache* cache, UnionCarry* carry) {
   UnionReport r;
   const auto& tables = bundle.ingest.tables;
   r.total_tables = tables.size();
+  const bool patch = carry != nullptr && carry->prev != nullptr &&
+                     carry->prev_to_new != nullptr &&
+                     carry->dirty != nullptr &&
+                     carry->dirty->size() == tables.size();
   std::vector<uint64_t> fps;
   if (cache != nullptr) {
     fps.resize(tables.size());
     for (size_t i = 0; i < tables.size(); ++i) {
+      // When patching, clean tables keep their carried partition key —
+      // only dirty tables need a fingerprint (cached or recomputed).
+      if (patch && !(*carry->dirty)[i]) continue;
       const uint64_t chash = tables[i].content_hash();
       const uint64_t key = FingerprintCacheKey(chash);
       if (chash != 0 && cache->FindFingerprint(key, &fps[i])) continue;
@@ -442,7 +449,14 @@ UnionReport ComputeUnionReport(const PortalBundle& bundle,
   }
   tunion::UnionableFinder finder(
       tables, cache != nullptr ? &fps : nullptr,
-      cache != nullptr ? &cache->governor() : nullptr);
+      cache != nullptr ? &cache->governor() : nullptr,
+      patch ? carry->prev : nullptr, patch ? carry->prev_to_new : nullptr,
+      patch ? carry->dirty : nullptr);
+  if (carry != nullptr) {
+    carry->next = finder.grouping_state();
+    carry->partitions_carried = finder.partitions_carried();
+    carry->partitions_patched = finder.partitions_patched();
+  }
   r.unionable_tables = finder.unionable_table_count();
   r.unique_schemas = finder.unique_schema_count();
   r.avg_tables_per_schema =

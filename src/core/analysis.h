@@ -196,12 +196,31 @@ struct UnionReport {
   std::vector<LabeledPair> labeled_sample;
 };
 
+/// Incremental regrouping carry for ComputeUnionReport. With `prev`,
+/// `prev_to_new`, and `dirty` all set, the unionable finder patches only
+/// the dirty-fingerprint partitions of the carried grouping instead of
+/// regrouping the whole corpus (byte-identical results either way).
+/// `next` receives this epoch's full grouping state for the following
+/// epoch, and the counters report carried-wholesale vs re-derived
+/// partitions.
+struct UnionCarry {
+  const tunion::UnionGroupingState* prev = nullptr;
+  const std::vector<size_t>* prev_to_new = nullptr;
+  const std::vector<uint8_t>* dirty = nullptr;
+  tunion::UnionGroupingState next;
+  size_t partitions_carried = 0;
+  size_t partitions_patched = 0;
+};
+
 /// `cache`: optional content-addressed cache; schema fingerprints are
 /// replayed per table content hash and the finder's retained state is
-/// charged to the cache's governor pool.
+/// charged to the cache's governor pool. `carry`: optional incremental
+/// regrouping carry (see UnionCarry); `carry->next` is filled whenever
+/// `carry` is non-null, even on a from-scratch build.
 UnionReport ComputeUnionReport(const PortalBundle& bundle,
                                size_t sample_pairs = 25, uint64_t seed = 11,
-                               AnalysisCache* cache = nullptr);
+                               AnalysisCache* cache = nullptr,
+                               UnionCarry* carry = nullptr);
 
 }  // namespace ogdp::core
 

@@ -79,6 +79,9 @@ std::string RenderIncrementalStats(const IncrementalStats& s) {
   t.AddRow({"join pairs carried / re-verified",
             FormatCount(s.pairs_carried) + " / " +
                 FormatCount(s.pairs_recomputed)});
+  t.AddRow({"union partitions carried / patched",
+            FormatCount(s.union_partitions_carried) + " / " +
+                FormatCount(s.union_partitions_patched)});
   t.AddRow({"cache hit bytes", FormatBytes(s.cache_hit_bytes)});
   t.AddRow({"cache declines", FormatCount(s.cache_declines)});
   t.AddRow({"saved seconds (parse / keys / FDs)",
@@ -223,18 +226,32 @@ IncrementalResult RunIncrementalAnalysis(IncrementalState& state,
   });
 
   RunAnalysisStage(a, options, "unions", [&] {
+    // Dirty-partition-only regrouping: the previous epoch's schema
+    // partitions carry forward through the content-hash table matching;
+    // only partitions touched by a dirty or removed table are re-derived.
+    UnionCarry union_carry;
+    if (carry && state.union_state_valid) {
+      union_carry.prev = &state.union_groups;
+      union_carry.prev_to_new = &prev_to_new;
+      union_carry.dirty = &dirty;
+    }
     a.unions = ComputeUnionReport(bundle, options.union_sample_pairs,
-                                  /*seed=*/11, &state.cache);
+                                  /*seed=*/11, &state.cache, &union_carry);
+    stats.union_partitions_carried = union_carry.partitions_carried;
+    stats.union_partitions_patched = union_carry.partitions_patched;
+    state.union_groups = std::move(union_carry.next);
   });
 
   // Make this snapshot the new previous epoch.
   state.has_prev = true;
-  state.pairs_valid = a.stages.empty() ? false : [&] {
+  const auto stage_ok = [&](const std::string& name) {
     for (const StageStatus& st : a.stages) {
-      if (st.stage == "joins") return st.status.ok();
+      if (st.stage == name) return st.status.ok();
     }
     return false;
-  }();
+  };
+  state.pairs_valid = stage_ok("joins");
+  state.union_state_valid = stage_ok("unions");
   state.prev_hashes.clear();
   state.prev_hashes.reserve(tables.size());
   for (const table::Table& t : tables) {

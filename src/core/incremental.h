@@ -10,6 +10,7 @@
 #include "core/ingestion.h"
 #include "corpus/snapshot.h"
 #include "join/joinable_pair_finder.h"
+#include "union/unionable_finder.h"
 
 namespace ogdp::core {
 
@@ -50,6 +51,13 @@ struct IncrementalStats {
   size_t pairs_carried = 0;
   size_t pairs_recomputed = 0;
 
+  // Union grouping patching: schema partitions carried wholesale from the
+  // previous epoch vs re-derived (a dirty member inserted, a member
+  // dropped, or a new partition). Both 0 when the epoch regrouped from
+  // scratch (first epoch, or previous unions stage failed).
+  size_t union_partitions_carried = 0;
+  size_t union_partitions_patched = 0;
+
   size_t cache_hit_bytes = 0;  // artifact bytes served instead of rebuilt
   size_t cache_declines = 0;   // stores the governor refused this epoch
 
@@ -84,8 +92,12 @@ struct IncrementalState {
   /// False when the previous joins stage failed: `prev_pairs` is then
   /// untrusted and the next epoch re-verifies every pair.
   bool pairs_valid = false;
+  /// False when the previous unions stage failed: `union_groups` is then
+  /// untrusted and the next epoch regroups the corpus from scratch.
+  bool union_state_valid = false;
   std::vector<uint64_t> prev_hashes;  // content hash per previous table
   std::vector<join::JoinablePair> prev_pairs;
+  tunion::UnionGroupingState union_groups;  // previous schema partitions
   core::Portal prev_portal;  // previous epoch's published state
 };
 

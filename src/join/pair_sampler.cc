@@ -24,9 +24,12 @@ std::vector<SampledJoinPair> SampleJoinablePairs(
   std::vector<SampledJoinPair> out;
   if (pairs.empty()) return out;
 
-  // Key-ness lookup per column ref.
-  std::map<ColumnRef, bool> is_key;
-  for (const ColumnValueSet& s : sets) is_key[s.ref] = s.is_key;
+  // Key-ness lookup per column ref. Lookups go through find() with an
+  // explicit missing-entry policy (below) instead of operator[], which
+  // would silently default-insert `false` for columns the caller never
+  // profiled — the hazard class behind the DetectSemiNormalizedLinks fix.
+  std::map<ColumnRef, bool> keyness;
+  for (const ColumnValueSet& s : sets) keyness[s.ref] = s.is_key;
 
   // Adjacency: table -> joinable columns; (table, column) -> pair indices.
   std::map<size_t, std::set<size_t>> table_cols;
@@ -94,8 +97,16 @@ std::vector<SampledJoinPair> SampleJoinablePairs(
     // 4. Same-schema pairs are covered by the unionability analysis.
     if (schema_fp[c1.table] == schema_fp[c2.table]) continue;
 
-    // 5. Stratify.
-    const KeyCombination combo = CombineKeyness(is_key[c1], is_key[c2]);
+    // 5. Stratify. Missing-entry policy: a pair touching a column with no
+    //    value-set entry cannot be keyness-stratified (the finder never
+    //    profiled it), so it is excluded from the sample rather than
+    //    silently binned as non-key. Pairs produced by the finder always
+    //    have entries for both endpoints, so this never fires on the
+    //    standard pipeline.
+    const auto k1 = keyness.find(c1);
+    const auto k2 = keyness.find(c2);
+    if (k1 == keyness.end() || k2 == keyness.end()) continue;
+    const KeyCombination combo = CombineKeyness(k1->second, k2->second);
     const int key_bucket = static_cast<int>(combo);
     if (cell_count[size_bucket][key_bucket] >= options.per_sub_bucket) {
       continue;

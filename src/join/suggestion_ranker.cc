@@ -8,20 +8,48 @@
 
 namespace ogdp::join {
 
-SuggestionSignals ExtractSignals(const std::vector<table::Table>& tables,
-                                 const ColumnValueSet& a,
+table::DataType PreferredJoinType(table::DataType a, table::DataType b) {
+  // The incremental-integer red flag dominates: one sequential-id side is
+  // enough to make the pair suspect (Table 10).
+  if (a == table::DataType::kIncrementalInteger ||
+      b == table::DataType::kIncrementalInteger) {
+    return table::DataType::kIncrementalInteger;
+  }
+  // Otherwise prefer the side carrying the stronger Table-10 signal, so a
+  // mixed-type pair maps to one type regardless of pair orientation.
+  const auto rank = [](table::DataType t) {
+    switch (t) {
+      case table::DataType::kCategorical:
+      case table::DataType::kString:
+      case table::DataType::kGeospatial:
+        return 2;
+      case table::DataType::kTimestamp:
+        return 1;
+      default:
+        return 0;
+    }
+  };
+  if (rank(a) != rank(b)) return rank(a) > rank(b) ? a : b;
+  return std::min(a, b);  // equal-signal tie: fixed enum-order choice
+}
+
+SuggestionSignals ExtractSignals(bool same_dataset, const ColumnValueSet& a,
                                  const ColumnValueSet& b, double jaccard) {
   SuggestionSignals s;
   s.jaccard = jaccard;
-  s.same_dataset = tables[a.ref.table].dataset_id() ==
-                   tables[b.ref.table].dataset_id();
+  s.same_dataset = same_dataset;
   s.key_combo = CombineKeyness(a.is_key, b.is_key);
-  s.join_type = (a.type == table::DataType::kIncrementalInteger ||
-                 b.type == table::DataType::kIncrementalInteger)
-                    ? table::DataType::kIncrementalInteger
-                    : a.type;
+  s.join_type = PreferredJoinType(a.type, b.type);
   s.expansion_ratio = ExpansionRatio(a, b);
   return s;
+}
+
+SuggestionSignals ExtractSignals(const std::vector<table::Table>& tables,
+                                 const ColumnValueSet& a,
+                                 const ColumnValueSet& b, double jaccard) {
+  return ExtractSignals(tables[a.ref.table].dataset_id() ==
+                            tables[b.ref.table].dataset_id(),
+                        a, b, jaccard);
 }
 
 double ScoreSuggestion(const SuggestionSignals& signals) {

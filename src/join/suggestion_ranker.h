@@ -21,9 +21,24 @@ struct SuggestionSignals {
   double expansion_ratio = 1.0;
 };
 
+/// The single data type a column pair maps onto for the Table-10 signal.
+/// Orientation-invariant: incremental-integer on either side dominates
+/// (one sequential id makes the pair suspect), otherwise the side with
+/// the stronger Table-10 signal wins (categorical/string/geo >
+/// timestamp > rest), with a fixed enum-order tie break — so
+/// PreferredJoinType(a, b) == PreferredJoinType(b, a) always.
+table::DataType PreferredJoinType(table::DataType a, table::DataType b);
+
 /// Extracts the signals for one discovered pair.
 SuggestionSignals ExtractSignals(const std::vector<table::Table>& tables,
                                  const ColumnValueSet& a,
+                                 const ColumnValueSet& b, double jaccard);
+
+/// Variant with provenance precomputed, for callers that hold table
+/// metadata but not the table vector itself (the serve index). Every
+/// signal is orientation-invariant: swapping `a` and `b` yields
+/// identical signals and therefore an identical score.
+SuggestionSignals ExtractSignals(bool same_dataset, const ColumnValueSet& a,
                                  const ColumnValueSet& b, double jaccard);
 
 /// Scores a candidate join suggestion in [0, 1]; higher = more likely

@@ -1,0 +1,163 @@
+#include "serve/brute_force.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "join/suggestion_ranker.h"
+#include "union/schema_similarity.h"
+
+namespace ogdp::serve {
+
+namespace {
+
+/// Wall-clock cutoff for the reference path; same boundary semantics as
+/// the served path (checked between candidates only).
+class Deadline {
+ public:
+  explicit Deadline(double budget_ms) {
+    if (budget_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(budget_ms));
+      armed_ = true;
+    }
+  }
+  bool Expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+size_t CandidateCap(const QueryBudget& budget) {
+  return budget.max_candidates == 0 ? static_cast<size_t>(-1)
+                                    : budget.max_candidates;
+}
+
+}  // namespace
+
+JoinResult BruteForceJoins(const IndexSnapshot& idx, const JoinQuery& query,
+                           const QueryBudget& budget) {
+  JoinResult out;
+  if (query.table >= idx.entries.size()) return out;
+
+  std::vector<uint32_t> query_sets;
+  for (uint32_t i : idx.columns_of_table[query.table]) {
+    if (!query.column || idx.column_sets[i].ref.column == *query.column) {
+      query_sets.push_back(i);
+    }
+  }
+  if (query_sets.empty()) return out;
+
+  const Deadline deadline(ResolveTimeBudgetMs(budget.time_budget_ms));
+  const size_t cap = CandidateCap(budget);
+  std::vector<JoinHit> hits;
+  // Every foreign column set, in ascending index order, is a candidate.
+  for (size_t c = 0; c < idx.column_sets.size(); ++c) {
+    const join::ColumnValueSet& cand = idx.column_sets[c];
+    if (cand.ref.table == query.table) continue;
+    if (out.candidates_considered >= cap || deadline.Expired()) {
+      out.truncated = true;
+      break;
+    }
+    ++out.candidates_considered;
+    for (uint32_t qs : query_sets) {
+      const join::ColumnValueSet& source = idx.column_sets[qs];
+      const double jac = join::JaccardSorted(source.tokens, cand.tokens);
+      if (jac < idx.options.join.jaccard_threshold) continue;
+      const bool same_dataset = idx.entries[source.ref.table].dataset_id ==
+                                idx.entries[cand.ref.table].dataset_id;
+      const join::SuggestionSignals signals =
+          join::ExtractSignals(same_dataset, source, cand, jac);
+      hits.push_back(
+          JoinHit{source.ref, cand.ref, jac, join::ScoreSuggestion(signals)});
+    }
+  }
+
+  std::sort(hits.begin(), hits.end(), [](const JoinHit& x, const JoinHit& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.jaccard != y.jaccard) return x.jaccard > y.jaccard;
+    if (x.match != y.match) return x.match < y.match;
+    return x.query_column < y.query_column;
+  });
+  if (hits.size() > query.k) hits.resize(query.k);
+  out.hits = std::move(hits);
+  return out;
+}
+
+UnionResult BruteForceUnions(const IndexSnapshot& idx, const UnionQuery& query,
+                             const QueryBudget& budget) {
+  UnionResult out;
+  if (query.table >= idx.entries.size()) return out;
+  const uint64_t fp = idx.entries[query.table].schema_fingerprint;
+  const table::Schema& mine = idx.schemas[query.table];
+
+  const Deadline deadline(ResolveTimeBudgetMs(budget.time_budget_ms));
+  const size_t cap = CandidateCap(budget);
+  std::vector<UnionHit> hits;
+  for (uint32_t t = 0; t < idx.entries.size(); ++t) {
+    if (t == query.table) continue;
+    const bool exact = idx.entries[t].schema_fingerprint == fp;
+    double similarity = 1.0;
+    if (!exact) {
+      similarity = tunion::SchemaSimilarity(mine, idx.schemas[t]);
+      if (similarity < idx.options.near_union_threshold) continue;
+    }
+    if (out.candidates_considered >= cap || deadline.Expired()) {
+      out.truncated = true;
+      break;
+    }
+    ++out.candidates_considered;
+    hits.push_back(UnionHit{t, similarity, exact});
+  }
+
+  std::sort(hits.begin(), hits.end(), [](const UnionHit& x, const UnionHit& y) {
+    if (x.similarity != y.similarity) return x.similarity > y.similarity;
+    if (x.exact != y.exact) return x.exact;
+    return x.table < y.table;
+  });
+  if (hits.size() > query.k) hits.resize(query.k);
+  out.hits = std::move(hits);
+  return out;
+}
+
+KeywordResult BruteForceKeywords(const IndexSnapshot& idx,
+                                 const KeywordQuery& query,
+                                 const QueryBudget& budget) {
+  KeywordResult out;
+  const std::vector<std::string> tokens = TokenizeText(query.text);
+  if (tokens.empty()) return out;
+
+  const Deadline deadline(ResolveTimeBudgetMs(budget.time_budget_ms));
+  const size_t cap = CandidateCap(budget);
+  std::vector<KeywordHit> hits;
+  for (uint32_t t = 0; t < idx.table_tokens.size(); ++t) {
+    const std::vector<std::string>& mine = idx.table_tokens[t];
+    size_t count = 0;
+    for (const std::string& token : tokens) {
+      if (std::binary_search(mine.begin(), mine.end(), token)) ++count;
+    }
+    if (count == 0) continue;
+    if (out.candidates_considered >= cap || deadline.Expired()) {
+      out.truncated = true;
+      break;
+    }
+    ++out.candidates_considered;
+    hits.push_back(KeywordHit{
+        t, static_cast<double>(count) / static_cast<double>(tokens.size())});
+  }
+
+  std::sort(hits.begin(), hits.end(),
+            [](const KeywordHit& x, const KeywordHit& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.table < y.table;
+            });
+  if (hits.size() > query.k) hits.resize(query.k);
+  out.hits = std::move(hits);
+  return out;
+}
+
+}  // namespace ogdp::serve

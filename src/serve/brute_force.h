@@ -1,0 +1,29 @@
+#ifndef OGDP_SERVE_BRUTE_FORCE_H_
+#define OGDP_SERVE_BRUTE_FORCE_H_
+
+#include "serve/index_snapshot.h"
+#include "serve/query_engine.h"
+
+namespace ogdp::serve {
+
+/// Independent reference evaluation of each query family by linear scan
+/// over the snapshot's base data (column profiles, schemas, per-table
+/// token lists) — no LSH buckets, no postings, no precomputed adjacency.
+/// The serve_equivalence oracle and the serve tests compare these against
+/// the indexed path; bench_serve uses them as the per-query brute-force
+/// baseline. Budget semantics (canonical ascending admission, prefix
+/// truncation) are identical, though candidate *counts* differ: the scan
+/// considers every eligible candidate, the index only colliding ones.
+JoinResult BruteForceJoins(const IndexSnapshot& snapshot,
+                           const JoinQuery& query,
+                           const QueryBudget& budget = {});
+UnionResult BruteForceUnions(const IndexSnapshot& snapshot,
+                             const UnionQuery& query,
+                             const QueryBudget& budget = {});
+KeywordResult BruteForceKeywords(const IndexSnapshot& snapshot,
+                                 const KeywordQuery& query,
+                                 const QueryBudget& budget = {});
+
+}  // namespace ogdp::serve
+
+#endif  // OGDP_SERVE_BRUTE_FORCE_H_

@@ -1,0 +1,234 @@
+#include "serve/index_snapshot.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "union/schema_similarity.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+
+namespace ogdp::serve {
+
+namespace {
+
+constexpr size_t kDefaultShards = 4;
+
+uint64_t FoldUint64(uint64_t h, uint64_t v) { return HashCombine(h, v); }
+
+uint64_t FoldString(uint64_t h, const std::string& s) {
+  h = FoldUint64(h, s.size());
+  return Fnv1a64Append(h, s);
+}
+
+uint64_t FoldDouble(uint64_t h, double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return FoldUint64(h, bits);
+}
+
+}  // namespace
+
+size_t ResolveShardCount(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("OGDP_SERVE_SHARDS")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return kDefaultShards;
+}
+
+std::vector<std::string> TokenizeText(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  const auto flush = [&] {
+    if (current.size() >= 2) tokens.push_back(current);
+    current.clear();
+  };
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+uint64_t BandHash(const join::MinHashSignature& signature, size_t band,
+                  size_t rows_per_band) {
+  uint64_t h = MixUint64(0x9e3779b97f4a7c15ULL ^ (band + 1));
+  const size_t begin = band * rows_per_band;
+  for (size_t r = begin; r < begin + rows_per_band; ++r) {
+    h = HashCombine(h, signature.values[r]);
+  }
+  return MixUint64(h);
+}
+
+uint64_t IndexSnapshot::Digest() const {
+  uint64_t h = kFnv1a64Init;
+  h = FoldUint64(h, epoch);
+  h = FoldUint64(h, shard_count);
+  h = FoldDouble(h, options.join.jaccard_threshold);
+  h = FoldUint64(h, options.join.min_unique_values);
+  h = FoldUint64(h, options.minhash.num_hashes);
+  h = FoldUint64(h, options.minhash.bands);
+  h = FoldDouble(h, options.near_union_threshold);
+
+  for (const TableEntry& e : entries) {
+    h = FoldString(h, e.name);
+    h = FoldString(h, e.dataset_id);
+    h = FoldUint64(h, e.rows);
+    h = FoldUint64(h, e.columns);
+    h = FoldUint64(h, e.schema_fingerprint);
+  }
+  for (const auto& tokens : table_tokens) {
+    h = FoldUint64(h, tokens.size());
+    for (const std::string& t : tokens) h = FoldString(h, t);
+  }
+  for (const join::ColumnValueSet& s : column_sets) {
+    h = FoldUint64(h, s.ref.table);
+    h = FoldUint64(h, s.ref.column);
+    h = FoldUint64(h, s.tokens.size());
+    for (uint32_t t : s.tokens) h = FoldUint64(h, t);
+    h = FoldUint64(h, s.is_key ? 1 : 0);
+    h = FoldUint64(h, static_cast<uint64_t>(s.type));
+    h = FoldUint64(h, s.table_rows);
+  }
+  for (const join::MinHashSignature& s : signatures) {
+    for (uint64_t v : s.values) h = FoldUint64(h, v);
+  }
+  for (const IndexShard& shard : shards) {
+    h = FoldUint64(h, shard.keyword_postings.size());
+    for (const auto& [token, ids] : shard.keyword_postings) {
+      h = FoldString(h, token);
+      for (uint32_t id : ids) h = FoldUint64(h, id);
+    }
+    // unordered_map iterates in an unspecified order; digest over sorted
+    // keys so equal snapshots hash equal regardless of bucket layout.
+    std::vector<uint64_t> keys;
+    keys.reserve(shard.band_buckets.size());
+    for (const auto& [key, ids] : shard.band_buckets) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    h = FoldUint64(h, keys.size());
+    for (uint64_t key : keys) {
+      h = FoldUint64(h, key);
+      for (uint32_t id : shard.band_buckets.at(key)) h = FoldUint64(h, id);
+    }
+  }
+  for (const auto& [fp, members] : union_groups) {
+    h = FoldUint64(h, fp);
+    for (uint32_t m : members) h = FoldUint64(h, m);
+  }
+  for (const auto& [fp, neighbors] : near_unions) {
+    h = FoldUint64(h, fp);
+    for (const auto& [other, sim] : neighbors) {
+      h = FoldUint64(h, other);
+      h = FoldDouble(h, sim);
+    }
+  }
+  return h;
+}
+
+std::shared_ptr<const IndexSnapshot> BuildIndexSnapshot(
+    const std::vector<table::Table>& tables, const ServeOptions& options,
+    uint64_t epoch) {
+  auto snapshot = std::make_shared<IndexSnapshot>();
+  IndexSnapshot& idx = *snapshot;
+  idx.epoch = epoch;
+  idx.options = options;
+  idx.options.shards = ResolveShardCount(options.shards);
+  idx.shard_count = idx.options.shards;
+
+  const size_t n = tables.size();
+  idx.entries.resize(n);
+  idx.schemas.resize(n);
+  idx.table_tokens.resize(n);
+  util::ParallelFor(0, n, [&](size_t t) {
+    const table::Table& table = tables[t];
+    TableEntry& e = idx.entries[t];
+    e.name = table.name();
+    e.dataset_id = table.dataset_id();
+    e.rows = table.num_rows();
+    e.columns = table.num_columns();
+    idx.schemas[t] = table.GetSchema();
+    e.schema_fingerprint = idx.schemas[t].Fingerprint();
+    std::string text = table.name();
+    text.push_back(' ');
+    text += table.dataset_id();
+    for (const table::Column& c : table.columns()) {
+      text.push_back(' ');
+      text += c.name();
+    }
+    idx.table_tokens[t] = TokenizeText(text);
+  });
+
+  // Column profiles + signatures reuse the exact finder's eligibility, so
+  // served join suggestions agree with the offline analysis.
+  join::JoinablePairFinder finder(tables, idx.options.join);
+  idx.column_sets = finder.column_sets();
+  const size_t num_sets = idx.column_sets.size();
+  idx.signatures.resize(num_sets);
+  util::ParallelFor(0, num_sets, [&](size_t i) {
+    idx.signatures[i] =
+        join::ComputeSignature(idx.column_sets[i].tokens, idx.options.minhash);
+  });
+  idx.columns_of_table.resize(n);
+  for (size_t i = 0; i < num_sets; ++i) {
+    idx.columns_of_table[idx.column_sets[i].ref.table].push_back(
+        static_cast<uint32_t>(i));
+  }
+
+  // Shard fills are independent (a shard owns tables with id % shards ==
+  // s), so they parallelize with deterministic per-shard content.
+  const size_t num_shards = idx.shard_count;
+  const size_t rows_per_band =
+      idx.options.minhash.num_hashes / idx.options.minhash.bands;
+  idx.shards.resize(num_shards);
+  util::ParallelFor(0, num_shards, [&](size_t s) {
+    IndexShard& shard = idx.shards[s];
+    for (size_t t = s; t < n; t += num_shards) {
+      for (const std::string& token : idx.table_tokens[t]) {
+        shard.keyword_postings[token].push_back(static_cast<uint32_t>(t));
+      }
+    }
+    for (size_t i = 0; i < num_sets; ++i) {
+      if (idx.column_sets[i].ref.table % num_shards != s) continue;
+      for (size_t b = 0; b < idx.options.minhash.bands; ++b) {
+        const uint64_t key = BandHash(idx.signatures[i], b, rows_per_band);
+        std::vector<uint32_t>& bucket = shard.band_buckets[key];
+        if (bucket.empty() || bucket.back() != i) {
+          bucket.push_back(static_cast<uint32_t>(i));
+        }
+      }
+    }
+  });
+
+  for (size_t t = 0; t < n; ++t) {
+    idx.union_groups[idx.entries[t].schema_fingerprint].push_back(
+        static_cast<uint32_t>(t));
+  }
+  for (const tunion::NearUnionablePair& p : tunion::FindNearUnionablePairs(
+           tables, idx.options.near_union_threshold)) {
+    const uint64_t fa = idx.entries[p.table_a].schema_fingerprint;
+    const uint64_t fb = idx.entries[p.table_b].schema_fingerprint;
+    idx.near_unions[fa].emplace_back(fb, p.similarity);
+    idx.near_unions[fb].emplace_back(fa, p.similarity);
+  }
+  for (auto& [fp, neighbors] : idx.near_unions) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+
+  return snapshot;
+}
+
+}  // namespace ogdp::serve

@@ -1,0 +1,126 @@
+#ifndef OGDP_SERVE_INDEX_SNAPSHOT_H_
+#define OGDP_SERVE_INDEX_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "join/joinable_pair_finder.h"
+#include "join/minhash.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace ogdp::serve {
+
+/// Build-time configuration of the serving index (DESIGN.md §11).
+struct ServeOptions {
+  /// Number of index shards; 0 resolves from OGDP_SERVE_SHARDS, falling
+  /// back to 4. Sharding bounds per-structure size and lets the builder
+  /// fill shards in parallel; queries consult every shard, so the shard
+  /// count never changes which results a query returns.
+  size_t shards = 0;
+
+  /// Exact-join eligibility and threshold, shared with the offline
+  /// analysis so served suggestions match ComputeJoinReport's notion of
+  /// joinable.
+  join::JoinFinderOptions join;
+
+  /// MinHash/LSH banding for the join candidate index. With the default
+  /// 128 hashes / 32 bands, a pair at the 0.9 Jaccard threshold is missed
+  /// with probability ~1.6e-15 — treated as exact, the same stance as the
+  /// lsh_superset oracle.
+  join::MinHashOptions minhash;
+
+  /// Minimum SchemaSimilarity for near-unionable suggestions (exact
+  /// schema matches are grouped separately and always score 1).
+  double near_union_threshold = 0.7;
+};
+
+/// Resolves the effective shard count: `requested` when positive, else
+/// OGDP_SERVE_SHARDS when set to a positive integer, else 4.
+size_t ResolveShardCount(size_t requested);
+
+/// Lowercased alphanumeric tokens of length >= 2, sorted and deduped —
+/// the keyword vocabulary of a table (name + dataset id + column names)
+/// or of a query string.
+std::vector<std::string> TokenizeText(const std::string& text);
+
+/// Hash of one LSH band of a signature (rows `[band*rows_per_band,
+/// (band+1)*rows_per_band)`), mixed with the band index so equal rows in
+/// different bands never collide.
+uint64_t BandHash(const join::MinHashSignature& signature, size_t band,
+                  size_t rows_per_band);
+
+/// Serving metadata for one corpus table.
+struct TableEntry {
+  std::string name;
+  std::string dataset_id;
+  size_t rows = 0;
+  size_t columns = 0;
+  uint64_t schema_fingerprint = 0;
+};
+
+/// One shard of the inverted structures. A table's postings and its
+/// columns' band buckets live in shard `table_id % shards`; queries probe
+/// the same key in every shard, so shard membership is a layout detail.
+struct IndexShard {
+  /// Keyword token -> table ids (ascending) owning that token.
+  std::map<std::string, std::vector<uint32_t>> keyword_postings;
+  /// LSH band hash -> column-set indices (ascending) with that band.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> band_buckets;
+};
+
+/// An immutable, shard-partitioned search index over one analyzed corpus
+/// epoch. Snapshots are built whole, published through SnapshotRegistry,
+/// and never mutated afterwards — concurrent readers share them via
+/// shared_ptr while a refresh builds the next epoch on the side.
+struct IndexSnapshot {
+  uint64_t epoch = 0;
+  ServeOptions options;  // with `shards` resolved to the effective count
+  size_t shard_count = 0;
+
+  std::vector<TableEntry> entries;       // one per corpus table
+  std::vector<table::Schema> schemas;    // parallel to `entries`
+  /// Per-table keyword vocabulary (sorted, deduped) — the brute-force
+  /// reference scans these; the served path uses the shard postings.
+  std::vector<std::vector<std::string>> table_tokens;
+
+  /// Eligible column profiles in JoinablePairFinder order, with their
+  /// MinHash signatures (parallel vectors).
+  std::vector<join::ColumnValueSet> column_sets;
+  std::vector<join::MinHashSignature> signatures;
+  /// Table id -> indices into `column_sets` belonging to that table.
+  std::vector<std::vector<uint32_t>> columns_of_table;
+
+  std::vector<IndexShard> shards;
+
+  /// Schema fingerprint -> member table ids (ascending); includes
+  /// singleton groups so near-union adjacency can expand any fingerprint.
+  std::map<uint64_t, std::vector<uint32_t>> union_groups;
+  /// Fingerprint -> (other fingerprint, similarity) for near-unionable
+  /// schema pairs at `near_union_threshold`, symmetric (both directions
+  /// present), each list sorted by other-fingerprint.
+  std::map<uint64_t, std::vector<std::pair<uint64_t, double>>> near_unions;
+
+  /// Order-insensitive-free deterministic digest of the whole index:
+  /// byte-identical snapshots (same corpus, options, epoch) produce the
+  /// same digest at any build thread count. Used by the determinism
+  /// guard and the serve tests.
+  uint64_t Digest() const;
+};
+
+/// Builds a snapshot over `tables` (typically `IngestResult::tables` of a
+/// RunIncrementalAnalysis / RunFullAnalysis bundle). Shard fills run in
+/// parallel over the global pool; output is byte-identical at any thread
+/// count.
+std::shared_ptr<const IndexSnapshot> BuildIndexSnapshot(
+    const std::vector<table::Table>& tables, const ServeOptions& options = {},
+    uint64_t epoch = 0);
+
+}  // namespace ogdp::serve
+
+#endif  // OGDP_SERVE_INDEX_SNAPSHOT_H_

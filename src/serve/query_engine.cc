@@ -1,0 +1,273 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "join/suggestion_ranker.h"
+
+namespace ogdp::serve {
+
+namespace {
+
+/// Wall-clock cutoff checked at candidate boundaries only, so expiry
+/// truncates the canonical admission prefix and never reorders it.
+class Deadline {
+ public:
+  explicit Deadline(double budget_ms) {
+    if (budget_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(budget_ms));
+      armed_ = true;
+    }
+  }
+  bool Expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+size_t CandidateCap(const QueryBudget& budget) {
+  return budget.max_candidates == 0 ? static_cast<size_t>(-1)
+                                    : budget.max_candidates;
+}
+
+}  // namespace
+
+double ResolveTimeBudgetMs(double requested) {
+  if (requested >= 0) return requested;
+  if (const char* env = std::getenv("OGDP_QUERY_BUDGET_MS")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env && *end == '\0' && parsed > 0) return parsed;
+  }
+  return 0;
+}
+
+JoinResult QueryJoins(const IndexSnapshot& idx, const JoinQuery& query,
+                      const QueryBudget& budget) {
+  JoinResult out;
+  if (query.table >= idx.entries.size()) return out;
+
+  std::vector<uint32_t> query_sets;
+  for (uint32_t i : idx.columns_of_table[query.table]) {
+    if (!query.column || idx.column_sets[i].ref.column == *query.column) {
+      query_sets.push_back(i);
+    }
+  }
+  if (query_sets.empty()) return out;
+
+  // Candidate generation: every band of every query column probes the
+  // same band hash in every shard. The union of bucket members, deduped
+  // and sorted ascending, is the canonical candidate order.
+  const size_t rows_per_band =
+      idx.options.minhash.num_hashes / idx.options.minhash.bands;
+  std::vector<uint32_t> candidates;
+  for (uint32_t qs : query_sets) {
+    for (size_t b = 0; b < idx.options.minhash.bands; ++b) {
+      const uint64_t key = BandHash(idx.signatures[qs], b, rows_per_band);
+      for (const IndexShard& shard : idx.shards) {
+        const auto it = shard.band_buckets.find(key);
+        if (it == shard.band_buckets.end()) continue;
+        for (uint32_t c : it->second) {
+          if (idx.column_sets[c].ref.table != query.table) {
+            candidates.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const Deadline deadline(ResolveTimeBudgetMs(budget.time_budget_ms));
+  const size_t cap = CandidateCap(budget);
+  std::vector<JoinHit> hits;
+  for (uint32_t c : candidates) {
+    if (out.candidates_considered >= cap || deadline.Expired()) {
+      out.truncated = true;
+      break;
+    }
+    ++out.candidates_considered;
+    const join::ColumnValueSet& cand = idx.column_sets[c];
+    for (uint32_t qs : query_sets) {
+      const join::ColumnValueSet& source = idx.column_sets[qs];
+      const double jac = join::JaccardSorted(source.tokens, cand.tokens);
+      if (jac < idx.options.join.jaccard_threshold) continue;
+      const bool same_dataset = idx.entries[source.ref.table].dataset_id ==
+                                idx.entries[cand.ref.table].dataset_id;
+      const join::SuggestionSignals signals =
+          join::ExtractSignals(same_dataset, source, cand, jac);
+      hits.push_back(
+          JoinHit{source.ref, cand.ref, jac, join::ScoreSuggestion(signals)});
+    }
+  }
+
+  std::sort(hits.begin(), hits.end(), [](const JoinHit& x, const JoinHit& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.jaccard != y.jaccard) return x.jaccard > y.jaccard;
+    if (x.match != y.match) return x.match < y.match;
+    return x.query_column < y.query_column;
+  });
+  if (hits.size() > query.k) hits.resize(query.k);
+  out.hits = std::move(hits);
+  return out;
+}
+
+UnionResult QueryUnions(const IndexSnapshot& idx, const UnionQuery& query,
+                        const QueryBudget& budget) {
+  UnionResult out;
+  if (query.table >= idx.entries.size()) return out;
+  const uint64_t fp = idx.entries[query.table].schema_fingerprint;
+
+  // Candidate tables in canonical ascending order (std::map), each with
+  // its similarity. A table belongs to exactly one fingerprint group, so
+  // exact and near contributions never collide.
+  std::map<uint32_t, std::pair<double, bool>> candidates;
+  const auto exact_it = idx.union_groups.find(fp);
+  if (exact_it != idx.union_groups.end()) {
+    for (uint32_t m : exact_it->second) {
+      if (m != query.table) candidates.emplace(m, std::make_pair(1.0, true));
+    }
+  }
+  const auto near_it = idx.near_unions.find(fp);
+  if (near_it != idx.near_unions.end()) {
+    for (const auto& [other_fp, similarity] : near_it->second) {
+      const auto group = idx.union_groups.find(other_fp);
+      if (group == idx.union_groups.end()) continue;
+      for (uint32_t m : group->second) {
+        candidates.emplace(m, std::make_pair(similarity, false));
+      }
+    }
+  }
+
+  const Deadline deadline(ResolveTimeBudgetMs(budget.time_budget_ms));
+  const size_t cap = CandidateCap(budget);
+  std::vector<UnionHit> hits;
+  for (const auto& [table, sim] : candidates) {
+    if (out.candidates_considered >= cap || deadline.Expired()) {
+      out.truncated = true;
+      break;
+    }
+    ++out.candidates_considered;
+    hits.push_back(UnionHit{table, sim.first, sim.second});
+  }
+
+  std::sort(hits.begin(), hits.end(), [](const UnionHit& x, const UnionHit& y) {
+    if (x.similarity != y.similarity) return x.similarity > y.similarity;
+    if (x.exact != y.exact) return x.exact;  // exact before near
+    return x.table < y.table;
+  });
+  if (hits.size() > query.k) hits.resize(query.k);
+  out.hits = std::move(hits);
+  return out;
+}
+
+KeywordResult QueryKeywords(const IndexSnapshot& idx, const KeywordQuery& query,
+                            const QueryBudget& budget) {
+  KeywordResult out;
+  const std::vector<std::string> tokens = TokenizeText(query.text);
+  if (tokens.empty()) return out;
+
+  // A table's postings live in exactly one shard and its token list is
+  // deduped, so each (token, table) pair counts at most once.
+  std::map<uint32_t, size_t> matches;
+  for (const std::string& token : tokens) {
+    for (const IndexShard& shard : idx.shards) {
+      const auto it = shard.keyword_postings.find(token);
+      if (it == shard.keyword_postings.end()) continue;
+      for (uint32_t id : it->second) ++matches[id];
+    }
+  }
+
+  const Deadline deadline(ResolveTimeBudgetMs(budget.time_budget_ms));
+  const size_t cap = CandidateCap(budget);
+  std::vector<KeywordHit> hits;
+  for (const auto& [table, count] : matches) {
+    if (out.candidates_considered >= cap || deadline.Expired()) {
+      out.truncated = true;
+      break;
+    }
+    ++out.candidates_considered;
+    hits.push_back(KeywordHit{
+        table, static_cast<double>(count) / static_cast<double>(tokens.size())});
+  }
+
+  std::sort(hits.begin(), hits.end(),
+            [](const KeywordHit& x, const KeywordHit& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.table < y.table;
+            });
+  if (hits.size() > query.k) hits.resize(query.k);
+  out.hits = std::move(hits);
+  return out;
+}
+
+QueryEngine::QueryEngine(ServeOptions options, size_t worker_threads)
+    : options_(std::move(options)), scheduler_(worker_threads) {}
+
+std::shared_ptr<const IndexSnapshot> QueryEngine::Refresh(
+    const std::vector<table::Table>& tables) {
+  // Single-writer protocol: the build runs on the caller's thread against
+  // its own structures; readers only see the finished snapshot via the
+  // registry swap.
+  auto snapshot = BuildIndexSnapshot(tables, options_, registry_.version() + 1);
+  registry_.Publish(snapshot);
+  return snapshot;
+}
+
+std::shared_ptr<const IndexSnapshot> QueryEngine::snapshot() const {
+  return registry_.Acquire();
+}
+
+JoinResult QueryEngine::Joins(const JoinQuery& query,
+                              const QueryBudget& budget) const {
+  const auto snap = registry_.Acquire();
+  return snap ? QueryJoins(*snap, query, budget) : JoinResult{};
+}
+
+UnionResult QueryEngine::Unions(const UnionQuery& query,
+                                const QueryBudget& budget) const {
+  const auto snap = registry_.Acquire();
+  return snap ? QueryUnions(*snap, query, budget) : UnionResult{};
+}
+
+KeywordResult QueryEngine::Keywords(const KeywordQuery& query,
+                                    const QueryBudget& budget) const {
+  const auto snap = registry_.Acquire();
+  return snap ? QueryKeywords(*snap, query, budget) : KeywordResult{};
+}
+
+std::future<JoinResult> QueryEngine::SubmitJoins(JoinQuery query,
+                                                 QueryBudget budget) {
+  return scheduler_.Submit([this, query, budget] {
+    const auto snap = registry_.Acquire();
+    return snap ? QueryJoins(*snap, query, budget) : JoinResult{};
+  });
+}
+
+std::future<UnionResult> QueryEngine::SubmitUnions(UnionQuery query,
+                                                   QueryBudget budget) {
+  return scheduler_.Submit([this, query, budget] {
+    const auto snap = registry_.Acquire();
+    return snap ? QueryUnions(*snap, query, budget) : UnionResult{};
+  });
+}
+
+std::future<KeywordResult> QueryEngine::SubmitKeywords(KeywordQuery query,
+                                                       QueryBudget budget) {
+  return scheduler_.Submit([this, query, budget] {
+    const auto snap = registry_.Acquire();
+    return snap ? QueryKeywords(*snap, query, budget) : KeywordResult{};
+  });
+}
+
+}  // namespace ogdp::serve

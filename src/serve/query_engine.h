@@ -1,0 +1,166 @@
+#ifndef OGDP_SERVE_QUERY_ENGINE_H_
+#define OGDP_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "join/joinable_pair_finder.h"
+#include "serve/index_snapshot.h"
+#include "serve/scheduler.h"
+#include "serve/snapshot_registry.h"
+
+namespace ogdp::serve {
+
+/// Per-query budgets. Degradation is always *fewer* candidates, never
+/// wrong ones: candidates are admitted in one canonical order (ascending
+/// index), so a smaller budget yields a subset of a larger budget's
+/// admissions — surviving hits are identical and identically ranked.
+struct QueryBudget {
+  /// Maximum candidates admitted to exact verification; 0 = unlimited.
+  /// The deterministic budget: results are a pure function of (snapshot,
+  /// query, max_candidates).
+  size_t max_candidates = 0;
+
+  /// Wall-clock budget in milliseconds; 0 = unlimited, < 0 resolves from
+  /// OGDP_QUERY_BUDGET_MS (absent or 0 = unlimited). Checked only at
+  /// candidate boundaries, so an expiry truncates the admission prefix
+  /// early — still never a wrong result, but (being wall-clock) not
+  /// run-to-run deterministic. Tests and oracles pin it to 0.
+  double time_budget_ms = -1;
+};
+
+/// Effective wall-clock budget: `requested` when >= 0, else
+/// OGDP_QUERY_BUDGET_MS, else 0 (unlimited).
+double ResolveTimeBudgetMs(double requested);
+
+// ------------------------------------------------------------- join query
+
+/// "What joins with this table (or this column)?"
+struct JoinQuery {
+  uint32_t table = 0;
+  /// Restrict to one source column (index within the table); nullopt
+  /// queries every eligible column of the table.
+  std::optional<uint32_t> column;
+  size_t k = 10;
+};
+
+struct JoinHit {
+  join::ColumnRef query_column;
+  join::ColumnRef match;
+  double jaccard = 0;
+  double score = 0;  // ScoreSuggestion on the pair's signals
+};
+
+struct JoinResult {
+  /// Best first: score desc, jaccard desc, match asc, query column asc.
+  std::vector<JoinHit> hits;
+  size_t candidates_considered = 0;
+  bool truncated = false;  // a budget cut the candidate list
+};
+
+// ------------------------------------------------------------ union query
+
+/// "What unions with this table?"
+struct UnionQuery {
+  uint32_t table = 0;
+  size_t k = 10;
+};
+
+struct UnionHit {
+  uint32_t table = 0;
+  double similarity = 0;  // 1 for exact schema matches
+  bool exact = false;     // same schema fingerprint
+};
+
+struct UnionResult {
+  /// Best first: similarity desc, exact before near, table asc.
+  std::vector<UnionHit> hits;
+  size_t candidates_considered = 0;
+  bool truncated = false;
+};
+
+// ---------------------------------------------------------- keyword query
+
+/// "Find tables about X."
+struct KeywordQuery {
+  std::string text;
+  size_t k = 10;
+};
+
+struct KeywordHit {
+  uint32_t table = 0;
+  double score = 0;  // matched query tokens / total query tokens
+};
+
+struct KeywordResult {
+  /// Best first: score desc, table asc.
+  std::vector<KeywordHit> hits;
+  size_t candidates_considered = 0;
+  bool truncated = false;
+};
+
+// ------------------------------------------------------- query evaluation
+
+/// Serve the query from the snapshot's inverted structures (LSH band
+/// buckets / union groups / keyword postings). Pure functions of
+/// (snapshot, query, budget) when the time budget is unlimited.
+JoinResult QueryJoins(const IndexSnapshot& snapshot, const JoinQuery& query,
+                      const QueryBudget& budget = {});
+UnionResult QueryUnions(const IndexSnapshot& snapshot, const UnionQuery& query,
+                        const QueryBudget& budget = {});
+KeywordResult QueryKeywords(const IndexSnapshot& snapshot,
+                            const KeywordQuery& query,
+                            const QueryBudget& budget = {});
+
+// ----------------------------------------------------------------- engine
+
+/// The serving facade: owns the snapshot registry and the request
+/// scheduler. Refresh builds the next epoch on the calling thread and
+/// publishes it with a pointer swap — in-flight queries keep the
+/// snapshot they acquired and are never blocked or torn.
+class QueryEngine {
+ public:
+  /// `worker_threads == 0` resolves to 1 scheduler worker.
+  explicit QueryEngine(ServeOptions options = {}, size_t worker_threads = 0);
+
+  /// Builds and publishes a snapshot of `tables` (epoch = publication
+  /// count). Returns the new snapshot.
+  std::shared_ptr<const IndexSnapshot> Refresh(
+      const std::vector<table::Table>& tables);
+
+  /// The currently published snapshot (null before the first Refresh).
+  std::shared_ptr<const IndexSnapshot> snapshot() const;
+  uint64_t version() const { return registry_.version(); }
+
+  /// Synchronous queries against the current snapshot; empty results
+  /// before the first Refresh.
+  JoinResult Joins(const JoinQuery& query, const QueryBudget& budget = {}) const;
+  UnionResult Unions(const UnionQuery& query,
+                     const QueryBudget& budget = {}) const;
+  KeywordResult Keywords(const KeywordQuery& query,
+                         const QueryBudget& budget = {}) const;
+
+  /// Asynchronous queries through the scheduler. The snapshot is acquired
+  /// when the task runs, so a queued query sees the newest epoch
+  /// published before its execution.
+  std::future<JoinResult> SubmitJoins(JoinQuery query, QueryBudget budget = {});
+  std::future<UnionResult> SubmitUnions(UnionQuery query,
+                                        QueryBudget budget = {});
+  std::future<KeywordResult> SubmitKeywords(KeywordQuery query,
+                                            QueryBudget budget = {});
+
+  RequestScheduler::Stats scheduler_stats() const { return scheduler_.stats(); }
+
+ private:
+  ServeOptions options_;
+  SnapshotRegistry registry_;
+  RequestScheduler scheduler_;
+};
+
+}  // namespace ogdp::serve
+
+#endif  // OGDP_SERVE_QUERY_ENGINE_H_

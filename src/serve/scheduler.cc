@@ -1,0 +1,63 @@
+#include "serve/scheduler.h"
+
+namespace ogdp::serve {
+
+RequestScheduler::RequestScheduler(size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RequestScheduler::~RequestScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void RequestScheduler::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      queue_.push_back(std::move(task));
+      ++submitted_;
+      work_cv_.notify_one();
+      return;
+    }
+    ++submitted_;
+  }
+  // Late submission during teardown: run inline (outside the lock) so
+  // the future is still satisfied; packaged_task delivers exceptions.
+  task();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+}
+
+void RequestScheduler::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+  }
+}
+
+RequestScheduler::Stats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{submitted_, completed_, queue_.size()};
+}
+
+}  // namespace ogdp::serve

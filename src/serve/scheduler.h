@@ -1,0 +1,70 @@
+#ifndef OGDP_SERVE_SCHEDULER_H_
+#define OGDP_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ogdp::serve {
+
+/// A small FIFO request scheduler: queries are submitted as tasks,
+/// executed by a fixed pool of worker threads, and observed through
+/// futures. Distinct from util::ThreadPool on purpose — that pool runs
+/// one synchronous indexed batch at a time, while a serving layer needs
+/// independent requests in flight concurrently with results delivered
+/// out of band.
+///
+/// Shutdown drains: the destructor stops intake, runs every task already
+/// queued, then joins the workers — a submitted query is never dropped.
+class RequestScheduler {
+ public:
+  /// `threads == 0` resolves to 1. Workers start immediately.
+  explicit RequestScheduler(size_t threads = 0);
+  ~RequestScheduler();
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  struct Stats {
+    size_t submitted = 0;  // tasks accepted
+    size_t completed = 0;  // tasks finished (including those that threw)
+    size_t queued = 0;     // accepted, not yet started
+  };
+
+  /// Enqueues `fn` and returns a future for its result. An exception
+  /// thrown by `fn` is delivered through the future.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  Stats stats() const;
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  size_t submitted_ = 0;
+  size_t completed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ogdp::serve
+
+#endif  // OGDP_SERVE_SCHEDULER_H_

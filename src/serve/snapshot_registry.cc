@@ -1,0 +1,24 @@
+#include "serve/snapshot_registry.h"
+
+#include <utility>
+
+namespace ogdp::serve {
+
+std::shared_ptr<const IndexSnapshot> SnapshotRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+uint64_t SnapshotRegistry::Publish(
+    std::shared_ptr<const IndexSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = std::move(snapshot);
+  return ++version_;
+}
+
+uint64_t SnapshotRegistry::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+}  // namespace ogdp::serve

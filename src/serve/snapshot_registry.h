@@ -1,0 +1,42 @@
+#ifndef OGDP_SERVE_SNAPSHOT_REGISTRY_H_
+#define OGDP_SERVE_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "serve/index_snapshot.h"
+
+namespace ogdp::serve {
+
+/// Publication point for index snapshots: readers Acquire() the current
+/// epoch and keep serving from it for as long as they hold the pointer;
+/// a refresh Publish()es the next epoch with a pointer swap. Readers are
+/// never blocked by a build and never observe a torn index — a snapshot
+/// is immutable from the moment it is published, and the old epoch stays
+/// alive until its last reader drops it.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// The currently published snapshot; null before the first Publish.
+  std::shared_ptr<const IndexSnapshot> Acquire() const;
+
+  /// Atomically replaces the published snapshot. Returns the publication
+  /// count (1 for the first snapshot).
+  uint64_t Publish(std::shared_ptr<const IndexSnapshot> snapshot);
+
+  /// Number of Publish calls so far.
+  uint64_t version() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const IndexSnapshot> current_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace ogdp::serve
+
+#endif  // OGDP_SERVE_SNAPSHOT_REGISTRY_H_

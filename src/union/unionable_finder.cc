@@ -13,15 +13,69 @@ UnionableFinder::UnionableFinder(const std::vector<table::Table>& tables)
 
 UnionableFinder::UnionableFinder(const std::vector<table::Table>& tables,
                                  const std::vector<uint64_t>* fingerprints,
-                                 fd::MemoryGovernor* governor) {
+                                 fd::MemoryGovernor* governor)
+    : UnionableFinder(tables, fingerprints, governor, nullptr, nullptr,
+                      nullptr) {}
+
+UnionableFinder::UnionableFinder(const std::vector<table::Table>& tables,
+                                 const std::vector<uint64_t>* fingerprints,
+                                 fd::MemoryGovernor* governor,
+                                 const UnionGroupingState* prev,
+                                 const std::vector<size_t>* prev_to_new,
+                                 const std::vector<uint8_t>* dirty) {
   assert(fingerprints == nullptr || fingerprints->size() == tables.size());
-  std::map<uint64_t, std::vector<size_t>> by_schema;
-  for (size_t t = 0; t < tables.size(); ++t) {
-    const uint64_t fp = fingerprints != nullptr
-                            ? (*fingerprints)[t]
-                            : tables[t].GetSchema().Fingerprint();
-    by_schema[fp].push_back(t);
+  const auto fp_of = [&](size_t t) {
+    return fingerprints != nullptr ? (*fingerprints)[t]
+                                   : tables[t].GetSchema().Fingerprint();
+  };
+  std::map<uint64_t, std::vector<size_t>>& by_schema = grouping_.members_by_fp;
+
+  const bool incremental = prev != nullptr && prev_to_new != nullptr &&
+                           dirty != nullptr && dirty->size() == tables.size();
+  if (!incremental) {
+    for (size_t t = 0; t < tables.size(); ++t) {
+      by_schema[fp_of(t)].push_back(t);
+    }
+  } else {
+    // Carry the previous epoch's partitions: remap each member to its
+    // current index, dropping unclaimed (removed or gone-dirty) members.
+    // A clean table's content is unchanged, so its schema fingerprint is
+    // too — the carried partition key stays valid without rehashing.
+    constexpr size_t kUnclaimed = static_cast<size_t>(-1);
+    std::set<uint64_t> touched;  // partitions that need re-derivation
+    for (const auto& [fp, members] : prev->members_by_fp) {
+      std::vector<size_t> remapped;
+      remapped.reserve(members.size());
+      for (size_t m : members) {
+        const size_t n =
+            m < prev_to_new->size() ? (*prev_to_new)[m] : kUnclaimed;
+        if (n != kUnclaimed) remapped.push_back(n);
+      }
+      if (remapped.size() != members.size()) touched.insert(fp);
+      if (remapped.empty()) continue;  // partition vanished this epoch
+      by_schema.emplace(fp, std::move(remapped));
+    }
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (!(*dirty)[t]) continue;
+      const uint64_t fp = fp_of(t);
+      by_schema[fp].push_back(t);
+      touched.insert(fp);
+    }
+    // Content-hash claiming is injective but not monotonic, so a carried
+    // partition's remapped members can arrive out of order; the linear
+    // is_sorted probe keeps untouched partitions sort-free.
+    for (auto& [fp, members] : by_schema) {
+      if (!std::is_sorted(members.begin(), members.end())) {
+        std::sort(members.begin(), members.end());
+      }
+      if (touched.count(fp) != 0) {
+        ++partitions_patched_;
+      } else {
+        ++partitions_carried_;
+      }
+    }
   }
+
   unique_schemas_ = by_schema.size();
   degree_.assign(tables.size(), 0);
 
@@ -51,6 +105,10 @@ UnionableFinder::UnionableFinder(const std::vector<table::Table>& tables,
     size_t resident = degree_.size() * sizeof(size_t);
     for (const UnionableSet& set : sets_) {
       resident += sizeof(UnionableSet) + set.tables.size() * sizeof(size_t);
+    }
+    for (const auto& [fp, members] : by_schema) {
+      resident += sizeof(fp) + sizeof(members) +
+                  members.size() * sizeof(size_t);
     }
     lease_ = std::make_unique<fd::MemoryLease>(governor);
     lease_->ForceCharge(resident);

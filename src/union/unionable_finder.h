@@ -2,6 +2,7 @@
 #define OGDP_UNION_UNIONABLE_FINDER_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,15 @@ struct UnionableSet {
   bool single_dataset = false;
 };
 
+/// Carry-over grouping state for incremental regrouping: one epoch's full
+/// fingerprint -> ascending-member-index partition map, singletons
+/// included (a later epoch's table may join a schema that currently has
+/// one member). Table indices are epoch-relative; the next epoch remaps
+/// them through its content-hash matching before patching.
+struct UnionGroupingState {
+  std::map<uint64_t, std::vector<size_t>> members_by_fp;
+};
+
 /// Groups a corpus into unionable sets by schema fingerprint.
 class UnionableFinder {
  public:
@@ -37,8 +47,35 @@ class UnionableFinder {
                   const std::vector<uint64_t>* fingerprints,
                   fd::MemoryGovernor* governor);
 
+  /// Incremental regrouping: instead of rebuilding the partition map over
+  /// the whole corpus, carries `prev`'s partitions forward — members are
+  /// remapped through `prev_to_new` (previous table index -> current, or
+  /// SIZE_MAX when unclaimed/removed) — and re-derives only the
+  /// partitions touched by a dirty table or a dropped member. Clean
+  /// tables keep their carried fingerprints; only dirty tables have
+  /// `fingerprints` consulted (or their schema hashed). The resulting
+  /// grouping is byte-identical to a from-scratch build over the same
+  /// corpus. Passing null for any of the three carry arguments falls
+  /// back to the from-scratch build.
+  UnionableFinder(const std::vector<table::Table>& tables,
+                  const std::vector<uint64_t>* fingerprints,
+                  fd::MemoryGovernor* governor,
+                  const UnionGroupingState* prev,
+                  const std::vector<size_t>* prev_to_new,
+                  const std::vector<uint8_t>* dirty);
+
   UnionableFinder(UnionableFinder&&) = default;
   UnionableFinder& operator=(UnionableFinder&&) = default;
+
+  /// The full partition map of this epoch (singletons included), ready to
+  /// be carried into the next epoch's incremental constructor.
+  const UnionGroupingState& grouping_state() const { return grouping_; }
+
+  /// Incremental-build accounting: partitions carried wholesale from the
+  /// previous epoch vs partitions re-derived (dirty member inserted, a
+  /// member dropped, or newly created). Both 0 on a from-scratch build.
+  size_t partitions_carried() const { return partitions_carried_; }
+  size_t partitions_patched() const { return partitions_patched_; }
 
   /// Sets of >= 2 tables with identical schemas, ordered by first member.
   const std::vector<UnionableSet>& unionable_sets() const { return sets_; }
@@ -56,8 +93,11 @@ class UnionableFinder {
  private:
   std::vector<UnionableSet> sets_;
   std::vector<size_t> degree_;  // per table
+  UnionGroupingState grouping_;  // full partition map, carried across epochs
   size_t unique_schemas_ = 0;
   size_t unionable_tables_ = 0;
+  size_t partitions_carried_ = 0;
+  size_t partitions_patched_ = 0;
   /// Governor lease on the retained state (pointer: MemoryLease is
   /// pinned, the finder must stay movable). Releases on destruction.
   std::unique_ptr<fd::MemoryLease> lease_;

@@ -152,7 +152,7 @@ TEST(CheckHarnessTest, ReportsAreByteReproducible) {
   const OracleOptions options = BoundedOptions();
   const auto first = RunAllOracles(options);
   const auto second = RunAllOracles(options);
-  ASSERT_EQ(first.size(), 11u);
+  ASSERT_EQ(first.size(), 12u);
   ASSERT_EQ(second.size(), first.size());
   for (size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i].ToString(), second[i].ToString());

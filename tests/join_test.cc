@@ -274,6 +274,38 @@ TEST(PairSamplerTest, DeterministicUnderSeed) {
   for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].pair, b[i].pair);
 }
 
+TEST(PairSamplerTest, UnprofiledColumnsAreExcludedNotDefaultBinned) {
+  // Regression: the keyness lookup used operator[], which default-inserts
+  // `false` — a pair whose column had no value-set entry was silently
+  // stratified as if both sides were non-key. Such pairs cannot be
+  // keyness-stratified at all and must be excluded from the sample.
+  std::vector<Table> tables;
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({std::to_string(i)});
+  tables.push_back(MakeTable("t0", {"id"}, rows));
+  tables.push_back(MakeTable("t1", {"id_ref"}, rows));
+
+  JoinablePairFinder finder(tables);
+  const auto pairs = finder.FindAllPairs();
+  ASSERT_EQ(pairs.size(), 1u);
+
+  // Control: with full profiles the pair samples (as a key-key pair).
+  const auto full =
+      SampleJoinablePairs(tables, finder.column_sets(), pairs, {});
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].key_combo, KeyCombination::kKeyKey);
+
+  // Drop one endpoint's profile: the pair must now be excluded, not
+  // binned under a fabricated non-key default.
+  std::vector<ColumnValueSet> partial;
+  for (const ColumnValueSet& s : finder.column_sets()) {
+    if (!(s.ref == pairs[0].b)) partial.push_back(s);
+  }
+  ASSERT_EQ(partial.size(), finder.column_sets().size() - 1);
+  const auto sample = SampleJoinablePairs(tables, partial, pairs, {});
+  EXPECT_TRUE(sample.empty());
+}
+
 TEST(SizeBucketTest, PaperBuckets) {
   EXPECT_EQ(SizeBucketOf(5), -1);
   EXPECT_EQ(SizeBucketOf(10), -1);

@@ -59,6 +59,68 @@ TEST(ScoreSuggestionTest, BoundedAndMonotoneInJaccard) {
   EXPECT_LT(ScoreSuggestion(lo), ScoreSuggestion(hi));
 }
 
+TEST(PreferredJoinTypeTest, SignalRankingAndTies) {
+  // Incremental-integer dominates from either side.
+  EXPECT_EQ(PreferredJoinType(DataType::kIncrementalInteger,
+                              DataType::kCategorical),
+            DataType::kIncrementalInteger);
+  EXPECT_EQ(PreferredJoinType(DataType::kCategorical,
+                              DataType::kIncrementalInteger),
+            DataType::kIncrementalInteger);
+  // Stronger Table-10 signal wins regardless of order.
+  EXPECT_EQ(PreferredJoinType(DataType::kTimestamp, DataType::kString),
+            DataType::kString);
+  EXPECT_EQ(PreferredJoinType(DataType::kString, DataType::kTimestamp),
+            DataType::kString);
+  EXPECT_EQ(PreferredJoinType(DataType::kInteger, DataType::kTimestamp),
+            DataType::kTimestamp);
+  // Equal-signal ties resolve to one fixed choice, both orientations.
+  EXPECT_EQ(PreferredJoinType(DataType::kCategorical, DataType::kString),
+            PreferredJoinType(DataType::kString, DataType::kCategorical));
+}
+
+TEST(ExtractSignalsTest, OrientationInvariant) {
+  // Regression: the join-type signal used to copy the first side's type
+  // (unless either side was incremental-integer), so the same discovered
+  // pair scored differently depending on which side the finder listed
+  // first — (timestamp, categorical) mapped to timestamp, its mirror to
+  // categorical.
+  std::vector<table::Table> tables;
+  auto push = [&](const std::string& name, const std::string& dataset) {
+    auto t = table::Table::FromRecords(name, {"c"}, {{"x"}});
+    t->set_dataset_id(dataset);
+    tables.push_back(std::move(t).value());
+  };
+  push("t0", "ds1");
+  push("t1", "ds2");
+
+  ColumnValueSet when;
+  when.ref = ColumnRef{0, 0};
+  when.type = DataType::kTimestamp;
+  when.is_key = true;
+  when.table_rows = 20;
+  ColumnValueSet species = when;
+  species.ref = ColumnRef{1, 0};
+  species.type = DataType::kCategorical;
+  species.is_key = false;
+
+  const SuggestionSignals ab = ExtractSignals(tables, when, species, 0.95);
+  const SuggestionSignals ba = ExtractSignals(tables, species, when, 0.95);
+  EXPECT_EQ(ab.join_type, ba.join_type);
+  EXPECT_EQ(ab.join_type, DataType::kCategorical);  // stronger signal wins
+  EXPECT_EQ(ab.key_combo, ba.key_combo);
+  EXPECT_EQ(ab.expansion_ratio, ba.expansion_ratio);
+  EXPECT_EQ(ScoreSuggestion(ab), ScoreSuggestion(ba));
+
+  // The incremental-integer red flag still dominates from either side.
+  ColumnValueSet row_id = when;
+  row_id.type = DataType::kIncrementalInteger;
+  EXPECT_EQ(ExtractSignals(tables, row_id, species, 0.95).join_type,
+            DataType::kIncrementalInteger);
+  EXPECT_EQ(ExtractSignals(tables, species, row_id, 0.95).join_type,
+            DataType::kIncrementalInteger);
+}
+
 TEST(RankSuggestionsTest, BestPairFirstAndDeterministic) {
   // Two tables joinable on a key pair (same dataset) and two on an
   // incremental-id pair (different datasets): the former must rank first.

@@ -1,0 +1,373 @@
+// Tests for the table-search serving layer: snapshot build determinism,
+// top-k agreement with the brute-force reference, deterministic budget
+// degradation, snapshot-swap refresh under concurrent readers (the TSan
+// target), and the request scheduler's drain-on-shutdown guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/brute_force.h"
+#include "serve/index_snapshot.h"
+#include "serve/query_engine.h"
+#include "serve/scheduler.h"
+#include "serve/snapshot_registry.h"
+#include "table/table.h"
+#include "util/parallel.h"
+
+namespace ogdp::serve {
+namespace {
+
+using table::Table;
+
+Table MakeTable(const std::string& name, const std::string& dataset,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  auto t = Table::FromRecords(name, header, rows);
+  EXPECT_TRUE(t.ok());
+  t->set_dataset_id(dataset);
+  return std::move(t).value();
+}
+
+// A one-column table of `count` categorical values cat<lo>..cat<lo+count-1>,
+// skipping `skip` (0 = none). Distinct counts stay >= the finder's
+// eligibility floor and overlaps land above the 0.9 Jaccard threshold.
+Table IdTable(const std::string& name, const std::string& dataset,
+              const std::string& column, int lo, int count, int skip) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = lo; static_cast<int>(rows.size()) < count; ++i) {
+    if (i == skip) continue;
+    rows.push_back({"cat" + std::to_string(i)});
+  }
+  return MakeTable(name, dataset, {column}, rows);
+}
+
+// Join cluster (segment ids with J = 1 and J ~ 0.905), a three-member
+// exact-union group, and distinctive names for keyword queries.
+std::vector<Table> ServeCorpus() {
+  std::vector<Table> tables;
+  tables.push_back(
+      IdTable("traffic counts", "transport", "segment_id", 1, 20, 0));
+  tables.push_back(
+      IdTable("traffic speed", "transport", "segment_ref", 1, 20, 0));
+  tables.push_back(IdTable("accident sites", "safety", "segment", 1, 20, 7));
+  for (int i = 0; i < 3; ++i) {
+    tables.push_back(MakeTable("budget " + std::to_string(2020 + i), "finance",
+                               {"year", "value"},
+                               {{"2020", "1.5"}, {"2021", "2.5"}}));
+  }
+  return tables;
+}
+
+ServeOptions PinnedOptions(size_t shards = 3) {
+  ServeOptions options;
+  options.shards = shards;  // env-proof: never consult OGDP_SERVE_SHARDS
+  return options;
+}
+
+// Unlimited but env-proof: never consult OGDP_QUERY_BUDGET_MS.
+QueryBudget Unlimited() {
+  QueryBudget b;
+  b.time_budget_ms = 0;
+  return b;
+}
+
+bool SameJoinHit(const JoinHit& a, const JoinHit& b) {
+  return a.query_column.table == b.query_column.table &&
+         a.query_column.column == b.query_column.column &&
+         a.match.table == b.match.table && a.match.column == b.match.column &&
+         a.jaccard == b.jaccard && a.score == b.score;
+}
+
+TEST(IndexSnapshotTest, BuildIsDeterministicAcrossThreadCounts) {
+  const std::vector<Table> tables = ServeCorpus();
+  const size_t ambient = util::GlobalThreadCount();
+  std::set<uint64_t> digests;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    util::SetGlobalThreadCount(threads);
+    digests.insert(BuildIndexSnapshot(tables, PinnedOptions(), 1)->Digest());
+  }
+  util::SetGlobalThreadCount(ambient);
+  EXPECT_EQ(digests.size(), 1u);
+}
+
+TEST(IndexSnapshotTest, ShardCountNeverChangesResults) {
+  const std::vector<Table> tables = ServeCorpus();
+  const auto one = BuildIndexSnapshot(tables, PinnedOptions(1), 1);
+  const auto five = BuildIndexSnapshot(tables, PinnedOptions(5), 1);
+  EXPECT_EQ(one->shard_count, 1u);
+  EXPECT_EQ(five->shard_count, 5u);
+  for (uint32_t t = 0; t < tables.size(); ++t) {
+    const JoinResult ja = QueryJoins(*one, {t, std::nullopt, 100}, Unlimited());
+    const JoinResult jb =
+        QueryJoins(*five, {t, std::nullopt, 100}, Unlimited());
+    ASSERT_EQ(ja.hits.size(), jb.hits.size());
+    for (size_t i = 0; i < ja.hits.size(); ++i) {
+      EXPECT_TRUE(SameJoinHit(ja.hits[i], jb.hits[i]));
+    }
+    const KeywordResult ka =
+        QueryKeywords(*one, {one->entries[t].name, 100}, Unlimited());
+    const KeywordResult kb =
+        QueryKeywords(*five, {one->entries[t].name, 100}, Unlimited());
+    ASSERT_EQ(ka.hits.size(), kb.hits.size());
+    for (size_t i = 0; i < ka.hits.size(); ++i) {
+      EXPECT_EQ(ka.hits[i].table, kb.hits[i].table);
+      EXPECT_EQ(ka.hits[i].score, kb.hits[i].score);
+    }
+  }
+}
+
+TEST(QueryTest, TopKAgreesWithBruteForce) {
+  const std::vector<Table> tables = ServeCorpus();
+  const auto snapshot = BuildIndexSnapshot(tables, PinnedOptions(), 1);
+  bool any_join = false, any_union = false;
+  for (uint32_t t = 0; t < tables.size(); ++t) {
+    const JoinQuery jq{t, std::nullopt, 100};
+    const JoinResult served = QueryJoins(*snapshot, jq, Unlimited());
+    const JoinResult brute = BruteForceJoins(*snapshot, jq, Unlimited());
+    ASSERT_EQ(served.hits.size(), brute.hits.size()) << "table " << t;
+    for (size_t i = 0; i < served.hits.size(); ++i) {
+      EXPECT_TRUE(SameJoinHit(served.hits[i], brute.hits[i]));
+    }
+    any_join |= !served.hits.empty();
+
+    const UnionQuery uq{t, 100};
+    const UnionResult useved = QueryUnions(*snapshot, uq, Unlimited());
+    const UnionResult ubrute = BruteForceUnions(*snapshot, uq, Unlimited());
+    ASSERT_EQ(useved.hits.size(), ubrute.hits.size()) << "table " << t;
+    for (size_t i = 0; i < useved.hits.size(); ++i) {
+      EXPECT_EQ(useved.hits[i].table, ubrute.hits[i].table);
+      EXPECT_EQ(useved.hits[i].similarity, ubrute.hits[i].similarity);
+      EXPECT_EQ(useved.hits[i].exact, ubrute.hits[i].exact);
+    }
+    any_union |= !useved.hits.empty();
+
+    const KeywordQuery kq{snapshot->entries[t].name + " zqxwv", 100};
+    const KeywordResult kserved = QueryKeywords(*snapshot, kq, Unlimited());
+    const KeywordResult kbrute = BruteForceKeywords(*snapshot, kq, Unlimited());
+    ASSERT_EQ(kserved.hits.size(), kbrute.hits.size()) << "table " << t;
+    for (size_t i = 0; i < kserved.hits.size(); ++i) {
+      EXPECT_EQ(kserved.hits[i].table, kbrute.hits[i].table);
+      EXPECT_EQ(kserved.hits[i].score, kbrute.hits[i].score);
+    }
+    EXPECT_FALSE(kserved.hits.empty());  // the table matches its own name
+  }
+  // The corpus was built to exercise both families.
+  EXPECT_TRUE(any_join);
+  EXPECT_TRUE(any_union);
+}
+
+TEST(QueryTest, SmallerBudgetIsSubsetWithIdenticalOrder) {
+  const std::vector<Table> tables = ServeCorpus();
+  const auto snapshot = BuildIndexSnapshot(tables, PinnedOptions(), 1);
+  const JoinQuery query{0, std::nullopt, 100};
+  const JoinResult full = QueryJoins(*snapshot, query, Unlimited());
+  ASSERT_GE(full.hits.size(), 2u);  // both other segment tables hit
+  EXPECT_FALSE(full.truncated);
+
+  size_t previous_hits = 0;
+  for (size_t cap = 1; cap <= full.candidates_considered + 1; ++cap) {
+    QueryBudget budget = Unlimited();
+    budget.max_candidates = cap;
+    const JoinResult got = QueryJoins(*snapshot, query, budget);
+    EXPECT_LE(got.candidates_considered, cap);
+    EXPECT_EQ(got.truncated, got.candidates_considered < full.candidates_considered);
+    // Degradation is only ever *fewer* hits, never different ones: the
+    // budgeted hits must be a subsequence of the full ranking.
+    size_t j = 0;
+    for (const JoinHit& hit : got.hits) {
+      while (j < full.hits.size() && !SameJoinHit(full.hits[j], hit)) ++j;
+      ASSERT_LT(j, full.hits.size()) << "hit not in the full ranking";
+      ++j;
+    }
+    EXPECT_GE(got.hits.size(), previous_hits);  // monotone in the budget
+    previous_hits = got.hits.size();
+  }
+  // At full budget the results converge to the unbudgeted ranking.
+  QueryBudget exact = Unlimited();
+  exact.max_candidates = full.candidates_considered;
+  const JoinResult converged = QueryJoins(*snapshot, query, exact);
+  ASSERT_EQ(converged.hits.size(), full.hits.size());
+  for (size_t i = 0; i < full.hits.size(); ++i) {
+    EXPECT_TRUE(SameJoinHit(converged.hits[i], full.hits[i]));
+  }
+}
+
+TEST(QueryTest, EnvResolutionForShardsAndTimeBudget) {
+  EXPECT_EQ(ResolveShardCount(3), 3u);
+  ::setenv("OGDP_SERVE_SHARDS", "7", 1);
+  EXPECT_EQ(ResolveShardCount(0), 7u);
+  ::setenv("OGDP_SERVE_SHARDS", "not-a-number", 1);
+  EXPECT_EQ(ResolveShardCount(0), 4u);
+  ::unsetenv("OGDP_SERVE_SHARDS");
+  EXPECT_EQ(ResolveShardCount(0), 4u);
+
+  EXPECT_EQ(ResolveTimeBudgetMs(5.0), 5.0);
+  EXPECT_EQ(ResolveTimeBudgetMs(0), 0.0);  // explicit unlimited
+  ::setenv("OGDP_QUERY_BUDGET_MS", "2.5", 1);
+  EXPECT_EQ(ResolveTimeBudgetMs(-1), 2.5);
+  ::unsetenv("OGDP_QUERY_BUDGET_MS");
+  EXPECT_EQ(ResolveTimeBudgetMs(-1), 0.0);
+}
+
+TEST(QueryEngineTest, EmptyBeforeFirstRefresh) {
+  QueryEngine engine(PinnedOptions());
+  EXPECT_EQ(engine.snapshot(), nullptr);
+  EXPECT_EQ(engine.version(), 0u);
+  EXPECT_TRUE(engine.Joins({0, std::nullopt, 10}, Unlimited()).hits.empty());
+  EXPECT_TRUE(engine.Unions({0, 10}, Unlimited()).hits.empty());
+  EXPECT_TRUE(engine.Keywords({"traffic", 10}, Unlimited()).hits.empty());
+}
+
+TEST(QueryEngineTest, RefreshKeepsAcquiredSnapshotAlive) {
+  const std::vector<Table> first = ServeCorpus();
+  std::vector<Table> second = ServeCorpus();
+  second.push_back(IdTable("detours", "transport", "segment_alt", 1, 20, 3));
+
+  QueryEngine engine(PinnedOptions());
+  const auto s1 = engine.Refresh(first);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->epoch, 1u);
+  EXPECT_EQ(engine.version(), 1u);
+
+  const auto held = engine.snapshot();  // a reader holding epoch 1
+  const auto s2 = engine.Refresh(second);
+  EXPECT_EQ(s2->epoch, 2u);
+  EXPECT_EQ(engine.version(), 2u);
+  EXPECT_EQ(engine.snapshot()->Digest(), s2->Digest());
+  // The old epoch is still fully usable — refresh never invalidates a
+  // snapshot an in-flight query acquired.
+  EXPECT_EQ(held->Digest(), s1->Digest());
+  EXPECT_EQ(held->entries.size(), first.size());
+  EXPECT_FALSE(
+      QueryKeywords(*held, {"traffic", 10}, Unlimited()).hits.empty());
+}
+
+TEST(QueryEngineTest, SubmittedQueriesMatchSynchronousOnes) {
+  QueryEngine engine(PinnedOptions(), 2);
+  engine.Refresh(ServeCorpus());
+  auto joins = engine.SubmitJoins({0, std::nullopt, 100}, Unlimited());
+  auto unions = engine.SubmitUnions({3, 100}, Unlimited());
+  auto keywords = engine.SubmitKeywords({"traffic", 100}, Unlimited());
+
+  const JoinResult sync_joins = engine.Joins({0, std::nullopt, 100}, Unlimited());
+  const JoinResult async_joins = joins.get();
+  ASSERT_EQ(async_joins.hits.size(), sync_joins.hits.size());
+  for (size_t i = 0; i < sync_joins.hits.size(); ++i) {
+    EXPECT_TRUE(SameJoinHit(async_joins.hits[i], sync_joins.hits[i]));
+  }
+  EXPECT_EQ(unions.get().hits.size(), engine.Unions({3, 100}, Unlimited()).hits.size());
+  EXPECT_FALSE(keywords.get().hits.empty());
+
+  const RequestScheduler::Stats stats = engine.scheduler_stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+// The TSan target: four reader threads query and re-acquire snapshots
+// while the main thread republishes new epochs. Every snapshot a reader
+// observes must be exactly one of the published epochs (digest match) —
+// never a torn or partially-swapped state — and queries against it must
+// agree with the brute-force reference for that same snapshot.
+TEST(QueryEngineTest, RefreshUnderLoadIsNeverTorn) {
+  constexpr int kEpochs = 4;
+  std::vector<std::vector<Table>> corpora;
+  for (int e = 0; e < kEpochs; ++e) {
+    std::vector<Table> corpus = ServeCorpus();
+    for (int extra = 0; extra < e; ++extra) {
+      corpus.push_back(IdTable("extra " + std::to_string(extra), "transport",
+                               "segment_x" + std::to_string(extra), 1, 20,
+                               extra + 1));
+    }
+    corpora.push_back(std::move(corpus));
+  }
+  // Epochs are numbered by publication count, so every future digest is
+  // known before the engine publishes anything.
+  std::set<uint64_t> expected;
+  for (int e = 0; e < kEpochs; ++e) {
+    expected.insert(
+        BuildIndexSnapshot(corpora[e], PinnedOptions(), e + 1)->Digest());
+  }
+
+  QueryEngine engine(PinnedOptions(), 2);
+  engine.Refresh(corpora[0]);
+  std::atomic<bool> done{false};
+  std::atomic<size_t> observed{0};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const auto snapshot = engine.snapshot();
+        if (snapshot == nullptr) continue;
+        if (expected.count(snapshot->Digest()) == 0) {
+          torn.store(true);
+          return;
+        }
+        const JoinQuery query{0, std::nullopt, 10};
+        const JoinResult served = QueryJoins(*snapshot, query, Unlimited());
+        const JoinResult brute = BruteForceJoins(*snapshot, query, Unlimited());
+        if (served.hits.size() != brute.hits.size()) {
+          torn.store(true);
+          return;
+        }
+        observed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int e = 1; e < kEpochs; ++e) {
+    engine.Refresh(corpora[e]);  // readers keep querying throughout
+  }
+  // Let readers observe the final epoch before stopping.
+  const size_t target = observed.load() + 8;
+  while (observed.load() < target && !torn.load()) {
+  }
+  done.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(engine.version(), static_cast<uint64_t>(kEpochs));
+  EXPECT_GT(observed.load(), 0u);
+}
+
+TEST(RequestSchedulerTest, DrainsEveryQueuedTaskOnShutdown) {
+  std::atomic<size_t> ran{0};
+  std::vector<std::future<size_t>> results;
+  {
+    RequestScheduler scheduler(2);
+    EXPECT_EQ(scheduler.thread_count(), 2u);
+    for (size_t i = 0; i < 64; ++i) {
+      results.push_back(scheduler.Submit([&ran, i] {
+        ran.fetch_add(1);
+        return i;
+      }));
+    }
+  }  // destructor: stop intake, drain the queue, join workers
+  EXPECT_EQ(ran.load(), 64u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].valid());
+    EXPECT_EQ(results[i].get(), i);
+  }
+}
+
+TEST(SnapshotRegistryTest, PublishSwapsAndVersions) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.Acquire(), nullptr);
+  EXPECT_EQ(registry.version(), 0u);
+  const auto first = BuildIndexSnapshot(ServeCorpus(), PinnedOptions(), 1);
+  EXPECT_EQ(registry.Publish(first), 1u);
+  EXPECT_EQ(registry.Acquire(), first);
+  const auto second = BuildIndexSnapshot(ServeCorpus(), PinnedOptions(), 2);
+  EXPECT_EQ(registry.Publish(second), 2u);
+  EXPECT_EQ(registry.Acquire(), second);
+  EXPECT_EQ(registry.version(), 2u);
+}
+
+}  // namespace
+}  // namespace ogdp::serve

@@ -131,6 +131,82 @@ TEST(SampleUnionablePairsTest, RequestingAllPairsReturnsAllPairs) {
   }
 }
 
+TEST(UnionableFinderTest, AllCleanEpochCarriesEveryPartition) {
+  std::vector<Table> tables = Corpus();
+  UnionableFinder prev(tables);
+  EXPECT_EQ(prev.partitions_carried(), 0u);  // from-scratch build
+  EXPECT_EQ(prev.partitions_patched(), 0u);
+  const UnionGroupingState state = prev.grouping_state();
+
+  // Next epoch: identical corpus, every table claimed clean in place.
+  std::vector<size_t> prev_to_new(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) prev_to_new[i] = i;
+  std::vector<uint8_t> dirty(tables.size(), 0);
+  UnionableFinder inc(tables, nullptr, nullptr, &state, &prev_to_new, &dirty);
+
+  EXPECT_EQ(inc.partitions_carried(), prev.unique_schema_count());
+  EXPECT_EQ(inc.partitions_patched(), 0u);
+  EXPECT_EQ(inc.grouping_state().members_by_fp, state.members_by_fp);
+  ASSERT_EQ(inc.unionable_sets().size(), prev.unionable_sets().size());
+  for (size_t s = 0; s < inc.unionable_sets().size(); ++s) {
+    EXPECT_EQ(inc.unionable_sets()[s].tables, prev.unionable_sets()[s].tables);
+    EXPECT_EQ(inc.unionable_sets()[s].schema_fingerprint,
+              prev.unionable_sets()[s].schema_fingerprint);
+  }
+}
+
+TEST(UnionableFinderTest, IncrementalRegroupMatchesFromScratch) {
+  // Epoch 1 groups Corpus(); epoch 2 drops a1 and d, edits b1, adds a
+  // new member of A's schema, and permutes the surviving indices. The
+  // incremental regroup must be byte-identical to a from-scratch build
+  // over the new corpus, with only the touched partitions re-derived.
+  std::vector<Table> prev_tables = Corpus();
+  UnionableFinder prev(prev_tables);
+  const UnionGroupingState state = prev.grouping_state();
+
+  std::vector<Table> next;
+  next.push_back(MakeTable("b1", "ds3", {"name", "count"},  // edited rows
+                           {{"z", "3"}, {"w", "4"}, {"v", "5"}}));
+  next.push_back(prev_tables[0]);  // a0, clean
+  next.push_back(prev_tables[2]);  // a2, clean
+  next.push_back(MakeTable("a3", "ds1", {"year", "value"},  // new in A
+                           {{"2020", "3.5"}, {"2021", "4.5"}}));
+  next.push_back(prev_tables[3]);  // b0, clean
+  next.push_back(prev_tables[5]);  // c, clean
+
+  constexpr size_t npos = static_cast<size_t>(-1);
+  // prev index -> new index for clean carries; edited/removed unclaimed.
+  const std::vector<size_t> prev_to_new = {1, npos, 2, 4, npos, 5, npos};
+  const std::vector<uint8_t> dirty = {1, 0, 0, 1, 0, 0};
+
+  UnionableFinder inc(next, nullptr, nullptr, &state, &prev_to_new, &dirty);
+  UnionableFinder scratch(next);
+
+  EXPECT_EQ(inc.grouping_state().members_by_fp,
+            scratch.grouping_state().members_by_fp);
+  EXPECT_EQ(inc.unique_schema_count(), scratch.unique_schema_count());
+  EXPECT_EQ(inc.unionable_table_count(), scratch.unionable_table_count());
+  ASSERT_EQ(inc.unionable_sets().size(), scratch.unionable_sets().size());
+  for (size_t s = 0; s < inc.unionable_sets().size(); ++s) {
+    EXPECT_EQ(inc.unionable_sets()[s].tables,
+              scratch.unionable_sets()[s].tables);
+    EXPECT_EQ(inc.unionable_sets()[s].schema_fingerprint,
+              scratch.unionable_sets()[s].schema_fingerprint);
+    EXPECT_EQ(inc.unionable_sets()[s].single_dataset,
+              scratch.unionable_sets()[s].single_dataset);
+  }
+  for (size_t t = 0; t < next.size(); ++t) {
+    EXPECT_EQ(inc.DegreeOf(t), scratch.DegreeOf(t)) << "table " << t;
+  }
+
+  // Only c's partition survives untouched; A (member added + a1 gone)
+  // and B (b1 edited + reinserted) are patched; d's partition vanished.
+  EXPECT_EQ(inc.partitions_carried(), 1u);
+  EXPECT_EQ(inc.partitions_patched(), 2u);
+  EXPECT_EQ(inc.partitions_carried() + inc.partitions_patched(),
+            inc.unique_schema_count());
+}
+
 TEST(UnionAllTest, ConcatenatesRows) {
   std::vector<Table> tables = Corpus();
   UnionableFinder finder(tables);
