@@ -2,30 +2,42 @@
 // synthetic portal and replays a seeded query mix (whole-table join
 // lookups, union lookups, keyword searches) through the served path and
 // through the per-query brute-force reference, reporting per-family and
-// overall median latencies and the median per-query speedup. Emits
-// BENCH_serve.json in the working directory.
+// overall median latencies and the median per-query speedup. The same
+// mix is then replayed through the QueryEngine's epoch-keyed result
+// cache — cold (first execution, compute + store) versus warm (repeat,
+// cache hit) — reporting the repeated-query latency and the cache hit
+// rate. A fairness section floods a greedy client through the weighted-
+// fair scheduler against three background clients and reports per-client
+// mean sojourn. Emits BENCH_serve.json in the working directory.
 //
 // Env: OGDP_BENCH_SCALE (default 0.25), OGDP_BENCH_THREADS. Set
 // OGDP_BENCH_SERVE_GUARD=1 for the tier-1 CI guard: a small fixed
 // configuration that rebuilds each index at two thread counts (digests
 // must match), replays every query against the brute-force reference
-// (results must be identical), and probes budget degradation (smaller
-// budgets must yield subsequences). Nonzero exit on any divergence; the
-// guard never writes the JSON.
+// (results must be identical), probes budget degradation (smaller
+// budgets must yield subsequences), and byte-compares the cached path —
+// cold engine results against the direct snapshot query and warm
+// repeats against cold, with warm required to be served from the cache.
+// Nonzero exit on any divergence; the guard never writes the JSON.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/ingestion.h"
 #include "corpus/snapshot.h"
+#include "fd/memory_governor.h"
 #include "fetch/fault_schedule.h"
 #include "serve/brute_force.h"
 #include "serve/index_snapshot.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 
 namespace {
 
@@ -59,6 +71,15 @@ double TimeUs(const Fn& fn) {
   return best;
 }
 
+// One sample, in microseconds — for the cold cache path, where the first
+// execution is the measurement and a repeat would hit the cache.
+template <typename Fn>
+double SingleUs(const Fn& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.ElapsedSeconds() * 1e6;
+}
+
 bool SameJoins(const serve::JoinResult& a, const serve::JoinResult& b) {
   if (a.hits.size() != b.hits.size()) return false;
   for (size_t i = 0; i < a.hits.size(); ++i) {
@@ -74,6 +95,156 @@ bool SameJoins(const serve::JoinResult& a, const serve::JoinResult& b) {
   return true;
 }
 
+// Full byte-compare for the cached-path guard: everything except the
+// from_cache telemetry flag, which differs by design between cold and
+// warm executions of the same query.
+bool SameJoinsFull(const serve::JoinResult& a, const serve::JoinResult& b) {
+  return SameJoins(a, b) &&
+         a.candidates_considered == b.candidates_considered &&
+         a.truncated == b.truncated && a.epoch == b.epoch;
+}
+
+bool SameUnionsFull(const serve::UnionResult& a, const serve::UnionResult& b) {
+  if (a.hits.size() != b.hits.size() ||
+      a.candidates_considered != b.candidates_considered ||
+      a.truncated != b.truncated || a.epoch != b.epoch) {
+    return false;
+  }
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    if (a.hits[i].table != b.hits[i].table ||
+        a.hits[i].similarity != b.hits[i].similarity ||
+        a.hits[i].exact != b.hits[i].exact) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameKeywordsFull(const serve::KeywordResult& a,
+                      const serve::KeywordResult& b) {
+  if (a.hits.size() != b.hits.size() ||
+      a.candidates_considered != b.candidates_considered ||
+      a.truncated != b.truncated || a.epoch != b.epoch) {
+    return false;
+  }
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    if (a.hits[i].table != b.hits[i].table ||
+        a.hits[i].score != b.hits[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------ fairness section
+
+struct FairnessStats {
+  size_t workers = 0;
+  size_t greedy_queries = 0;
+  size_t background_clients = 0;
+  size_t background_queries_each = 0;
+  double greedy_mean_sojourn_ms = 0;
+  double background_mean_sojourn_ms = 0;
+  double background_over_greedy = 0;  // sojourn ratio; < 1 means the
+                                      // background clients were not stuck
+                                      // behind the greedy flood
+  uint64_t shed = 0;
+};
+
+// Floods one greedy client (64 join queries), then a trickle from three
+// background clients (8 each), with the workers parked behind a gate
+// until the whole backlog is enqueued — the interesting case is
+// background work sitting behind a deep greedy queue. Deficit-round-
+// robin should interleave the background work instead of parking it
+// behind the flood, so background mean sojourn stays a fraction of
+// greedy mean sojourn (FIFO would put it at the tail, ratio > 1). Uses
+// the RequestScheduler directly so the gate tasks can block the workers;
+// each task is a real uncached join query against the snapshot.
+FairnessStats RunFairness(const std::vector<table::Table>& tables,
+                          const serve::ServeOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  FairnessStats fs;
+  fs.workers = 2;
+  fs.greedy_queries = 64;
+  fs.background_clients = 3;
+  fs.background_queries_each = 8;
+
+  const auto snapshot = serve::BuildIndexSnapshot(tables, options, 1);
+  serve::SchedulerOptions sched_options;
+  sched_options.threads = fs.workers;
+  sched_options.client_queue_capacity = 4096;
+  serve::RequestScheduler sched(sched_options);
+
+  // Park every worker until the backlog is fully enqueued.
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::vector<std::future<int>> blockers;
+  for (size_t w = 0; w < fs.workers; ++w) {
+    blockers.push_back(sched.Submit("gate", [open] {
+      open.wait();
+      return 0;
+    }));
+  }
+
+  struct Pending {
+    std::future<serve::JoinResult> future;
+    Clock::time_point submitted;
+  };
+  std::vector<Pending> greedy;
+  std::vector<std::vector<Pending>> background(fs.background_clients);
+  // Brute-force joins as the request work: a full linear scan per query,
+  // so every task costs about the same — fairness shows up in completion
+  // times instead of being drowned by per-table cost skew.
+  const auto submit = [&](const std::string& client, size_t i) {
+    const serve::JoinQuery jq{static_cast<uint32_t>(i % tables.size()),
+                              std::nullopt, 10};
+    auto future = sched.Submit(client, [&snapshot, jq] {
+      return serve::BruteForceJoins(*snapshot, jq, Unlimited());
+    });
+    return Pending{std::move(future), Clock::now()};
+  };
+  for (size_t i = 0; i < fs.greedy_queries; ++i) {
+    greedy.push_back(submit("greedy", i));
+  }
+  for (size_t i = 0; i < fs.background_queries_each; ++i) {
+    for (size_t c = 0; c < fs.background_clients; ++c) {
+      background[c].push_back(submit("bg" + std::to_string(c), i));
+    }
+  }
+  gate.set_value();
+
+  // One collector thread per client: dispatch within a client is FIFO, so
+  // draining that client's futures in submission order records each
+  // completion close to when it actually happened.
+  const auto drain = [](std::vector<Pending>& pending) {
+    double total_ms = 0;
+    for (Pending& p : pending) {
+      p.future.get();
+      total_ms += std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            p.submitted)
+                      .count();
+    }
+    return pending.empty() ? 0.0 : total_ms / pending.size();
+  };
+  double greedy_mean = 0;
+  std::vector<double> bg_means(fs.background_clients, 0);
+  std::vector<std::thread> collectors;
+  collectors.emplace_back([&] { greedy_mean = drain(greedy); });
+  for (size_t c = 0; c < fs.background_clients; ++c) {
+    collectors.emplace_back([&, c] { bg_means[c] = drain(background[c]); });
+  }
+  for (std::thread& t : collectors) t.join();
+  for (auto& b : blockers) b.get();
+
+  fs.greedy_mean_sojourn_ms = greedy_mean;
+  for (double m : bg_means) fs.background_mean_sojourn_ms += m;
+  fs.background_mean_sojourn_ms /= static_cast<double>(fs.background_clients);
+  fs.background_over_greedy =
+      greedy_mean > 0 ? fs.background_mean_sojourn_ms / greedy_mean : 0;
+  fs.shed = sched.stats().shed;
+  return fs;
+}
+
 struct PortalStats {
   std::string name;
   size_t tables = 0;
@@ -86,6 +257,12 @@ struct PortalStats {
   double union_speedup = 0;
   double keyword_speedup = 0;
   double median_speedup = 0;  // median of per-query brute/served ratios
+  // Cached path: cold = first engine execution (compute + store), warm =
+  // repeat of the same query (cache hit).
+  double cold_median_us = 0;
+  double warm_median_us = 0;
+  double repeat_speedup = 0;   // cold / warm medians
+  double cache_hit_rate = 0;   // hits / (hits + misses) over the replay
 };
 
 }  // namespace
@@ -108,11 +285,13 @@ int main() {
               guard ? " (guard mode)" : "");
 
   std::vector<PortalStats> portals;
+  std::vector<table::Table> fairness_tables;  // first portal's corpus
   size_t divergences = 0;
   for (const auto& profile : corpus::AllPortalProfiles()) {
     const auto chain = corpus::GenerateSnapshotChain(profile, scale, 1);
     const core::IngestResult corpus = core::IngestPortal(chain[0].portal, ingest);
     const std::vector<table::Table>& tables = corpus.tables;
+    if (!guard && fairness_tables.empty()) fairness_tables = tables;
 
     PortalStats ps;
     ps.name = profile.name;
@@ -137,7 +316,17 @@ int main() {
       }
     }
 
+    // Cached path: a per-portal engine with a pinned unlimited cache
+    // budget (the bench never consults OGDP_RESULT_CACHE_BUDGET) and a
+    // pinned client-queue capacity.
+    serve::QueryEngineOptions engine_options;
+    engine_options.result_cache_budget = fd::kUnlimitedFdMemoryBudget;
+    engine_options.client_queue_capacity = 4096;
+    serve::QueryEngine engine(options, 1, engine_options);
+    engine.Refresh(tables);
+
     std::vector<double> served_us, brute_us, ratios;
+    std::vector<double> cold_us, warm_us;
     std::vector<double> join_served, join_brute, union_served, union_brute,
         keyword_served, keyword_brute;
     for (uint32_t t = 0; t < tables.size(); ++t) {
@@ -209,6 +398,42 @@ int main() {
         std::printf("[serve] %s table %u: KEYWORD RESULTS DIVERGE (BUG)\n",
                     profile.name.c_str(), t);
       }
+
+      // Cached path: cold single shot (compute + store), warm repeats of
+      // the same three queries (cache hits).
+      serve::JoinResult cj, wj;
+      cold_us.push_back(SingleUs([&] { cj = engine.Joins(jq, Unlimited()); }));
+      warm_us.push_back(TimeUs([&] { wj = engine.Joins(jq, Unlimited()); }));
+      serve::UnionResult cu, wu;
+      cold_us.push_back(SingleUs([&] { cu = engine.Unions(uq, Unlimited()); }));
+      warm_us.push_back(TimeUs([&] { wu = engine.Unions(uq, Unlimited()); }));
+      serve::KeywordResult ck, wk;
+      cold_us.push_back(
+          SingleUs([&] { ck = engine.Keywords(kq, Unlimited()); }));
+      warm_us.push_back(TimeUs([&] { wk = engine.Keywords(kq, Unlimited()); }));
+      if (guard) {
+        // Cold engine results must byte-match the direct snapshot query
+        // (the engine built its own, digest-identical snapshot); warm
+        // repeats must byte-match cold and be served from the cache.
+        if (!SameJoinsFull(cj, js) || !SameJoinsFull(wj, cj) ||
+            !wj.from_cache) {
+          ++divergences;
+          std::printf("[serve] %s table %u: CACHED JOINS DIVERGE (BUG)\n",
+                      profile.name.c_str(), t);
+        }
+        if (!SameUnionsFull(cu, us_r) || !SameUnionsFull(wu, cu) ||
+            !wu.from_cache) {
+          ++divergences;
+          std::printf("[serve] %s table %u: CACHED UNIONS DIVERGE (BUG)\n",
+                      profile.name.c_str(), t);
+        }
+        if (!SameKeywordsFull(ck, ks) || !SameKeywordsFull(wk, ck) ||
+            !wk.from_cache) {
+          ++divergences;
+          std::printf("[serve] %s table %u: CACHED KEYWORDS DIVERGE (BUG)\n",
+                      profile.name.c_str(), t);
+        }
+      }
     }
 
     auto fold = [&](const std::vector<double>& s, const std::vector<double>& b) {
@@ -231,35 +456,74 @@ int main() {
     ps.keyword_speedup =
         MedianUs(keyword_brute) / std::max(1e-9, MedianUs(keyword_served));
     ps.median_speedup = MedianUs(ratios);
+    ps.cold_median_us = MedianUs(cold_us);
+    ps.warm_median_us = MedianUs(warm_us);
+    ps.repeat_speedup = ps.warm_median_us > 0
+                            ? ps.cold_median_us / ps.warm_median_us
+                            : 0;
+    const serve::ResultCacheStats cache = engine.cache_stats();
+    const uint64_t lookups = cache.hits + cache.misses;
+    ps.cache_hit_rate =
+        lookups > 0 ? static_cast<double>(cache.hits) /
+                          static_cast<double>(lookups)
+                    : 0;
     std::printf(
         "[serve] %s: %zu tables, %zu column sets, build %.2fs; med served "
         "%.1fus vs brute %.1fus (join %.0fx, union %.0fx, keyword %.0fx, "
-        "median %.0fx)\n",
+        "median %.0fx); cache cold %.1fus vs warm %.1fus (%.0fx, hit rate "
+        "%.2f)\n",
         ps.name.c_str(), ps.tables, ps.column_sets, ps.build_seconds,
         ps.served_median_us, ps.brute_median_us, ps.join_speedup,
-        ps.union_speedup, ps.keyword_speedup, ps.median_speedup);
+        ps.union_speedup, ps.keyword_speedup, ps.median_speedup,
+        ps.cold_median_us, ps.warm_median_us, ps.repeat_speedup,
+        ps.cache_hit_rate);
     portals.push_back(std::move(ps));
   }
 
   double overall_served = 0, overall_brute = 0, overall_ratio = 0;
+  double overall_cold = 0, overall_warm = 0, overall_hit_rate = 0;
   {
-    std::vector<double> s, b, r;
+    std::vector<double> s, b, r, c, w, h;
     for (const PortalStats& ps : portals) {
       s.push_back(ps.served_median_us);
       b.push_back(ps.brute_median_us);
       r.push_back(ps.median_speedup);
+      c.push_back(ps.cold_median_us);
+      w.push_back(ps.warm_median_us);
+      h.push_back(ps.cache_hit_rate);
     }
     overall_served = MedianUs(s);
     overall_brute = MedianUs(b);
     overall_ratio = MedianUs(r);
+    overall_cold = MedianUs(c);
+    overall_warm = MedianUs(w);
+    overall_hit_rate = MedianUs(h);
   }
   std::printf("[serve] overall: med served %.1fus, med brute %.1fus, median "
-              "per-query speedup %.0fx\n",
-              overall_served, overall_brute, overall_ratio);
+              "per-query speedup %.0fx; cache cold %.1fus vs warm %.1fus "
+              "(hit rate %.2f)\n",
+              overall_served, overall_brute, overall_ratio, overall_cold,
+              overall_warm, overall_hit_rate);
   if (guard) {
     std::printf("[serve] guard: %s\n",
-                divergences == 0 ? "served == brute everywhere, digests stable"
-                                 : "DIVERGENCES FOUND (BUG)");
+                divergences == 0
+                    ? "served == brute everywhere, cached == uncached, "
+                      "digests stable"
+                    : "DIVERGENCES FOUND (BUG)");
+  }
+
+  FairnessStats fairness;
+  if (!guard && !fairness_tables.empty()) {
+    fairness = RunFairness(fairness_tables, options);
+    std::printf(
+        "[serve] fairness: greedy %zu queries vs %zu background clients x "
+        "%zu on %zu workers; mean sojourn greedy %.3fms vs background "
+        "%.3fms (ratio %.2f, shed %llu)\n",
+        fairness.greedy_queries, fairness.background_clients,
+        fairness.background_queries_each, fairness.workers,
+        fairness.greedy_mean_sojourn_ms, fairness.background_mean_sojourn_ms,
+        fairness.background_over_greedy,
+        static_cast<unsigned long long>(fairness.shed));
   }
 
   if (!guard) {
@@ -269,9 +533,13 @@ int main() {
                    "{\n  \"scale\": %.4f,\n  \"threads\": %zu,\n"
                    "  \"shards\": %zu,\n  \"overall_served_median_us\": %.2f,\n"
                    "  \"overall_brute_median_us\": %.2f,\n"
-                   "  \"overall_median_speedup\": %.2f,\n  \"portals\": [\n",
+                   "  \"overall_median_speedup\": %.2f,\n"
+                   "  \"overall_cold_median_us\": %.2f,\n"
+                   "  \"overall_warm_median_us\": %.2f,\n"
+                   "  \"overall_cache_hit_rate\": %.4f,\n  \"portals\": [\n",
                    scale, threads, options.shards, overall_served,
-                   overall_brute, overall_ratio);
+                   overall_brute, overall_ratio, overall_cold, overall_warm,
+                   overall_hit_rate);
       for (size_t p = 0; p < portals.size(); ++p) {
         const PortalStats& ps = portals[p];
         std::fprintf(
@@ -281,13 +549,31 @@ int main() {
             "\"build_s\": %.4f,\n     \"served_median_us\": %.2f, "
             "\"brute_median_us\": %.2f, \"join_speedup\": %.2f, "
             "\"union_speedup\": %.2f, \"keyword_speedup\": %.2f, "
-            "\"median_speedup\": %.2f}%s\n",
+            "\"median_speedup\": %.2f,\n     \"cold_median_us\": %.2f, "
+            "\"warm_median_us\": %.2f, \"repeat_speedup\": %.2f, "
+            "\"cache_hit_rate\": %.4f}%s\n",
             ps.name.c_str(), ps.tables, ps.column_sets, ps.queries,
             ps.build_seconds, ps.served_median_us, ps.brute_median_us,
             ps.join_speedup, ps.union_speedup, ps.keyword_speedup,
-            ps.median_speedup, p + 1 < portals.size() ? "," : "");
+            ps.median_speedup, ps.cold_median_us, ps.warm_median_us,
+            ps.repeat_speedup, ps.cache_hit_rate,
+            p + 1 < portals.size() ? "," : "");
       }
-      std::fprintf(json, "  ]\n}\n");
+      std::fprintf(json,
+                   "  ],\n  \"fairness\": {\"workers\": %zu, "
+                   "\"greedy_queries\": %zu, \"background_clients\": %zu, "
+                   "\"background_queries_each\": %zu,\n"
+                   "    \"greedy_mean_sojourn_ms\": %.4f, "
+                   "\"background_mean_sojourn_ms\": %.4f, "
+                   "\"background_over_greedy_sojourn\": %.4f, "
+                   "\"shed\": %llu}\n}\n",
+                   fairness.workers, fairness.greedy_queries,
+                   fairness.background_clients,
+                   fairness.background_queries_each,
+                   fairness.greedy_mean_sojourn_ms,
+                   fairness.background_mean_sojourn_ms,
+                   fairness.background_over_greedy,
+                   static_cast<unsigned long long>(fairness.shed));
       std::fclose(json);
       std::printf("Wrote BENCH_serve.json\n");
     }

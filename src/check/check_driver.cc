@@ -7,7 +7,7 @@
 // fd_tane_vs_fun, bcnf_lossless_join, lsh_superset, codec_round_trip,
 // cleaning_idempotence, union_finder_differential, header_modal_width,
 // fetch_equivalence, join_ranker_monotonicity, incremental_equivalence,
-// serve_equivalence)
+// serve_equivalence, serve_cache_equivalence)
 // and prints one report per oracle. Output is byte-reproducible for a
 // fixed seed; the exit code is 0 iff every oracle holds on every case.
 // `--corpus` mixes the committed regression documents into the CSV
@@ -34,7 +34,8 @@ void Usage(const char* argv0) {
                "bcnf_lossless_join|lsh_superset|codec_round_trip|"
                "cleaning_idempotence|union_finder_differential|"
                "header_modal_width|fetch_equivalence|"
-               "join_ranker_monotonicity|incremental_equivalence|serve_equivalence]\n",
+               "join_ranker_monotonicity|incremental_equivalence|"
+               "serve_equivalence|serve_cache_equivalence]\n",
                argv0);
 }
 
@@ -127,6 +128,8 @@ int main(int argc, char** argv) {
     reports.push_back(ogdp::check::CheckIncrementalEquivalence(options));
   } else if (only_oracle == "serve_equivalence") {
     reports.push_back(ogdp::check::CheckServeEquivalence(options));
+  } else if (only_oracle == "serve_cache_equivalence") {
+    reports.push_back(ogdp::check::CheckServeCacheEquivalence(options));
   } else {
     Usage(argv[0]);
     return 2;

@@ -4,9 +4,11 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <future>
 #include <iterator>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <utility>
 
@@ -34,6 +36,8 @@
 #include "serve/brute_force.h"
 #include "serve/index_snapshot.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
 #include "table/projection.h"
 #include "union/schema_similarity.h"
 #include "union/unionable_finder.h"
@@ -1774,8 +1778,8 @@ OracleReport CheckServeEquivalence(const OracleOptions& options) {
       if (!union_ok) continue;
 
       // Keyword family: the table's own vocabulary plus a miss token.
-      std::string text = idx->entries[t].name + " value zqxwv";
-      const serve::KeywordQuery kq{std::move(text), 1024};
+      const std::string text = idx->entries[t].name + " value zqxwv";
+      const serve::KeywordQuery kq{text, 1024};
       const serve::KeywordResult served_k =
           serve::QueryKeywords(*idx, kq, budget_of(0));
       const serve::KeywordResult brute_k =
@@ -1798,8 +1802,372 @@ OracleReport CheckServeEquivalence(const OracleOptions& options) {
           break;
         }
       }
+
+      // Metamorphic keyword idempotence: scoring is defined over the
+      // *unique* query token set, so duplicating the whole query text
+      // must leave every score and rank byte-identical — in the served
+      // path and the brute-force reference alike. (This is the oracle
+      // blind spot that let duplicate-token inflation go undetected:
+      // equivalence alone passes when both sides share the same bug.)
+      const serve::KeywordQuery doubled{text + " " + text, 1024};
+      const serve::KeywordResult served_d =
+          serve::QueryKeywords(*idx, doubled, budget_of(0));
+      const serve::KeywordResult brute_d =
+          serve::BruteForceKeywords(*idx, doubled, budget_of(0));
+      if (served_d.hits.size() != served_k.hits.size() ||
+          !std::equal(served_d.hits.begin(), served_d.hits.end(),
+                      served_k.hits.begin(), SameKeywordHit)) {
+        report.failures.push_back(
+            "duplicated query text changed served keyword results at " +
+            where);
+        continue;
+      }
+      if (brute_d.hits.size() != brute_k.hits.size() ||
+          !std::equal(brute_d.hits.begin(), brute_d.hits.end(),
+                      brute_k.hits.begin(), SameKeywordHit)) {
+        report.failures.push_back(
+            "duplicated query text changed brute-force keyword results at " +
+            where);
+      }
     }
   }
+  util::SetGlobalThreadCount(ambient_threads);
+  return report;
+}
+
+namespace {
+
+/// Hit-level equality for served-vs-brute comparisons: the two paths
+/// consider different candidate sets by design (inverted probes vs a
+/// full linear scan), so only the ranked hits and the epoch must agree.
+bool SameJoinHits(const serve::JoinResult& x, const serve::JoinResult& y) {
+  return x.epoch == y.epoch && x.hits.size() == y.hits.size() &&
+         std::equal(x.hits.begin(), x.hits.end(), y.hits.begin(), SameJoinHit);
+}
+
+bool SameUnionHits(const serve::UnionResult& x, const serve::UnionResult& y) {
+  return x.epoch == y.epoch && x.hits.size() == y.hits.size() &&
+         std::equal(x.hits.begin(), x.hits.end(), y.hits.begin(),
+                    SameUnionHit);
+}
+
+bool SameKeywordHits(const serve::KeywordResult& x,
+                     const serve::KeywordResult& y) {
+  return x.epoch == y.epoch && x.hits.size() == y.hits.size() &&
+         std::equal(x.hits.begin(), x.hits.end(), y.hits.begin(),
+                    SameKeywordHit);
+}
+
+/// Byte-equality over everything the contract covers: hits, counters,
+/// and the epoch. `from_cache` is telemetry and deliberately excluded.
+bool SameJoinResult(const serve::JoinResult& x, const serve::JoinResult& y) {
+  return x.candidates_considered == y.candidates_considered &&
+         x.truncated == y.truncated && x.epoch == y.epoch &&
+         x.hits.size() == y.hits.size() &&
+         std::equal(x.hits.begin(), x.hits.end(), y.hits.begin(), SameJoinHit);
+}
+
+bool SameUnionResult(const serve::UnionResult& x, const serve::UnionResult& y) {
+  return x.candidates_considered == y.candidates_considered &&
+         x.truncated == y.truncated && x.epoch == y.epoch &&
+         x.hits.size() == y.hits.size() &&
+         std::equal(x.hits.begin(), x.hits.end(), y.hits.begin(),
+                    SameUnionHit);
+}
+
+bool SameKeywordResult(const serve::KeywordResult& x,
+                       const serve::KeywordResult& y) {
+  return x.candidates_considered == y.candidates_considered &&
+         x.truncated == y.truncated && x.epoch == y.epoch &&
+         x.hits.size() == y.hits.size() &&
+         std::equal(x.hits.begin(), x.hits.end(), y.hits.begin(),
+                    SameKeywordHit);
+}
+
+/// Deterministic DRR starvation-bound check: one blocked worker, a
+/// greedy client with 6 queued tasks against two background clients with
+/// 3 each (all weight 1) must complete in exact round-robin interleaving
+/// — every background task done within the first nine dispatches even
+/// though the greedy client enqueued first.
+void CheckSchedulerStarvationBound(OracleReport& report) {
+  ++report.cases;
+  serve::SchedulerOptions sopts;
+  sopts.threads = 1;
+  sopts.client_queue_capacity = 64;
+
+  std::vector<std::string> order;
+  std::mutex order_mu;
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> blocked;
+  {
+    serve::RequestScheduler sched(sopts);
+    std::future<void> blocker = sched.Submit("greedy", [&blocked, opened] {
+      blocked.set_value();
+      opened.wait();
+    });
+    blocked.get_future().wait();  // the only worker is now pinned
+    const auto record = [&order, &order_mu](std::string tag) {
+      return [&order, &order_mu, tag = std::move(tag)] {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(tag);
+      };
+    };
+    std::vector<std::future<void>> futures;
+    for (int i = 1; i <= 6; ++i) {
+      futures.push_back(sched.Submit("greedy", record("g" + std::to_string(i))));
+    }
+    for (int c = 1; c <= 2; ++c) {
+      for (int i = 1; i <= 3; ++i) {
+        futures.push_back(sched.Submit("bg" + std::to_string(c),
+                                       record("b" + std::to_string(c) +
+                                              std::to_string(i))));
+      }
+    }
+    gate.set_value();
+    for (std::future<void>& f : futures) f.get();
+    blocker.get();
+  }
+  const std::vector<std::string> expected = {"g1", "b11", "b21", "g2",
+                                             "b12", "b22", "g3", "b13",
+                                             "b23", "g4",  "g5", "g6"};
+  if (order != expected) {
+    std::string got;
+    for (const std::string& tag : order) {
+      if (!got.empty()) got += ",";
+      got += tag;
+    }
+    report.failures.push_back(
+        "DRR starvation bound violated: completion order " + got);
+  }
+}
+
+/// Shedding contract: with a pinned worker and a client queue capacity
+/// of 2, a burst of 4 submissions admits exactly 2 and sheds exactly 2
+/// with `SchedulerRejectedError` (kResourceExhausted); admitted work
+/// still completes and per-client accounting matches.
+void CheckSchedulerShedding(OracleReport& report) {
+  ++report.cases;
+  serve::SchedulerOptions sopts;
+  sopts.threads = 1;
+  sopts.client_queue_capacity = 2;
+
+  serve::RequestScheduler sched(sopts);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> blocked;
+  std::future<void> blocker = sched.Submit("steady", [&blocked, opened] {
+    blocked.set_value();
+    opened.wait();
+  });
+  blocked.get_future().wait();
+
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(sched.Submit("burst", [i] { return i; }));
+  }
+  gate.set_value();
+  size_t delivered = 0;
+  size_t shed = 0;
+  for (std::future<int>& f : futures) {
+    try {
+      f.get();
+      ++delivered;
+    } catch (const serve::SchedulerRejectedError& e) {
+      ++shed;
+      if (e.status().code() != StatusCode::kResourceExhausted) {
+        report.failures.push_back(
+            "shed request carried the wrong status code");
+      }
+    }
+  }
+  blocker.get();
+  if (delivered != 2 || shed != 2) {
+    report.failures.push_back(
+        "burst of 4 into capacity 2: delivered " + std::to_string(delivered) +
+        ", shed " + std::to_string(shed) + " (want 2/2)");
+  }
+  const auto burst = sched.client_stats("burst");
+  if (burst.shed != 2 || burst.submitted != 2) {
+    report.failures.push_back("client accounting: submitted " +
+                              std::to_string(burst.submitted) + ", shed " +
+                              std::to_string(burst.shed) + " (want 2/2)");
+  }
+}
+
+}  // namespace
+
+OracleReport CheckServeCacheEquivalence(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "serve_cache_equivalence";
+
+  Rng rng = Rng(options.seed).Fork("serve_cache_equivalence");
+  const size_t ambient_threads = util::GlobalThreadCount();
+  const std::array<size_t, 3> thread_cycle = {1, 2, ambient_threads};
+  const std::array<size_t, 3> shard_cycle = {1, 3, 5};
+  // Unlimited (every store admitted), a few KiB (forces LRU eviction
+  // cycles), and 1 byte (every store declined: the cache is effectively
+  // off and every warm query recomputes).
+  const std::array<size_t, 3> cache_budget_cycle = {
+      fd::kUnlimitedFdMemoryBudget, 4096, 1};
+  const std::array<size_t, 2> cap_cycle = {0, 2};
+  const auto budget_of = [](size_t max_candidates) {
+    serve::QueryBudget b;
+    b.max_candidates = max_candidates;
+    b.time_budget_ms = 0;  // env-proof: deterministic, cacheable
+    return b;
+  };
+
+  core::IngestOptions ingest;
+  ingest.faults = fetch::FaultProfile{};  // explicit: env-proof
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    util::SetGlobalThreadCount(thread_cycle[it % thread_cycle.size()]);
+    serve::ServeOptions serve_options;
+    serve_options.shards = shard_cycle[it % shard_cycle.size()];
+    serve::QueryEngineOptions engine_options;
+    const size_t cache_budget =
+        cache_budget_cycle[it % cache_budget_cycle.size()];
+    engine_options.result_cache_budget = cache_budget;
+    engine_options.client_queue_capacity = 1024;  // env-proof
+    const bool cache_unlimited =
+        cache_budget == fd::kUnlimitedFdMemoryBudget;
+    serve::QueryEngine engine(serve_options, 2, engine_options);
+
+    // Two epochs per engine: the second Refresh must wholesale-invalidate
+    // everything cached under the first, or stale hits would surface as
+    // equivalence failures against the fresh snapshot.
+    for (size_t ep = 0; ep < 2; ++ep) {
+      const corpus::PortalSnapshot snap =
+          RandomSnapshotSeed(rng, it * 2 + ep);
+      const core::IngestResult ingested =
+          core::IngestPortal(snap.portal, ingest);
+      const auto idx = engine.Refresh(ingested.tables);
+
+      for (uint32_t t = 0; t < ingested.tables.size(); ++t) {
+        ++report.cases;
+        const std::string where =
+            "case " + std::to_string(it) + " epoch " + std::to_string(ep) +
+            " table " + std::to_string(t) +
+            " (cache_budget=" + std::to_string(cache_budget) + ")";
+
+        bool broke = false;
+        for (size_t cap : cap_cycle) {
+          // Join family: cold (fills the cache), direct uncached, warm
+          // (cache hit where admitted, recompute where declined) — all
+          // byte-identical, all carrying the published epoch.
+          const serve::JoinQuery jq{t, std::nullopt, 1024};
+          const serve::JoinResult cold = engine.Joins(jq, budget_of(cap));
+          const serve::JoinResult direct =
+              serve::QueryJoins(*idx, jq, budget_of(cap));
+          const serve::JoinResult warm = engine.Joins(jq, budget_of(cap));
+          if (cold.epoch != idx->epoch || !SameJoinResult(cold, direct) ||
+              !SameJoinResult(warm, cold)) {
+            report.failures.push_back("cached joins diverged at " + where);
+            broke = true;
+            break;
+          }
+          if (cache_unlimited && !warm.from_cache) {
+            report.failures.push_back(
+                "unlimited cache budget but warm join missed at " + where);
+            broke = true;
+            break;
+          }
+          if (cap == 0 &&
+              !SameJoinHits(cold, serve::BruteForceJoins(*idx, jq,
+                                                         budget_of(0)))) {
+            report.failures.push_back("cached joins != brute force at " +
+                                      where);
+            broke = true;
+            break;
+          }
+
+          // Union family.
+          const serve::UnionQuery uq{t, 1024};
+          const serve::UnionResult cold_u = engine.Unions(uq, budget_of(cap));
+          const serve::UnionResult warm_u = engine.Unions(uq, budget_of(cap));
+          if (cold_u.epoch != idx->epoch ||
+              !SameUnionResult(cold_u,
+                               serve::QueryUnions(*idx, uq, budget_of(cap))) ||
+              !SameUnionResult(warm_u, cold_u) ||
+              (cap == 0 &&
+               !SameUnionHits(cold_u, serve::BruteForceUnions(
+                                          *idx, uq, budget_of(0))))) {
+            report.failures.push_back("cached unions diverged at " + where);
+            broke = true;
+            break;
+          }
+
+          // Keyword family, plus key canonicalization: a textual variant
+          // with the same unique token set must resolve to the same
+          // cached entry — and the same bytes either way.
+          const std::string text = idx->entries[t].name + " value zqxwv";
+          const serve::KeywordQuery kq{text, 1024};
+          const serve::KeywordResult cold_k =
+              engine.Keywords(kq, budget_of(cap));
+          const serve::KeywordResult warm_k =
+              engine.Keywords(kq, budget_of(cap));
+          const serve::KeywordQuery variant{text + " " + text, 1024};
+          const serve::KeywordResult variant_k =
+              engine.Keywords(variant, budget_of(cap));
+          if (cold_k.epoch != idx->epoch ||
+              !SameKeywordResult(cold_k, serve::QueryKeywords(*idx, kq,
+                                                              budget_of(cap))) ||
+              !SameKeywordResult(warm_k, cold_k) ||
+              !SameKeywordResult(variant_k, cold_k) ||
+              (cap == 0 &&
+               !SameKeywordHits(cold_k, serve::BruteForceKeywords(
+                                            *idx, kq, budget_of(0))))) {
+            report.failures.push_back("cached keywords diverged at " + where);
+            broke = true;
+            break;
+          }
+          if (cache_unlimited && !variant_k.from_cache) {
+            report.failures.push_back(
+                "canonically-equal keyword variant missed the cache at " +
+                where);
+            broke = true;
+            break;
+          }
+        }
+        if (broke) continue;
+
+        // Client-tagged async path: same cache, same snapshot protocol,
+        // same bytes as the sync result.
+        const serve::JoinQuery jq{t, std::nullopt, 1024};
+        const serve::UnionQuery uq{t, 1024};
+        std::future<serve::JoinResult> fj =
+            engine.SubmitJoins("oracle-a", jq, budget_of(0));
+        std::future<serve::UnionResult> fu =
+            engine.SubmitUnions("oracle-b", uq, budget_of(0));
+        if (!SameJoinResult(fj.get(), engine.Joins(jq, budget_of(0))) ||
+            !SameUnionResult(fu.get(), engine.Unions(uq, budget_of(0)))) {
+          report.failures.push_back("async cached result diverged at " +
+                                    where);
+        }
+      }
+
+      // Stats sanity per epoch: the 1-byte budget must never hold an
+      // entry; an unlimited budget must never decline or evict.
+      const serve::ResultCacheStats cs = engine.cache_stats();
+      if (cache_budget == 1 && cs.entries != 0) {
+        report.failures.push_back(
+            "1-byte cache budget holds entries at case " +
+            std::to_string(it));
+      }
+      if (cache_unlimited && (cs.declines != 0 || cs.evictions != 0)) {
+        report.failures.push_back(
+            "unlimited cache budget declined or evicted at case " +
+            std::to_string(it));
+      }
+    }
+  }
+
+  // Fair-scheduler contracts are corpus-independent; check them once per
+  // run with deterministic gating.
+  CheckSchedulerStarvationBound(report);
+  CheckSchedulerShedding(report);
+
   util::SetGlobalThreadCount(ambient_threads);
   return report;
 }
@@ -1816,7 +2184,8 @@ std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
           CheckFetchEquivalence(options),
           CheckJoinRankerMonotonicity(options),
           CheckIncrementalEquivalence(options),
-          CheckServeEquivalence(options)};
+          CheckServeEquivalence(options),
+          CheckServeCacheEquivalence(options)};
 }
 
 }  // namespace ogdp::check

@@ -143,6 +143,22 @@ OracleReport CheckIncrementalEquivalence(const OracleOptions& options);
 /// ones.
 OracleReport CheckServeEquivalence(const OracleOptions& options);
 
+/// Equivalence oracle for the serving layer's epoch-keyed result cache
+/// and weighted-fair scheduler: over random ingested corpora and across
+/// result-cache budgets (unlimited, a few KiB that forces evictions, and
+/// a 1-byte budget that declines every store), shard counts, and thread
+/// counts, the engine's cache-consulting path must return byte-identical
+/// hits, counters, and epochs to the direct uncached evaluation and (at
+/// unlimited candidate budget) to the brute-force reference — cold and
+/// warm, across two Refresh epochs per engine (stale entries must never
+/// leak through an epoch swap), for canonically-equal keyword variants,
+/// and through client-tagged async submission. Also checks the fair
+/// scheduler's starvation bound (deficit-round-robin interleaving of a
+/// greedy client with background clients is exact) and its shedding
+/// contract (a full client queue yields `SchedulerRejectedError` with
+/// `kResourceExhausted`; admitted work still completes).
+OracleReport CheckServeCacheEquivalence(const OracleOptions& options);
+
 /// Runs all oracles in a fixed order.
 std::vector<OracleReport> RunAllOracles(const OracleOptions& options);
 

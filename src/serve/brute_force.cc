@@ -42,6 +42,7 @@ size_t CandidateCap(const QueryBudget& budget) {
 JoinResult BruteForceJoins(const IndexSnapshot& idx, const JoinQuery& query,
                            const QueryBudget& budget) {
   JoinResult out;
+  out.epoch = idx.epoch;
   if (query.table >= idx.entries.size()) return out;
 
   std::vector<uint32_t> query_sets;
@@ -91,6 +92,7 @@ JoinResult BruteForceJoins(const IndexSnapshot& idx, const JoinQuery& query,
 UnionResult BruteForceUnions(const IndexSnapshot& idx, const UnionQuery& query,
                              const QueryBudget& budget) {
   UnionResult out;
+  out.epoch = idx.epoch;
   if (query.table >= idx.entries.size()) return out;
   const uint64_t fp = idx.entries[query.table].schema_fingerprint;
   const table::Schema& mine = idx.schemas[query.table];
@@ -128,7 +130,12 @@ KeywordResult BruteForceKeywords(const IndexSnapshot& idx,
                                  const KeywordQuery& query,
                                  const QueryBudget& budget) {
   KeywordResult out;
-  const std::vector<std::string> tokens = TokenizeText(query.text);
+  out.epoch = idx.epoch;
+  // Same unique-token-set contract as the served path: dedupe at the use
+  // site so duplicated query tokens can never inflate a score.
+  std::vector<std::string> tokens = TokenizeText(query.text);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
   if (tokens.empty()) return out;
 
   const Deadline deadline(ResolveTimeBudgetMs(budget.time_budget_ms));

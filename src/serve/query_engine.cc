@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "join/suggestion_ranker.h"
+#include "serve/result_cache.h"
 
 namespace ogdp::serve {
 
@@ -54,6 +55,7 @@ double ResolveTimeBudgetMs(double requested) {
 JoinResult QueryJoins(const IndexSnapshot& idx, const JoinQuery& query,
                       const QueryBudget& budget) {
   JoinResult out;
+  out.epoch = idx.epoch;
   if (query.table >= idx.entries.size()) return out;
 
   std::vector<uint32_t> query_sets;
@@ -125,6 +127,7 @@ JoinResult QueryJoins(const IndexSnapshot& idx, const JoinQuery& query,
 UnionResult QueryUnions(const IndexSnapshot& idx, const UnionQuery& query,
                         const QueryBudget& budget) {
   UnionResult out;
+  out.epoch = idx.epoch;
   if (query.table >= idx.entries.size()) return out;
   const uint64_t fp = idx.entries[query.table].schema_fingerprint;
 
@@ -174,7 +177,15 @@ UnionResult QueryUnions(const IndexSnapshot& idx, const UnionQuery& query,
 KeywordResult QueryKeywords(const IndexSnapshot& idx, const KeywordQuery& query,
                             const QueryBudget& budget) {
   KeywordResult out;
-  const std::vector<std::string> tokens = TokenizeText(query.text);
+  out.epoch = idx.epoch;
+  // Scoring is defined over the *unique* query token set: a duplicated
+  // query token must count once in the numerator and once in the
+  // denominator, or "tax tax rate" would score differently from
+  // "tax rate". Dedupe here rather than relying on the tokenizer, so the
+  // invariant holds even if tokenization changes.
+  std::vector<std::string> tokens = TokenizeText(query.text);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
   if (tokens.empty()) return out;
 
   // A table's postings live in exactly one shard and its token list is
@@ -211,15 +222,25 @@ KeywordResult QueryKeywords(const IndexSnapshot& idx, const KeywordQuery& query,
   return out;
 }
 
-QueryEngine::QueryEngine(ServeOptions options, size_t worker_threads)
-    : options_(std::move(options)), scheduler_(worker_threads) {}
+QueryEngine::QueryEngine(ServeOptions options, size_t worker_threads,
+                         const QueryEngineOptions& engine_options)
+    : options_(std::move(options)),
+      cache_(std::make_unique<ResultCache>(engine_options.result_cache_budget)),
+      scheduler_(SchedulerOptions{worker_threads,
+                                  engine_options.client_queue_capacity}) {}
+
+QueryEngine::~QueryEngine() = default;
 
 std::shared_ptr<const IndexSnapshot> QueryEngine::Refresh(
     const std::vector<table::Table>& tables) {
   // Single-writer protocol: the build runs on the caller's thread against
   // its own structures; readers only see the finished snapshot via the
-  // registry swap.
+  // registry swap. The cache flips to the new epoch *before* the swap:
+  // from that instant, inserts computed against superseded snapshots are
+  // refused, and no published-epoch lookup can ever see a stale value
+  // (keys embed the epoch as well, a second independent guard).
   auto snapshot = BuildIndexSnapshot(tables, options_, registry_.version() + 1);
+  cache_->BeginEpoch(snapshot->epoch);
   registry_.Publish(snapshot);
   return snapshot;
 }
@@ -228,46 +249,118 @@ std::shared_ptr<const IndexSnapshot> QueryEngine::snapshot() const {
   return registry_.Acquire();
 }
 
+JoinResult QueryEngine::CachedJoins(const IndexSnapshot& snap,
+                                    const JoinQuery& query,
+                                    const QueryBudget& budget) const {
+  // A live wall-clock budget makes the result time-dependent: bypass.
+  if (ResolveTimeBudgetMs(budget.time_budget_ms) > 0) {
+    return QueryJoins(snap, query, budget);
+  }
+  const std::string key =
+      JoinCacheKey(snap.epoch, query, budget.max_candidates);
+  if (auto hit = cache_->LookupJoins(key)) return *std::move(hit);
+  JoinResult out = QueryJoins(snap, query, budget);
+  cache_->Insert(key, snap.epoch, out);
+  return out;
+}
+
+UnionResult QueryEngine::CachedUnions(const IndexSnapshot& snap,
+                                      const UnionQuery& query,
+                                      const QueryBudget& budget) const {
+  if (ResolveTimeBudgetMs(budget.time_budget_ms) > 0) {
+    return QueryUnions(snap, query, budget);
+  }
+  const std::string key =
+      UnionCacheKey(snap.epoch, query, budget.max_candidates);
+  if (auto hit = cache_->LookupUnions(key)) return *std::move(hit);
+  UnionResult out = QueryUnions(snap, query, budget);
+  cache_->Insert(key, snap.epoch, out);
+  return out;
+}
+
+KeywordResult QueryEngine::CachedKeywords(const IndexSnapshot& snap,
+                                          const KeywordQuery& query,
+                                          const QueryBudget& budget) const {
+  if (ResolveTimeBudgetMs(budget.time_budget_ms) > 0) {
+    return QueryKeywords(snap, query, budget);
+  }
+  const std::string key =
+      KeywordCacheKey(snap.epoch, query, budget.max_candidates);
+  if (auto hit = cache_->LookupKeywords(key)) return *std::move(hit);
+  KeywordResult out = QueryKeywords(snap, query, budget);
+  cache_->Insert(key, snap.epoch, out);
+  return out;
+}
+
 JoinResult QueryEngine::Joins(const JoinQuery& query,
                               const QueryBudget& budget) const {
   const auto snap = registry_.Acquire();
-  return snap ? QueryJoins(*snap, query, budget) : JoinResult{};
+  return snap ? CachedJoins(*snap, query, budget) : JoinResult{};
 }
 
 UnionResult QueryEngine::Unions(const UnionQuery& query,
                                 const QueryBudget& budget) const {
   const auto snap = registry_.Acquire();
-  return snap ? QueryUnions(*snap, query, budget) : UnionResult{};
+  return snap ? CachedUnions(*snap, query, budget) : UnionResult{};
 }
 
 KeywordResult QueryEngine::Keywords(const KeywordQuery& query,
                                     const QueryBudget& budget) const {
   const auto snap = registry_.Acquire();
-  return snap ? QueryKeywords(*snap, query, budget) : KeywordResult{};
+  return snap ? CachedKeywords(*snap, query, budget) : KeywordResult{};
+}
+
+std::future<JoinResult> QueryEngine::SubmitJoins(std::string client_id,
+                                                 JoinQuery query,
+                                                 QueryBudget budget) {
+  return scheduler_.Submit(std::move(client_id), [this, query, budget] {
+    const auto snap = registry_.Acquire();
+    return snap ? CachedJoins(*snap, query, budget) : JoinResult{};
+  });
+}
+
+std::future<UnionResult> QueryEngine::SubmitUnions(std::string client_id,
+                                                   UnionQuery query,
+                                                   QueryBudget budget) {
+  return scheduler_.Submit(std::move(client_id), [this, query, budget] {
+    const auto snap = registry_.Acquire();
+    return snap ? CachedUnions(*snap, query, budget) : UnionResult{};
+  });
+}
+
+std::future<KeywordResult> QueryEngine::SubmitKeywords(std::string client_id,
+                                                       KeywordQuery query,
+                                                       QueryBudget budget) {
+  return scheduler_.Submit(
+      std::move(client_id), [this, query = std::move(query), budget] {
+        const auto snap = registry_.Acquire();
+        return snap ? CachedKeywords(*snap, query, budget) : KeywordResult{};
+      });
 }
 
 std::future<JoinResult> QueryEngine::SubmitJoins(JoinQuery query,
                                                  QueryBudget budget) {
-  return scheduler_.Submit([this, query, budget] {
-    const auto snap = registry_.Acquire();
-    return snap ? QueryJoins(*snap, query, budget) : JoinResult{};
-  });
+  return SubmitJoins(std::string(RequestScheduler::kDefaultClient), query,
+                     budget);
 }
 
 std::future<UnionResult> QueryEngine::SubmitUnions(UnionQuery query,
                                                    QueryBudget budget) {
-  return scheduler_.Submit([this, query, budget] {
-    const auto snap = registry_.Acquire();
-    return snap ? QueryUnions(*snap, query, budget) : UnionResult{};
-  });
+  return SubmitUnions(std::string(RequestScheduler::kDefaultClient), query,
+                      budget);
 }
 
 std::future<KeywordResult> QueryEngine::SubmitKeywords(KeywordQuery query,
                                                        QueryBudget budget) {
-  return scheduler_.Submit([this, query, budget] {
-    const auto snap = registry_.Acquire();
-    return snap ? QueryKeywords(*snap, query, budget) : KeywordResult{};
-  });
+  return SubmitKeywords(std::string(RequestScheduler::kDefaultClient),
+                        std::move(query), budget);
 }
+
+void QueryEngine::SetClientWeight(const std::string& client_id,
+                                  size_t weight) {
+  scheduler_.SetClientWeight(client_id, weight);
+}
+
+ResultCacheStats QueryEngine::cache_stats() const { return cache_->stats(); }
 
 }  // namespace ogdp::serve

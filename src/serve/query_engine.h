@@ -15,6 +15,9 @@
 
 namespace ogdp::serve {
 
+struct ResultCacheStats;
+class ResultCache;
+
 /// Per-query budgets. Degradation is always *fewer* candidates, never
 /// wrong ones: candidates are admitted in one canonical order (ascending
 /// index), so a smaller budget yields a subset of a larger budget's
@@ -29,7 +32,10 @@ struct QueryBudget {
   /// OGDP_QUERY_BUDGET_MS (absent or 0 = unlimited). Checked only at
   /// candidate boundaries, so an expiry truncates the admission prefix
   /// early — still never a wrong result, but (being wall-clock) not
-  /// run-to-run deterministic. Tests and oracles pin it to 0.
+  /// run-to-run deterministic. Tests and oracles pin it to 0. A query
+  /// with a live wall-clock budget bypasses the result cache entirely:
+  /// its result is not a pure function of (snapshot, query, budget), so
+  /// it is neither served from nor admitted to the cache.
   double time_budget_ms = -1;
 };
 
@@ -60,6 +66,13 @@ struct JoinResult {
   std::vector<JoinHit> hits;
   size_t candidates_considered = 0;
   bool truncated = false;  // a budget cut the candidate list
+  /// Epoch of the snapshot this result was computed against (0 when no
+  /// snapshot was published yet). A cached result carries the epoch it
+  /// was computed under — by construction the epoch of the cache key.
+  uint64_t epoch = 0;
+  /// Telemetry only (never part of equivalence comparisons): true when
+  /// this result was served from the query-result cache.
+  bool from_cache = false;
 };
 
 // ------------------------------------------------------------ union query
@@ -81,6 +94,8 @@ struct UnionResult {
   std::vector<UnionHit> hits;
   size_t candidates_considered = 0;
   bool truncated = false;
+  uint64_t epoch = 0;       // as in JoinResult
+  bool from_cache = false;  // telemetry only
 };
 
 // ---------------------------------------------------------- keyword query
@@ -93,7 +108,7 @@ struct KeywordQuery {
 
 struct KeywordHit {
   uint32_t table = 0;
-  double score = 0;  // matched query tokens / total query tokens
+  double score = 0;  // matched unique query tokens / total unique tokens
 };
 
 struct KeywordResult {
@@ -101,6 +116,8 @@ struct KeywordResult {
   std::vector<KeywordHit> hits;
   size_t candidates_considered = 0;
   bool truncated = false;
+  uint64_t epoch = 0;       // as in JoinResult
+  bool from_cache = false;  // telemetry only
 };
 
 // ------------------------------------------------------- query evaluation
@@ -118,14 +135,30 @@ KeywordResult QueryKeywords(const IndexSnapshot& snapshot,
 
 // ----------------------------------------------------------------- engine
 
-/// The serving facade: owns the snapshot registry and the request
-/// scheduler. Refresh builds the next epoch on the calling thread and
-/// publishes it with a pointer swap — in-flight queries keep the
-/// snapshot they acquired and are never blocked or torn.
+/// Engine-level knobs beyond the index options.
+struct QueryEngineOptions {
+  /// Result-cache budget override: 0 resolves OGDP_RESULT_CACHE_BUDGET
+  /// (default 64 MiB); fd::kUnlimitedFdMemoryBudget = no line. A 1-byte
+  /// budget effectively disables caching (every insert declines) without
+  /// changing any result.
+  size_t result_cache_budget = 0;
+  /// Per-client scheduler queue bound: 0 resolves OGDP_CLIENT_QUEUE_CAP
+  /// (default 1024).
+  size_t client_queue_capacity = 0;
+};
+
+/// The serving facade: owns the snapshot registry, the epoch-keyed
+/// query-result cache, and the weighted-fair request scheduler. Refresh
+/// builds the next epoch on the calling thread and publishes it with a
+/// pointer swap — in-flight queries keep the snapshot they acquired and
+/// are never blocked or torn; the result cache is invalidated wholesale
+/// at each publication.
 class QueryEngine {
  public:
   /// `worker_threads == 0` resolves to 1 scheduler worker.
-  explicit QueryEngine(ServeOptions options = {}, size_t worker_threads = 0);
+  explicit QueryEngine(ServeOptions options = {}, size_t worker_threads = 0,
+                       const QueryEngineOptions& engine_options = {});
+  ~QueryEngine();
 
   /// Builds and publishes a snapshot of `tables` (epoch = publication
   /// count). Returns the new snapshot.
@@ -137,27 +170,63 @@ class QueryEngine {
   uint64_t version() const { return registry_.version(); }
 
   /// Synchronous queries against the current snapshot; empty results
-  /// before the first Refresh.
+  /// before the first Refresh. Cache-consulting: a deterministic query
+  /// (no live wall-clock budget) is looked up in — and admitted to — the
+  /// epoch-keyed result cache; a hit is byte-identical to recomputation
+  /// apart from the `from_cache` telemetry flag.
   JoinResult Joins(const JoinQuery& query, const QueryBudget& budget = {}) const;
   UnionResult Unions(const UnionQuery& query,
                      const QueryBudget& budget = {}) const;
   KeywordResult Keywords(const KeywordQuery& query,
                          const QueryBudget& budget = {}) const;
 
-  /// Asynchronous queries through the scheduler. The snapshot is acquired
-  /// when the task runs, so a queued query sees the newest epoch
-  /// published before its execution.
+  /// Asynchronous queries through the fair scheduler, tagged with the
+  /// submitting client. The snapshot is acquired when the task runs, so
+  /// a queued query sees the newest epoch published before its
+  /// execution; the task consults the same result cache as the sync
+  /// path. A submission shed by a full client queue delivers
+  /// `SchedulerRejectedError` (kResourceExhausted) through the future.
+  std::future<JoinResult> SubmitJoins(std::string client_id, JoinQuery query,
+                                      QueryBudget budget = {});
+  std::future<UnionResult> SubmitUnions(std::string client_id,
+                                        UnionQuery query,
+                                        QueryBudget budget = {});
+  std::future<KeywordResult> SubmitKeywords(std::string client_id,
+                                            KeywordQuery query,
+                                            QueryBudget budget = {});
+
+  /// Untagged submissions: the scheduler's default client bucket.
   std::future<JoinResult> SubmitJoins(JoinQuery query, QueryBudget budget = {});
   std::future<UnionResult> SubmitUnions(UnionQuery query,
                                         QueryBudget budget = {});
   std::future<KeywordResult> SubmitKeywords(KeywordQuery query,
                                             QueryBudget budget = {});
 
+  /// Per-client DRR weight (see RequestScheduler::SetClientWeight).
+  void SetClientWeight(const std::string& client_id, size_t weight);
+
   RequestScheduler::Stats scheduler_stats() const { return scheduler_.stats(); }
+  RequestScheduler::ClientStats client_stats(
+      const std::string& client_id) const {
+    return scheduler_.client_stats(client_id);
+  }
+  ResultCacheStats cache_stats() const;
 
  private:
+  JoinResult CachedJoins(const IndexSnapshot& snapshot, const JoinQuery& query,
+                         const QueryBudget& budget) const;
+  UnionResult CachedUnions(const IndexSnapshot& snapshot,
+                           const UnionQuery& query,
+                           const QueryBudget& budget) const;
+  KeywordResult CachedKeywords(const IndexSnapshot& snapshot,
+                               const KeywordQuery& query,
+                               const QueryBudget& budget) const;
+
   ServeOptions options_;
   SnapshotRegistry registry_;
+  /// Internally synchronized; mutable so const sync queries can consult
+  /// and populate it.
+  mutable std::unique_ptr<ResultCache> cache_;
   RequestScheduler scheduler_;
 };
 

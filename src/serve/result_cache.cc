@@ -1,0 +1,174 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+#include "serve/index_snapshot.h"
+
+namespace ogdp::serve {
+
+namespace {
+
+constexpr size_t kDefaultResultCacheBudget = size_t{64} << 20;  // 64 MiB
+
+/// Fixed per-entry overhead: the map node, the LRU node, and the key
+/// stored twice (map + LRU list). Exact malloc geometry is not the
+/// point — the pool only needs charges proportional to real residency.
+constexpr size_t kEntryOverhead = 128;
+
+size_t ApproxBytes(const JoinResult& r) {
+  return sizeof(JoinResult) + r.hits.capacity() * sizeof(JoinHit);
+}
+
+size_t ApproxBytes(const UnionResult& r) {
+  return sizeof(UnionResult) + r.hits.capacity() * sizeof(UnionHit);
+}
+
+size_t ApproxBytes(const KeywordResult& r) {
+  return sizeof(KeywordResult) + r.hits.capacity() * sizeof(KeywordHit);
+}
+
+size_t ValueBytes(const ResultCache::Value& v) {
+  return std::visit([](const auto& r) { return ApproxBytes(r); }, v);
+}
+
+}  // namespace
+
+size_t ResolveResultCacheBudget(size_t override_bytes) {
+  if (override_bytes == fd::kUnlimitedFdMemoryBudget) return 0;
+  if (override_bytes > 0) return override_bytes;
+  size_t from_env = 0;
+  if (fd::MemoryBudgetFromEnv("OGDP_RESULT_CACHE_BUDGET", &from_env)) {
+    return from_env;
+  }
+  return kDefaultResultCacheBudget;
+}
+
+std::string JoinCacheKey(uint64_t epoch, const JoinQuery& query,
+                         size_t max_candidates) {
+  std::string key = "J|e=" + std::to_string(epoch) +
+                    "|t=" + std::to_string(query.table) + "|c=";
+  key += query.column ? std::to_string(*query.column) : std::string("*");
+  key += "|k=" + std::to_string(query.k) +
+         "|mc=" + std::to_string(max_candidates);
+  return key;
+}
+
+std::string UnionCacheKey(uint64_t epoch, const UnionQuery& query,
+                          size_t max_candidates) {
+  return "U|e=" + std::to_string(epoch) + "|t=" + std::to_string(query.table) +
+         "|k=" + std::to_string(query.k) +
+         "|mc=" + std::to_string(max_candidates);
+}
+
+std::string KeywordCacheKey(uint64_t epoch, const KeywordQuery& query,
+                            size_t max_candidates) {
+  std::string key = "K|e=" + std::to_string(epoch) + "|q=";
+  for (const std::string& token : TokenizeText(query.text)) {
+    key += token;
+    key += '\x1f';  // unit separator: never appears in a token
+  }
+  key += "|k=" + std::to_string(query.k) +
+         "|mc=" + std::to_string(max_candidates);
+  return key;
+}
+
+ResultCache::ResultCache(size_t budget_override)
+    : governor_(ResolveResultCacheBudget(budget_override)),
+      lease_(&governor_) {}
+
+void ResultCache::BeginEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch == epoch_) return;
+  invalidated_ += entries_.size();
+  size_t resident = 0;
+  for (const auto& [key, entry] : entries_) resident += entry.bytes;
+  lease_.Release(resident);
+  entries_.clear();
+  lru_.clear();
+  epoch_ = epoch;
+}
+
+template <typename R>
+std::optional<R> ResultCache::LookupTyped(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !std::holds_alternative<R>(it->second.value)) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  ++hits_;
+  R out = std::get<R>(it->second.value);
+  out.from_cache = true;
+  return out;
+}
+
+std::optional<JoinResult> ResultCache::LookupJoins(const std::string& key) {
+  return LookupTyped<JoinResult>(key);
+}
+
+std::optional<UnionResult> ResultCache::LookupUnions(const std::string& key) {
+  return LookupTyped<UnionResult>(key);
+}
+
+std::optional<KeywordResult> ResultCache::LookupKeywords(
+    const std::string& key) {
+  return LookupTyped<KeywordResult>(key);
+}
+
+void ResultCache::EvictOneLocked() {
+  const auto victim = entries_.find(lru_.back());
+  lease_.Release(victim->second.bytes);
+  lru_.pop_back();
+  entries_.erase(victim);
+  ++evictions_;
+}
+
+void ResultCache::Insert(const std::string& key, uint64_t epoch, Value value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epoch_) {
+    // A reader still holding a superseded snapshot computed this; its
+    // epoch can never be looked up again, so admission is refused.
+    ++declines_;
+    return;
+  }
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  const size_t bytes = 2 * key.size() + ValueBytes(value) + kEntryOverhead;
+  while (!lease_.TryCharge(bytes)) {
+    if (lru_.empty()) {
+      ++declines_;
+      return;
+    }
+    EvictOneLocked();
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(value), bytes, lru_.begin()});
+  ++stores_;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.stores = stores_;
+  s.declines = declines_;
+  s.evictions = evictions_;
+  s.invalidated = invalidated_;
+  s.entries = entries_.size();
+  s.bytes_in_use = lease_.charged_bytes();
+  s.peak_bytes = governor_.peak_bytes();
+  s.budget_bytes = governor_.budget_bytes();
+  return s;
+}
+
+uint64_t ResultCache::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+}  // namespace ogdp::serve

@@ -1,0 +1,128 @@
+#ifndef OGDP_SERVE_RESULT_CACHE_H_
+#define OGDP_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+
+#include "fd/memory_governor.h"
+#include "serve/query_engine.h"
+
+namespace ogdp::serve {
+
+/// Resolves the effective result-cache budget: `override_bytes` when
+/// nonzero (`fd::kUnlimitedFdMemoryBudget` requests no line), else
+/// `OGDP_RESULT_CACHE_BUDGET` (k/m/g suffixes, "0"/"unlimited" disable
+/// the line), else 64 MiB. Query results are small, so the default is
+/// deliberately tighter than the partition/artifact pools.
+size_t ResolveResultCacheBudget(size_t override_bytes);
+
+/// Canonical cache keys (DESIGN.md §11). A key embeds the snapshot
+/// epoch, the query family tag, every query field that can change the
+/// result (including `k`), and the deterministic candidate budget. The
+/// keyword key canonicalizes the text to its sorted, deduped token list,
+/// so textual variants with identical token sets ("tax rate" / "Rate,
+/// tax!" / "tax tax rate") share one entry — sound because keyword
+/// scoring is a pure function of the unique token set.
+std::string JoinCacheKey(uint64_t epoch, const JoinQuery& query,
+                         size_t max_candidates);
+std::string UnionCacheKey(uint64_t epoch, const UnionQuery& query,
+                          size_t max_candidates);
+std::string KeywordCacheKey(uint64_t epoch, const KeywordQuery& query,
+                            size_t max_candidates);
+
+struct ResultCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t stores = 0;
+  size_t declines = 0;     // inserts refused (governor full after eviction,
+                           // or keyed to a non-current epoch)
+  size_t evictions = 0;    // LRU entries dropped to make room
+  size_t invalidated = 0;  // entries dropped wholesale at epoch publication
+  size_t entries = 0;
+  size_t bytes_in_use = 0;
+  size_t peak_bytes = 0;
+  size_t budget_bytes = 0;  // 0 = unlimited
+};
+
+/// Epoch-keyed query-result cache for the serving layer.
+///
+/// Entries are charged as declinable leases against an `fd::MemoryGovernor`
+/// pool (`OGDP_RESULT_CACHE_BUDGET`), the same stance as the partition and
+/// artifact caches: an insert the pool refuses — after evicting
+/// least-recently-used entries to make room — is simply not cached, and a
+/// declined or evicted entry only moves the next identical query from the
+/// hit path back to recompute. Results are never changed, only latency.
+///
+/// Epoch invalidation is wholesale: `BeginEpoch(e)` drops every resident
+/// entry and rejects inserts keyed to any other epoch, so `Refresh`
+/// publication stays a pointer swap plus one O(entries) purge — no
+/// per-entry dependency tracking. Keys embed the epoch as well, so even a
+/// racing insert from a reader still holding the previous snapshot can
+/// never satisfy a lookup against the new one.
+///
+/// Thread-safe; one instance serves every sync and scheduler thread of a
+/// `QueryEngine`.
+class ResultCache {
+ public:
+  using Value = std::variant<JoinResult, UnionResult, KeywordResult>;
+
+  /// `budget_override` as in `ResolveResultCacheBudget`.
+  explicit ResultCache(size_t budget_override = 0);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Declares `epoch` current: drops every resident entry (releasing its
+  /// lease bytes) and redirects admission to the new epoch. Idempotent.
+  void BeginEpoch(uint64_t epoch);
+
+  /// Typed lookups; a hit refreshes LRU recency and returns a copy with
+  /// `from_cache` set. A key present under a different family type counts
+  /// as a miss (cannot happen with the canonical key functions).
+  std::optional<JoinResult> LookupJoins(const std::string& key);
+  std::optional<UnionResult> LookupUnions(const std::string& key);
+  std::optional<KeywordResult> LookupKeywords(const std::string& key);
+
+  /// Admits `value` under `key` if `epoch` is current and the governor
+  /// accepts the charge (evicting LRU entries as needed). Re-inserting a
+  /// resident key only refreshes its recency.
+  void Insert(const std::string& key, uint64_t epoch, Value value);
+
+  ResultCacheStats stats() const;
+  uint64_t epoch() const;
+  size_t budget_bytes() const { return governor_.budget_bytes(); }
+
+ private:
+  struct Entry {
+    Value value;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru;
+  };
+
+  template <typename R>
+  std::optional<R> LookupTyped(const std::string& key);
+  void EvictOneLocked();
+
+  fd::MemoryGovernor governor_;
+  fd::MemoryLease lease_;
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t stores_ = 0;
+  size_t declines_ = 0;
+  size_t evictions_ = 0;
+  size_t invalidated_ = 0;
+};
+
+}  // namespace ogdp::serve
+
+#endif  // OGDP_SERVE_RESULT_CACHE_H_

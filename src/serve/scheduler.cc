@@ -1,9 +1,28 @@
 #include "serve/scheduler.h"
 
+#include <cstdlib>
+
 namespace ogdp::serve {
 
-RequestScheduler::RequestScheduler(size_t threads) {
-  if (threads == 0) threads = 1;
+namespace {
+constexpr size_t kDefaultClientQueueCapacity = 1024;
+}  // namespace
+
+size_t ResolveClientQueueCapacity(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("OGDP_CLIENT_QUEUE_CAP")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return kDefaultClientQueueCapacity;
+}
+
+RequestScheduler::RequestScheduler(const SchedulerOptions& options)
+    : queue_capacity_(ResolveClientQueueCapacity(options.client_queue_capacity)) {
+  size_t threads = options.threads == 0 ? 1 : options.threads;
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -19,45 +38,102 @@ RequestScheduler::~RequestScheduler() {
   for (std::thread& w : workers_) w.join();
 }
 
-void RequestScheduler::Enqueue(std::function<void()> task) {
+bool RequestScheduler::Enqueue(std::string client_id,
+                               std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!stopping_) {
-      queue_.push_back(std::move(task));
+      ClientQueue& q = clients_[client_id];
+      if (q.tasks.size() >= queue_capacity_) {
+        ++q.shed;
+        ++shed_;
+        return false;
+      }
+      q.tasks.push_back(std::move(task));
+      ++q.submitted;
       ++submitted_;
+      ++queued_total_;
+      if (!q.in_ring) {
+        q.in_ring = true;
+        q.deficit = 0;
+        ring_.push_back(&clients_.find(client_id)->first);
+      }
       work_cv_.notify_one();
-      return;
+      return true;
     }
     ++submitted_;
+    ++clients_[client_id].submitted;
+    ++in_flight_;
   }
   // Late submission during teardown: run inline (outside the lock) so
-  // the future is still satisfied; packaged_task delivers exceptions.
+  // the future is still satisfied; packaged_task delivers exceptions and
+  // the task's own completion guard keeps the accounting consistent.
   task();
+  return true;
+}
+
+void RequestScheduler::NoteTaskDone(const std::string& client_id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  --in_flight_;
   ++completed_;
+  ++clients_[client_id].completed;
 }
 
 void RequestScheduler::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    const std::string* client = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] { return stopping_ || queued_total_ > 0; });
+      if (queued_total_ == 0) return;  // stopping and drained
+      // Deficit round robin: the head client earns `weight` credits at
+      // the start of its turn and pays one per dispatched task. The turn
+      // ends when credits run out (rotate to the tail) or its queue
+      // drains (leave the ring).
+      client = ring_.front();
+      ClientQueue& q = clients_.find(*client)->second;
+      if (q.deficit == 0) q.deficit = q.weight == 0 ? 1 : q.weight;
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      --queued_total_;
+      --q.deficit;
+      if (q.tasks.empty()) {
+        q.deficit = 0;
+        q.in_ring = false;
+        ring_.pop_front();
+      } else if (q.deficit == 0) {
+        ring_.pop_front();
+        ring_.push_back(client);
+      }
+      ++in_flight_;
     }
-    task();  // packaged_task: exceptions land in the future
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++completed_;
-    }
+    // Completion accounting happens inside the task itself (Submit's
+    // guard), before the future turns ready.
+    task();
   }
+}
+
+void RequestScheduler::SetClientWeight(const std::string& client_id,
+                                       size_t weight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clients_[client_id].weight = weight == 0 ? 1 : weight;
 }
 
 RequestScheduler::Stats RequestScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{submitted_, completed_, queue_.size()};
+  return Stats{submitted_, completed_, queued_total_,
+               in_flight_, shed_,      clients_.size()};
+}
+
+RequestScheduler::ClientStats RequestScheduler::client_stats(
+    const std::string& client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = clients_.find(client_id);
+  if (it == clients_.end()) return ClientStats{};
+  const ClientQueue& q = it->second;
+  return ClientStats{q.submitted, q.completed, q.tasks.size(), q.shed,
+                     q.weight == 0 ? 1 : q.weight};
 }
 
 }  // namespace ogdp::serve

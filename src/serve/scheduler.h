@@ -6,62 +6,174 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace ogdp::serve {
 
-/// A small FIFO request scheduler: queries are submitted as tasks,
-/// executed by a fixed pool of worker threads, and observed through
-/// futures. Distinct from util::ThreadPool on purpose — that pool runs
-/// one synchronous indexed batch at a time, while a serving layer needs
-/// independent requests in flight concurrently with results delivered
-/// out of band.
+/// Thrown through a shed request's future when its client queue is full.
+/// Shedding is always explicit — the caller gets `kResourceExhausted`
+/// immediately instead of a silently dropped or unboundedly delayed
+/// request — and never affects requests already admitted.
+class SchedulerRejectedError : public std::runtime_error {
+ public:
+  explicit SchedulerRejectedError(const std::string& client_id)
+      : std::runtime_error("request shed: queue full for client \"" +
+                           client_id + "\""),
+        status_(Status::ResourceExhausted(what())) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+struct SchedulerOptions {
+  /// Worker threads; 0 resolves to 1.
+  size_t threads = 0;
+  /// Bound of each client's pending queue (in-flight work excluded);
+  /// 0 resolves from OGDP_CLIENT_QUEUE_CAP, falling back to 1024. A
+  /// submission to a full queue is shed with `SchedulerRejectedError`.
+  size_t client_queue_capacity = 0;
+};
+
+/// Resolves the effective per-client queue bound: `requested` when
+/// positive, else OGDP_CLIENT_QUEUE_CAP when set to a positive integer,
+/// else 1024.
+size_t ResolveClientQueueCapacity(size_t requested);
+
+/// Request scheduler with per-client weighted-fair admission. Distinct
+/// from util::ThreadPool on purpose — that pool runs one synchronous
+/// indexed batch at a time, while a serving layer needs independent
+/// requests in flight concurrently with results delivered out of band.
+///
+/// Each request carries a `client_id` and lands in that client's bounded
+/// queue. Workers dispatch by deficit round robin: active clients form a
+/// ring; a client at the head earns `weight` credits per turn and
+/// surrenders the head once they are spent (or its queue drains), so a
+/// greedy client can never starve the others — between two dispatches of
+/// any active client, every other active client is offered its own
+/// weight's worth of dispatches. A submission to a full client queue is
+/// shed with an immediately ready `kResourceExhausted` future (see
+/// `SchedulerRejectedError`); admitted work is never dropped.
 ///
 /// Shutdown drains: the destructor stops intake, runs every task already
-/// queued, then joins the workers — a submitted query is never dropped.
+/// admitted (still in DRR order), then joins the workers.
 class RequestScheduler {
  public:
+  /// Default client bucket for untagged submissions.
+  static constexpr const char* kDefaultClient = "default";
+
   /// `threads == 0` resolves to 1. Workers start immediately.
-  explicit RequestScheduler(size_t threads = 0);
+  explicit RequestScheduler(size_t threads = 0)
+      : RequestScheduler(SchedulerOptions{threads, 0}) {}
+  explicit RequestScheduler(const SchedulerOptions& options);
   ~RequestScheduler();
   RequestScheduler(const RequestScheduler&) = delete;
   RequestScheduler& operator=(const RequestScheduler&) = delete;
 
   struct Stats {
-    size_t submitted = 0;  // tasks accepted
+    size_t submitted = 0;  // tasks admitted (shed ones excluded)
     size_t completed = 0;  // tasks finished (including those that threw)
-    size_t queued = 0;     // accepted, not yet started
+    size_t queued = 0;     // admitted, not yet started
+    size_t in_flight = 0;  // currently executing on a worker
+    size_t shed = 0;       // rejected with kResourceExhausted
+    size_t clients = 0;    // distinct client queues ever opened
   };
 
-  /// Enqueues `fn` and returns a future for its result. An exception
-  /// thrown by `fn` is delivered through the future.
+  struct ClientStats {
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t queued = 0;
+    size_t shed = 0;
+    size_t weight = 1;
+  };
+
+  /// Enqueues `fn` for `client_id` and returns a future for its result.
+  /// An exception thrown by `fn` is delivered through the future; a shed
+  /// submission returns a future already holding SchedulerRejectedError.
+  /// Completion accounting runs inside the task, before its future turns
+  /// ready, so `stats().completed` is never behind a `.get()` that has
+  /// already returned.
   template <typename Fn>
-  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+  auto Submit(std::string client_id, Fn fn)
+      -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    auto wrapped = [this, client_id, fn = std::move(fn)]() mutable -> R {
+      struct Done {
+        RequestScheduler* scheduler;
+        const std::string* client;
+        ~Done() { scheduler->NoteTaskDone(*client); }
+      } done{this, &client_id};
+      return fn();
+    };
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(wrapped));
     std::future<R> result = task->get_future();
-    Enqueue([task] { (*task)(); });
+    if (!Enqueue(client_id, [task] { (*task)(); })) {
+      std::promise<R> shed;
+      shed.set_exception(
+          std::make_exception_ptr(SchedulerRejectedError(client_id)));
+      return shed.get_future();
+    }
     return result;
   }
 
+  /// Untagged submission: lands in the `kDefaultClient` bucket.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    return Submit(std::string(kDefaultClient), std::move(fn));
+  }
+
+  /// Sets a client's DRR weight (credits earned per ring turn); 0 clamps
+  /// to 1. Takes effect from the client's next turn.
+  void SetClientWeight(const std::string& client_id, size_t weight);
+
   Stats stats() const;
+  ClientStats client_stats(const std::string& client_id) const;
   size_t thread_count() const { return workers_.size(); }
+  size_t client_queue_capacity() const { return queue_capacity_; }
 
  private:
-  void Enqueue(std::function<void()> task);
+  struct ClientQueue {
+    std::deque<std::function<void()>> tasks;
+    size_t weight = 1;
+    size_t deficit = 0;
+    bool in_ring = false;
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t shed = 0;
+  };
+
+  /// False = shed (queue full). During teardown runs the task inline so
+  /// its future is still satisfied.
+  bool Enqueue(std::string client_id, std::function<void()> task);
+  /// Completion bookkeeping, invoked from inside the running task (see
+  /// Submit) so it happens-before the task's future becomes ready.
+  void NoteTaskDone(const std::string& client_id);
   void WorkerLoop();
 
+  const size_t queue_capacity_;
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
+  /// std::map: client references stay valid across inserts, and iteration
+  /// order (stats, drains) is deterministic.
+  std::map<std::string, ClientQueue> clients_;
+  std::deque<const std::string*> ring_;  // active clients, head = next turn
+  size_t queued_total_ = 0;
   bool stopping_ = false;
   size_t submitted_ = 0;
   size_t completed_ = 0;
+  size_t in_flight_ = 0;
+  size_t shed_ = 0;
   std::vector<std::thread> workers_;
 };
 

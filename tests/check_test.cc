@@ -122,6 +122,18 @@ TEST(CheckHarnessTest, FetchEquivalenceOracle) {
   EXPECT_GE(report.cases, 12u);
 }
 
+// Bounded run of the serving-layer cache/scheduler oracle: cached,
+// uncached, and brute-force results byte-identical across cache budgets
+// and two Refresh epochs, plus the fair scheduler's starvation and
+// shedding contracts. check_driver runs the same oracle at nightly scale.
+TEST(CheckHarnessTest, ServeCacheEquivalenceOracle) {
+  const OracleReport report = CheckServeCacheEquivalence(BoundedOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // Per-table cases across two epochs per iteration, plus the two
+  // scheduler contract cases.
+  EXPECT_GE(report.cases, 12u + 2u);
+}
+
 TEST(CheckHarnessTest, MutatorIsDeterministic) {
   Rng a(123);
   Rng b(123);
@@ -152,7 +164,7 @@ TEST(CheckHarnessTest, ReportsAreByteReproducible) {
   const OracleOptions options = BoundedOptions();
   const auto first = RunAllOracles(options);
   const auto second = RunAllOracles(options);
-  ASSERT_EQ(first.size(), 12u);
+  ASSERT_EQ(first.size(), 13u);
   ASSERT_EQ(second.size(), first.size());
   for (size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i].ToString(), second[i].ToString());

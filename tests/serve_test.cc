@@ -7,15 +7,19 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fd/memory_governor.h"
 #include "serve/brute_force.h"
 #include "serve/index_snapshot.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "serve/scheduler.h"
 #include "serve/snapshot_registry.h"
 #include "table/table.h"
@@ -354,6 +358,485 @@ TEST(RequestSchedulerTest, DrainsEveryQueuedTaskOnShutdown) {
     ASSERT_TRUE(results[i].valid());
     EXPECT_EQ(results[i].get(), i);
   }
+}
+
+// ---------------------------------------------------------------------
+// Duplicate-token keyword scoring (regression). Scoring is defined over
+// the unique query token set: "tax tax rate income" must score exactly
+// like {income, rate, tax}. Before use-site dedup, a duplicated token
+// counted twice in numerator and denominator, inflating every table
+// that matched it — here that would tie "tax ledger" (1 distinct match)
+// with "income rate report" (2 distinct matches) at 2/4 each and let
+// table order decide, instead of the correct 1/3 vs 2/3 ranking.
+TEST(QueryTest, DuplicateQueryTokensNeverInflateKeywordScores) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("tax ledger", "finance", {"aa"}, {{"x"}}));
+  tables.push_back(
+      MakeTable("income rate report", "finance", {"bb"}, {{"y"}}));
+  const auto snapshot = BuildIndexSnapshot(tables, PinnedOptions(), 1);
+
+  const KeywordQuery dup{"tax tax rate income", 10};
+  for (const KeywordResult& got :
+       {QueryKeywords(*snapshot, dup, Unlimited()),
+        BruteForceKeywords(*snapshot, dup, Unlimited())}) {
+    ASSERT_EQ(got.hits.size(), 2u);
+    // 3 unique query tokens: the two-match table wins, 2/3 over 1/3.
+    EXPECT_EQ(got.hits[0].table, 1u);
+    EXPECT_DOUBLE_EQ(got.hits[0].score, 2.0 / 3.0);
+    EXPECT_EQ(got.hits[1].table, 0u);
+    EXPECT_DOUBLE_EQ(got.hits[1].score, 1.0 / 3.0);
+  }
+
+  // Idempotence: repeating the whole query text changes nothing, byte
+  // for byte, in the served path and the brute-force reference alike.
+  const KeywordQuery once{"tax", 10};
+  const KeywordQuery twice{"tax tax", 10};
+  const KeywordResult a = QueryKeywords(*snapshot, once, Unlimited());
+  const KeywordResult b = QueryKeywords(*snapshot, twice, Unlimited());
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].table, b.hits[i].table);
+    EXPECT_EQ(a.hits[i].score, b.hits[i].score);
+  }
+  const KeywordResult ba = BruteForceKeywords(*snapshot, once, Unlimited());
+  const KeywordResult bb = BruteForceKeywords(*snapshot, twice, Unlimited());
+  ASSERT_EQ(ba.hits.size(), bb.hits.size());
+  for (size_t i = 0; i < ba.hits.size(); ++i) {
+    EXPECT_EQ(ba.hits[i].table, bb.hits[i].table);
+    EXPECT_EQ(ba.hits[i].score, bb.hits[i].score);
+  }
+}
+
+// ------------------------------------------------------- result cache
+
+TEST(ResultCacheTest, HitsMissesAndEpochInvalidation) {
+  ResultCache cache(fd::kUnlimitedFdMemoryBudget);
+  cache.BeginEpoch(1);
+
+  KeywordResult value;
+  value.hits.push_back(KeywordHit{3, 0.5});
+  value.candidates_considered = 1;
+  value.epoch = 1;
+  const std::string key = KeywordCacheKey(1, {"traffic counts", 10}, 0);
+
+  EXPECT_FALSE(cache.LookupKeywords(key).has_value());
+  cache.Insert(key, 1, value);
+  const auto hit = cache.LookupKeywords(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_cache);
+  EXPECT_EQ(hit->epoch, 1u);
+  ASSERT_EQ(hit->hits.size(), 1u);
+  EXPECT_EQ(hit->hits[0].table, 3u);
+
+  // An insert keyed to a superseded epoch is refused outright.
+  cache.Insert(KeywordCacheKey(7, {"stale", 10}, 0), 7, value);
+  EXPECT_EQ(cache.stats().declines, 1u);
+
+  // New epoch: wholesale invalidation, nothing survives.
+  cache.BeginEpoch(2);
+  EXPECT_FALSE(cache.LookupKeywords(key).has_value());
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.invalidated, 1u);
+  EXPECT_EQ(stats.bytes_in_use, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ResultCacheTest, KeywordKeyCanonicalizesTokenVariants) {
+  // Same unique token set, wildly different text: one cache entry.
+  const std::string a = KeywordCacheKey(1, {"tax rate", 10}, 0);
+  const std::string b = KeywordCacheKey(1, {"Rate, TAX!", 10}, 0);
+  const std::string c = KeywordCacheKey(1, {"tax tax rate", 10}, 0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  // Different k, budget, or epoch: different entries.
+  EXPECT_NE(a, KeywordCacheKey(1, {"tax rate", 11}, 0));
+  EXPECT_NE(a, KeywordCacheKey(1, {"tax rate", 10}, 5));
+  EXPECT_NE(a, KeywordCacheKey(2, {"tax rate", 10}, 0));
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderPressure) {
+  // Budget sized to hold roughly one entry: the second insert must evict
+  // the least-recently-used first entry rather than being declined.
+  ResultCache cache(400);
+  cache.BeginEpoch(1);
+  UnionResult value;
+  value.epoch = 1;
+  const std::string k1 = UnionCacheKey(1, {1, 10}, 0);
+  const std::string k2 = UnionCacheKey(1, {2, 10}, 0);
+  cache.Insert(k1, 1, value);
+  ASSERT_TRUE(cache.LookupUnions(k1).has_value());
+  cache.Insert(k2, 1, value);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.LookupUnions(k1).has_value());  // evicted
+  EXPECT_TRUE(cache.LookupUnions(k2).has_value());   // resident
+  EXPECT_LE(cache.stats().bytes_in_use, 400u);       // never over budget
+}
+
+TEST(ResultCacheTest, OneByteBudgetDeclinesEveryStore) {
+  ResultCache cache(1);
+  cache.BeginEpoch(1);
+  JoinResult value;
+  value.epoch = 1;
+  const std::string key = JoinCacheKey(1, {0, std::nullopt, 10}, 0);
+  cache.Insert(key, 1, value);
+  EXPECT_FALSE(cache.LookupJoins(key).has_value());
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.stores, 0u);
+  EXPECT_GE(stats.declines, 1u);
+}
+
+TEST(ResultCacheTest, BudgetEnvResolution) {
+  EXPECT_EQ(ResolveResultCacheBudget(1234), 1234u);
+  EXPECT_EQ(ResolveResultCacheBudget(fd::kUnlimitedFdMemoryBudget), 0u);
+  ::setenv("OGDP_RESULT_CACHE_BUDGET", "4k", 1);
+  EXPECT_EQ(ResolveResultCacheBudget(0), 4096u);
+  ::setenv("OGDP_RESULT_CACHE_BUDGET", "unlimited", 1);
+  EXPECT_EQ(ResolveResultCacheBudget(0), 0u);
+  ::unsetenv("OGDP_RESULT_CACHE_BUDGET");
+  EXPECT_EQ(ResolveResultCacheBudget(0), size_t{64} << 20);
+  // An explicit override beats the environment.
+  ::setenv("OGDP_RESULT_CACHE_BUDGET", "4k", 1);
+  EXPECT_EQ(ResolveResultCacheBudget(99), 99u);
+  ::unsetenv("OGDP_RESULT_CACHE_BUDGET");
+}
+
+// ------------------------------------------------ engine-level caching
+
+QueryEngineOptions UnlimitedCache() {
+  QueryEngineOptions o;
+  o.result_cache_budget = fd::kUnlimitedFdMemoryBudget;
+  o.client_queue_capacity = 64;  // env-proof
+  return o;
+}
+
+TEST(QueryEngineTest, WarmQueriesAreCacheHitsAndByteIdentical) {
+  QueryEngine engine(PinnedOptions(), 1, UnlimitedCache());
+  engine.Refresh(ServeCorpus());
+
+  const JoinQuery jq{0, std::nullopt, 100};
+  const JoinResult cold = engine.Joins(jq, Unlimited());
+  EXPECT_FALSE(cold.from_cache);
+  EXPECT_EQ(cold.epoch, 1u);
+  const JoinResult warm = engine.Joins(jq, Unlimited());
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.epoch, cold.epoch);
+  EXPECT_EQ(warm.candidates_considered, cold.candidates_considered);
+  EXPECT_EQ(warm.truncated, cold.truncated);
+  ASSERT_EQ(warm.hits.size(), cold.hits.size());
+  for (size_t i = 0; i < cold.hits.size(); ++i) {
+    EXPECT_TRUE(SameJoinHit(warm.hits[i], cold.hits[i]));
+  }
+
+  const UnionResult cold_u = engine.Unions({3, 100}, Unlimited());
+  const UnionResult warm_u = engine.Unions({3, 100}, Unlimited());
+  EXPECT_TRUE(warm_u.from_cache);
+  EXPECT_EQ(warm_u.hits.size(), cold_u.hits.size());
+
+  // Keyword canonicalization: a duplicated-text variant is the same
+  // cache entry as the original.
+  const KeywordResult cold_k = engine.Keywords({"traffic", 100}, Unlimited());
+  const KeywordResult variant =
+      engine.Keywords({"traffic traffic", 100}, Unlimited());
+  EXPECT_TRUE(variant.from_cache);
+  ASSERT_EQ(variant.hits.size(), cold_k.hits.size());
+  for (size_t i = 0; i < cold_k.hits.size(); ++i) {
+    EXPECT_EQ(variant.hits[i].table, cold_k.hits[i].table);
+    EXPECT_EQ(variant.hits[i].score, cold_k.hits[i].score);
+  }
+
+  const ResultCacheStats stats = engine.cache_stats();
+  EXPECT_GE(stats.hits, 3u);
+  EXPECT_GE(stats.stores, 3u);
+  EXPECT_EQ(stats.declines, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(QueryEngineTest, RefreshInvalidatesCachedResults) {
+  const std::vector<Table> first = ServeCorpus();
+  std::vector<Table> second = ServeCorpus();
+  second.push_back(IdTable("detours", "transport", "segment_alt", 1, 20, 3));
+
+  QueryEngine engine(PinnedOptions(), 1, UnlimitedCache());
+  const auto s1 = engine.Refresh(first);
+  const JoinQuery jq{0, std::nullopt, 100};
+  engine.Joins(jq, Unlimited());                       // fill
+  EXPECT_TRUE(engine.Joins(jq, Unlimited()).from_cache);  // warm
+
+  const auto s2 = engine.Refresh(second);
+  const JoinResult after = engine.Joins(jq, Unlimited());
+  EXPECT_FALSE(after.from_cache);  // old entry cannot survive the swap
+  EXPECT_EQ(after.epoch, 2u);
+  const JoinResult direct = QueryJoins(*s2, jq, Unlimited());
+  ASSERT_EQ(after.hits.size(), direct.hits.size());
+  for (size_t i = 0; i < after.hits.size(); ++i) {
+    EXPECT_TRUE(SameJoinHit(after.hits[i], direct.hits[i]));
+  }
+  EXPECT_GE(engine.cache_stats().invalidated, 1u);
+}
+
+TEST(QueryEngineTest, WallClockBudgetedQueriesBypassCache) {
+  QueryEngine engine(PinnedOptions(), 1, UnlimitedCache());
+  engine.Refresh(ServeCorpus());
+  QueryBudget timed;
+  timed.time_budget_ms = 10000;  // live wall-clock budget: not cacheable
+  const JoinQuery jq{0, std::nullopt, 100};
+  EXPECT_FALSE(engine.Joins(jq, timed).from_cache);
+  EXPECT_FALSE(engine.Joins(jq, timed).from_cache);
+  const ResultCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.stores, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(QueryEngineTest, OneByteCacheBudgetNeverChangesResults) {
+  QueryEngineOptions tiny;
+  tiny.result_cache_budget = 1;  // every store declines: cache is off
+  tiny.client_queue_capacity = 64;
+  QueryEngine engine(PinnedOptions(), 1, tiny);
+  engine.Refresh(ServeCorpus());
+  const JoinQuery jq{0, std::nullopt, 100};
+  const JoinResult cold = engine.Joins(jq, Unlimited());
+  const JoinResult warm = engine.Joins(jq, Unlimited());
+  EXPECT_FALSE(warm.from_cache);
+  ASSERT_EQ(warm.hits.size(), cold.hits.size());
+  for (size_t i = 0; i < cold.hits.size(); ++i) {
+    EXPECT_TRUE(SameJoinHit(warm.hits[i], cold.hits[i]));
+  }
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+TEST(QueryEngineTest, ClientTaggedSubmissionsMatchSyncAndAreAccounted) {
+  QueryEngine engine(PinnedOptions(), 2, UnlimitedCache());
+  engine.Refresh(ServeCorpus());
+  const JoinQuery jq{0, std::nullopt, 100};
+  auto fa = engine.SubmitJoins("alice", jq, Unlimited());
+  auto fb = engine.SubmitKeywords("bob", {"traffic", 100}, Unlimited());
+  const JoinResult sync = engine.Joins(jq, Unlimited());
+  const JoinResult async = fa.get();
+  ASSERT_EQ(async.hits.size(), sync.hits.size());
+  for (size_t i = 0; i < sync.hits.size(); ++i) {
+    EXPECT_TRUE(SameJoinHit(async.hits[i], sync.hits[i]));
+  }
+  EXPECT_FALSE(fb.get().hits.empty());
+  EXPECT_EQ(engine.client_stats("alice").submitted, 1u);
+  EXPECT_EQ(engine.client_stats("alice").completed, 1u);
+  EXPECT_EQ(engine.client_stats("bob").submitted, 1u);
+  EXPECT_EQ(engine.client_stats("never-seen").submitted, 0u);
+}
+
+// ------------------------------------------------------ fair scheduler
+
+TEST(RequestSchedulerTest, StatsTrackInFlightWork) {
+  SchedulerOptions options;
+  options.threads = 1;
+  options.client_queue_capacity = 8;
+  RequestScheduler scheduler(options);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> started;
+  auto running = scheduler.Submit("steady", [&started, opened] {
+    started.set_value();
+    opened.wait();
+  });
+  started.get_future().wait();  // the task is on the worker, not queued
+  auto queued = scheduler.Submit("steady", [] {});
+
+  RequestScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.in_flight, 1u);  // the blocked task is *running*
+  EXPECT_EQ(stats.queued, 1u);     // only the second is waiting
+  EXPECT_EQ(stats.completed, 0u);
+
+  gate.set_value();
+  running.get();
+  queued.get();
+  stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+TEST(RequestSchedulerTest, DeficitRoundRobinHonorsClientWeights) {
+  SchedulerOptions options;
+  options.threads = 1;
+  options.client_queue_capacity = 64;
+  std::vector<std::string> order;
+  std::mutex order_mu;
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> blocked;
+  {
+    RequestScheduler scheduler(options);
+    scheduler.SetClientWeight("greedy", 2);
+    auto blocker = scheduler.Submit("greedy", [&blocked, opened] {
+      blocked.set_value();
+      opened.wait();
+    });
+    blocked.get_future().wait();  // the single worker is pinned
+    const auto record = [&order, &order_mu](std::string tag) {
+      return [&order, &order_mu, tag = std::move(tag)] {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(tag);
+      };
+    };
+    std::vector<std::future<void>> futures;
+    for (int i = 1; i <= 6; ++i) {
+      futures.push_back(
+          scheduler.Submit("greedy", record("g" + std::to_string(i))));
+    }
+    for (int c = 1; c <= 2; ++c) {
+      for (int i = 1; i <= 3; ++i) {
+        futures.push_back(scheduler.Submit(
+            "bg" + std::to_string(c),
+            record("b" + std::to_string(c) + std::to_string(i))));
+      }
+    }
+    gate.set_value();
+    for (auto& f : futures) f.get();
+    blocker.get();
+  }
+  // Weight 2 earns the greedy client two dispatches per ring turn; the
+  // weight-1 background clients still land every round — bounded delay,
+  // no starvation.
+  const std::vector<std::string> expected = {"g1", "g2", "b11", "b21",
+                                             "g3", "g4", "b12", "b22",
+                                             "g5", "g6", "b13", "b23"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(RequestSchedulerTest, FullClientQueueShedsWithResourceExhausted) {
+  SchedulerOptions options;
+  options.threads = 1;
+  options.client_queue_capacity = 1;
+  RequestScheduler scheduler(options);
+  EXPECT_EQ(scheduler.client_queue_capacity(), 1u);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> started;
+  auto blocker = scheduler.Submit("other", [&started, opened] {
+    started.set_value();
+    opened.wait();
+  });
+  started.get_future().wait();
+
+  auto admitted = scheduler.Submit("burst", [] { return 1; });
+  auto shed_a = scheduler.Submit("burst", [] { return 2; });
+  auto shed_b = scheduler.Submit("burst", [] { return 3; });
+  gate.set_value();
+
+  EXPECT_EQ(admitted.get(), 1);
+  for (auto* f : {&shed_a, &shed_b}) {
+    try {
+      f->get();
+      FAIL() << "shed submission delivered a value";
+    } catch (const SchedulerRejectedError& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kResourceExhausted);
+      EXPECT_NE(std::string(e.what()).find("burst"), std::string::npos);
+    }
+  }
+  blocker.get();
+  const RequestScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.submitted, 2u);  // blocker + the one admitted burst task
+  const RequestScheduler::ClientStats burst = scheduler.client_stats("burst");
+  EXPECT_EQ(burst.submitted, 1u);
+  EXPECT_EQ(burst.shed, 2u);
+}
+
+TEST(RequestSchedulerTest, ClientQueueCapacityEnvResolution) {
+  EXPECT_EQ(ResolveClientQueueCapacity(5), 5u);
+  ::setenv("OGDP_CLIENT_QUEUE_CAP", "9", 1);
+  EXPECT_EQ(ResolveClientQueueCapacity(0), 9u);
+  ::setenv("OGDP_CLIENT_QUEUE_CAP", "not-a-number", 1);
+  EXPECT_EQ(ResolveClientQueueCapacity(0), 1024u);
+  ::unsetenv("OGDP_CLIENT_QUEUE_CAP");
+  EXPECT_EQ(ResolveClientQueueCapacity(0), 1024u);
+}
+
+// The cached-path TSan target: reader threads issue cached sync queries
+// and client-tagged async queries while the main thread republishes new
+// epochs. Every observed result must byte-match the precomputed expected
+// result for the epoch stamped on it — a stale cache entry, a torn swap,
+// or a mis-keyed insert would surface as a mismatch.
+TEST(QueryEngineTest, CachedQueriesUnderRefreshMatchTheirEpoch) {
+  constexpr int kEpochs = 4;
+  std::vector<std::vector<Table>> corpora;
+  for (int e = 0; e < kEpochs; ++e) {
+    std::vector<Table> corpus = ServeCorpus();
+    for (int extra = 0; extra < e; ++extra) {
+      corpus.push_back(IdTable("extra " + std::to_string(extra), "transport",
+                               "segment_x" + std::to_string(extra), 1, 20,
+                               extra + 1));
+    }
+    corpora.push_back(std::move(corpus));
+  }
+  const JoinQuery query{0, std::nullopt, 10};
+  // Expected result per epoch, computed against independently built
+  // snapshots before the engine exists (epochs are publication counts).
+  std::vector<JoinResult> expected(kEpochs + 1);
+  for (int e = 0; e < kEpochs; ++e) {
+    expected[e + 1] = QueryJoins(
+        *BuildIndexSnapshot(corpora[e], PinnedOptions(), e + 1), query,
+        Unlimited());
+  }
+  const auto matches_epoch = [&expected](const JoinResult& got) {
+    if (got.epoch == 0 || got.epoch > static_cast<uint64_t>(kEpochs)) {
+      return false;
+    }
+    const JoinResult& want = expected[got.epoch];
+    if (got.hits.size() != want.hits.size() ||
+        got.candidates_considered != want.candidates_considered) {
+      return false;
+    }
+    for (size_t i = 0; i < want.hits.size(); ++i) {
+      if (!SameJoinHit(got.hits[i], want.hits[i])) return false;
+    }
+    return true;
+  };
+
+  QueryEngine engine(PinnedOptions(), 2, UnlimitedCache());
+  engine.Refresh(corpora[0]);
+  std::atomic<bool> done{false};
+  std::atomic<bool> mismatch{false};
+  std::atomic<size_t> observed{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      const std::string client = "reader-" + std::to_string(r);
+      while (!done.load(std::memory_order_relaxed)) {
+        if (!matches_epoch(engine.Joins(query, Unlimited()))) {
+          mismatch.store(true);
+          return;
+        }
+        std::future<JoinResult> f =
+            engine.SubmitJoins(client, query, Unlimited());
+        try {
+          if (!matches_epoch(f.get())) {
+            mismatch.store(true);
+            return;
+          }
+        } catch (const SchedulerRejectedError&) {
+          // Load shedding under the stress burst is legal; correctness
+          // covers delivered results only.
+        }
+        observed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int e = 1; e < kEpochs; ++e) {
+    engine.Refresh(corpora[e]);  // cached readers keep querying throughout
+  }
+  const size_t target = observed.load() + 8;
+  while (observed.load() < target && !mismatch.load()) {
+  }
+  done.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(engine.version(), static_cast<uint64_t>(kEpochs));
+  EXPECT_GT(observed.load(), 0u);
 }
 
 TEST(SnapshotRegistryTest, PublishSwapsAndVersions) {
