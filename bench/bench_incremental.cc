@@ -5,6 +5,11 @@
 // two pipelines render byte-identically, and emits BENCH_incremental.json
 // (with per-portal fetch telemetry) in the working directory.
 //
+// The warm-restart section measures the durable cache (DESIGN.md §12):
+// per portal, a cold epoch over an empty on-disk store vs the same epoch
+// re-run by a fresh process-equivalent state recovering that store —
+// renders must match and the recovered epoch must be ≥2x faster.
+//
 // Env: OGDP_BENCH_SCALE (default 0.25), OGDP_EPOCHS (default 4),
 // OGDP_BENCH_THREADS, OGDP_CACHE_BUDGET (cache pool bytes). Set
 // OGDP_BENCH_INCR_GUARD=1 for the tier-1 CI guard: a small fixed
@@ -13,6 +18,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,7 +27,9 @@
 #include "core/analysis_suite.h"
 #include "core/incremental.h"
 #include "core/ingestion.h"
+#include "core/storage_faults.h"
 #include "corpus/snapshot.h"
+#include "fd/memory_governor.h"
 #include "fetch/fault_schedule.h"
 
 namespace {
@@ -47,6 +56,13 @@ struct PortalRun {
   std::string name;
   std::vector<EpochRow> rows;
   core::IngestStats last_ingest;  // fetch telemetry of the final epoch
+};
+
+struct WarmRow {
+  std::string name;
+  double cold_seconds = 0;  // first epoch over an empty durable store
+  double warm_seconds = 0;  // same epoch, fresh state recovering the store
+  core::DurableStoreStats recovery;  // the warm state's recovery scan
 };
 
 double Speedup(double scratch, double incremental) {
@@ -147,6 +163,63 @@ int main() {
               divergences == 0 ? "all epochs byte-identical"
                                : "DIVERGENCES FOUND (BUG)");
 
+  // Warm restart: one epoch per portal over a durable directory, cold
+  // (empty store) vs a fresh state recovering the published artifacts —
+  // the crash-resume path at zero churn. Unlimited cache budget so
+  // recovery admits every artifact.
+  namespace fs = std::filesystem;
+  std::vector<WarmRow> warm_rows;
+  double cold_total = 0, warm_total = 0;
+  std::printf("\n[incremental] warm restart (durable cache)\n");
+  for (const auto& profile : corpus::AllPortalProfiles()) {
+    const auto chain = corpus::GenerateSnapshotChain(profile, scale, 1);
+    const corpus::PortalSnapshot& snap = chain.front();
+    const fs::path dir =
+        fs::temp_directory_path() / ("ogdp_bench_warm_" + profile.name);
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+
+    WarmRow row;
+    row.name = profile.name;
+    Stopwatch sw;
+    auto cold = std::make_unique<core::IncrementalState>(
+        fd::kUnlimitedFdMemoryBudget, dir.string(),
+        core::StorageFaultProfile{});
+    const core::IncrementalResult cold_result =
+        core::RunIncrementalAnalysis(*cold, snap, suite, ingest);
+    row.cold_seconds = sw.ElapsedSeconds();
+    cold.reset();  // the "process" exits; only the directory survives
+
+    sw.Restart();
+    core::IncrementalState warm(fd::kUnlimitedFdMemoryBudget, dir.string(),
+                                core::StorageFaultProfile{});
+    const core::IncrementalResult warm_result =
+        core::RunIncrementalAnalysis(warm, snap, suite, ingest);
+    row.warm_seconds = sw.ElapsedSeconds();
+    row.recovery = warm.cache.durable_stats();
+    fs::remove_all(dir, ec);
+
+    if (core::RenderPortalAnalysis(warm_result.analysis) !=
+        core::RenderPortalAnalysis(cold_result.analysis)) {
+      ++divergences;
+      std::printf("  portal %s: WARM RENDER DIVERGES (BUG)\n",
+                  profile.name.c_str());
+    }
+    std::printf(
+        "  portal %-4s cold %6.2fs, warm %6.2fs (%5.2fx), recovered "
+        "%zu/%zu artifacts, %zu quarantined\n",
+        profile.name.c_str(), row.cold_seconds, row.warm_seconds,
+        Speedup(row.cold_seconds, row.warm_seconds), row.recovery.loaded,
+        row.recovery.scanned, row.recovery.quarantined);
+    cold_total += row.cold_seconds;
+    warm_total += row.warm_seconds;
+    warm_rows.push_back(std::move(row));
+  }
+  const double warm_speedup = Speedup(cold_total, warm_total);
+  std::printf(
+      "[incremental] warm restart: cold %.2fs, warm %.2fs, speedup %.2fx\n",
+      cold_total, warm_total, warm_speedup);
+
   if (!guard) {
     FILE* json = std::fopen("BENCH_incremental.json", "w");
     if (json != nullptr) {
@@ -154,9 +227,26 @@ int main() {
                    "{\n  \"scale\": %.4f,\n  \"epochs\": %zu,\n"
                    "  \"threads\": %zu,\n  \"deterministic\": %s,\n"
                    "  \"low_churn_epochs\": %zu,\n"
-                   "  \"low_churn_speedup\": %.3f,\n  \"portals\": [\n",
+                   "  \"low_churn_speedup\": %.3f,\n"
+                   "  \"warm_restart_speedup\": %.3f,\n"
+                   "  \"warm_restart\": [\n",
                    scale, epochs, threads, divergences == 0 ? "true" : "false",
-                   low_churn_epochs, low_churn_speedup);
+                   low_churn_epochs, low_churn_speedup, warm_speedup);
+      for (size_t w = 0; w < warm_rows.size(); ++w) {
+        const WarmRow& r = warm_rows[w];
+        std::fprintf(
+            json,
+            "    {\"portal\": \"%s\", \"cold_s\": %.4f, \"warm_s\": %.4f, "
+            "\"speedup\": %.3f, \"recovered_scanned\": %zu, "
+            "\"recovered_loaded\": %zu, \"recovered_declined\": %zu, "
+            "\"quarantined\": %zu}%s\n",
+            r.name.c_str(), r.cold_seconds, r.warm_seconds,
+            Speedup(r.cold_seconds, r.warm_seconds), r.recovery.scanned,
+            r.recovery.loaded, r.recovery.load_declines,
+            r.recovery.quarantined,
+            w + 1 < warm_rows.size() ? "," : "");
+      }
+      std::fprintf(json, "  ],\n  \"portals\": [\n");
       for (size_t p = 0; p < runs.size(); ++p) {
         const PortalRun& run = runs[p];
         std::fprintf(json, "    {\"portal\": \"%s\",\n", run.name.c_str());

@@ -7,7 +7,8 @@
 // fd_tane_vs_fun, bcnf_lossless_join, lsh_superset, codec_round_trip,
 // cleaning_idempotence, union_finder_differential, header_modal_width,
 // fetch_equivalence, join_ranker_monotonicity, incremental_equivalence,
-// serve_equivalence, serve_cache_equivalence)
+// durable_cache_equivalence, dialect_stability, serve_equivalence,
+// serve_cache_equivalence)
 // and prints one report per oracle. Output is byte-reproducible for a
 // fixed seed; the exit code is 0 iff every oracle holds on every case.
 // `--corpus` mixes the committed regression documents into the CSV
@@ -35,6 +36,7 @@ void Usage(const char* argv0) {
                "cleaning_idempotence|union_finder_differential|"
                "header_modal_width|fetch_equivalence|"
                "join_ranker_monotonicity|incremental_equivalence|"
+               "durable_cache_equivalence|dialect_stability|"
                "serve_equivalence|serve_cache_equivalence]\n",
                argv0);
 }
@@ -126,6 +128,10 @@ int main(int argc, char** argv) {
     reports.push_back(ogdp::check::CheckJoinRankerMonotonicity(options));
   } else if (only_oracle == "incremental_equivalence") {
     reports.push_back(ogdp::check::CheckIncrementalEquivalence(options));
+  } else if (only_oracle == "durable_cache_equivalence") {
+    reports.push_back(ogdp::check::CheckDurableCacheEquivalence(options));
+  } else if (only_oracle == "dialect_stability") {
+    reports.push_back(ogdp::check::CheckDialectStability(options));
   } else if (only_oracle == "serve_equivalence") {
     reports.push_back(ogdp::check::CheckServeEquivalence(options));
   } else if (only_oracle == "serve_cache_equivalence") {

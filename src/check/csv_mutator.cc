@@ -83,6 +83,43 @@ std::string MutateCsv(Rng& rng, std::string_view doc) {
   return mutant;
 }
 
+std::string MutateCsvWhitespace(Rng& rng, std::string_view doc) {
+  std::string mutant(doc);
+  const uint64_t count = 1 + rng.NextBounded(3);
+  for (uint64_t n = 0; n < count; ++n) {
+    // Re-derive line-break positions each round: earlier edits shift
+    // offsets.
+    std::vector<size_t> newline_pos;
+    for (size_t i = 0; i < mutant.size(); ++i) {
+      if (mutant[i] == '\n') newline_pos.push_back(i);
+    }
+    if (rng.NextBool(0.5)) {
+      // Trailing spaces, inserted before a line break or at the very end.
+      size_t pos = mutant.size();
+      if (!newline_pos.empty() && rng.NextBool(0.75)) {
+        pos = newline_pos[rng.NextBounded(newline_pos.size())];
+      }
+      mutant.insert(pos, std::string(1 + rng.NextBounded(4), ' '));
+    } else {
+      // Whitespace-only line padding at the start or just after a line
+      // break. Never appended to a document without a final newline —
+      // terminating an unterminated last line is not a whitespace edit.
+      size_t pos = 0;
+      if (!newline_pos.empty() && rng.NextBool(0.75)) {
+        pos = newline_pos[rng.NextBounded(newline_pos.size())] + 1;
+      }
+      std::string block;
+      const uint64_t lines = 1 + rng.NextBounded(3);
+      for (uint64_t i = 0; i < lines; ++i) {
+        block.append(rng.NextBounded(3), ' ');
+        block.push_back('\n');
+      }
+      mutant.insert(pos, block);
+    }
+  }
+  return mutant;
+}
+
 const std::vector<std::string>& BuiltinCsvSeeds() {
   static const std::vector<std::string>* const kSeeds =
       new std::vector<std::string>{

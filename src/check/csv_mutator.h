@@ -20,6 +20,15 @@ namespace ogdp::check {
 /// input the lenient `csv::CsvReader` should reject.
 std::string MutateCsv(Rng& rng, std::string_view doc);
 
+/// Benign whitespace-only mutator for the dialect-stability oracle:
+/// applies one to three edits, each either trailing spaces before an
+/// existing line break (or at end of document) or whitespace-only line
+/// padding at the document start or after an existing line break. Edits
+/// never split a line, never touch a field byte, and never append a line
+/// terminator to an unterminated final line — exactly the class of edits
+/// `csv::SniffDialect` must be invariant under.
+std::string MutateCsvWhitespace(Rng& rng, std::string_view doc);
+
 /// Built-in seed documents covering the dialect/quoting/raggedness space:
 /// plain tables, semicolon and tab dialects, quoted delimiters, escaped
 /// quotes, embedded newlines, BOMs, ragged rows, blank lines, junk after

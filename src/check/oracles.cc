@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <future>
 #include <iterator>
 #include <map>
@@ -25,6 +26,7 @@
 #include "fetch/retry.h"
 #include "csv/cleaning.h"
 #include "csv/csv_reader.h"
+#include "csv/dialect.h"
 #include "csv/csv_writer.h"
 #include "csv/header_inference.h"
 #include "fd/bcnf.h"
@@ -1105,6 +1107,47 @@ OracleReport CheckFetchEquivalence(const OracleOptions& options) {
       continue;
     }
 
+    // (c) Shared-CDN coupling: a quiet portal wired to the same CdnState
+    // as a 429-bursty neighbour absorbs extra coupled rate limits, but
+    // they are transient and capped at one per resource — output must
+    // stay byte-identical to the fault-free baseline. (Both portals'
+    // virtual clocks start at 0, so the sequential ingests overlap in
+    // virtual time and the bursts genuinely couple.)
+    ++report.cases;
+    fetch::CdnState cdn;
+    core::Portal noisy = portal;
+    noisy.name = portal.name + "_cdn_noisy";
+    fetch::FaultProfile bursty = transient;
+    bursty.rate_limit_rate = 0.5;
+    bursty.cdn_group = 1;
+    bursty.cdn_429_boost = 0.5;
+    core::IngestOptions noisy_options = faulty_options;
+    noisy_options.faults = bursty;
+    noisy_options.cdn = &cdn;
+    (void)core::IngestPortal(noisy, noisy_options);  // seeds burst windows
+
+    fetch::FaultProfile quiet;  // no faults of its own, coupling only
+    quiet.seed = transient.seed;
+    quiet.cdn_group = 1;
+    quiet.cdn_429_boost = 1.0;
+    core::IngestOptions quiet_options = faulty_options;
+    quiet_options.faults = quiet;
+    quiet_options.cdn = &cdn;
+    const core::IngestResult coupled =
+        core::IngestPortal(portal, quiet_options);
+    if (std::string diff = DescribeIngestDiff(baseline, coupled);
+        !diff.empty()) {
+      report.failures.push_back("CDN-coupled run diverged at " + where +
+                                ": " + diff);
+      continue;
+    }
+    if (auto inv = core::CheckIngestStatsInvariants(coupled.stats);
+        !inv.ok()) {
+      report.failures.push_back("CDN-coupled invariants broken at " + where +
+                                ": " + inv.message());
+      continue;
+    }
+
     // (b) Forced permanent failures: output equals the fault-free run
     // minus exactly the failed resources, with stats buckets adjusted by
     // those resources' fault-free stages.
@@ -1631,6 +1674,261 @@ OracleReport CheckIncrementalEquivalence(const OracleOptions& options) {
     }
   }
   util::SetGlobalThreadCount(ambient_threads);
+  return report;
+}
+
+namespace {
+
+// The storage-fault mixes the durable oracle cycles through: a clean
+// directory, every publish torn, flip + never-written corruption, and a
+// vanishing/unopenable/junk-strewn directory.
+core::StorageFaultProfile StorageProfileFor(uint64_t seed, size_t it) {
+  core::StorageFaultProfile p;
+  p.seed = seed ^ (it * 0x2545f4914f6cdd1dULL);
+  switch (it % 4) {
+    case 0:
+      break;  // clean
+    case 1:
+      p.torn_write_rate = 1.0;  // every publish lands as a prefix
+      break;
+    case 2:
+      p.bit_flip_rate = 0.6;
+      p.zero_length_rate = 0.3;
+      break;
+    default:
+      p.missing_rate = 0.4;
+      p.open_error_rate = 0.3;
+      p.extra_file_rate = 0.5;
+      break;
+  }
+  return p;
+}
+
+// Per-kind conservation of the cache accounting, valid at any observation
+// point. Returns "" when every kind balances.
+std::string DescribeCacheStatsViolation(const core::AnalysisCacheStats& s) {
+  const std::array<std::pair<const char*, const core::CacheKindStats*>, 5>
+      kinds = {{{"parse", &s.parse},
+                {"keys", &s.keys},
+                {"fd", &s.fd},
+                {"signature", &s.signature},
+                {"fingerprint", &s.fingerprint}}};
+  for (const auto& [name, k] : kinds) {
+    if (k->hits + k->misses != k->lookups) {
+      return std::string(name) + " cache kind breaks hits+misses==lookups";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+OracleReport CheckDurableCacheEquivalence(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "durable_cache_equivalence";
+
+  namespace fs = std::filesystem;
+  Rng rng = Rng(options.seed).Fork("durable_cache_equivalence");
+  const size_t ambient_threads = util::GlobalThreadCount();
+  const std::array<size_t, 3> thread_cycle = {1, 2, ambient_threads};
+  constexpr size_t kEpochs = 3;
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    util::SetGlobalThreadCount(thread_cycle[it % thread_cycle.size()]);
+    // Alternate an unlimited cache with a 1-byte one: the 1-byte governor
+    // declines every admission, in memory and at recovery time alike, so
+    // durability must degrade to recompute without changing output.
+    const size_t cache_budget =
+        it % 2 == 0 ? fd::kUnlimitedFdMemoryBudget : 1;
+    const core::StorageFaultProfile storage =
+        StorageProfileFor(options.seed, it);
+
+    const fs::path dir =
+        fs::temp_directory_path() / ("ogdp_dce_" + std::to_string(options.seed) +
+                                     "_" + std::to_string(it));
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+
+    corpus::ChurnProfile churn;
+    churn.seed = options.seed ^ (it * 0x9e3779b97f4a7c15ULL);
+    churn.dataset_add_rate = 0.3;
+    churn.dataset_remove_rate = 0.15;
+    churn.resource_update_rate = 0.5;
+    churn.resource_rename_rate = 0.25;
+
+    core::AnalysisSuiteOptions suite;
+    suite.fd_memory_budget_bytes = fd::kUnlimitedFdMemoryBudget;
+    core::IngestOptions ingest;
+    // Half the cases crawl through live transient fetch faults: a resumed
+    // epoch then re-fetches through retries and must still replay the
+    // surviving artifacts. Every resource succeeds within the attempt
+    // budget, and the scratch reference runs the same options, so output
+    // equality is exact either way (the fetch-equivalence guarantee).
+    fetch::FaultProfile transient;
+    transient.seed = options.seed ^ (it * 0xd1342543de82ef95ULL);
+    transient.timeout_rate = 0.25;
+    transient.http5xx_rate = 0.2;
+    transient.rate_limit_rate = 0.2;
+    transient.max_transient_faults = 2;
+    ingest.faults = it % 2 == 0 ? fetch::FaultProfile{} : transient;
+    ingest.retry.max_attempts = 4;
+    ingest.retry.initial_backoff_ms = 10;
+
+    auto state = std::make_unique<core::IncrementalState>(
+        cache_budget, dir.string(), storage);
+    if (!state->cache.durable_enabled()) {
+      report.failures.push_back("durable store failed to enable at case " +
+                                std::to_string(it) + ": " +
+                                state->cache.durable_status().message());
+      ++report.cases;
+      fs::remove_all(dir, ec);
+      continue;
+    }
+
+    corpus::PortalSnapshot snap = RandomSnapshotSeed(rng, it);
+    const size_t failures_before = report.failures.size();
+    const size_t crash_epoch = it % kEpochs;
+    const size_t crash_after = 1 + rng.NextBounded(10);
+    for (size_t e = 0; e < kEpochs; ++e) {
+      if (e > 0) snap = corpus::AdvanceEpoch(snap, churn, e);
+      ++report.cases;
+      const std::string where =
+          "case " + std::to_string(it) + " epoch " + std::to_string(e) +
+          " (threads=" + std::to_string(util::GlobalThreadCount()) +
+          ", budget=" + (cache_budget == 1 ? "1B" : "unlimited") +
+          ", faults=" + std::to_string(it % 4) + ")";
+
+      core::PortalBundle scratch;
+      scratch.name = snap.portal.name;
+      scratch.portal = snap.portal;
+      scratch.truth = snap.truth;
+      scratch.ingest = core::IngestPortal(snap.portal, ingest);
+      const core::PortalAnalysis full = core::RunFullAnalysis(scratch, suite);
+
+      bool crashed = false;
+      std::optional<core::IncrementalResult> inc;
+      if (e == crash_epoch) state->cache.SetCrashAfterPublishes(crash_after);
+      try {
+        inc = core::RunIncrementalAnalysis(*state, snap, suite, ingest);
+      } catch (const core::SimulatedCrashError&) {
+        crashed = true;
+      }
+      state->cache.SetCrashAfterPublishes(0);
+      if (crashed) {
+        // The process died mid-epoch: every in-memory carry-over is gone,
+        // only the files already published survive. A fresh state over the
+        // same directory must recover whatever validates, quarantine the
+        // rest, and finish the epoch byte-identically.
+        state = std::make_unique<core::IncrementalState>(
+            cache_budget, dir.string(), storage);
+        const core::DurableStoreStats ds = state->cache.durable_stats();
+        if (ds.scanned != ds.loaded + ds.load_declines + ds.quarantined) {
+          report.failures.push_back(
+              "crash-recovery scan breaks scanned == loaded + declined + "
+              "quarantined at " + where);
+          break;
+        }
+        inc = core::RunIncrementalAnalysis(*state, snap, suite, ingest);
+      }
+
+      const std::string want = core::RenderPortalAnalysis(full);
+      const std::string got = core::RenderPortalAnalysis(inc->analysis);
+      if (want != got) {
+        report.failures.push_back(std::string(crashed ? "resumed" : "durable") +
+                                  " epoch != from-scratch at " + where + ": " +
+                                  DescribeRenderDiff(want, got));
+        break;
+      }
+      if (full.fds.decomposition_counts !=
+              inc->analysis.fds.decomposition_counts ||
+          full.fds.table_lease_peaks != inc->analysis.fds.table_lease_peaks ||
+          full.joins.expansion_ratios !=
+              inc->analysis.joins.expansion_ratios) {
+        report.failures.push_back("unrendered report fields diverge at " +
+                                  where);
+        break;
+      }
+      if (std::string v = DescribeCacheStatsViolation(state->cache.stats());
+          !v.empty()) {
+        report.failures.push_back(v + " at " + where);
+        break;
+      }
+    }
+
+    // Clean warm restart over the populated directory: a fresh state must
+    // satisfy the recovery conservation law and replay the final epoch
+    // byte-identically — and under a clean fault profile the scan must
+    // quarantine nothing, because every file a healthy store publishes is
+    // a valid record.
+    if (report.failures.size() == failures_before) {
+      ++report.cases;
+      const std::string where =
+          "case " + std::to_string(it) + " warm restart";
+      core::PortalBundle scratch;
+      scratch.name = snap.portal.name;
+      scratch.portal = snap.portal;
+      scratch.truth = snap.truth;
+      scratch.ingest = core::IngestPortal(snap.portal, ingest);
+      const core::PortalAnalysis full = core::RunFullAnalysis(scratch, suite);
+
+      auto warm = std::make_unique<core::IncrementalState>(
+          cache_budget, dir.string(), storage);
+      const core::DurableStoreStats ds = warm->cache.durable_stats();
+      if (ds.scanned != ds.loaded + ds.load_declines + ds.quarantined) {
+        report.failures.push_back(
+            "warm-restart scan breaks scanned == loaded + declined + "
+            "quarantined at " + where);
+      } else if (it % 4 == 0 && ds.quarantined != 0) {
+        report.failures.push_back(
+            "clean storage profile quarantined " +
+            std::to_string(ds.quarantined) + " files at " + where);
+      } else {
+        const core::IncrementalResult resumed =
+            core::RunIncrementalAnalysis(*warm, snap, suite, ingest);
+        const std::string want = core::RenderPortalAnalysis(full);
+        const std::string got = core::RenderPortalAnalysis(resumed.analysis);
+        if (want != got) {
+          report.failures.push_back("warm restart != from-scratch at " +
+                                    where + ": " +
+                                    DescribeRenderDiff(want, got));
+        }
+      }
+    }
+    fs::remove_all(dir, ec);
+  }
+  util::SetGlobalThreadCount(ambient_threads);
+  return report;
+}
+
+OracleReport CheckDialectStability(const OracleOptions& options) {
+  OracleReport report;
+  report.name = "dialect_stability";
+
+  Rng rng = Rng(options.seed).Fork("dialect_stability");
+  std::vector<std::string> pool = BuiltinCsvSeeds();
+  pool.insert(pool.end(), options.csv_seeds.begin(), options.csv_seeds.end());
+
+  for (size_t it = 0; it < options.iterations; ++it) {
+    // Base documents: the seed corpus and its structural mutants — the
+    // whitespace edits must be inert on messy documents (stacked quotes,
+    // lone-CR endings, truncations), not just on well-formed ones.
+    std::string doc = pool[it % pool.size()];
+    if (rng.NextBool(0.5)) doc = MutateCsv(rng, doc);
+    const csv::CsvDialect base = csv::SniffDialect(doc);
+    for (size_t v = 0; v < 3; ++v) {
+      ++report.cases;
+      const std::string mutant = MutateCsvWhitespace(rng, doc);
+      const csv::CsvDialect got = csv::SniffDialect(mutant);
+      if (!(got == base)) {
+        report.failures.push_back(
+            "whitespace-only edit flipped the sniffed delimiter from '" +
+            EscapeForLog(std::string_view(&base.delimiter, 1)) + "' to '" +
+            EscapeForLog(std::string_view(&got.delimiter, 1)) + "' at case " +
+            std::to_string(it) + " variant " + std::to_string(v) +
+            ": mutant \"" + EscapeForLog(mutant) + "\"");
+      }
+    }
+  }
   return report;
 }
 
@@ -2184,6 +2482,8 @@ std::vector<OracleReport> RunAllOracles(const OracleOptions& options) {
           CheckFetchEquivalence(options),
           CheckJoinRankerMonotonicity(options),
           CheckIncrementalEquivalence(options),
+          CheckDurableCacheEquivalence(options),
+          CheckDialectStability(options),
           CheckServeEquivalence(options),
           CheckServeCacheEquivalence(options)};
 }

@@ -131,6 +131,32 @@ OracleReport CheckJoinRankerMonotonicity(const OracleOptions& options);
 /// same tables.
 OracleReport CheckIncrementalEquivalence(const OracleOptions& options);
 
+/// Crash-tolerance oracle for the durable analysis cache: over random
+/// snapshot chains with aggressive churn, a durable-backed incremental
+/// run must render byte-identically to a from-scratch analysis — across
+/// thread counts, cache budgets (unlimited and a 1-byte governor that
+/// declines everything), and injected storage-fault profiles (torn
+/// writes, bit flips, zero-length files, vanished publishes, unopenable
+/// files, junk siblings). Each case also kills one epoch mid-run after N
+/// cache publishes (with transient fetch faults live on half the cases)
+/// and resumes it with a fresh state over the same directory, then
+/// performs a clean warm restart — both must reproduce the from-scratch
+/// bytes, corrupted entries must be quarantined (never served), and the
+/// recovery scan must satisfy scanned == loaded + declined + quarantined
+/// while every cache kind satisfies hits + misses == lookups.
+OracleReport CheckDurableCacheEquivalence(const OracleOptions& options);
+
+/// Metamorphic stability oracle for the dialect sniffer: `SniffDialect`
+/// is invariant under whitespace-only edits — trailing spaces before an
+/// existing line break or at end of document, and whitespace-only line
+/// padding at the document start or after an existing line break
+/// (`MutateCsvWhitespace`). Runs the built-in + supplied CSV seeds and
+/// their structural mutants. Guards the blank-line fix in `FieldCounts`:
+/// counting blank lines as one-field records diluted modal consistency
+/// and burned scan-window slots, so benign padding could flip the
+/// sniffed delimiter.
+OracleReport CheckDialectStability(const OracleOptions& options);
+
 /// Equivalence oracle for the serving layer: over random ingested
 /// corpora, every query family served from the sharded `IndexSnapshot`
 /// (LSH band buckets, union groups + near-union adjacency, keyword

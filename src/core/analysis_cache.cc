@@ -26,16 +26,104 @@ size_t SignatureArtifactBytes(const SignatureArtifact& a) {
          a.signature.values.size() * sizeof(uint64_t);
 }
 
+StorageFaultProfile ResolveStorageFaults(
+    const std::optional<StorageFaultProfile>& override_faults) {
+  if (override_faults.has_value()) return *override_faults;
+  auto from_env = StorageFaultProfileFromEnv();
+  // A malformed OGDP_STORAGE_FAULTS never disables durability — faults are
+  // a test-only harness; fall back to a clean directory.
+  return from_env.ok() ? *from_env : StorageFaultProfile{};
+}
+
+/// Charges one recovered artifact against the governor and admits it to the
+/// in-memory map. Deliberately does NOT bump the kind's `stores` counter:
+/// kind stats describe this process's compute, recovery telemetry lives in
+/// `DurableStoreStats`.
+template <typename T>
+DurableLoadOutcome AdmitLoaded(
+    std::mutex& mu, fd::MemoryGovernor& governor,
+    std::map<uint64_t, std::shared_ptr<const T>>& store, uint64_t key,
+    T artifact, size_t bytes_of_artifact(const T&)) {
+  const size_t bytes = bytes_of_artifact(artifact);
+  std::lock_guard<std::mutex> lock(mu);
+  if (store.count(key) != 0) return DurableLoadOutcome::kLoaded;
+  if (!governor.TryReserve(bytes)) return DurableLoadOutcome::kDeclined;
+  store.emplace(key, std::make_shared<const T>(std::move(artifact)));
+  return DurableLoadOutcome::kLoaded;
+}
+
 }  // namespace
 
-AnalysisCache::AnalysisCache(size_t budget_override)
-    : governor_(ResolveCacheBudget(budget_override)) {}
+AnalysisCache::AnalysisCache(size_t budget_override,
+                             std::optional<std::string> cache_dir,
+                             std::optional<StorageFaultProfile> storage_faults)
+    : governor_(ResolveCacheBudget(budget_override)),
+      durable_(ResolveCacheDir(cache_dir),
+               ResolveStorageFaults(storage_faults)) {
+  LoadDurable();
+}
+
+void AnalysisCache::LoadDurable() {
+  durable_.LoadAll([this](const DurableEntry& entry) {
+    switch (entry.kind) {
+      case DurableKind::kParse: {
+        ParseArtifact a;
+        if (!DecodeParseArtifact(entry.payload, &a)) {
+          return DurableLoadOutcome::kCorrupt;
+        }
+        return AdmitLoaded(mu_, governor_, parse_, entry.key, std::move(a),
+                           ParseArtifactBytes);
+      }
+      case DurableKind::kKeys: {
+        KeyArtifact a;
+        if (!DecodeKeyArtifact(entry.payload, &a)) {
+          return DurableLoadOutcome::kCorrupt;
+        }
+        return AdmitLoaded(mu_, governor_, keys_, entry.key, std::move(a),
+                           KeyArtifactBytes);
+      }
+      case DurableKind::kFd: {
+        FdArtifact a;
+        if (!DecodeFdArtifact(entry.payload, &a)) {
+          return DurableLoadOutcome::kCorrupt;
+        }
+        return AdmitLoaded(mu_, governor_, fd_, entry.key, std::move(a),
+                           FdArtifactBytes);
+      }
+      case DurableKind::kSignature: {
+        SignatureArtifact a;
+        if (!DecodeSignatureArtifact(entry.payload, &a)) {
+          return DurableLoadOutcome::kCorrupt;
+        }
+        return AdmitLoaded(mu_, governor_, signature_, entry.key,
+                           std::move(a), SignatureArtifactBytes);
+      }
+      case DurableKind::kFingerprint: {
+        uint64_t fp = 0;
+        if (!DecodeFingerprint(entry.payload, &fp)) {
+          return DurableLoadOutcome::kCorrupt;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fingerprint_.count(entry.key) != 0) {
+          return DurableLoadOutcome::kLoaded;
+        }
+        if (!governor_.TryReserve(2 * sizeof(uint64_t))) {
+          return DurableLoadOutcome::kDeclined;
+        }
+        fingerprint_.emplace(entry.key, fp);
+        return DurableLoadOutcome::kLoaded;
+      }
+    }
+    return DurableLoadOutcome::kCorrupt;
+  });
+}
 
 template <typename T>
 std::shared_ptr<const T> AnalysisCache::Find(
     std::map<uint64_t, std::shared_ptr<const T>>& store, uint64_t key,
     CacheKindStats& kind, size_t bytes_of_artifact(const T&)) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++kind.lookups;
   auto it = store.find(key);
   if (it == store.end()) {
     ++kind.misses;
@@ -50,37 +138,54 @@ std::shared_ptr<const T> AnalysisCache::Find(
 template <typename T>
 void AnalysisCache::Store(
     std::map<uint64_t, std::shared_ptr<const T>>& store, uint64_t key,
-    T artifact, CacheKindStats& kind, size_t bytes_of_artifact(const T&)) {
+    T artifact, CacheKindStats& kind, size_t bytes_of_artifact(const T&),
+    DurableKind durable_kind, std::string encode_artifact(const T&)) {
   const size_t bytes = bytes_of_artifact(artifact);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (store.count(key) != 0) return;  // concurrent duplicate: first wins
-  if (!governor_.TryReserve(bytes)) {
-    ++kind.declines;
-    return;
+  // Encode before taking the lock (and before the artifact is moved into
+  // the map): publishes never serialize under the cache mutex.
+  std::string payload;
+  if (durable_.enabled()) payload = encode_artifact(artifact);
+  bool publish = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (store.count(key) != 0) {
+      ++kind.duplicate_stores;  // concurrent duplicate: first wins
+    } else if (!governor_.TryReserve(bytes)) {
+      ++kind.declines;
+      publish = true;  // declined in memory, still worth persisting
+    } else {
+      store.emplace(key, std::make_shared<const T>(std::move(artifact)));
+      ++kind.stores;
+      publish = true;
+    }
   }
-  store.emplace(key, std::make_shared<const T>(std::move(artifact)));
-  ++kind.stores;
+  if (publish && durable_.enabled()) {
+    durable_.Publish(durable_kind, key, payload);
+  }
 }
 
 std::shared_ptr<const ParseArtifact> AnalysisCache::FindParse(uint64_t key) {
   return Find(parse_, key, stats_.parse, ParseArtifactBytes);
 }
 void AnalysisCache::StoreParse(uint64_t key, ParseArtifact artifact) {
-  Store(parse_, key, std::move(artifact), stats_.parse, ParseArtifactBytes);
+  Store(parse_, key, std::move(artifact), stats_.parse, ParseArtifactBytes,
+        DurableKind::kParse, EncodeParseArtifact);
 }
 
 std::shared_ptr<const KeyArtifact> AnalysisCache::FindKeys(uint64_t key) {
   return Find(keys_, key, stats_.keys, KeyArtifactBytes);
 }
 void AnalysisCache::StoreKeys(uint64_t key, KeyArtifact artifact) {
-  Store(keys_, key, std::move(artifact), stats_.keys, KeyArtifactBytes);
+  Store(keys_, key, std::move(artifact), stats_.keys, KeyArtifactBytes,
+        DurableKind::kKeys, EncodeKeyArtifact);
 }
 
 std::shared_ptr<const FdArtifact> AnalysisCache::FindFd(uint64_t key) {
   return Find(fd_, key, stats_.fd, FdArtifactBytes);
 }
 void AnalysisCache::StoreFd(uint64_t key, FdArtifact artifact) {
-  Store(fd_, key, std::move(artifact), stats_.fd, FdArtifactBytes);
+  Store(fd_, key, std::move(artifact), stats_.fd, FdArtifactBytes,
+        DurableKind::kFd, EncodeFdArtifact);
 }
 
 std::shared_ptr<const SignatureArtifact> AnalysisCache::FindSignature(
@@ -89,11 +194,13 @@ std::shared_ptr<const SignatureArtifact> AnalysisCache::FindSignature(
 }
 void AnalysisCache::StoreSignature(uint64_t key, SignatureArtifact artifact) {
   Store(signature_, key, std::move(artifact), stats_.signature,
-        SignatureArtifactBytes);
+        SignatureArtifactBytes, DurableKind::kSignature,
+        EncodeSignatureArtifact);
 }
 
 bool AnalysisCache::FindFingerprint(uint64_t key, uint64_t* fingerprint) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fingerprint.lookups;
   auto it = fingerprint_.find(key);
   if (it == fingerprint_.end()) {
     ++stats_.fingerprint.misses;
@@ -106,14 +213,24 @@ bool AnalysisCache::FindFingerprint(uint64_t key, uint64_t* fingerprint) {
 }
 
 void AnalysisCache::StoreFingerprint(uint64_t key, uint64_t fingerprint) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (fingerprint_.count(key) != 0) return;
-  if (!governor_.TryReserve(2 * sizeof(uint64_t))) {
-    ++stats_.fingerprint.declines;
-    return;
+  bool publish = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fingerprint_.count(key) != 0) {
+      ++stats_.fingerprint.duplicate_stores;
+    } else if (!governor_.TryReserve(2 * sizeof(uint64_t))) {
+      ++stats_.fingerprint.declines;
+      publish = true;
+    } else {
+      fingerprint_.emplace(key, fingerprint);
+      ++stats_.fingerprint.stores;
+      publish = true;
+    }
   }
-  fingerprint_.emplace(key, fingerprint);
-  ++stats_.fingerprint.stores;
+  if (publish && durable_.enabled()) {
+    durable_.Publish(DurableKind::kFingerprint, key,
+                     EncodeFingerprint(fingerprint));
+  }
 }
 
 AnalysisCacheStats AnalysisCache::stats() const {
@@ -159,6 +276,252 @@ uint64_t SignatureCacheKey(uint64_t content_hash, size_t column,
 
 uint64_t FingerprintCacheKey(uint64_t content_hash) {
   return HashCombine(content_hash, 0xf1f6);
+}
+
+// ---------------------------------------------------------------------------
+// Durable payload codecs.
+
+namespace {
+
+constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kResourceExhausted);
+constexpr uint8_t kMaxDataType =
+    static_cast<uint8_t>(table::DataType::kString);
+
+void EncodeTable(std::string& out, const table::Table& t) {
+  wire::AppendString(out, t.name());
+  wire::AppendString(out, t.dataset_id());
+  wire::AppendU64(out, t.csv_size_bytes());
+  wire::AppendU64(out, t.content_hash());
+  wire::AppendU64(out, t.num_rows());
+  wire::AppendU64(out, t.num_columns());
+  for (const table::Column& col : t.columns()) {
+    wire::AppendString(out, col.name());
+    wire::AppendU8(out, static_cast<uint8_t>(col.type()));
+    wire::AppendU64(out, col.dictionary().size());
+    for (const std::string& value : col.dictionary()) {
+      wire::AppendString(out, value);
+    }
+    for (uint32_t code : col.codes()) wire::AppendU32(out, code);
+  }
+}
+
+bool DecodeTable(wire::Reader& reader,
+                 std::shared_ptr<const table::Table>* out) {
+  std::string name, dataset_id;
+  uint64_t csv_size = 0, content_hash = 0, num_rows = 0, num_columns = 0;
+  if (!reader.ReadString(&name) || !reader.ReadString(&dataset_id) ||
+      !reader.ReadU64(&csv_size) || !reader.ReadU64(&content_hash) ||
+      !reader.ReadU64(&num_rows) || !reader.ReadU64(&num_columns)) {
+    return false;
+  }
+  // Length prefixes can't promise more elements than the payload has bytes
+  // left; reject before allocating.
+  if (num_columns > (uint64_t{1} << 32) || num_rows > (uint64_t{1} << 32)) {
+    return false;
+  }
+  std::vector<table::Column> columns;
+  columns.reserve(num_columns);
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    std::string col_name;
+    uint8_t type = 0;
+    uint64_t dict_size = 0;
+    if (!reader.ReadString(&col_name) || !reader.ReadU8(&type) ||
+        type > kMaxDataType || !reader.ReadU64(&dict_size)) {
+      return false;
+    }
+    if (dict_size > (uint64_t{1} << 32)) return false;
+    std::vector<std::string> dict(dict_size);
+    for (uint64_t d = 0; d < dict_size; ++d) {
+      if (!reader.ReadString(&dict[d])) return false;
+    }
+    // Rebuild by replay so the dictionary, index map, and null count are
+    // reconstructed through the same path `FromRecords` used.
+    table::Column col(std::move(col_name));
+    size_t nulls = 0;
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      uint32_t code = 0;
+      if (!reader.ReadU32(&code)) return false;
+      if (code == table::Column::kNullCode) {
+        col.AppendNull();
+        ++nulls;
+      } else {
+        if (code >= dict.size()) return false;
+        col.AppendCell(dict[code]);
+      }
+    }
+    // Replay must reproduce the serialized encoding exactly; a dictionary
+    // whose entries re-classify as null (impossible from a real encoder)
+    // would silently shift codes, so reject instead.
+    if (col.null_count() != nulls || col.distinct_count() != dict.size()) {
+      return false;
+    }
+    col.set_type(static_cast<table::DataType>(type));
+    columns.push_back(std::move(col));
+  }
+  auto t = std::make_shared<table::Table>(std::move(name),
+                                          std::move(columns));
+  t->set_dataset_id(std::move(dataset_id));
+  t->set_csv_size_bytes(csv_size);
+  t->set_content_hash(content_hash);
+  *out = std::move(t);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeParseArtifact(const ParseArtifact& artifact) {
+  std::string out;
+  wire::AppendU32(out, static_cast<uint32_t>(artifact.stage));
+  wire::AppendU8(out, static_cast<uint8_t>(artifact.status.code()));
+  wire::AppendString(out, artifact.status.message());
+  wire::AppendU64(out, artifact.trailing_removed);
+  wire::AppendDouble(out, artifact.compute_seconds);
+  wire::AppendU8(out, artifact.table != nullptr ? 1 : 0);
+  if (artifact.table != nullptr) EncodeTable(out, *artifact.table);
+  return out;
+}
+
+bool DecodeParseArtifact(const std::string& payload, ParseArtifact* out) {
+  wire::Reader reader(payload);
+  uint32_t stage = 0;
+  uint8_t code = 0, has_table = 0;
+  std::string message;
+  uint64_t trailing_removed = 0;
+  double seconds = 0;
+  if (!reader.ReadU32(&stage) || !reader.ReadU8(&code) ||
+      code > kMaxStatusCode || !reader.ReadString(&message) ||
+      !reader.ReadU64(&trailing_removed) || !reader.ReadDouble(&seconds) ||
+      !reader.ReadU8(&has_table) || has_table > 1) {
+    return false;
+  }
+  ParseArtifact artifact;
+  artifact.stage = static_cast<int>(static_cast<int32_t>(stage));
+  artifact.status = code == 0 ? Status::OK()
+                              : Status(static_cast<StatusCode>(code),
+                                       std::move(message));
+  artifact.trailing_removed = trailing_removed;
+  artifact.compute_seconds = seconds;
+  if (has_table == 1 && !DecodeTable(reader, &artifact.table)) return false;
+  if (!reader.AtEnd()) return false;
+  *out = std::move(artifact);
+  return true;
+}
+
+std::string EncodeKeyArtifact(const KeyArtifact& artifact) {
+  std::string out;
+  wire::AppendU32(out, static_cast<uint32_t>(artifact.outcome));
+  wire::AppendDouble(out, artifact.compute_seconds);
+  return out;
+}
+
+bool DecodeKeyArtifact(const std::string& payload, KeyArtifact* out) {
+  wire::Reader reader(payload);
+  uint32_t outcome = 0;
+  double seconds = 0;
+  if (!reader.ReadU32(&outcome) || !reader.ReadDouble(&seconds) ||
+      !reader.AtEnd()) {
+    return false;
+  }
+  out->outcome = static_cast<int>(static_cast<int32_t>(outcome));
+  out->compute_seconds = seconds;
+  return true;
+}
+
+std::string EncodeFdArtifact(const FdArtifact& artifact) {
+  std::string out;
+  wire::AppendU8(out, artifact.mined ? 1 : 0);
+  wire::AppendU64(out, artifact.columns);
+  wire::AppendU8(out, artifact.has_fd ? 1 : 0);
+  wire::AppendU8(out, artifact.has_lhs1_fd ? 1 : 0);
+  wire::AppendU64(out, artifact.decomp_count);
+  wire::AppendU64(out, artifact.partition_cols.size());
+  for (size_t col : artifact.partition_cols) wire::AppendU64(out, col);
+  wire::AppendU64(out, artifact.gains.size());
+  for (double gain : artifact.gains) wire::AppendDouble(out, gain);
+  wire::AppendU64(out, artifact.lease_peak);
+  wire::AppendU64(out, artifact.declines);
+  wire::AppendU64(out, artifact.rebuilds);
+  wire::AppendDouble(out, artifact.compute_seconds);
+  return out;
+}
+
+bool DecodeFdArtifact(const std::string& payload, FdArtifact* out) {
+  wire::Reader reader(payload);
+  FdArtifact artifact;
+  uint8_t mined = 0, has_fd = 0, has_lhs1 = 0;
+  uint64_t columns = 0, decomp = 0, n_cols = 0, n_gains = 0;
+  uint64_t lease_peak = 0, declines = 0, rebuilds = 0;
+  if (!reader.ReadU8(&mined) || mined > 1 || !reader.ReadU64(&columns) ||
+      !reader.ReadU8(&has_fd) || has_fd > 1 || !reader.ReadU8(&has_lhs1) ||
+      has_lhs1 > 1 || !reader.ReadU64(&decomp) || !reader.ReadU64(&n_cols)) {
+    return false;
+  }
+  if (n_cols > payload.size() / 8) return false;
+  artifact.partition_cols.resize(n_cols);
+  for (uint64_t i = 0; i < n_cols; ++i) {
+    uint64_t col = 0;
+    if (!reader.ReadU64(&col)) return false;
+    artifact.partition_cols[i] = col;
+  }
+  if (!reader.ReadU64(&n_gains)) return false;
+  if (n_gains > payload.size() / 8) return false;
+  artifact.gains.resize(n_gains);
+  for (uint64_t i = 0; i < n_gains; ++i) {
+    if (!reader.ReadDouble(&artifact.gains[i])) return false;
+  }
+  if (!reader.ReadU64(&lease_peak) || !reader.ReadU64(&declines) ||
+      !reader.ReadU64(&rebuilds) ||
+      !reader.ReadDouble(&artifact.compute_seconds) || !reader.AtEnd()) {
+    return false;
+  }
+  artifact.mined = mined == 1;
+  artifact.columns = columns;
+  artifact.has_fd = has_fd == 1;
+  artifact.has_lhs1_fd = has_lhs1 == 1;
+  artifact.decomp_count = decomp;
+  artifact.lease_peak = lease_peak;
+  artifact.declines = declines;
+  artifact.rebuilds = rebuilds;
+  *out = std::move(artifact);
+  return true;
+}
+
+std::string EncodeSignatureArtifact(const SignatureArtifact& artifact) {
+  std::string out;
+  wire::AppendU64(out, artifact.signature.values.size());
+  for (uint64_t v : artifact.signature.values) wire::AppendU64(out, v);
+  wire::AppendDouble(out, artifact.compute_seconds);
+  return out;
+}
+
+bool DecodeSignatureArtifact(const std::string& payload,
+                             SignatureArtifact* out) {
+  wire::Reader reader(payload);
+  uint64_t count = 0;
+  if (!reader.ReadU64(&count)) return false;
+  if (count > payload.size() / 8) return false;
+  SignatureArtifact artifact;
+  artifact.signature.values.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!reader.ReadU64(&artifact.signature.values[i])) return false;
+  }
+  if (!reader.ReadDouble(&artifact.compute_seconds) || !reader.AtEnd()) {
+    return false;
+  }
+  *out = std::move(artifact);
+  return true;
+}
+
+std::string EncodeFingerprint(uint64_t fingerprint) {
+  std::string out;
+  wire::AppendU64(out, fingerprint);
+  return out;
+}
+
+bool DecodeFingerprint(const std::string& payload, uint64_t* out) {
+  wire::Reader reader(payload);
+  return reader.ReadU64(out) && reader.AtEnd();
 }
 
 }  // namespace ogdp::core

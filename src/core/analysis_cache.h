@@ -5,9 +5,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/durable_cache.h"
+#include "core/storage_faults.h"
 #include "fd/memory_governor.h"
 #include "join/minhash.h"
 #include "table/table.h"
@@ -62,14 +65,20 @@ struct SignatureArtifact {
   double compute_seconds = 0;
 };
 
-/// Per-kind hit/miss accounting.
+/// Per-kind hit/miss accounting. Two conservation laws hold at any
+/// observation point, including under concurrent mutation (every counter
+/// pair is bumped under the cache mutex):
+///   hits + misses == lookups
+///   stores + declines + duplicate_stores == store attempts
 struct CacheKindStats {
+  size_t lookups = 0;  // Find* calls
   size_t hits = 0;
   size_t misses = 0;
   size_t stores = 0;
-  size_t declines = 0;       // stores the governor refused
-  size_t hit_bytes = 0;      // artifact bytes served from cache
-  double saved_seconds = 0;  // recorded compute time of served artifacts
+  size_t declines = 0;          // stores the governor refused
+  size_t duplicate_stores = 0;  // store raced an existing entry; first won
+  size_t hit_bytes = 0;         // artifact bytes served from cache
+  double saved_seconds = 0;     // recorded compute time of served artifacts
 };
 
 struct AnalysisCacheStats {
@@ -100,6 +109,15 @@ struct AnalysisCacheStats {
 /// recomputes, with byte-identical results, so the budget bounds memory
 /// without ever changing output.
 ///
+/// When a durable directory is configured (explicitly or via
+/// `OGDP_CACHE_DIR`), the cache recovers surviving artifacts from disk on
+/// construction — each admission still charged through the governor, with
+/// declined entries left on disk — and write-through publishes every store
+/// attempt (stored *or* declined) so a later restart can recover artifacts
+/// this process had no budget for. Corrupt files are quarantined and
+/// transparently recomputed; durability never changes analysis output,
+/// only how much of it is recomputed.
+///
 /// Thread-safe: ingestion's parallel parse stage and the per-table
 /// analysis workers all share one instance.
 class AnalysisCache {
@@ -107,7 +125,15 @@ class AnalysisCache {
   /// `budget_override` resolution: non-zero wins
   /// (`fd::kUnlimitedFdMemoryBudget` = no line), else `OGDP_CACHE_BUDGET`
   /// from the environment, else `DefaultCacheBudget()`.
-  explicit AnalysisCache(size_t budget_override = 0);
+  ///
+  /// `cache_dir`: durable directory override — nullopt defers to
+  /// `OGDP_CACHE_DIR`, an empty string disables durability outright.
+  /// `storage_faults`: injection profile override — nullopt defers to
+  /// `OGDP_STORAGE_FAULTS`.
+  explicit AnalysisCache(
+      size_t budget_override = 0,
+      std::optional<std::string> cache_dir = std::nullopt,
+      std::optional<StorageFaultProfile> storage_faults = std::nullopt);
 
   AnalysisCache(const AnalysisCache&) = delete;
   AnalysisCache& operator=(const AnalysisCache&) = delete;
@@ -133,6 +159,17 @@ class AnalysisCache {
   fd::MemoryGovernor& governor() { return governor_; }
   const fd::MemoryGovernor& governor() const { return governor_; }
 
+  /// Durable-store observability: recovery/publish counters, the degraded
+  /// warning status (OK when durability is off or healthy), and whether a
+  /// directory is actively backing this cache.
+  DurableStoreStats durable_stats() const { return durable_.stats(); }
+  const Status& durable_status() const { return durable_.status(); }
+  bool durable_enabled() const { return durable_.enabled(); }
+  const std::string& durable_dir() const { return durable_.dir(); }
+
+  /// Arms the simulated-crash hook on the underlying store (testing).
+  void SetCrashAfterPublishes(size_t n) { durable_.SetCrashAfterPublishes(n); }
+
  private:
   template <typename T>
   std::shared_ptr<const T> Find(
@@ -141,9 +178,12 @@ class AnalysisCache {
   template <typename T>
   void Store(std::map<uint64_t, std::shared_ptr<const T>>& store,
              uint64_t key, T artifact, CacheKindStats& kind,
-             size_t bytes_of_artifact(const T&));
+             size_t bytes_of_artifact(const T&), DurableKind durable_kind,
+             std::string encode_artifact(const T&));
+  void LoadDurable();
 
   fd::MemoryGovernor governor_;
+  DurableStore durable_;
   mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<const ParseArtifact>> parse_;
   std::map<uint64_t, std::shared_ptr<const KeyArtifact>> keys_;
@@ -170,6 +210,25 @@ uint64_t FdCacheKey(uint64_t content_hash, uint64_t seed);
 uint64_t SignatureCacheKey(uint64_t content_hash, size_t column,
                            const join::MinHashOptions& options);
 uint64_t FingerprintCacheKey(uint64_t content_hash);
+
+/// Durable payload codecs, one pair per artifact kind. Encoders are total;
+/// decoders return false on any truncation, trailing slack, or value a
+/// well-formed encoder cannot produce — the durable store quarantines such
+/// records. A decoded `ParseArtifact` table is rebuilt by replaying its
+/// dictionary codes through `Column::AppendCell`/`AppendNull`, which
+/// reproduces the original dictionary order, null counts, and memory
+/// accounting exactly.
+std::string EncodeParseArtifact(const ParseArtifact& artifact);
+bool DecodeParseArtifact(const std::string& payload, ParseArtifact* out);
+std::string EncodeKeyArtifact(const KeyArtifact& artifact);
+bool DecodeKeyArtifact(const std::string& payload, KeyArtifact* out);
+std::string EncodeFdArtifact(const FdArtifact& artifact);
+bool DecodeFdArtifact(const std::string& payload, FdArtifact* out);
+std::string EncodeSignatureArtifact(const SignatureArtifact& artifact);
+bool DecodeSignatureArtifact(const std::string& payload,
+                             SignatureArtifact* out);
+std::string EncodeFingerprint(uint64_t fingerprint);
+bool DecodeFingerprint(const std::string& payload, uint64_t* out);
 
 }  // namespace ogdp::core
 

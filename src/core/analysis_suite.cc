@@ -4,6 +4,7 @@
 #include <exception>
 #include <map>
 
+#include "core/durable_cache.h"
 #include "core/report_format.h"
 #include "stats/descriptive.h"
 #include "util/string_util.h"
@@ -30,6 +31,11 @@ void RunAnalysisStage(PortalAnalysis& a, const AnalysisSuiteOptions& options,
   } else {
     try {
       fn();
+    } catch (const SimulatedCrashError&) {
+      // A scripted durable-cache crash must kill the whole run the way a
+      // real process death would — containment would turn a crash drill
+      // into a quietly degraded stage.
+      throw;
     } catch (const std::exception& e) {
       st.status = Status::Internal(std::string("stage threw: ") + e.what());
       st.degraded = true;

@@ -1,0 +1,331 @@
+#include "core/durable_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace ogdp::core {
+
+namespace fs = std::filesystem;
+
+namespace wire {
+
+void AppendU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.append(buf, 4);
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.append(buf, 8);
+}
+
+void AppendDouble(std::string& out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::string& out, std::string_view s) {
+  AppendU64(out, s.size());
+  out.append(s);
+}
+
+bool Reader::ReadU8(uint8_t* v) {
+  if (bytes_.size() - pos_ < 1) return false;
+  *v = static_cast<uint8_t>(bytes_[pos_++]);
+  return true;
+}
+
+bool Reader::ReadU32(uint32_t* v) {
+  if (bytes_.size() - pos_ < 4) return false;
+  uint32_t out = 0;
+  for (int i = 3; i >= 0; --i) {
+    out = (out << 8) | static_cast<uint8_t>(bytes_[pos_ + i]);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool Reader::ReadU64(uint64_t* v) {
+  if (bytes_.size() - pos_ < 8) return false;
+  uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) {
+    out = (out << 8) | static_cast<uint8_t>(bytes_[pos_ + i]);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool Reader::ReadDouble(double* v) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool Reader::ReadString(std::string* v) {
+  uint64_t len = 0;
+  if (!ReadU64(&len)) return false;
+  if (bytes_.size() - pos_ < len) return false;
+  v->assign(bytes_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+}  // namespace wire
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'G', 'D', 'C'};
+constexpr uint32_t kFormatVersion = 1;
+// magic + version + kind + key + payload_len + checksum
+constexpr size_t kHeaderBytes = 4 + 4 + 1 + 8 + 8 + 8;
+
+bool ValidKind(uint8_t kind) {
+  return kind >= static_cast<uint8_t>(DurableKind::kParse) &&
+         kind <= static_cast<uint8_t>(DurableKind::kFingerprint);
+}
+
+std::string EncodeRecord(DurableKind kind, uint64_t key,
+                         const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic, 4);
+  wire::AppendU32(out, kFormatVersion);
+  wire::AppendU8(out, static_cast<uint8_t>(kind));
+  wire::AppendU64(out, key);
+  wire::AppendU64(out, payload.size());
+  wire::AppendU64(out, Fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+/// Validates the container framing (not artifact payload semantics, which
+/// the load callback owns). Any failure means quarantine.
+bool DecodeRecord(const std::string& bytes, DurableEntry* entry) {
+  if (bytes.size() < kHeaderBytes) return false;
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) return false;
+  wire::Reader reader(std::string_view(bytes).substr(4));
+  uint32_t version = 0;
+  uint8_t kind = 0;
+  uint64_t key = 0, payload_len = 0, checksum = 0;
+  if (!reader.ReadU32(&version) || !reader.ReadU8(&kind) ||
+      !reader.ReadU64(&key) || !reader.ReadU64(&payload_len) ||
+      !reader.ReadU64(&checksum)) {
+    return false;
+  }
+  if (version != kFormatVersion || !ValidKind(kind)) return false;
+  // Explicit length first: a torn write shows up as a short file before the
+  // checksum is even computed.
+  if (bytes.size() - kHeaderBytes != payload_len) return false;
+  const std::string_view payload(bytes.data() + kHeaderBytes, payload_len);
+  if (Fnv1a64(payload) != checksum) return false;
+  entry->kind = static_cast<DurableKind>(kind);
+  entry->key = key;
+  entry->payload.assign(payload);
+  return true;
+}
+
+bool WriteFile(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return out.good();
+}
+
+bool ReadWholeFile(const fs::path& path, std::string* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return false;
+  in.seekg(0, std::ios::beg);
+  bytes->resize(static_cast<size_t>(size));
+  if (size > 0) in.read(bytes->data(), size);
+  return in.good() || size == 0;
+}
+
+}  // namespace
+
+const char* DurableKindName(DurableKind kind) {
+  switch (kind) {
+    case DurableKind::kParse:
+      return "parse";
+    case DurableKind::kKeys:
+      return "keys";
+    case DurableKind::kFd:
+      return "fd";
+    case DurableKind::kSignature:
+      return "signature";
+    case DurableKind::kFingerprint:
+      return "fingerprint";
+  }
+  return "unknown";
+}
+
+std::string DurableStore::FileNameFor(DurableKind kind, uint64_t key) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(key));
+  return std::string(DurableKindName(kind)) + "-" + hex + ".ogdc";
+}
+
+DurableStore::DurableStore(std::string dir, StorageFaultProfile faults)
+    : dir_(std::move(dir)), faults_(faults) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_, ec)) {
+    status_ = Status::IoError("durable cache disabled: cannot create " +
+                              dir_ + ": " + ec.message());
+    return;
+  }
+  // Probe writability up front so an unwritable mount degrades here, once,
+  // instead of as a failure storm across every publish.
+  const fs::path probe = fs::path(dir_) / ".ogdc-probe";
+  if (!WriteFile(probe, "probe")) {
+    status_ = Status::IoError("durable cache disabled: cannot write in " +
+                              dir_);
+    return;
+  }
+  fs::remove(probe, ec);
+  enabled_ = true;
+}
+
+void DurableStore::Publish(DurableKind kind, uint64_t key,
+                           const std::string& payload) {
+  if (enabled_) {
+    const std::string file_name = FileNameFor(kind, key);
+    const fs::path final_path = fs::path(dir_) / file_name;
+    std::error_code ec;
+    bool failed = false;
+    if (!fs::exists(final_path, ec)) {
+      const std::string record = EncodeRecord(kind, key, payload);
+      if (auto junk = faults_.ExtraFileFor(file_name)) {
+        WriteFile(fs::path(dir_) / junk->first, junk->second);
+      }
+      const std::optional<std::string> on_disk =
+          faults_.ApplyPublishFaults(file_name, record);
+      if (on_disk.has_value()) {
+        const fs::path tmp_path =
+            fs::path(dir_) /
+            (file_name + ".tmp" +
+             std::to_string(tmp_counter_.fetch_add(1) + 1));
+        if (!WriteFile(tmp_path, *on_disk)) {
+          failed = true;
+          fs::remove(tmp_path, ec);
+        } else {
+          fs::rename(tmp_path, final_path, ec);
+          if (ec) {
+            failed = true;
+            fs::remove(tmp_path, ec);
+          }
+        }
+      }
+      // A scripted-missing publish "succeeds" from the writer's view: the
+      // rename simply never landed, exactly like a crash at that instant.
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.publishes;
+      if (failed) ++stats_.publish_failures;
+    }
+  }
+  const size_t n = publish_counter_.fetch_add(1) + 1;
+  const size_t crash_at = crash_after_publishes_.load(std::memory_order_relaxed);
+  if (crash_at != 0 && n == crash_at) {
+    throw SimulatedCrashError("simulated crash after publish #" +
+                              std::to_string(n));
+  }
+}
+
+void DurableStore::Quarantine(const std::string& file_name) {
+  std::error_code ec;
+  const fs::path from = fs::path(dir_) / file_name;
+  fs::path to = fs::path(dir_) / (file_name + ".quarantine");
+  // Never clobber an earlier quarantined generation of the same key.
+  for (int i = 1; fs::exists(to, ec); ++i) {
+    to = fs::path(dir_) / (file_name + ".quarantine" + std::to_string(i));
+  }
+  fs::rename(from, to, ec);
+  if (ec) fs::remove(from, ec);  // rename failed: drop it rather than re-scan
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.quarantined;
+}
+
+void DurableStore::LoadAll(
+    const std::function<DurableLoadOutcome(const DurableEntry&)>& consume) {
+  if (!enabled_) return;
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
+    if (!dirent.is_regular_file(ec)) continue;
+    const std::string name = dirent.path().filename().string();
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".ogdc") continue;
+    names.push_back(name);
+  }
+  // Sorted scan order: recovery stats and quarantine numbering are
+  // deterministic for a given directory state.
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.scanned;
+    }
+    std::string bytes;
+    DurableEntry entry;
+    if (faults_.FailsOpen(name) ||
+        !ReadWholeFile(fs::path(dir_) / name, &bytes) ||
+        !DecodeRecord(bytes, &entry) ||
+        FileNameFor(entry.kind, entry.key) != name) {
+      Quarantine(name);
+      continue;
+    }
+    switch (consume(entry)) {
+      case DurableLoadOutcome::kLoaded: {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.loaded;
+        break;
+      }
+      case DurableLoadOutcome::kDeclined: {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.load_declines;
+        break;
+      }
+      case DurableLoadOutcome::kCorrupt:
+        Quarantine(name);
+        break;
+    }
+  }
+}
+
+DurableStoreStats DurableStore::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::string ResolveCacheDir(const std::optional<std::string>& override_dir) {
+  if (override_dir.has_value()) return *override_dir;
+  const char* env = std::getenv("OGDP_CACHE_DIR");
+  if (env == nullptr) return std::string();
+  return std::string(env);
+}
+
+}  // namespace ogdp::core

@@ -1,0 +1,183 @@
+#ifndef OGDP_CORE_DURABLE_CACHE_H_
+#define OGDP_CORE_DURABLE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/storage_faults.h"
+#include "util/status.h"
+
+namespace ogdp::core {
+
+/// Thrown by the durable store's crash hook (`SetCrashAfterPublishes`) to
+/// simulate the process dying mid-epoch. Deliberately NOT a subclass the
+/// per-stage containment in `RunAnalysisStage` may swallow: containment
+/// rethrows this type so a scripted crash aborts `RunIncrementalAnalysis`
+/// the way a real SIGKILL would, leaving only the already-published files
+/// behind.
+class SimulatedCrashError : public std::runtime_error {
+ public:
+  explicit SimulatedCrashError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Artifact kind tag persisted in every durable record. Values are part of
+/// the on-disk format — append only, never renumber.
+enum class DurableKind : uint8_t {
+  kParse = 1,
+  kKeys = 2,
+  kFd = 3,
+  kSignature = 4,
+  kFingerprint = 5,
+};
+
+/// Stable lowercase name used in durable file names, e.g. "parse".
+const char* DurableKindName(DurableKind kind);
+
+/// Recovery and publish telemetry. Conservation law (checked by the
+/// `durable_cache_equivalence` oracle): scanned == loaded + load_declines
+/// + quarantined.
+struct DurableStoreStats {
+  size_t scanned = 0;          // entry files seen by the recovery scan
+  size_t loaded = 0;           // decoded, admitted by the governor
+  size_t load_declines = 0;    // decoded but governor refused the bytes
+  size_t quarantined = 0;      // failed validation, renamed aside
+  size_t publishes = 0;        // publish attempts (including skip-if-exists)
+  size_t publish_failures = 0; // filesystem errors while publishing
+};
+
+/// What the recovery callback did with one decoded entry.
+enum class DurableLoadOutcome {
+  kLoaded,    // admitted to the in-memory cache
+  kDeclined,  // governor refused the charge; entry stays on disk
+  kCorrupt,   // payload failed artifact-level decode; quarantine it
+};
+
+/// One validated on-disk record.
+struct DurableEntry {
+  DurableKind kind = DurableKind::kParse;
+  uint64_t key = 0;
+  std::string payload;
+};
+
+/// Content-addressed on-disk artifact store backing `AnalysisCache`
+/// (DESIGN.md §12). One file per artifact, named
+/// `<kind>-<16-hex-key>.ogdc`, each a versioned header ("OGDC" magic,
+/// format version, kind, key, explicit payload length, FNV-1a payload
+/// checksum) followed by the payload. Publishes are atomic:
+/// write-to-temp-then-rename, skipped when the final file already exists.
+/// Recovery is manifest-free — a directory scan revalidates every record
+/// and quarantines (renames aside) anything that fails, so corruption only
+/// ever trades reuse for recompute.
+///
+/// A store with an empty directory path is disabled: every operation is a
+/// no-op. A directory that cannot be created or written degrades the store
+/// to disabled with a warning `status()` — never a crash.
+///
+/// Thread-safe; faults come from an embedded `FaultyCacheDir` so torn
+/// writes, bit flips, and friends are injected deterministically per file.
+class DurableStore {
+ public:
+  /// Disabled store.
+  DurableStore() = default;
+
+  DurableStore(std::string dir, StorageFaultProfile faults);
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// False when no directory was configured or setup failed.
+  bool enabled() const { return enabled_; }
+
+  /// OK when enabled or never configured; a warning status when the store
+  /// degraded to disabled (unwritable directory, malformed fault spec).
+  const Status& status() const { return status_; }
+
+  const std::string& dir() const { return dir_; }
+
+  /// Encodes the record and publishes it atomically. Counts one publish
+  /// attempt (see `SetCrashAfterPublishes`) even when the final file
+  /// already exists. No-op when disabled.
+  void Publish(DurableKind kind, uint64_t key, const std::string& payload);
+
+  /// Scans the directory, validates every `.ogdc` record, and hands the
+  /// good ones to `consume` in sorted-file-name order. Invalid records and
+  /// records `consume` reports as kCorrupt are quarantined. No-op when
+  /// disabled.
+  void LoadAll(const std::function<DurableLoadOutcome(const DurableEntry&)>&
+                   consume);
+
+  /// Arms the crash hook: the `n`-th publish attempt (1-based) throws
+  /// `SimulatedCrashError` after its file has landed. 0 disarms.
+  void SetCrashAfterPublishes(size_t n) {
+    crash_after_publishes_.store(n, std::memory_order_relaxed);
+  }
+
+  DurableStoreStats stats() const;
+
+  /// File name for one record, e.g. "fd-00ab54a98ceb1f0a.ogdc".
+  static std::string FileNameFor(DurableKind kind, uint64_t key);
+
+ private:
+  void Quarantine(const std::string& file_name);
+
+  std::string dir_;
+  FaultyCacheDir faults_;
+  bool enabled_ = false;
+  Status status_;
+
+  std::atomic<size_t> publish_counter_{0};
+  std::atomic<size_t> crash_after_publishes_{0};
+  std::atomic<size_t> tmp_counter_{0};
+
+  mutable std::mutex stats_mu_;
+  DurableStoreStats stats_;
+};
+
+/// Resolves the durable cache directory: the override when set (empty
+/// string = explicitly disabled), else `OGDP_CACHE_DIR` from the
+/// environment, else disabled.
+std::string ResolveCacheDir(const std::optional<std::string>& override_dir);
+
+/// Little-endian byte codec shared by the record container and the artifact
+/// payload codecs in `analysis_cache.cc`. Every Read* is bounds-checked:
+/// false means the buffer ran out (torn payload), and the caller must treat
+/// the record as corrupt.
+namespace wire {
+
+void AppendU8(std::string& out, uint8_t v);
+void AppendU32(std::string& out, uint32_t v);
+void AppendU64(std::string& out, uint64_t v);
+void AppendDouble(std::string& out, double v);  // IEEE-754 bit pattern
+void AppendString(std::string& out, std::string_view s);  // u64 length prefix
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadDouble(double* v);
+  bool ReadString(std::string* v);
+
+  /// True when every byte has been consumed — decoders require this so
+  /// trailing garbage is corruption, not slack.
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
+
+}  // namespace ogdp::core
+
+#endif  // OGDP_CORE_DURABLE_CACHE_H_

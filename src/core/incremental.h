@@ -2,7 +2,9 @@
 #define OGDP_CORE_INCREMENTAL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/analysis_cache.h"
@@ -80,9 +82,15 @@ std::string RenderIncrementalStats(const IncrementalStats& stats);
 /// governor pool).
 struct IncrementalState {
   /// `cache_budget_override` follows AnalysisCache's resolution: non-zero
-  /// wins, else OGDP_CACHE_BUDGET, else the default.
-  explicit IncrementalState(size_t cache_budget_override = 0)
-      : cache(cache_budget_override) {}
+  /// wins, else OGDP_CACHE_BUDGET, else the default. `cache_dir` /
+  /// `storage_faults` configure the durable backing store (nullopt defers
+  /// to `OGDP_CACHE_DIR` / `OGDP_STORAGE_FAULTS`); a fresh state over a
+  /// populated directory is how a crashed crawl resumes mid-epoch.
+  explicit IncrementalState(
+      size_t cache_budget_override = 0,
+      std::optional<std::string> cache_dir = std::nullopt,
+      std::optional<StorageFaultProfile> storage_faults = std::nullopt)
+      : cache(cache_budget_override, std::move(cache_dir), storage_faults) {}
 
   IncrementalState(const IncrementalState&) = delete;
   IncrementalState& operator=(const IncrementalState&) = delete;

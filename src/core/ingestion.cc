@@ -148,8 +148,8 @@ IngestResult IngestPortal(const Portal& portal,
     auto env = fetch::FaultProfileFromEnv();
     if (env.ok()) profile = std::move(env).value();
   }
-  fetch::FaultyTransport default_transport(portal,
-                                           fetch::FaultSchedule(profile));
+  fetch::FaultyTransport default_transport(
+      portal, fetch::FaultSchedule(profile), options.cdn);
   fetch::Transport& transport = options.transport != nullptr
                                     ? *options.transport
                                     : default_transport;

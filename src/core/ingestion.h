@@ -116,6 +116,13 @@ struct IngestOptions {
   /// through a FaultyTransport built from the resolved fault profile.
   fetch::Transport* transport = nullptr;
 
+  /// Shared-CDN state for cross-portal rate-limit coupling. Only
+  /// meaningful when the resolved fault profile carries a non-zero
+  /// `cdn_group`; the default transport then notes its 429 bursts here
+  /// and observes other coupled portals'. Ignored when `transport` is
+  /// set (custom transports own their coupling).
+  fetch::CdnState* cdn = nullptr;
+
   /// Content-addressed parse cache (core/analysis_cache.h). When set,
   /// fetched bodies whose (bytes, parse-options) key hits the cache skip
   /// the sniff/parse/clean stages and replay the cached typed table.

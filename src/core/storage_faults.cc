@@ -1,0 +1,178 @@
+#include "core/storage_faults.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace ogdp::core {
+
+const char* StorageFaultKindName(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kNone:
+      return "none";
+    case StorageFaultKind::kTornWrite:
+      return "torn_write";
+    case StorageFaultKind::kBitFlip:
+      return "bit_flip";
+    case StorageFaultKind::kZeroLength:
+      return "zero_length";
+    case StorageFaultKind::kMissing:
+      return "missing";
+    case StorageFaultKind::kOpenError:
+      return "open_error";
+  }
+  return "unknown";
+}
+
+Result<StorageFaultProfile> ParseStorageFaultProfile(const std::string& spec) {
+  StorageFaultProfile profile;
+  for (const std::string& part : Split(spec, ',')) {
+    const std::string item = Trim(part);
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("storage fault item without '=': " +
+                                     item);
+    }
+    const std::string key = Trim(item.substr(0, eq));
+    const std::string value = Trim(item.substr(eq + 1));
+    char* end = nullptr;
+    if (key == "seed") {
+      profile.seed = std::strtoull(value.c_str(), &end, 10);
+    } else {
+      const double rate = std::strtod(value.c_str(), &end);
+      if (rate < 0.0 || rate > 1.0) {
+        return Status::InvalidArgument("storage fault rate outside [0, 1]: " +
+                                       item);
+      }
+      if (key == "torn") {
+        profile.torn_write_rate = rate;
+      } else if (key == "bitflip") {
+        profile.bit_flip_rate = rate;
+      } else if (key == "zero") {
+        profile.zero_length_rate = rate;
+      } else if (key == "missing") {
+        profile.missing_rate = rate;
+      } else if (key == "extra") {
+        profile.extra_file_rate = rate;
+      } else if (key == "openfail") {
+        profile.open_error_rate = rate;
+      } else {
+        return Status::InvalidArgument("unknown storage fault key: " + key);
+      }
+    }
+    if (end == nullptr || *end != '\0' || end == value.c_str()) {
+      return Status::InvalidArgument("malformed storage fault value: " + item);
+    }
+  }
+  return profile;
+}
+
+Result<StorageFaultProfile> StorageFaultProfileFromEnv() {
+  const char* env = std::getenv("OGDP_STORAGE_FAULTS");
+  if (env == nullptr || *env == '\0') return StorageFaultProfile{};
+  auto parsed = ParseStorageFaultProfile(env);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("OGDP_STORAGE_FAULTS: " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+FaultyCacheDir::FaultyCacheDir(StorageFaultProfile profile)
+    : profile_(profile) {}
+
+namespace {
+
+Rng FileRng(const StorageFaultProfile& profile, const std::string& file_name) {
+  return Rng(profile.seed).Fork("storage_faults").Fork(file_name);
+}
+
+}  // namespace
+
+StorageFaultSpec FaultyCacheDir::ScriptFor(const std::string& file_name) const {
+  StorageFaultSpec spec;
+  if (!profile_.any() && profile_.open_error_rate <= 0) return spec;
+  Rng rng = FileRng(profile_, file_name);
+  // Fixed draw order regardless of which rates are non-zero, so adding one
+  // fault class to a profile never reshuffles another class's victims.
+  const bool torn = rng.NextBool(profile_.torn_write_rate);
+  const double torn_frac = rng.NextDouble() * 0.95;
+  const bool flip = rng.NextBool(profile_.bit_flip_rate);
+  const double flip_frac = rng.NextDouble();
+  const uint8_t flip_mask =
+      static_cast<uint8_t>(1u << rng.NextBounded(8));
+  const bool zero = rng.NextBool(profile_.zero_length_rate);
+  const bool missing = rng.NextBool(profile_.missing_rate);
+  const bool open_error = rng.NextBool(profile_.open_error_rate);
+  spec.extra_file = rng.NextBool(profile_.extra_file_rate);
+  // One primary fault per file; precedence roughly severest-first.
+  if (missing) {
+    spec.kind = StorageFaultKind::kMissing;
+  } else if (zero) {
+    spec.kind = StorageFaultKind::kZeroLength;
+  } else if (torn) {
+    spec.kind = StorageFaultKind::kTornWrite;
+    spec.torn_frac = torn_frac;
+  } else if (flip) {
+    spec.kind = StorageFaultKind::kBitFlip;
+    spec.flip_frac = flip_frac;
+    spec.flip_mask = flip_mask;
+  } else if (open_error) {
+    spec.kind = StorageFaultKind::kOpenError;
+  }
+  return spec;
+}
+
+std::optional<std::string> FaultyCacheDir::ApplyPublishFaults(
+    const std::string& file_name, const std::string& bytes) const {
+  const StorageFaultSpec spec = ScriptFor(file_name);
+  switch (spec.kind) {
+    case StorageFaultKind::kMissing:
+      return std::nullopt;
+    case StorageFaultKind::kZeroLength:
+      return std::string();
+    case StorageFaultKind::kTornWrite: {
+      // Always drop at least one byte so the fault is observable even for
+      // fractions that round back to the full length.
+      size_t keep = static_cast<size_t>(
+          static_cast<double>(bytes.size()) * spec.torn_frac);
+      if (!bytes.empty()) keep = std::min(keep, bytes.size() - 1);
+      return bytes.substr(0, keep);
+    }
+    case StorageFaultKind::kBitFlip: {
+      if (bytes.empty()) return bytes;
+      std::string out = bytes;
+      const size_t pos = std::min(
+          bytes.size() - 1,
+          static_cast<size_t>(static_cast<double>(bytes.size()) *
+                              spec.flip_frac));
+      // Mask 0 would be a no-op corruption; the script always sets one bit.
+      out[pos] = static_cast<char>(
+          static_cast<uint8_t>(out[pos]) ^ spec.flip_mask);
+      return out;
+    }
+    case StorageFaultKind::kNone:
+    case StorageFaultKind::kOpenError:
+      return bytes;
+  }
+  return bytes;
+}
+
+std::optional<std::pair<std::string, std::string>> FaultyCacheDir::ExtraFileFor(
+    const std::string& file_name) const {
+  const StorageFaultSpec spec = ScriptFor(file_name);
+  if (!spec.extra_file) return std::nullopt;
+  // Junk sibling with the store's extension so the recovery scan must reject
+  // it; the body is valid-looking garbage, not a truncated real record.
+  return std::make_pair("junk-" + file_name,
+                        std::string("not an OGDC record: ") + file_name);
+}
+
+bool FaultyCacheDir::FailsOpen(const std::string& file_name) const {
+  return ScriptFor(file_name).kind == StorageFaultKind::kOpenError;
+}
+
+}  // namespace ogdp::core

@@ -1,0 +1,118 @@
+#ifndef OGDP_CORE_STORAGE_FAULTS_H_
+#define OGDP_CORE_STORAGE_FAULTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/result.h"
+
+namespace ogdp::core {
+
+/// The storage defect taxonomy the durable cache must survive — the
+/// on-disk analogues of the wire faults in `fetch/fault_schedule.h`:
+/// a crash between write and fsync (torn prefix), media corruption (bit
+/// flip), a created-but-never-written file (zero length), a rename that
+/// never landed (missing file), stray junk in the directory (extra
+/// file), and permission/IO errors on open.
+enum class StorageFaultKind : uint8_t {
+  kNone = 0,
+  kTornWrite,   // file holds only a prefix of the published bytes
+  kBitFlip,     // one payload byte corrupted in place
+  kZeroLength,  // file created empty
+  kMissing,     // publish rename never happened
+  kOpenError,   // open fails at load time
+};
+
+/// Stable lowercase name, e.g. "torn_write".
+const char* StorageFaultKindName(StorageFaultKind kind);
+
+/// Per-directory injection rates. Like `fetch::FaultProfile`, a profile
+/// is pure configuration: the shim derives every per-file fault
+/// deterministically from (seed, file name), so two runs with the same
+/// profile corrupt byte-identically regardless of thread count or
+/// publish order.
+struct StorageFaultProfile {
+  double torn_write_rate = 0;
+  double bit_flip_rate = 0;
+  double zero_length_rate = 0;
+  double missing_rate = 0;
+  /// Chance a publish also drops a junk sibling file into the directory
+  /// (exercises the recovery scan's quarantine path).
+  double extra_file_rate = 0;
+  double open_error_rate = 0;
+
+  /// Salt mixed into every per-file derivation.
+  uint64_t seed = 0;
+
+  /// True when any fault can ever be injected.
+  bool any() const {
+    return torn_write_rate > 0 || bit_flip_rate > 0 ||
+           zero_length_rate > 0 || missing_rate > 0 ||
+           extra_file_rate > 0 || open_error_rate > 0;
+  }
+};
+
+/// Parses a profile spec of comma-separated key=value pairs — the same
+/// shape as `OGDP_FETCH_FAULTS`:
+///
+///   "torn=0.2,bitflip=0.1,zero=0.05,missing=0.1,extra=0.05,
+///    openfail=0.02,seed=42"
+///
+/// Unknown keys, malformed numbers, and rates outside [0, 1] are errors.
+Result<StorageFaultProfile> ParseStorageFaultProfile(const std::string& spec);
+
+/// Profile from the OGDP_STORAGE_FAULTS environment variable; fault-free
+/// when unset or empty, an error status on a malformed value.
+Result<StorageFaultProfile> StorageFaultProfileFromEnv();
+
+/// One scripted storage event for one file.
+struct StorageFaultSpec {
+  StorageFaultKind kind = StorageFaultKind::kNone;
+  /// kTornWrite: fraction of the bytes that reach the disk.
+  double torn_frac = 1.0;
+  /// kBitFlip: fractional position of the corrupted byte and the mask
+  /// XORed into it.
+  double flip_frac = 0.5;
+  uint8_t flip_mask = 0x01;
+  /// Publish also drops a junk sibling (independent of `kind`).
+  bool extra_file = false;
+};
+
+/// Seeded filesystem fault shim for the durable cache directory. The
+/// store asks it (a) how a publish's bytes land on disk and (b) whether
+/// an open at load time fails; every answer is a pure function of
+/// (profile, file name).
+class FaultyCacheDir {
+ public:
+  FaultyCacheDir() = default;
+  explicit FaultyCacheDir(StorageFaultProfile profile);
+
+  const StorageFaultProfile& profile() const { return profile_; }
+
+  /// The scripted fault for one file name.
+  StorageFaultSpec ScriptFor(const std::string& file_name) const;
+
+  /// Applies the publish-side faults to `bytes`: the (possibly torn,
+  /// flipped, or emptied) content that actually lands on disk, or
+  /// nullopt when the publish is scripted to vanish entirely (missing
+  /// file). Clean profiles return `bytes` unchanged.
+  std::optional<std::string> ApplyPublishFaults(
+      const std::string& file_name, const std::string& bytes) const;
+
+  /// Junk sibling the publish of `file_name` is scripted to drop, if
+  /// any: (sibling file name, sibling bytes). The sibling carries the
+  /// store's file extension so the recovery scan must quarantine it.
+  std::optional<std::pair<std::string, std::string>> ExtraFileFor(
+      const std::string& file_name) const;
+
+  /// True when opening `file_name` at load time is scripted to fail.
+  bool FailsOpen(const std::string& file_name) const;
+
+ private:
+  StorageFaultProfile profile_;
+};
+
+}  // namespace ogdp::core
+
+#endif  // OGDP_CORE_STORAGE_FAULTS_H_

@@ -15,17 +15,28 @@ std::vector<size_t> FieldCounts(std::string_view content, char delim,
   std::vector<size_t> counts;
   size_t fields = 1;
   bool in_quotes = false;
+  // Blank lines (spaces and carriage returns only) are skipped outright:
+  // they carry no dialect signal, and counting them as one-field lines
+  // both diluted the modal consistency and burned `max_lines` window
+  // slots, so benign blank-line padding could flip the sniffed delimiter.
+  bool has_content = false;
   for (size_t i = 0; i < content.size() && counts.size() < max_lines; ++i) {
     char c = content[i];
     if (in_quotes) {
       if (c == '"') in_quotes = false;
+      if (c != ' ' && c != '\r') has_content = true;
     } else if (c == '"') {
       in_quotes = true;
+      has_content = true;
     } else if (c == delim) {
       ++fields;
+      has_content = true;
     } else if (c == '\n') {
-      counts.push_back(fields);
+      if (has_content) counts.push_back(fields);
       fields = 1;
+      has_content = false;
+    } else if (c != ' ' && c != '\r') {
+      has_content = true;
     }
   }
   if (fields > 1) counts.push_back(fields);

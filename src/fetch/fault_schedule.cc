@@ -45,6 +45,10 @@ Result<FaultProfile> ParseFaultProfile(const std::string& spec) {
           static_cast<size_t>(std::strtoull(value.c_str(), &end, 10));
     } else if (key == "seed") {
       profile.seed = std::strtoull(value.c_str(), &end, 10);
+    } else if (key == "cdn_group") {
+      profile.cdn_group = std::strtoull(value.c_str(), &end, 10);
+    } else if (key == "cdn_window") {
+      profile.cdn_window_ms = std::strtoull(value.c_str(), &end, 10);
     } else {
       const double rate = std::strtod(value.c_str(), &end);
       if (rate < 0.0 || rate > 1.0) {
@@ -64,6 +68,8 @@ Result<FaultProfile> ParseFaultProfile(const std::string& spec) {
         profile.checksum_rate = rate;
       } else if (key == "permanent") {
         profile.permanent_rate = rate;
+      } else if (key == "cdn_429") {
+        profile.cdn_429_boost = rate;
       } else {
         return Status::InvalidArgument("unknown fault profile key: " + key);
       }
@@ -163,6 +169,31 @@ std::vector<FaultSpec> FaultSchedule::ScriptFor(
     script.push_back(spec);
   }
   return script;
+}
+
+void CdnState::Note429(uint64_t group, const std::string& portal,
+                       uint64_t now_ms) {
+  if (group == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Per-portal clocks are monotone within a crawl, so the latest note is
+  // the freshest burst; one slot per portal bounds the map.
+  bursts_[group][portal] = now_ms;
+}
+
+bool CdnState::CoupledBurstActive(uint64_t group, const std::string& portal,
+                                  uint64_t now_ms,
+                                  uint64_t window_ms) const {
+  if (group == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bursts_.find(group);
+  if (it == bursts_.end()) return false;
+  for (const auto& [other, at_ms] : it->second) {
+    if (other == portal) continue;
+    const uint64_t distance = now_ms > at_ms ? now_ms - at_ms
+                                             : at_ms - now_ms;
+    if (distance <= window_ms) return true;
+  }
+  return false;
 }
 
 }  // namespace ogdp::fetch

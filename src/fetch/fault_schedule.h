@@ -2,6 +2,8 @@
 #define OGDP_FETCH_FAULT_SCHEDULE_H_
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -63,18 +65,34 @@ struct FaultProfile {
   /// plant known-dead resources.
   std::vector<std::pair<std::string, std::string>> force_permanent;
 
+  /// Shared-CDN coupling (DESIGN.md §9): portals whose profiles carry the
+  /// same non-zero group id sit behind one CDN, so one portal's scripted
+  /// 429 raises the others' 429 probability inside the same virtual-time
+  /// window. 0 = uncoupled.
+  uint64_t cdn_group = 0;
+  /// Probability a would-succeed attempt is turned into one extra 429
+  /// while a coupled burst is active. Capped at one injected 429 per
+  /// resource, so coupling can delay but never exhaust a retry budget
+  /// with max_attempts > max_transient_faults + 1.
+  double cdn_429_boost = 0;
+  /// Half-width of the virtual-time window in which a coupled portal's
+  /// 429 counts as an active burst.
+  uint64_t cdn_window_ms = 2000;
+
   /// True when any fault can ever be injected.
   bool any() const {
     return timeout_rate > 0 || http5xx_rate > 0 || rate_limit_rate > 0 ||
            truncated_rate > 0 || slow_read_rate > 0 || checksum_rate > 0 ||
-           permanent_rate > 0 || !force_permanent.empty();
+           permanent_rate > 0 || !force_permanent.empty() ||
+           cdn_429_boost > 0;
   }
 };
 
 /// Parses a profile spec of comma-separated key=value pairs:
 ///
 ///   "timeout=0.1,5xx=0.05,429=0.1,truncate=0.05,slow=0.02,
-///    checksum=0.02,permanent=0.01,max=3,seed=42"
+///    checksum=0.02,permanent=0.01,max=3,seed=42,
+///    cdn_group=1,cdn_429=0.5,cdn_window=2000"
 ///
 /// Unknown keys, malformed numbers, and rates outside [0, 1] are errors.
 Result<FaultProfile> ParseFaultProfile(const std::string& spec);
@@ -106,6 +124,30 @@ class FaultSchedule {
  private:
   FaultProfile profile_;
   std::set<std::pair<std::string, std::string>> forced_;
+};
+
+/// Shared mutable state of one simulated CDN fabric. Portal transports
+/// wired to the same instance see each other's 429 bursts: a transport
+/// notes its scripted 429s here, and before serving a would-succeed
+/// attempt asks whether a *different* portal in its group rate-limited
+/// recently (within the profile's virtual-time window).
+///
+/// Thread-safe; per-portal virtual clocks are independent, so "recently"
+/// compares timestamps by absolute distance.
+class CdnState {
+ public:
+  /// Records that `portal` (in `group`) observed a 429 at `now_ms`.
+  void Note429(uint64_t group, const std::string& portal, uint64_t now_ms);
+
+  /// True when a portal other than `portal` in `group` noted a 429 within
+  /// `window_ms` virtual milliseconds of `now_ms`.
+  bool CoupledBurstActive(uint64_t group, const std::string& portal,
+                          uint64_t now_ms, uint64_t window_ms) const;
+
+ private:
+  mutable std::mutex mu_;
+  // group id -> portal -> virtual time of its latest noted 429.
+  std::map<uint64_t, std::map<std::string, uint64_t>> bursts_;
 };
 
 }  // namespace ogdp::fetch

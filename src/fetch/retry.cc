@@ -116,7 +116,7 @@ FetchOutcome FetchWithRetry(Transport& transport, const FetchRequest& request,
     rec.attempt = attempt + 1;
     rec.at_ms = *clock_ms;
 
-    FetchReply reply = transport.Fetch(request, attempt);
+    FetchReply reply = transport.FetchAt(request, attempt, *clock_ms);
     ++out.attempts;
     *clock_ms += reply.latency_ms;
     rec.fault = reply.fault;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/hash.h"
+#include "util/rng.h"
 
 namespace ogdp::fetch {
 
@@ -22,8 +23,8 @@ uint64_t BodyLatencyMs(size_t bytes) {
 }  // namespace
 
 FaultyTransport::FaultyTransport(const core::Portal& portal,
-                                 FaultSchedule schedule)
-    : portal_(portal), schedule_(std::move(schedule)) {}
+                                 FaultSchedule schedule, CdnState* cdn)
+    : portal_(portal), schedule_(std::move(schedule)), cdn_(cdn) {}
 
 const FaultyTransport::ResourceScript& FaultyTransport::ScriptFor(
     const FetchRequest& request) {
@@ -128,6 +129,53 @@ FetchReply FaultyTransport::Fetch(const FetchRequest& request,
   reply.declared_checksum = Fnv1a64(resource.content);
   reply.latency_ms = BodyLatencyMs(resource.content.size());
   return reply;
+}
+
+FetchReply FaultyTransport::FetchAt(const FetchRequest& request,
+                                    size_t attempt, uint64_t now_ms) {
+  FetchReply reply = Fetch(request, attempt);
+  const FaultProfile& profile = schedule_.profile();
+  if (cdn_ == nullptr || profile.cdn_group == 0) return reply;
+
+  if (reply.fault == FaultKind::kRateLimited) {
+    cdn_->Note429(profile.cdn_group, request.portal, now_ms);
+    return reply;
+  }
+  // Coupling only converts genuinely clean attempts: delivered-but-corrupt
+  // bodies (truncated/checksum) keep their scripted shape so retry budgets
+  // and the fault mix stay exactly as scripted.
+  if (profile.cdn_429_boost <= 0 || !reply.status.ok() ||
+      reply.fault != FaultKind::kNone) {
+    return reply;
+  }
+  const auto key =
+      std::make_pair(request.dataset_index, request.resource_index);
+  if (coupled_decided_.count(key) != 0) return reply;
+  if (!cdn_->CoupledBurstActive(profile.cdn_group, request.portal, now_ms,
+                                profile.cdn_window_ms)) {
+    return reply;
+  }
+  // One deterministic decision per resource, spent whether or not it
+  // fires, so a resource can never accumulate coupled 429s across
+  // retries.
+  coupled_decided_.insert(key);
+  Rng rng = Rng(profile.seed)
+                .Fork("cdn429")
+                .Fork(request.portal)
+                .Fork(request.dataset_id)
+                .Fork(request.resource_name);
+  const bool fires = rng.NextBool(profile.cdn_429_boost);
+  const uint64_t retry_after_ms = 50 + rng.NextBounded(2000);
+  if (!fires) return reply;
+  FetchReply limited;
+  limited.fault = FaultKind::kRateLimited;
+  limited.status = Status::Unavailable("HTTP 429 (shared CDN)");
+  limited.retryable = true;
+  limited.latency_ms = kBaseLatencyMs;
+  limited.retry_after_ms = retry_after_ms;
+  limited.declared_length = reply.declared_length;
+  limited.declared_checksum = reply.declared_checksum;
+  return limited;
 }
 
 }  // namespace ogdp::fetch

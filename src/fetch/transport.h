@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 #include "core/portal_model.h"
@@ -38,13 +39,24 @@ struct FetchReply {
 };
 
 /// Abstract resource transport. Implementations must be deterministic:
-/// the reply is a pure function of (request, attempt).
+/// the reply is a pure function of (request, attempt) — plus, for
+/// transports modelling cross-portal coupling, the virtual-time state
+/// observed through `FetchAt`.
 class Transport {
  public:
   virtual ~Transport() = default;
 
   /// Performs attempt `attempt` (0-based) for `request`.
   virtual FetchReply Fetch(const FetchRequest& request, size_t attempt) = 0;
+
+  /// Clock-aware variant used by `FetchWithRetry`: `now_ms` is the
+  /// caller's virtual clock when the attempt is issued. The default
+  /// ignores the clock, so plain transports only implement `Fetch`.
+  virtual FetchReply FetchAt(const FetchRequest& request, size_t attempt,
+                             uint64_t now_ms) {
+    (void)now_ms;
+    return Fetch(request, attempt);
+  }
 };
 
 /// Serves `core::Resource` content from an in-memory portal through a
@@ -52,11 +64,21 @@ class Transport {
 /// false` return a non-retryable 404 (the dead-link defect class);
 /// scripted transient faults consume attempts until the script is
 /// exhausted; permanent resources replay their script forever.
+/// When `cdn` is non-null and the profile carries a non-zero `cdn_group`,
+/// the transport participates in shared-CDN rate-limit coupling: scripted
+/// 429s are noted in the shared state, and a would-succeed attempt during
+/// another portal's burst window may be turned into one extra 429 (at most
+/// one per resource, decided deterministically from the profile seed), so
+/// coupling perturbs timing and breaker behaviour but never the fetched
+/// bytes.
 class FaultyTransport : public Transport {
  public:
-  FaultyTransport(const core::Portal& portal, FaultSchedule schedule);
+  FaultyTransport(const core::Portal& portal, FaultSchedule schedule,
+                  CdnState* cdn = nullptr);
 
   FetchReply Fetch(const FetchRequest& request, size_t attempt) override;
+  FetchReply FetchAt(const FetchRequest& request, size_t attempt,
+                     uint64_t now_ms) override;
 
  private:
   struct ResourceScript {
@@ -67,8 +89,11 @@ class FaultyTransport : public Transport {
 
   const core::Portal& portal_;
   FaultSchedule schedule_;
+  CdnState* cdn_ = nullptr;
   // Lazily derived scripts, keyed by (dataset index, resource index).
   std::map<std::pair<size_t, size_t>, ResourceScript> scripts_;
+  // Resources whose one-shot coupled-429 decision has been spent.
+  std::set<std::pair<size_t, size_t>> coupled_decided_;
 };
 
 }  // namespace ogdp::fetch

@@ -69,6 +69,11 @@ class Table {
   /// The content-addressed analysis cache keys on this value.
   uint64_t content_hash() const { return content_hash_; }
 
+  /// Restores a hash recorded when the table was first built — for
+  /// deserialization only (the durable analysis cache), never for
+  /// assigning a hash the framing in `FromRecords` didn't produce.
+  void set_content_hash(uint64_t hash) { content_hash_ = hash; }
+
   /// Approximate resident bytes of the dictionary-encoded columns (for
   /// memory-governor charging of cached tables).
   size_t MemoryUsage() const;

@@ -122,6 +122,27 @@ TEST(CheckHarnessTest, FetchEquivalenceOracle) {
   EXPECT_GE(report.cases, 12u);
 }
 
+// Bounded run of the durable-cache crash-tolerance oracle: killed and
+// cleanly restarted durable-backed epochs must reproduce the from-scratch
+// bytes under injected storage faults, with corrupt records quarantined
+// and the recovery-scan conservation law intact. Nightly runs the same
+// oracle at --iters 5000.
+TEST(CheckHarnessTest, DurableCacheEquivalenceOracle) {
+  OracleOptions options = BoundedOptions();
+  options.iterations = 6;  // each case runs several full analysis epochs
+  const OracleReport report = CheckDurableCacheEquivalence(options);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GE(report.cases, 6u);
+}
+
+// Bounded run of the dialect-sniffer stability oracle: SniffDialect is
+// invariant under trailing spaces and blank-line padding.
+TEST(CheckHarnessTest, DialectStabilityOracle) {
+  const OracleReport report = CheckDialectStability(BoundedOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.cases, 12u * 3u);  // three whitespace variants per case
+}
+
 // Bounded run of the serving-layer cache/scheduler oracle: cached,
 // uncached, and brute-force results byte-identical across cache budgets
 // and two Refresh epochs, plus the fair scheduler's starvation and
@@ -164,7 +185,7 @@ TEST(CheckHarnessTest, ReportsAreByteReproducible) {
   const OracleOptions options = BoundedOptions();
   const auto first = RunAllOracles(options);
   const auto second = RunAllOracles(options);
-  ASSERT_EQ(first.size(), 13u);
+  ASSERT_EQ(first.size(), 15u);
   ASSERT_EQ(second.size(), first.size());
   for (size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i].ToString(), second[i].ToString());

@@ -1,0 +1,536 @@
+// Tests for the durable analysis cache: storage-fault spec parsing and
+// deterministic per-file scripting, artifact codec round-trips, restart
+// recovery, degradation on unwritable directories, version-bump and
+// corruption quarantine, and crash-resume equivalence of a mid-epoch
+// killed incremental run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis_cache.h"
+#include "core/analysis_suite.h"
+#include "core/durable_cache.h"
+#include "core/incremental.h"
+#include "core/ingestion.h"
+#include "core/portal_model.h"
+#include "core/storage_faults.h"
+#include "corpus/snapshot.h"
+#include "fd/memory_governor.h"
+#include "fetch/fault_schedule.h"
+#include "table/table.h"
+
+namespace ogdp::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique per-test scratch directory, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("ogdp_durable_test_" + tag + "_" +
+               std::to_string(::testing::UnitTest::GetInstance()
+                                  ->random_seed()))) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+StorageFaultProfile Clean() { return StorageFaultProfile{}; }
+
+std::vector<std::string> ListDir(const fs::path& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    names.push_back(e.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ------------------------------------------------------ storage faults
+
+TEST(StorageFaultsTest, ParsesFullSpec) {
+  auto profile = ParseStorageFaultProfile(
+      "torn=0.2,bitflip=0.1,zero=0.05,missing=0.1,extra=0.05,"
+      "openfail=0.02,seed=42");
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_DOUBLE_EQ(profile->torn_write_rate, 0.2);
+  EXPECT_DOUBLE_EQ(profile->bit_flip_rate, 0.1);
+  EXPECT_DOUBLE_EQ(profile->zero_length_rate, 0.05);
+  EXPECT_DOUBLE_EQ(profile->missing_rate, 0.1);
+  EXPECT_DOUBLE_EQ(profile->extra_file_rate, 0.05);
+  EXPECT_DOUBLE_EQ(profile->open_error_rate, 0.02);
+  EXPECT_EQ(profile->seed, 42u);
+  EXPECT_TRUE(profile->any());
+}
+
+TEST(StorageFaultsTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseStorageFaultProfile("torn=1.5").ok());   // rate > 1
+  EXPECT_FALSE(ParseStorageFaultProfile("bogus=0.1").ok());  // unknown key
+  EXPECT_FALSE(ParseStorageFaultProfile("torn=abc").ok());   // not a number
+  EXPECT_FALSE(ParseStorageFaultProfile("torn").ok());       // no '='
+  auto empty = ParseStorageFaultProfile("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->any());
+}
+
+TEST(StorageFaultsTest, ScriptsAreDeterministicPerFile) {
+  StorageFaultProfile profile;
+  profile.torn_write_rate = 0.4;
+  profile.bit_flip_rate = 0.4;
+  profile.seed = 7;
+  FaultyCacheDir dir(profile);
+
+  const StorageFaultSpec a1 = dir.ScriptFor("fd-0000000000000001.ogdc");
+  const StorageFaultSpec a2 = dir.ScriptFor("fd-0000000000000001.ogdc");
+  EXPECT_EQ(a1.kind, a2.kind);
+  EXPECT_DOUBLE_EQ(a1.torn_frac, a2.torn_frac);
+  EXPECT_EQ(a1.flip_mask, a2.flip_mask);
+
+  // Scripts are salted by file name: across many names at these rates at
+  // least one must differ (all-equal would mean the salt is ignored).
+  bool any_differs = false;
+  for (int i = 0; i < 32 && !any_differs; ++i) {
+    const StorageFaultSpec other = dir.ScriptFor(
+        "fd-00000000000000" + std::to_string(10 + i) + ".ogdc");
+    any_differs = other.kind != a1.kind;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(StorageFaultsTest, TornWriteAlwaysDropsBytes) {
+  StorageFaultProfile profile;
+  profile.torn_write_rate = 1.0;
+  FaultyCacheDir dir(profile);
+  const std::string bytes(64, 'x');
+  for (int i = 0; i < 8; ++i) {
+    const auto on_disk = dir.ApplyPublishFaults(
+        "parse-000000000000000" + std::to_string(i) + ".ogdc", bytes);
+    ASSERT_TRUE(on_disk.has_value());
+    EXPECT_LT(on_disk->size(), bytes.size());
+    EXPECT_EQ(*on_disk, bytes.substr(0, on_disk->size()));  // a prefix
+  }
+}
+
+TEST(StorageFaultsTest, MissingPublishVanishesAndCleanPassesThrough) {
+  StorageFaultProfile missing;
+  missing.missing_rate = 1.0;
+  EXPECT_FALSE(FaultyCacheDir(missing)
+                   .ApplyPublishFaults("fd-0000000000000001.ogdc", "abc")
+                   .has_value());
+  const auto clean =
+      FaultyCacheDir(Clean()).ApplyPublishFaults("fd-0.ogdc", "abc");
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(*clean, "abc");
+}
+
+// ------------------------------------------------------ payload codecs
+
+TEST(DurableCacheTest, FdArtifactCodecRoundTrips) {
+  FdArtifact art;
+  art.mined = true;
+  art.columns = 5;
+  art.has_fd = true;
+  art.has_lhs1_fd = false;
+  art.decomp_count = 3;
+  art.partition_cols = {0, 2, 4};
+  art.gains = {0.5, 0.25};
+  art.lease_peak = 4096;
+  art.declines = 1;
+  art.rebuilds = 2;
+  art.compute_seconds = 0.125;
+
+  FdArtifact out;
+  ASSERT_TRUE(DecodeFdArtifact(EncodeFdArtifact(art), &out));
+  EXPECT_EQ(out.mined, art.mined);
+  EXPECT_EQ(out.columns, art.columns);
+  EXPECT_EQ(out.has_fd, art.has_fd);
+  EXPECT_EQ(out.decomp_count, art.decomp_count);
+  EXPECT_EQ(out.partition_cols, art.partition_cols);
+  EXPECT_EQ(out.gains, art.gains);
+  EXPECT_EQ(out.lease_peak, art.lease_peak);
+  EXPECT_DOUBLE_EQ(out.compute_seconds, art.compute_seconds);
+
+  // Truncation and trailing garbage are both corruption, not slack.
+  const std::string payload = EncodeFdArtifact(art);
+  EXPECT_FALSE(DecodeFdArtifact(payload.substr(0, payload.size() - 1), &out));
+  EXPECT_FALSE(DecodeFdArtifact(payload + "x", &out));
+}
+
+TEST(DurableCacheTest, ParseArtifactCodecRebuildsTheTableExactly) {
+  const std::vector<std::string> header = {"id", "name", "value"};
+  const std::vector<std::vector<std::string>> rows = {
+      {"1", "alpha", "10"}, {"2", "", "20"}, {"3", "alpha", ""}};
+  auto table = table::Table::FromRecords("t.csv", header, rows);
+  ASSERT_TRUE(table.ok()) << table.status();
+  table->set_csv_size_bytes(77);
+
+  ParseArtifact art;
+  art.stage = 5;
+  art.status = Status::OK();
+  art.trailing_removed = 2;
+  art.table = std::make_shared<const table::Table>(std::move(table).value());
+  art.compute_seconds = 0.25;
+
+  ParseArtifact out;
+  ASSERT_TRUE(DecodeParseArtifact(EncodeParseArtifact(art), &out));
+  EXPECT_EQ(out.stage, art.stage);
+  EXPECT_EQ(out.trailing_removed, art.trailing_removed);
+  ASSERT_NE(out.table, nullptr);
+  EXPECT_EQ(out.table->ToCsvString(), art.table->ToCsvString());
+  EXPECT_EQ(out.table->content_hash(), art.table->content_hash());
+  EXPECT_EQ(out.table->csv_size_bytes(), art.table->csv_size_bytes());
+  for (size_t c = 0; c < art.table->num_columns(); ++c) {
+    EXPECT_EQ(out.table->column(c).null_count(),
+              art.table->column(c).null_count());
+    EXPECT_EQ(out.table->column(c).distinct_count(),
+              art.table->column(c).distinct_count());
+  }
+
+  // A non-table artifact (removed-wide) round-trips its status too.
+  ParseArtifact wide;
+  wide.stage = 4;
+  wide.status = Status::OutOfRange("wider than 100 columns");
+  ParseArtifact wide_out;
+  ASSERT_TRUE(DecodeParseArtifact(EncodeParseArtifact(wide), &wide_out));
+  EXPECT_EQ(wide_out.table, nullptr);
+  EXPECT_EQ(wide_out.status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(wide_out.status.message(), "wider than 100 columns");
+}
+
+TEST(DurableCacheTest, SmallCodecsRoundTripAndRejectGarbage) {
+  KeyArtifact key;
+  key.outcome = -1;
+  key.compute_seconds = 0.5;
+  KeyArtifact key_out;
+  ASSERT_TRUE(DecodeKeyArtifact(EncodeKeyArtifact(key), &key_out));
+  EXPECT_EQ(key_out.outcome, -1);
+
+  SignatureArtifact sig;
+  sig.signature.values = {1, 2, 3, 0xffffffffffffffffULL};
+  SignatureArtifact sig_out;
+  ASSERT_TRUE(DecodeSignatureArtifact(EncodeSignatureArtifact(sig),
+                                      &sig_out));
+  EXPECT_EQ(sig_out.signature.values, sig.signature.values);
+
+  uint64_t fp = 0;
+  ASSERT_TRUE(DecodeFingerprint(EncodeFingerprint(0xdeadbeef), &fp));
+  EXPECT_EQ(fp, 0xdeadbeefu);
+  EXPECT_FALSE(DecodeFingerprint("short", &fp));
+  EXPECT_FALSE(DecodeFingerprint(EncodeFingerprint(1) + "x", &fp));
+}
+
+// ---------------------------------------------------- restart recovery
+
+TEST(DurableCacheTest, PersistsAndReloadsAcrossRestart) {
+  ScratchDir dir("reload");
+  const uint64_t fd_key = FdCacheKey(0x1234, 7);
+  const uint64_t keys_key = KeyCacheKey(0x1234);
+  {
+    AnalysisCache cache(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+    ASSERT_TRUE(cache.durable_enabled()) << cache.durable_status();
+    FdArtifact fd_art;
+    fd_art.mined = true;
+    fd_art.decomp_count = 2;
+    cache.StoreFd(fd_key, fd_art);
+    KeyArtifact key_art;
+    key_art.outcome = 2;
+    cache.StoreKeys(keys_key, key_art);
+    cache.StoreFingerprint(FingerprintCacheKey(0x9999), 0xabcd);
+    EXPECT_EQ(cache.durable_stats().publishes, 3u);
+  }
+
+  AnalysisCache reloaded(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  const DurableStoreStats ds = reloaded.durable_stats();
+  EXPECT_EQ(ds.scanned, 3u);
+  EXPECT_EQ(ds.loaded, 3u);
+  EXPECT_EQ(ds.quarantined, 0u);
+  const auto fd_hit = reloaded.FindFd(fd_key);
+  ASSERT_NE(fd_hit, nullptr);
+  EXPECT_TRUE(fd_hit->mined);
+  EXPECT_EQ(fd_hit->decomp_count, 2u);
+  const auto key_hit = reloaded.FindKeys(keys_key);
+  ASSERT_NE(key_hit, nullptr);
+  EXPECT_EQ(key_hit->outcome, 2);
+  uint64_t fp = 0;
+  EXPECT_TRUE(reloaded.FindFingerprint(FingerprintCacheKey(0x9999), &fp));
+  EXPECT_EQ(fp, 0xabcdu);
+  // Recovery charges the governor but is not a Store call.
+  EXPECT_EQ(reloaded.stats().fd.stores, 0u);
+  EXPECT_EQ(reloaded.stats().fd.hits, 1u);
+}
+
+TEST(DurableCacheTest, EmptyAndAbsentDirectoriesRecoverNothing) {
+  ScratchDir dir("empty");
+  AnalysisCache cache(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  EXPECT_TRUE(cache.durable_enabled());
+  EXPECT_TRUE(cache.durable_status().ok());
+  const DurableStoreStats ds = cache.durable_stats();
+  EXPECT_EQ(ds.scanned, 0u);
+  EXPECT_EQ(ds.loaded, 0u);
+
+  // Empty-string override means durability explicitly off.
+  AnalysisCache off(fd::kUnlimitedFdMemoryBudget, std::string(), Clean());
+  EXPECT_FALSE(off.durable_enabled());
+  EXPECT_TRUE(off.durable_status().ok());
+}
+
+TEST(DurableCacheTest, UnwritableDirDegradesToMemoryOnlyWithWarning) {
+  // A path nested *under a regular file* cannot be created even as root,
+  // so this exercises the degradation path portably.
+  ScratchDir dir("degrade");
+  std::error_code ec;
+  fs::create_directories(dir.path(), ec);
+  std::ofstream(dir.path() / "blocker") << "not a directory";
+  const std::string bad = (dir.path() / "blocker" / "cache").string();
+
+  AnalysisCache cache(fd::kUnlimitedFdMemoryBudget, bad, Clean());
+  EXPECT_FALSE(cache.durable_enabled());
+  EXPECT_FALSE(cache.durable_status().ok());  // a warning, not a crash
+
+  // The cache still works memory-only.
+  FdArtifact art;
+  art.mined = true;
+  cache.StoreFd(FdCacheKey(1, 1), art);
+  EXPECT_NE(cache.FindFd(FdCacheKey(1, 1)), nullptr);
+  EXPECT_EQ(cache.durable_stats().publishes, 0u);
+}
+
+TEST(DurableCacheTest, VersionBumpInvalidatesOldRecords) {
+  ScratchDir dir("version");
+  const uint64_t key = FdCacheKey(0x77, 1);
+  {
+    AnalysisCache cache(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+    FdArtifact art;
+    art.mined = true;
+    cache.StoreFd(key, art);
+  }
+  // Patch the format-version field (bytes 4..7, little-endian after the
+  // "OGDC" magic) to a future version.
+  const fs::path file =
+      dir.path() / DurableStore::FileNameFor(DurableKind::kFd, key);
+  ASSERT_TRUE(fs::exists(file));
+  {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    f.put(static_cast<char>(0xff));
+  }
+
+  AnalysisCache reloaded(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  const DurableStoreStats ds = reloaded.durable_stats();
+  EXPECT_EQ(ds.scanned, 1u);
+  EXPECT_EQ(ds.loaded, 0u);
+  EXPECT_EQ(ds.quarantined, 1u);
+  EXPECT_EQ(reloaded.FindFd(key), nullptr);  // never served
+  EXPECT_FALSE(fs::exists(file));            // renamed aside
+  EXPECT_TRUE(
+      fs::exists(fs::path(file.string() + ".quarantine")));
+}
+
+TEST(DurableCacheTest, QuarantineNamingNeverClobbersEarlierGenerations) {
+  ScratchDir dir("quarantine");
+  std::error_code ec;
+  fs::create_directories(dir.path(), ec);
+  const std::string name =
+      DurableStore::FileNameFor(DurableKind::kFd, 0x42);
+  std::ofstream(dir.path() / name) << "garbage";
+  std::ofstream(dir.path() / (name + ".quarantine")) << "older garbage";
+
+  AnalysisCache cache(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  EXPECT_EQ(cache.durable_stats().quarantined, 1u);
+  EXPECT_TRUE(fs::exists(dir.path() / (name + ".quarantine")));
+  EXPECT_TRUE(fs::exists(dir.path() / (name + ".quarantine1")));
+  EXPECT_FALSE(fs::exists(dir.path() / name));
+}
+
+TEST(DurableCacheTest, DoubleRestartIsIdempotent) {
+  ScratchDir dir("double");
+  {
+    AnalysisCache cache(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+    FdArtifact art;
+    art.mined = true;
+    cache.StoreFd(FdCacheKey(1, 1), art);
+    cache.StoreFingerprint(FingerprintCacheKey(2), 5);
+  }
+  std::vector<std::string> after_first;
+  {
+    AnalysisCache cache(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+    EXPECT_EQ(cache.durable_stats().loaded, 2u);
+    // Re-storing recovered artifacts publishes nothing new: the final
+    // files already exist.
+    FdArtifact art;
+    art.mined = true;
+    cache.StoreFd(FdCacheKey(1, 1), art);
+    after_first = ListDir(dir.path());
+  }
+  AnalysisCache cache(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  const DurableStoreStats ds = cache.durable_stats();
+  EXPECT_EQ(ds.scanned, 2u);
+  EXPECT_EQ(ds.loaded, 2u);
+  EXPECT_EQ(ds.quarantined, 0u);
+  EXPECT_EQ(ListDir(dir.path()), after_first);
+}
+
+TEST(DurableCacheTest, DeclinedRecoveryLeavesFilesForBiggerBudgets) {
+  ScratchDir dir("declined");
+  {
+    // A 1-byte governor declines the in-memory store, but the artifact is
+    // still published so a future restart can use it.
+    AnalysisCache cache(1, dir.str(), Clean());
+    FdArtifact art;
+    art.mined = true;
+    art.decomp_count = 9;
+    cache.StoreFd(FdCacheKey(3, 3), art);
+    EXPECT_EQ(cache.FindFd(FdCacheKey(3, 3)), nullptr);
+    EXPECT_EQ(cache.durable_stats().publishes, 1u);
+  }
+  {
+    // Same tiny budget at recovery: decode succeeds, admission declines,
+    // the file stays on disk.
+    AnalysisCache small(1, dir.str(), Clean());
+    const DurableStoreStats ds = small.durable_stats();
+    EXPECT_EQ(ds.scanned, 1u);
+    EXPECT_EQ(ds.load_declines, 1u);
+    EXPECT_EQ(ds.loaded, 0u);
+    EXPECT_EQ(small.FindFd(FdCacheKey(3, 3)), nullptr);
+  }
+  AnalysisCache big(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  EXPECT_EQ(big.durable_stats().loaded, 1u);
+  const auto hit = big.FindFd(FdCacheKey(3, 3));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->decomp_count, 9u);
+}
+
+TEST(DurableCacheTest, CorruptedEntriesAreQuarantinedAndRecomputed) {
+  ScratchDir dir("corrupt");
+  StorageFaultProfile faults;
+  faults.torn_write_rate = 1.0;  // every publish lands as a strict prefix
+  faults.seed = 11;
+  {
+    AnalysisCache cache(fd::kUnlimitedFdMemoryBudget, dir.str(), faults);
+    FdArtifact art;
+    art.mined = true;
+    cache.StoreFd(FdCacheKey(5, 5), art);
+  }
+  AnalysisCache reloaded(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  const DurableStoreStats ds = reloaded.durable_stats();
+  EXPECT_EQ(ds.scanned, 1u);
+  EXPECT_EQ(ds.quarantined, 1u);
+  EXPECT_EQ(ds.loaded, 0u);
+  EXPECT_EQ(reloaded.FindFd(FdCacheKey(5, 5)), nullptr);
+
+  // Recompute-and-store now repairs the directory.
+  FdArtifact art;
+  art.mined = true;
+  reloaded.StoreFd(FdCacheKey(5, 5), art);
+  AnalysisCache healthy(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  EXPECT_EQ(healthy.durable_stats().loaded, 1u);
+}
+
+// ------------------------------------------------------- crash resume
+
+corpus::PortalSnapshot CrashFixtureSnapshot() {
+  corpus::PortalSnapshot snap;
+  snap.portal.name = "crash";
+  for (int d = 0; d < 2; ++d) {
+    core::Dataset ds;
+    ds.id = "ds" + std::to_string(d);
+    for (int r = 0; r < 2; ++r) {
+      core::Resource res;
+      res.name = "t" + std::to_string(d) + std::to_string(r) + ".csv";
+      res.claimed_format = "CSV";
+      std::string doc = "record_id,region,period,code,value\n";
+      for (int i = 0; i < 24; ++i) {
+        doc += std::to_string(i) + ",g" + std::to_string(i % 4) + ",m" +
+               std::to_string(i % 12) + ",c" +
+               std::to_string((i * 7 + d) % 40) + "," +
+               std::to_string(100 * d + 10 * r + i) + "\n";
+      }
+      res.content = std::move(doc);
+      ds.resources.push_back(std::move(res));
+    }
+    snap.portal.datasets.push_back(std::move(ds));
+  }
+  return snap;
+}
+
+AnalysisSuiteOptions CrashSuiteOptions() {
+  AnalysisSuiteOptions suite;
+  suite.fd_memory_budget_bytes = fd::kUnlimitedFdMemoryBudget;
+  return suite;
+}
+
+IngestOptions CrashIngestOptions() {
+  IngestOptions ingest;
+  ingest.faults = fetch::FaultProfile{};  // explicit: env-proof
+  return ingest;
+}
+
+TEST(CrashResumeTest, KilledEpochResumesByteIdentically) {
+  ScratchDir dir("resume");
+  const corpus::PortalSnapshot snap = CrashFixtureSnapshot();
+
+  PortalBundle scratch;
+  scratch.name = snap.portal.name;
+  scratch.portal = snap.portal;
+  scratch.truth = snap.truth;
+  scratch.ingest = IngestPortal(snap.portal, CrashIngestOptions());
+  const PortalAnalysis full = RunFullAnalysis(scratch, CrashSuiteOptions());
+
+  // Kill the first run after its third durable publish.
+  auto state = std::make_unique<IncrementalState>(
+      fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  state->cache.SetCrashAfterPublishes(3);
+  EXPECT_THROW(RunIncrementalAnalysis(*state, snap, CrashSuiteOptions(),
+                                      CrashIngestOptions()),
+               SimulatedCrashError);
+
+  // The dead process's memory is gone; a fresh state over the same
+  // directory recovers what landed and the re-run epoch is byte-identical.
+  state = std::make_unique<IncrementalState>(fd::kUnlimitedFdMemoryBudget,
+                                             dir.str(), Clean());
+  const DurableStoreStats ds = state->cache.durable_stats();
+  EXPECT_GE(ds.scanned, 3u);  // at least the publishes before the crash
+  EXPECT_EQ(ds.scanned, ds.loaded + ds.load_declines + ds.quarantined);
+  EXPECT_EQ(ds.quarantined, 0u);  // completed publishes are valid records
+
+  const IncrementalResult resumed = RunIncrementalAnalysis(
+      *state, snap, CrashSuiteOptions(), CrashIngestOptions());
+  EXPECT_EQ(RenderPortalAnalysis(resumed.analysis),
+            RenderPortalAnalysis(full));
+  // The resumed epoch replays recovered artifacts instead of recomputing
+  // everything.
+  EXPECT_GT(state->cache.stats().total_hits(), 0u);
+}
+
+TEST(CrashResumeTest, DisarmedHookNeverFires) {
+  ScratchDir dir("disarmed");
+  const corpus::PortalSnapshot snap = CrashFixtureSnapshot();
+  IncrementalState state(fd::kUnlimitedFdMemoryBudget, dir.str(), Clean());
+  state.cache.SetCrashAfterPublishes(3);
+  state.cache.SetCrashAfterPublishes(0);  // disarm before the run
+  EXPECT_NO_THROW(RunIncrementalAnalysis(state, snap, CrashSuiteOptions(),
+                                         CrashIngestOptions()));
+  EXPECT_GT(state.cache.durable_stats().publishes, 0u);
+}
+
+}  // namespace
+}  // namespace ogdp::core

@@ -55,6 +55,38 @@ TEST(FaultProfileTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(empty->any());
 }
 
+TEST(FaultProfileTest, ParsesCdnCouplingKeys) {
+  auto profile = ParseFaultProfile("cdn_group=2,cdn_429=0.5,cdn_window=1000");
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_EQ(profile->cdn_group, 2u);
+  EXPECT_DOUBLE_EQ(profile->cdn_429_boost, 0.5);
+  EXPECT_EQ(profile->cdn_window_ms, 1000u);
+  // A boost alone makes the profile fault-capable.
+  EXPECT_TRUE(profile->any());
+  EXPECT_FALSE(ParseFaultProfile("cdn_429=1.5").ok());  // rate > 1
+}
+
+TEST(FaultScheduleTest, CdnBurstsCoupleOnlyAcrossPortalsInOneGroup) {
+  CdnState cdn;
+  cdn.Note429(/*group=*/1, "A", /*now_ms=*/1000);
+
+  // A portal never couples with its own bursts.
+  EXPECT_FALSE(cdn.CoupledBurstActive(1, "A", 1000, 500));
+  // A different portal in the group does, by absolute virtual-time
+  // distance in either direction (per-portal clocks are independent).
+  EXPECT_TRUE(cdn.CoupledBurstActive(1, "B", 1000, 500));
+  EXPECT_TRUE(cdn.CoupledBurstActive(1, "B", 1400, 500));
+  EXPECT_TRUE(cdn.CoupledBurstActive(1, "B", 600, 500));
+  EXPECT_FALSE(cdn.CoupledBurstActive(1, "B", 1600, 500));  // past the window
+  EXPECT_FALSE(cdn.CoupledBurstActive(1, "B", 400, 500));
+  // Other groups never see the burst.
+  EXPECT_FALSE(cdn.CoupledBurstActive(2, "B", 1000, 500));
+
+  // A newer burst from the same portal refreshes its window.
+  cdn.Note429(1, "A", 3000);
+  EXPECT_TRUE(cdn.CoupledBurstActive(1, "B", 3200, 500));
+}
+
 TEST(FaultScheduleTest, ScriptsAreDeterministicPerResource) {
   FaultProfile profile;
   profile.timeout_rate = 0.4;
@@ -593,6 +625,70 @@ TEST(StageContainmentTest, NoFailureMeansNoDegradation) {
   for (const StageStatus& st : analysis.stages) {
     EXPECT_TRUE(st.status.ok()) << st.stage << ": " << st.status;
   }
+}
+
+// Shared-CDN coupling: with a coupled burst already active on the fabric
+// and a certain boost, every clean first attempt is converted into one
+// extra 429 — the breaker trips and the retry telemetry fires, but the
+// delivered bytes are identical to the uncoupled run.
+TEST(FetchFaultEquivalenceTest, CoupledCdnBurstsTripBreakerNotBytes) {
+  const Portal portal = MixedFatePortal();
+  IngestOptions clean_options;
+  clean_options.faults = fetch::FaultProfile{};  // explicit: env-proof
+  const IngestResult baseline = IngestPortal(portal, clean_options);
+
+  // Another portal on the same CDN rate-limited at virtual time 0; a huge
+  // window keeps the burst active for this whole ingest (every portal's
+  // virtual clock starts at 0).
+  fetch::CdnState cdn;
+  cdn.Note429(/*group=*/1, "other_portal", /*now_ms=*/0);
+
+  fetch::FaultProfile coupled;  // no faults of its own, only coupling
+  coupled.cdn_group = 1;
+  coupled.cdn_429_boost = 1.0;
+  coupled.cdn_window_ms = 100000000;
+  IngestOptions coupled_options = clean_options;
+  coupled_options.faults = coupled;
+  coupled_options.cdn = &cdn;
+  coupled_options.retry.max_attempts = 4;
+  coupled_options.retry.initial_backoff_ms = 10;
+  coupled_options.retry.breaker_threshold = 1;  // every 429 trips it
+  coupled_options.retry.breaker_open_ms = 50;
+  const IngestResult coupled_run = IngestPortal(portal, coupled_options);
+
+  // The coupling fired: injected 429s, retries, breaker trips — but the
+  // cap of one injected 429 per resource means nothing fails permanently.
+  EXPECT_TRUE(CheckIngestStatsInvariants(coupled_run.stats).ok());
+  EXPECT_GT(coupled_run.stats.fetch_retries, 0u);
+  EXPECT_GE(coupled_run.stats.breaker_trips, 1u);
+  EXPECT_EQ(coupled_run.stats.fetch_permanent_failures, 0u);
+
+  // Output bytes are untouched by the coupling.
+  ASSERT_EQ(coupled_run.tables.size(), baseline.tables.size());
+  for (size_t i = 0; i < baseline.tables.size(); ++i) {
+    EXPECT_EQ(coupled_run.tables[i].ToCsvString(),
+              baseline.tables[i].ToCsvString());
+  }
+
+  // Deterministic: an identically seeded fabric reproduces the telemetry.
+  fetch::CdnState cdn2;
+  cdn2.Note429(1, "other_portal", 0);
+  IngestOptions replay_options = coupled_options;
+  replay_options.cdn = &cdn2;
+  const IngestResult replay = IngestPortal(portal, replay_options);
+  EXPECT_EQ(replay.stats.fetch_attempts, coupled_run.stats.fetch_attempts);
+  EXPECT_EQ(replay.stats.breaker_trips, coupled_run.stats.breaker_trips);
+
+  // An uncoupled group id on the same fabric sees no burst: no injected
+  // 429s, so no retries. (The portal's own 404 still trips the
+  // threshold-1 breaker once, coupled or not, so compare relatively.)
+  fetch::FaultProfile other_group = coupled;
+  other_group.cdn_group = 2;
+  IngestOptions unaffected_options = coupled_options;
+  unaffected_options.faults = other_group;
+  const IngestResult unaffected = IngestPortal(portal, unaffected_options);
+  EXPECT_EQ(unaffected.stats.fetch_retries, 0u);
+  EXPECT_GT(coupled_run.stats.breaker_trips, unaffected.stats.breaker_trips);
 }
 
 // Thread-count independence: the serial fetch stage pins the breaker and

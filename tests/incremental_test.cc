@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analysis_cache.h"
@@ -108,6 +110,62 @@ TEST(AnalysisCacheTest, OneByteBudgetDeclinesEveryStore) {
   EXPECT_EQ(cache.FindFd(FdCacheKey(0x1234, 7)), nullptr);
   EXPECT_GE(cache.stats().fd.declines, 1u);
   EXPECT_EQ(cache.stats().fd.stores, 0u);
+}
+
+TEST(AnalysisCacheStressTest, ConcurrentMixedTrafficKeepsStatsConserved) {
+  // Regression for the racy stats bump: lookups and hits/misses (and store
+  // attempts vs stores/declines/duplicates) were counted under separate
+  // lock acquisitions, so concurrent traffic could violate the
+  // conservation laws the stats documentation promises.
+  for (const size_t budget : {fd::kUnlimitedFdMemoryBudget, size_t{1}}) {
+    // Empty cache_dir: durability explicitly off, env-proof.
+    AnalysisCache cache(budget, std::string(), StorageFaultProfile{});
+    constexpr size_t kThreads = 8;
+    constexpr size_t kIters = 400;
+    constexpr uint64_t kKeySpace = 32;  // small: forces races on one key
+    std::atomic<size_t> store_attempts{0};
+
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&cache, &store_attempts, t] {
+        for (size_t i = 0; i < kIters; ++i) {
+          const uint64_t key = FdCacheKey((t * kIters + i) % kKeySpace, 7);
+          if (cache.FindFd(key) == nullptr) {
+            FdArtifact art;
+            art.mined = true;
+            art.decomp_count = 1 + (key % 3);
+            cache.StoreFd(key, art);
+            store_attempts.fetch_add(1, std::memory_order_relaxed);
+          }
+          KeyArtifact key_art;
+          key_art.outcome = 1;
+          cache.FindKeys(KeyCacheKey(key));
+          cache.StoreKeys(KeyCacheKey(key), key_art);
+          store_attempts.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    const AnalysisCacheStats stats = cache.stats();
+    for (const CacheKindStats* kind : {&stats.fd, &stats.keys}) {
+      EXPECT_EQ(kind->hits + kind->misses, kind->lookups);
+    }
+    EXPECT_EQ(stats.fd.lookups + stats.keys.lookups, 2 * kThreads * kIters);
+    EXPECT_EQ(stats.fd.stores + stats.fd.declines + stats.fd.duplicate_stores +
+                  stats.keys.stores + stats.keys.declines +
+                  stats.keys.duplicate_stores,
+              store_attempts.load());
+    if (budget == 1) {
+      // The 1-byte governor refuses everything; nothing is ever resident.
+      EXPECT_EQ(stats.fd.stores, 0u);
+      EXPECT_EQ(stats.fd.hits, 0u);
+    } else {
+      // Each key is stored at most once; racing stores lose as duplicates.
+      EXPECT_EQ(stats.fd.stores + stats.keys.stores, 2 * kKeySpace);
+      EXPECT_GT(stats.fd.hits, 0u);
+    }
+  }
 }
 
 TEST(IncrementalTest, FirstEpochMatchesScratchAndCountsAllDirty) {
